@@ -1,0 +1,89 @@
+// Ablation: the measurement-discipline design choices in the benchmark
+// runner (warmup, repetitions, batching) — Lesson 3's "do not
+// underestimate empirical analysis" made quantitative.
+#include <cstdio>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/common/units.hpp"
+#include "perfeng/kernels/matmul.hpp"
+#include "perfeng/measure/benchmark_runner.hpp"
+#include "perfeng/measure/statistics.hpp"
+#include "perfeng/measure/timer.hpp"
+
+int main() {
+  std::puts("== Ablation: measurement harness design choices ==\n");
+  std::printf("steady-clock resolution: %s\n\n",
+              pe::format_time(pe::estimate_timer_resolution()).c_str());
+
+  const std::size_t n = 96;
+  pe::kernels::Matrix a(n, n), b(n, n), c(n, n);
+  pe::Rng rng(1);
+  a.randomize(rng);
+  b.randomize(rng);
+  auto kernel = [&] { pe::kernels::matmul_interchanged(a, b, c); };
+
+  // 1. Warmup ablation: cold vs warm first measurements.
+  {
+    pe::Table t({"warmup runs", "median", "CV %", "min..max spread %"});
+    for (int warmups : {0, 1, 5}) {
+      pe::MeasurementConfig cfg;
+      cfg.warmup_runs = warmups;
+      cfg.repetitions = 9;
+      const auto m = pe::BenchmarkRunner(cfg).run("matmul", kernel);
+      const double spread =
+          (m.summary.max - m.summary.min) / m.summary.median * 100.0;
+      t.add_row({std::to_string(warmups),
+                 pe::format_time(m.typical()),
+                 pe::format_fixed(
+                     pe::coefficient_of_variation(m.seconds) * 100.0, 2),
+                 pe::format_fixed(spread, 1)});
+    }
+    std::puts("Warmup ablation (9 repetitions each):");
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  // 2. Repetition-count ablation: CI width vs cost.
+  {
+    pe::Table t({"repetitions", "median", "95% CI half-width",
+                 "CI as % of median"});
+    for (int reps : {3, 10, 30}) {
+      pe::MeasurementConfig cfg;
+      cfg.warmup_runs = 2;
+      cfg.repetitions = reps;
+      const auto m = pe::BenchmarkRunner(cfg).run("matmul", kernel);
+      t.add_row({std::to_string(reps), pe::format_time(m.typical()),
+                 pe::format_time(m.summary.ci95_half),
+                 pe::format_fixed(
+                     m.summary.ci95_half / m.summary.median * 100.0, 2)});
+    }
+    std::puts("\nRepetition ablation:");
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  // 3. Batching ablation on a sub-resolution kernel.
+  {
+    volatile double sink = 0.0;
+    auto tiny = [&sink] { sink = sink + 1.0; };
+    pe::Table t({"min batch time", "batch iterations",
+                 "reported per-call time"});
+    for (double min_batch : {1e-6, 1e-4, 1e-2}) {
+      pe::MeasurementConfig cfg;
+      cfg.warmup_runs = 1;
+      cfg.repetitions = 5;
+      cfg.min_batch_seconds = min_batch;
+      const auto m = pe::BenchmarkRunner(cfg).run("tiny", tiny);
+      t.add_row({pe::format_time(min_batch),
+                 std::to_string(m.batch_iterations),
+                 pe::format_time(m.typical())});
+    }
+    std::puts("\nBatching ablation (nanosecond-scale kernel):");
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  std::puts(
+      "\nExpected shape: warmup removes the cold-start outlier; the CI "
+      "narrows roughly\nwith sqrt(repetitions); without batching a "
+      "nanosecond kernel is quantized to\nthe timer resolution and "
+      "over-reported by orders of magnitude.");
+  return 0;
+}

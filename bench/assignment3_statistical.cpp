@@ -1,0 +1,109 @@
+// Assignment 3: statistical performance modeling of SpMV.
+//
+// Generates a corpus of sparse matrices (three structures x sizes x
+// densities), measures CSR/CSC/COO SpMV, trains statistical models
+// (OLS/ridge, kNN, random forest) on matrix features, and validates
+// prediction accuracy on held-out configurations — against the
+// analytical model as the explainable baseline.
+#include <cstdio>
+#include <memory>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/common/units.hpp"
+#include "perfeng/kernels/sparse.hpp"
+#include "perfeng/measure/benchmark_runner.hpp"
+#include "perfeng/measure/metrics.hpp"
+#include "perfeng/models/analytical.hpp"
+#include "perfeng/statmodel/knn.hpp"
+#include "perfeng/statmodel/linear.hpp"
+#include "perfeng/statmodel/tree.hpp"
+#include "perfeng/statmodel/validation.hpp"
+
+using pe::kernels::SparsityPattern;
+
+int main() {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 1;
+  cfg.repetitions = 3;
+  cfg.min_batch_seconds = 1e-3;
+  const pe::BenchmarkRunner runner(cfg);
+
+  std::puts("== Assignment 3: statistical modeling of SpMV ==\n");
+  std::puts("Collecting training data (CSR SpMV over a synthetic corpus)...");
+
+  pe::Rng rng(2023);
+  pe::statmodel::Dataset data(pe::kernels::sparse_feature_names());
+  pe::Table corpus({"pattern", "n", "density", "nnz", "median time"});
+
+  for (const auto pattern :
+       {SparsityPattern::kUniform, SparsityPattern::kBanded,
+        SparsityPattern::kPowerLaw}) {
+    for (std::size_t n : {500u, 1000u, 2000u}) {
+      for (double density : {0.002, 0.005, 0.01, 0.02}) {
+        const auto coo =
+            pe::kernels::generate_sparse(n, n, density, pattern, rng);
+        const auto csr = pe::kernels::coo_to_csr(coo);
+        std::vector<double> x(n, 1.0), y(n);
+        const auto m = runner.run("spmv", [&] {
+          pe::kernels::spmv_csr(csr, x, y);
+        });
+        data.add_row(pe::kernels::sparse_features(csr), m.typical());
+        corpus.add_row({pe::kernels::pattern_name(pattern),
+                        std::to_string(n), pe::format_sig(density, 2),
+                        std::to_string(csr.nnz()),
+                        pe::format_time(m.typical())});
+      }
+    }
+  }
+  std::fputs(corpus.render().c_str(), stdout);
+
+  data.shuffle(rng);
+  const auto split = data.train_test_split(0.25);
+  const auto standardizer = split.train.fit_standardizer();
+  const auto train = split.train.standardized(standardizer);
+  const auto test = split.test.standardized(standardizer);
+
+  pe::Table results({"model", "MAPE %", "RMSE", "R^2"});
+  auto eval_model = [&](pe::statmodel::Regressor& model) {
+    const auto r = pe::statmodel::evaluate(model, train, test);
+    results.add_row({model.describe(),
+                     pe::format_fixed(r.mape * 100.0, 1),
+                     pe::format_sig(r.rmse, 3), pe::format_fixed(r.r2, 3)});
+  };
+  pe::statmodel::LinearRegression ridge(1e-6);
+  pe::statmodel::KnnRegressor knn(3);
+  pe::statmodel::RandomForestRegressor forest(48);
+  eval_model(ridge);
+  eval_model(knn);
+  eval_model(forest);
+
+  // Analytical baseline on the same (unstandardized) test rows.
+  {
+    pe::models::Calibration calib;  // defaults: explainable but uncalibrated
+    std::vector<double> predicted, observed;
+    for (std::size_t i = 0; i < split.test.rows(); ++i) {
+      const auto& f = split.test.row(i);
+      const pe::models::SpmvModel model(
+          static_cast<std::size_t>(f[0]), static_cast<std::size_t>(f[1]),
+          static_cast<std::size_t>(f[2]), pe::models::SpmvFormat::kCsr,
+          0.5, calib);
+      predicted.push_back(model.predict());
+      observed.push_back(split.test.target(i));
+    }
+    results.add_row({"analytical (uncalibrated)",
+                     pe::format_fixed(pe::mape(predicted, observed) * 100.0,
+                                      1),
+                     pe::format_sig(pe::rmse(predicted, observed), 3),
+                     pe::format_fixed(pe::r_squared(predicted, observed),
+                                      3)});
+  }
+
+  std::puts("\nHeld-out prediction accuracy (25% test split):");
+  std::fputs(results.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape (paper): black-box statistical models predict "
+      "well inside the\ntraining envelope; the analytical model is "
+      "explainable but needs calibration to\ncompete — the "
+      "interpretability-vs-accuracy contrast the assignment showcases.");
+  return 0;
+}

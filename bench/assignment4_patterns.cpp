@@ -1,0 +1,132 @@
+// Assignment 4: performance counters and performance patterns.
+//
+// Runs the synthetic pattern kernels in broken and fixed form, collects
+// wall-clock A/B timings plus simulated counter data, and feeds both to
+// the pattern detectors — producing the hypothesis-evidence-verdict
+// table the assignment asks students to write by hand.
+#include <cstdio>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/common/units.hpp"
+#include "perfeng/counters/patterns.hpp"
+#include "perfeng/counters/simulated_counters.hpp"
+#include "perfeng/kernels/pattern_kernels.hpp"
+#include "perfeng/kernels/traces.hpp"
+#include "perfeng/measure/benchmark_runner.hpp"
+#include "perfeng/measure/timer.hpp"
+
+using namespace pe::counters;
+
+namespace {
+
+pe::sim::CacheHierarchy sim_hierarchy() {
+  std::vector<pe::sim::LevelSpec> specs;
+  specs.push_back({pe::sim::CacheConfig{"L1", 8 * 1024, 64, 8}, 4.0});
+  specs.push_back({pe::sim::CacheConfig{"L2", 64 * 1024, 64, 8}, 12.0});
+  return pe::sim::CacheHierarchy(std::move(specs), 200.0);
+}
+
+void print_report(pe::Table& t, const char* kernel, const char* variant,
+                  const PatternReport& r) {
+  t.add_row({kernel, variant, pattern_name(r.pattern),
+             r.detected ? "DETECTED" : "clear",
+             pe::format_fixed(r.severity, 2), r.evidence});
+}
+
+}  // namespace
+
+int main() {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 1;
+  cfg.repetitions = 5;
+  cfg.min_batch_seconds = 2e-3;
+  const pe::BenchmarkRunner runner(cfg);
+
+  std::puts("== Assignment 4: performance patterns from counter data ==\n");
+  pe::Table t({"kernel", "variant", "pattern", "verdict", "severity",
+               "evidence"});
+
+  // ---- strided access (simulated cache counters) ----
+  {
+    auto h = sim_hierarchy();
+    const std::size_t elements = 1 << 15;
+    const auto broken = collect(h, [&] {
+      pe::kernels::trace_strided(h, elements, 16);
+    });
+    const auto fixed = collect(h, [&] {
+      pe::kernels::trace_strided(h, elements, 1);
+    });
+    print_report(t, "strided sweep", "stride 16",
+                 detect_bad_spatial_locality(broken));
+    print_report(t, "strided sweep", "stride 1 (fix)",
+                 detect_bad_spatial_locality(fixed));
+  }
+
+  // ---- branch-heavy code (simulated predictor + wall clock) ----
+  {
+    pe::Rng rng(4);
+    const auto random = pe::kernels::random_doubles(1 << 16, rng);
+    const auto sorted = pe::kernels::sorted_doubles(1 << 16, rng);
+    pe::sim::BranchPredictor pred_random, pred_sorted;
+    pe::kernels::trace_branchy(pred_random, random, 0.5);
+    pe::kernels::trace_branchy(pred_sorted, sorted, 0.5);
+    print_report(
+        t, "branchy sum", "random data",
+        detect_branch_unpredictability(from_branches(pred_random.stats())));
+    print_report(
+        t, "branchy sum", "sorted data (fix)",
+        detect_branch_unpredictability(from_branches(pred_sorted.stats())));
+
+    const auto t_random = runner.run("branchy random", [&] {
+      pe::do_not_optimize(pe::kernels::branchy_sum(random, 0.5));
+    });
+    const auto t_sorted = runner.run("branchy sorted", [&] {
+      pe::do_not_optimize(pe::kernels::branchy_sum(sorted, 0.5));
+    });
+    std::printf("wall clock: branchy over random %s vs sorted %s (%.2fx)\n",
+                pe::format_time(t_random.typical()).c_str(),
+                pe::format_time(t_sorted.typical()).c_str(),
+                t_random.typical() / t_sorted.typical());
+  }
+
+  // ---- load imbalance (per-worker busy times) ----
+  {
+    const std::size_t tasks = 2000, workers = 4;
+    // Analytic per-worker busy time for triangular work under static
+    // blocks vs the dynamic ideal.
+    std::vector<double> static_times(workers, 0.0);
+    const std::size_t block = (tasks + workers - 1) / workers;
+    double total = 0.0;
+    for (std::size_t i = 0; i < tasks; ++i) total += double(i);
+    for (std::size_t w = 0; w < workers; ++w)
+      for (std::size_t i = w * block;
+           i < std::min(tasks, (w + 1) * block); ++i)
+        static_times[w] += double(i);
+    const std::vector<double> dynamic_times(workers, total / workers);
+    print_report(t, "triangular loop", "static schedule",
+                 detect_load_imbalance(static_times));
+    print_report(t, "triangular loop", "dynamic schedule (fix)",
+                 detect_load_imbalance(dynamic_times));
+  }
+
+  // ---- false sharing (wall-clock A/B on the thread pool) ----
+  {
+    pe::ThreadPool pool;
+    const std::uint64_t iters = 200000;
+    const auto shared = runner.run("false sharing", [&] {
+      pe::do_not_optimize(pe::kernels::false_sharing_counters(pool, iters));
+    });
+    const auto padded = runner.run("padded", [&] {
+      pe::do_not_optimize(pe::kernels::padded_counters(pool, iters));
+    });
+    print_report(t, "counter increment", "shared line vs padded",
+                 detect_false_sharing(shared.typical(), padded.typical()));
+  }
+
+  std::fputs(t.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape (paper): each seeded pattern is DETECTED in the "
+      "broken variant\nand clear after the documented fix. (False sharing "
+      "needs >1 hardware thread to\nmanifest in wall-clock time.)");
+  return 0;
+}

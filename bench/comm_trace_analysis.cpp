@@ -1,0 +1,63 @@
+// Distributed tracing topic (Vampir / Score-P / Scalasca): record a
+// simulated multi-rank run, render the timeline, and compute the
+// wait-state profile that pinpoints the imbalanced rank.
+#include <cstdio>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/common/units.hpp"
+#include "perfeng/sim/comm_trace.hpp"
+
+using pe::sim::TracedNetwork;
+
+namespace {
+
+// A 4-rank, 3-iteration halo-exchange program where rank 2 has 1.6x the
+// work (the seeded imbalance the analysis must find).
+void imbalanced_program(TracedNetwork& net) {
+  const unsigned p = net.network().ranks();
+  const std::size_t halo = 64 * 1024;
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    for (unsigned r = 0; r < p; ++r)
+      net.compute(r, r == 2 ? 1.6e-3 : 1.0e-3);
+    for (unsigned r = 0; r < p; ++r) {
+      if (r + 1 < p) net.send(r, r + 1, halo, 1);
+      if (r > 0) net.send(r, r - 1, halo, 2);
+    }
+    for (unsigned r = 0; r < p; ++r) {
+      if (r > 0) net.recv(r, r - 1, 1);
+      if (r + 1 < p) net.recv(r, r + 1, 2);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Communication trace analysis (Vampir/Scalasca topic) ==\n");
+  TracedNetwork net(4, {1e-5, 1e-9});
+  imbalanced_program(net);
+
+  std::puts("Timeline (rank 2 carries 1.6x the work):");
+  std::fputs(net.timeline(68).c_str(), stdout);
+
+  pe::Table t({"rank", "compute", "send overhead", "recv wait",
+               "late senders", "wait %"});
+  for (const auto& p : net.profile()) {
+    t.add_row({std::to_string(p.rank), pe::format_time(p.compute_seconds),
+               pe::format_time(p.send_seconds),
+               pe::format_time(p.wait_seconds),
+               std::to_string(p.late_senders),
+               pe::format_fixed(p.wait_seconds / p.total() * 100.0, 1)});
+  }
+  std::puts("\nScalasca-style wait-state profile:");
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\ntotal runtime: %s for %zu events\n",
+              pe::format_time(net.finish_time()).c_str(),
+              net.events().size());
+  std::puts(
+      "\nExpected shape: the slow rank (2) shows near-zero wait time while "
+      "its\nneighbours accumulate recv-wait — the late-sender signature "
+      "that fingers the\nimbalanced rank, exactly how Scalasca reports "
+      "it.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Energy-efficiency extension (the paper's future-work topic 2): energy
+// models applied to the matmul optimization ladder — does the faster
+// version also save energy, and where do the joules go?
+#include <cstdio>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/common/units.hpp"
+#include "perfeng/counters/simulated_counters.hpp"
+#include "perfeng/kernels/matmul.hpp"
+#include "perfeng/kernels/traces.hpp"
+#include "perfeng/measure/benchmark_runner.hpp"
+#include "perfeng/models/energy.hpp"
+
+using namespace pe::models;
+
+int main() {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 1;
+  cfg.repetitions = 5;
+  const pe::BenchmarkRunner runner(cfg);
+
+  std::puts("== Energy models over the matmul ladder ==\n");
+  const PowerModel power{10.0, 30.0};  // 10 W idle + 30 W dynamic
+
+  const std::size_t n = 192;
+  pe::kernels::Matrix a(n, n), b(n, n), c(n, n);
+  pe::Rng rng(1);
+  a.randomize(rng);
+  b.randomize(rng);
+  const double flops = pe::kernels::matmul_flops(n, n, n);
+
+  struct Row {
+    const char* name;
+    std::function<void()> kernel;
+    pe::kernels::TraceVariant trace;
+  };
+  const Row rows[] = {
+      {"ijk", [&] { pe::kernels::matmul_naive(a, b, c); },
+       pe::kernels::TraceVariant::kNaiveIjk},
+      {"ikj", [&] { pe::kernels::matmul_interchanged(a, b, c); },
+       pe::kernels::TraceVariant::kInterchangedIkj},
+      {"tiled", [&] { pe::kernels::matmul_tiled(a, b, c, 32); },
+       pe::kernels::TraceVariant::kTiled},
+  };
+
+  pe::Table t({"variant", "time", "power energy (J)", "MFLOP/J", "EDP",
+               "event energy (J, simulated)"});
+  double baseline_seconds = 0.0;
+  auto hierarchy = [] {
+    std::vector<pe::sim::LevelSpec> specs;
+    specs.push_back({pe::sim::CacheConfig{"L1", 2 * 1024, 64, 8}, 4.0});
+    specs.push_back({pe::sim::CacheConfig{"L2", 64 * 1024, 64, 8}, 12.0});
+    return pe::sim::CacheHierarchy(std::move(specs), 200.0);
+  }();
+
+  const EventEnergyModel events;
+  for (const auto& row : rows) {
+    const auto m = runner.run(row.name, row.kernel);
+    if (baseline_seconds == 0.0) baseline_seconds = m.typical();
+    const auto report =
+        report_from_power(power, m.typical(), 1.0, flops);
+
+    // Event attribution from a scaled-down trace (n=48) of the same loop
+    // structure, scaled up by the work ratio.
+    const std::size_t trace_n = 48;
+    const auto counters = pe::counters::collect(hierarchy, [&] {
+      pe::kernels::trace_matmul(hierarchy, trace_n, row.trace, 8);
+    });
+    const double scale = flops / pe::kernels::matmul_flops(
+                                     trace_n, trace_n, trace_n);
+    const double event_joules = events.energy(counters) * scale;
+
+    t.add_row({row.name, pe::format_time(report.seconds),
+               pe::format_fixed(report.joules, 3),
+               pe::format_fixed(report.flops_per_joule() / 1e6, 1),
+               pe::format_sig(report.energy_delay_product(), 3),
+               pe::format_sig(event_joules, 3)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nRace-to-idle: the ikj variant uses %.2fx of the baseline energy "
+      "under the\nutilization-linear power model (faster always wins when "
+      "the machine idles after).\n",
+      race_to_idle_ratio(power, baseline_seconds, 1.0,
+                         baseline_seconds / 2.0, 1.0));
+  std::puts(
+      "\nExpected shape: energy-to-solution tracks runtime under a "
+      "static-dominated\npower model, while event attribution shows the "
+      "naive variant spending its extra\njoules on DRAM traffic.");
+  return 0;
+}

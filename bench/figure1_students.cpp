@@ -1,0 +1,22 @@
+// Regenerates Figure 1 of the paper: students enrolled, passing, and
+// evaluation respondents per course year (DATA-1 / SW-2 equivalent).
+#include <cstdio>
+
+#include "perfeng/course/data.hpp"
+#include "perfeng/course/tables.hpp"
+
+int main() {
+  std::puts("== Figure 1: course enrollment history (paper data) ==\n");
+  std::fputs(pe::course::figure1_table().render().c_str(), stdout);
+  std::puts("");
+  std::fputs(pe::course::figure1_ascii().c_str(), stdout);
+  std::puts("");
+  std::puts("students.csv (DATA-1):");
+  std::fputs(pe::course::students_csv().c_str(), stdout);
+  std::printf(
+      "\nPaper totals: %d enrolled, %d passing, %d evaluation "
+      "respondents; evaluations for 2019 and 2022 unavailable.\n",
+      pe::course::kTotalEnrolled, pe::course::kTotalPassing,
+      pe::course::kTotalRespondents);
+  return 0;
+}

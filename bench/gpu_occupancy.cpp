@@ -1,0 +1,63 @@
+// GPU-side modeling (the course's accelerator half): the occupancy
+// calculator and the latency-hiding bandwidth curve — why "more threads
+// than cores" is the whole point of a GPU.
+#include <cstdio>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/common/units.hpp"
+#include "perfeng/models/gpu.hpp"
+
+using namespace pe::models;
+
+int main() {
+  std::puts("== GPU occupancy and latency hiding ==\n");
+  const GpuSmConfig sm;  // 64 warps, 32 blocks, 64K regs, 96K smem per SM
+  std::printf(
+      "SM: %u warps, %u blocks, %llu regs, %s shared memory\n\n",
+      sm.max_warps, sm.max_blocks,
+      static_cast<unsigned long long>(sm.registers),
+      pe::format_bytes(sm.shared_memory).c_str());
+
+  pe::Table occ_table({"threads/block", "regs/thread", "smem/block",
+                       "blocks/SM", "occupancy %", "limited by"});
+  struct Config {
+    unsigned threads, regs;
+    std::uint64_t smem;
+  };
+  const Config configs[] = {
+      {256, 32, 0},        {256, 64, 0},        {256, 128, 0},
+      {64, 32, 0},         {32, 16, 0},         {128, 32, 32 * 1024},
+      {1024, 64, 48 * 1024},
+  };
+  for (const Config& cfg : configs) {
+    const auto occ = occupancy(sm, {cfg.threads, cfg.regs, cfg.smem});
+    occ_table.add_row({std::to_string(cfg.threads),
+                       std::to_string(cfg.regs),
+                       pe::format_bytes(cfg.smem),
+                       std::to_string(occ.blocks_per_sm),
+                       pe::format_fixed(occ.fraction * 100.0, 1),
+                       occ.limiter});
+  }
+  std::puts("Occupancy calculator (kernel resource sweep):");
+  std::fputs(occ_table.render().c_str(), stdout);
+
+  // Latency hiding: a 900 GB/s part with 500 ns memory latency, 80 SMs.
+  const double peak = 9e11;
+  pe::Table bw({"warps/SM", "achievable bandwidth", "% of peak"});
+  for (unsigned warps : {1u, 4u, 8u, 16u, 32u, 48u, 64u}) {
+    const double achieved =
+        achievable_bandwidth(peak, 80, warps, 5e-7, 128);
+    bw.add_row({std::to_string(warps), pe::format_bandwidth(achieved),
+                pe::format_fixed(achieved / peak * 100.0, 1)});
+  }
+  std::puts("\nLatency hiding (80 SMs, 500 ns latency, 128 B accesses):");
+  std::fputs(bw.render().c_str(), stdout);
+  std::printf("\nwarps/SM needed to saturate the peak: %u\n",
+              warps_to_saturate(peak, 80, 5e-7, 128));
+  std::puts(
+      "\nExpected shape: occupancy collapses under register/smem "
+      "pressure; bandwidth\nscales linearly with resident warps until "
+      "Little's law meets the peak — the\ntwo curves every CUDA "
+      "optimization guide draws.");
+  return 0;
+}

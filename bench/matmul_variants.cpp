@@ -1,0 +1,79 @@
+// Matmul optimization ladder as a google-benchmark binary: naive ijk,
+// interchanged ikj, tiled, and thread-pool-parallel, across sizes. The
+// ladder is the raw material of Assignment 1's Roofline exercise.
+#include <benchmark/benchmark.h>
+
+#include "perfeng/kernels/matmul.hpp"
+
+namespace {
+
+struct Operands {
+  explicit Operands(std::size_t n) : a(n, n), b(n, n), c(n, n) {
+    pe::Rng rng(n);
+    a.randomize(rng);
+    b.randomize(rng);
+  }
+  pe::kernels::Matrix a, b, c;
+};
+
+void set_flops(benchmark::State& state, std::size_t n) {
+  state.counters["FLOPS"] = benchmark::Counter(
+      pe::kernels::matmul_flops(n, n, n) * double(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void bm_matmul_naive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Operands op(n);
+  for (auto _ : state) {
+    pe::kernels::matmul_naive(op.a, op.b, op.c);
+    benchmark::DoNotOptimize(op.c.data());
+  }
+  set_flops(state, n);
+}
+
+void bm_matmul_interchanged(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Operands op(n);
+  for (auto _ : state) {
+    pe::kernels::matmul_interchanged(op.a, op.b, op.c);
+    benchmark::DoNotOptimize(op.c.data());
+  }
+  set_flops(state, n);
+}
+
+void bm_matmul_tiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Operands op(n);
+  for (auto _ : state) {
+    pe::kernels::matmul_tiled(op.a, op.b, op.c, 64);
+    benchmark::DoNotOptimize(op.c.data());
+  }
+  set_flops(state, n);
+}
+
+void bm_matmul_parallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Operands op(n);
+  pe::ThreadPool pool;
+  for (auto _ : state) {
+    pe::kernels::matmul_parallel(op.a, op.b, op.c, pool, 64);
+    benchmark::DoNotOptimize(op.c.data());
+  }
+  set_flops(state, n);
+}
+
+BENCHMARK(bm_matmul_naive)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_matmul_interchanged)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_matmul_tiled)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_matmul_parallel)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

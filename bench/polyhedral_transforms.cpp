@@ -1,0 +1,91 @@
+// Polyhedral-model topic: dependence analysis and transformation
+// legality for the course's canonical loop nests — the table the
+// lecture's blackboard derivation produces, computed.
+#include <cstdio>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/poly/dependence.hpp"
+
+using namespace pe::poly;
+
+namespace {
+
+std::string vec_to_string(const std::vector<long>& v) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(v[i]);
+  }
+  return s + ")";
+}
+
+std::string dir_to_string(const std::vector<int>& v) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) s += ",";
+    s += v[i] > 0 ? "+" : (v[i] < 0 ? "-" : "0");
+  }
+  return s + ")";
+}
+
+void print_nest(const char* name, const LoopNest& nest) {
+  std::printf("--- %s ---\n", name);
+  pe::Table deps({"array", "kind", "direction", "min distance",
+                  "uniform"});
+  for (const Dependence& d : nest.analyze()) {
+    deps.add_row({d.array, dep_kind_name(d.kind), dir_to_string(d.direction),
+                  vec_to_string(d.distance), d.uniform ? "yes" : "no"});
+  }
+  if (deps.rows() == 0) {
+    std::puts("no dependences (fully parallel nest)");
+  } else {
+    std::fputs(deps.render().c_str(), stdout);
+  }
+  std::printf("tilable as written: %s\n\n",
+              nest.tilable() ? "yes" : "no");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Polyhedral-lite: dependences and legal transformations "
+            "==\n");
+  print_nest("matmul (i,j,k)", LoopNest::matmul(4));
+  print_nest("jacobi-2d (separate in/out)", LoopNest::jacobi2d(6));
+  print_nest("seidel-2d (in-place, 9-point)", LoopNest::seidel2d(6));
+
+  const LoopNest matmul = LoopNest::matmul(4);
+  pe::Table perms({"matmul permutation", "legal"});
+  const std::vector<std::vector<std::size_t>> orders = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  const char* names[] = {"ijk", "ikj", "jik", "jki", "kij", "kji"};
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    perms.add_row({names[i],
+                   matmul.interchange_legal(orders[i]) ? "yes" : "no"});
+  }
+  std::fputs(perms.render().c_str(), stdout);
+
+  const LoopNest seidel = LoopNest::seidel2d(6);
+  std::puts("\nseidel-2d transformations:");
+  pe::Table transforms({"transform", "legal", "makes tilable"});
+  const std::vector<std::pair<const char*, std::vector<std::vector<long>>>>
+      candidates = {
+          {"identity", {{1, 0}, {0, 1}}},
+          {"interchange (j,i)", {{0, 1}, {1, 0}}},
+          {"skew (i, i+j)", {{1, 0}, {1, 1}}},
+          {"reverse outer", {{-1, 0}, {0, 1}}},
+      };
+  for (const auto& [name, t] : candidates) {
+    const bool legal = seidel.transform_legal(t);
+    transforms.add_row({name, legal ? "yes" : "no",
+                        legal && seidel.transform_makes_tilable(t)
+                            ? "yes"
+                            : "no"});
+  }
+  std::fputs(transforms.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape: matmul is fully permutable (all six orders "
+      "legal); jacobi is\ndependence-free; seidel needs the classic skew "
+      "before it can be tiled.");
+  return 0;
+}

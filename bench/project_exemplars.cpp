@@ -1,0 +1,101 @@
+// The recurring student projects (Section 5.1): 2D stencil optimization,
+// Game of Life, and graph processing — each as a measured
+// baseline-vs-optimized pair, the shape every project report contains.
+#include <cstdio>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/common/units.hpp"
+#include "perfeng/kernels/graph.hpp"
+#include "perfeng/measure/timer.hpp"
+#include "perfeng/kernels/life.hpp"
+#include "perfeng/kernels/stencil.hpp"
+#include "perfeng/measure/benchmark_runner.hpp"
+
+int main() {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 1;
+  cfg.repetitions = 5;
+  cfg.min_batch_seconds = 2e-3;
+  const pe::BenchmarkRunner runner(cfg);
+
+  std::puts("== Project exemplars: the recurring student projects ==\n");
+  pe::Table t({"project", "variant", "median time", "speedup"});
+
+  // ---- 2D stencil (most popular project) ----
+  {
+    const std::size_t rows = 768, cols = 768;
+    pe::kernels::Grid2D in(rows, cols, 1.0), out(rows, cols);
+    pe::ThreadPool pool;
+    const auto naive = runner.run("stencil naive", [&] {
+      pe::kernels::stencil_step_naive(in, out);
+    });
+    const auto blocked = runner.run("stencil blocked", [&] {
+      pe::kernels::stencil_step_blocked(in, out, 64);
+    });
+    const auto parallel = runner.run("stencil parallel", [&] {
+      pe::kernels::stencil_step_parallel(in, out, pool);
+    });
+    t.add_row({"2D stencil", "naive sweep",
+               pe::format_time(naive.typical()), "1.00"});
+    t.add_row({"2D stencil", "cache blocked",
+               pe::format_time(blocked.typical()),
+               pe::format_fixed(naive.typical() / blocked.typical(), 2)});
+    t.add_row({"2D stencil", "thread parallel",
+               pe::format_time(parallel.typical()),
+               pe::format_fixed(naive.typical() / parallel.typical(), 2)});
+  }
+
+  // ---- Game of Life (second most popular) ----
+  {
+    pe::Rng rng(42);
+    pe::kernels::LifeGrid byte_grid(256, 256);
+    byte_grid.randomize(0.35, rng);
+    pe::kernels::LifeGridPacked packed(byte_grid);
+
+    const auto byte_time = runner.run("life byte", [&] {
+      pe::do_not_optimize(byte_grid.step().population());
+    });
+    const auto packed_time = runner.run("life packed", [&] {
+      pe::do_not_optimize(packed.step().population());
+    });
+    t.add_row({"Game of Life", "byte per cell",
+               pe::format_time(byte_time.typical()), "1.00"});
+    t.add_row({"Game of Life", "bit-packed (64 cells/word)",
+               pe::format_time(packed_time.typical()),
+               pe::format_fixed(
+                   byte_time.typical() / packed_time.typical(), 2)});
+  }
+
+  // ---- graph processing (third) ----
+  {
+    pe::Rng rng(7);
+    const auto g = pe::kernels::generate_powerlaw_graph(20000, 200000, 1.0,
+                                                        rng);
+    pe::ThreadPool pool;
+    const auto serial = runner.run("pagerank serial", [&] {
+      pe::do_not_optimize(pe::kernels::pagerank(g, 0.85, 1e-6, 20));
+    });
+    const auto parallel = runner.run("pagerank parallel", [&] {
+      pe::do_not_optimize(
+          pe::kernels::pagerank_parallel(g, pool, 0.85, 1e-6, 20));
+    });
+    const auto bfs_time = runner.run("bfs", [&] {
+      pe::do_not_optimize(pe::kernels::bfs(g, 0));
+    });
+    t.add_row({"graph processing", "PageRank serial",
+               pe::format_time(serial.typical()), "1.00"});
+    t.add_row({"graph processing", "PageRank parallel",
+               pe::format_time(parallel.typical()),
+               pe::format_fixed(serial.typical() / parallel.typical(), 2)});
+    t.add_row({"graph processing", "BFS",
+               pe::format_time(bfs_time.typical()), "-"});
+  }
+
+  std::fputs(t.render().c_str(), stdout);
+  std::puts(
+      "\nExpected shape (paper): the bit-packed Life engine wins by an "
+      "order of\nmagnitude from data layout alone; blocking helps the "
+      "stencil once the grid\noutgrows cache; parallel speedups track the "
+      "available hardware threads.");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// SpMV storage-format comparison (Assignment 3's measured substrate):
+// CSR vs CSC vs COO across the three sparsity structures.
+#include <benchmark/benchmark.h>
+
+#include "perfeng/kernels/sparse.hpp"
+
+namespace {
+
+using pe::kernels::SparsityPattern;
+
+struct Problem {
+  Problem(std::size_t n, double density, SparsityPattern pattern) {
+    pe::Rng rng(n);
+    coo = pe::kernels::generate_sparse(n, n, density, pattern, rng);
+    csr = pe::kernels::coo_to_csr(coo);
+    csc = pe::kernels::coo_to_csc(coo);
+    ell = pe::kernels::csr_to_ell(csr);
+    x.assign(n, 1.0);
+    y.assign(n, 0.0);
+  }
+  pe::kernels::CooMatrix coo;
+  pe::kernels::CsrMatrix csr;
+  pe::kernels::CscMatrix csc;
+  pe::kernels::EllMatrix ell;
+  std::vector<double> x, y;
+};
+
+SparsityPattern pattern_of(int64_t arg) {
+  switch (arg) {
+    case 0: return SparsityPattern::kUniform;
+    case 1: return SparsityPattern::kBanded;
+    default: return SparsityPattern::kPowerLaw;
+  }
+}
+
+void set_label(benchmark::State& state, const Problem& p) {
+  state.SetLabel(pe::kernels::pattern_name(pattern_of(state.range(1))) +
+                 " nnz=" + std::to_string(p.csr.nnz()));
+  state.counters["nnz/s"] = benchmark::Counter(
+      double(p.csr.nnz()) * double(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void bm_spmv_csr(benchmark::State& state) {
+  Problem p(static_cast<std::size_t>(state.range(0)), 0.005,
+            pattern_of(state.range(1)));
+  for (auto _ : state) {
+    pe::kernels::spmv_csr(p.csr, p.x, p.y);
+    benchmark::DoNotOptimize(p.y.data());
+  }
+  set_label(state, p);
+}
+
+void bm_spmv_csc(benchmark::State& state) {
+  Problem p(static_cast<std::size_t>(state.range(0)), 0.005,
+            pattern_of(state.range(1)));
+  for (auto _ : state) {
+    pe::kernels::spmv_csc(p.csc, p.x, p.y);
+    benchmark::DoNotOptimize(p.y.data());
+  }
+  set_label(state, p);
+}
+
+void bm_spmv_coo(benchmark::State& state) {
+  Problem p(static_cast<std::size_t>(state.range(0)), 0.005,
+            pattern_of(state.range(1)));
+  for (auto _ : state) {
+    pe::kernels::spmv_coo(p.coo, p.x, p.y);
+    benchmark::DoNotOptimize(p.y.data());
+  }
+  set_label(state, p);
+}
+
+void bm_spmv_ell(benchmark::State& state) {
+  Problem p(static_cast<std::size_t>(state.range(0)), 0.005,
+            pattern_of(state.range(1)));
+  for (auto _ : state) {
+    pe::kernels::spmv_ell(p.ell, p.x, p.y);
+    benchmark::DoNotOptimize(p.y.data());
+  }
+  set_label(state, p);
+  state.counters["padding"] = p.ell.padding_ratio();
+}
+
+void all_args(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {2000, 8000})
+    for (int64_t pattern : {0, 1, 2}) b->Args({n, pattern});
+}
+
+BENCHMARK(bm_spmv_csr)->Apply(all_args);
+BENCHMARK(bm_spmv_csc)->Apply(all_args);
+BENCHMARK(bm_spmv_coo)->Apply(all_args);
+BENCHMARK(bm_spmv_ell)->Apply(all_args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// STREAM microbenchmark suite (McCalpin) as a google-benchmark binary:
+// sustainable memory bandwidth across the four kernels and a working-set
+// sweep that exposes the cache hierarchy.
+#include <benchmark/benchmark.h>
+
+#include "perfeng/common/aligned_buffer.hpp"
+#include "perfeng/measure/timer.hpp"
+
+namespace {
+
+void copy_kernel(const double* a, double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) b[i] = a[i];
+}
+void scale_kernel(const double* a, double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) b[i] = 3.0 * a[i];
+}
+void add_kernel(const double* a, const double* b, double* c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+}
+void triad_kernel(const double* a, const double* b, double* c,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + 3.0 * b[i];
+}
+
+struct Buffers {
+  explicit Buffers(std::size_t n) : a(n), b(n), c(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = 1.0;
+      b[i] = 2.0;
+    }
+  }
+  pe::AlignedBuffer<double> a, b, c;
+};
+
+void bm_copy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Buffers buf(n);
+  for (auto _ : state) {
+    copy_kernel(buf.a.data(), buf.b.data(), n);
+    pe::do_not_optimize(buf.b[0]);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 16);
+}
+
+void bm_scale(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Buffers buf(n);
+  for (auto _ : state) {
+    scale_kernel(buf.a.data(), buf.b.data(), n);
+    pe::do_not_optimize(buf.b[0]);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 16);
+}
+
+void bm_add(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Buffers buf(n);
+  for (auto _ : state) {
+    add_kernel(buf.a.data(), buf.b.data(), buf.c.data(), n);
+    pe::do_not_optimize(buf.c[0]);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 24);
+}
+
+void bm_triad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Buffers buf(n);
+  for (auto _ : state) {
+    triad_kernel(buf.a.data(), buf.b.data(), buf.c.data(), n);
+    pe::do_not_optimize(buf.c[0]);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * 24);
+}
+
+// Working-set sweep from L1-resident (4 K doubles) to DRAM (4 M doubles).
+BENCHMARK(bm_copy)->RangeMultiplier(8)->Range(1 << 12, 1 << 22);
+BENCHMARK(bm_scale)->RangeMultiplier(8)->Range(1 << 12, 1 << 22);
+BENCHMARK(bm_add)->RangeMultiplier(8)->Range(1 << 12, 1 << 22);
+BENCHMARK(bm_triad)->RangeMultiplier(8)->Range(1 << 12, 1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

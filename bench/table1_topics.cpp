@@ -1,0 +1,17 @@
+// Regenerates Table 1 of the paper: course topics against the stages of
+// the performance-engineering process (S1-S7) and the learning
+// objectives (O1-O8).
+#include <cstdio>
+
+#include "perfeng/course/tables.hpp"
+
+int main() {
+  std::puts(
+      "== Table 1: topics x process stages (S) x learning objectives (O) "
+      "==\n");
+  std::fputs(pe::course::table1().render().c_str(), stdout);
+  std::puts(
+      "\nStages: 1 requirements, 2 understand, 3 feasibility, 4 "
+      "approaches,\n        5 tuning, 6 iterate, 7 document.");
+  return 0;
+}

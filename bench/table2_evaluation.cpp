@@ -1,0 +1,21 @@
+// Regenerates Table 2 of the paper: aggregated student evaluation
+// responses (DATA-2 / SW-3 equivalent). The M column is recomputed from
+// the embedded histograms and printed beside the paper's value.
+#include <cstdio>
+
+#include "perfeng/course/data.hpp"
+#include "perfeng/course/tables.hpp"
+
+int main() {
+  std::puts(
+      "== Table 2a: agreement-scale evaluation responses "
+      "(1=firmly disagree .. 5=firmly agree) ==\n");
+  std::fputs(pe::course::table2a().render().c_str(), stdout);
+  std::puts(
+      "\n== Table 2b: level-scale responses (1=very low .. 5=very high; "
+      "3-4 considered optimal) ==\n");
+  std::fputs(pe::course::table2b().render().c_str(), stdout);
+  std::puts("\nmetrics.csv (DATA-2):");
+  std::fputs(pe::course::metrics_csv().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// life_optimizer: a miniature "student project" — take Game of Life,
+// measure the byte-per-cell baseline, switch to the bit-packed engine,
+// verify equivalence, and explain the win with arithmetic-intensity
+// arguments (the project-report storyline from Section 5.1).
+//
+//   $ ./life_optimizer [generations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "perfeng/common/units.hpp"
+#include "perfeng/kernels/life.hpp"
+#include "perfeng/measure/benchmark_runner.hpp"
+#include "perfeng/measure/metrics.hpp"
+
+int main(int argc, char** argv) {
+  const int generations = argc > 1 ? std::atoi(argv[1]) : 16;
+  if (generations < 1 || generations > 10000) {
+    std::fprintf(stderr, "usage: %s [generations in 1..10000]\n", argv[0]);
+    return 1;
+  }
+
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 1;
+  cfg.repetitions = 5;
+  const pe::BenchmarkRunner runner(cfg);
+
+  const std::size_t rows = 512, cols = 512;
+  pe::Rng rng(2017);
+  pe::kernels::LifeGrid start(rows, cols);
+  start.randomize(0.35, rng);
+
+  // Milestone 1-2: baseline and plan (switch data layout).
+  auto byte_state = start;
+  const auto byte_time = runner.run("byte engine", [&] {
+    byte_state = byte_state.step();
+  });
+
+  pe::kernels::LifeGridPacked packed_state(start);
+  const auto packed_time = runner.run("bit-packed engine", [&] {
+    packed_state = packed_state.step();
+  });
+
+  // Milestone 3: verify the optimization is an optimization, not a bug.
+  pe::kernels::LifeGrid check = start;
+  pe::kernels::LifeGridPacked packed_check(start);
+  for (int g = 0; g < generations; ++g) {
+    check = check.step();
+    packed_check = packed_check.step();
+  }
+  const bool equivalent = packed_check.unpack() == check;
+
+  const double cells = double(rows) * double(cols);
+  std::printf("universe: %zux%zu, %d generations verified\n", rows, cols,
+              generations);
+  std::printf("byte engine:   %s/gen (%.0f Mcells/s)\n",
+              pe::format_time(byte_time.typical()).c_str(),
+              cells / byte_time.typical() / 1e6);
+  std::printf("packed engine: %s/gen (%.0f Mcells/s)\n",
+              pe::format_time(packed_time.typical()).c_str(),
+              cells / packed_time.typical() / 1e6);
+  std::printf("speedup: %.1fx, engines %s\n",
+              pe::speedup(byte_time.typical(), packed_time.typical()),
+              equivalent ? "agree exactly" : "DISAGREE (bug!)");
+  std::puts(
+      "\nwhy: the packed engine reads 1 bit/cell instead of >= 9 bytes "
+      "of neighbours,\nraising arithmetic intensity by ~64x and computing "
+      "64 cells per word-op.");
+  return equivalent ? 0 : 1;
+}

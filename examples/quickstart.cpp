@@ -1,0 +1,48 @@
+// Quickstart: measure a kernel, characterize the machine, and place the
+// kernel on a Roofline — the toolbox's three core moves in ~40 lines.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "perfeng/common/units.hpp"
+#include "perfeng/kernels/stencil.hpp"
+#include "perfeng/measure/benchmark_runner.hpp"
+#include "perfeng/microbench/machine_probe.hpp"
+#include "perfeng/models/roofline.hpp"
+
+int main() {
+  // 1. A measurement design: warmups, repetitions, minimum batch time.
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 2;
+  cfg.repetitions = 7;
+  const pe::BenchmarkRunner runner(cfg);
+
+  // 2. Measure a kernel (one 512x512 Jacobi sweep).
+  pe::kernels::Grid2D grid(512, 512, 1.0), out(512, 512);
+  const pe::Measurement m = runner.run("jacobi-512", [&] {
+    pe::kernels::stencil_step_naive(grid, out);
+  });
+  std::printf("measured: %s median (+/- %s 95%% CI over %d reps)\n",
+              pe::format_time(m.typical()).c_str(),
+              pe::format_time(m.summary.ci95_half).c_str(),
+              int(m.seconds.size()));
+
+  // 3. Characterize this machine with microbenchmarks.
+  const auto machine_info = pe::microbench::probe_machine(runner);
+  std::printf("machine:  %s\n", machine_info.summary().c_str());
+
+  // 4. Place the kernel on the machine's Roofline.
+  const pe::models::RooflineModel roofline(machine_info.peak_flops,
+                                           machine_info.memory_bandwidth);
+  const pe::models::KernelCharacterization kernel{
+      "jacobi-512", pe::kernels::stencil_flops(512, 512),
+      /*bytes=*/512.0 * 512.0 * sizeof(double) * 2.0};
+  const auto placement =
+      pe::models::place_kernel(roofline, kernel, m.typical());
+  std::printf(
+      "roofline: %s-bound at %.2f FLOP/B, achieving %.1f%% of the "
+      "attainable rate\n",
+      placement.bound == pe::models::Bound::kMemory ? "memory" : "compute",
+      kernel.intensity(), placement.efficiency * 100.0);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// spmv_predictor: the Assignment 3 workflow as a tool — train a runtime
+// predictor for CSR SpMV on synthetic matrices, then predict (and check)
+// a configuration the model never saw.
+//
+//   $ ./spmv_predictor
+#include <cstdio>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/common/units.hpp"
+#include "perfeng/kernels/sparse.hpp"
+#include "perfeng/measure/benchmark_runner.hpp"
+#include "perfeng/statmodel/linear.hpp"
+#include "perfeng/statmodel/tree.hpp"
+#include "perfeng/statmodel/validation.hpp"
+
+using pe::kernels::SparsityPattern;
+
+namespace {
+
+double measure_spmv(const pe::kernels::CsrMatrix& csr,
+                    const pe::BenchmarkRunner& runner) {
+  std::vector<double> x(csr.cols, 1.0), y(csr.rows);
+  return runner.run("spmv", [&] { pe::kernels::spmv_csr(csr, x, y); })
+      .typical();
+}
+
+}  // namespace
+
+int main() {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 1;
+  cfg.repetitions = 3;
+  const pe::BenchmarkRunner runner(cfg);
+  pe::Rng rng(99);
+
+  std::puts("collecting training data (27 configurations)...");
+  pe::statmodel::Dataset data(pe::kernels::sparse_feature_names());
+  for (const auto pattern :
+       {SparsityPattern::kUniform, SparsityPattern::kBanded,
+        SparsityPattern::kPowerLaw}) {
+    for (std::size_t n : {400u, 900u, 1600u}) {
+      for (double density : {0.004, 0.01, 0.025}) {
+        const auto csr = pe::kernels::coo_to_csr(
+            pe::kernels::generate_sparse(n, n, density, pattern, rng));
+        data.add_row(pe::kernels::sparse_features(csr),
+                     measure_spmv(csr, runner));
+      }
+    }
+  }
+
+  data.shuffle(rng);
+  pe::statmodel::RandomForestRegressor forest(64);
+  const auto cv = pe::statmodel::cross_validate(
+      [] { return std::make_unique<pe::statmodel::RandomForestRegressor>(64); },
+      data, 5);
+  std::printf("5-fold CV of the forest: MAPE %.1f%%, R^2 %.3f\n",
+              cv.mape * 100.0, cv.r2);
+  forest.fit(data);
+
+  std::puts("\npredicting an unseen configuration (1200x1200 banded, "
+            "density 0.015):");
+  const auto unseen = pe::kernels::coo_to_csr(pe::kernels::generate_sparse(
+      1200, 1200, 0.015, SparsityPattern::kBanded, rng));
+  const double predicted =
+      forest.predict(pe::kernels::sparse_features(unseen));
+  const double actual = measure_spmv(unseen, runner);
+  std::printf("  predicted %s, measured %s (error %.1f%%)\n",
+              pe::format_time(predicted).c_str(),
+              pe::format_time(actual).c_str(),
+              std::abs(predicted - actual) / actual * 100.0);
+  return 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV reading/writing used for experiment data exchange.
+///
+/// The course's data artifacts (DATA-1 `students.csv`, DATA-2 `metrics.csv`)
+/// and the statistical-modeling assignment both move tabular data through
+/// CSV files; this parser handles quoted fields, embedded commas/quotes and
+/// CRLF line endings — enough for every artifact in the repository.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pe {
+
+/// Parsed CSV document: a header row plus data rows of strings.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column by name; throws pe::Error if absent.
+  [[nodiscard]] std::size_t column(std::string_view name) const;
+};
+
+/// Parse CSV text (first row is the header). Throws pe::Error on ragged rows
+/// or unterminated quotes.
+[[nodiscard]] CsvDocument parse_csv(std::string_view text);
+
+/// Parse a single CSV record (no trailing newline handling).
+[[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Read and parse a CSV file from disk. Throws pe::Error on IO failure.
+[[nodiscard]] CsvDocument read_csv_file(const std::string& path);
+
+/// Serialize rows as CSV with proper quoting.
+[[nodiscard]] std::string write_csv(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace pe

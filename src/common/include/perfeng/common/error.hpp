@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling primitives for the PerfEng toolbox.
+///
+/// The library throws `pe::Error` (a `std::runtime_error` subclass) for
+/// recoverable misuse (bad arguments, malformed input files) and uses
+/// `PE_REQUIRE` for precondition checks on public entry points. Internal
+/// invariants use `PE_ASSERT`, which compiles to nothing in release builds
+/// with `PERFENG_NO_ASSERT` defined.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pe {
+
+/// Exception type thrown by all PerfEng components on recoverable errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(std::string_view where, std::string_view cond,
+                               std::string_view msg) {
+  std::string s;
+  s.reserve(where.size() + cond.size() + msg.size() + 16);
+  s.append(where).append(": requirement `").append(cond).append("` failed");
+  if (!msg.empty()) s.append(": ").append(msg);
+  throw Error(s);
+}
+}  // namespace detail
+
+}  // namespace pe
+
+/// Check a precondition on a public API entry point; throws pe::Error.
+#define PE_REQUIRE(cond, msg)                                 \
+  do {                                                        \
+    if (!(cond)) ::pe::detail::raise(__func__, #cond, (msg)); \
+  } while (0)
+
+/// Internal invariant check; same behaviour as PE_REQUIRE unless disabled.
+#ifdef PERFENG_NO_ASSERT
+#define PE_ASSERT(cond, msg) ((void)0)
+#else
+#define PE_ASSERT(cond, msg) PE_REQUIRE(cond, msg)
+#endif

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table rendering for benchmark and report output.
+///
+/// The course insists that performance data is *communicated*, not just
+/// collected; every bench binary in this repository prints its results as a
+/// table whose rows mirror the corresponding table/figure in the paper.
+
+#include <string>
+#include <vector>
+
+namespace pe {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, append rows, render to a string.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> headers);
+
+  /// Replace the header row. Column count is fixed by the header.
+  void set_headers(std::vector<std::string> headers);
+
+  /// Set per-column alignment; default is left for col 0, right otherwise.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Append a data row; must match the header width (throws otherwise).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format cells with to_string-like conversion.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Render with unicode-free box drawing, suitable for terminals and logs.
+  [[nodiscard]] std::string render() const;
+
+  /// Render as comma-separated values (headers + rows).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(std::string_view s) { return std::string(s); }
+  static std::string to_cell(double v);
+  static std::string to_cell(float v) { return to_cell(double(v)); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant digits (used across reports).
+std::string format_sig(double v, int digits = 4);
+
+/// Format a double with fixed `decimals` digits after the point.
+std::string format_fixed(double v, int decimals = 2);
+
+}  // namespace pe

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file units.hpp
+/// Human-readable formatting of performance quantities.
+///
+/// Correctly *communicating* performance numbers (GFLOP/s vs GiB vs GB,
+/// seconds vs cycles) is a stated learning objective; these helpers give one
+/// consistent spelling for the whole toolbox.
+
+#include <cstdint>
+#include <string>
+
+namespace pe {
+
+/// Format a time in seconds with an auto-scaled unit (ns/us/ms/s).
+[[nodiscard]] std::string format_time(double seconds);
+
+/// Format a byte count with binary prefixes (KiB/MiB/GiB).
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// Format a rate in bytes/second with decimal prefixes (kB/s, MB/s, GB/s).
+[[nodiscard]] std::string format_bandwidth(double bytes_per_second);
+
+/// Format a rate in FLOP/second with decimal prefixes (MFLOP/s, GFLOP/s, ...).
+[[nodiscard]] std::string format_flops(double flops_per_second);
+
+/// Format a dimensionless count with decimal prefixes (k, M, G).
+[[nodiscard]] std::string format_count(double count);
+
+}  // namespace pe

@@ -1,0 +1,133 @@
+#include "perfeng/common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe {
+
+std::size_t CsvDocument::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw Error("csv: no column named '" + std::string(name) + "'");
+}
+
+namespace {
+
+// State machine over the whole text so quoted fields may contain newlines.
+CsvDocument parse_all(std::string_view text) {
+  CsvDocument doc;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_data = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_record = [&] {
+    end_field();
+    if (doc.header.empty()) {
+      doc.header = std::move(record);
+    } else {
+      doc.rows.push_back(std::move(record));
+    }
+    record.clear();
+    row_has_data = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_data = true;
+        break;
+      case ',':
+        end_field();
+        row_has_data = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_has_data || !field.empty() || !record.empty()) end_record();
+        break;
+      default:
+        field += c;
+        row_has_data = true;
+        break;
+    }
+  }
+  if (in_quotes) throw Error("csv: unterminated quoted field");
+  if (row_has_data || !field.empty() || !record.empty()) end_record();
+
+  for (const auto& row : doc.rows) {
+    if (row.size() != doc.header.size()) {
+      throw Error("csv: ragged row (got " + std::to_string(row.size()) +
+                  " fields, header has " + std::to_string(doc.header.size()) +
+                  ")");
+    }
+  }
+  return doc;
+}
+
+}  // namespace
+
+CsvDocument parse_csv(std::string_view text) { return parse_all(text); }
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  CsvDocument doc = parse_all(line);
+  return doc.header;  // single record parses as the header
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("csv: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_csv(ss.str());
+}
+
+std::string write_csv(const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows) {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    return q + "\"";
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += quote(row[i]);
+    }
+    out += '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) throw Error("csv: ragged row on write");
+    emit(row);
+  }
+  return out;
+}
+
+}  // namespace pe

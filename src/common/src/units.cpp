@@ -1,0 +1,77 @@
+#include "perfeng/common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace pe {
+
+namespace {
+
+std::string with_unit(double value, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g %s", value, unit);
+  return buf;
+}
+
+struct Scaled {
+  double value;
+  const char* prefix;
+};
+
+Scaled decimal_scale(double v) {
+  static constexpr std::array<const char*, 7> prefixes = {"",  "k", "M", "G",
+                                                          "T", "P", "E"};
+  std::size_t idx = 0;
+  double value = v;
+  while (std::abs(value) >= 1000.0 && idx + 1 < prefixes.size()) {
+    value /= 1000.0;
+    ++idx;
+  }
+  return {value, prefixes[idx]};
+}
+
+}  // namespace
+
+std::string format_time(double seconds) {
+  const double abs = std::abs(seconds);
+  if (abs == 0.0) return "0 s";
+  if (abs < 1e-6) return with_unit(seconds * 1e9, "ns");
+  if (abs < 1e-3) return with_unit(seconds * 1e6, "us");
+  if (abs < 1.0) return with_unit(seconds * 1e3, "ms");
+  return with_unit(seconds, "s");
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> units = {"B", "KiB", "MiB",
+                                                       "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < units.size()) {
+    value /= 1024.0;
+    ++idx;
+  }
+  return with_unit(value, units[idx]);
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  const Scaled s = decimal_scale(bytes_per_second);
+  return with_unit(s.value, (std::string(s.prefix) + "B/s").c_str());
+}
+
+std::string format_flops(double flops_per_second) {
+  const Scaled s = decimal_scale(flops_per_second);
+  return with_unit(s.value, (std::string(s.prefix) + "FLOP/s").c_str());
+}
+
+std::string format_count(double count) {
+  const Scaled s = decimal_scale(count);
+  if (s.prefix[0] == '\0') {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3g", s.value);
+    return buf;
+  }
+  return with_unit(s.value, s.prefix);
+}
+
+}  // namespace pe

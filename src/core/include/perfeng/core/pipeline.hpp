@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// The seven-stage performance-engineering process as an executable object —
+/// the paper's primary contribution, turned into an API.
+///
+/// Section 2.3 of the paper defines the process:
+///   1. collect performance requirements;
+///   2. understand current performance;
+///   3. assess feasibility of the requirements;
+///   4. assess suitable approaches;
+///   5. apply tuning and optimization;
+///   6. assess progress and iterate (3-5);
+///   7. analyse and document.
+///
+/// `Pipeline` drives those stages for one kernel: the user states a
+/// requirement (target speedup), registers a baseline and candidate
+/// optimization variants, and provides the kernel's operational
+/// characterization. The pipeline measures everything (stage 2), bounds
+/// the attainable speedup with the Roofline model (stage 3), ranks the
+/// variants (stages 4-6), and renders a report (stage 7).
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perfeng/measure/benchmark_runner.hpp"
+#include "perfeng/models/roofline.hpp"
+
+namespace pe::core {
+
+/// Stage 1: the performance requirement.
+struct Requirement {
+  std::string description;
+  double target_speedup = 1.0;  ///< versus the baseline
+};
+
+/// A candidate implementation of the kernel under study.
+struct Variant {
+  std::string name;
+  std::string optimization;          ///< what was changed and why
+  std::function<void()> kernel;      ///< one invocation of this variant
+};
+
+/// Assessment of one variant after measurement.
+struct VariantOutcome {
+  std::string name;
+  std::string optimization;
+  Measurement measurement;
+  double speedup = 1.0;            ///< vs baseline (median times)
+  double roofline_efficiency = 0;  ///< measured/attainable FLOP/s
+  bool meets_requirement = false;
+};
+
+/// Feasibility verdict (stage 3).
+struct Feasibility {
+  double max_model_speedup = 0.0;  ///< roofline bound / baseline
+  bool target_feasible = false;
+  std::string rationale;
+};
+
+/// Full pipeline result (stage 7's raw material).
+struct PipelineReport {
+  Requirement requirement;
+  models::RooflinePlacement baseline_placement;
+  Feasibility feasibility;
+  std::vector<VariantOutcome> variants;  ///< baseline first, then others
+  std::string best_variant;
+  double best_speedup = 1.0;
+
+  /// Render the report as human-readable text (stage 7).
+  [[nodiscard]] std::string render() const;
+};
+
+/// Drives the seven-stage process for one kernel.
+class Pipeline {
+ public:
+  /// `machine` provides the ceilings used for the feasibility assessment.
+  Pipeline(models::RooflineModel machine, BenchmarkRunner runner);
+
+  /// Stage 1: state the requirement.
+  void set_requirement(Requirement requirement);
+
+  /// Stage 2 input: the baseline implementation and its characterization
+  /// (FLOPs and bytes per invocation; shared by all variants).
+  void set_baseline(Variant baseline,
+                    models::KernelCharacterization characterization);
+
+  /// Stage 5 input: register an optimization candidate.
+  void add_variant(Variant variant);
+
+  /// Optional: variants may change the kernel's traffic (e.g. tiling);
+  /// supply a per-variant characterization override.
+  void add_variant(Variant variant,
+                   models::KernelCharacterization characterization);
+
+  /// Stages 2-6: measure baseline and variants, assess feasibility and
+  /// progress. Throws pe::Error unless a requirement and baseline are set.
+  [[nodiscard]] PipelineReport run();
+
+ private:
+  struct Candidate {
+    Variant variant;
+    std::optional<models::KernelCharacterization> characterization;
+  };
+
+  models::RooflineModel machine_;
+  BenchmarkRunner runner_;
+  std::optional<Requirement> requirement_;
+  std::optional<Candidate> baseline_;
+  models::KernelCharacterization base_char_;
+  std::vector<Candidate> variants_;
+};
+
+}  // namespace pe::core

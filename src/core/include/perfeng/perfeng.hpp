@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file perfeng.hpp
+/// Umbrella header: the whole performance-engineering toolbox with one
+/// include. Each area remains individually includable (and faster to
+/// compile) via its own header; this exists for quick experiments and
+/// student projects.
+
+// common
+#include "perfeng/common/aligned_buffer.hpp"
+#include "perfeng/common/csv.hpp"
+#include "perfeng/common/error.hpp"
+#include "perfeng/common/rng.hpp"
+#include "perfeng/common/table.hpp"
+#include "perfeng/common/units.hpp"
+
+// parallel substrate
+#include "perfeng/parallel/parallel_for.hpp"
+#include "perfeng/parallel/thread_pool.hpp"
+
+// measurement
+#include "perfeng/measure/benchmark_runner.hpp"
+#include "perfeng/measure/experiment.hpp"
+#include "perfeng/measure/metrics.hpp"
+#include "perfeng/measure/statistics.hpp"
+#include "perfeng/measure/timer.hpp"
+
+// microbenchmarks
+#include "perfeng/microbench/latency.hpp"
+#include "perfeng/microbench/machine_probe.hpp"
+#include "perfeng/microbench/op_costs.hpp"
+#include "perfeng/microbench/peak_flops.hpp"
+#include "perfeng/microbench/stream.hpp"
+
+// models
+#include "perfeng/models/analytical.hpp"
+#include "perfeng/models/ecm.hpp"
+#include "perfeng/models/energy.hpp"
+#include "perfeng/models/gpu.hpp"
+#include "perfeng/models/interference.hpp"
+#include "perfeng/models/network.hpp"
+#include "perfeng/models/offload.hpp"
+#include "perfeng/models/queuing.hpp"
+#include "perfeng/models/roofline.hpp"
+#include "perfeng/models/scaling.hpp"
+
+// the seven-stage process
+#include "perfeng/core/pipeline.hpp"
+
+namespace pe {
+
+/// Library version (semver).
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+}  // namespace pe

@@ -1,0 +1,137 @@
+#include "perfeng/core/pipeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/common/table.hpp"
+#include "perfeng/common/units.hpp"
+
+namespace pe::core {
+
+Pipeline::Pipeline(models::RooflineModel machine, BenchmarkRunner runner)
+    : machine_(std::move(machine)), runner_(std::move(runner)) {}
+
+void Pipeline::set_requirement(Requirement requirement) {
+  PE_REQUIRE(requirement.target_speedup >= 1.0,
+             "target speedup must be at least 1");
+  requirement_ = std::move(requirement);
+}
+
+void Pipeline::set_baseline(Variant baseline,
+                            models::KernelCharacterization characterization) {
+  PE_REQUIRE(static_cast<bool>(baseline.kernel), "baseline needs a kernel");
+  PE_REQUIRE(characterization.flops > 0.0 && characterization.bytes > 0.0,
+             "characterization needs FLOPs and bytes");
+  baseline_ = Candidate{std::move(baseline), std::nullopt};
+  base_char_ = std::move(characterization);
+}
+
+void Pipeline::add_variant(Variant variant) {
+  PE_REQUIRE(static_cast<bool>(variant.kernel), "variant needs a kernel");
+  variants_.push_back({std::move(variant), std::nullopt});
+}
+
+void Pipeline::add_variant(Variant variant,
+                           models::KernelCharacterization characterization) {
+  PE_REQUIRE(static_cast<bool>(variant.kernel), "variant needs a kernel");
+  variants_.push_back({std::move(variant), std::move(characterization)});
+}
+
+PipelineReport Pipeline::run() {
+  PE_REQUIRE(requirement_.has_value(), "stage 1 missing: set_requirement");
+  PE_REQUIRE(baseline_.has_value(), "stage 2 missing: set_baseline");
+
+  PipelineReport report;
+  report.requirement = *requirement_;
+
+  // Stage 2: understand current performance.
+  const Measurement base_meas =
+      runner_.run(baseline_->variant.name, baseline_->variant.kernel);
+  report.baseline_placement =
+      models::place_kernel(machine_, base_char_, base_meas.typical());
+
+  // Stage 3: feasibility — the model's attainable time bounds the speedup.
+  const double bound_seconds =
+      base_char_.flops / report.baseline_placement.attainable_flops;
+  Feasibility feas;
+  feas.max_model_speedup = base_meas.typical() / bound_seconds;
+  feas.target_feasible =
+      requirement_->target_speedup <= feas.max_model_speedup * 1.05;
+  {
+    std::ostringstream ss;
+    ss << "roofline-attainable time " << format_time(bound_seconds)
+       << " bounds speedup at " << format_sig(feas.max_model_speedup, 3)
+       << "x; target " << format_sig(requirement_->target_speedup, 3)
+       << "x is " << (feas.target_feasible ? "feasible" : "NOT feasible");
+    feas.rationale = ss.str();
+  }
+  report.feasibility = feas;
+
+  // Stages 4-6: measure each candidate and assess progress.
+  auto assess = [&](const Candidate& cand,
+                    const Measurement& meas) -> VariantOutcome {
+    const auto& kc = cand.characterization.value_or(base_char_);
+    VariantOutcome outcome;
+    outcome.name = cand.variant.name;
+    outcome.optimization = cand.variant.optimization;
+    outcome.measurement = meas;
+    outcome.speedup = base_meas.typical() / meas.typical();
+    const auto placement = models::place_kernel(machine_, kc, meas.typical());
+    outcome.roofline_efficiency = placement.efficiency;
+    outcome.meets_requirement =
+        outcome.speedup >= requirement_->target_speedup;
+    return outcome;
+  };
+
+  report.variants.push_back(assess(*baseline_, base_meas));
+  report.best_variant = baseline_->variant.name;
+  report.best_speedup = 1.0;
+  for (const Candidate& cand : variants_) {
+    const Measurement meas =
+        runner_.run(cand.variant.name, cand.variant.kernel);
+    VariantOutcome outcome = assess(cand, meas);
+    if (outcome.speedup > report.best_speedup) {
+      report.best_speedup = outcome.speedup;
+      report.best_variant = outcome.name;
+    }
+    report.variants.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+std::string PipelineReport::render() const {
+  std::ostringstream out;
+  out << "=== Performance engineering report ===\n";
+  out << "Stage 1  Requirement: " << requirement.description << " (target "
+      << format_sig(requirement.target_speedup, 3) << "x)\n";
+  out << "Stage 2  Baseline: "
+      << format_time(baseline_placement.kernel.flops /
+                     baseline_placement.measured_flops)
+      << "/iter at " << format_flops(baseline_placement.measured_flops)
+      << ", intensity "
+      << format_sig(baseline_placement.kernel.intensity(), 3)
+      << " FLOP/B ("
+      << (baseline_placement.bound == models::Bound::kMemory ? "memory"
+                                                             : "compute")
+      << "-bound, " << format_sig(baseline_placement.efficiency * 100.0, 3)
+      << "% of roofline)\n";
+  out << "Stage 3  Feasibility: " << feasibility.rationale << "\n";
+  out << "Stages 4-6  Variants:\n";
+
+  Table t({"variant", "optimization", "median time", "speedup",
+           "roofline %", "meets target"});
+  for (const VariantOutcome& v : variants) {
+    t.add_row({v.name, v.optimization,
+               format_time(v.measurement.typical()),
+               format_sig(v.speedup, 3),
+               format_sig(v.roofline_efficiency * 100.0, 3),
+               v.meets_requirement ? "yes" : "no"});
+  }
+  out << t.render();
+  out << "Stage 7  Outcome: best variant '" << best_variant << "' at "
+      << format_sig(best_speedup, 3) << "x\n";
+  return out.str();
+}
+
+}  // namespace pe::core

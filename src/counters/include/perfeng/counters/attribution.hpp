@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file attribution.hpp
+/// Top-down-style cycle attribution from counter values.
+///
+/// Given memory-event counts and per-level hit latencies, attribute the
+/// memory stall cycles to the level that served each access — the
+/// simplified "where do my cycles go?" breakdown Assignment 4 asks
+/// students to derive from raw counters before trusting any tool to do
+/// it for them.
+
+#include <string>
+#include <vector>
+
+#include "perfeng/counters/counter_set.hpp"
+
+namespace pe::counters {
+
+/// Latency (cycles) of a hit at each level, L1 outward, plus DRAM.
+struct LatencyModel {
+  double l1 = 4.0;
+  double l2 = 12.0;
+  double l3 = 40.0;
+  double dram = 200.0;
+};
+
+/// One attribution row.
+struct CycleShare {
+  std::string level;
+  double cycles = 0.0;
+  double share = 0.0;  ///< fraction of attributed cycles
+};
+
+/// Attribute memory cycles per level from the standard counter names
+/// (mem-accesses, L1/L2/LLC misses, dram-accesses). Levels absent from
+/// the counter set contribute zero. Shares sum to 1 when any cycles were
+/// attributed.
+[[nodiscard]] std::vector<CycleShare> attribute_cycles(
+    const CounterSet& counters, const LatencyModel& latency = {});
+
+/// Average memory cycles per access (the AMAT the attribution implies).
+[[nodiscard]] double average_memory_access_time(
+    const CounterSet& counters, const LatencyModel& latency = {});
+
+}  // namespace pe::counters

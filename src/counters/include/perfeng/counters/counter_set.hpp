@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file counter_set.hpp
+/// Named performance-counter values (Assignment 4's raw material).
+///
+/// On real hardware these come from PAPI/LIKWID/perf; in this repository
+/// they come from the simulators in perfeng/sim (see
+/// simulated_counters.hpp). Counter names follow perf's spelling so the
+/// derived-metric helpers read like the real tool output the course
+/// teaches students to interpret.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pe::counters {
+
+/// Canonical counter names used throughout the toolbox.
+inline constexpr const char* kInstructions = "instructions";
+inline constexpr const char* kCycles = "cycles";
+inline constexpr const char* kMemAccesses = "mem-accesses";
+inline constexpr const char* kL1Misses = "L1-dcache-load-misses";
+inline constexpr const char* kL2Misses = "L2-misses";
+inline constexpr const char* kL3Misses = "LLC-load-misses";
+inline constexpr const char* kDramAccesses = "dram-accesses";
+inline constexpr const char* kBranches = "branches";
+inline constexpr const char* kBranchMisses = "branch-misses";
+inline constexpr const char* kWritebacks = "cache-writebacks";
+
+/// A bag of named counters with derived-metric helpers.
+class CounterSet {
+ public:
+  /// Set/overwrite one counter.
+  void set(const std::string& name, std::uint64_t value);
+
+  /// Add to one counter (creates it at zero).
+  void add(const std::string& name, std::uint64_t value);
+
+  /// Value of a counter; throws pe::Error if absent.
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+
+  /// Value or 0 when the counter was never recorded.
+  [[nodiscard]] std::uint64_t get_or_zero(const std::string& name) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& values() const {
+    return values_;
+  }
+
+  /// Ratio of two counters (0 when the denominator is 0).
+  [[nodiscard]] double ratio(const std::string& numerator,
+                             const std::string& denominator) const;
+
+  /// Derived metrics with the course's standard definitions.
+  [[nodiscard]] double ipc() const;               ///< instructions / cycles
+  [[nodiscard]] double l1_miss_rate() const;      ///< L1 misses / accesses
+  [[nodiscard]] double branch_miss_rate() const;  ///< misses / branches
+  [[nodiscard]] double dram_per_instruction() const;
+
+  /// Merge another set by summing counters.
+  void merge(const CounterSet& other);
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
+
+}  // namespace pe::counters

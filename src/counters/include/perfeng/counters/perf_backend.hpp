@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file perf_backend.hpp
+/// Hardware performance-counter backend via Linux perf_event_open.
+///
+/// Where available (bare-metal Linux, or containers granted
+/// perf_event_paranoid access), this backend reads the real hardware
+/// counters the course uses through PAPI/LIKWID/perf. Where unavailable —
+/// most CI containers and the environment this reproduction targets — it
+/// degrades gracefully: `available()` is false and callers fall back to
+/// the simulated backend in simulated_counters.hpp, which is the
+/// documented substitution. Both backends produce the same `CounterSet`
+/// vocabulary, so everything downstream (derived metrics, pattern
+/// detectors) is backend-agnostic.
+
+#include <functional>
+#include <string>
+
+#include "perfeng/counters/counter_set.hpp"
+
+namespace pe::counters {
+
+/// RAII group of hardware counters measured around a closure.
+class PerfBackend {
+ public:
+  /// Probe whether perf_event_open works in this environment.
+  [[nodiscard]] static bool available();
+
+  /// Human-readable reason when unavailable (for logs/reports).
+  [[nodiscard]] static std::string unavailable_reason();
+
+  /// Measure `work` once and return hardware counters (instructions,
+  /// cycles, cache misses, branches, branch misses — whatever the kernel
+  /// exposes; missing events are simply absent from the set). Throws
+  /// pe::Error when the backend is unavailable.
+  [[nodiscard]] static CounterSet measure(const std::function<void()>& work);
+};
+
+}  // namespace pe::counters

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file simulated_counters.hpp
+/// The simulated performance-counter backend.
+///
+/// Converts simulator state (cache hierarchy stats, branch predictor stats)
+/// into a `CounterSet` with perf-style names. This is the documented
+/// substitution for PAPI/LIKWID/perf: deterministic counters produced by
+/// replaying a kernel's address/branch trace through configurable hardware
+/// models instead of reading MSRs.
+
+#include <functional>
+
+#include "perfeng/counters/counter_set.hpp"
+#include "perfeng/sim/branch_predictor.hpp"
+#include "perfeng/sim/cache_hierarchy.hpp"
+
+namespace pe::counters {
+
+/// Counters from a cache-hierarchy run. `instructions` may be supplied by
+/// the caller when the replayed kernel's instruction count is known;
+/// otherwise it defaults to the access count (load/store-only kernels).
+[[nodiscard]] CounterSet from_hierarchy(const pe::sim::HierarchyStats& stats,
+                                        std::uint64_t instructions = 0);
+
+/// Counters from a branch-predictor run.
+[[nodiscard]] CounterSet from_branches(const pe::sim::BranchStats& stats);
+
+/// Convenience: reset the hierarchy, replay `trace`, and collect counters.
+[[nodiscard]] CounterSet collect(pe::sim::CacheHierarchy& hierarchy,
+                                 const std::function<void()>& trace,
+                                 std::uint64_t instructions = 0);
+
+}  // namespace pe::counters

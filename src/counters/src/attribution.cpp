@@ -1,0 +1,53 @@
+#include "perfeng/counters/attribution.hpp"
+
+#include <algorithm>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::counters {
+
+std::vector<CycleShare> attribute_cycles(const CounterSet& counters,
+                                         const LatencyModel& latency) {
+  PE_REQUIRE(latency.l1 > 0.0 && latency.l2 > 0.0 && latency.l3 > 0.0 &&
+                 latency.dram > 0.0,
+             "latencies must be positive");
+  const double accesses =
+      static_cast<double>(counters.get_or_zero(kMemAccesses));
+  const double l1_miss =
+      static_cast<double>(counters.get_or_zero(kL1Misses));
+  const double l2_miss =
+      static_cast<double>(counters.get_or_zero(kL2Misses));
+  const double dram = static_cast<double>(counters.get_or_zero(
+      counters.has(kDramAccesses) ? kDramAccesses : kL3Misses));
+
+  // Hits per level: what arrived minus what fell through.
+  const double l1_hits = std::max(0.0, accesses - l1_miss);
+  const double l2_hits = std::max(0.0, l1_miss - l2_miss);
+  const double l3_hits = std::max(0.0, l2_miss - dram);
+
+  std::vector<CycleShare> rows = {
+      {"L1", l1_hits * latency.l1, 0.0},
+      {"L2", l2_hits * latency.l2, 0.0},
+      {"L3", l3_hits * latency.l3, 0.0},
+      {"DRAM", dram * latency.dram, 0.0},
+  };
+  double total = 0.0;
+  for (const auto& row : rows) total += row.cycles;
+  if (total > 0.0) {
+    for (auto& row : rows) row.share = row.cycles / total;
+  }
+  return rows;
+}
+
+double average_memory_access_time(const CounterSet& counters,
+                                  const LatencyModel& latency) {
+  const double accesses =
+      static_cast<double>(counters.get_or_zero(kMemAccesses));
+  if (accesses == 0.0) return 0.0;
+  double total = 0.0;
+  for (const auto& row : attribute_cycles(counters, latency))
+    total += row.cycles;
+  return total / accesses;
+}
+
+}  // namespace pe::counters

@@ -1,0 +1,57 @@
+#include "perfeng/counters/counter_set.hpp"
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::counters {
+
+void CounterSet::set(const std::string& name, std::uint64_t value) {
+  values_[name] = value;
+}
+
+void CounterSet::add(const std::string& name, std::uint64_t value) {
+  values_[name] += value;
+}
+
+std::uint64_t CounterSet::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end())
+    throw Error("counter '" + name + "' was not recorded");
+  return it->second;
+}
+
+std::uint64_t CounterSet::get_or_zero(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+bool CounterSet::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+double CounterSet::ratio(const std::string& numerator,
+                         const std::string& denominator) const {
+  const std::uint64_t den = get_or_zero(denominator);
+  if (den == 0) return 0.0;
+  return static_cast<double>(get_or_zero(numerator)) /
+         static_cast<double>(den);
+}
+
+double CounterSet::ipc() const { return ratio(kInstructions, kCycles); }
+
+double CounterSet::l1_miss_rate() const {
+  return ratio(kL1Misses, kMemAccesses);
+}
+
+double CounterSet::branch_miss_rate() const {
+  return ratio(kBranchMisses, kBranches);
+}
+
+double CounterSet::dram_per_instruction() const {
+  return ratio(kDramAccesses, kInstructions);
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [name, value] : other.values_) values_[name] += value;
+}
+
+}  // namespace pe::counters

@@ -1,0 +1,133 @@
+#include "perfeng/counters/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/common/table.hpp"
+
+namespace pe::counters {
+
+std::string pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kBadSpatialLocality: return "bad spatial locality";
+    case Pattern::kBandwidthSaturation: return "bandwidth saturation";
+    case Pattern::kBranchUnpredictability: return "branch unpredictability";
+    case Pattern::kLoadImbalance: return "load imbalance";
+    case Pattern::kFalseSharing: return "false sharing";
+  }
+  return "?";
+}
+
+PatternReport detect_bad_spatial_locality(const CounterSet& counters,
+                                          std::size_t element_bytes,
+                                          std::size_t line_bytes) {
+  PE_REQUIRE(element_bytes >= 1 && line_bytes >= element_bytes,
+             "bad element/line sizes");
+  PatternReport r{Pattern::kBadSpatialLocality};
+  const double miss_rate = counters.l1_miss_rate();
+  // A perfectly streaming kernel misses once per line.
+  const double streaming_rate = static_cast<double>(element_bytes) /
+                                static_cast<double>(line_bytes);
+  const double excess =
+      streaming_rate > 0.0 ? miss_rate / streaming_rate : 0.0;
+  r.detected = excess >= 2.0;  // at least twice the streaming miss rate
+  r.severity = std::clamp((excess - 1.0) / 7.0, 0.0, 1.0);
+  std::ostringstream ev;
+  ev << "L1 miss rate " << format_sig(miss_rate * 100.0, 3)
+     << "% vs streaming expectation "
+     << format_sig(streaming_rate * 100.0, 3) << "% (" << format_sig(excess, 3)
+     << "x)";
+  r.evidence = ev.str();
+  return r;
+}
+
+PatternReport detect_bandwidth_saturation(double achieved_bandwidth,
+                                          double sustainable_bandwidth,
+                                          double threshold) {
+  PE_REQUIRE(sustainable_bandwidth > 0.0, "need a machine bandwidth");
+  PE_REQUIRE(achieved_bandwidth >= 0.0, "negative bandwidth");
+  PE_REQUIRE(threshold > 0.0 && threshold <= 1.0, "threshold in (0,1]");
+  PatternReport r{Pattern::kBandwidthSaturation};
+  const double fraction = achieved_bandwidth / sustainable_bandwidth;
+  r.detected = fraction >= threshold;
+  r.severity = std::clamp(fraction, 0.0, 1.0);
+  std::ostringstream ev;
+  ev << "achieving " << format_sig(fraction * 100.0, 3)
+     << "% of sustainable bandwidth";
+  r.evidence = ev.str();
+  return r;
+}
+
+PatternReport detect_branch_unpredictability(const CounterSet& counters,
+                                             double threshold) {
+  PE_REQUIRE(threshold > 0.0 && threshold < 1.0, "threshold in (0,1)");
+  PatternReport r{Pattern::kBranchUnpredictability};
+  const double rate = counters.branch_miss_rate();
+  r.detected = rate >= threshold;
+  r.severity = std::clamp(rate / 0.5, 0.0, 1.0);  // 50% = random = worst
+  std::ostringstream ev;
+  ev << "branch misprediction rate " << format_sig(rate * 100.0, 3) << "%";
+  r.evidence = ev.str();
+  return r;
+}
+
+PatternReport detect_load_imbalance(std::span<const double> per_worker_seconds,
+                                    double threshold) {
+  PE_REQUIRE(per_worker_seconds.size() >= 2, "need at least two workers");
+  PE_REQUIRE(threshold > 1.0, "threshold must exceed 1");
+  PatternReport r{Pattern::kLoadImbalance};
+  double total = 0.0, worst = 0.0;
+  for (double t : per_worker_seconds) {
+    PE_REQUIRE(t >= 0.0, "negative worker time");
+    total += t;
+    worst = std::max(worst, t);
+  }
+  const double mean = total / static_cast<double>(per_worker_seconds.size());
+  const double imbalance = mean > 0.0 ? worst / mean : 1.0;
+  r.detected = imbalance >= threshold;
+  r.severity = std::clamp(
+      (imbalance - 1.0) /
+          (static_cast<double>(per_worker_seconds.size()) - 1.0),
+      0.0, 1.0);
+  std::ostringstream ev;
+  ev << "max/mean worker time " << format_sig(imbalance, 3) << " over "
+     << per_worker_seconds.size() << " workers";
+  r.evidence = ev.str();
+  return r;
+}
+
+PatternReport detect_false_sharing(double shared_seconds,
+                                   double padded_seconds, double threshold) {
+  PE_REQUIRE(shared_seconds > 0.0 && padded_seconds > 0.0,
+             "times must be positive");
+  PE_REQUIRE(threshold > 1.0, "threshold must exceed 1");
+  PatternReport r{Pattern::kFalseSharing};
+  const double speedup = shared_seconds / padded_seconds;
+  r.detected = speedup >= threshold;
+  r.severity = std::clamp((speedup - 1.0) / 9.0, 0.0, 1.0);
+  std::ostringstream ev;
+  ev << "padding the shared line gives " << format_sig(speedup, 3)
+     << "x speedup";
+  r.evidence = ev.str();
+  return r;
+}
+
+std::vector<PatternReport> detect_all(const Diagnostics& d) {
+  std::vector<PatternReport> out;
+  if (d.counters.has(kMemAccesses) && d.counters.has(kL1Misses))
+    out.push_back(detect_bad_spatial_locality(d.counters));
+  if (d.counters.has(kBranches) && d.counters.has(kBranchMisses))
+    out.push_back(detect_branch_unpredictability(d.counters));
+  if (d.achieved_bandwidth > 0.0 && d.sustainable_bandwidth > 0.0)
+    out.push_back(detect_bandwidth_saturation(d.achieved_bandwidth,
+                                              d.sustainable_bandwidth));
+  if (d.per_worker_seconds.size() >= 2)
+    out.push_back(detect_load_imbalance(d.per_worker_seconds));
+  if (d.shared_seconds > 0.0 && d.padded_seconds > 0.0)
+    out.push_back(detect_false_sharing(d.shared_seconds, d.padded_seconds));
+  return out;
+}
+
+}  // namespace pe::counters

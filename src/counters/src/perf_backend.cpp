@@ -1,0 +1,113 @@
+#include "perfeng/counters/perf_backend.hpp"
+
+#include "perfeng/common/error.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+#endif
+
+namespace pe::counters {
+
+#if defined(__linux__)
+
+namespace {
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+  const char* name;
+};
+
+const EventSpec kEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, kInstructions},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, kCycles},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, kL3Misses},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS, kBranches},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, kBranchMisses},
+};
+
+int open_event(const EventSpec& spec) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = spec.type;
+  attr.size = sizeof attr;
+  attr.config = spec.config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1,
+                                  /*flags=*/0));
+}
+
+}  // namespace
+
+bool PerfBackend::available() {
+  const int fd = open_event(kEvents[0]);
+  if (fd < 0) return false;
+  close(fd);
+  return true;
+}
+
+std::string PerfBackend::unavailable_reason() {
+  const int fd = open_event(kEvents[0]);
+  if (fd >= 0) {
+    close(fd);
+    return "";
+  }
+  return std::string("perf_event_open failed: ") + std::strerror(errno) +
+         " (check /proc/sys/kernel/perf_event_paranoid)";
+}
+
+CounterSet PerfBackend::measure(const std::function<void()>& work) {
+  PE_REQUIRE(static_cast<bool>(work), "null workload");
+  struct OpenEvent {
+    int fd;
+    const char* name;
+  };
+  std::vector<OpenEvent> fds;
+  for (const EventSpec& spec : kEvents) {
+    const int fd = open_event(spec);
+    if (fd >= 0) fds.push_back({fd, spec.name});
+  }
+  if (fds.empty())
+    throw Error("perf backend unavailable: " + unavailable_reason());
+
+  for (const auto& ev : fds) {
+    ioctl(ev.fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(ev.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+  work();
+  CounterSet counters;
+  for (const auto& ev : fds) {
+    ioctl(ev.fd, PERF_EVENT_IOC_DISABLE, 0);
+    std::uint64_t value = 0;
+    if (read(ev.fd, &value, sizeof value) == sizeof value)
+      counters.set(ev.name, value);
+    close(ev.fd);
+  }
+  return counters;
+}
+
+#else  // !__linux__
+
+bool PerfBackend::available() { return false; }
+
+std::string PerfBackend::unavailable_reason() {
+  return "perf_event_open is Linux-only";
+}
+
+CounterSet PerfBackend::measure(const std::function<void()>&) {
+  throw Error("perf backend unavailable: " + unavailable_reason());
+}
+
+#endif
+
+}  // namespace pe::counters

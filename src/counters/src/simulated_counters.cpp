@@ -1,0 +1,41 @@
+#include "perfeng/counters/simulated_counters.hpp"
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::counters {
+
+CounterSet from_hierarchy(const pe::sim::HierarchyStats& stats,
+                          std::uint64_t instructions) {
+  CounterSet c;
+  c.set(kMemAccesses, stats.total_accesses);
+  c.set(kDramAccesses, stats.dram_accesses);
+  c.set(kCycles, static_cast<std::uint64_t>(stats.total_cycles));
+  c.set(kInstructions,
+        instructions != 0 ? instructions : stats.total_accesses);
+  const char* miss_names[] = {kL1Misses, kL2Misses, kL3Misses};
+  std::uint64_t writebacks = 0;
+  for (std::size_t lvl = 0; lvl < stats.levels.size() && lvl < 3; ++lvl) {
+    c.set(miss_names[lvl], stats.levels[lvl].misses());
+    writebacks += stats.levels[lvl].writebacks;
+  }
+  c.set(kWritebacks, writebacks);
+  return c;
+}
+
+CounterSet from_branches(const pe::sim::BranchStats& stats) {
+  CounterSet c;
+  c.set(kBranches, stats.predictions);
+  c.set(kBranchMisses, stats.mispredictions);
+  return c;
+}
+
+CounterSet collect(pe::sim::CacheHierarchy& hierarchy,
+                   const std::function<void()>& trace,
+                   std::uint64_t instructions) {
+  PE_REQUIRE(static_cast<bool>(trace), "null trace");
+  hierarchy.reset(/*flush_contents=*/true);
+  trace();
+  return from_hierarchy(hierarchy.stats(), instructions);
+}
+
+}  // namespace pe::counters

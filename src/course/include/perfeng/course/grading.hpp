@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file grading.hpp
+/// The course's grading formulas — Equations 1-3 of the paper.
+///
+/// Dutch 1-10 scale; 5.5 passes. Equation 1 combines project, assignments
+/// and exam (with quiz bonus); Equation 2 composes the project grade from
+/// application, report and presentations; Equation 3 converts assignment
+/// points to a grade with a team-size-dependent normalizer.
+
+#include <array>
+
+namespace pe::course {
+
+/// Grade bounds of the Dutch system.
+inline constexpr double kMinGrade = 1.0;
+inline constexpr double kMaxGrade = 10.0;
+inline constexpr double kPassingGrade = 5.5;
+
+/// Maximum points per assignment (10, 9, 11, 12 — Section 4.4).
+inline constexpr std::array<double, 4> kAssignmentMaxPoints = {10.0, 9.0,
+                                                               11.0, 12.0};
+
+/// Equation 1: final grade from project grade Gp, assignments grade Ga,
+/// exam grade Ge (all on 1-10) and quiz score Sq (points; the paper
+/// normalizes by 70). Clamped to [1, 10].
+[[nodiscard]] double final_grade(double gp, double ga, double ge,
+                                 double quiz_points);
+
+/// Equation 2: project grade from the application grade, report grade and
+/// (averaged) presentation grade.
+[[nodiscard]] double project_grade(double application, double report,
+                                   double presentations);
+
+/// Equation 3 normalizer: 32 points for 1 student, 36 for 2, 40 for 3-4.
+[[nodiscard]] double assignment_normalizer(int team_size);
+
+/// Equation 3: assignments grade from the points achieved on the four
+/// assignments (each clamped to its maximum) and the team size.
+[[nodiscard]] double assignments_grade(const std::array<double, 4>& points,
+                                       int team_size);
+
+/// Convenience: whether a final grade passes.
+[[nodiscard]] bool passes(double grade);
+
+}  // namespace pe::course

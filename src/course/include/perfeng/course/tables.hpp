@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file tables.hpp
+/// Generators for the paper's figures and tables (SW-2 / SW-3 equivalents).
+///
+/// Each function renders one paper artifact from the embedded data:
+/// `figure1_*` reproduce the enrollment plot (as a data table plus an ASCII
+/// chart), `table1` the topic-coverage matrix, and `table2a`/`table2b` the
+/// evaluation tables with the M column recomputed from the histograms.
+
+#include <string>
+
+#include "perfeng/common/table.hpp"
+
+namespace pe::course {
+
+/// Figure 1's data series as a table (one row per year).
+[[nodiscard]] Table figure1_table();
+
+/// Figure 1 as an ASCII line chart (enrolled/passing/respondents).
+[[nodiscard]] std::string figure1_ascii(int width = 60);
+
+/// Table 1: topics x (stages, objectives) checkmark matrix.
+[[nodiscard]] Table table1();
+
+/// Table 2a: agreement-scale evaluation items with recomputed means.
+[[nodiscard]] Table table2a();
+
+/// Table 2b: level-scale items (workload, level).
+[[nodiscard]] Table table2b();
+
+}  // namespace pe::course

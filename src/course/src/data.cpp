@@ -1,0 +1,137 @@
+#include "perfeng/course/data.hpp"
+
+#include <sstream>
+
+namespace pe::course {
+
+const std::vector<YearRecord>& student_history() {
+  // Estimated per-year series (see header provenance note); sums match the
+  // published totals exactly.
+  static const std::vector<YearRecord> history = {
+      {2017, 12, 8, 7, true},  {2018, 15, 10, 8, true},
+      {2019, 18, 11, 0, false}, {2020, 20, 13, 9, true},
+      {2021, 24, 15, 8, true},  {2022, 27, 17, 0, false},
+      {2023, 30, 19, 9, true},
+  };
+  return history;
+}
+
+std::string students_csv() {
+  std::ostringstream out;
+  out << "year,enrolled,passing,respondents,evaluation_available\n";
+  for (const YearRecord& y : student_history()) {
+    out << y.year << "," << y.enrolled << "," << y.passing << ","
+        << y.respondents << "," << (y.evaluation_available ? "yes" : "no")
+        << "\n";
+  }
+  return out.str();
+}
+
+int EvaluationItem::total() const {
+  int t = 0;
+  for (int c : counts) t += c;
+  return t;
+}
+
+double EvaluationItem::mean() const {
+  int t = 0;
+  int weighted = 0;
+  for (int score = 1; score <= 5; ++score) {
+    t += counts[score - 1];
+    weighted += score * counts[score - 1];
+  }
+  return t == 0 ? 0.0 : static_cast<double>(weighted) / t;
+}
+
+const std::vector<EvaluationItem>& evaluation_agreement() {
+  static const std::vector<EvaluationItem> items = {
+      {"The course ...", "Taught me a lot", {0, 0, 1, 17, 18}, 4.5},
+      {"The course ...", "Was clearly structured", {0, 2, 3, 19, 13}, 4.2},
+      {"The course ...",
+       "Was intellectually challenging",
+       {0, 0, 2, 9, 25},
+       4.6},
+      {"I acquired, learned, or developed ...",
+       "Factual knowledge",
+       {0, 0, 1, 13, 13},
+       4.4},
+      {"I acquired, learned, or developed ...",
+       "Fundamental principles",
+       {0, 1, 2, 16, 11},
+       4.2},
+      {"I acquired, learned, or developed ...",
+       "Current scientific theories",
+       {0, 3, 5, 13, 9},
+       3.9},
+      {"I acquired, learned, or developed ...",
+       "To apply subject matter",
+       {0, 0, 0, 7, 22},
+       4.8},
+      {"I acquired, learned, or developed ...",
+       "Professional skills",
+       {0, 0, 3, 13, 15},
+       4.4},
+      {"I acquired, learned, or developed ...",
+       "Technical skills",
+       {0, 0, 6, 14, 9},
+       4.1},
+      {"... helped me understand the subject",
+       "Assignment 1",
+       {0, 1, 1, 12, 16},
+       4.4},
+      {"... helped me understand the subject",
+       "Assignment 2",
+       {0, 0, 1, 11, 16},
+       4.5},
+      {"... helped me understand the subject",
+       "Assignment 3",
+       {1, 1, 1, 17, 10},
+       4.1},
+      {"... helped me understand the subject",
+       "Assignment 4",
+       {0, 1, 1, 12, 13},
+       4.4},
+  };
+  return items;
+}
+
+const std::vector<EvaluationItem>& evaluation_level() {
+  static const std::vector<EvaluationItem> items = {
+      {"The ... of the course was", "Workload", {0, 0, 11, 14, 11}, 4.0},
+      {"The ... of the course was", "Level", {0, 1, 16, 13, 6}, 3.7},
+  };
+  return items;
+}
+
+std::string metrics_csv() {
+  std::ostringstream out;
+  out << "scale,section,statement,c1,c2,c3,c4,c5,mean\n";
+  auto emit = [&out](const char* scale, const EvaluationItem& item) {
+    out << scale << ",\"" << item.section << "\",\"" << item.statement
+        << "\"";
+    for (int c : item.counts) out << "," << c;
+    out << "," << item.paper_mean << "\n";
+  };
+  for (const auto& item : evaluation_agreement()) emit("agreement", item);
+  for (const auto& item : evaluation_level()) emit("level", item);
+  return out.str();
+}
+
+const std::vector<TopicCoverage>& topic_coverage() {
+  static const std::vector<TopicCoverage> topics = {
+      {"Basics of performance", {1, 2}, {1}},
+      {"Code tuning and optimization", {5}, {6, 8}},
+      {"Roofline model and extensions", {2, 3}, {2, 4, 5}},
+      {"Analytical modeling", {3, 4}, {2, 3, 5}},
+      {"(Micro)benchmarking", {2, 6}, {1, 4, 8}},
+      {"Data-driven and stat. modeling", {3, 4}, {3, 5}},
+      {"Simulation and simulators", {4}, {3, 5, 8}},
+      {"Perf. counters and patterns", {2, 6}, {1, 4, 8}},
+      {"Scale-out to distributed systems", {4, 5}, {6, 7}},
+      {"Queuing theory", {3}, {2, 3}},
+      {"Polyhedral model", {5}, {2, 6}},
+  };
+  return topics;
+}
+
+}  // namespace pe::course

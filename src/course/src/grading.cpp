@@ -1,0 +1,53 @@
+#include "perfeng/course/grading.hpp"
+
+#include <algorithm>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::course {
+
+namespace {
+
+void check_grade(double g, const char* what) {
+  PE_REQUIRE(g >= kMinGrade && g <= kMaxGrade, what);
+}
+
+}  // namespace
+
+double final_grade(double gp, double ga, double ge, double quiz_points) {
+  check_grade(gp, "project grade out of [1,10]");
+  check_grade(ga, "assignments grade out of [1,10]");
+  check_grade(ge, "exam grade out of [1,10]");
+  PE_REQUIRE(quiz_points >= 0.0, "negative quiz points");
+  const double raw = 0.5 * gp + 0.3 * ga + 0.3 * (ge + quiz_points / 70.0);
+  return std::max(kMinGrade, std::min(kMaxGrade, raw));
+}
+
+double project_grade(double application, double report,
+                     double presentations) {
+  check_grade(application, "application grade out of [1,10]");
+  check_grade(report, "report grade out of [1,10]");
+  check_grade(presentations, "presentation grade out of [1,10]");
+  return 0.4 * application + 0.3 * report + 0.3 * presentations;
+}
+
+double assignment_normalizer(int team_size) {
+  PE_REQUIRE(team_size >= 1 && team_size <= 4, "team size must be 1-4");
+  if (team_size == 1) return 32.0;
+  if (team_size == 2) return 36.0;
+  return 40.0;
+}
+
+double assignments_grade(const std::array<double, 4>& points, int team_size) {
+  double total = 0.0;
+  for (std::size_t a = 0; a < points.size(); ++a) {
+    PE_REQUIRE(points[a] >= 0.0, "negative assignment points");
+    total += std::min(points[a], kAssignmentMaxPoints[a]);
+  }
+  const double grade = 10.0 * total / assignment_normalizer(team_size);
+  return std::max(kMinGrade, std::min(kMaxGrade, grade));
+}
+
+bool passes(double grade) { return grade >= kPassingGrade; }
+
+}  // namespace pe::course

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file fft.hpp
+/// Radix-2 FFT — one of the "exotic" student projects the paper mentions.
+///
+/// A naive O(n^2) DFT serves as the correctness oracle and pedagogical
+/// baseline; the iterative radix-2 Cooley–Tukey FFT is the optimized
+/// version whose asymptotic win the performance-engineering process should
+/// confirm empirically (and whose memory behaviour — bit-reversal — makes a
+/// nice cache-analysis subject).
+
+#include <complex>
+#include <vector>
+
+namespace pe::kernels {
+
+using Complex = std::complex<double>;
+
+/// Naive O(n^2) discrete Fourier transform (any n >= 1).
+[[nodiscard]] std::vector<Complex> dft(const std::vector<Complex>& input);
+
+/// Iterative radix-2 Cooley–Tukey FFT; n must be a power of two.
+[[nodiscard]] std::vector<Complex> fft(const std::vector<Complex>& input);
+
+/// Inverse FFT; n must be a power of two.
+[[nodiscard]] std::vector<Complex> ifft(const std::vector<Complex>& input);
+
+/// Max absolute componentwise difference between two spectra.
+[[nodiscard]] double spectrum_diff(const std::vector<Complex>& a,
+                                   const std::vector<Complex>& b);
+
+/// FLOP estimate of a radix-2 FFT: 5 n log2 n (the classic count).
+[[nodiscard]] double fft_flops(std::size_t n);
+
+}  // namespace pe::kernels

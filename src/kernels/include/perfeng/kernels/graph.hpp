@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file graph.hpp
+/// CSR graph processing — the third recurring student project.
+///
+/// A compressed adjacency structure with the two canonical irregular
+/// workloads: breadth-first search (frontier-based, level synchronous) and
+/// PageRank (synchronous power iteration). Generators produce Erdős–Rényi
+/// uniform graphs and power-law (preferential-attachment-flavoured) graphs
+/// whose skewed degree distribution stresses load balancing.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "perfeng/common/rng.hpp"
+#include "perfeng/parallel/thread_pool.hpp"
+
+namespace pe::kernels {
+
+/// Directed graph in CSR adjacency form.
+class Graph {
+ public:
+  /// Build from an edge list (duplicates removed, self-loops kept).
+  static Graph from_edges(std::size_t vertices,
+                          std::vector<std::pair<std::uint32_t, std::uint32_t>>
+                              edges);
+
+  [[nodiscard]] std::size_t vertices() const { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t edges() const { return targets_.size(); }
+
+  /// Out-neighbours of `v`.
+  [[nodiscard]] std::span<const std::uint32_t> neighbours(
+      std::uint32_t v) const;
+
+  [[nodiscard]] std::size_t out_degree(std::uint32_t v) const;
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> targets_;
+};
+
+/// Uniform random directed graph with `edges` edges (Erdős–Rényi G(n, m)).
+[[nodiscard]] Graph generate_uniform_graph(std::size_t vertices,
+                                           std::size_t edges, Rng& rng);
+
+/// Power-law graph: target of each edge drawn by Zipf popularity.
+[[nodiscard]] Graph generate_powerlaw_graph(std::size_t vertices,
+                                            std::size_t edges, double skew,
+                                            Rng& rng);
+
+/// BFS distances from `source` (UINT32_MAX = unreachable).
+[[nodiscard]] std::vector<std::uint32_t> bfs(const Graph& g,
+                                             std::uint32_t source);
+
+/// PageRank by synchronous power iteration with damping `d`; iterates
+/// until the L1 delta drops below `tolerance` or `max_iters` is hit.
+/// Dangling-node mass is redistributed uniformly. Returns the rank vector
+/// (sums to 1).
+[[nodiscard]] std::vector<double> pagerank(const Graph& g, double d = 0.85,
+                                           double tolerance = 1e-8,
+                                           int max_iters = 100);
+
+/// Row-parallel PageRank with identical semantics.
+[[nodiscard]] std::vector<double> pagerank_parallel(const Graph& g,
+                                                    ThreadPool& pool,
+                                                    double d = 0.85,
+                                                    double tolerance = 1e-8,
+                                                    int max_iters = 100);
+
+}  // namespace pe::kernels

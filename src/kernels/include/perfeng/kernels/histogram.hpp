@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Histogram — Assignment 2's data-dependent kernel.
+///
+/// Binning n values into b counters looks trivially cheap, but its
+/// performance depends on the *distribution* of the data: a huge bin table
+/// with uniform indices thrashes the cache, while skewed (Zipf) data keeps
+/// the hot bins resident. The generators below produce both regimes so the
+/// analytical model's data-dependent term can be validated.
+
+#include <cstdint>
+#include <vector>
+
+#include "perfeng/common/rng.hpp"
+#include "perfeng/parallel/thread_pool.hpp"
+
+namespace pe::kernels {
+
+/// Input samples pre-binned to [0, bins): the kernel under study is the
+/// counter update, not the float-to-bin mapping.
+[[nodiscard]] std::vector<std::uint32_t> generate_uniform_indices(
+    std::size_t count, std::size_t bins, Rng& rng);
+
+/// Zipf-skewed indices (skew 0 = uniform; ~1 = heavily skewed). Hot bins
+/// are scattered through the table so locality comes from popularity, not
+/// from adjacency.
+[[nodiscard]] std::vector<std::uint32_t> generate_zipf_indices(
+    std::size_t count, std::size_t bins, double skew, Rng& rng);
+
+/// Serial histogram: counts[index[i]]++ for all i.
+void histogram_serial(const std::vector<std::uint32_t>& indices,
+                      std::vector<std::uint64_t>& counts);
+
+/// Parallel histogram over one shared table of atomic counters — correct
+/// but contended: on skewed data the hot bins serialize (the broken
+/// variant of the contention pattern).
+void histogram_parallel_atomic(const std::vector<std::uint32_t>& indices,
+                               std::vector<std::uint64_t>& counts,
+                               ThreadPool& pool);
+
+/// Parallel histogram with per-worker private tables merged at the end —
+/// the standard fix for atomic contention the course teaches.
+void histogram_parallel_private(const std::vector<std::uint32_t>& indices,
+                                std::vector<std::uint64_t>& counts,
+                                ThreadPool& pool);
+
+/// Total of all counters (sanity invariant: equals the index count).
+[[nodiscard]] std::uint64_t histogram_total(
+    const std::vector<std::uint64_t>& counts);
+
+}  // namespace pe::kernels

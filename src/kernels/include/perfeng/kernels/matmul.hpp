@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file matmul.hpp
+/// Dense matrix multiplication — the Assignment 1 kernel.
+///
+/// The assignment hands students a naive triple loop and asks for a
+/// Roofline model, then for optimizations "like loop reordering and loop
+/// tiling" whose effect the model must capture. The variants here are the
+/// canonical progression: naive ijk (column-walking B), interchanged ikj
+/// (all-sequential streams), tiled (cache blocking), and a thread-parallel
+/// tiled version on the toolbox's thread pool.
+
+#include <cstddef>
+#include <vector>
+
+#include "perfeng/common/rng.hpp"
+#include "perfeng/parallel/thread_pool.hpp"
+
+namespace pe::kernels {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  /// Fill with uniform values in [-1, 1) from a deterministic RNG.
+  void randomize(Rng& rng);
+
+  /// Max absolute elementwise difference (matrices must match in shape).
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B with the naive i-j-k loop order (B walked down columns).
+void matmul_naive(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B with the i-k-j interchange (all rows streamed sequentially).
+void matmul_interchanged(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B with square cache blocking of edge `tile`.
+void matmul_tiled(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::size_t tile = 64);
+
+/// C = A * B, tiled, with row-blocks distributed over the pool.
+void matmul_parallel(const Matrix& a, const Matrix& b, Matrix& c,
+                     ThreadPool& pool, std::size_t tile = 64);
+
+/// Useful FLOPs of an (m x k) * (k x n) multiplication: 2 m k n.
+[[nodiscard]] double matmul_flops(std::size_t m, std::size_t k,
+                                  std::size_t n);
+
+/// Compulsory memory traffic in bytes (every operand touched once):
+/// the *lower bound* students use for the optimistic intensity.
+[[nodiscard]] double matmul_min_bytes(std::size_t m, std::size_t k,
+                                      std::size_t n);
+
+}  // namespace pe::kernels

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file matrix_market.hpp
+/// Matrix Market (.mtx) coordinate-format IO.
+///
+/// The course ships "open-source code for reading matrices in the matrix
+/// market format" with its assignment frameworks; this is that reader,
+/// supporting the `matrix coordinate real/integer/pattern general|symmetric`
+/// subset that covers the SuiteSparse matrices students typically pull.
+
+#include <iosfwd>
+#include <string>
+
+#include "perfeng/kernels/sparse.hpp"
+
+namespace pe::kernels {
+
+/// Parse a Matrix Market stream into COO form. Symmetric matrices are
+/// expanded (mirror entries added, diagonal kept single). Throws pe::Error
+/// on malformed input or unsupported qualifiers (complex, hermitian).
+[[nodiscard]] CooMatrix read_matrix_market(std::istream& in);
+
+/// Parse a Matrix Market document held in a string.
+[[nodiscard]] CooMatrix parse_matrix_market(const std::string& text);
+
+/// Read a .mtx file from disk.
+[[nodiscard]] CooMatrix read_matrix_market_file(const std::string& path);
+
+/// Serialize a COO matrix as `matrix coordinate real general`.
+[[nodiscard]] std::string write_matrix_market(const CooMatrix& m);
+
+}  // namespace pe::kernels

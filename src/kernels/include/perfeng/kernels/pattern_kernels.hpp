@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file pattern_kernels.hpp
+/// Synthetic kernels demonstrating classic performance patterns
+/// (Assignment 4, after Treibig/Hager/Wellein's performance patterns).
+///
+/// Each pattern comes as a *broken* and a *fixed* variant with identical
+/// results, so the pattern's cost — and its disappearance after the fix —
+/// can be measured (wall-clock) and diagnosed (simulated counters):
+///
+///   strided access      -> fix: sequential traversal
+///   false sharing       -> fix: cache-line padding
+///   load imbalance      -> fix: dynamic scheduling
+///   branch-heavy code   -> fix: sorted data / branchless form
+
+#include <cstdint>
+#include <vector>
+
+#include "perfeng/common/rng.hpp"
+#include "perfeng/parallel/thread_pool.hpp"
+
+namespace pe::kernels {
+
+// -------------------------------------------------------- strided access
+
+/// Sum every `stride`-th element, wrapping over the buffer, touching
+/// exactly data.size() elements (same work for every stride).
+[[nodiscard]] double strided_sum(const std::vector<double>& data,
+                                 std::size_t stride);
+
+/// The fixed version: sequential sum (equals strided_sum with stride 1).
+[[nodiscard]] double sequential_sum(const std::vector<double>& data);
+
+// -------------------------------------------------------- false sharing
+
+/// Each worker increments its own counter `iterations` times; counters are
+/// adjacent in one cache line (the broken layout). Returns the total.
+[[nodiscard]] std::uint64_t false_sharing_counters(ThreadPool& pool,
+                                                   std::uint64_t iterations);
+
+/// Fixed: counters padded to one cache line each.
+[[nodiscard]] std::uint64_t padded_counters(ThreadPool& pool,
+                                            std::uint64_t iterations);
+
+// -------------------------------------------------------- load imbalance
+
+/// Triangular work distribution (task i costs ~i units) under static
+/// scheduling: the last worker gets nearly all the work.
+void imbalanced_static(ThreadPool& pool, std::size_t tasks,
+                       std::vector<double>& out);
+
+/// Fixed: the same tasks under dynamic self-scheduling.
+void imbalanced_dynamic(ThreadPool& pool, std::size_t tasks,
+                        std::vector<double>& out);
+
+// -------------------------------------------------------- branchy code
+
+/// Sum of elements above `threshold` with a data-dependent branch.
+[[nodiscard]] double branchy_sum(const std::vector<double>& data,
+                                 double threshold);
+
+/// Fixed: branch-free (predicated) form with identical semantics.
+[[nodiscard]] double branchless_sum(const std::vector<double>& data,
+                                    double threshold);
+
+/// Input generators: unsorted uniform data defeats the branch predictor;
+/// sorting it makes the same branchy_sum nearly free.
+[[nodiscard]] std::vector<double> random_doubles(std::size_t count, Rng& rng);
+[[nodiscard]] std::vector<double> sorted_doubles(std::size_t count, Rng& rng);
+
+}  // namespace pe::kernels

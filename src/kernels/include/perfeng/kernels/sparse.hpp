@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file sparse.hpp
+/// Sparse matrix formats and SpMV — the Assignment 3 kernel family.
+///
+/// The assignment provides SpMV "based on the three classical storage
+/// models, CSR, CSC, and COO" and asks students to model them
+/// statistically. The formats here convert losslessly between each other,
+/// agree numerically on y = A x, and come with the synthetic generators
+/// (uniform random, banded, power-law rows) that build the training corpus
+/// for the statistical models.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perfeng/common/rng.hpp"
+#include "perfeng/parallel/thread_pool.hpp"
+
+namespace pe::kernels {
+
+/// One entry of a coordinate-format matrix.
+struct Triplet {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  double value = 0.0;
+};
+
+/// Coordinate (COO) storage: an unordered list of (row, col, value).
+struct CooMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<Triplet> entries;
+
+  [[nodiscard]] std::size_t nnz() const { return entries.size(); }
+
+  /// Sort entries row-major (row, then column) and sum duplicates.
+  void normalize();
+};
+
+/// Compressed sparse row storage.
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> row_ptr;  ///< rows + 1 offsets
+  std::vector<std::uint32_t> col_idx;  ///< nnz column indices
+  std::vector<double> values;          ///< nnz values
+
+  [[nodiscard]] std::size_t nnz() const { return values.size(); }
+};
+
+/// Compressed sparse column storage.
+struct CscMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> col_ptr;  ///< cols + 1 offsets
+  std::vector<std::uint32_t> row_idx;  ///< nnz row indices
+  std::vector<double> values;          ///< nnz values
+
+  [[nodiscard]] std::size_t nnz() const { return values.size(); }
+};
+
+/// ELLPACK storage: fixed width = max row degree, padded with zeros.
+/// Vector-friendly (regular accesses) but wasteful on skewed matrices —
+/// the padding_ratio is the feature that predicts when ELL loses.
+struct EllMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t width = 0;  ///< entries stored per row (max degree)
+  std::vector<std::uint32_t> col_idx;  ///< rows*width, row-major, padded
+  std::vector<double> values;          ///< rows*width, 0.0 in padding
+
+  [[nodiscard]] std::size_t nnz() const;  ///< non-padding entries
+
+  /// Stored slots / useful entries (1.0 = no padding waste).
+  [[nodiscard]] double padding_ratio() const;
+};
+
+/// Format conversions (all normalize duplicates via COO).
+[[nodiscard]] CsrMatrix coo_to_csr(const CooMatrix& coo);
+[[nodiscard]] CscMatrix coo_to_csc(const CooMatrix& coo);
+[[nodiscard]] CooMatrix csr_to_coo(const CsrMatrix& csr);
+[[nodiscard]] EllMatrix csr_to_ell(const CsrMatrix& csr);
+
+/// y = A x for each format (y is overwritten; sizes must match).
+void spmv_coo(const CooMatrix& a, const std::vector<double>& x,
+              std::vector<double>& y);
+void spmv_csr(const CsrMatrix& a, const std::vector<double>& x,
+              std::vector<double>& y);
+void spmv_csc(const CscMatrix& a, const std::vector<double>& x,
+              std::vector<double>& y);
+void spmv_ell(const EllMatrix& a, const std::vector<double>& x,
+              std::vector<double>& y);
+
+/// Row-parallel CSR SpMV (dynamic scheduling absorbs row imbalance).
+void spmv_csr_parallel(const CsrMatrix& a, const std::vector<double>& x,
+                       std::vector<double>& y, ThreadPool& pool);
+
+// ----------------------------------------------------------------- corpus
+
+/// Structure classes the generators produce (the statistical model's
+/// categorical feature).
+enum class SparsityPattern { kUniform, kBanded, kPowerLaw };
+
+[[nodiscard]] std::string pattern_name(SparsityPattern p);
+
+/// Generate a rows x cols matrix with ~density fraction of non-zeros:
+///  - kUniform:  entries scattered uniformly;
+///  - kBanded:   entries within a band around the diagonal (good x reuse);
+///  - kPowerLaw: per-row degree follows a Zipf law (imbalanced rows).
+[[nodiscard]] CooMatrix generate_sparse(std::size_t rows, std::size_t cols,
+                                        double density,
+                                        SparsityPattern pattern, Rng& rng);
+
+/// Feature vector used by the Assignment 3 statistical models:
+/// {rows, cols, nnz, density, mean row degree, row-degree CV, bandwidth}.
+[[nodiscard]] std::vector<double> sparse_features(const CsrMatrix& m);
+
+/// Names matching `sparse_features` order.
+[[nodiscard]] std::vector<std::string> sparse_feature_names();
+
+}  // namespace pe::kernels

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file traces.hpp
+/// Kernel address traces replayed into the cache/branch simulators.
+///
+/// Where the real course reads hardware counters while a kernel runs, this
+/// repository replays the kernel's exact access pattern through the
+/// simulators in perfeng/sim — same loop structure, symbolic addresses.
+/// The result is a deterministic, portable set of "counter" values that
+/// exhibit the same qualitative behaviour (loop-order miss blowups, stride
+/// effects, branch-predictability differences).
+
+#include <cstdint>
+#include <vector>
+
+#include "perfeng/sim/branch_predictor.hpp"
+#include "perfeng/sim/cache_hierarchy.hpp"
+
+namespace pe::kernels {
+
+/// Matmul loop orders traced (mirrors perfeng/models MatmulVariant).
+enum class TraceVariant { kNaiveIjk, kInterchangedIkj, kTiled };
+
+/// Replay the address stream of an n x n matmul into the hierarchy.
+/// Matrices are laid out contiguously (A, then B, then C), row-major.
+void trace_matmul(pe::sim::CacheHierarchy& hierarchy, std::size_t n,
+                  TraceVariant variant, std::size_t tile = 32);
+
+/// Replay a strided read sweep: data.size() touches of 8-byte elements
+/// with the given stride (wrapping), matching kernels::strided_sum.
+void trace_strided(pe::sim::CacheHierarchy& hierarchy, std::size_t elements,
+                   std::size_t stride);
+
+/// Replay histogram counter updates (read-modify-write per index) plus the
+/// streaming input reads.
+void trace_histogram(pe::sim::CacheHierarchy& hierarchy,
+                     const std::vector<std::uint32_t>& indices,
+                     std::size_t bins);
+
+/// Replay CSR SpMV: row_ptr/col_idx/values streams plus x gathers and y
+/// writes, with the given column index stream.
+void trace_spmv_csr(pe::sim::CacheHierarchy& hierarchy, std::size_t rows,
+                    std::size_t cols,
+                    const std::vector<std::uint32_t>& row_ptr,
+                    const std::vector<std::uint32_t>& col_idx);
+
+/// Feed the outcome stream of `branchy_sum` (one branch per element, taken
+/// when above threshold) into a branch predictor.
+void trace_branchy(pe::sim::BranchPredictor& predictor,
+                   const std::vector<double>& data, double threshold);
+
+}  // namespace pe::kernels

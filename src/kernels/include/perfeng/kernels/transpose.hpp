@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file transpose.hpp
+/// Matrix transpose — the canonical cache-blocking example.
+///
+/// A naive transpose streams reads but scatters writes column-wise (or
+/// vice versa): at most one useful element per written cache line once
+/// the matrix outgrows the cache. Blocking fixes both directions at once.
+/// Zero FLOPs, pure traffic — the cleanest possible Roofline/x-axis
+/// degenerate case, and a favourite course demo.
+
+#include "perfeng/kernels/matmul.hpp"
+#include "perfeng/sim/cache_hierarchy.hpp"
+
+namespace pe::kernels {
+
+/// out = in^T, row-major naive loops (reads stream, writes stride).
+void transpose_naive(const Matrix& in, Matrix& out);
+
+/// out = in^T with square blocking of edge `block`.
+void transpose_blocked(const Matrix& in, Matrix& out,
+                       std::size_t block = 32);
+
+/// In-place transpose of a square matrix (swap-based).
+void transpose_inplace(Matrix& m);
+
+/// Replay the naive or blocked transpose address stream into a cache
+/// hierarchy (`block` == 0 selects the naive loop order).
+void trace_transpose(pe::sim::CacheHierarchy& hierarchy, std::size_t rows,
+                     std::size_t cols, std::size_t block);
+
+/// Compulsory traffic in bytes: every element read once + written once.
+[[nodiscard]] double transpose_min_bytes(std::size_t rows,
+                                         std::size_t cols);
+
+}  // namespace pe::kernels

@@ -1,0 +1,90 @@
+#include "perfeng/kernels/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::kernels {
+
+std::vector<Complex> dft(const std::vector<Complex>& input) {
+  PE_REQUIRE(!input.empty(), "empty input");
+  const std::size_t n = input.size();
+  std::vector<Complex> out(n);
+  const double base = -2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = base * static_cast<double>(k * t % n);
+      acc += input[t] * Complex{std::cos(angle), std::sin(angle)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<Complex> fft_impl(std::vector<Complex> a, bool inverse) {
+  const std::size_t n = a.size();
+  PE_REQUIRE(std::has_single_bit(n), "length must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (Complex& x : a) x *= inv_n;
+  }
+  return a;
+}
+
+}  // namespace
+
+std::vector<Complex> fft(const std::vector<Complex>& input) {
+  PE_REQUIRE(!input.empty(), "empty input");
+  return fft_impl(input, false);
+}
+
+std::vector<Complex> ifft(const std::vector<Complex>& input) {
+  PE_REQUIRE(!input.empty(), "empty input");
+  return fft_impl(input, true);
+}
+
+double spectrum_diff(const std::vector<Complex>& a,
+                     const std::vector<Complex>& b) {
+  PE_REQUIRE(a.size() == b.size(), "length mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+double fft_flops(std::size_t n) {
+  PE_REQUIRE(n >= 2, "need at least two points");
+  return 5.0 * static_cast<double>(n) *
+         std::log2(static_cast<double>(n));
+}
+
+}  // namespace pe::kernels

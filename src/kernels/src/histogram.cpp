@@ -1,0 +1,93 @@
+#include "perfeng/kernels/histogram.hpp"
+
+#include <atomic>
+#include <numeric>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/parallel/parallel_for.hpp"
+
+namespace pe::kernels {
+
+std::vector<std::uint32_t> generate_uniform_indices(std::size_t count,
+                                                    std::size_t bins,
+                                                    Rng& rng) {
+  PE_REQUIRE(bins >= 1 && bins <= UINT32_MAX, "bin count out of range");
+  std::vector<std::uint32_t> out(count);
+  for (auto& v : out)
+    v = static_cast<std::uint32_t>(rng.next_range(0, bins - 1));
+  return out;
+}
+
+std::vector<std::uint32_t> generate_zipf_indices(std::size_t count,
+                                                 std::size_t bins,
+                                                 double skew, Rng& rng) {
+  PE_REQUIRE(bins >= 1 && bins <= UINT32_MAX, "bin count out of range");
+  // Scatter popularity ranks over the table with a fixed pseudo-random
+  // permutation (multiplicative hashing) so hot bins are not adjacent.
+  std::vector<std::uint32_t> out(count);
+  const std::uint64_t b = bins;
+  for (auto& v : out) {
+    const std::uint64_t rank = rng.next_zipf(b, skew);
+    v = static_cast<std::uint32_t>((rank * 2654435761ULL) % b);
+  }
+  return out;
+}
+
+void histogram_serial(const std::vector<std::uint32_t>& indices,
+                      std::vector<std::uint64_t>& counts) {
+  PE_REQUIRE(!counts.empty(), "counter table must be non-empty");
+  for (std::uint32_t idx : indices) {
+    PE_ASSERT(idx < counts.size(), "index out of range");
+    ++counts[idx];
+  }
+}
+
+void histogram_parallel_atomic(const std::vector<std::uint32_t>& indices,
+                               std::vector<std::uint64_t>& counts,
+                               ThreadPool& pool) {
+  PE_REQUIRE(!counts.empty(), "counter table must be non-empty");
+  // One shared table of atomics; relaxed ordering suffices for counting.
+  std::vector<std::atomic<std::uint64_t>> shared(counts.size());
+  for (std::size_t bin = 0; bin < counts.size(); ++bin)
+    shared[bin].store(counts[bin], std::memory_order_relaxed);
+
+  parallel_for(pool, 0, indices.size(), [&](std::size_t i) {
+    PE_ASSERT(indices[i] < shared.size(), "index out of range");
+    shared[indices[i]].fetch_add(1, std::memory_order_relaxed);
+  });
+
+  for (std::size_t bin = 0; bin < counts.size(); ++bin)
+    counts[bin] = shared[bin].load(std::memory_order_relaxed);
+}
+
+void histogram_parallel_private(const std::vector<std::uint32_t>& indices,
+                                std::vector<std::uint64_t>& counts,
+                                ThreadPool& pool) {
+  PE_REQUIRE(!counts.empty(), "counter table must be non-empty");
+  const std::size_t workers = pool.size();
+  if (workers == 1) {
+    histogram_serial(indices, counts);
+    return;
+  }
+  std::vector<std::vector<std::uint64_t>> privates(
+      workers, std::vector<std::uint64_t>(counts.size(), 0));
+  const std::size_t n = indices.size();
+  const std::size_t block = (n + workers - 1) / workers;
+
+  parallel_for(pool, 0, workers, [&](std::size_t w) {
+    const std::size_t lo = w * block;
+    const std::size_t hi = std::min(n, lo + block);
+    auto& mine = privates[w];
+    for (std::size_t i = lo; i < hi; ++i) ++mine[indices[i]];
+  });
+
+  for (const auto& table : privates)
+    for (std::size_t bin = 0; bin < counts.size(); ++bin)
+      counts[bin] += table[bin];
+}
+
+std::uint64_t histogram_total(const std::vector<std::uint64_t>& counts) {
+  return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+}
+
+}  // namespace pe::kernels

@@ -1,0 +1,179 @@
+#include "perfeng/kernels/life.hpp"
+
+#include <bit>
+#include <numeric>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::kernels {
+
+LifeGrid::LifeGrid(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), cells_(rows * cols, 0) {
+  PE_REQUIRE(rows >= 1 && cols >= 1, "universe must be non-empty");
+}
+
+std::size_t LifeGrid::population() const {
+  return std::accumulate(cells_.begin(), cells_.end(), std::size_t{0});
+}
+
+void LifeGrid::randomize(double density, Rng& rng) {
+  PE_REQUIRE(density >= 0.0 && density <= 1.0, "density must be in [0,1]");
+  for (auto& cell : cells_) cell = rng.next_double() < density ? 1 : 0;
+}
+
+void LifeGrid::place_glider(std::size_t r, std::size_t c) {
+  PE_REQUIRE(r + 2 < rows_ && c + 2 < cols_, "glider out of bounds");
+  // . # .
+  // . . #
+  // # # #
+  set(r, c + 1, true);
+  set(r + 1, c + 2, true);
+  set(r + 2, c, true);
+  set(r + 2, c + 1, true);
+  set(r + 2, c + 2, true);
+}
+
+LifeGrid LifeGrid::step() const {
+  LifeGrid next(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      int neighbours = 0;
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          if (dr == 0 && dc == 0) continue;
+          const std::ptrdiff_t nr = static_cast<std::ptrdiff_t>(r) + dr;
+          const std::ptrdiff_t nc = static_cast<std::ptrdiff_t>(c) + dc;
+          if (nr < 0 || nc < 0 ||
+              nr >= static_cast<std::ptrdiff_t>(rows_) ||
+              nc >= static_cast<std::ptrdiff_t>(cols_))
+            continue;
+          neighbours += alive(static_cast<std::size_t>(nr),
+                              static_cast<std::size_t>(nc))
+                            ? 1
+                            : 0;
+        }
+      }
+      next.set(r, c,
+               neighbours == 3 || (alive(r, c) && neighbours == 2));
+    }
+  }
+  return next;
+}
+
+std::string LifeGrid::render() const {
+  std::string out;
+  out.reserve(rows_ * (cols_ + 1));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out += alive(r, c) ? '#' : '.';
+    out += '\n';
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ bit-packed
+
+LifeGridPacked::LifeGridPacked(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_((cols + 63) / 64),
+      bits_(rows_ * words_per_row_, 0) {
+  PE_REQUIRE(rows >= 1 && cols >= 1, "universe must be non-empty");
+}
+
+LifeGridPacked::LifeGridPacked(const LifeGrid& reference)
+    : LifeGridPacked(reference.rows(), reference.cols()) {
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (reference.alive(r, c)) set(r, c, true);
+}
+
+bool LifeGridPacked::alive(std::size_t r, std::size_t c) const {
+  PE_REQUIRE(r < rows_ && c < cols_, "cell out of bounds");
+  const std::uint64_t word = bits_[r * words_per_row_ + c / 64];
+  return ((word >> (c % 64)) & 1u) != 0;
+}
+
+void LifeGridPacked::set(std::size_t r, std::size_t c, bool value) {
+  PE_REQUIRE(r < rows_ && c < cols_, "cell out of bounds");
+  std::uint64_t& word = bits_[r * words_per_row_ + c / 64];
+  const std::uint64_t mask = std::uint64_t{1} << (c % 64);
+  if (value) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+std::size_t LifeGridPacked::population() const {
+  std::size_t pop = 0;
+  for (std::uint64_t word : bits_) pop += std::popcount(word);
+  return pop;
+}
+
+std::uint64_t LifeGridPacked::shifted_row(std::size_t r, int dx,
+                                          std::size_t w) const {
+  const std::uint64_t* row = bits_.data() + r * words_per_row_;
+  const std::uint64_t center = row[w];
+  if (dx == 0) return center;
+  if (dx < 0) {
+    // bit c holds cell at column c-1.
+    const std::uint64_t carry = w > 0 ? row[w - 1] >> 63 : 0;
+    return (center << 1) | carry;
+  }
+  // bit c holds cell at column c+1.
+  const std::uint64_t carry =
+      (w + 1 < words_per_row_) ? row[w + 1] << 63 : 0;
+  return (center >> 1) | carry;
+}
+
+LifeGridPacked LifeGridPacked::step() const {
+  LifeGridPacked next(rows_, cols_);
+  const std::uint64_t last_mask =
+      cols_ % 64 == 0 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << (cols_ % 64)) - 1;
+
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      // Bit-sliced (ones, twos, fours) counter over the 8 neighbour masks.
+      // `fours` saturates, which is safe: a saturated count can never be
+      // 2 or 3, so the cell correctly dies.
+      std::uint64_t ones = 0, twos = 0, fours = 0;
+      auto add = [&](std::uint64_t x) {
+        const std::uint64_t carry1 = ones & x;
+        ones ^= x;
+        const std::uint64_t carry2 = twos & carry1;
+        twos ^= carry1;
+        fours |= carry2;
+      };
+      if (r > 0) {
+        add(shifted_row(r - 1, -1, w));
+        add(shifted_row(r - 1, 0, w));
+        add(shifted_row(r - 1, 1, w));
+      }
+      add(shifted_row(r, -1, w));
+      add(shifted_row(r, 1, w));
+      if (r + 1 < rows_) {
+        add(shifted_row(r + 1, -1, w));
+        add(shifted_row(r + 1, 0, w));
+        add(shifted_row(r + 1, 1, w));
+      }
+      const std::uint64_t current = bits_[r * words_per_row_ + w];
+      const std::uint64_t is3 = ~fours & twos & ones;
+      const std::uint64_t is2 = ~fours & twos & ~ones;
+      std::uint64_t result = is3 | (current & is2);
+      if (w + 1 == words_per_row_) result &= last_mask;
+      next.bits_[r * words_per_row_ + w] = result;
+    }
+  }
+  return next;
+}
+
+LifeGrid LifeGridPacked::unpack() const {
+  LifeGrid out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (alive(r, c)) out.set(r, c, true);
+  return out;
+}
+
+}  // namespace pe::kernels

@@ -1,0 +1,127 @@
+#include "perfeng/kernels/matmul.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/parallel/parallel_for.hpp"
+
+namespace pe::kernels {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  PE_REQUIRE(rows >= 1 && cols >= 1, "matrix must be non-empty");
+}
+
+void Matrix::randomize(Rng& rng) {
+  for (double& v : data_) v = rng.next_range_double(-1.0, 1.0);
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  PE_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+             "shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  return worst;
+}
+
+namespace {
+
+void check_shapes(const Matrix& a, const Matrix& b, const Matrix& c) {
+  PE_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  PE_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+             "output shape mismatch");
+}
+
+}  // namespace
+
+void matmul_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  check_shapes(a, b, c);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += a(i, kk) * b(kk, j);
+      c(i, j) = acc;
+    }
+  }
+}
+
+void matmul_interchanged(const Matrix& a, const Matrix& b, Matrix& c) {
+  check_shapes(a, b, c);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) c(i, j) = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a(i, kk);
+      for (std::size_t j = 0; j < n; ++j) c(i, j) += aik * b(kk, j);
+    }
+  }
+}
+
+void matmul_tiled(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::size_t tile) {
+  check_shapes(a, b, c);
+  PE_REQUIRE(tile >= 1, "tile must be positive");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) c(i, j) = 0.0;
+
+  for (std::size_t i0 = 0; i0 < m; i0 += tile) {
+    const std::size_t i1 = std::min(m, i0 + tile);
+    for (std::size_t k0 = 0; k0 < k; k0 += tile) {
+      const std::size_t k1 = std::min(k, k0 + tile);
+      for (std::size_t j0 = 0; j0 < n; j0 += tile) {
+        const std::size_t j1 = std::min(n, j0 + tile);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const double aik = a(i, kk);
+            for (std::size_t j = j0; j < j1; ++j) c(i, j) += aik * b(kk, j);
+          }
+        }
+      }
+    }
+  }
+}
+
+void matmul_parallel(const Matrix& a, const Matrix& b, Matrix& c,
+                     ThreadPool& pool, std::size_t tile) {
+  check_shapes(a, b, c);
+  PE_REQUIRE(tile >= 1, "tile must be positive");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const std::size_t row_blocks = (m + tile - 1) / tile;
+
+  parallel_for(pool, 0, row_blocks, [&](std::size_t block) {
+    const std::size_t i0 = block * tile;
+    const std::size_t i1 = std::min(m, i0 + tile);
+    for (std::size_t i = i0; i < i1; ++i)
+      for (std::size_t j = 0; j < n; ++j) c(i, j) = 0.0;
+    for (std::size_t k0 = 0; k0 < k; k0 += tile) {
+      const std::size_t k1 = std::min(k, k0 + tile);
+      for (std::size_t j0 = 0; j0 < n; j0 += tile) {
+        const std::size_t j1 = std::min(n, j0 + tile);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const double aik = a(i, kk);
+            for (std::size_t j = j0; j < j1; ++j) c(i, j) += aik * b(kk, j);
+          }
+        }
+      }
+    }
+  });
+}
+
+double matmul_flops(std::size_t m, std::size_t k, std::size_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+         static_cast<double>(n);
+}
+
+double matmul_min_bytes(std::size_t m, std::size_t k, std::size_t n) {
+  const double a = static_cast<double>(m) * static_cast<double>(k);
+  const double b = static_cast<double>(k) * static_cast<double>(n);
+  const double c = static_cast<double>(m) * static_cast<double>(n);
+  return (a + b + 2.0 * c) * sizeof(double);  // C read+written
+}
+
+}  // namespace pe::kernels

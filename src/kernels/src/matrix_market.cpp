@@ -1,0 +1,104 @@
+#include "perfeng/kernels/matrix_market.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::kernels {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+CooMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw Error("mtx: empty input");
+
+  // Banner: %%MatrixMarket matrix coordinate <field> <symmetry>
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (lower(tag) != "%%matrixmarket")
+    throw Error("mtx: missing %%MatrixMarket banner");
+  if (lower(object) != "matrix" || lower(format) != "coordinate")
+    throw Error("mtx: only 'matrix coordinate' is supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !pattern)
+    throw Error("mtx: unsupported field '" + field + "'");
+  const bool symmetric = symmetry == "symmetric" || symmetry == "skew-symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  if (!symmetric && symmetry != "general")
+    throw Error("mtx: unsupported symmetry '" + symmetry + "'");
+
+  // Skip comments, read the size line.
+  std::size_t rows = 0, cols = 0, nnz = 0;
+  for (;;) {
+    if (!std::getline(in, line)) throw Error("mtx: missing size line");
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream size_line(line);
+    if (!(size_line >> rows >> cols >> nnz))
+      throw Error("mtx: malformed size line");
+    break;
+  }
+  PE_REQUIRE(rows >= 1 && cols >= 1, "mtx: empty matrix");
+
+  CooMatrix coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  coo.entries.reserve(symmetric ? nnz * 2 : nnz);
+  for (std::size_t e = 0; e < nnz; ++e) {
+    if (!std::getline(in, line)) throw Error("mtx: truncated entry list");
+    if (line.empty() || line[0] == '%') {
+      --e;
+      continue;
+    }
+    std::istringstream entry(line);
+    std::size_t r = 0, c = 0;
+    double v = 1.0;
+    if (!(entry >> r >> c)) throw Error("mtx: malformed entry");
+    if (!pattern && !(entry >> v)) throw Error("mtx: missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      throw Error("mtx: entry out of bounds");
+    const auto row = static_cast<std::uint32_t>(r - 1);
+    const auto col = static_cast<std::uint32_t>(c - 1);
+    coo.entries.push_back({row, col, v});
+    if (symmetric && row != col)
+      coo.entries.push_back({col, row, skew ? -v : v});
+  }
+  coo.normalize();
+  return coo;
+}
+
+CooMatrix parse_matrix_market(const std::string& text) {
+  std::istringstream in(text);
+  return read_matrix_market(in);
+}
+
+CooMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("mtx: cannot open '" + path + "'");
+  return read_matrix_market(in);
+}
+
+std::string write_matrix_market(const CooMatrix& m) {
+  std::ostringstream out;
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by perfeng\n";
+  out << m.rows << " " << m.cols << " " << m.entries.size() << "\n";
+  out.precision(17);
+  for (const Triplet& t : m.entries)
+    out << (t.row + 1) << " " << (t.col + 1) << " " << t.value << "\n";
+  return out.str();
+}
+
+}  // namespace pe::kernels

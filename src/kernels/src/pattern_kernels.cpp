@@ -1,0 +1,125 @@
+#include "perfeng/kernels/pattern_kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "perfeng/common/aligned_buffer.hpp"
+#include "perfeng/common/error.hpp"
+#include "perfeng/parallel/parallel_for.hpp"
+
+namespace pe::kernels {
+
+double strided_sum(const std::vector<double>& data, std::size_t stride) {
+  PE_REQUIRE(!data.empty(), "empty input");
+  PE_REQUIRE(stride >= 1, "stride must be positive");
+  // Column-major traversal: `stride` interleaved passes so every element
+  // is touched exactly once while consecutive touches sit `stride`
+  // elements apart (same total work at every stride).
+  const std::size_t n = data.size();
+  double acc = 0.0;
+  for (std::size_t offset = 0; offset < stride && offset < n; ++offset) {
+    for (std::size_t i = offset; i < n; i += stride) acc += data[i];
+  }
+  return acc;
+}
+
+double sequential_sum(const std::vector<double>& data) {
+  PE_REQUIRE(!data.empty(), "empty input");
+  double acc = 0.0;
+  for (double v : data) acc += v;
+  return acc;
+}
+
+std::uint64_t false_sharing_counters(ThreadPool& pool,
+                                     std::uint64_t iterations) {
+  const std::size_t workers = pool.size();
+  // Adjacent counters: every increment invalidates the others' line.
+  std::vector<std::atomic<std::uint64_t>> counters(workers);
+  for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+  pool.run_on_all([&](std::size_t w) {
+    auto& mine = counters[w];
+    for (std::uint64_t i = 0; i < iterations; ++i)
+      mine.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::uint64_t total = 0;
+  for (const auto& c : counters) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t padded_counters(ThreadPool& pool, std::uint64_t iterations) {
+  const std::size_t workers = pool.size();
+  struct alignas(kCacheLineBytes) PaddedCounter {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::vector<PaddedCounter> counters(workers);
+  pool.run_on_all([&](std::size_t w) {
+    auto& mine = counters[w].value;
+    for (std::uint64_t i = 0; i < iterations; ++i)
+      mine.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::uint64_t total = 0;
+  for (const auto& c : counters)
+    total += c.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+namespace {
+
+/// Task i performs ~i iterations of real floating-point work; the result
+/// encodes the iteration count so schedules can be differentially tested.
+double triangular_task(std::size_t i) {
+  double acc = 1.0;
+  for (std::size_t it = 0; it < i; ++it) acc = acc * 1.0000001 + 1e-9;
+  return acc;
+}
+
+}  // namespace
+
+void imbalanced_static(ThreadPool& pool, std::size_t tasks,
+                       std::vector<double>& out) {
+  out.assign(tasks, 0.0);
+  parallel_for(
+      pool, 0, tasks, [&](std::size_t i) { out[i] = triangular_task(i); },
+      Schedule::kStatic);
+}
+
+void imbalanced_dynamic(ThreadPool& pool, std::size_t tasks,
+                        std::vector<double>& out) {
+  out.assign(tasks, 0.0);
+  parallel_for(
+      pool, 0, tasks, [&](std::size_t i) { out[i] = triangular_task(i); },
+      Schedule::kDynamic, /*chunk=*/16);
+}
+
+double branchy_sum(const std::vector<double>& data, double threshold) {
+  PE_REQUIRE(!data.empty(), "empty input");
+  double acc = 0.0;
+  for (double v : data) {
+    if (v > threshold) acc += v;
+  }
+  return acc;
+}
+
+double branchless_sum(const std::vector<double>& data, double threshold) {
+  PE_REQUIRE(!data.empty(), "empty input");
+  double acc = 0.0;
+  for (double v : data) {
+    acc += v > threshold ? v : 0.0;  // compiles to a select, not a branch
+  }
+  return acc;
+}
+
+std::vector<double> random_doubles(std::size_t count, Rng& rng) {
+  std::vector<double> out(count);
+  for (double& v : out) v = rng.next_double();
+  return out;
+}
+
+std::vector<double> sorted_doubles(std::size_t count, Rng& rng) {
+  std::vector<double> out = random_doubles(count, rng);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pe::kernels

@@ -1,0 +1,292 @@
+#include "perfeng/kernels/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/parallel/parallel_for.hpp"
+
+namespace pe::kernels {
+
+void CooMatrix::normalize() {
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  std::vector<Triplet> merged;
+  merged.reserve(entries.size());
+  for (const Triplet& t : entries) {
+    if (!merged.empty() && merged.back().row == t.row &&
+        merged.back().col == t.col) {
+      merged.back().value += t.value;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  entries = std::move(merged);
+}
+
+CsrMatrix coo_to_csr(const CooMatrix& coo) {
+  PE_REQUIRE(coo.rows >= 1 && coo.cols >= 1, "matrix must be non-empty");
+  CooMatrix sorted = coo;
+  sorted.normalize();
+
+  CsrMatrix csr;
+  csr.rows = coo.rows;
+  csr.cols = coo.cols;
+  csr.row_ptr.assign(coo.rows + 1, 0);
+  csr.col_idx.reserve(sorted.entries.size());
+  csr.values.reserve(sorted.entries.size());
+  for (const Triplet& t : sorted.entries) {
+    PE_REQUIRE(t.row < coo.rows && t.col < coo.cols, "entry out of bounds");
+    ++csr.row_ptr[t.row + 1];
+    csr.col_idx.push_back(t.col);
+    csr.values.push_back(t.value);
+  }
+  for (std::size_t r = 0; r < coo.rows; ++r)
+    csr.row_ptr[r + 1] += csr.row_ptr[r];
+  return csr;
+}
+
+CscMatrix coo_to_csc(const CooMatrix& coo) {
+  PE_REQUIRE(coo.rows >= 1 && coo.cols >= 1, "matrix must be non-empty");
+  CooMatrix sorted = coo;
+  sorted.normalize();
+  // Re-sort column-major.
+  std::sort(sorted.entries.begin(), sorted.entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.col != b.col) return a.col < b.col;
+              return a.row < b.row;
+            });
+
+  CscMatrix csc;
+  csc.rows = coo.rows;
+  csc.cols = coo.cols;
+  csc.col_ptr.assign(coo.cols + 1, 0);
+  csc.row_idx.reserve(sorted.entries.size());
+  csc.values.reserve(sorted.entries.size());
+  for (const Triplet& t : sorted.entries) {
+    PE_REQUIRE(t.row < coo.rows && t.col < coo.cols, "entry out of bounds");
+    ++csc.col_ptr[t.col + 1];
+    csc.row_idx.push_back(t.row);
+    csc.values.push_back(t.value);
+  }
+  for (std::size_t c = 0; c < coo.cols; ++c)
+    csc.col_ptr[c + 1] += csc.col_ptr[c];
+  return csc;
+}
+
+CooMatrix csr_to_coo(const CsrMatrix& csr) {
+  CooMatrix coo;
+  coo.rows = csr.rows;
+  coo.cols = csr.cols;
+  coo.entries.reserve(csr.nnz());
+  for (std::size_t r = 0; r < csr.rows; ++r) {
+    for (std::uint32_t i = csr.row_ptr[r]; i < csr.row_ptr[r + 1]; ++i) {
+      coo.entries.push_back({static_cast<std::uint32_t>(r), csr.col_idx[i],
+                             csr.values[i]});
+    }
+  }
+  return coo;
+}
+
+std::size_t EllMatrix::nnz() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (values[i] != 0.0) ++count;
+  return count;
+}
+
+double EllMatrix::padding_ratio() const {
+  const std::size_t useful = nnz();
+  return useful == 0 ? 0.0
+                     : static_cast<double>(rows * width) /
+                           static_cast<double>(useful);
+}
+
+EllMatrix csr_to_ell(const CsrMatrix& csr) {
+  EllMatrix ell;
+  ell.rows = csr.rows;
+  ell.cols = csr.cols;
+  for (std::size_t r = 0; r < csr.rows; ++r) {
+    ell.width = std::max<std::size_t>(
+        ell.width, csr.row_ptr[r + 1] - csr.row_ptr[r]);
+  }
+  ell.width = std::max<std::size_t>(ell.width, 1);
+  ell.col_idx.assign(csr.rows * ell.width, 0);
+  ell.values.assign(csr.rows * ell.width, 0.0);
+  for (std::size_t r = 0; r < csr.rows; ++r) {
+    std::size_t slot = 0;
+    for (std::uint32_t i = csr.row_ptr[r]; i < csr.row_ptr[r + 1];
+         ++i, ++slot) {
+      ell.col_idx[r * ell.width + slot] = csr.col_idx[i];
+      ell.values[r * ell.width + slot] = csr.values[i];
+    }
+  }
+  return ell;
+}
+
+void spmv_ell(const EllMatrix& a, const std::vector<double>& x,
+              std::vector<double>& y) {
+  PE_REQUIRE(x.size() == a.cols, "x size mismatch");
+  PE_REQUIRE(y.size() == a.rows, "y size mismatch");
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    double acc = 0.0;
+    for (std::size_t slot = 0; slot < a.width; ++slot) {
+      // Padding has value 0.0, so it contributes nothing; the regular
+      // iteration count is exactly what makes ELL vectorizable.
+      acc += a.values[r * a.width + slot] * x[a.col_idx[r * a.width + slot]];
+    }
+    y[r] = acc;
+  }
+}
+
+void spmv_coo(const CooMatrix& a, const std::vector<double>& x,
+              std::vector<double>& y) {
+  PE_REQUIRE(x.size() == a.cols, "x size mismatch");
+  PE_REQUIRE(y.size() == a.rows, "y size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (const Triplet& t : a.entries) y[t.row] += t.value * x[t.col];
+}
+
+void spmv_csr(const CsrMatrix& a, const std::vector<double>& x,
+              std::vector<double>& y) {
+  PE_REQUIRE(x.size() == a.cols, "x size mismatch");
+  PE_REQUIRE(y.size() == a.rows, "y size mismatch");
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    double acc = 0.0;
+    for (std::uint32_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i)
+      acc += a.values[i] * x[a.col_idx[i]];
+    y[r] = acc;
+  }
+}
+
+void spmv_csc(const CscMatrix& a, const std::vector<double>& x,
+              std::vector<double>& y) {
+  PE_REQUIRE(x.size() == a.cols, "x size mismatch");
+  PE_REQUIRE(y.size() == a.rows, "y size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t c = 0; c < a.cols; ++c) {
+    const double xc = x[c];
+    for (std::uint32_t i = a.col_ptr[c]; i < a.col_ptr[c + 1]; ++i)
+      y[a.row_idx[i]] += a.values[i] * xc;
+  }
+}
+
+void spmv_csr_parallel(const CsrMatrix& a, const std::vector<double>& x,
+                       std::vector<double>& y, ThreadPool& pool) {
+  PE_REQUIRE(x.size() == a.cols, "x size mismatch");
+  PE_REQUIRE(y.size() == a.rows, "y size mismatch");
+  parallel_for(
+      pool, 0, a.rows,
+      [&](std::size_t r) {
+        double acc = 0.0;
+        for (std::uint32_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i)
+          acc += a.values[i] * x[a.col_idx[i]];
+        y[r] = acc;
+      },
+      Schedule::kDynamic, 256);
+}
+
+std::string pattern_name(SparsityPattern p) {
+  switch (p) {
+    case SparsityPattern::kUniform: return "uniform";
+    case SparsityPattern::kBanded: return "banded";
+    case SparsityPattern::kPowerLaw: return "powerlaw";
+  }
+  return "?";
+}
+
+CooMatrix generate_sparse(std::size_t rows, std::size_t cols, double density,
+                          SparsityPattern pattern, Rng& rng) {
+  PE_REQUIRE(rows >= 1 && cols >= 1, "matrix must be non-empty");
+  PE_REQUIRE(density > 0.0 && density <= 1.0, "density must be in (0,1]");
+  CooMatrix coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  const auto target_nnz = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(rows) *
+                                  static_cast<double>(cols) * density));
+  coo.entries.reserve(target_nnz);
+
+  auto value = [&rng] { return rng.next_range_double(0.1, 1.0); };
+
+  switch (pattern) {
+    case SparsityPattern::kUniform: {
+      for (std::size_t e = 0; e < target_nnz; ++e) {
+        coo.entries.push_back(
+            {static_cast<std::uint32_t>(rng.next_range(0, rows - 1)),
+             static_cast<std::uint32_t>(rng.next_range(0, cols - 1)),
+             value()});
+      }
+      break;
+    }
+    case SparsityPattern::kBanded: {
+      // Bandwidth chosen so the band holds the target density.
+      const std::size_t per_row =
+          std::max<std::size_t>(1, target_nnz / rows);
+      const std::size_t half_band = std::max<std::size_t>(1, per_row / 2 + 1);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t diag =
+            cols > 1 ? r * (cols - 1) / std::max<std::size_t>(1, rows - 1)
+                     : 0;
+        const std::size_t lo = diag >= half_band ? diag - half_band : 0;
+        const std::size_t hi = std::min(cols - 1, diag + half_band);
+        for (std::size_t e = 0; e < per_row; ++e) {
+          coo.entries.push_back(
+              {static_cast<std::uint32_t>(r),
+               static_cast<std::uint32_t>(rng.next_range(lo, hi)), value()});
+        }
+      }
+      break;
+    }
+    case SparsityPattern::kPowerLaw: {
+      // Zipf row popularity: a few rows hold most of the non-zeros.
+      for (std::size_t e = 0; e < target_nnz; ++e) {
+        const std::size_t r =
+            static_cast<std::size_t>(rng.next_zipf(rows, 1.1));
+        coo.entries.push_back(
+            {static_cast<std::uint32_t>(r),
+             static_cast<std::uint32_t>(rng.next_range(0, cols - 1)),
+             value()});
+      }
+      break;
+    }
+  }
+  coo.normalize();
+  return coo;
+}
+
+std::vector<std::string> sparse_feature_names() {
+  return {"rows",      "cols",       "nnz",      "density",
+          "mean_deg",  "deg_cv",     "bandwidth"};
+}
+
+std::vector<double> sparse_features(const CsrMatrix& m) {
+  const double rows = static_cast<double>(m.rows);
+  const double cols = static_cast<double>(m.cols);
+  const double nnz = static_cast<double>(m.nnz());
+
+  double deg_sum = 0.0, deg_sq = 0.0, band = 0.0;
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    const double deg =
+        static_cast<double>(m.row_ptr[r + 1] - m.row_ptr[r]);
+    deg_sum += deg;
+    deg_sq += deg * deg;
+    for (std::uint32_t i = m.row_ptr[r]; i < m.row_ptr[r + 1]; ++i) {
+      const double spread = std::abs(static_cast<double>(m.col_idx[i]) -
+                                     static_cast<double>(r));
+      band = std::max(band, spread);
+    }
+  }
+  const double mean_deg = rows > 0 ? deg_sum / rows : 0.0;
+  const double var_deg =
+      rows > 0 ? std::max(0.0, deg_sq / rows - mean_deg * mean_deg) : 0.0;
+  const double cv = mean_deg > 0.0 ? std::sqrt(var_deg) / mean_deg : 0.0;
+
+  return {rows, cols, nnz, nnz / (rows * cols), mean_deg, cv, band};
+}
+
+}  // namespace pe::kernels

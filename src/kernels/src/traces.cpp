@@ -1,0 +1,137 @@
+#include "perfeng/kernels/traces.hpp"
+
+#include <algorithm>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::kernels {
+
+using pe::sim::AccessType;
+
+void trace_matmul(pe::sim::CacheHierarchy& hierarchy, std::size_t n,
+                  TraceVariant variant, std::size_t tile) {
+  PE_REQUIRE(n >= 1, "matrix order must be positive");
+  PE_REQUIRE(tile >= 1, "tile must be positive");
+  const std::uint64_t elem = sizeof(double);
+  const std::uint64_t a_base = 0;
+  const std::uint64_t b_base = a_base + n * n * elem;
+  const std::uint64_t c_base = b_base + n * n * elem;
+
+  auto a_addr = [&](std::size_t i, std::size_t k) {
+    return a_base + (i * n + k) * elem;
+  };
+  auto b_addr = [&](std::size_t k, std::size_t j) {
+    return b_base + (k * n + j) * elem;
+  };
+  auto c_addr = [&](std::size_t i, std::size_t j) {
+    return c_base + (i * n + j) * elem;
+  };
+
+  switch (variant) {
+    case TraceVariant::kNaiveIjk:
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+          for (std::size_t k = 0; k < n; ++k) {
+            hierarchy.access(a_addr(i, k), elem, AccessType::kRead);
+            hierarchy.access(b_addr(k, j), elem, AccessType::kRead);
+          }
+          hierarchy.access(c_addr(i, j), elem, AccessType::kWrite);
+        }
+      break;
+    case TraceVariant::kInterchangedIkj:
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t k = 0; k < n; ++k) {
+          hierarchy.access(a_addr(i, k), elem, AccessType::kRead);
+          for (std::size_t j = 0; j < n; ++j) {
+            hierarchy.access(b_addr(k, j), elem, AccessType::kRead);
+            hierarchy.access(c_addr(i, j), elem, AccessType::kRead);
+            hierarchy.access(c_addr(i, j), elem, AccessType::kWrite);
+          }
+        }
+      break;
+    case TraceVariant::kTiled:
+      for (std::size_t i0 = 0; i0 < n; i0 += tile) {
+        const std::size_t i1 = std::min(n, i0 + tile);
+        for (std::size_t k0 = 0; k0 < n; k0 += tile) {
+          const std::size_t k1 = std::min(n, k0 + tile);
+          for (std::size_t j0 = 0; j0 < n; j0 += tile) {
+            const std::size_t j1 = std::min(n, j0 + tile);
+            for (std::size_t i = i0; i < i1; ++i)
+              for (std::size_t k = k0; k < k1; ++k) {
+                hierarchy.access(a_addr(i, k), elem, AccessType::kRead);
+                for (std::size_t j = j0; j < j1; ++j) {
+                  hierarchy.access(b_addr(k, j), elem, AccessType::kRead);
+                  hierarchy.access(c_addr(i, j), elem, AccessType::kRead);
+                  hierarchy.access(c_addr(i, j), elem, AccessType::kWrite);
+                }
+              }
+          }
+        }
+      }
+      break;
+  }
+}
+
+void trace_strided(pe::sim::CacheHierarchy& hierarchy, std::size_t elements,
+                   std::size_t stride) {
+  PE_REQUIRE(elements >= 1, "need at least one element");
+  PE_REQUIRE(stride >= 1, "stride must be positive");
+  // Mirror kernels::strided_sum's column-major traversal exactly.
+  const std::uint64_t elem = sizeof(double);
+  for (std::size_t offset = 0; offset < stride && offset < elements;
+       ++offset) {
+    for (std::size_t i = offset; i < elements; i += stride)
+      hierarchy.access(i * elem, elem, AccessType::kRead);
+  }
+}
+
+void trace_histogram(pe::sim::CacheHierarchy& hierarchy,
+                     const std::vector<std::uint32_t>& indices,
+                     std::size_t bins) {
+  PE_REQUIRE(bins >= 1, "need at least one bin");
+  const std::uint64_t input_base = 0;
+  const std::uint64_t counts_base =
+      input_base + indices.size() * sizeof(std::uint32_t);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    PE_ASSERT(indices[i] < bins, "index out of range");
+    hierarchy.access(input_base + i * sizeof(std::uint32_t),
+                     sizeof(std::uint32_t), AccessType::kRead);
+    const std::uint64_t counter =
+        counts_base + indices[i] * sizeof(std::uint64_t);
+    hierarchy.access(counter, sizeof(std::uint64_t), AccessType::kRead);
+    hierarchy.access(counter, sizeof(std::uint64_t), AccessType::kWrite);
+  }
+}
+
+void trace_spmv_csr(pe::sim::CacheHierarchy& hierarchy, std::size_t rows,
+                    std::size_t cols,
+                    const std::vector<std::uint32_t>& row_ptr,
+                    const std::vector<std::uint32_t>& col_idx) {
+  PE_REQUIRE(row_ptr.size() == rows + 1, "row_ptr size mismatch");
+  const std::size_t nnz = col_idx.size();
+  const std::uint64_t rp_base = 0;
+  const std::uint64_t ci_base = rp_base + row_ptr.size() * 4;
+  const std::uint64_t val_base = ci_base + nnz * 4;
+  const std::uint64_t x_base = val_base + nnz * 8;
+  const std::uint64_t y_base = x_base + cols * 8;
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    hierarchy.access(rp_base + r * 4, 8, AccessType::kRead);  // ptr pair
+    for (std::uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      hierarchy.access(ci_base + i * 4, 4, AccessType::kRead);
+      hierarchy.access(val_base + i * 8, 8, AccessType::kRead);
+      hierarchy.access(x_base + static_cast<std::uint64_t>(col_idx[i]) * 8,
+                       8, AccessType::kRead);
+    }
+    hierarchy.access(y_base + r * 8, 8, AccessType::kWrite);
+  }
+}
+
+void trace_branchy(pe::sim::BranchPredictor& predictor,
+                   const std::vector<double>& data, double threshold) {
+  // One static branch site; outcome depends on the data.
+  constexpr std::uint64_t kBranchPc = 0x400123;
+  for (double v : data) predictor.record(kBranchPc, v > threshold);
+}
+
+}  // namespace pe::kernels

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file benchmark_runner.hpp
+/// The toolbox's measurement harness (Stage 2 of the PE process).
+///
+/// A `BenchmarkRunner` executes a kernel closure under a configurable
+/// experiment design: warmup runs are discarded, the batch size is grown
+/// until one batch exceeds a minimum measurable time (shielding against
+/// timer quantization), and the requested number of repetitions is recorded
+/// for statistical summary. This is the behaviour students must implement by
+/// hand in Assignment 1 before they may trust any Roofline placement.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "perfeng/measure/statistics.hpp"
+
+namespace pe {
+
+/// Experiment design knobs for one measurement.
+struct MeasurementConfig {
+  int warmup_runs = 2;         ///< discarded executions before timing
+  int repetitions = 10;        ///< recorded, independently-timed batches
+  double min_batch_seconds = 1e-3;  ///< grow batch until this long
+  std::size_t max_batch_iterations = 1u << 20;  ///< safety cap
+};
+
+/// Result of measuring one kernel configuration.
+struct Measurement {
+  std::string label;
+  std::size_t batch_iterations = 1;   ///< kernel calls per timed batch
+  std::vector<double> seconds;        ///< per-iteration time, one per repeat
+  SampleSummary summary;              ///< summary of `seconds`
+
+  /// Best (minimum) per-iteration time — the standard "peak" estimator.
+  [[nodiscard]] double best() const { return summary.min; }
+  /// Median per-iteration time — the robust central estimator.
+  [[nodiscard]] double typical() const { return summary.median; }
+};
+
+/// Runs kernels under a MeasurementConfig and summarizes the samples.
+class BenchmarkRunner {
+ public:
+  BenchmarkRunner() = default;
+  explicit BenchmarkRunner(MeasurementConfig config);
+
+  [[nodiscard]] const MeasurementConfig& config() const { return config_; }
+
+  /// Measure `kernel` (a void() closure). The kernel must perform the same
+  /// work every call; use `do_not_optimize` inside it to keep results alive.
+  [[nodiscard]] Measurement run(const std::string& label,
+                                const std::function<void()>& kernel) const;
+
+  /// Measure a kernel whose per-call work is `work_units` (e.g. FLOPs or
+  /// bytes); the measurement label is annotated and throughput helpers in
+  /// metrics.hpp can consume the result.
+  [[nodiscard]] Measurement run_with_setup(
+      const std::string& label, const std::function<void()>& setup,
+      const std::function<void()>& kernel) const;
+
+ private:
+  [[nodiscard]] std::size_t calibrate_batch(
+      const std::function<void()>& kernel) const;
+
+  MeasurementConfig config_;
+};
+
+}  // namespace pe

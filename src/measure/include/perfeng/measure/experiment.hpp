@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file experiment.hpp
+/// Experimental design: factor sweeps and result recording.
+///
+/// "Do not underestimate empirical analysis efforts" (Lesson 3): most student
+/// time is lost to ad-hoc sweep scripts. `Experiment` makes a sweep an
+/// object — declare factors, enumerate the full-factorial design, record one
+/// row of metrics per design point, then render the result table or CSV in
+/// one call.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perfeng/common/table.hpp"
+
+namespace pe {
+
+/// One factor of an experiment: a name plus the levels to sweep.
+struct Factor {
+  std::string name;
+  std::vector<std::string> levels;
+};
+
+/// A single design point: factor name -> chosen level.
+using DesignPoint = std::map<std::string, std::string>;
+
+/// Full-factorial experiment with named response metrics.
+class Experiment {
+ public:
+  explicit Experiment(std::string name);
+
+  /// Add a factor with string levels (order preserved in enumeration).
+  void add_factor(const std::string& name, std::vector<std::string> levels);
+
+  /// Convenience: numeric levels formatted via to_string.
+  void add_factor(const std::string& name, const std::vector<int>& levels);
+  void add_factor(const std::string& name,
+                  const std::vector<std::size_t>& levels);
+
+  /// Declare the response metrics recorded per design point, in order.
+  void set_metrics(std::vector<std::string> metric_names);
+
+  /// Enumerate all design points in row-major factor order.
+  [[nodiscard]] std::vector<DesignPoint> design() const;
+
+  /// Number of design points (product of level counts).
+  [[nodiscard]] std::size_t design_size() const;
+
+  /// Record metric values for one design point; widths must match
+  /// set_metrics().
+  void record(const DesignPoint& point, const std::vector<double>& values);
+
+  /// Run `body(point)` for every design point, recording its returned
+  /// metrics. `body` must return exactly the declared metric count.
+  void run(const std::function<std::vector<double>(const DesignPoint&)>& body);
+
+  /// Recorded results as an ASCII table (factors + metrics columns).
+  [[nodiscard]] Table to_table() const;
+
+  /// All recorded values of one metric, in record order.
+  [[nodiscard]] std::vector<double> metric_values(
+      const std::string& metric) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t record_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    DesignPoint point;
+    std::vector<double> values;
+  };
+
+  std::string name_;
+  std::vector<Factor> factors_;
+  std::vector<std::string> metrics_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pe

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Derived performance metrics (Objective 1: quantify performance with the
+/// appropriate metric) and model-accuracy metrics shared by the analytical
+/// and statistical modeling assignments.
+
+#include <span>
+
+namespace pe {
+
+/// FLOP/s achieved by `flop_count` floating-point operations in `seconds`.
+[[nodiscard]] double flops_rate(double flop_count, double seconds);
+
+/// Bytes/s moved by `bytes` of traffic in `seconds`.
+[[nodiscard]] double bandwidth(double bytes, double seconds);
+
+/// Arithmetic intensity: FLOPs per byte of memory traffic — the x-axis of
+/// the Roofline model.
+[[nodiscard]] double arithmetic_intensity(double flop_count, double bytes);
+
+/// Classic speedup: baseline time over improved time.
+[[nodiscard]] double speedup(double baseline_seconds, double improved_seconds);
+
+/// Parallel efficiency: speedup / workers.
+[[nodiscard]] double parallel_efficiency(double speedup_value, int workers);
+
+/// Signed relative error of a prediction against an observation.
+[[nodiscard]] double relative_error(double predicted, double observed);
+
+/// Mean absolute percentage error across a validation set.
+[[nodiscard]] double mape(std::span<const double> predicted,
+                          std::span<const double> observed);
+
+/// Root mean squared error across a validation set.
+[[nodiscard]] double rmse(std::span<const double> predicted,
+                          std::span<const double> observed);
+
+/// Coefficient of determination of predictions against observations.
+[[nodiscard]] double r_squared(std::span<const double> predicted,
+                               std::span<const double> observed);
+
+}  // namespace pe

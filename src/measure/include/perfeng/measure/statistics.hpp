@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file statistics.hpp
+/// Summary statistics and uncertainty for performance samples.
+///
+/// Performance data is noisy and often skewed; the course teaches reporting
+/// the median with a nonparametric spread alongside the mean, and quoting a
+/// confidence interval instead of a bare average. This module implements the
+/// estimators used throughout the toolbox and by the statistical-modeling
+/// assignment's validation step.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pe {
+
+/// Full summary of a sample of measurements.
+struct SampleSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;   ///< sample standard deviation (n-1 denominator)
+  double mad = 0.0;      ///< median absolute deviation
+  double p05 = 0.0;      ///< 5th percentile
+  double p95 = 0.0;      ///< 95th percentile
+  double ci95_half = 0.0;  ///< half-width of the 95% CI of the mean
+};
+
+/// Arithmetic mean; 0 for an empty sample.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 when fewer than two points.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Median (average of the two middle order statistics for even n).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Median absolute deviation (robust spread).
+[[nodiscard]] double median_abs_deviation(std::span<const double> xs);
+
+/// Geometric mean; requires strictly positive values.
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+
+/// Harmonic mean; requires strictly positive values. The correct mean for
+/// rates measured over equal work (another classic course exam question).
+[[nodiscard]] double harmonic_mean(std::span<const double> xs);
+
+/// Half-width of the 95% confidence interval of the mean, using Student's t
+/// critical value (Welch–Satterthwaite is unnecessary for one sample).
+[[nodiscard]] double ci95_halfwidth(std::span<const double> xs);
+
+/// Two-sided Student's t critical value for `dof` degrees of freedom at 95%.
+[[nodiscard]] double t_critical_95(std::size_t dof);
+
+/// Pearson correlation of two equal-length samples.
+[[nodiscard]] double pearson_correlation(std::span<const double> xs,
+                                         std::span<const double> ys);
+
+/// Simple least-squares line fit y = a + b x; returns {a, b}.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] LineFit fit_line(std::span<const double> xs,
+                               std::span<const double> ys);
+
+/// One-call computation of the full summary.
+[[nodiscard]] SampleSummary summarize(std::span<const double> xs);
+
+/// Coefficient of variation (stddev / mean); signals unstable measurements.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs);
+
+/// Result of comparing two measurement samples (Welch's t-test at 95%).
+///
+/// "Is B faster than A?" is a statistics question, not an eyeballing
+/// question — the comparison lecture's core lesson. The verdict is
+/// significant only when the confidence interval of the mean difference
+/// excludes zero.
+struct ComparisonResult {
+  double mean_difference = 0.0;   ///< mean(b) - mean(a)
+  double ci95_half = 0.0;         ///< half-width of the difference CI
+  double t_statistic = 0.0;
+  double dof = 0.0;               ///< Welch–Satterthwaite
+  bool significant = false;       ///< CI excludes zero
+
+  /// Relative change (mean(b) - mean(a)) / mean(a).
+  double relative_change = 0.0;
+};
+
+/// Welch's unequal-variance t-test on two samples (sizes may differ; each
+/// needs >= 2 points and positive variance in at least one sample).
+[[nodiscard]] ComparisonResult compare_samples(std::span<const double> a,
+                                               std::span<const double> b);
+
+/// Remove outliers by Tukey's fences: keep x in
+/// [Q1 - k*IQR, Q3 + k*IQR] (k = 1.5 by convention; 3.0 = "far out").
+/// Returns the retained values in their original order. Measurement
+/// samples polluted by OS jitter (one preempted repetition) are the
+/// intended use; report how many points were dropped.
+[[nodiscard]] std::vector<double> filter_outliers(
+    std::span<const double> xs, double k = 1.5);
+
+}  // namespace pe

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file suite.hpp
+/// Benchmark-suite construction and scoring (the John/Eeckhout
+/// benchmarking lectures).
+///
+/// A suite is a set of named benchmarks with per-benchmark reference
+/// times; a machine's score on a benchmark is the speed ratio vs the
+/// reference, and the suite score is the *geometric* mean of ratios —
+/// the only mean for which "machine A scores higher than B" is
+/// independent of the reference machine (the classic SPEC lesson, and a
+/// reliable exam question).
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perfeng/measure/benchmark_runner.hpp"
+
+namespace pe {
+
+/// One suite member.
+struct SuiteBenchmark {
+  std::string name;
+  std::function<void()> kernel;
+  double reference_seconds = 1.0;  ///< time on the reference machine
+};
+
+/// One benchmark's outcome on the machine under test.
+struct SuiteResult {
+  std::string name;
+  double seconds = 0.0;
+  double ratio = 0.0;  ///< reference_seconds / seconds (higher is better)
+};
+
+/// Scored run of a whole suite.
+struct SuiteScore {
+  std::vector<SuiteResult> results;
+  double geometric_mean_ratio = 0.0;
+  double arithmetic_mean_ratio = 0.0;  ///< reported for the comparison
+
+  /// Names of benchmarks slower than the reference (ratio < 1).
+  [[nodiscard]] std::vector<std::string> regressions() const;
+};
+
+/// A named collection of benchmarks with reference times.
+class BenchmarkSuite {
+ public:
+  explicit BenchmarkSuite(std::string name);
+
+  /// Add a member; reference time must be positive, names unique.
+  void add(SuiteBenchmark benchmark);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+
+  /// Run every member under the runner and score the machine.
+  [[nodiscard]] SuiteScore run(const BenchmarkRunner& runner) const;
+
+  /// Score from externally-measured times (same order as added); used to
+  /// compare scoring rules without re-running, and by tests.
+  [[nodiscard]] SuiteScore score(
+      const std::vector<double>& measured_seconds) const;
+
+ private:
+  std::string name_;
+  std::vector<SuiteBenchmark> members_;
+};
+
+}  // namespace pe

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing (Stage 2: understand current performance).
+///
+/// All timing in the toolbox goes through `WallTimer`, a steady-clock
+/// stopwatch. Timer *resolution* matters when timing short kernels — the
+/// benchmark runner uses `estimate_timer_resolution()` to pick a batch size
+/// large enough that quantization error is negligible, one of the first
+/// measurement lessons of the course.
+
+#include <chrono>
+
+namespace pe {
+
+/// Steady-clock stopwatch measuring elapsed seconds.
+class WallTimer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or last reset().
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Estimate the effective resolution of the steady clock, in seconds, as the
+/// median observed non-zero delta between consecutive readings.
+[[nodiscard]] double estimate_timer_resolution(int probes = 200);
+
+/// Prevent the optimizer from discarding a computed value.
+template <typename T>
+inline void do_not_optimize(const T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(value) : "memory");
+#else
+  volatile T sink = value;
+  (void)sink;
+#endif
+}
+
+/// Force all preceding writes to be considered observed (compiler barrier).
+inline void clobber_memory() {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : : "memory");
+#endif
+}
+
+}  // namespace pe

@@ -1,0 +1,89 @@
+#include "perfeng/measure/benchmark_runner.hpp"
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/measure/timer.hpp"
+
+namespace pe {
+
+BenchmarkRunner::BenchmarkRunner(MeasurementConfig config)
+    : config_(config) {
+  PE_REQUIRE(config_.warmup_runs >= 0, "negative warmup count");
+  PE_REQUIRE(config_.repetitions >= 1, "need at least one repetition");
+  PE_REQUIRE(config_.min_batch_seconds > 0.0, "batch time must be positive");
+  PE_REQUIRE(config_.max_batch_iterations >= 1, "batch cap must be positive");
+}
+
+std::size_t BenchmarkRunner::calibrate_batch(
+    const std::function<void()>& kernel) const {
+  // Double the batch size until one batch takes at least min_batch_seconds.
+  std::size_t batch = 1;
+  for (;;) {
+    WallTimer t;
+    for (std::size_t i = 0; i < batch; ++i) kernel();
+    const double elapsed = t.elapsed();
+    if (elapsed >= config_.min_batch_seconds ||
+        batch >= config_.max_batch_iterations) {
+      return batch;
+    }
+    // Jump straight to the projected size when we have signal, else double.
+    if (elapsed > 0.0) {
+      const double scale = config_.min_batch_seconds / elapsed;
+      const auto projected =
+          static_cast<std::size_t>(static_cast<double>(batch) * scale * 1.2) +
+          1;
+      batch = std::min(std::max(projected, batch * 2),
+                       config_.max_batch_iterations);
+    } else {
+      batch = std::min(batch * 2, config_.max_batch_iterations);
+    }
+  }
+}
+
+Measurement BenchmarkRunner::run(const std::string& label,
+                                 const std::function<void()>& kernel) const {
+  PE_REQUIRE(static_cast<bool>(kernel), "null kernel");
+  for (int i = 0; i < config_.warmup_runs; ++i) kernel();
+
+  Measurement m;
+  m.label = label;
+  m.batch_iterations = calibrate_batch(kernel);
+  m.seconds.reserve(static_cast<std::size_t>(config_.repetitions));
+  for (int rep = 0; rep < config_.repetitions; ++rep) {
+    WallTimer t;
+    for (std::size_t i = 0; i < m.batch_iterations; ++i) kernel();
+    m.seconds.push_back(t.elapsed() /
+                        static_cast<double>(m.batch_iterations));
+  }
+  m.summary = summarize(m.seconds);
+  return m;
+}
+
+Measurement BenchmarkRunner::run_with_setup(
+    const std::string& label, const std::function<void()>& setup,
+    const std::function<void()>& kernel) const {
+  PE_REQUIRE(static_cast<bool>(setup), "null setup");
+  PE_REQUIRE(static_cast<bool>(kernel), "null kernel");
+
+  // Setup must precede every timed execution (e.g. re-randomizing an input
+  // that the kernel mutates); batching is therefore fixed at one iteration
+  // and the repetition count is raised to compensate.
+  for (int i = 0; i < config_.warmup_runs; ++i) {
+    setup();
+    kernel();
+  }
+  Measurement m;
+  m.label = label;
+  m.batch_iterations = 1;
+  const int reps = config_.repetitions;
+  m.seconds.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    setup();
+    WallTimer t;
+    kernel();
+    m.seconds.push_back(t.elapsed());
+  }
+  m.summary = summarize(m.seconds);
+  return m;
+}
+
+}  // namespace pe

@@ -1,0 +1,107 @@
+#include "perfeng/measure/experiment.hpp"
+
+#include "perfeng/common/error.hpp"
+
+namespace pe {
+
+Experiment::Experiment(std::string name) : name_(std::move(name)) {
+  PE_REQUIRE(!name_.empty(), "experiment needs a name");
+}
+
+void Experiment::add_factor(const std::string& name,
+                            std::vector<std::string> levels) {
+  PE_REQUIRE(!levels.empty(), "factor needs at least one level");
+  for (const auto& f : factors_)
+    PE_REQUIRE(f.name != name, "duplicate factor name");
+  factors_.push_back({name, std::move(levels)});
+}
+
+void Experiment::add_factor(const std::string& name,
+                            const std::vector<int>& levels) {
+  std::vector<std::string> s;
+  s.reserve(levels.size());
+  for (int v : levels) s.push_back(std::to_string(v));
+  add_factor(name, std::move(s));
+}
+
+void Experiment::add_factor(const std::string& name,
+                            const std::vector<std::size_t>& levels) {
+  std::vector<std::string> s;
+  s.reserve(levels.size());
+  for (std::size_t v : levels) s.push_back(std::to_string(v));
+  add_factor(name, std::move(s));
+}
+
+void Experiment::set_metrics(std::vector<std::string> metric_names) {
+  PE_REQUIRE(!metric_names.empty(), "need at least one metric");
+  metrics_ = std::move(metric_names);
+}
+
+std::size_t Experiment::design_size() const {
+  std::size_t n = 1;
+  for (const auto& f : factors_) n *= f.levels.size();
+  return factors_.empty() ? 0 : n;
+}
+
+std::vector<DesignPoint> Experiment::design() const {
+  std::vector<DesignPoint> points;
+  if (factors_.empty()) return points;
+  points.reserve(design_size());
+  std::vector<std::size_t> idx(factors_.size(), 0);
+  for (;;) {
+    DesignPoint p;
+    for (std::size_t f = 0; f < factors_.size(); ++f)
+      p[factors_[f].name] = factors_[f].levels[idx[f]];
+    points.push_back(std::move(p));
+    // odometer increment, last factor fastest
+    std::size_t f = factors_.size();
+    while (f > 0) {
+      --f;
+      if (++idx[f] < factors_[f].levels.size()) break;
+      idx[f] = 0;
+      if (f == 0) return points;
+    }
+  }
+}
+
+void Experiment::record(const DesignPoint& point,
+                        const std::vector<double>& values) {
+  PE_REQUIRE(values.size() == metrics_.size(),
+             "metric count mismatch with set_metrics()");
+  for (const auto& f : factors_)
+    PE_REQUIRE(point.contains(f.name), "design point missing factor");
+  rows_.push_back({point, values});
+}
+
+void Experiment::run(
+    const std::function<std::vector<double>(const DesignPoint&)>& body) {
+  PE_REQUIRE(static_cast<bool>(body), "null body");
+  for (const auto& point : design()) record(point, body(point));
+}
+
+Table Experiment::to_table() const {
+  std::vector<std::string> headers;
+  for (const auto& f : factors_) headers.push_back(f.name);
+  for (const auto& m : metrics_) headers.push_back(m);
+  Table t(headers);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    for (const auto& f : factors_) cells.push_back(row.point.at(f.name));
+    for (double v : row.values) cells.push_back(format_sig(v, 4));
+    t.add_row(std::move(cells));
+  }
+  return t;
+}
+
+std::vector<double> Experiment::metric_values(const std::string& metric) const {
+  std::size_t idx = metrics_.size();
+  for (std::size_t i = 0; i < metrics_.size(); ++i)
+    if (metrics_[i] == metric) idx = i;
+  PE_REQUIRE(idx < metrics_.size(), "unknown metric name");
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) out.push_back(row.values[idx]);
+  return out;
+}
+
+}  // namespace pe

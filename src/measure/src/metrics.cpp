@@ -1,0 +1,84 @@
+#include "perfeng/measure/metrics.hpp"
+
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe {
+
+double flops_rate(double flop_count, double seconds) {
+  PE_REQUIRE(seconds > 0.0, "elapsed time must be positive");
+  PE_REQUIRE(flop_count >= 0.0, "negative flop count");
+  return flop_count / seconds;
+}
+
+double bandwidth(double bytes, double seconds) {
+  PE_REQUIRE(seconds > 0.0, "elapsed time must be positive");
+  PE_REQUIRE(bytes >= 0.0, "negative byte count");
+  return bytes / seconds;
+}
+
+double arithmetic_intensity(double flop_count, double bytes) {
+  PE_REQUIRE(bytes > 0.0, "traffic must be positive");
+  PE_REQUIRE(flop_count >= 0.0, "negative flop count");
+  return flop_count / bytes;
+}
+
+double speedup(double baseline_seconds, double improved_seconds) {
+  PE_REQUIRE(baseline_seconds > 0.0, "baseline time must be positive");
+  PE_REQUIRE(improved_seconds > 0.0, "improved time must be positive");
+  return baseline_seconds / improved_seconds;
+}
+
+double parallel_efficiency(double speedup_value, int workers) {
+  PE_REQUIRE(workers >= 1, "worker count must be positive");
+  PE_REQUIRE(speedup_value > 0.0, "speedup must be positive");
+  return speedup_value / static_cast<double>(workers);
+}
+
+double relative_error(double predicted, double observed) {
+  PE_REQUIRE(observed != 0.0, "observed value must be non-zero");
+  return (predicted - observed) / observed;
+}
+
+double mape(std::span<const double> predicted,
+            std::span<const double> observed) {
+  PE_REQUIRE(predicted.size() == observed.size(), "length mismatch");
+  PE_REQUIRE(!predicted.empty(), "empty sample");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    PE_REQUIRE(observed[i] != 0.0, "observed value must be non-zero");
+    acc += std::abs((predicted[i] - observed[i]) / observed[i]);
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double rmse(std::span<const double> predicted,
+            std::span<const double> observed) {
+  PE_REQUIRE(predicted.size() == observed.size(), "length mismatch");
+  PE_REQUIRE(!predicted.empty(), "empty sample");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - observed[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double r_squared(std::span<const double> predicted,
+                 std::span<const double> observed) {
+  PE_REQUIRE(predicted.size() == observed.size(), "length mismatch");
+  PE_REQUIRE(predicted.size() >= 2, "need at least two points");
+  double mean_obs = 0.0;
+  for (double o : observed) mean_obs += o;
+  mean_obs /= static_cast<double>(observed.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - mean_obs) * (observed[i] - mean_obs);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace pe

@@ -1,0 +1,217 @@
+#include "perfeng/measure/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe {
+
+namespace {
+
+std::vector<double> sorted(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+double percentile_sorted(const std::vector<double>& v, double q) {
+  PE_REQUIRE(!v.empty(), "percentile of empty sample");
+  PE_REQUIRE(q >= 0.0 && q <= 100.0, "percentile out of [0,100]");
+  if (v.size() == 1) return v[0];
+  const double rank = q / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::span<const double> xs) {
+  PE_REQUIRE(!xs.empty(), "median of empty sample");
+  return percentile_sorted(sorted(xs), 50.0);
+}
+
+double percentile(std::span<const double> xs, double q) {
+  return percentile_sorted(sorted(xs), q);
+}
+
+double median_abs_deviation(std::span<const double> xs) {
+  PE_REQUIRE(!xs.empty(), "MAD of empty sample");
+  const double m = median(xs);
+  std::vector<double> dev(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) dev[i] = std::abs(xs[i] - m);
+  return median(dev);
+}
+
+double geometric_mean(std::span<const double> xs) {
+  PE_REQUIRE(!xs.empty(), "geometric mean of empty sample");
+  double log_acc = 0.0;
+  for (double x : xs) {
+    PE_REQUIRE(x > 0.0, "geometric mean requires positive values");
+    log_acc += std::log(x);
+  }
+  return std::exp(log_acc / static_cast<double>(xs.size()));
+}
+
+double harmonic_mean(std::span<const double> xs) {
+  PE_REQUIRE(!xs.empty(), "harmonic mean of empty sample");
+  double acc = 0.0;
+  for (double x : xs) {
+    PE_REQUIRE(x > 0.0, "harmonic mean requires positive values");
+    acc += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / acc;
+}
+
+double t_critical_95(std::size_t dof) {
+  // Two-sided 95% critical values; exact table for small dof, asymptote for
+  // large dof. Linear interpolation between tabulated points above 30.
+  static constexpr double table[] = {
+      0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262,  2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+      2.101,  2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+      2.052,  2.048,  2.045, 2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return table[dof];
+  if (dof >= 120) return 1.980;
+  // between 30 and 120: interpolate toward the large-sample value.
+  const double t30 = 2.042, t120 = 1.980;
+  const double frac =
+      (static_cast<double>(dof) - 30.0) / (120.0 - 30.0);
+  return t30 + frac * (t120 - t30);
+}
+
+double ci95_halfwidth(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double s = stddev(xs);
+  const double t = t_critical_95(xs.size() - 1);
+  return t * s / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  PE_REQUIRE(xs.size() == ys.size(), "correlation needs equal lengths");
+  PE_REQUIRE(xs.size() >= 2, "correlation needs at least two points");
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  PE_REQUIRE(xs.size() == ys.size(), "fit needs equal lengths");
+  PE_REQUIRE(xs.size() >= 2, "fit needs at least two points");
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  PE_REQUIRE(sxx > 0.0, "fit needs x variance");
+  LineFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+SampleSummary summarize(std::span<const double> xs) {
+  SampleSummary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  const std::vector<double> v = sorted(xs);
+  s.min = v.front();
+  s.max = v.back();
+  s.mean = mean(xs);
+  s.median = percentile_sorted(v, 50.0);
+  s.stddev = stddev(xs);
+  s.mad = median_abs_deviation(xs);
+  s.p05 = percentile_sorted(v, 5.0);
+  s.p95 = percentile_sorted(v, 95.0);
+  s.ci95_half = ci95_halfwidth(xs);
+  return s;
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m;
+}
+
+std::vector<double> filter_outliers(std::span<const double> xs, double k) {
+  PE_REQUIRE(k >= 0.0, "fence multiplier must be non-negative");
+  if (xs.size() < 4) return {xs.begin(), xs.end()};  // quartiles undefined
+  const double q1 = percentile(xs, 25.0);
+  const double q3 = percentile(xs, 75.0);
+  const double iqr = q3 - q1;
+  const double lo = q1 - k * iqr;
+  const double hi = q3 + k * iqr;
+  std::vector<double> kept;
+  kept.reserve(xs.size());
+  for (double x : xs) {
+    if (x >= lo && x <= hi) kept.push_back(x);
+  }
+  return kept;
+}
+
+ComparisonResult compare_samples(std::span<const double> a,
+                                 std::span<const double> b) {
+  PE_REQUIRE(a.size() >= 2 && b.size() >= 2,
+             "each sample needs at least two points");
+  const double mean_a = mean(a), mean_b = mean(b);
+  const double var_a = stddev(a) * stddev(a);
+  const double var_b = stddev(b) * stddev(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+
+  ComparisonResult r;
+  r.mean_difference = mean_b - mean_a;
+  r.relative_change = mean_a != 0.0 ? r.mean_difference / mean_a : 0.0;
+
+  const double se2 = var_a / na + var_b / nb;
+  if (se2 == 0.0) {
+    // Zero variance on both sides: any nonzero difference is exact.
+    r.significant = r.mean_difference != 0.0;
+    r.dof = na + nb - 2.0;
+    return r;
+  }
+  const double se = std::sqrt(se2);
+  r.t_statistic = r.mean_difference / se;
+  // Welch–Satterthwaite degrees of freedom.
+  const double num = se2 * se2;
+  const double den = (var_a / na) * (var_a / na) / (na - 1.0) +
+                     (var_b / nb) * (var_b / nb) / (nb - 1.0);
+  r.dof = den > 0.0 ? num / den : na + nb - 2.0;
+  const double t_crit =
+      t_critical_95(static_cast<std::size_t>(std::max(1.0, r.dof)));
+  r.ci95_half = t_crit * se;
+  r.significant = std::abs(r.mean_difference) > r.ci95_half;
+  return r;
+}
+
+}  // namespace pe

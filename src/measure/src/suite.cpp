@@ -1,0 +1,61 @@
+#include "perfeng/measure/suite.hpp"
+
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe {
+
+std::vector<std::string> SuiteScore::regressions() const {
+  std::vector<std::string> out;
+  for (const SuiteResult& r : results)
+    if (r.ratio < 1.0) out.push_back(r.name);
+  return out;
+}
+
+BenchmarkSuite::BenchmarkSuite(std::string name) : name_(std::move(name)) {
+  PE_REQUIRE(!name_.empty(), "suite needs a name");
+}
+
+void BenchmarkSuite::add(SuiteBenchmark benchmark) {
+  PE_REQUIRE(static_cast<bool>(benchmark.kernel), "member needs a kernel");
+  PE_REQUIRE(benchmark.reference_seconds > 0.0,
+             "reference time must be positive");
+  for (const auto& m : members_)
+    PE_REQUIRE(m.name != benchmark.name, "duplicate benchmark name");
+  members_.push_back(std::move(benchmark));
+}
+
+SuiteScore BenchmarkSuite::score(
+    const std::vector<double>& measured_seconds) const {
+  PE_REQUIRE(measured_seconds.size() == members_.size(),
+             "one measurement per member required");
+  PE_REQUIRE(!members_.empty(), "empty suite");
+  SuiteScore score;
+  double log_acc = 0.0, acc = 0.0;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    PE_REQUIRE(measured_seconds[i] > 0.0, "measured time must be positive");
+    SuiteResult r;
+    r.name = members_[i].name;
+    r.seconds = measured_seconds[i];
+    r.ratio = members_[i].reference_seconds / measured_seconds[i];
+    log_acc += std::log(r.ratio);
+    acc += r.ratio;
+    score.results.push_back(std::move(r));
+  }
+  const double n = static_cast<double>(members_.size());
+  score.geometric_mean_ratio = std::exp(log_acc / n);
+  score.arithmetic_mean_ratio = acc / n;
+  return score;
+}
+
+SuiteScore BenchmarkSuite::run(const BenchmarkRunner& runner) const {
+  PE_REQUIRE(!members_.empty(), "empty suite");
+  std::vector<double> measured;
+  measured.reserve(members_.size());
+  for (const auto& m : members_)
+    measured.push_back(runner.run(m.name, m.kernel).typical());
+  return score(measured);
+}
+
+}  // namespace pe

@@ -1,0 +1,21 @@
+#include "perfeng/measure/timer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pe {
+
+double estimate_timer_resolution(int probes) {
+  std::vector<double> deltas;
+  deltas.reserve(static_cast<std::size_t>(probes));
+  for (int i = 0; i < probes; ++i) {
+    const auto t0 = WallTimer::clock::now();
+    auto t1 = WallTimer::clock::now();
+    while (t1 == t0) t1 = WallTimer::clock::now();
+    deltas.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::sort(deltas.begin(), deltas.end());
+  return deltas[deltas.size() / 2];
+}
+
+}  // namespace pe

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file latency.hpp
+/// Pointer-chase memory latency microbenchmark.
+///
+/// A randomly permuted cyclic pointer chain defeats hardware prefetching, so
+/// each load's address depends on the previous load's value and the measured
+/// time per hop is the average memory access latency for the working set.
+/// Sweeping the working-set size exposes the cache hierarchy as latency
+/// plateaus; `detect_cache_levels` finds the knees — the course's classic
+/// "discover your machine" exercise.
+
+#include <cstddef>
+#include <vector>
+
+#include "perfeng/measure/benchmark_runner.hpp"
+
+namespace pe::microbench {
+
+/// Latency at one working-set size.
+struct LatencyPoint {
+  std::size_t bytes = 0;          ///< working-set size
+  double seconds_per_load = 0.0;  ///< average dependent-load latency
+};
+
+/// Measure average dependent-load latency for a working set of `bytes`
+/// (rounded down to a whole number of pointers; minimum 64 pointers).
+[[nodiscard]] LatencyPoint run_latency(std::size_t bytes,
+                                       const BenchmarkRunner& runner,
+                                       std::uint64_t seed = 42);
+
+/// Sweep working sets from `min_bytes` to `max_bytes` (doubling).
+[[nodiscard]] std::vector<LatencyPoint> latency_sweep(
+    std::size_t min_bytes, std::size_t max_bytes,
+    const BenchmarkRunner& runner, std::uint64_t seed = 42);
+
+/// Estimate cache-level boundaries from a latency sweep: returns the
+/// working-set sizes (bytes) just before each latency jump of more than
+/// `jump_ratio` (e.g. 1.4 = 40% step).
+[[nodiscard]] std::vector<std::size_t> detect_cache_levels(
+    const std::vector<LatencyPoint>& sweep, double jump_ratio = 1.4);
+
+}  // namespace pe::microbench

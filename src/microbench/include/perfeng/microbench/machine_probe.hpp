@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file machine_probe.hpp
+/// One-call machine characterization for model calibration.
+///
+/// Bundles the peak-FLOPS, STREAM, and latency microbenchmarks into a
+/// `MachineCharacterization` — the numbers every model in `perfeng/models`
+/// is calibrated from. This is "Stage 2: understand current performance"
+/// applied to the *system* rather than the application.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "perfeng/measure/benchmark_runner.hpp"
+
+namespace pe::microbench {
+
+/// Calibrated machine parameters.
+struct MachineCharacterization {
+  double peak_flops = 0.0;             ///< single-thread FLOP/s roof
+  double memory_bandwidth = 0.0;       ///< sustainable DRAM bytes/s
+  double cache_bandwidth = 0.0;        ///< small-working-set bytes/s
+  double memory_latency = 0.0;         ///< dependent-load s at large sets
+  double cache_latency = 0.0;          ///< dependent-load s at small sets
+  std::vector<std::size_t> cache_level_bytes;  ///< detected level capacities
+
+  /// Machine balance: FLOPs per byte at the ridge point of the Roofline.
+  [[nodiscard]] double ridge_intensity() const {
+    return memory_bandwidth > 0.0 ? peak_flops / memory_bandwidth : 0.0;
+  }
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Probe settings; the defaults complete in a few seconds.
+struct ProbeConfig {
+  std::size_t stream_elements = 1u << 22;   ///< ~32 MiB/vector: DRAM-resident
+  std::size_t cache_stream_elements = 1u << 12;  ///< ~32 KiB: L1-resident
+  std::size_t latency_min_bytes = 1u << 12;
+  std::size_t latency_max_bytes = 1u << 25;
+};
+
+/// Run the full characterization with the given measurement design.
+[[nodiscard]] MachineCharacterization probe_machine(
+    const BenchmarkRunner& runner, const ProbeConfig& config = {});
+
+}  // namespace pe::microbench

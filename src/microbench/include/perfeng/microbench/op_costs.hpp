@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file op_costs.hpp
+/// Per-operation cost table measured on the host.
+///
+/// The course points students to Agner Fog's instruction tables and tools
+/// like OSACA/LLVM-MCA for per-instruction latencies and throughputs; on an
+/// arbitrary host we instead *measure* an equivalent table with dependent
+/// (latency) and independent (throughput) operation chains. The resulting
+/// `OpCostTable` calibrates the fine-granularity analytical models of
+/// Assignment 2.
+
+#include <map>
+#include <string>
+
+#include "perfeng/measure/benchmark_runner.hpp"
+
+namespace pe::microbench {
+
+/// Operations the table covers.
+enum class Op {
+  kFadd,    ///< double addition
+  kFmul,    ///< double multiplication
+  kFma,     ///< fused a*b+c (as written; may compile to mul+add)
+  kFdiv,    ///< double division
+  kIadd,    ///< 64-bit integer addition
+  kImul,    ///< 64-bit integer multiplication
+};
+
+/// Human-readable operation name.
+[[nodiscard]] std::string op_name(Op op);
+
+/// Measured cost of one operation kind.
+struct OpCost {
+  double latency_seconds = 0.0;     ///< dependent-chain cost per op
+  double throughput_seconds = 0.0;  ///< independent-stream cost per op
+};
+
+/// Cost table: operation -> measured latency/throughput.
+class OpCostTable {
+ public:
+  /// Measure all operations. Each probe times a fixed-length chain.
+  static OpCostTable measure(const BenchmarkRunner& runner);
+
+  /// Cost entry for an operation; throws if the op was not measured.
+  [[nodiscard]] const OpCost& cost(Op op) const;
+
+  /// Insert or replace an entry (used by tests and synthetic machines).
+  void set_cost(Op op, OpCost cost);
+
+  [[nodiscard]] const std::map<Op, OpCost>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<Op, OpCost> entries_;
+};
+
+}  // namespace pe::microbench

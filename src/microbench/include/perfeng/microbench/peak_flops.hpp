@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file peak_flops.hpp
+/// Peak floating-point throughput microbenchmark — the compute roof.
+///
+/// Measures achievable FLOP/s with a register-resident kernel of independent
+/// fused multiply-add chains. Multiple accumulators break the dependency
+/// chain so the measurement approaches the throughput limit rather than the
+/// latency limit — exactly the distinction Assignment 2 asks students to
+/// discover with instruction-level microbenchmarks.
+
+#include <cstddef>
+
+#include "perfeng/measure/benchmark_runner.hpp"
+
+namespace pe::microbench {
+
+/// Result of a peak-FLOPS probe.
+struct PeakFlopsResult {
+  std::size_t accumulators = 0;  ///< independent chains used
+  double flops = 0.0;            ///< best observed FLOP/s
+  Measurement measurement;
+};
+
+/// Measure FLOP/s with `accumulators` independent a = a * x + y chains
+/// (2 FLOPs per element step). `accumulators` in [1, 16].
+[[nodiscard]] PeakFlopsResult run_peak_flops(std::size_t accumulators,
+                                             const BenchmarkRunner& runner);
+
+/// Sweep accumulator counts {1, 2, 4, 8} and return the best FLOP/s — the
+/// single-core compute roof used by the Roofline model.
+[[nodiscard]] double peak_flops(const BenchmarkRunner& runner);
+
+}  // namespace pe::microbench

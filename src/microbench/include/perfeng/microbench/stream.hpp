@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file stream.hpp
+/// STREAM-style sustainable memory bandwidth microbenchmarks.
+///
+/// A from-scratch reimplementation of McCalpin's four STREAM kernels
+/// (Copy, Scale, Add, Triad) used throughout the course to calibrate the
+/// memory ceiling of Roofline and ECM models. Traffic accounting follows the
+/// original STREAM convention: write traffic counts once (no write-allocate
+/// accounting), i.e. Copy/Scale move 2N elements, Add/Triad move 3N.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "perfeng/measure/benchmark_runner.hpp"
+
+namespace pe::microbench {
+
+/// Which STREAM kernel.
+enum class StreamKernel { kCopy, kScale, kAdd, kTriad };
+
+/// Human-readable kernel name ("Copy", ...).
+[[nodiscard]] std::string stream_kernel_name(StreamKernel k);
+
+/// Bytes moved per element by the STREAM convention (2 or 3 doubles).
+[[nodiscard]] std::size_t stream_bytes_per_element(StreamKernel k);
+
+/// FLOPs per element (0 for Copy, 1 for Scale/Add, 2 for Triad).
+[[nodiscard]] std::size_t stream_flops_per_element(StreamKernel k);
+
+/// Result of one STREAM measurement.
+struct StreamResult {
+  StreamKernel kernel = StreamKernel::kCopy;
+  std::size_t elements = 0;          ///< vector length N (doubles)
+  double best_bandwidth = 0.0;       ///< bytes/s from the best repetition
+  double median_bandwidth = 0.0;     ///< bytes/s from the median repetition
+  Measurement measurement;           ///< raw timing sample
+};
+
+/// Run one STREAM kernel on vectors of `elements` doubles.
+[[nodiscard]] StreamResult run_stream(StreamKernel kernel,
+                                      std::size_t elements,
+                                      const BenchmarkRunner& runner);
+
+/// Run all four kernels; returns results in enum order.
+[[nodiscard]] std::vector<StreamResult> run_stream_suite(
+    std::size_t elements, const BenchmarkRunner& runner);
+
+/// Best sustainable bandwidth across the suite (bytes/s) — the memory roof.
+[[nodiscard]] double sustainable_bandwidth(std::size_t elements,
+                                           const BenchmarkRunner& runner);
+
+}  // namespace pe::microbench

@@ -1,0 +1,73 @@
+#include "perfeng/microbench/latency.hpp"
+
+#include <numeric>
+
+#include "perfeng/common/aligned_buffer.hpp"
+#include "perfeng/common/error.hpp"
+#include "perfeng/common/rng.hpp"
+#include "perfeng/measure/timer.hpp"
+
+namespace pe::microbench {
+
+LatencyPoint run_latency(std::size_t bytes, const BenchmarkRunner& runner,
+                         std::uint64_t seed) {
+  const std::size_t count = std::max<std::size_t>(64, bytes / sizeof(void*));
+
+  // Build a single random cycle (Sattolo's algorithm) so the chase visits
+  // every slot exactly once before wrapping.
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  for (std::size_t i = count - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_range(0, i - 1));
+    std::swap(order[i], order[j]);
+  }
+  AlignedBuffer<const void*> chain(count);
+  for (std::size_t i = 0; i + 1 < count; ++i)
+    chain[order[i]] = &chain[order[i + 1]];
+  chain[order[count - 1]] = &chain[order[0]];
+
+  const std::size_t hops_per_call = std::max<std::size_t>(count, 4096);
+  const void* const* start = &chain[order[0]];
+  auto body = [start, hops_per_call] {
+    const void* p = *start;
+    for (std::size_t i = 0; i < hops_per_call; ++i)
+      p = *static_cast<const void* const*>(p);
+    do_not_optimize(p);
+  };
+
+  const Measurement m =
+      runner.run("latency " + std::to_string(bytes) + "B", body);
+  LatencyPoint point;
+  point.bytes = count * sizeof(void*);
+  point.seconds_per_load = m.best() / static_cast<double>(hops_per_call);
+  return point;
+}
+
+std::vector<LatencyPoint> latency_sweep(std::size_t min_bytes,
+                                        std::size_t max_bytes,
+                                        const BenchmarkRunner& runner,
+                                        std::uint64_t seed) {
+  PE_REQUIRE(min_bytes <= max_bytes, "empty sweep range");
+  std::vector<LatencyPoint> sweep;
+  for (std::size_t b = min_bytes; b <= max_bytes; b *= 2) {
+    sweep.push_back(run_latency(b, runner, seed));
+    if (b > max_bytes / 2) break;  // avoid overflow of b *= 2
+  }
+  return sweep;
+}
+
+std::vector<std::size_t> detect_cache_levels(
+    const std::vector<LatencyPoint>& sweep, double jump_ratio) {
+  PE_REQUIRE(jump_ratio > 1.0, "jump ratio must exceed 1");
+  std::vector<std::size_t> knees;
+  for (std::size_t i = 0; i + 1 < sweep.size(); ++i) {
+    if (sweep[i].seconds_per_load <= 0.0) continue;
+    const double ratio =
+        sweep[i + 1].seconds_per_load / sweep[i].seconds_per_load;
+    if (ratio >= jump_ratio) knees.push_back(sweep[i].bytes);
+  }
+  return knees;
+}
+
+}  // namespace pe::microbench

@@ -1,0 +1,42 @@
+#include "perfeng/microbench/machine_probe.hpp"
+
+#include <sstream>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/common/units.hpp"
+#include "perfeng/microbench/latency.hpp"
+#include "perfeng/microbench/peak_flops.hpp"
+#include "perfeng/microbench/stream.hpp"
+
+namespace pe::microbench {
+
+std::string MachineCharacterization::summary() const {
+  std::ostringstream ss;
+  ss << "peak " << format_flops(peak_flops) << ", DRAM "
+     << format_bandwidth(memory_bandwidth) << ", cache "
+     << format_bandwidth(cache_bandwidth) << ", ridge "
+     << format_sig(ridge_intensity(), 3) << " FLOP/B, mem latency "
+     << format_time(memory_latency);
+  return ss.str();
+}
+
+MachineCharacterization probe_machine(const BenchmarkRunner& runner,
+                                      const ProbeConfig& config) {
+  MachineCharacterization mc;
+  mc.peak_flops = peak_flops(runner);
+  mc.memory_bandwidth = sustainable_bandwidth(config.stream_elements, runner);
+  mc.cache_bandwidth =
+      sustainable_bandwidth(config.cache_stream_elements, runner);
+
+  const auto sweep =
+      latency_sweep(config.latency_min_bytes, config.latency_max_bytes,
+                    runner);
+  if (!sweep.empty()) {
+    mc.cache_latency = sweep.front().seconds_per_load;
+    mc.memory_latency = sweep.back().seconds_per_load;
+    mc.cache_level_bytes = detect_cache_levels(sweep);
+  }
+  return mc;
+}
+
+}  // namespace pe::microbench

@@ -1,0 +1,97 @@
+#include "perfeng/microbench/op_costs.hpp"
+
+#include <array>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/measure/timer.hpp"
+
+namespace pe::microbench {
+
+namespace {
+
+constexpr std::size_t kChain = 8192;
+
+// Dependent chain: each op consumes the previous result -> latency bound.
+template <typename T, typename Step>
+double run_latency_chain(const BenchmarkRunner& runner, const char* label,
+                         T init, Step step) {
+  auto body = [init, step] {
+    T acc = init;
+    for (std::size_t i = 0; i < kChain; ++i) acc = step(acc);
+    do_not_optimize(acc);
+  };
+  const Measurement m = runner.run(label, body);
+  return m.best() / static_cast<double>(kChain);
+}
+
+// Four independent chains -> throughput bound (per individual op).
+template <typename T, typename Step>
+double run_throughput_chains(const BenchmarkRunner& runner, const char* label,
+                             T init, Step step) {
+  auto body = [init, step] {
+    std::array<T, 4> acc = {init, init + T(1), init + T(2), init + T(3)};
+    for (std::size_t i = 0; i < kChain; ++i) {
+      acc[0] = step(acc[0]);
+      acc[1] = step(acc[1]);
+      acc[2] = step(acc[2]);
+      acc[3] = step(acc[3]);
+    }
+    do_not_optimize(acc);
+  };
+  const Measurement m = runner.run(label, body);
+  return m.best() / static_cast<double>(kChain * 4);
+}
+
+template <typename T, typename Step>
+OpCost measure_op(const BenchmarkRunner& runner, const char* name, T init,
+                  Step step) {
+  OpCost c;
+  c.latency_seconds = run_latency_chain(runner, name, init, step);
+  c.throughput_seconds = run_throughput_chains(runner, name, init, step);
+  return c;
+}
+
+}  // namespace
+
+std::string op_name(Op op) {
+  switch (op) {
+    case Op::kFadd: return "fadd";
+    case Op::kFmul: return "fmul";
+    case Op::kFma: return "fma";
+    case Op::kFdiv: return "fdiv";
+    case Op::kIadd: return "iadd";
+    case Op::kImul: return "imul";
+  }
+  return "?";
+}
+
+OpCostTable OpCostTable::measure(const BenchmarkRunner& runner) {
+  OpCostTable t;
+  // Step functions keep results near 1.0 so no denormals/overflow distort
+  // the timing.
+  t.entries_[Op::kFadd] = measure_op(
+      runner, "fadd", 1.0, [](double a) { return a + 1e-9; });
+  t.entries_[Op::kFmul] = measure_op(
+      runner, "fmul", 1.0, [](double a) { return a * 1.000000001; });
+  t.entries_[Op::kFma] = measure_op(
+      runner, "fma", 1.0, [](double a) { return a * 0.999999999 + 1e-9; });
+  t.entries_[Op::kFdiv] = measure_op(
+      runner, "fdiv", 1.0, [](double a) { return a / 0.999999999; });
+  t.entries_[Op::kIadd] = measure_op(
+      runner, "iadd", std::uint64_t{1},
+      [](std::uint64_t a) { return a + 12345; });
+  t.entries_[Op::kImul] = measure_op(
+      runner, "imul", std::uint64_t{1},
+      [](std::uint64_t a) { return a * 6364136223846793005ULL + 1; });
+  return t;
+}
+
+const OpCost& OpCostTable::cost(Op op) const {
+  const auto it = entries_.find(op);
+  PE_REQUIRE(it != entries_.end(), "operation not measured");
+  return it->second;
+}
+
+void OpCostTable::set_cost(Op op, OpCost cost) { entries_[op] = cost; }
+
+}  // namespace pe::microbench

@@ -1,0 +1,80 @@
+#include "perfeng/microbench/peak_flops.hpp"
+
+#include <array>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/measure/timer.hpp"
+
+namespace pe::microbench {
+
+namespace {
+
+constexpr std::size_t kStepsPerCall = 4096;
+
+// Runtime-opaque constants: reading them through volatile blocks the
+// compiler from constant-folding the whole chain away.
+volatile double g_fma_x = 0.999999999;
+volatile double g_fma_y = 1e-9;
+volatile double g_fma_init = 1.000000001;
+
+// One timed call performs kStepsPerCall iterations over `N` independent
+// multiply-add chains: 2 FLOPs per chain per step.
+template <std::size_t N>
+void fma_chains() {
+  std::array<double, N> acc;
+  const double init = g_fma_init;
+  acc.fill(init);
+  const double x = g_fma_x;
+  const double y = g_fma_y;
+  for (std::size_t s = 0; s < kStepsPerCall; ++s) {
+    for (std::size_t i = 0; i < N; ++i) acc[i] = acc[i] * x + y;
+  }
+  do_not_optimize(acc);
+}
+
+}  // namespace
+
+PeakFlopsResult run_peak_flops(std::size_t accumulators,
+                               const BenchmarkRunner& runner) {
+  PE_REQUIRE(accumulators >= 1 && accumulators <= 16,
+             "accumulators must be in [1,16]");
+  std::function<void()> body;
+  switch (accumulators) {
+    case 1: body = fma_chains<1>; break;
+    case 2: body = fma_chains<2>; break;
+    case 3: body = fma_chains<3>; break;
+    case 4: body = fma_chains<4>; break;
+    case 5: body = fma_chains<5>; break;
+    case 6: body = fma_chains<6>; break;
+    case 7: body = fma_chains<7>; break;
+    case 8: body = fma_chains<8>; break;
+    case 9: body = fma_chains<9>; break;
+    case 10: body = fma_chains<10>; break;
+    case 11: body = fma_chains<11>; break;
+    case 12: body = fma_chains<12>; break;
+    case 13: body = fma_chains<13>; break;
+    case 14: body = fma_chains<14>; break;
+    case 15: body = fma_chains<15>; break;
+    default: body = fma_chains<16>; break;
+  }
+
+  PeakFlopsResult result;
+  result.accumulators = accumulators;
+  result.measurement = runner.run(
+      "peak_flops x" + std::to_string(accumulators), body);
+  const double flops_per_call = 2.0 * static_cast<double>(accumulators) *
+                                static_cast<double>(kStepsPerCall);
+  result.flops = flops_per_call / result.measurement.best();
+  return result;
+}
+
+double peak_flops(const BenchmarkRunner& runner) {
+  double best = 0.0;
+  for (std::size_t acc : {1u, 2u, 4u, 8u}) {
+    const PeakFlopsResult r = run_peak_flops(acc, runner);
+    if (r.flops > best) best = r.flops;
+  }
+  return best;
+}
+
+}  // namespace pe::microbench

@@ -1,0 +1,117 @@
+#include "perfeng/microbench/stream.hpp"
+
+#include <algorithm>
+
+#include "perfeng/common/aligned_buffer.hpp"
+#include "perfeng/common/error.hpp"
+#include "perfeng/measure/timer.hpp"
+
+namespace pe::microbench {
+
+std::string stream_kernel_name(StreamKernel k) {
+  switch (k) {
+    case StreamKernel::kCopy: return "Copy";
+    case StreamKernel::kScale: return "Scale";
+    case StreamKernel::kAdd: return "Add";
+    case StreamKernel::kTriad: return "Triad";
+  }
+  return "?";
+}
+
+std::size_t stream_bytes_per_element(StreamKernel k) {
+  switch (k) {
+    case StreamKernel::kCopy:
+    case StreamKernel::kScale: return 2 * sizeof(double);
+    case StreamKernel::kAdd:
+    case StreamKernel::kTriad: return 3 * sizeof(double);
+  }
+  return 0;
+}
+
+std::size_t stream_flops_per_element(StreamKernel k) {
+  switch (k) {
+    case StreamKernel::kCopy: return 0;
+    case StreamKernel::kScale:
+    case StreamKernel::kAdd: return 1;
+    case StreamKernel::kTriad: return 2;
+  }
+  return 0;
+}
+
+StreamResult run_stream(StreamKernel kernel, std::size_t elements,
+                        const BenchmarkRunner& runner) {
+  PE_REQUIRE(elements >= 16, "vector too small to measure");
+  AlignedBuffer<double> a(elements), b(elements), c(elements);
+  for (std::size_t i = 0; i < elements; ++i) {
+    a[i] = 1.0;
+    b[i] = 2.0;
+    c[i] = 0.0;
+  }
+  const double scalar = 3.0;
+
+  // Raw pointers keep the inner loops free of any abstraction the compiler
+  // might fail to see through.
+  double* pa = a.data();
+  double* pb = b.data();
+  double* pc = c.data();
+
+  std::function<void()> body;
+  switch (kernel) {
+    case StreamKernel::kCopy:
+      body = [pa, pb, elements] {
+        for (std::size_t i = 0; i < elements; ++i) pb[i] = pa[i];
+        do_not_optimize(pb[0]);
+      };
+      break;
+    case StreamKernel::kScale:
+      body = [pa, pb, scalar, elements] {
+        for (std::size_t i = 0; i < elements; ++i) pb[i] = scalar * pa[i];
+        do_not_optimize(pb[0]);
+      };
+      break;
+    case StreamKernel::kAdd:
+      body = [pa, pb, pc, elements] {
+        for (std::size_t i = 0; i < elements; ++i) pc[i] = pa[i] + pb[i];
+        do_not_optimize(pc[0]);
+      };
+      break;
+    case StreamKernel::kTriad:
+      body = [pa, pb, pc, scalar, elements] {
+        for (std::size_t i = 0; i < elements; ++i)
+          pc[i] = pa[i] + scalar * pb[i];
+        do_not_optimize(pc[0]);
+      };
+      break;
+  }
+
+  StreamResult result;
+  result.kernel = kernel;
+  result.elements = elements;
+  result.measurement =
+      runner.run("STREAM " + stream_kernel_name(kernel), body);
+  const double bytes = static_cast<double>(elements) *
+                       static_cast<double>(stream_bytes_per_element(kernel));
+  result.best_bandwidth = bytes / result.measurement.best();
+  result.median_bandwidth = bytes / result.measurement.typical();
+  return result;
+}
+
+std::vector<StreamResult> run_stream_suite(std::size_t elements,
+                                           const BenchmarkRunner& runner) {
+  std::vector<StreamResult> out;
+  for (StreamKernel k : {StreamKernel::kCopy, StreamKernel::kScale,
+                         StreamKernel::kAdd, StreamKernel::kTriad}) {
+    out.push_back(run_stream(k, elements, runner));
+  }
+  return out;
+}
+
+double sustainable_bandwidth(std::size_t elements,
+                             const BenchmarkRunner& runner) {
+  double best = 0.0;
+  for (const auto& r : run_stream_suite(elements, runner))
+    best = std::max(best, r.best_bandwidth);
+  return best;
+}
+
+}  // namespace pe::microbench

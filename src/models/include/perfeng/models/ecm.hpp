@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file ecm.hpp
+/// Execution-Cache-Memory (ECM) model (Hager/Wellein school).
+///
+/// Where Roofline takes the max of compute and memory time, ECM decomposes
+/// the per-cache-line cost of a streaming loop into in-core execution and
+/// the data transfers between adjacent memory levels, then composes them
+/// under an overlap assumption. We implement the classic non-overlapping
+/// composition for data transfers with in-core work overlapping transfers
+/// (the "serial transfer" variant):
+///
+///     T = max(T_core, T_data),  T_data = sum of per-level transfer times
+///
+/// plus the fully-serial pessimistic variant T = T_core + T_data. Real ECM
+/// work distinguishes overlapping per-architecture; exposing both bounds
+/// brackets the measurement, which is how Assignment 2 uses the model.
+
+#include <string>
+#include <vector>
+
+namespace pe::models {
+
+/// Per-level transfer cost for one unit of work (e.g. one cache line or one
+/// loop iteration), in seconds.
+struct EcmLevelCost {
+  std::string from;   ///< e.g. "L2"
+  std::string to;     ///< e.g. "L1"
+  double seconds = 0.0;
+};
+
+/// ECM model for a streaming kernel.
+class EcmModel {
+ public:
+  /// `core_seconds`: in-core execution time per unit of work.
+  explicit EcmModel(double core_seconds);
+
+  /// Append a data-transfer contribution per unit of work.
+  void add_transfer(const std::string& from, const std::string& to,
+                    double seconds);
+
+  [[nodiscard]] double core_seconds() const { return core_; }
+  [[nodiscard]] double data_seconds() const;
+
+  /// Optimistic prediction: core fully overlaps data transfers.
+  [[nodiscard]] double predict_overlapped() const;
+
+  /// Pessimistic prediction: everything serializes.
+  [[nodiscard]] double predict_serial() const;
+
+  /// True if a measurement falls inside [overlapped, serial] within `slack`
+  /// (fraction, e.g. 0.15 widens each bound by 15%).
+  [[nodiscard]] bool brackets(double measured_seconds,
+                              double slack = 0.15) const;
+
+  [[nodiscard]] const std::vector<EcmLevelCost>& transfers() const {
+    return transfers_;
+  }
+
+ private:
+  double core_;
+  std::vector<EcmLevelCost> transfers_;
+};
+
+}  // namespace pe::models

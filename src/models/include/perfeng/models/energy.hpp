@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file energy.hpp
+/// Energy and energy-efficiency modeling — the paper's future-work topic
+/// "(2) including additional metrics — such as energy-efficiency — more
+/// prominently".
+///
+/// Two complementary estimators:
+///  * a *power-based* model: P = P_static + P_peak_dynamic · utilization,
+///    integrated over the measured runtime (what a wall-plug meter sees);
+///  * an *event-based* model: energy = Σ event_count · energy_per_event
+///    over (simulated) counter values, the RAPL-style attribution used to
+///    explain *where* the joules go.
+///
+/// Derived metrics follow the HPC conventions: energy-to-solution,
+/// FLOPs/J (the Green500 metric), and energy-delay product.
+
+#include <cstdint>
+
+#include "perfeng/counters/counter_set.hpp"
+
+namespace pe::models {
+
+/// Utilization-linear machine power model.
+struct PowerModel {
+  double static_watts = 10.0;        ///< idle/leakage power
+  double peak_dynamic_watts = 30.0;  ///< extra power at 100% utilization
+
+  /// Power drawn at `utilization` in [0,1].
+  [[nodiscard]] double power(double utilization) const;
+
+  /// Energy (J) of a run of `seconds` at constant `utilization`.
+  [[nodiscard]] double energy(double seconds, double utilization) const;
+};
+
+/// Per-event energy coefficients (RAPL-style attribution), in joules.
+struct EventEnergyModel {
+  double joules_per_instruction = 0.5e-9;
+  double joules_per_l1_access = 0.1e-9;    ///< applied to every access
+  double joules_per_l2_access = 0.5e-9;    ///< applied to L1 misses
+  double joules_per_l3_access = 2.0e-9;    ///< applied to L2 misses
+  double joules_per_dram_access = 20.0e-9;
+
+  /// Attribute energy to the events recorded in a counter set.
+  [[nodiscard]] double energy(const counters::CounterSet& counters) const;
+};
+
+/// Energy summary of one kernel execution.
+struct EnergyReport {
+  double seconds = 0.0;
+  double joules = 0.0;
+  double flops = 0.0;
+
+  /// Average power (W).
+  [[nodiscard]] double watts() const;
+  /// The Green500 metric: useful FLOPs per joule.
+  [[nodiscard]] double flops_per_joule() const;
+  /// Energy-delay product (J*s): punishes slow-but-frugal configurations.
+  [[nodiscard]] double energy_delay_product() const;
+};
+
+/// Build a report from the power model.
+[[nodiscard]] EnergyReport report_from_power(const PowerModel& power,
+                                             double seconds,
+                                             double utilization,
+                                             double flops);
+
+/// Build a report from counter attribution.
+[[nodiscard]] EnergyReport report_from_events(
+    const EventEnergyModel& events, const counters::CounterSet& counters,
+    double seconds, double flops);
+
+/// Race-to-idle analysis: given a baseline and an optimized runtime at
+/// (possibly) higher utilization, does the optimization save energy?
+/// Returns the energy ratio optimized/baseline (< 1 means it saves).
+[[nodiscard]] double race_to_idle_ratio(const PowerModel& power,
+                                        double baseline_seconds,
+                                        double baseline_utilization,
+                                        double optimized_seconds,
+                                        double optimized_utilization);
+
+}  // namespace pe::models

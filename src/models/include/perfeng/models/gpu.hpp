@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file gpu.hpp
+/// GPU occupancy and latency-hiding model — the device-side modeling the
+/// course teaches on CUDA hardware, reproduced as the calculator itself.
+///
+/// A streaming multiprocessor (SM) runs as many thread blocks as its
+/// resources allow; occupancy is the fraction of resident warps achieved
+/// out of the hardware maximum. The classic occupancy calculation takes
+/// the min over four limits (blocks, warps, registers, shared memory).
+/// The throughput model then applies Little's law to memory latency
+/// hiding: attainable bandwidth scales with resident warps until the
+/// machine peak is reached — why low-occupancy kernels are latency-bound
+/// even with idle DRAM pins.
+
+#include <cstdint>
+
+namespace pe::models {
+
+/// Per-SM hardware limits (defaults ~ a compute-capability-7.x part).
+struct GpuSmConfig {
+  unsigned max_warps = 64;
+  unsigned max_blocks = 32;
+  std::uint64_t registers = 65536;       ///< 32-bit registers per SM
+  std::uint64_t shared_memory = 98304;   ///< bytes per SM
+  unsigned warp_size = 32;
+};
+
+/// Per-kernel resource usage.
+struct GpuKernelConfig {
+  unsigned threads_per_block = 256;
+  unsigned registers_per_thread = 32;
+  std::uint64_t shared_memory_per_block = 0;
+};
+
+/// Result of the occupancy calculation.
+struct Occupancy {
+  unsigned blocks_per_sm = 0;
+  unsigned warps_per_sm = 0;
+  double fraction = 0.0;  ///< warps / max_warps
+  /// Which resource binds: "blocks", "warps", "registers" or "smem".
+  const char* limiter = "";
+};
+
+/// The CUDA-occupancy-calculator computation.
+[[nodiscard]] Occupancy occupancy(const GpuSmConfig& sm,
+                                  const GpuKernelConfig& kernel);
+
+/// Latency-hiding throughput: each resident warp sustains one outstanding
+/// `bytes_per_access` request with `latency_seconds` round-trip; achieved
+/// bandwidth = min(peak, warps * bytes / latency) per SM times num_sms —
+/// Little's law applied to the memory system.
+[[nodiscard]] double achievable_bandwidth(double peak_bandwidth,
+                                          unsigned num_sms,
+                                          unsigned warps_per_sm,
+                                          double latency_seconds,
+                                          std::size_t bytes_per_access);
+
+/// Warps per SM needed to saturate the peak (ceil; latency-hiding
+/// threshold), given the same parameters.
+[[nodiscard]] unsigned warps_to_saturate(double peak_bandwidth,
+                                         unsigned num_sms,
+                                         double latency_seconds,
+                                         std::size_t bytes_per_access);
+
+}  // namespace pe::models

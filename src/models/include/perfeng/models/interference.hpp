@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file interference.hpp
+/// Shared-system interference modeling — the paper's future-work topic
+/// "(3) expanding ... towards shared systems like cloud computing".
+///
+/// On a multi-tenant node the compute pipeline is private per core but
+/// the memory system is shared: co-runners shrink the bandwidth roof
+/// while the compute roof stands. The model predicts per-kernel slowdown
+/// from arithmetic intensity alone — memory-bound tenants suffer,
+/// compute-bound ones barely notice — and inverts the same relation into
+/// a co-runner detector: observed slowdown → estimated contention level.
+
+#include <cstddef>
+
+namespace pe::models {
+
+/// A node shared by several tenants.
+struct SharedSystemModel {
+  double peak_flops = 1e10;       ///< per-tenant compute roof (private)
+  double total_bandwidth = 2e10;  ///< shared memory bandwidth (bytes/s)
+
+  /// Bandwidth available to one tenant among `tenants` equal co-runners.
+  [[nodiscard]] double tenant_bandwidth(unsigned tenants) const;
+
+  /// Roofline execution time of (flops, bytes) with `tenants` co-runners.
+  [[nodiscard]] double kernel_time(double flops, double bytes,
+                                   unsigned tenants) const;
+
+  /// Slowdown of a kernel at `tenants` vs running alone (>= 1).
+  [[nodiscard]] double slowdown(double flops, double bytes,
+                                unsigned tenants) const;
+
+  /// The intensity below which a kernel sees *any* slowdown at `tenants`
+  /// co-runners (kernels above it remain compute-bound throughout).
+  [[nodiscard]] double immunity_intensity(unsigned tenants) const;
+
+  /// Invert the model: given a measured slowdown of a known kernel,
+  /// estimate how many equal co-runners are present (>= 1; rounds to the
+  /// nearest integer tenant count in [1, max_tenants]).
+  [[nodiscard]] unsigned estimate_tenants(double flops, double bytes,
+                                          double observed_slowdown,
+                                          unsigned max_tenants = 64) const;
+};
+
+}  // namespace pe::models

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file network.hpp
+/// α-β (Hockney) communication cost model and collective predictions.
+///
+/// A point-to-point message of m bytes costs α + β·m. The closed forms below
+/// predict the collectives implemented by the message-passing simulator in
+/// perfeng/sim/netsim.hpp; the `distributed_model` bench compares the two,
+/// and the strong-scaling helper exposes the compute/communication crossover
+/// that the course's scale-out lectures build intuition for.
+
+#include <cstddef>
+
+namespace pe::models {
+
+/// Hockney point-to-point model.
+struct AlphaBetaModel {
+  double alpha = 1e-6;  ///< per-message latency (s)
+  double beta = 1e-10;  ///< per-byte time (s)
+
+  /// Cost of one m-byte message.
+  [[nodiscard]] double p2p(std::size_t bytes) const;
+
+  /// Binomial-tree broadcast of m bytes across p ranks:
+  /// ceil(log2 p) sequential message steps.
+  [[nodiscard]] double broadcast(unsigned ranks, std::size_t bytes) const;
+
+  /// Ring allreduce of m bytes across p ranks: 2(p-1) steps of m/p bytes.
+  [[nodiscard]] double ring_allreduce(unsigned ranks,
+                                      std::size_t bytes) const;
+
+  /// 1-D halo exchange: two neighbour messages, overlapping directions.
+  [[nodiscard]] double halo_exchange(std::size_t halo_bytes) const;
+};
+
+/// Strong-scaling prediction for a data-parallel iteration: total work
+/// `flops` split across p ranks at `flops_per_second` each, plus a halo
+/// exchange of `halo_bytes` and a scalar residual ring-allreduce per
+/// iteration (the p-dependent term that creates the scaling sweet spot).
+[[nodiscard]] double strong_scaling_time(const AlphaBetaModel& net,
+                                         double flops,
+                                         double flops_per_second,
+                                         unsigned ranks,
+                                         std::size_t halo_bytes);
+
+/// Rank count beyond which adding ranks stops helping (first p where time
+/// increases, scanning 1..max_ranks); returns max_ranks if monotone.
+[[nodiscard]] unsigned strong_scaling_sweet_spot(const AlphaBetaModel& net,
+                                                 double flops,
+                                                 double flops_per_second,
+                                                 unsigned max_ranks,
+                                                 std::size_t halo_bytes);
+
+}  // namespace pe::models

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file queuing.hpp
+/// Queuing-theory closed forms taught in the course: M/M/1, M/M/c
+/// (Erlang C), M/G/1 (Pollaczek–Khinchine), Little's law, and the
+/// interactive response-time law.
+///
+/// Validated against the discrete-event simulator in perfeng/sim by the
+/// `queuing_theory` bench: the closed forms and the simulation must agree
+/// within sampling error — a course exercise in trusting (and distrusting)
+/// analytical models.
+
+namespace pe::models {
+
+/// Steady-state metrics of a queueing station.
+struct QueueMetrics {
+  double utilization = 0.0;    ///< rho (per server)
+  double mean_wait = 0.0;      ///< Wq: time in queue
+  double mean_response = 0.0;  ///< W = Wq + service
+  double mean_queue_length = 0.0;  ///< Lq = lambda Wq
+  double mean_in_system = 0.0;     ///< L  = lambda W
+};
+
+/// M/M/1 closed form; requires lambda < mu.
+[[nodiscard]] QueueMetrics mm1(double arrival_rate, double service_rate);
+
+/// Erlang C probability that an arrival must wait in an M/M/c system.
+[[nodiscard]] double erlang_c(double arrival_rate, double service_rate,
+                              unsigned servers);
+
+/// M/M/c closed form; requires lambda < c * mu.
+[[nodiscard]] QueueMetrics mmc(double arrival_rate, double service_rate,
+                               unsigned servers);
+
+/// M/G/1 via Pollaczek–Khinchine: service has mean 1/mu and squared
+/// coefficient of variation `scv` (1 = exponential, 0 = deterministic).
+[[nodiscard]] QueueMetrics mg1(double arrival_rate, double service_rate,
+                               double scv);
+
+/// Little's law: mean number in system from throughput and response time.
+[[nodiscard]] double littles_law_occupancy(double throughput,
+                                           double response_time);
+
+/// Interactive response-time law: R = N/X - Z for N users with think time Z.
+[[nodiscard]] double interactive_response_time(double users,
+                                               double throughput,
+                                               double think_time);
+
+}  // namespace pe::models

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file scaling.hpp
+/// Parallel scaling laws: Amdahl, Gustafson, and the Universal Scalability
+/// Law (USL), with a least-squares USL fitter.
+///
+/// The course's scale-out lectures model speedup three ways:
+///   Amdahl      S(p) = 1 / (f + (1-f)/p)          — fixed problem size
+///   Gustafson   S(p) = f + (1-f) p                — scaled problem size
+///   USL         S(p) = p / (1 + σ(p-1) + κ p(p-1)) — contention σ +
+///                coherence κ, the only one that can predict *retrograde*
+///                scaling.
+/// The fitter recovers (σ, κ) from measured speedups by grid-refined least
+/// squares, robust enough for the noisy 4-8 point curves students collect.
+
+#include <span>
+#include <vector>
+
+namespace pe::models {
+
+/// Amdahl speedup with serial fraction `f` in [0,1] on `p` workers.
+[[nodiscard]] double amdahl_speedup(double serial_fraction, double workers);
+
+/// Maximum Amdahl speedup as p -> infinity (1/f; infinity when f == 0).
+[[nodiscard]] double amdahl_limit(double serial_fraction);
+
+/// Gustafson scaled speedup with serial fraction `f` on `p` workers.
+[[nodiscard]] double gustafson_speedup(double serial_fraction, double workers);
+
+/// USL speedup with contention sigma and coherence kappa.
+[[nodiscard]] double usl_speedup(double sigma, double kappa, double workers);
+
+/// Worker count at which USL throughput peaks (infinite when kappa == 0).
+[[nodiscard]] double usl_peak_workers(double sigma, double kappa);
+
+/// USL parameters recovered from data.
+struct UslFit {
+  double sigma = 0.0;
+  double kappa = 0.0;
+  double r2 = 0.0;  ///< fit quality against the provided speedups
+};
+
+/// Fit USL to measured (workers, speedup) points by grid-refined least
+/// squares over sigma in [0,1], kappa in [0,0.1]. Requires >= 3 points and
+/// workers[i] >= 1 with speedup > 0.
+[[nodiscard]] UslFit fit_usl(std::span<const double> workers,
+                             std::span<const double> speedups);
+
+/// Estimate the serial fraction from a single (p, speedup) observation by
+/// inverting Amdahl — the Karp–Flatt metric.
+[[nodiscard]] double karp_flatt(double speedup, double workers);
+
+}  // namespace pe::models

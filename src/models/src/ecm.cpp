@@ -1,0 +1,39 @@
+#include "perfeng/models/ecm.hpp"
+
+#include <algorithm>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::models {
+
+EcmModel::EcmModel(double core_seconds) : core_(core_seconds) {
+  PE_REQUIRE(core_seconds >= 0.0, "core time must be non-negative");
+}
+
+void EcmModel::add_transfer(const std::string& from, const std::string& to,
+                            double seconds) {
+  PE_REQUIRE(seconds >= 0.0, "transfer time must be non-negative");
+  transfers_.push_back({from, to, seconds});
+}
+
+double EcmModel::data_seconds() const {
+  double total = 0.0;
+  for (const auto& t : transfers_) total += t.seconds;
+  return total;
+}
+
+double EcmModel::predict_overlapped() const {
+  return std::max(core_, data_seconds());
+}
+
+double EcmModel::predict_serial() const { return core_ + data_seconds(); }
+
+bool EcmModel::brackets(double measured_seconds, double slack) const {
+  PE_REQUIRE(measured_seconds > 0.0, "measured time must be positive");
+  PE_REQUIRE(slack >= 0.0, "slack must be non-negative");
+  const double lo = predict_overlapped() * (1.0 - slack);
+  const double hi = predict_serial() * (1.0 + slack);
+  return measured_seconds >= lo && measured_seconds <= hi;
+}
+
+}  // namespace pe::models

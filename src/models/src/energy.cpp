@@ -1,0 +1,85 @@
+#include "perfeng/models/energy.hpp"
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::models {
+
+double PowerModel::power(double utilization) const {
+  PE_REQUIRE(utilization >= 0.0 && utilization <= 1.0,
+             "utilization must be in [0,1]");
+  PE_REQUIRE(static_watts >= 0.0 && peak_dynamic_watts >= 0.0,
+             "power must be non-negative");
+  return static_watts + peak_dynamic_watts * utilization;
+}
+
+double PowerModel::energy(double seconds, double utilization) const {
+  PE_REQUIRE(seconds >= 0.0, "negative duration");
+  return power(utilization) * seconds;
+}
+
+double EventEnergyModel::energy(
+    const counters::CounterSet& counters) const {
+  using namespace pe::counters;
+  double joules = 0.0;
+  joules += joules_per_instruction *
+            static_cast<double>(counters.get_or_zero(kInstructions));
+  joules += joules_per_l1_access *
+            static_cast<double>(counters.get_or_zero(kMemAccesses));
+  joules += joules_per_l2_access *
+            static_cast<double>(counters.get_or_zero(kL1Misses));
+  joules += joules_per_l3_access *
+            static_cast<double>(counters.get_or_zero(kL2Misses));
+  joules += joules_per_dram_access *
+            static_cast<double>(counters.get_or_zero(kDramAccesses));
+  return joules;
+}
+
+double EnergyReport::watts() const {
+  return seconds > 0.0 ? joules / seconds : 0.0;
+}
+
+double EnergyReport::flops_per_joule() const {
+  return joules > 0.0 ? flops / joules : 0.0;
+}
+
+double EnergyReport::energy_delay_product() const {
+  return joules * seconds;
+}
+
+EnergyReport report_from_power(const PowerModel& power, double seconds,
+                               double utilization, double flops) {
+  PE_REQUIRE(seconds > 0.0, "duration must be positive");
+  PE_REQUIRE(flops >= 0.0, "negative flop count");
+  EnergyReport r;
+  r.seconds = seconds;
+  r.joules = power.energy(seconds, utilization);
+  r.flops = flops;
+  return r;
+}
+
+EnergyReport report_from_events(const EventEnergyModel& events,
+                                const counters::CounterSet& counters,
+                                double seconds, double flops) {
+  PE_REQUIRE(seconds > 0.0, "duration must be positive");
+  PE_REQUIRE(flops >= 0.0, "negative flop count");
+  EnergyReport r;
+  r.seconds = seconds;
+  r.joules = events.energy(counters);
+  r.flops = flops;
+  return r;
+}
+
+double race_to_idle_ratio(const PowerModel& power, double baseline_seconds,
+                          double baseline_utilization,
+                          double optimized_seconds,
+                          double optimized_utilization) {
+  PE_REQUIRE(baseline_seconds > 0.0 && optimized_seconds > 0.0,
+             "durations must be positive");
+  const double baseline =
+      power.energy(baseline_seconds, baseline_utilization);
+  const double optimized =
+      power.energy(optimized_seconds, optimized_utilization);
+  return optimized / baseline;
+}
+
+}  // namespace pe::models

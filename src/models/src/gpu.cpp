@@ -1,0 +1,81 @@
+#include "perfeng/models/gpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::models {
+
+Occupancy occupancy(const GpuSmConfig& sm, const GpuKernelConfig& kernel) {
+  PE_REQUIRE(kernel.threads_per_block >= 1, "empty thread block");
+  PE_REQUIRE(sm.warp_size >= 1 && sm.max_warps >= 1 && sm.max_blocks >= 1,
+             "bad SM configuration");
+
+  const unsigned warps_per_block =
+      (kernel.threads_per_block + sm.warp_size - 1) / sm.warp_size;
+  PE_REQUIRE(warps_per_block <= sm.max_warps,
+             "block alone exceeds the SM's warp capacity");
+
+  // Each limit caps the number of resident blocks.
+  const unsigned by_blocks = sm.max_blocks;
+  const unsigned by_warps = sm.max_warps / warps_per_block;
+  const std::uint64_t regs_per_block =
+      std::uint64_t(kernel.registers_per_thread) * kernel.threads_per_block;
+  const unsigned by_regs =
+      regs_per_block == 0
+          ? sm.max_blocks
+          : static_cast<unsigned>(sm.registers / regs_per_block);
+  const unsigned by_smem =
+      kernel.shared_memory_per_block == 0
+          ? sm.max_blocks
+          : static_cast<unsigned>(sm.shared_memory /
+                                  kernel.shared_memory_per_block);
+
+  Occupancy occ;
+  const struct {
+    unsigned cap;
+    const char* name;
+  } limits[] = {{by_blocks, "blocks"},
+                {by_warps, "warps"},
+                {by_regs, "registers"},
+                {by_smem, "smem"}};
+  occ.blocks_per_sm = limits[0].cap;
+  occ.limiter = limits[0].name;
+  for (const auto& limit : limits) {
+    if (limit.cap < occ.blocks_per_sm) {
+      occ.blocks_per_sm = limit.cap;
+      occ.limiter = limit.name;
+    }
+  }
+  occ.warps_per_sm = occ.blocks_per_sm * warps_per_block;
+  occ.fraction =
+      static_cast<double>(occ.warps_per_sm) / sm.max_warps;
+  return occ;
+}
+
+double achievable_bandwidth(double peak_bandwidth, unsigned num_sms,
+                            unsigned warps_per_sm, double latency_seconds,
+                            std::size_t bytes_per_access) {
+  PE_REQUIRE(peak_bandwidth > 0.0, "peak bandwidth must be positive");
+  PE_REQUIRE(num_sms >= 1, "need at least one SM");
+  PE_REQUIRE(latency_seconds > 0.0, "latency must be positive");
+  PE_REQUIRE(bytes_per_access >= 1, "access must move bytes");
+  const double in_flight = static_cast<double>(num_sms) * warps_per_sm *
+                           static_cast<double>(bytes_per_access);
+  return std::min(peak_bandwidth, in_flight / latency_seconds);
+}
+
+unsigned warps_to_saturate(double peak_bandwidth, unsigned num_sms,
+                           double latency_seconds,
+                           std::size_t bytes_per_access) {
+  PE_REQUIRE(peak_bandwidth > 0.0 && num_sms >= 1 &&
+                 latency_seconds > 0.0 && bytes_per_access >= 1,
+             "bad parameters");
+  const double per_warp = static_cast<double>(num_sms) *
+                          static_cast<double>(bytes_per_access) /
+                          latency_seconds;
+  return static_cast<unsigned>(std::ceil(peak_bandwidth / per_warp));
+}
+
+}  // namespace pe::models

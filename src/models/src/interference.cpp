@@ -1,0 +1,53 @@
+#include "perfeng/models/interference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::models {
+
+double SharedSystemModel::tenant_bandwidth(unsigned tenants) const {
+  PE_REQUIRE(tenants >= 1, "need at least one tenant");
+  PE_REQUIRE(total_bandwidth > 0.0 && peak_flops > 0.0,
+             "roofs must be positive");
+  return total_bandwidth / static_cast<double>(tenants);
+}
+
+double SharedSystemModel::kernel_time(double flops, double bytes,
+                                      unsigned tenants) const {
+  PE_REQUIRE(flops >= 0.0 && bytes >= 0.0, "negative work");
+  return std::max(flops / peak_flops, bytes / tenant_bandwidth(tenants));
+}
+
+double SharedSystemModel::slowdown(double flops, double bytes,
+                                   unsigned tenants) const {
+  const double alone = kernel_time(flops, bytes, 1);
+  PE_REQUIRE(alone > 0.0, "kernel needs some work");
+  return kernel_time(flops, bytes, tenants) / alone;
+}
+
+double SharedSystemModel::immunity_intensity(unsigned tenants) const {
+  // Compute time >= shared memory time iff AI >= peak / (BW / tenants).
+  return peak_flops / tenant_bandwidth(tenants);
+}
+
+unsigned SharedSystemModel::estimate_tenants(double flops, double bytes,
+                                             double observed_slowdown,
+                                             unsigned max_tenants) const {
+  PE_REQUIRE(observed_slowdown >= 1.0, "slowdown must be >= 1");
+  PE_REQUIRE(max_tenants >= 1, "need a positive tenant cap");
+  unsigned best = 1;
+  double best_err = std::abs(slowdown(flops, bytes, 1) - observed_slowdown);
+  for (unsigned t = 2; t <= max_tenants; ++t) {
+    const double err =
+        std::abs(slowdown(flops, bytes, t) - observed_slowdown);
+    if (err < best_err) {
+      best_err = err;
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace pe::models

@@ -1,0 +1,71 @@
+#include "perfeng/models/network.hpp"
+
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::models {
+
+double AlphaBetaModel::p2p(std::size_t bytes) const {
+  return alpha + beta * static_cast<double>(bytes);
+}
+
+double AlphaBetaModel::broadcast(unsigned ranks, std::size_t bytes) const {
+  PE_REQUIRE(ranks >= 1, "need at least one rank");
+  if (ranks == 1) return 0.0;
+  const double steps = std::ceil(std::log2(static_cast<double>(ranks)));
+  return steps * p2p(bytes);
+}
+
+double AlphaBetaModel::ring_allreduce(unsigned ranks,
+                                      std::size_t bytes) const {
+  PE_REQUIRE(ranks >= 1, "need at least one rank");
+  if (ranks == 1) return 0.0;
+  const std::size_t chunk = (bytes + ranks - 1) / ranks;
+  return 2.0 * static_cast<double>(ranks - 1) * p2p(chunk);
+}
+
+double AlphaBetaModel::halo_exchange(std::size_t halo_bytes) const {
+  // Both directions proceed concurrently; a rank's critical path is one
+  // send overhead plus one inbound message.
+  return alpha + p2p(halo_bytes);
+}
+
+double strong_scaling_time(const AlphaBetaModel& net, double flops,
+                           double flops_per_second, unsigned ranks,
+                           std::size_t halo_bytes) {
+  PE_REQUIRE(flops > 0.0 && flops_per_second > 0.0,
+             "work and rate must be positive");
+  PE_REQUIRE(ranks >= 1, "need at least one rank");
+  const double compute =
+      flops / flops_per_second / static_cast<double>(ranks);
+  // Per iteration: a halo swap (rank-count independent) plus a scalar
+  // residual allreduce, whose 2(p-1) latency steps are what eventually
+  // stops strong scaling.
+  const double comm =
+      ranks == 1 ? 0.0
+                 : net.halo_exchange(halo_bytes) +
+                       net.ring_allreduce(ranks, sizeof(double));
+  return compute + comm;
+}
+
+unsigned strong_scaling_sweet_spot(const AlphaBetaModel& net, double flops,
+                                   double flops_per_second,
+                                   unsigned max_ranks,
+                                   std::size_t halo_bytes) {
+  PE_REQUIRE(max_ranks >= 1, "need at least one rank");
+  double best_time =
+      strong_scaling_time(net, flops, flops_per_second, 1, halo_bytes);
+  unsigned best = 1;
+  for (unsigned p = 2; p <= max_ranks; ++p) {
+    const double t =
+        strong_scaling_time(net, flops, flops_per_second, p, halo_bytes);
+    if (t < best_time) {
+      best_time = t;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace pe::models

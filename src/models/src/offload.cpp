@@ -1,0 +1,73 @@
+#include "perfeng/models/offload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::models {
+
+double DeviceModel::kernel_time(double flops, double bytes) const {
+  PE_REQUIRE(flops >= 0.0 && bytes >= 0.0, "negative work");
+  PE_REQUIRE(peak_flops > 0.0 && bandwidth > 0.0,
+             "device roofs must be positive");
+  return std::max(flops / peak_flops, bytes / bandwidth);
+}
+
+double TransferLink::transfer_time(double bytes) const {
+  PE_REQUIRE(bytes >= 0.0, "negative transfer size");
+  PE_REQUIRE(alpha >= 0.0 && beta >= 0.0, "link costs must be non-negative");
+  if (bytes == 0.0) return 0.0;
+  return alpha + beta * bytes;
+}
+
+double OffloadModel::host_time(double flops, double bytes) const {
+  return host.kernel_time(flops, bytes);
+}
+
+double OffloadModel::offload_time(double flops, double input_bytes,
+                                  double output_bytes) const {
+  // The transferred payload is also what the device kernel reads/writes.
+  const double device_bytes = input_bytes + output_bytes;
+  return link.transfer_time(input_bytes) +
+         device.kernel_time(flops, device_bytes) +
+         link.transfer_time(output_bytes);
+}
+
+double OffloadModel::offload_speedup(double flops, double input_bytes,
+                                     double output_bytes) const {
+  const double host_t = host_time(flops, input_bytes + output_bytes);
+  const double dev_t = offload_time(flops, input_bytes, output_bytes);
+  PE_REQUIRE(dev_t > 0.0, "degenerate offload time");
+  return host_t / dev_t;
+}
+
+double OffloadModel::amortization_factor(double flops, double bytes,
+                                         double input_bytes,
+                                         double output_bytes) const {
+  PE_REQUIRE(flops > 0.0, "work must be positive");
+  const double host_unit = host.kernel_time(flops, bytes);
+  const double device_unit = device.kernel_time(flops, bytes);
+  if (device_unit >= host_unit)
+    return std::numeric_limits<double>::infinity();
+  const double transfers = link.transfer_time(input_bytes) +
+                           link.transfer_time(output_bytes);
+  // Solve w * host_unit = transfers + w * device_unit.
+  return transfers / (host_unit - device_unit);
+}
+
+std::size_t offload_breakeven_matmul(const OffloadModel& m, std::size_t lo,
+                                     std::size_t hi) {
+  PE_REQUIRE(lo >= 1 && lo <= hi, "bad search range");
+  for (std::size_t n = lo; n <= hi; ++n) {
+    const double nd = static_cast<double>(n);
+    const double flops = 2.0 * nd * nd * nd;
+    const double in_bytes = 2.0 * nd * nd * sizeof(double);   // A and B
+    const double out_bytes = nd * nd * sizeof(double);        // C
+    if (m.offload_speedup(flops, in_bytes, out_bytes) > 1.0) return n;
+  }
+  return 0;
+}
+
+}  // namespace pe::models

@@ -1,0 +1,108 @@
+#include "perfeng/models/scaling.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/measure/metrics.hpp"
+
+namespace pe::models {
+
+double amdahl_speedup(double serial_fraction, double workers) {
+  PE_REQUIRE(serial_fraction >= 0.0 && serial_fraction <= 1.0,
+             "serial fraction must be in [0,1]");
+  PE_REQUIRE(workers >= 1.0, "workers must be >= 1");
+  return 1.0 / (serial_fraction + (1.0 - serial_fraction) / workers);
+}
+
+double amdahl_limit(double serial_fraction) {
+  PE_REQUIRE(serial_fraction >= 0.0 && serial_fraction <= 1.0,
+             "serial fraction must be in [0,1]");
+  if (serial_fraction == 0.0)
+    return std::numeric_limits<double>::infinity();
+  return 1.0 / serial_fraction;
+}
+
+double gustafson_speedup(double serial_fraction, double workers) {
+  PE_REQUIRE(serial_fraction >= 0.0 && serial_fraction <= 1.0,
+             "serial fraction must be in [0,1]");
+  PE_REQUIRE(workers >= 1.0, "workers must be >= 1");
+  return serial_fraction + (1.0 - serial_fraction) * workers;
+}
+
+double usl_speedup(double sigma, double kappa, double workers) {
+  PE_REQUIRE(sigma >= 0.0 && kappa >= 0.0, "USL parameters non-negative");
+  PE_REQUIRE(workers >= 1.0, "workers must be >= 1");
+  const double p = workers;
+  return p / (1.0 + sigma * (p - 1.0) + kappa * p * (p - 1.0));
+}
+
+double usl_peak_workers(double sigma, double kappa) {
+  PE_REQUIRE(sigma >= 0.0 && kappa >= 0.0, "USL parameters non-negative");
+  if (kappa == 0.0) return std::numeric_limits<double>::infinity();
+  return std::sqrt((1.0 - sigma) / kappa);
+}
+
+UslFit fit_usl(std::span<const double> workers,
+               std::span<const double> speedups) {
+  PE_REQUIRE(workers.size() == speedups.size(), "length mismatch");
+  PE_REQUIRE(workers.size() >= 3, "need at least three points");
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    PE_REQUIRE(workers[i] >= 1.0, "workers must be >= 1");
+    PE_REQUIRE(speedups[i] > 0.0, "speedups must be positive");
+  }
+
+  auto sse = [&](double sigma, double kappa) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      const double d = usl_speedup(sigma, kappa, workers[i]) - speedups[i];
+      acc += d * d;
+    }
+    return acc;
+  };
+
+  // Three rounds of grid refinement around the best cell.
+  double lo_s = 0.0, hi_s = 1.0, lo_k = 0.0, hi_k = 0.1;
+  double best_s = 0.0, best_k = 0.0,
+         best = std::numeric_limits<double>::infinity();
+  constexpr int kGrid = 40;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i <= kGrid; ++i) {
+      const double s =
+          lo_s + (hi_s - lo_s) * static_cast<double>(i) / kGrid;
+      for (int j = 0; j <= kGrid; ++j) {
+        const double k =
+            lo_k + (hi_k - lo_k) * static_cast<double>(j) / kGrid;
+        const double err = sse(s, k);
+        if (err < best) {
+          best = err;
+          best_s = s;
+          best_k = k;
+        }
+      }
+    }
+    const double span_s = (hi_s - lo_s) / kGrid * 2.0;
+    const double span_k = (hi_k - lo_k) / kGrid * 2.0;
+    lo_s = std::max(0.0, best_s - span_s);
+    hi_s = std::min(1.0, best_s + span_s);
+    lo_k = std::max(0.0, best_k - span_k);
+    hi_k = best_k + span_k;
+  }
+
+  UslFit fit;
+  fit.sigma = best_s;
+  fit.kappa = best_k;
+  std::vector<double> predicted(workers.size());
+  for (std::size_t i = 0; i < workers.size(); ++i)
+    predicted[i] = usl_speedup(best_s, best_k, workers[i]);
+  fit.r2 = r_squared(predicted, speedups);
+  return fit;
+}
+
+double karp_flatt(double speedup, double workers) {
+  PE_REQUIRE(workers > 1.0, "Karp-Flatt needs more than one worker");
+  PE_REQUIRE(speedup > 0.0, "speedup must be positive");
+  return (1.0 / speedup - 1.0 / workers) / (1.0 - 1.0 / workers);
+}
+
+}  // namespace pe::models

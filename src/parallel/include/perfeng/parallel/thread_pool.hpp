@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// The toolbox's shared-memory parallel substrate.
+///
+/// The course targets OpenMP/CUDA; this repository substitutes a from-scratch
+/// thread pool so that every parallel kernel, scaling experiment, and
+/// load-imbalance pattern runs on any host with only the standard library.
+/// The pool is a fixed set of workers with a shared FIFO queue; `parallel_for`
+/// style helpers are layered on top in parallel_for.hpp.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pe {
+
+/// Fixed-size worker pool executing submitted tasks FIFO.
+///
+/// Thread-safe: `submit` may be called concurrently from any thread,
+/// including from inside tasks (but a task must not block on work that can
+/// only run on the pool it occupies a lane of, or it may deadlock when the
+/// pool has one thread).
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers (>= 1). Defaults to the hardware
+  /// concurrency, with a floor of 1.
+  explicit ThreadPool(std::size_t threads = default_thread_count());
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future carries the task's result or
+  /// exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      ensure_open_locked();
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Run `fn(worker_index)` once on each of the pool's threads and wait.
+  /// Used by microbenchmarks that need one pinned activity per worker.
+  void run_on_all(const std::function<void(std::size_t)>& fn);
+
+  /// Default worker count: hardware_concurrency with a floor of 1.
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+  void ensure_open_locked() const;
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool closing_ = false;
+};
+
+}  // namespace pe

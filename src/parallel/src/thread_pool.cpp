@@ -1,0 +1,65 @@
+#include "perfeng/parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <latch>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  PE_REQUIRE(threads >= 1, "pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    closing_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::ensure_open_locked() const {
+  if (closing_) throw Error("ThreadPool: submit after shutdown");
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return closing_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closing_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
+  const std::size_t n = workers_.size();
+  std::latch all_started(static_cast<std::ptrdiff_t>(n));
+  std::vector<std::future<void>> done;
+  done.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    done.push_back(submit([&, i] {
+      // Block until every worker holds one of these tasks, so each of the n
+      // tasks is guaranteed to run on a distinct thread.
+      all_started.arrive_and_wait();
+      fn(i);
+    }));
+  }
+  for (auto& f : done) f.get();
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace pe

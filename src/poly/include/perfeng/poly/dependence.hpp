@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file dependence.hpp
+/// Polyhedral-lite dependence analysis for affine loop nests.
+///
+/// The course's polyhedral-model lectures (HIPEAC-tutorial style) teach
+/// students to reason about loop transformations through dependence
+/// *distance vectors*. This module implements the uniform-dependence subset
+/// that covers the course kernels: perfectly nested loops with constant
+/// bounds and affine subscripts. It derives distance vectors between
+/// conflicting accesses, and answers the two questions students need:
+/// is this loop interchange legal, and is this band tilable?
+///
+/// Conventions: a dependence runs from the lexicographically earlier
+/// iteration to the later one, so every reported distance vector is
+/// lexicographically positive (the zero vector — a loop-independent
+/// dependence within one iteration — imposes no ordering constraint and is
+/// not reported).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pe::poly {
+
+/// Affine function of the loop indices: sum(coef[k] * i_k) + constant.
+struct AffineExpr {
+  std::vector<long> coef;  ///< one coefficient per loop, outermost first
+  long constant = 0;
+
+  /// Evaluate at an iteration point.
+  [[nodiscard]] long eval(const std::vector<long>& iter) const;
+};
+
+/// One loop of the nest: [lower, upper) with unit stride.
+struct Loop {
+  std::string name;
+  long lower = 0;
+  long upper = 0;
+
+  [[nodiscard]] long trip_count() const { return upper - lower; }
+};
+
+/// An array access with affine subscripts.
+struct Access {
+  std::string array;
+  std::vector<AffineExpr> subscripts;
+  bool is_write = false;
+};
+
+/// Kinds of data dependence between two accesses.
+enum class DepKind { kFlow, kAnti, kOutput };
+
+[[nodiscard]] std::string dep_kind_name(DepKind k);
+
+/// One discovered dependence, summarized per direction vector (the
+/// standard compaction: a matmul accumulation carries distances (0,0,d)
+/// for every d > 0, reported once as direction (0,0,+1)).
+struct Dependence {
+  std::string array;
+  DepKind kind = DepKind::kFlow;
+  /// Sign per loop: -1, 0, +1 (lexicographically positive by convention).
+  std::vector<int> direction;
+  /// Lexicographically smallest observed distance with this direction.
+  std::vector<long> distance;
+  /// True when every observed distance with this direction is identical
+  /// (a genuinely uniform, constant-distance dependence).
+  bool uniform = false;
+};
+
+/// A perfect loop nest with a body made of array accesses.
+class LoopNest {
+ public:
+  explicit LoopNest(std::vector<Loop> loops);
+
+  void add_access(Access access);
+
+  [[nodiscard]] std::size_t depth() const { return loops_.size(); }
+  [[nodiscard]] const std::vector<Loop>& loops() const { return loops_; }
+  [[nodiscard]] const std::vector<Access>& accesses() const {
+    return accesses_;
+  }
+
+  /// All dependences between conflicting access pairs (at least one write,
+  /// same array). Exhaustive and exact: iterates candidate distance
+  /// vectors within the loop bounds — suitable for the course-scale nests
+  /// this module targets (use small bounds; the result is bound-independent
+  /// for uniform dependences).
+  [[nodiscard]] std::vector<Dependence> analyze() const;
+
+  /// True if permuting the loops by `perm` (new order, outermost first,
+  /// values are old loop indices) preserves every dependence.
+  [[nodiscard]] bool interchange_legal(
+      const std::vector<std::size_t>& perm) const;
+
+  /// True if the whole nest is fully permutable (all distance components
+  /// >= 0), the sufficient condition for rectangular tiling.
+  [[nodiscard]] bool tilable() const;
+
+  /// True if applying the unimodular transformation T (new iteration
+  /// vector = T * old; row-major square matrix of size depth()) preserves
+  /// every dependence, i.e. T * d stays lexicographically positive for
+  /// every distance vector d. Interchange is the permutation-matrix
+  /// special case; skewing (e.g. [[1,0],[1,1]]) is the classic transform
+  /// that makes Seidel-style nests tilable.
+  [[nodiscard]] bool transform_legal(
+      const std::vector<std::vector<long>>& t) const;
+
+  /// True if the nest becomes fully permutable (tilable) after T:
+  /// every transformed distance has only non-negative components.
+  [[nodiscard]] bool transform_makes_tilable(
+      const std::vector<std::vector<long>>& t) const;
+
+  /// Classic helper: the matmul (i,j,k) nest with C[i][j] += A[i][k]*B[k][j].
+  static LoopNest matmul(long n);
+
+  /// Jacobi 2D stencil with separate in/out arrays (fully parallel nest).
+  static LoopNest jacobi2d(long n);
+
+  /// Seidel-style in-place stencil (carries dependences in both loops).
+  static LoopNest seidel2d(long n);
+
+ private:
+  /// All raw dependence distance vectors within the bounds (deduped);
+  /// transform checks need exact distances, not direction summaries.
+  [[nodiscard]] std::vector<std::vector<long>> all_distances() const;
+
+  std::vector<Loop> loops_;
+  std::vector<Access> accesses_;
+};
+
+/// Lexicographic comparison helpers used by the legality checks.
+[[nodiscard]] bool lex_positive(const std::vector<long>& v);
+[[nodiscard]] bool lex_negative(const std::vector<long>& v);
+
+}  // namespace pe::poly

@@ -1,0 +1,297 @@
+#include "perfeng/poly/dependence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::poly {
+
+long AffineExpr::eval(const std::vector<long>& iter) const {
+  PE_REQUIRE(iter.size() == coef.size(), "iteration arity mismatch");
+  long acc = constant;
+  for (std::size_t k = 0; k < coef.size(); ++k) acc += coef[k] * iter[k];
+  return acc;
+}
+
+std::string dep_kind_name(DepKind k) {
+  switch (k) {
+    case DepKind::kFlow: return "flow";
+    case DepKind::kAnti: return "anti";
+    case DepKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+bool lex_positive(const std::vector<long>& v) {
+  for (long x : v) {
+    if (x > 0) return true;
+    if (x < 0) return false;
+  }
+  return false;
+}
+
+bool lex_negative(const std::vector<long>& v) {
+  for (long x : v) {
+    if (x < 0) return true;
+    if (x > 0) return false;
+  }
+  return false;
+}
+
+LoopNest::LoopNest(std::vector<Loop> loops) : loops_(std::move(loops)) {
+  PE_REQUIRE(!loops_.empty(), "nest needs at least one loop");
+  for (const Loop& l : loops_)
+    PE_REQUIRE(l.trip_count() >= 1, "loop must have at least one iteration");
+}
+
+void LoopNest::add_access(Access access) {
+  for (const AffineExpr& s : access.subscripts)
+    PE_REQUIRE(s.coef.size() == loops_.size(),
+               "subscript arity must match nest depth");
+  accesses_.push_back(std::move(access));
+}
+
+namespace {
+
+/// Odometer over the iteration space; returns false when exhausted.
+bool advance(std::vector<long>& iter, const std::vector<Loop>& loops) {
+  std::size_t k = loops.size();
+  while (k > 0) {
+    --k;
+    if (++iter[k] < loops[k].upper) return true;
+    iter[k] = loops[k].lower;
+  }
+  return false;
+}
+
+bool subscripts_match(const Access& a, const std::vector<long>& ia,
+                      const Access& b, const std::vector<long>& ib) {
+  if (a.subscripts.size() != b.subscripts.size()) return false;
+  for (std::size_t d = 0; d < a.subscripts.size(); ++d)
+    if (a.subscripts[d].eval(ia) != b.subscripts[d].eval(ib)) return false;
+  return true;
+}
+
+struct DirectionKey {
+  std::string array;
+  DepKind kind;
+  std::vector<int> direction;
+  auto operator<=>(const DirectionKey&) const = default;
+};
+
+}  // namespace
+
+std::vector<Dependence> LoopNest::analyze() const {
+  // Exhaustive and exact over the given bounds: for every conflicting
+  // access pair, every ordered pair of iteration points touching the same
+  // element yields a distance; distances are summarized per direction.
+  std::map<DirectionKey, std::pair<std::vector<long>, bool>>
+      summary;  // direction -> (min distance, all-equal flag)
+
+  auto note = [&](const std::string& array, DepKind kind,
+                  const std::vector<long>& dist) {
+    std::vector<int> dir(dist.size());
+    for (std::size_t k = 0; k < dist.size(); ++k)
+      dir[k] = dist[k] > 0 ? 1 : (dist[k] < 0 ? -1 : 0);
+    DirectionKey key{array, kind, std::move(dir)};
+    auto it = summary.find(key);
+    if (it == summary.end()) {
+      summary.emplace(std::move(key), std::make_pair(dist, true));
+    } else {
+      if (it->second.first != dist) it->second.second = false;
+      if (std::lexicographical_compare(dist.begin(), dist.end(),
+                                       it->second.first.begin(),
+                                       it->second.first.end()))
+        it->second.first = dist;
+    }
+  };
+
+  for (std::size_t ai = 0; ai < accesses_.size(); ++ai) {
+    for (std::size_t bi = 0; bi < accesses_.size(); ++bi) {
+      const Access& src = accesses_[ai];
+      const Access& dst = accesses_[bi];
+      if (src.array != dst.array) continue;
+      if (!src.is_write && !dst.is_write) continue;
+      DepKind kind = DepKind::kOutput;
+      if (src.is_write && !dst.is_write) kind = DepKind::kFlow;
+      if (!src.is_write && dst.is_write) kind = DepKind::kAnti;
+      if (kind == DepKind::kOutput && ai != bi && bi < ai)
+        continue;  // count each write pair once
+
+      std::vector<long> ia(loops_.size());
+      for (std::size_t k = 0; k < loops_.size(); ++k) ia[k] = loops_[k].lower;
+      do {
+        std::vector<long> ib(loops_.size());
+        for (std::size_t k = 0; k < loops_.size(); ++k)
+          ib[k] = loops_[k].lower;
+        do {
+          std::vector<long> dist(loops_.size());
+          for (std::size_t k = 0; k < loops_.size(); ++k)
+            dist[k] = ib[k] - ia[k];
+          if (!lex_positive(dist)) continue;  // source must run first
+          if (subscripts_match(src, ia, dst, ib)) note(src.array, kind, dist);
+        } while (advance(ib, loops_));
+      } while (advance(ia, loops_));
+    }
+  }
+
+  std::vector<Dependence> out;
+  out.reserve(summary.size());
+  for (const auto& [key, value] : summary) {
+    Dependence dep;
+    dep.array = key.array;
+    dep.kind = key.kind;
+    dep.direction = key.direction;
+    dep.distance = value.first;
+    dep.uniform = value.second;
+    out.push_back(std::move(dep));
+  }
+  return out;
+}
+
+bool LoopNest::interchange_legal(const std::vector<std::size_t>& perm) const {
+  PE_REQUIRE(perm.size() == loops_.size(), "permutation arity mismatch");
+  std::vector<bool> seen(loops_.size(), false);
+  for (std::size_t p : perm) {
+    PE_REQUIRE(p < loops_.size() && !seen[p], "not a permutation");
+    seen[p] = true;
+  }
+  for (const Dependence& dep : analyze()) {
+    std::vector<long> permuted(dep.distance.size());
+    for (std::size_t k = 0; k < perm.size(); ++k)
+      permuted[k] = dep.distance[perm[k]];
+    // Direction is what matters; use the representative's signs.
+    std::vector<long> dir(perm.size());
+    for (std::size_t k = 0; k < perm.size(); ++k)
+      dir[k] = dep.direction[perm[k]];
+    if (lex_negative(dir)) return false;
+  }
+  return true;
+}
+
+bool LoopNest::tilable() const {
+  for (const Dependence& dep : analyze())
+    for (int d : dep.direction)
+      if (d < 0) return false;
+  return true;
+}
+
+std::vector<std::vector<long>> LoopNest::all_distances() const {
+  std::set<std::vector<long>> distances;
+  for (std::size_t ai = 0; ai < accesses_.size(); ++ai) {
+    for (std::size_t bi = 0; bi < accesses_.size(); ++bi) {
+      const Access& src = accesses_[ai];
+      const Access& dst = accesses_[bi];
+      if (src.array != dst.array) continue;
+      if (!src.is_write && !dst.is_write) continue;
+
+      std::vector<long> ia(loops_.size());
+      for (std::size_t k = 0; k < loops_.size(); ++k) ia[k] = loops_[k].lower;
+      do {
+        std::vector<long> ib(loops_.size());
+        for (std::size_t k = 0; k < loops_.size(); ++k)
+          ib[k] = loops_[k].lower;
+        do {
+          std::vector<long> dist(loops_.size());
+          for (std::size_t k = 0; k < loops_.size(); ++k)
+            dist[k] = ib[k] - ia[k];
+          if (!lex_positive(dist)) continue;
+          if (subscripts_match(src, ia, dst, ib)) distances.insert(dist);
+        } while (advance(ib, loops_));
+      } while (advance(ia, loops_));
+    }
+  }
+  return {distances.begin(), distances.end()};
+}
+
+namespace {
+
+std::vector<long> apply_transform(const std::vector<std::vector<long>>& t,
+                                  const std::vector<long>& d) {
+  std::vector<long> out(t.size(), 0);
+  for (std::size_t r = 0; r < t.size(); ++r)
+    for (std::size_t c = 0; c < d.size(); ++c) out[r] += t[r][c] * d[c];
+  return out;
+}
+
+void check_transform_shape(const std::vector<std::vector<long>>& t,
+                           std::size_t depth) {
+  PE_REQUIRE(t.size() == depth, "transform must be depth x depth");
+  for (const auto& row : t)
+    PE_REQUIRE(row.size() == depth, "transform must be depth x depth");
+}
+
+}  // namespace
+
+bool LoopNest::transform_legal(
+    const std::vector<std::vector<long>>& t) const {
+  check_transform_shape(t, loops_.size());
+  for (const auto& d : all_distances()) {
+    if (!lex_positive(apply_transform(t, d))) return false;
+  }
+  return true;
+}
+
+bool LoopNest::transform_makes_tilable(
+    const std::vector<std::vector<long>>& t) const {
+  check_transform_shape(t, loops_.size());
+  for (const auto& d : all_distances()) {
+    const auto td = apply_transform(t, d);
+    if (!lex_positive(td)) return false;  // must stay legal...
+    for (long component : td) {
+      if (component < 0) return false;    // ...and become non-negative
+    }
+  }
+  return true;
+}
+
+LoopNest LoopNest::matmul(long n) {
+  PE_REQUIRE(n >= 2, "need at least two iterations per loop");
+  LoopNest nest({{"i", 0, n}, {"j", 0, n}, {"k", 0, n}});
+  const AffineExpr i{{1, 0, 0}, 0}, j{{0, 1, 0}, 0}, k{{0, 0, 1}, 0};
+  nest.add_access({"C", {i, j}, /*is_write=*/false});
+  nest.add_access({"C", {i, j}, /*is_write=*/true});
+  nest.add_access({"A", {i, k}, /*is_write=*/false});
+  nest.add_access({"B", {k, j}, /*is_write=*/false});
+  return nest;
+}
+
+LoopNest LoopNest::jacobi2d(long n) {
+  PE_REQUIRE(n >= 4, "grid too small");
+  LoopNest nest({{"i", 1, n - 1}, {"j", 1, n - 1}});
+  auto expr = [](long ci, long cj, long c) {
+    return AffineExpr{{ci, cj}, c};
+  };
+  // out[i][j] = f(in[i][j], in[i-1][j], in[i+1][j], in[i][j-1], in[i][j+1])
+  nest.add_access({"out", {expr(1, 0, 0), expr(0, 1, 0)}, true});
+  nest.add_access({"in", {expr(1, 0, 0), expr(0, 1, 0)}, false});
+  nest.add_access({"in", {expr(1, 0, -1), expr(0, 1, 0)}, false});
+  nest.add_access({"in", {expr(1, 0, 1), expr(0, 1, 0)}, false});
+  nest.add_access({"in", {expr(1, 0, 0), expr(0, 1, -1)}, false});
+  nest.add_access({"in", {expr(1, 0, 0), expr(0, 1, 1)}, false});
+  return nest;
+}
+
+LoopNest LoopNest::seidel2d(long n) {
+  PE_REQUIRE(n >= 4, "grid too small");
+  LoopNest nest({{"i", 1, n - 1}, {"j", 1, n - 1}});
+  auto expr = [](long ci, long cj, long c) {
+    return AffineExpr{{ci, cj}, c};
+  };
+  // In-place 9-point relaxation (polybench seidel-2d flavour): the
+  // anti-diagonal reads a[i-1][j+1] / a[i+1][j-1] carry the famous (1,-1)
+  // dependence that blocks rectangular tiling.
+  nest.add_access({"a", {expr(1, 0, 0), expr(0, 1, 0)}, true});
+  nest.add_access({"a", {expr(1, 0, 0), expr(0, 1, 0)}, false});
+  nest.add_access({"a", {expr(1, 0, -1), expr(0, 1, 0)}, false});
+  nest.add_access({"a", {expr(1, 0, 1), expr(0, 1, 0)}, false});
+  nest.add_access({"a", {expr(1, 0, 0), expr(0, 1, -1)}, false});
+  nest.add_access({"a", {expr(1, 0, 0), expr(0, 1, 1)}, false});
+  nest.add_access({"a", {expr(1, 0, -1), expr(0, 1, 1)}, false});
+  nest.add_access({"a", {expr(1, 0, 1), expr(0, 1, -1)}, false});
+  return nest;
+}
+
+}  // namespace pe::poly

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file cache.hpp
+/// Single-level set-associative cache simulator.
+///
+/// The course's "simulation and simulators" topic, and the substrate for the
+/// *simulated* performance-counter backend: where the real course reads
+/// cache-miss counters from PAPI/LIKWID, this repository replays a kernel's
+/// address trace through a configurable cache model and reports the same
+/// events deterministically.
+///
+/// Model: physical-indexed, set-associative, true-LRU replacement,
+/// write-back + write-allocate (the common x86 configuration). An access
+/// that straddles a line boundary is split into one access per touched line.
+
+#include <cstdint>
+#include <vector>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::sim {
+
+/// Geometry and identity of one cache level.
+struct CacheConfig {
+  std::string name = "L1";
+  std::size_t size_bytes = 32 * 1024;
+  std::size_t line_bytes = 64;
+  std::size_t associativity = 8;
+
+  [[nodiscard]] std::size_t num_lines() const {
+    return size_bytes / line_bytes;
+  }
+  [[nodiscard]] std::size_t num_sets() const {
+    return num_lines() / associativity;
+  }
+};
+
+/// Hit/miss counters for one level.
+struct CacheStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;  ///< dirty evictions
+
+  [[nodiscard]] std::uint64_t accesses() const {
+    return read_hits + read_misses + write_hits + write_misses;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return read_misses + write_misses;
+  }
+  [[nodiscard]] double miss_rate() const {
+    const std::uint64_t a = accesses();
+    return a == 0 ? 0.0 : static_cast<double>(misses()) /
+                              static_cast<double>(a);
+  }
+};
+
+/// Whether a simulated access reads or writes.
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+/// One cache level; `access` returns true on hit.
+class Cache {
+ public:
+  explicit Cache(CacheConfig config);
+
+  /// Simulate one line-granular access; `line_addr` is a *line* address
+  /// (byte address >> log2(line)). Returns true on hit. On miss the line is
+  /// allocated; `evicted_dirty` reports whether a dirty victim was evicted
+  /// (for write-back traffic accounting by the hierarchy).
+  bool access_line(std::uint64_t line_addr, AccessType type,
+                   bool* evicted_dirty = nullptr);
+
+  /// True if the line is currently resident (no state change).
+  [[nodiscard]] bool probe(std::uint64_t line_addr) const;
+
+  /// Invalidate all contents and reset LRU (stats are preserved).
+  void flush();
+
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru_stamp = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  CacheStats stats_;
+  std::vector<Line> lines_;  // num_sets * associativity, set-major
+  std::uint64_t clock_ = 0;
+  std::size_t set_mask_ = 0;
+};
+
+}  // namespace pe::sim

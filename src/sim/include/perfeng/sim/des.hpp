@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file des.hpp
+/// Minimal discrete-event simulation core.
+///
+/// A time-ordered event queue with deterministic FIFO tie-breaking. Used by
+/// the queueing-theory validation bench (M/M/c closed forms vs simulation)
+/// and available for student-style what-if experiments. Events are plain
+/// closures; handlers schedule further events through the simulator.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::sim {
+
+/// Discrete-event simulator: schedule closures at absolute times, run until
+/// the queue drains or a time horizon is reached.
+class EventSimulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulation time (seconds, by convention).
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Schedule `handler` at absolute time `when` (>= now()).
+  void schedule_at(double when, Handler handler);
+
+  /// Schedule `handler` `delay` seconds from now (delay >= 0).
+  void schedule_in(double delay, Handler handler);
+
+  /// Run events until the queue is empty or the next event is after
+  /// `horizon`. Returns the number of events executed by this call.
+  std::uint64_t run_until(double horizon);
+
+  /// Run until the queue is empty.
+  std::uint64_t run();
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace pe::sim

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file netsim.hpp
+/// In-process message-passing simulator with an α-β network cost model.
+///
+/// Substitutes for the course's multi-node MPI experiments: `MessageNetwork`
+/// keeps one logical clock per rank; `send` charges the sender an overhead of
+/// α seconds and delivers the payload after α + β·bytes; `recv` blocks the
+/// receiver's clock until the matching message has arrived. Collectives
+/// (binomial broadcast, ring allreduce, nearest-neighbour halo exchange) are
+/// composed from these primitives so their *simulated* cost can be compared
+/// against the closed-form α-β predictions in `perfeng/models/network.hpp`.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::sim {
+
+/// Point-to-point cost parameters.
+struct NetworkCost {
+  double alpha = 1e-6;   ///< per-message latency, seconds
+  double beta = 1e-10;   ///< per-byte cost, seconds (1/bandwidth)
+
+  [[nodiscard]] double message_time(std::size_t bytes) const {
+    return alpha + beta * static_cast<double>(bytes);
+  }
+};
+
+/// Simulated cluster of ranks exchanging messages under an α-β model.
+class MessageNetwork {
+ public:
+  MessageNetwork(unsigned ranks, NetworkCost cost);
+
+  [[nodiscard]] unsigned ranks() const {
+    return static_cast<unsigned>(clock_.size());
+  }
+  [[nodiscard]] const NetworkCost& cost() const { return cost_; }
+
+  /// Advance `rank`'s clock by `seconds` of local computation.
+  void compute(unsigned rank, double seconds);
+
+  /// Post a message; the sender is charged α of overhead, and the payload
+  /// becomes available to the receiver at send-start + α + β·bytes.
+  void send(unsigned src, unsigned dst, std::size_t bytes, int tag = 0);
+
+  /// Block `dst` until the matching (src, tag) message has arrived
+  /// (messages from one src-dst-tag triple match in FIFO order).
+  void recv(unsigned dst, unsigned src, int tag = 0);
+
+  /// Current logical time of one rank.
+  [[nodiscard]] double clock(unsigned rank) const;
+
+  /// Simulated completion time: max over all rank clocks. Throws if any
+  /// message was sent but never received (a deadlock-style bug).
+  [[nodiscard]] double finish_time() const;
+
+  /// Total messages and bytes injected (for traffic accounting).
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  using Key = std::tuple<unsigned, unsigned, int>;  // src, dst, tag
+
+  NetworkCost cost_;
+  std::vector<double> clock_;
+  std::map<Key, std::deque<double>> in_flight_;  // arrival times, FIFO
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Binomial-tree broadcast of `bytes` from rank 0; returns finish time.
+double simulate_broadcast(MessageNetwork& net, std::size_t bytes);
+
+/// Ring allreduce (reduce-scatter + allgather) of `bytes` per rank;
+/// `reduce_flop_time` charges local combining per step. Returns finish time.
+double simulate_ring_allreduce(MessageNetwork& net, std::size_t bytes,
+                               double reduce_flop_time = 0.0);
+
+/// One iteration of a 1-D halo exchange: every rank computes for
+/// `compute_seconds`, then swaps `halo_bytes` with both neighbours
+/// (non-periodic). Returns finish time.
+double simulate_halo_exchange(MessageNetwork& net, std::size_t halo_bytes,
+                              double compute_seconds);
+
+}  // namespace pe::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file pipeline_sim.hpp
+/// Instruction-scheduler simulator in the spirit of IACA / OSACA /
+/// llvm-mca, which the course teaches for fine-grain analytical modeling.
+///
+/// A loop body is a small dataflow graph of abstract instructions, each
+/// with a latency (cycles until the result is usable) and a port set (the
+/// execution units that can run it, one per cycle each). The simulator
+/// issues iterations back-to-back with register renaming (no false
+/// dependences) and reports the steady-state throughput in cycles per
+/// iteration, plus the binding bottleneck: a port (throughput bound) or
+/// the loop-carried dependency chain (latency bound).
+///
+/// This is the tool students use in Assignment 2 to see why one
+/// accumulator chains at the FMA latency while four accumulators reach
+/// the port throughput.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::sim {
+
+/// One abstract instruction in the loop body.
+struct Instr {
+  std::string name;
+  double latency = 1.0;            ///< cycles to produce the result
+  std::vector<int> ports;          ///< units able to execute it
+  std::vector<int> deps;           ///< body-local operand indices
+  bool carried = false;            ///< also depends on itself last iteration
+};
+
+/// Steady-state analysis result.
+struct PipelineReport {
+  double cycles_per_iteration = 0.0;
+  double latency_bound = 0.0;      ///< longest carried chain per iteration
+  double throughput_bound = 0.0;   ///< most-loaded port per iteration
+  int critical_port = -1;          ///< port realizing the throughput bound
+  bool latency_limited = false;    ///< carried chain beats the ports
+
+  [[nodiscard]] std::string bottleneck() const;
+};
+
+/// Simulator for a loop body on a simple out-of-order core model.
+class PipelineSimulator {
+ public:
+  /// `num_ports`: execution units, each accepting one instruction/cycle.
+  explicit PipelineSimulator(int num_ports);
+
+  /// Append an instruction; returns its body-local index. Dependencies
+  /// must reference earlier instructions (a DAG within the body).
+  int add_instr(Instr instr);
+
+  [[nodiscard]] std::size_t size() const { return body_.size(); }
+
+  /// Simulate `iterations` back-to-back iterations (default enough to
+  /// reach steady state) and report cycles/iteration and bounds.
+  [[nodiscard]] PipelineReport run(int iterations = 200) const;
+
+  /// Convenience: a reduction loop with `chains` independent FMA
+  /// accumulators on a machine with `fma_ports` FMA units of latency
+  /// `fma_latency` — the Assignment 2 teaching example.
+  static PipelineSimulator fma_reduction(int chains, int fma_ports,
+                                         double fma_latency);
+
+ private:
+  int num_ports_;
+  std::vector<Instr> body_;
+};
+
+}  // namespace pe::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file queue_sim.hpp
+/// Discrete-event simulation of a multi-server queue (G/G/c).
+///
+/// Validates the queuing-theory closed forms taught in the course: with
+/// exponential interarrival and service draws this is an M/M/c system whose
+/// simulated waiting time and queue length must match the Erlang-C formulas
+/// within sampling error — the `queuing_theory` bench reports both side by
+/// side across a utilization sweep.
+
+#include <cstdint>
+#include <functional>
+
+#include "perfeng/common/rng.hpp"
+
+namespace pe::sim {
+
+/// Results of a queue simulation run.
+struct QueueSimResult {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  double sim_time = 0.0;
+  double mean_wait = 0.0;          ///< time in queue (excl. service)
+  double mean_response = 0.0;      ///< wait + service
+  double mean_queue_length = 0.0;  ///< time-average jobs waiting (Lq)
+  double mean_in_system = 0.0;     ///< time-average jobs in system (L)
+  double utilization = 0.0;        ///< time-average busy servers / c
+};
+
+/// Configuration of a queue simulation.
+struct QueueSimConfig {
+  double arrival_rate = 0.8;   ///< lambda (jobs/s), Poisson arrivals
+  double service_rate = 1.0;   ///< mu (jobs/s per server), exponential
+  unsigned servers = 1;        ///< c
+  std::uint64_t jobs = 100000; ///< completions to simulate
+  std::uint64_t warmup_jobs = 1000;  ///< excluded from statistics
+  std::uint64_t seed = 1;
+};
+
+/// Simulate an M/M/c queue with the discrete-event core.
+[[nodiscard]] QueueSimResult simulate_mmc(const QueueSimConfig& config);
+
+/// Simulate with custom service-time draw (G draws); interarrival stays
+/// exponential (M/G/c). `service_draw` receives the Rng and returns seconds.
+[[nodiscard]] QueueSimResult simulate_mgc(
+    const QueueSimConfig& config,
+    const std::function<double(Rng&)>& service_draw);
+
+}  // namespace pe::sim

@@ -1,0 +1,32 @@
+#include "perfeng/sim/branch_predictor.hpp"
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::sim {
+
+BranchPredictor::BranchPredictor(std::size_t table_entries)
+    : table_(table_entries, 1), mask_(table_entries - 1) {
+  PE_REQUIRE(table_entries != 0 && (table_entries & mask_) == 0,
+             "table size must be a power of two");
+}
+
+bool BranchPredictor::record(std::uint64_t pc, bool taken) {
+  std::uint8_t& counter = table_[static_cast<std::size_t>(pc) & mask_];
+  const bool predicted_taken = counter >= 2;
+  const bool correct = (predicted_taken == taken);
+  ++stats_.predictions;
+  if (!correct) ++stats_.mispredictions;
+  if (taken) {
+    if (counter < 3) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+  return correct;
+}
+
+void BranchPredictor::reset() {
+  std::fill(table_.begin(), table_.end(), std::uint8_t{1});
+  stats_ = {};
+}
+
+}  // namespace pe::sim

@@ -1,0 +1,90 @@
+#include "perfeng/sim/cache.hpp"
+
+namespace pe::sim {
+
+namespace {
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Cache::Cache(CacheConfig config) : config_(config) {
+  PE_REQUIRE(is_pow2(config_.line_bytes), "line size must be a power of two");
+  PE_REQUIRE(config_.size_bytes % config_.line_bytes == 0,
+             "size must be a multiple of the line size");
+  PE_REQUIRE(config_.associativity >= 1, "associativity must be positive");
+  PE_REQUIRE(config_.num_lines() % config_.associativity == 0,
+             "lines must divide evenly into sets");
+  PE_REQUIRE(is_pow2(config_.num_sets()), "set count must be a power of two");
+  lines_.resize(config_.num_lines());
+  set_mask_ = config_.num_sets() - 1;
+}
+
+bool Cache::access_line(std::uint64_t line_addr, AccessType type,
+                        bool* evicted_dirty) {
+  if (evicted_dirty != nullptr) *evicted_dirty = false;
+  ++clock_;
+  const std::size_t set = static_cast<std::size_t>(line_addr) & set_mask_;
+  const std::uint64_t tag = line_addr >> __builtin_ctzll(config_.num_sets());
+  Line* base = lines_.data() + set * config_.associativity;
+
+  // Hit path.
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru_stamp = clock_;
+      if (type == AccessType::kWrite) {
+        line.dirty = true;
+        ++stats_.write_hits;
+      } else {
+        ++stats_.read_hits;
+      }
+      return true;
+    }
+  }
+
+  // Miss: find victim (invalid way first, else true LRU).
+  Line* victim = base;
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru_stamp < victim->lru_stamp) victim = &line;
+  }
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) {
+      ++stats_.writebacks;
+      if (evicted_dirty != nullptr) *evicted_dirty = true;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru_stamp = clock_;
+  victim->dirty = (type == AccessType::kWrite);  // write-allocate
+  if (type == AccessType::kWrite) {
+    ++stats_.write_misses;
+  } else {
+    ++stats_.read_misses;
+  }
+  return false;
+}
+
+bool Cache::probe(std::uint64_t line_addr) const {
+  const std::size_t set = static_cast<std::size_t>(line_addr) & set_mask_;
+  const std::uint64_t tag = line_addr >> __builtin_ctzll(config_.num_sets());
+  const Line* base = lines_.data() + set * config_.associativity;
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& line : lines_) line = {};
+  clock_ = 0;
+}
+
+}  // namespace pe::sim

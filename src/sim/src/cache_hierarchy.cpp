@@ -1,0 +1,91 @@
+#include "perfeng/sim/cache_hierarchy.hpp"
+
+#include <algorithm>
+
+namespace pe::sim {
+
+CacheHierarchy::CacheHierarchy(std::vector<LevelSpec> levels,
+                               double dram_latency_cycles)
+    : dram_latency_(dram_latency_cycles) {
+  PE_REQUIRE(!levels.empty(), "hierarchy needs at least one level");
+  PE_REQUIRE(dram_latency_cycles > 0.0, "DRAM latency must be positive");
+  line_bytes_ = levels.front().config.line_bytes;
+  for (const auto& spec : levels) {
+    PE_REQUIRE(spec.config.line_bytes == line_bytes_,
+               "all levels must share one line size");
+    PE_REQUIRE(spec.hit_latency_cycles > 0.0, "latency must be positive");
+    levels_.emplace_back(spec.config);
+    hit_latency_.push_back(spec.hit_latency_cycles);
+  }
+}
+
+CacheHierarchy CacheHierarchy::typical_desktop() {
+  std::vector<LevelSpec> specs;
+  specs.push_back({CacheConfig{"L1", 32 * 1024, 64, 8}, 4.0});
+  specs.push_back({CacheConfig{"L2", 256 * 1024, 64, 8}, 12.0});
+  specs.push_back({CacheConfig{"L3", 8 * 1024 * 1024, 64, 16}, 40.0});
+  return CacheHierarchy(std::move(specs), 200.0);
+}
+
+void CacheHierarchy::access(std::uint64_t addr, std::size_t bytes,
+                            AccessType type) {
+  PE_REQUIRE(bytes > 0, "access must cover at least one byte");
+  const std::uint64_t first_line = addr / line_bytes_;
+  const std::uint64_t last_line = (addr + bytes - 1) / line_bytes_;
+  for (std::uint64_t line = first_line; line <= last_line; ++line) {
+    ++total_accesses_;
+    bool satisfied = false;
+    for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+      // A lower-level access is a *read* from the upper level's point of
+      // view unless this is the first level (which sees the store itself).
+      const AccessType lvl_type = (lvl == 0) ? type : AccessType::kRead;
+      const bool hit = levels_[lvl].access_line(line, lvl_type);
+      total_cycles_ += hit_latency_[lvl];
+      if (hit) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      ++dram_accesses_;
+      total_cycles_ += dram_latency_;
+    }
+  }
+}
+
+void CacheHierarchy::touch_range(std::uint64_t addr, std::size_t bytes,
+                                 AccessType type) {
+  // Walk the range one line at a time to mimic streaming access.
+  const std::uint64_t end = addr + bytes;
+  for (std::uint64_t a = addr; a < end; a += line_bytes_) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(line_bytes_, end - a));
+    access(a, chunk, type);
+  }
+}
+
+HierarchyStats CacheHierarchy::stats() const {
+  HierarchyStats s;
+  for (const auto& level : levels_) s.levels.push_back(level.stats());
+  s.dram_accesses = dram_accesses_;
+  s.total_accesses = total_accesses_;
+  s.total_cycles = total_cycles_;
+  return s;
+}
+
+void CacheHierarchy::reset(bool flush_contents) {
+  for (auto& level : levels_) {
+    level.reset_stats();
+    if (flush_contents) level.flush();
+  }
+  dram_accesses_ = 0;
+  total_accesses_ = 0;
+  total_cycles_ = 0.0;
+}
+
+const Cache& CacheHierarchy::level(std::size_t i) const {
+  PE_REQUIRE(i < levels_.size(), "level index out of range");
+  return levels_[i];
+}
+
+}  // namespace pe::sim

@@ -1,0 +1,97 @@
+#include "perfeng/sim/comm_trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pe::sim {
+
+std::string comm_event_kind_name(CommEventKind k) {
+  switch (k) {
+    case CommEventKind::kCompute: return "compute";
+    case CommEventKind::kSend: return "send";
+    case CommEventKind::kRecvWait: return "recv-wait";
+  }
+  return "?";
+}
+
+TracedNetwork::TracedNetwork(unsigned ranks, NetworkCost cost)
+    : net_(ranks, cost) {}
+
+void TracedNetwork::compute(unsigned rank, double seconds) {
+  const double start = net_.clock(rank);
+  net_.compute(rank, seconds);
+  events_.push_back({rank, CommEventKind::kCompute, start,
+                     net_.clock(rank), rank, 0});
+}
+
+void TracedNetwork::send(unsigned src, unsigned dst, std::size_t bytes,
+                         int tag) {
+  const double start = net_.clock(src);
+  net_.send(src, dst, bytes, tag);
+  events_.push_back(
+      {src, CommEventKind::kSend, start, net_.clock(src), dst, bytes});
+}
+
+void TracedNetwork::recv(unsigned dst, unsigned src, int tag) {
+  const double start = net_.clock(dst);
+  net_.recv(dst, src, tag);
+  // Zero-length recvs (message already arrived) are still recorded; their
+  // duration is 0 and they do not count as late senders.
+  events_.push_back(
+      {dst, CommEventKind::kRecvWait, start, net_.clock(dst), src, 0});
+}
+
+std::vector<RankProfile> TracedNetwork::profile() const {
+  std::vector<RankProfile> out(net_.ranks());
+  for (unsigned r = 0; r < net_.ranks(); ++r) out[r].rank = r;
+  for (const CommEvent& ev : events_) {
+    RankProfile& p = out[ev.rank];
+    switch (ev.kind) {
+      case CommEventKind::kCompute:
+        p.compute_seconds += ev.duration();
+        break;
+      case CommEventKind::kSend:
+        p.send_seconds += ev.duration();
+        break;
+      case CommEventKind::kRecvWait:
+        p.wait_seconds += ev.duration();
+        if (ev.duration() > 0.0) ++p.late_senders;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string TracedNetwork::timeline(int width) const {
+  PE_REQUIRE(width >= 8, "timeline too narrow");
+  const double finish = net_.finish_time();
+  std::ostringstream out;
+  if (finish <= 0.0) return "(empty trace)\n";
+
+  const double per_col = finish / width;
+  for (unsigned r = 0; r < net_.ranks(); ++r) {
+    std::string lane(static_cast<std::size_t>(width), ' ');
+    for (const CommEvent& ev : events_) {
+      if (ev.rank != r || ev.duration() <= 0.0) continue;
+      char glyph = '#';
+      if (ev.kind == CommEventKind::kSend) glyph = 's';
+      if (ev.kind == CommEventKind::kRecvWait) glyph = '.';
+      auto col_of = [&](double t) {
+        return std::min<std::size_t>(
+            static_cast<std::size_t>(width) - 1,
+            static_cast<std::size_t>(t / per_col));
+      };
+      for (std::size_t col = col_of(ev.start); col <= col_of(ev.end - 1e-15);
+           ++col) {
+        // Waiting never overwrites work drawn in the same column.
+        if (lane[col] == ' ' || glyph != '.') lane[col] = glyph;
+      }
+    }
+    out << "rank " << r << " |" << lane << "|\n";
+  }
+  out << "legend: '#' compute, 's' send overhead, '.' recv wait; total "
+      << finish << " s\n";
+  return out.str();
+}
+
+}  // namespace pe::sim

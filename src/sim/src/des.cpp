@@ -1,0 +1,41 @@
+#include "perfeng/sim/des.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace pe::sim {
+
+void EventSimulator::schedule_at(double when, Handler handler) {
+  PE_REQUIRE(when >= now_, "cannot schedule into the past");
+  PE_REQUIRE(static_cast<bool>(handler), "null handler");
+  queue_.push(Event{when, seq_++, std::move(handler)});
+}
+
+void EventSimulator::schedule_in(double delay, Handler handler) {
+  PE_REQUIRE(delay >= 0.0, "negative delay");
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+std::uint64_t EventSimulator::run_until(double horizon) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= horizon) {
+    // Copy out before pop so the handler may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.handler();
+    ++count;
+    ++executed_;
+  }
+  // A drained queue leaves the clock at the last event when the horizon
+  // is infinite ("run to completion"); a finite horizon advances it.
+  if (queue_.empty() && std::isfinite(horizon) && now_ < horizon)
+    now_ = horizon;
+  return count;
+}
+
+std::uint64_t EventSimulator::run() {
+  return run_until(std::numeric_limits<double>::infinity());
+}
+
+}  // namespace pe::sim

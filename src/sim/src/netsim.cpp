@@ -1,0 +1,101 @@
+#include "perfeng/sim/netsim.hpp"
+
+#include <algorithm>
+
+namespace pe::sim {
+
+MessageNetwork::MessageNetwork(unsigned ranks, NetworkCost cost)
+    : cost_(cost), clock_(ranks, 0.0) {
+  PE_REQUIRE(ranks >= 1, "need at least one rank");
+  PE_REQUIRE(cost.alpha >= 0.0 && cost.beta >= 0.0,
+             "network costs must be non-negative");
+}
+
+void MessageNetwork::compute(unsigned rank, double seconds) {
+  PE_REQUIRE(rank < clock_.size(), "rank out of range");
+  PE_REQUIRE(seconds >= 0.0, "negative compute time");
+  clock_[rank] += seconds;
+}
+
+void MessageNetwork::send(unsigned src, unsigned dst, std::size_t bytes,
+                          int tag) {
+  PE_REQUIRE(src < clock_.size() && dst < clock_.size(), "rank out of range");
+  PE_REQUIRE(src != dst, "self-send is not modeled");
+  const double start = clock_[src];
+  clock_[src] = start + cost_.alpha;  // sender-side overhead
+  in_flight_[{src, dst, tag}].push_back(start + cost_.message_time(bytes));
+  ++messages_;
+  bytes_ += bytes;
+}
+
+void MessageNetwork::recv(unsigned dst, unsigned src, int tag) {
+  PE_REQUIRE(src < clock_.size() && dst < clock_.size(), "rank out of range");
+  auto it = in_flight_.find({src, dst, tag});
+  PE_REQUIRE(it != in_flight_.end() && !it->second.empty(),
+             "recv without matching send (simulated deadlock)");
+  const double arrival = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) in_flight_.erase(it);
+  clock_[dst] = std::max(clock_[dst], arrival);
+}
+
+double MessageNetwork::clock(unsigned rank) const {
+  PE_REQUIRE(rank < clock_.size(), "rank out of range");
+  return clock_[rank];
+}
+
+double MessageNetwork::finish_time() const {
+  PE_REQUIRE(in_flight_.empty(), "unreceived messages at finish");
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+double simulate_broadcast(MessageNetwork& net, std::size_t bytes) {
+  // Binomial tree: in round k, ranks < 2^k forward to rank + 2^k.
+  const unsigned p = net.ranks();
+  for (unsigned stride = 1; stride < p; stride *= 2) {
+    for (unsigned r = 0; r < stride && r + stride < p; ++r) {
+      net.send(r, r + stride, bytes);
+      net.recv(r + stride, r);
+    }
+  }
+  return net.finish_time();
+}
+
+double simulate_ring_allreduce(MessageNetwork& net, std::size_t bytes,
+                               double reduce_flop_time) {
+  const unsigned p = net.ranks();
+  if (p == 1) return net.finish_time();
+  const std::size_t chunk = (bytes + p - 1) / p;
+
+  // 2(p-1) ring steps: p-1 reduce-scatter (with local combine) then p-1
+  // allgather. Communication pattern is identical in both phases.
+  for (unsigned phase = 0; phase < 2; ++phase) {
+    for (unsigned step = 0; step + 1 < p; ++step) {
+      for (unsigned r = 0; r < p; ++r) net.send(r, (r + 1) % p, chunk,
+                                                static_cast<int>(phase * p + step));
+      for (unsigned r = 0; r < p; ++r) {
+        net.recv(r, (r + p - 1) % p, static_cast<int>(phase * p + step));
+        if (phase == 0) net.compute(r, reduce_flop_time);
+      }
+    }
+  }
+  return net.finish_time();
+}
+
+double simulate_halo_exchange(MessageNetwork& net, std::size_t halo_bytes,
+                              double compute_seconds) {
+  const unsigned p = net.ranks();
+  for (unsigned r = 0; r < p; ++r) net.compute(r, compute_seconds);
+  if (p == 1) return net.finish_time();
+  for (unsigned r = 0; r < p; ++r) {
+    if (r + 1 < p) net.send(r, r + 1, halo_bytes, /*tag=*/1);
+    if (r > 0) net.send(r, r - 1, halo_bytes, /*tag=*/2);
+  }
+  for (unsigned r = 0; r < p; ++r) {
+    if (r > 0) net.recv(r, r - 1, /*tag=*/1);
+    if (r + 1 < p) net.recv(r, r + 1, /*tag=*/2);
+  }
+  return net.finish_time();
+}
+
+}  // namespace pe::sim

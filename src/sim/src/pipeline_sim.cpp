@@ -1,0 +1,137 @@
+#include "perfeng/sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace pe::sim {
+
+std::string PipelineReport::bottleneck() const {
+  if (latency_limited) return "loop-carried dependency chain";
+  return "port " + std::to_string(critical_port) + " throughput";
+}
+
+PipelineSimulator::PipelineSimulator(int num_ports)
+    : num_ports_(num_ports) {
+  PE_REQUIRE(num_ports >= 1, "need at least one port");
+}
+
+int PipelineSimulator::add_instr(Instr instr) {
+  PE_REQUIRE(!instr.ports.empty(), "instruction needs at least one port");
+  for (int p : instr.ports)
+    PE_REQUIRE(p >= 0 && p < num_ports_, "port index out of range");
+  PE_REQUIRE(instr.latency > 0.0, "latency must be positive");
+  for (int d : instr.deps)
+    PE_REQUIRE(d >= 0 && d < static_cast<int>(body_.size()),
+               "dependences must reference earlier instructions");
+  body_.push_back(std::move(instr));
+  return static_cast<int>(body_.size()) - 1;
+}
+
+PipelineReport PipelineSimulator::run(int iterations) const {
+  PE_REQUIRE(iterations >= 8, "need enough iterations for steady state");
+  PE_REQUIRE(!body_.empty(), "empty loop body");
+
+  const std::size_t m = body_.size();
+  // Out-of-order backfilling: each port has a set of occupied issue
+  // cycles; an instruction takes the earliest free integer cycle at or
+  // after its operands are ready, on whichever eligible port offers it.
+  std::vector<std::set<long>> port_busy(num_ports_);
+  auto earliest_slot = [&](int port, long from) {
+    long c = from;
+    while (port_busy[port].contains(c)) ++c;
+    return c;
+  };
+
+  std::vector<double> prev_completion(m, 0.0);  // previous iteration
+  std::vector<double> completion(m, 0.0);
+  std::vector<double> last_body_completion;
+  last_body_completion.reserve(iterations);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    double iter_last = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const Instr& ins = body_[j];
+      double ready = 0.0;
+      for (int d : ins.deps)
+        ready = std::max(ready, completion[static_cast<std::size_t>(d)]);
+      if (ins.carried && iter > 0)
+        ready = std::max(ready, prev_completion[j]);
+
+      const long from = static_cast<long>(std::ceil(ready - 1e-12));
+      int best_port = ins.ports.front();
+      long best_cycle = earliest_slot(best_port, from);
+      for (int p : ins.ports) {
+        const long c = earliest_slot(p, from);
+        if (c < best_cycle) {
+          best_cycle = c;
+          best_port = p;
+        }
+      }
+      port_busy[best_port].insert(best_cycle);
+      completion[j] = static_cast<double>(best_cycle) + ins.latency;
+      iter_last = std::max(iter_last, completion[j]);
+    }
+    prev_completion = completion;
+    last_body_completion.push_back(iter_last);
+  }
+
+  PipelineReport report;
+  // Steady-state slope over the second half.
+  const std::size_t lo = last_body_completion.size() / 2;
+  const std::size_t hi = last_body_completion.size() - 1;
+  report.cycles_per_iteration =
+      (last_body_completion[hi] - last_body_completion[lo]) /
+      static_cast<double>(hi - lo);
+
+  // Latency bound: with self-carried recurrences only, the longest
+  // per-iteration cycle is the largest carried-instruction latency.
+  for (const Instr& ins : body_) {
+    if (ins.carried)
+      report.latency_bound = std::max(report.latency_bound, ins.latency);
+  }
+
+  // Throughput bound: distribute instructions greedily over eligible
+  // ports (single-port instructions first) and take the heaviest port.
+  std::vector<double> load(num_ports_, 0.0);
+  std::vector<std::size_t> order(m);
+  for (std::size_t j = 0; j < m; ++j) order[j] = j;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return body_[a].ports.size() < body_[b].ports.size();
+                   });
+  for (std::size_t j : order) {
+    int best = body_[j].ports.front();
+    for (int p : body_[j].ports)
+      if (load[p] < load[best]) best = p;
+    load[best] += 1.0;
+  }
+  for (int p = 0; p < num_ports_; ++p) {
+    if (load[p] > report.throughput_bound) {
+      report.throughput_bound = load[p];
+      report.critical_port = p;
+    }
+  }
+  report.latency_limited = report.latency_bound > report.throughput_bound;
+  return report;
+}
+
+PipelineSimulator PipelineSimulator::fma_reduction(int chains, int fma_ports,
+                                                   double fma_latency) {
+  PE_REQUIRE(chains >= 1, "need at least one chain");
+  PE_REQUIRE(fma_ports >= 1, "need at least one port");
+  PipelineSimulator sim(fma_ports);
+  std::vector<int> all_ports(fma_ports);
+  for (int p = 0; p < fma_ports; ++p) all_ports[p] = p;
+  for (int chain = 0; chain < chains; ++chain) {
+    Instr fma;
+    fma.name = "fma" + std::to_string(chain);
+    fma.latency = fma_latency;
+    fma.ports = all_ports;
+    fma.carried = true;  // accumulator feeds itself
+    sim.add_instr(std::move(fma));
+  }
+  return sim;
+}
+
+}  // namespace pe::sim

@@ -1,0 +1,151 @@
+#include "perfeng/sim/queue_sim.hpp"
+
+#include <deque>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/sim/des.hpp"
+
+namespace pe::sim {
+
+namespace {
+
+struct Job {
+  double arrival = 0.0;
+  std::uint64_t index = 0;
+};
+
+/// Event-driven G/G/c queue. Statistics are collected only for jobs with
+/// index >= warmup, and time-averages start at the warmup job's arrival.
+class QueueModel {
+ public:
+  QueueModel(const QueueSimConfig& config,
+             std::function<double(Rng&)> service_draw)
+      : config_(config),
+        service_draw_(std::move(service_draw)),
+        rng_(config.seed) {
+    PE_REQUIRE(config_.arrival_rate > 0.0, "arrival rate must be positive");
+    PE_REQUIRE(config_.servers >= 1, "need at least one server");
+    PE_REQUIRE(config_.jobs > config_.warmup_jobs,
+               "jobs must exceed warmup count");
+  }
+
+  QueueSimResult run() {
+    schedule_arrival();
+    sim_.run();
+    QueueSimResult r;
+    r.arrivals = arrived_;
+    r.completions = completed_;
+    r.sim_time = sim_.now() - stats_start_;
+    const double n =
+        static_cast<double>(config_.jobs - config_.warmup_jobs);
+    r.mean_wait = wait_sum_ / n;
+    r.mean_response = response_sum_ / n;
+    if (r.sim_time > 0.0) {
+      r.mean_queue_length = queue_area_ / r.sim_time;
+      r.mean_in_system = system_area_ / r.sim_time;
+      r.utilization =
+          busy_area_ / (r.sim_time * static_cast<double>(config_.servers));
+    }
+    return r;
+  }
+
+ private:
+  void accumulate_areas() {
+    const double t = sim_.now();
+    if (t > last_change_ && stats_active_) {
+      const double dt = t - last_change_;
+      queue_area_ += dt * static_cast<double>(queue_.size());
+      system_area_ +=
+          dt * static_cast<double>(queue_.size() + busy_servers_);
+      busy_area_ += dt * static_cast<double>(busy_servers_);
+    }
+    last_change_ = t;
+  }
+
+  void schedule_arrival() {
+    if (scheduled_arrivals_ >= config_.jobs) return;
+    ++scheduled_arrivals_;
+    const double gap = rng_.next_exponential(config_.arrival_rate);
+    sim_.schedule_in(gap, [this] { on_arrival(); });
+  }
+
+  void on_arrival() {
+    accumulate_areas();
+    const std::uint64_t index = arrived_++;
+    if (index == config_.warmup_jobs) {
+      // Start the measurement window: reset time-integrals.
+      stats_active_ = true;
+      stats_start_ = sim_.now();
+      last_change_ = sim_.now();
+      queue_area_ = system_area_ = busy_area_ = 0.0;
+    }
+    Job job{sim_.now(), index};
+    if (busy_servers_ < config_.servers) {
+      start_service(job);
+    } else {
+      queue_.push_back(job);
+    }
+    schedule_arrival();
+  }
+
+  void start_service(const Job& job) {
+    accumulate_areas();
+    ++busy_servers_;
+    const double wait = sim_.now() - job.arrival;
+    const double service = service_draw_(rng_);
+    if (job.index >= config_.warmup_jobs) {
+      wait_sum_ += wait;
+      response_sum_ += wait + service;
+    }
+    sim_.schedule_in(service, [this] { on_departure(); });
+  }
+
+  void on_departure() {
+    accumulate_areas();
+    --busy_servers_;
+    ++completed_;
+    if (!queue_.empty()) {
+      const Job next = queue_.front();
+      queue_.pop_front();
+      start_service(next);
+    }
+  }
+
+  QueueSimConfig config_;
+  std::function<double(Rng&)> service_draw_;
+  Rng rng_;
+  EventSimulator sim_;
+  std::deque<Job> queue_;
+  unsigned busy_servers_ = 0;
+  std::uint64_t scheduled_arrivals_ = 0;
+  std::uint64_t arrived_ = 0;
+  std::uint64_t completed_ = 0;
+  bool stats_active_ = false;
+  double stats_start_ = 0.0;
+  double last_change_ = 0.0;
+  double queue_area_ = 0.0;
+  double system_area_ = 0.0;
+  double busy_area_ = 0.0;
+  double wait_sum_ = 0.0;
+  double response_sum_ = 0.0;
+};
+
+}  // namespace
+
+QueueSimResult simulate_mmc(const QueueSimConfig& config) {
+  PE_REQUIRE(config.service_rate > 0.0, "service rate must be positive");
+  const double mu = config.service_rate;
+  return QueueModel(config, [mu](Rng& rng) {
+           return rng.next_exponential(mu);
+         })
+      .run();
+}
+
+QueueSimResult simulate_mgc(
+    const QueueSimConfig& config,
+    const std::function<double(Rng&)>& service_draw) {
+  PE_REQUIRE(static_cast<bool>(service_draw), "null service draw");
+  return QueueModel(config, service_draw).run();
+}
+
+}  // namespace pe::sim

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file dataset.hpp
+/// Feature matrix + target vector for statistical performance models.
+///
+/// Assignment 3 has students collect (configuration -> runtime) samples and
+/// fit black-box models; `Dataset` is that table. Rows are observations,
+/// columns are named features, `y` is the response (typically seconds).
+/// Includes the standard preprocessing steps the assignment teaches:
+/// shuffling, train/test splitting, and z-score standardization (fit on the
+/// training split only — leaking test statistics is the classic mistake).
+
+#include <string>
+#include <vector>
+
+#include "perfeng/common/rng.hpp"
+
+namespace pe::statmodel {
+
+/// A labeled dataset of double features.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  /// Append one observation; width must match the feature names.
+  void add_row(const std::vector<double>& features, double target);
+
+  [[nodiscard]] std::size_t rows() const { return y_.size(); }
+  [[nodiscard]] std::size_t features() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& feature_names() const {
+    return names_;
+  }
+
+  [[nodiscard]] const std::vector<double>& row(std::size_t i) const;
+  [[nodiscard]] double target(std::size_t i) const;
+  [[nodiscard]] const std::vector<double>& targets() const { return y_; }
+
+  /// Deterministic shuffle of rows.
+  void shuffle(Rng& rng);
+
+  /// Split into train/test by fraction (train first). `test_fraction` in
+  /// (0,1); at least one row lands on each side.
+  [[nodiscard]] struct DatasetSplit train_test_split(
+      double test_fraction) const;
+
+  /// Per-feature mean/stddev computed from this dataset.
+  struct Standardizer {
+    std::vector<double> mean;
+    std::vector<double> stddev;
+
+    /// z-score one feature vector in place (stddev 0 maps to 0).
+    void apply(std::vector<double>& features) const;
+  };
+  [[nodiscard]] Standardizer fit_standardizer() const;
+
+  /// Return a standardized copy using the given (train-fitted) transform.
+  [[nodiscard]] Dataset standardized(const Standardizer& s) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_;
+};
+
+/// Result of Dataset::train_test_split.
+struct DatasetSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Abstract regressor fit on a Dataset. All statistical models in this
+/// library implement this interface so validation code is model-agnostic.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fit to a dataset; may be called more than once (refit).
+  virtual void fit(const Dataset& data) = 0;
+
+  /// Predict the response for one feature vector.
+  [[nodiscard]] virtual double predict(
+      const std::vector<double>& features) const = 0;
+
+  /// Predict the whole dataset (convenience).
+  [[nodiscard]] std::vector<double> predict_all(const Dataset& data) const;
+
+  /// Short human-readable model description.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+}  // namespace pe::statmodel

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file importance.hpp
+/// Permutation feature importance — the interpretability instrument for
+/// black-box models.
+///
+/// Assignment 3 contrasts explainable analytical models with opaque
+/// statistical ones; permutation importance closes part of the gap: shuffle
+/// one feature column in the validation set and see how much the model's
+/// error grows. A feature the model relies on (nnz for SpMV runtime) shows
+/// a large increase; an ignored one (a noise column) shows none.
+
+#include <string>
+#include <vector>
+
+#include "perfeng/common/rng.hpp"
+#include "perfeng/statmodel/dataset.hpp"
+
+namespace pe::statmodel {
+
+/// Importance of one feature: RMSE increase when it is permuted.
+struct FeatureImportance {
+  std::string feature;
+  double baseline_rmse = 0.0;
+  double permuted_rmse = 0.0;
+
+  /// Absolute error increase attributable to the feature.
+  [[nodiscard]] double increase() const {
+    return permuted_rmse - baseline_rmse;
+  }
+};
+
+/// Compute permutation importance of every feature of a *fitted* model on
+/// an evaluation set. `rounds` permutations are averaged per feature.
+/// Results are returned in feature order (not sorted).
+[[nodiscard]] std::vector<FeatureImportance> permutation_importance(
+    const Regressor& model, const Dataset& eval, Rng& rng, int rounds = 5);
+
+}  // namespace pe::statmodel

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file knn.hpp
+/// k-nearest-neighbour regression — the simplest black-box model in the
+/// Assignment 3 spectrum.
+///
+/// Distance is Euclidean over the (ideally standardized) feature space;
+/// prediction is the inverse-distance-weighted mean of the k nearest
+/// training targets. No structure is learned, so kNN interpolates well
+/// inside the training envelope and fails loudly outside it — exactly the
+/// interpretability contrast with analytical models the course wants
+/// students to notice.
+
+#include "perfeng/statmodel/dataset.hpp"
+
+namespace pe::statmodel {
+
+/// kNN regressor with inverse-distance weighting.
+class KnnRegressor : public Regressor {
+ public:
+  explicit KnnRegressor(std::size_t k = 5);
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double predict(
+      const std::vector<double>& features) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::size_t k_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_;
+};
+
+}  // namespace pe::statmodel

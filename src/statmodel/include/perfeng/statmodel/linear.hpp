@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file linear.hpp
+/// Linear and polynomial regression — the "explainable end" of Assignment
+/// 3's model spectrum.
+///
+/// Ordinary least squares is solved via the normal equations with an
+/// optional ridge penalty (which also regularizes the near-collinear
+/// feature sets students tend to engineer). Polynomial feature expansion
+/// turns the same solver into a polynomial regressor; for runtime modeling
+/// the interesting terms are n, n^2, n^3 and nnz-like interaction terms.
+
+#include <memory>
+
+#include "perfeng/statmodel/dataset.hpp"
+
+namespace pe::statmodel {
+
+/// OLS / ridge linear regression with intercept.
+class LinearRegression : public Regressor {
+ public:
+  /// `ridge_lambda` >= 0 adds an L2 penalty (intercept is not penalized).
+  explicit LinearRegression(double ridge_lambda = 0.0);
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double predict(
+      const std::vector<double>& features) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// Fitted coefficients (after fit): index 0 is the intercept.
+  [[nodiscard]] const std::vector<double>& coefficients() const;
+
+ private:
+  double lambda_;
+  std::vector<double> coef_;  // [intercept, w1, ..., wd]
+  bool fitted_ = false;
+};
+
+/// Expand features with all monomials up to `degree` (no cross terms) —
+/// e.g. degree 3 maps [n] to [n, n^2, n^3]. Returns a new dataset with
+/// suffixed feature names.
+[[nodiscard]] Dataset polynomial_expand(const Dataset& data, int degree);
+
+/// Expand one feature vector consistently with `polynomial_expand`.
+[[nodiscard]] std::vector<double> polynomial_expand_row(
+    const std::vector<double>& features, int degree);
+
+/// Solve the dense symmetric positive-definite system A w = b in place via
+/// Gaussian elimination with partial pivoting (exposed for tests).
+[[nodiscard]] std::vector<double> solve_linear_system(
+    std::vector<std::vector<double>> a, std::vector<double> b);
+
+}  // namespace pe::statmodel

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file tree.hpp
+/// Decision-tree and random-forest regression — the "black-box end" of the
+/// Assignment 3 model spectrum.
+///
+/// The tree greedily splits on the (feature, threshold) pair that minimizes
+/// the weighted variance of the two children; leaves predict their mean
+/// target. The forest bags `trees` bootstrap resamples with per-split
+/// feature subsampling and averages the predictions. Both are deterministic
+/// given the seed.
+
+#include <memory>
+
+#include "perfeng/common/rng.hpp"
+#include "perfeng/statmodel/dataset.hpp"
+
+namespace pe::statmodel {
+
+/// Stopping rules for tree growth.
+struct TreeConfig {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+};
+
+/// CART-style regression tree.
+class DecisionTreeRegressor : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(TreeConfig config = {});
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double predict(
+      const std::vector<double>& features) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// Number of nodes in the fitted tree (0 before fit).
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  /// Depth of the fitted tree (0 before fit; 1 = single leaf).
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  friend class RandomForestRegressor;
+
+  struct Node {
+    int feature = -1;          // -1 marks a leaf
+    double threshold = 0.0;
+    double value = 0.0;        // leaf prediction
+    std::size_t left = 0;      // child indices (leaves ignore them)
+    std::size_t right = 0;
+    std::size_t depth = 0;
+  };
+
+  /// Fit on a row subset with optional per-split feature subsampling.
+  void fit_rows(const Dataset& data, const std::vector<std::size_t>& rows,
+                std::size_t features_per_split, Rng* rng);
+
+  std::size_t build(const Dataset& data, std::vector<std::size_t>& rows,
+                    std::size_t depth, std::size_t features_per_split,
+                    Rng* rng);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+/// Bagged forest of regression trees.
+class RandomForestRegressor : public Regressor {
+ public:
+  RandomForestRegressor(std::size_t trees = 32, TreeConfig config = {},
+                        std::uint64_t seed = 7);
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double predict(
+      const std::vector<double>& features) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::size_t tree_count() const { return forest_.size(); }
+
+ private:
+  std::size_t trees_;
+  TreeConfig config_;
+  std::uint64_t seed_;
+  std::vector<DecisionTreeRegressor> forest_;
+};
+
+}  // namespace pe::statmodel

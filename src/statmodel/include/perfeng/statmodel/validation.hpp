@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file validation.hpp
+/// Model validation: hold-out evaluation and k-fold cross-validation.
+///
+/// Assignment 3's final step is *empirical validation*: a model is only as
+/// good as its error on unseen configurations. These helpers evaluate any
+/// `Regressor` with the metrics from perfeng/measure/metrics.hpp and make
+/// the train/test discipline explicit.
+
+#include <functional>
+#include <memory>
+
+#include "perfeng/statmodel/dataset.hpp"
+
+namespace pe::statmodel {
+
+/// Error metrics of one evaluation.
+struct EvalResult {
+  double mape = 0.0;
+  double rmse = 0.0;
+  double r2 = 0.0;
+  std::size_t test_rows = 0;
+};
+
+/// Fit on `train`, evaluate on `test`.
+[[nodiscard]] EvalResult evaluate(Regressor& model, const Dataset& train,
+                                  const Dataset& test);
+
+/// k-fold cross-validation: the factory builds a fresh model per fold; the
+/// result averages the per-fold metrics. Rows are folded in order (shuffle
+/// the dataset first for random folds).
+[[nodiscard]] EvalResult cross_validate(
+    const std::function<std::unique_ptr<Regressor>()>& factory,
+    const Dataset& data, std::size_t folds);
+
+}  // namespace pe::statmodel

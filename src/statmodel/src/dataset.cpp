@@ -1,0 +1,100 @@
+#include "perfeng/statmodel/dataset.hpp"
+
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::statmodel {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : names_(std::move(feature_names)) {
+  PE_REQUIRE(!names_.empty(), "dataset needs at least one feature");
+}
+
+void Dataset::add_row(const std::vector<double>& features, double target) {
+  PE_REQUIRE(features.size() == names_.size(),
+             "feature width mismatch");
+  x_.push_back(features);
+  y_.push_back(target);
+}
+
+const std::vector<double>& Dataset::row(std::size_t i) const {
+  PE_REQUIRE(i < x_.size(), "row index out of range");
+  return x_[i];
+}
+
+double Dataset::target(std::size_t i) const {
+  PE_REQUIRE(i < y_.size(), "row index out of range");
+  return y_[i];
+}
+
+void Dataset::shuffle(Rng& rng) {
+  for (std::size_t i = rows(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_range(0, i - 1));
+    std::swap(x_[i - 1], x_[j]);
+    std::swap(y_[i - 1], y_[j]);
+  }
+}
+
+DatasetSplit Dataset::train_test_split(double test_fraction) const {
+  PE_REQUIRE(test_fraction > 0.0 && test_fraction < 1.0,
+             "test fraction must be in (0,1)");
+  PE_REQUIRE(rows() >= 2, "need at least two rows to split");
+  std::size_t test_rows = static_cast<std::size_t>(
+      std::round(static_cast<double>(rows()) * test_fraction));
+  test_rows = std::max<std::size_t>(1, std::min(test_rows, rows() - 1));
+  const std::size_t train_rows = rows() - test_rows;
+
+  DatasetSplit split{Dataset(names_), Dataset(names_)};
+  for (std::size_t i = 0; i < train_rows; ++i)
+    split.train.add_row(x_[i], y_[i]);
+  for (std::size_t i = train_rows; i < rows(); ++i)
+    split.test.add_row(x_[i], y_[i]);
+  return split;
+}
+
+void Dataset::Standardizer::apply(std::vector<double>& features) const {
+  PE_REQUIRE(features.size() == mean.size(), "feature width mismatch");
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    features[f] =
+        stddev[f] > 0.0 ? (features[f] - mean[f]) / stddev[f] : 0.0;
+  }
+}
+
+Dataset::Standardizer Dataset::fit_standardizer() const {
+  PE_REQUIRE(rows() >= 1, "cannot standardize an empty dataset");
+  Standardizer s;
+  s.mean.assign(features(), 0.0);
+  s.stddev.assign(features(), 0.0);
+  for (const auto& r : x_)
+    for (std::size_t f = 0; f < features(); ++f) s.mean[f] += r[f];
+  for (double& m : s.mean) m /= static_cast<double>(rows());
+  for (const auto& r : x_)
+    for (std::size_t f = 0; f < features(); ++f) {
+      const double d = r[f] - s.mean[f];
+      s.stddev[f] += d * d;
+    }
+  for (double& v : s.stddev)
+    v = rows() > 1 ? std::sqrt(v / static_cast<double>(rows() - 1)) : 0.0;
+  return s;
+}
+
+Dataset Dataset::standardized(const Standardizer& s) const {
+  Dataset out(names_);
+  for (std::size_t i = 0; i < rows(); ++i) {
+    std::vector<double> r = x_[i];
+    s.apply(r);
+    out.add_row(r, y_[i]);
+  }
+  return out;
+}
+
+std::vector<double> Regressor::predict_all(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i)
+    out.push_back(predict(data.row(i)));
+  return out;
+}
+
+}  // namespace pe::statmodel

@@ -1,0 +1,44 @@
+#include "perfeng/statmodel/importance.hpp"
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/measure/metrics.hpp"
+
+namespace pe::statmodel {
+
+std::vector<FeatureImportance> permutation_importance(const Regressor& model,
+                                                      const Dataset& eval,
+                                                      Rng& rng, int rounds) {
+  PE_REQUIRE(eval.rows() >= 2, "need at least two evaluation rows");
+  PE_REQUIRE(rounds >= 1, "need at least one permutation round");
+
+  const std::vector<double> baseline_pred = model.predict_all(eval);
+  const double baseline = rmse(baseline_pred, eval.targets());
+
+  std::vector<FeatureImportance> out;
+  out.reserve(eval.features());
+  std::vector<double> column(eval.rows());
+  std::vector<double> row;
+  std::vector<double> predictions(eval.rows());
+
+  for (std::size_t f = 0; f < eval.features(); ++f) {
+    double rmse_sum = 0.0;
+    for (int round = 0; round < rounds; ++round) {
+      for (std::size_t i = 0; i < eval.rows(); ++i) column[i] = eval.row(i)[f];
+      rng.shuffle(column);
+      for (std::size_t i = 0; i < eval.rows(); ++i) {
+        row = eval.row(i);
+        row[f] = column[i];
+        predictions[i] = model.predict(row);
+      }
+      rmse_sum += rmse(predictions, eval.targets());
+    }
+    FeatureImportance fi;
+    fi.feature = eval.feature_names()[f];
+    fi.baseline_rmse = baseline;
+    fi.permuted_rmse = rmse_sum / rounds;
+    out.push_back(std::move(fi));
+  }
+  return out;
+}
+
+}  // namespace pe::statmodel

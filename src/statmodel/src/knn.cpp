@@ -1,0 +1,60 @@
+#include "perfeng/statmodel/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::statmodel {
+
+KnnRegressor::KnnRegressor(std::size_t k) : k_(k) {
+  PE_REQUIRE(k >= 1, "k must be at least 1");
+}
+
+void KnnRegressor::fit(const Dataset& data) {
+  PE_REQUIRE(data.rows() >= 1, "cannot fit to an empty dataset");
+  x_.clear();
+  y_.clear();
+  x_.reserve(data.rows());
+  y_.reserve(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    x_.push_back(data.row(i));
+    y_.push_back(data.target(i));
+  }
+}
+
+double KnnRegressor::predict(const std::vector<double>& features) const {
+  PE_REQUIRE(!x_.empty(), "predict before fit");
+  PE_REQUIRE(features.size() == x_.front().size(), "feature width mismatch");
+
+  std::vector<std::pair<double, double>> dist_target;  // (d^2, y)
+  dist_target.reserve(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      const double d = features[f] - x_[i][f];
+      d2 += d * d;
+    }
+    dist_target.emplace_back(d2, y_[i]);
+  }
+  const std::size_t k = std::min(k_, dist_target.size());
+  std::partial_sort(dist_target.begin(), dist_target.begin() + k,
+                    dist_target.end());
+
+  // Inverse-distance weighting; an exact match dominates.
+  double weight_sum = 0.0, value_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double d = std::sqrt(dist_target[i].first);
+    if (d < 1e-12) return dist_target[i].second;
+    const double w = 1.0 / d;
+    weight_sum += w;
+    value_sum += w * dist_target[i].second;
+  }
+  return value_sum / weight_sum;
+}
+
+std::string KnnRegressor::describe() const {
+  return "knn(k=" + std::to_string(k_) + ")";
+}
+
+}  // namespace pe::statmodel

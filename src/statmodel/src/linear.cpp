@@ -1,0 +1,120 @@
+#include "perfeng/statmodel/linear.hpp"
+
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::statmodel {
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const std::size_t n = b.size();
+  PE_REQUIRE(a.size() == n, "system must be square");
+  for (const auto& row : a)
+    PE_REQUIRE(row.size() == n, "system must be square");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    if (std::abs(a[pivot][col]) < 1e-12)
+      throw Error("linear system is singular or ill-conditioned");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a[i][c] * x[c];
+    x[i] = acc / a[i][i];
+  }
+  return x;
+}
+
+LinearRegression::LinearRegression(double ridge_lambda)
+    : lambda_(ridge_lambda) {
+  PE_REQUIRE(ridge_lambda >= 0.0, "ridge penalty must be non-negative");
+}
+
+void LinearRegression::fit(const Dataset& data) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.features();
+  PE_REQUIRE(n >= d + 1, "need more rows than coefficients");
+
+  // Normal equations over the design matrix [1 | X]: (X'X + λI) w = X'y.
+  const std::size_t dim = d + 1;
+  std::vector<std::vector<double>> xtx(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> xty(dim, 0.0);
+  std::vector<double> row(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    row[0] = 1.0;
+    const auto& features = data.row(i);
+    for (std::size_t f = 0; f < d; ++f) row[f + 1] = features[f];
+    for (std::size_t r = 0; r < dim; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) xtx[r][c] += row[r] * row[c];
+      xty[r] += row[r] * data.target(i);
+    }
+  }
+  for (std::size_t f = 1; f < dim; ++f) xtx[f][f] += lambda_;
+
+  coef_ = solve_linear_system(std::move(xtx), std::move(xty));
+  fitted_ = true;
+}
+
+double LinearRegression::predict(const std::vector<double>& features) const {
+  PE_REQUIRE(fitted_, "predict before fit");
+  PE_REQUIRE(features.size() + 1 == coef_.size(), "feature width mismatch");
+  double acc = coef_[0];
+  for (std::size_t f = 0; f < features.size(); ++f)
+    acc += coef_[f + 1] * features[f];
+  return acc;
+}
+
+std::string LinearRegression::describe() const {
+  if (lambda_ == 0.0) return "ols";
+  return "ridge(lambda=" + std::to_string(lambda_) + ")";
+}
+
+const std::vector<double>& LinearRegression::coefficients() const {
+  PE_REQUIRE(fitted_, "coefficients before fit");
+  return coef_;
+}
+
+std::vector<double> polynomial_expand_row(const std::vector<double>& features,
+                                          int degree) {
+  PE_REQUIRE(degree >= 1, "degree must be at least 1");
+  std::vector<double> out;
+  out.reserve(features.size() * static_cast<std::size_t>(degree));
+  for (double v : features) {
+    double power = v;
+    for (int deg = 1; deg <= degree; ++deg) {
+      out.push_back(power);
+      power *= v;
+    }
+  }
+  return out;
+}
+
+Dataset polynomial_expand(const Dataset& data, int degree) {
+  PE_REQUIRE(degree >= 1, "degree must be at least 1");
+  std::vector<std::string> names;
+  for (const auto& base : data.feature_names()) {
+    for (int deg = 1; deg <= degree; ++deg) {
+      names.push_back(deg == 1 ? base : base + "^" + std::to_string(deg));
+    }
+  }
+  Dataset out(std::move(names));
+  for (std::size_t i = 0; i < data.rows(); ++i)
+    out.add_row(polynomial_expand_row(data.row(i), degree), data.target(i));
+  return out;
+}
+
+}  // namespace pe::statmodel

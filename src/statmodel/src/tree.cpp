@@ -1,0 +1,208 @@
+#include "perfeng/statmodel/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::statmodel {
+
+namespace {
+
+double subset_mean(const Dataset& data, const std::vector<std::size_t>& rows) {
+  double acc = 0.0;
+  for (std::size_t r : rows) acc += data.target(r);
+  return acc / static_cast<double>(rows.size());
+}
+
+double subset_sse(const Dataset& data, const std::vector<std::size_t>& rows,
+                  double mean) {
+  double acc = 0.0;
+  for (std::size_t r : rows) {
+    const double d = data.target(r) - mean;
+    acc += d * d;
+  }
+  return acc;
+}
+
+struct BestSplit {
+  int feature = -1;
+  double threshold = 0.0;
+  double sse = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeConfig config)
+    : config_(config) {
+  PE_REQUIRE(config.max_depth >= 1, "max depth must be at least 1");
+  PE_REQUIRE(config.min_samples_leaf >= 1, "leaf minimum must be positive");
+  PE_REQUIRE(config.min_samples_split >= 2 * config.min_samples_leaf,
+             "split minimum must allow two valid leaves");
+}
+
+void DecisionTreeRegressor::fit(const Dataset& data) {
+  std::vector<std::size_t> rows(data.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  fit_rows(data, rows, data.features(), nullptr);
+}
+
+void DecisionTreeRegressor::fit_rows(const Dataset& data,
+                                     const std::vector<std::size_t>& rows,
+                                     std::size_t features_per_split,
+                                     Rng* rng) {
+  PE_REQUIRE(!rows.empty(), "cannot fit to an empty subset");
+  nodes_.clear();
+  std::vector<std::size_t> mutable_rows = rows;
+  build(data, mutable_rows, 1, features_per_split, rng);
+}
+
+std::size_t DecisionTreeRegressor::build(const Dataset& data,
+                                         std::vector<std::size_t>& rows,
+                                         std::size_t depth,
+                                         std::size_t features_per_split,
+                                         Rng* rng) {
+  const std::size_t index = nodes_.size();
+  nodes_.push_back({});
+  nodes_[index].depth = depth;
+  nodes_[index].value = subset_mean(data, rows);
+
+  if (depth >= config_.max_depth || rows.size() < config_.min_samples_split)
+    return index;
+
+  // Candidate features: all, or a random subset for forests.
+  std::vector<std::size_t> candidates(data.features());
+  std::iota(candidates.begin(), candidates.end(), 0);
+  if (rng != nullptr && features_per_split < data.features()) {
+    rng->shuffle(candidates);
+    candidates.resize(features_per_split);
+  }
+
+  const double parent_sse =
+      subset_sse(data, rows, nodes_[index].value);
+  BestSplit best;
+  std::vector<std::pair<double, double>> sorted;  // (feature value, target)
+  for (std::size_t f : candidates) {
+    sorted.clear();
+    sorted.reserve(rows.size());
+    for (std::size_t r : rows)
+      sorted.emplace_back(data.row(r)[f], data.target(r));
+    std::sort(sorted.begin(), sorted.end());
+
+    // Prefix sums allow O(1) SSE for every split position.
+    double left_sum = 0.0, left_sq = 0.0;
+    double total_sum = 0.0, total_sq = 0.0;
+    for (const auto& [x, y] : sorted) {
+      total_sum += y;
+      total_sq += y * y;
+    }
+    const auto n = static_cast<double>(sorted.size());
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      left_sum += sorted[i].second;
+      left_sq += sorted[i].second * sorted[i].second;
+      if (sorted[i].first == sorted[i + 1].first) continue;  // no boundary
+      const double nl = static_cast<double>(i + 1);
+      const double nr = n - nl;
+      if (nl < static_cast<double>(config_.min_samples_leaf) ||
+          nr < static_cast<double>(config_.min_samples_leaf))
+        continue;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse = (left_sq - left_sum * left_sum / nl) +
+                         (right_sq - right_sum * right_sum / nr);
+      if (sse < best.sse) {
+        best.sse = sse;
+        best.feature = static_cast<int>(f);
+        best.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.sse >= parent_sse) return index;  // leaf
+
+  std::vector<std::size_t> left_rows, right_rows;
+  for (std::size_t r : rows) {
+    if (data.row(r)[static_cast<std::size_t>(best.feature)] <=
+        best.threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  if (left_rows.empty() || right_rows.empty()) return index;
+
+  nodes_[index].feature = best.feature;
+  nodes_[index].threshold = best.threshold;
+  const std::size_t left =
+      build(data, left_rows, depth + 1, features_per_split, rng);
+  const std::size_t right =
+      build(data, right_rows, depth + 1, features_per_split, rng);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+double DecisionTreeRegressor::predict(
+    const std::vector<double>& features) const {
+  PE_REQUIRE(!nodes_.empty(), "predict before fit");
+  std::size_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.feature < 0) return n.value;
+    const double v = features.at(static_cast<std::size_t>(n.feature));
+    node = v <= n.threshold ? n.left : n.right;
+  }
+}
+
+std::size_t DecisionTreeRegressor::depth() const {
+  std::size_t d = 0;
+  for (const auto& n : nodes_) d = std::max(d, n.depth);
+  return d;
+}
+
+std::string DecisionTreeRegressor::describe() const {
+  return "tree(max_depth=" + std::to_string(config_.max_depth) + ")";
+}
+
+RandomForestRegressor::RandomForestRegressor(std::size_t trees,
+                                             TreeConfig config,
+                                             std::uint64_t seed)
+    : trees_(trees), config_(config), seed_(seed) {
+  PE_REQUIRE(trees >= 1, "forest needs at least one tree");
+}
+
+void RandomForestRegressor::fit(const Dataset& data) {
+  PE_REQUIRE(data.rows() >= 2, "need at least two rows");
+  forest_.clear();
+  forest_.reserve(trees_);
+  Rng rng(seed_);
+  // sqrt(d) features per split, the standard forest heuristic.
+  const auto features_per_split = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::sqrt(static_cast<double>(data.features())) + 0.5));
+
+  for (std::size_t t = 0; t < trees_; ++t) {
+    std::vector<std::size_t> bootstrap(data.rows());
+    for (auto& r : bootstrap)
+      r = static_cast<std::size_t>(rng.next_range(0, data.rows() - 1));
+    DecisionTreeRegressor tree(config_);
+    tree.fit_rows(data, bootstrap, features_per_split, &rng);
+    forest_.push_back(std::move(tree));
+  }
+}
+
+double RandomForestRegressor::predict(
+    const std::vector<double>& features) const {
+  PE_REQUIRE(!forest_.empty(), "predict before fit");
+  double acc = 0.0;
+  for (const auto& tree : forest_) acc += tree.predict(features);
+  return acc / static_cast<double>(forest_.size());
+}
+
+std::string RandomForestRegressor::describe() const {
+  return "forest(trees=" + std::to_string(trees_) + ")";
+}
+
+}  // namespace pe::statmodel

@@ -1,0 +1,56 @@
+#include "perfeng/statmodel/validation.hpp"
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/measure/metrics.hpp"
+
+namespace pe::statmodel {
+
+EvalResult evaluate(Regressor& model, const Dataset& train,
+                    const Dataset& test) {
+  PE_REQUIRE(test.rows() >= 1, "empty test set");
+  model.fit(train);
+  const std::vector<double> predicted = model.predict_all(test);
+  EvalResult r;
+  r.test_rows = test.rows();
+  r.rmse = rmse(predicted, test.targets());
+  bool any_zero = false;
+  for (double y : test.targets())
+    if (y == 0.0) any_zero = true;
+  r.mape = any_zero ? 0.0 : mape(predicted, test.targets());
+  r.r2 = test.rows() >= 2 ? r_squared(predicted, test.targets()) : 0.0;
+  return r;
+}
+
+EvalResult cross_validate(
+    const std::function<std::unique_ptr<Regressor>()>& factory,
+    const Dataset& data, std::size_t folds) {
+  PE_REQUIRE(static_cast<bool>(factory), "null factory");
+  PE_REQUIRE(folds >= 2, "need at least two folds");
+  PE_REQUIRE(data.rows() >= folds, "need at least one row per fold");
+
+  EvalResult total;
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    Dataset train(data.feature_names());
+    Dataset test(data.feature_names());
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      if (i % folds == fold) {
+        test.add_row(data.row(i), data.target(i));
+      } else {
+        train.add_row(data.row(i), data.target(i));
+      }
+    }
+    auto model = factory();
+    const EvalResult r = evaluate(*model, train, test);
+    total.mape += r.mape;
+    total.rmse += r.rmse;
+    total.r2 += r.r2;
+    total.test_rows += r.test_rows;
+  }
+  const auto f = static_cast<double>(folds);
+  total.mape /= f;
+  total.rmse /= f;
+  total.r2 /= f;
+  return total;
+}
+
+}  // namespace pe::statmodel

@@ -1,0 +1,70 @@
+// Tests for AlignedBuffer in perfeng/common/aligned_buffer.hpp.
+#include "perfeng/common/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+TEST(AlignedBuffer, DefaultAlignmentIsCacheLine) {
+  pe::AlignedBuffer<double> buf(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) %
+                pe::kCacheLineBytes,
+            0u);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_FALSE(buf.empty());
+}
+
+TEST(AlignedBuffer, CustomAlignmentHonored) {
+  pe::AlignedBuffer<double> buf(16, 4096);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 4096, 0u);
+  EXPECT_EQ(buf.alignment(), 4096u);
+}
+
+TEST(AlignedBuffer, ElementsValueInitialized) {
+  pe::AlignedBuffer<double> buf(64);
+  for (double v : buf) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AlignedBuffer, IndexingReadsAndWrites) {
+  pe::AlignedBuffer<int> buf(8);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<int>(i);
+  EXPECT_EQ(buf[7], 7);
+  EXPECT_EQ(buf.span()[3], 3);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  pe::AlignedBuffer<int> a(4);
+  a[0] = 99;
+  const int* data = a.data();
+  pe::AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(b[0], 99);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOldStorage) {
+  pe::AlignedBuffer<int> a(4), b(8);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 4u);
+}
+
+TEST(AlignedBuffer, EmptyBufferIsValid) {
+  pe::AlignedBuffer<double> buf(0);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.begin(), buf.end());
+}
+
+TEST(AlignedBuffer, RejectsNonPowerOfTwoAlignment) {
+  EXPECT_THROW((pe::AlignedBuffer<double>(8, 48)), pe::Error);
+}
+
+TEST(AlignedBuffer, RejectsUnderAlignment) {
+  EXPECT_THROW((pe::AlignedBuffer<double>(8, 4)), pe::Error);
+}
+
+}  // namespace

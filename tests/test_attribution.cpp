@@ -1,0 +1,83 @@
+// Tests for cycle attribution in perfeng/counters/attribution.hpp.
+#include "perfeng/counters/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using namespace pe::counters;
+
+CounterSet sample_counters() {
+  CounterSet c;
+  c.set(kMemAccesses, 1000);
+  c.set(kL1Misses, 100);
+  c.set(kL2Misses, 40);
+  c.set(kDramAccesses, 10);
+  return c;
+}
+
+TEST(Attribution, HitsPerLevelComputedFromMisses) {
+  const auto rows = attribute_cycles(sample_counters());
+  ASSERT_EQ(rows.size(), 4u);
+  // L1 hits 900 * 4, L2 hits 60 * 12, L3 hits 30 * 40, DRAM 10 * 200.
+  EXPECT_DOUBLE_EQ(rows[0].cycles, 3600.0);
+  EXPECT_DOUBLE_EQ(rows[1].cycles, 720.0);
+  EXPECT_DOUBLE_EQ(rows[2].cycles, 1200.0);
+  EXPECT_DOUBLE_EQ(rows[3].cycles, 2000.0);
+}
+
+TEST(Attribution, SharesSumToOne) {
+  const auto rows = attribute_cycles(sample_counters());
+  double total = 0.0;
+  for (const auto& row : rows) total += row.share;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Attribution, AllHitsMeansAllL1) {
+  CounterSet c;
+  c.set(kMemAccesses, 500);
+  const auto rows = attribute_cycles(c);
+  EXPECT_DOUBLE_EQ(rows[0].share, 1.0);
+  EXPECT_DOUBLE_EQ(rows[3].cycles, 0.0);
+}
+
+TEST(Attribution, EmptyCountersAttributeNothing) {
+  const auto rows = attribute_cycles(CounterSet{});
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(row.cycles, 0.0);
+    EXPECT_DOUBLE_EQ(row.share, 0.0);
+  }
+}
+
+TEST(Attribution, FallsBackToLlcMissesWithoutDramCounter) {
+  CounterSet c;
+  c.set(kMemAccesses, 100);
+  c.set(kL1Misses, 20);
+  c.set(kL2Misses, 10);
+  c.set(kL3Misses, 5);  // no dram-accesses counter
+  const auto rows = attribute_cycles(c);
+  EXPECT_DOUBLE_EQ(rows[3].cycles, 5.0 * 200.0);
+}
+
+TEST(Attribution, AmatMatchesManualComputation) {
+  // AMAT = total attributed cycles / accesses = 7520 / 1000.
+  EXPECT_DOUBLE_EQ(average_memory_access_time(sample_counters()), 7.52);
+  EXPECT_DOUBLE_EQ(average_memory_access_time(CounterSet{}), 0.0);
+}
+
+TEST(Attribution, CustomLatencyModel) {
+  LatencyModel flat{1.0, 1.0, 1.0, 1.0};
+  // Every access costs exactly one cycle somewhere.
+  EXPECT_DOUBLE_EQ(average_memory_access_time(sample_counters(), flat),
+                   1.0);
+}
+
+TEST(Attribution, Validation) {
+  LatencyModel bad;
+  bad.dram = 0.0;
+  EXPECT_THROW((void)attribute_cycles(sample_counters(), bad), pe::Error);
+}
+
+}  // namespace

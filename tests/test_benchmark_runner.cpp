@@ -1,0 +1,104 @@
+// Tests for the measurement harness in perfeng/measure/benchmark_runner.hpp.
+#include "perfeng/measure/benchmark_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+pe::MeasurementConfig fast_config() {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 1;
+  cfg.repetitions = 3;
+  cfg.min_batch_seconds = 1e-4;
+  return cfg;
+}
+
+TEST(BenchmarkRunner, RecordsRequestedRepetitions) {
+  pe::BenchmarkRunner runner(fast_config());
+  const auto m = runner.run("noop", [] {});
+  EXPECT_EQ(m.seconds.size(), 3u);
+  EXPECT_EQ(m.label, "noop");
+  EXPECT_EQ(m.summary.count, 3u);
+}
+
+TEST(BenchmarkRunner, BatchGrowsForFastKernels) {
+  pe::BenchmarkRunner runner(fast_config());
+  const auto m = runner.run("noop", [] {});
+  EXPECT_GT(m.batch_iterations, 1u);
+}
+
+TEST(BenchmarkRunner, SlowKernelsUseSmallBatches) {
+  pe::BenchmarkRunner runner(fast_config());
+  const auto m = runner.run("sleepy", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  EXPECT_EQ(m.batch_iterations, 1u);
+  EXPECT_GE(m.typical(), 0.0015);
+}
+
+TEST(BenchmarkRunner, WarmupRunsExecuteBeforeTiming) {
+  std::atomic<int> calls{0};
+  pe::MeasurementConfig cfg = fast_config();
+  cfg.warmup_runs = 5;
+  cfg.max_batch_iterations = 1;  // pin the batch to isolate the count
+  pe::BenchmarkRunner runner(cfg);
+  (void)runner.run("counted", [&calls] { ++calls; });
+  // 5 warmups + 1 calibration batch + 3 timed batches of 1.
+  EXPECT_EQ(calls.load(), 9);
+}
+
+TEST(BenchmarkRunner, BestNeverExceedsTypical) {
+  pe::BenchmarkRunner runner(fast_config());
+  const auto m = runner.run("noop", [] {
+    volatile int x = 0;
+    for (int i = 0; i < 100; ++i) x = x + i;
+  });
+  EXPECT_LE(m.best(), m.typical());
+  EXPECT_GT(m.best(), 0.0);
+}
+
+TEST(BenchmarkRunner, NullKernelRejected) {
+  pe::BenchmarkRunner runner(fast_config());
+  EXPECT_THROW((void)runner.run("null", std::function<void()>{}), pe::Error);
+}
+
+TEST(BenchmarkRunner, InvalidConfigsRejected) {
+  pe::MeasurementConfig bad = fast_config();
+  bad.repetitions = 0;
+  EXPECT_THROW(pe::BenchmarkRunner{bad}, pe::Error);
+  bad = fast_config();
+  bad.warmup_runs = -1;
+  EXPECT_THROW(pe::BenchmarkRunner{bad}, pe::Error);
+  bad = fast_config();
+  bad.min_batch_seconds = 0.0;
+  EXPECT_THROW(pe::BenchmarkRunner{bad}, pe::Error);
+}
+
+TEST(BenchmarkRunner, RunWithSetupCallsSetupBeforeEveryKernel) {
+  pe::BenchmarkRunner runner(fast_config());
+  int setups = 0, kernels = 0;
+  bool ordered = true;
+  (void)runner.run_with_setup(
+      "paired", [&] { ++setups; },
+      [&] {
+        ++kernels;
+        if (setups != kernels) ordered = false;
+      });
+  EXPECT_EQ(setups, kernels);
+  EXPECT_TRUE(ordered);
+  EXPECT_GT(kernels, 0);
+}
+
+TEST(BenchmarkRunner, MeasurementSummaryConsistent) {
+  pe::BenchmarkRunner runner(fast_config());
+  const auto m = runner.run("noop", [] {});
+  EXPECT_LE(m.summary.min, m.summary.median);
+  EXPECT_LE(m.summary.median, m.summary.max);
+}
+
+}  // namespace

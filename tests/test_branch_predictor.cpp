@@ -1,0 +1,76 @@
+// Tests for the bimodal branch predictor in perfeng/sim.
+#include "perfeng/sim/branch_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/common/rng.hpp"
+
+namespace {
+
+using pe::sim::BranchPredictor;
+
+TEST(BranchPredictor, AlwaysTakenConvergesFast) {
+  BranchPredictor p(256);
+  for (int i = 0; i < 100; ++i) p.record(0x10, true);
+  // From the weakly-not-taken start, only the first prediction may miss.
+  EXPECT_LE(p.stats().mispredictions, 1u);
+  EXPECT_EQ(p.stats().predictions, 100u);
+}
+
+TEST(BranchPredictor, AlwaysNotTakenConverges) {
+  BranchPredictor p(256);
+  for (int i = 0; i < 100; ++i) p.record(0x10, false);
+  EXPECT_EQ(p.stats().mispredictions, 0u);  // starts predicting not-taken
+}
+
+TEST(BranchPredictor, AlternatingPatternDefeatsBimodal) {
+  BranchPredictor p(256);
+  for (int i = 0; i < 1000; ++i) p.record(0x20, i % 2 == 0);
+  // A strict T/NT alternation keeps a 2-bit counter near the boundary.
+  EXPECT_GT(p.stats().misprediction_rate(), 0.4);
+}
+
+TEST(BranchPredictor, RandomOutcomesNearFiftyPercent) {
+  BranchPredictor p(256);
+  pe::Rng rng(3);
+  for (int i = 0; i < 20000; ++i) p.record(0x30, rng.next_double() < 0.5);
+  EXPECT_NEAR(p.stats().misprediction_rate(), 0.5, 0.05);
+}
+
+TEST(BranchPredictor, BiasedOutcomesMostlyPredicted) {
+  BranchPredictor p(256);
+  pe::Rng rng(4);
+  for (int i = 0; i < 20000; ++i) p.record(0x40, rng.next_double() < 0.95);
+  EXPECT_LT(p.stats().misprediction_rate(), 0.15);
+}
+
+TEST(BranchPredictor, DistinctPcsTrainIndependently) {
+  BranchPredictor p(256);
+  for (int i = 0; i < 50; ++i) {
+    p.record(0x1, true);
+    p.record(0x2, false);
+  }
+  EXPECT_LE(p.stats().mispredictions, 1u);
+}
+
+TEST(BranchPredictor, ResetClearsTrainingAndStats) {
+  BranchPredictor p(256);
+  for (int i = 0; i < 10; ++i) p.record(0x1, true);
+  p.reset();
+  EXPECT_EQ(p.stats().predictions, 0u);
+  // After reset the counter is weakly-not-taken again.
+  EXPECT_FALSE(p.record(0x1, true));
+}
+
+TEST(BranchPredictor, TableSizeMustBePowerOfTwo) {
+  EXPECT_THROW(BranchPredictor(100), pe::Error);
+  EXPECT_NO_THROW(BranchPredictor(128));
+}
+
+TEST(BranchPredictor, ZeroRateOnFreshPredictor) {
+  BranchPredictor p(64);
+  EXPECT_EQ(p.stats().misprediction_rate(), 0.0);
+}
+
+}  // namespace

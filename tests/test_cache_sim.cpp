@@ -1,0 +1,213 @@
+// Tests for the cache simulator in perfeng/sim/cache.hpp and
+// cache_hierarchy.hpp, including hand-computed traces.
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/sim/cache.hpp"
+#include "perfeng/sim/cache_hierarchy.hpp"
+
+namespace {
+
+using pe::sim::AccessType;
+using pe::sim::Cache;
+using pe::sim::CacheConfig;
+using pe::sim::CacheHierarchy;
+using pe::sim::LevelSpec;
+
+CacheConfig tiny_cache(std::size_t size, std::size_t ways) {
+  CacheConfig cfg;
+  cfg.name = "T";
+  cfg.size_bytes = size;
+  cfg.line_bytes = 64;
+  cfg.associativity = ways;
+  return cfg;
+}
+
+TEST(CacheConfig, Geometry) {
+  const CacheConfig cfg = tiny_cache(32 * 1024, 8);
+  EXPECT_EQ(cfg.num_lines(), 512u);
+  EXPECT_EQ(cfg.num_sets(), 64u);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(tiny_cache(1024, 2));
+  EXPECT_FALSE(c.access_line(0, AccessType::kRead));
+  EXPECT_TRUE(c.access_line(0, AccessType::kRead));
+  EXPECT_EQ(c.stats().read_misses, 1u);
+  EXPECT_EQ(c.stats().read_hits, 1u);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // 1024B / 64B lines = 16 lines, 2-way -> 8 sets. Lines 0, 8, 16 all map
+  // to set 0; the third allocation must evict the least recent (line 0).
+  Cache c(tiny_cache(1024, 2));
+  c.access_line(0, AccessType::kRead);
+  c.access_line(8, AccessType::kRead);
+  c.access_line(16, AccessType::kRead);  // evicts 0
+  EXPECT_FALSE(c.probe(0));
+  EXPECT_TRUE(c.probe(8));
+  EXPECT_TRUE(c.probe(16));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, LruRefreshOnHit) {
+  Cache c(tiny_cache(1024, 2));
+  c.access_line(0, AccessType::kRead);
+  c.access_line(8, AccessType::kRead);
+  c.access_line(0, AccessType::kRead);   // refresh 0; 8 is now LRU
+  c.access_line(16, AccessType::kRead);  // evicts 8
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(8));
+}
+
+TEST(Cache, WritebackOnlyForDirtyVictims) {
+  Cache c(tiny_cache(1024, 2));
+  c.access_line(0, AccessType::kWrite);  // dirty
+  c.access_line(8, AccessType::kRead);   // clean
+  bool dirty = false;
+  c.access_line(16, AccessType::kRead, &dirty);  // evicts 0 (dirty)
+  EXPECT_TRUE(dirty);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  c.access_line(24, AccessType::kRead, &dirty);  // evicts 8 (clean)
+  EXPECT_FALSE(dirty);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteHitMarksDirty) {
+  Cache c(tiny_cache(1024, 2));
+  c.access_line(0, AccessType::kRead);
+  c.access_line(0, AccessType::kWrite);  // hit; line becomes dirty
+  bool dirty = false;
+  c.access_line(8, AccessType::kRead);
+  c.access_line(16, AccessType::kRead, &dirty);  // evicts 0
+  EXPECT_TRUE(dirty);
+}
+
+TEST(Cache, FlushInvalidatesButKeepsStats) {
+  Cache c(tiny_cache(1024, 2));
+  c.access_line(0, AccessType::kRead);
+  c.flush();
+  EXPECT_FALSE(c.probe(0));
+  EXPECT_EQ(c.stats().read_misses, 1u);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().accesses(), 0u);
+}
+
+TEST(Cache, MissRateComputation) {
+  Cache c(tiny_cache(1024, 2));
+  c.access_line(0, AccessType::kRead);    // miss
+  c.access_line(0, AccessType::kRead);    // hit
+  c.access_line(0, AccessType::kWrite);   // hit
+  c.access_line(99, AccessType::kWrite);  // miss
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.5);
+}
+
+TEST(Cache, FullyAssociativeNeverConflicts) {
+  // 256B / 64B = 4 lines, 4-way: one set. Any 4 lines coexist.
+  Cache c(tiny_cache(256, 4));
+  for (std::uint64_t line : {0u, 100u, 200u, 300u})
+    c.access_line(line, AccessType::kRead);
+  for (std::uint64_t line : {0u, 100u, 200u, 300u})
+    EXPECT_TRUE(c.probe(line));
+}
+
+TEST(Cache, InvalidGeometryRejected) {
+  CacheConfig bad = tiny_cache(1000, 2);  // not a multiple of line size
+  EXPECT_THROW(Cache{bad}, pe::Error);
+  bad = tiny_cache(1024, 3);  // 16 lines not divisible into 3-way sets
+  EXPECT_THROW(Cache{bad}, pe::Error);
+}
+
+// --------------------------------------------------------------- hierarchy
+
+CacheHierarchy two_level() {
+  std::vector<LevelSpec> specs;
+  specs.push_back({tiny_cache(1024, 2), 1.0});
+  specs.push_back({tiny_cache(4096, 4), 10.0});
+  return CacheHierarchy(std::move(specs), 100.0);
+}
+
+TEST(Hierarchy, MissFallsThroughLevels) {
+  CacheHierarchy h = two_level();
+  h.access(0, 8, AccessType::kRead);  // miss L1, miss L2, DRAM
+  auto s = h.stats();
+  EXPECT_EQ(s.levels[0].read_misses, 1u);
+  EXPECT_EQ(s.levels[1].read_misses, 1u);
+  EXPECT_EQ(s.dram_accesses, 1u);
+  EXPECT_DOUBLE_EQ(s.total_cycles, 111.0);  // 1 + 10 + 100
+
+  h.access(0, 8, AccessType::kRead);  // L1 hit
+  s = h.stats();
+  EXPECT_EQ(s.levels[0].read_hits, 1u);
+  EXPECT_DOUBLE_EQ(s.total_cycles, 112.0);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  CacheHierarchy h = two_level();
+  h.access(0 * 64, 8, AccessType::kRead);
+  h.access(8 * 64, 8, AccessType::kRead);
+  h.access(16 * 64, 8, AccessType::kRead);  // evicts line 0 from L1 only
+  h.access(0 * 64, 8, AccessType::kRead);   // L1 miss, L2 hit
+  const auto s = h.stats();
+  EXPECT_EQ(s.levels[0].read_misses, 4u);
+  EXPECT_EQ(s.levels[1].read_hits, 1u);
+  EXPECT_EQ(s.dram_accesses, 3u);
+}
+
+TEST(Hierarchy, StraddlingAccessTouchesBothLines) {
+  CacheHierarchy h = two_level();
+  h.access(60, 8, AccessType::kRead);  // spans lines 0 and 1
+  EXPECT_EQ(h.stats().total_accesses, 2u);
+}
+
+TEST(Hierarchy, TouchRangeWalksLines) {
+  CacheHierarchy h = two_level();
+  h.touch_range(0, 64 * 10, AccessType::kRead);
+  EXPECT_EQ(h.stats().total_accesses, 10u);
+}
+
+TEST(Hierarchy, SequentialStreamMissesOncePerLine) {
+  CacheHierarchy h = two_level();
+  // 8-byte reads through 4 lines: 32 accesses, 4 L1 misses.
+  for (std::uint64_t a = 0; a < 4 * 64; a += 8)
+    h.access(a, 8, AccessType::kRead);
+  const auto s = h.stats();
+  EXPECT_EQ(s.total_accesses, 32u);
+  EXPECT_EQ(s.levels[0].read_misses, 4u);
+}
+
+TEST(Hierarchy, ResetClearsCountersAndContents) {
+  CacheHierarchy h = two_level();
+  h.access(0, 8, AccessType::kRead);
+  h.reset(true);
+  EXPECT_EQ(h.stats().total_accesses, 0u);
+  h.access(0, 8, AccessType::kRead);
+  EXPECT_EQ(h.stats().levels[0].read_misses, 1u);  // cold again
+}
+
+TEST(Hierarchy, TypicalDesktopShape) {
+  CacheHierarchy h = CacheHierarchy::typical_desktop();
+  EXPECT_EQ(h.num_levels(), 3u);
+  EXPECT_EQ(h.line_bytes(), 64u);
+  EXPECT_EQ(h.level(0).config().size_bytes, 32u * 1024);
+  EXPECT_EQ(h.level(2).config().size_bytes, 8u * 1024 * 1024);
+  EXPECT_THROW((void)h.level(3), pe::Error);
+}
+
+TEST(Hierarchy, MismatchedLineSizesRejected) {
+  std::vector<LevelSpec> specs;
+  specs.push_back({tiny_cache(1024, 2), 1.0});
+  CacheConfig other;
+  other.size_bytes = 4096;
+  other.line_bytes = 128;
+  other.associativity = 4;
+  specs.push_back({other, 10.0});
+  EXPECT_THROW(CacheHierarchy(std::move(specs), 100.0), pe::Error);
+}
+
+TEST(Hierarchy, ZeroByteAccessRejected) {
+  CacheHierarchy h = two_level();
+  EXPECT_THROW(h.access(0, 0, AccessType::kRead), pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Tests for the communication trace recorder/analyzer in
+// perfeng/sim/comm_trace.hpp.
+#include "perfeng/sim/comm_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::sim::CommEventKind;
+using pe::sim::NetworkCost;
+using pe::sim::TracedNetwork;
+
+NetworkCost cost() { return {1e-6, 1e-9}; }
+
+TEST(CommTrace, RecordsEveryCall) {
+  TracedNetwork net(2, cost());
+  net.compute(0, 1.0);
+  net.send(0, 1, 100);
+  net.recv(1, 0);
+  ASSERT_EQ(net.events().size(), 3u);
+  EXPECT_EQ(net.events()[0].kind, CommEventKind::kCompute);
+  EXPECT_EQ(net.events()[1].kind, CommEventKind::kSend);
+  EXPECT_EQ(net.events()[2].kind, CommEventKind::kRecvWait);
+  EXPECT_EQ(net.events()[1].bytes, 100u);
+  EXPECT_EQ(net.events()[1].peer, 1u);
+}
+
+TEST(CommTrace, ProfileSeparatesComputeSendWait) {
+  TracedNetwork net(2, cost());
+  net.compute(0, 2.0);
+  net.send(0, 1, 1000);
+  net.recv(1, 0);  // rank 1 waits the full message time
+  const auto profiles = net.profile();
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_DOUBLE_EQ(profiles[0].compute_seconds, 2.0);
+  EXPECT_NEAR(profiles[0].send_seconds, 1e-6, 1e-15);  // alpha
+  EXPECT_DOUBLE_EQ(profiles[0].wait_seconds, 0.0);
+  // Receiver blocked from t=0 until arrival at 2.0 + alpha + beta*1000.
+  EXPECT_NEAR(profiles[1].wait_seconds, 2.0 + 1e-6 + 1e-6, 1e-12);
+  EXPECT_EQ(profiles[1].late_senders, 1u);
+}
+
+TEST(CommTrace, EarlyArrivalIsNotALateSender) {
+  TracedNetwork net(2, cost());
+  net.send(0, 1, 10);
+  net.compute(1, 5.0);  // message arrives long before the recv
+  net.recv(1, 0);
+  const auto profiles = net.profile();
+  EXPECT_EQ(profiles[1].late_senders, 0u);
+  EXPECT_DOUBLE_EQ(profiles[1].wait_seconds, 0.0);
+}
+
+TEST(CommTrace, KindNames) {
+  EXPECT_EQ(pe::sim::comm_event_kind_name(CommEventKind::kCompute),
+            "compute");
+  EXPECT_EQ(pe::sim::comm_event_kind_name(CommEventKind::kRecvWait),
+            "recv-wait");
+}
+
+TEST(CommTrace, TimelineShowsLanesAndLegend) {
+  TracedNetwork net(3, cost());
+  for (unsigned r = 0; r < 3; ++r) net.compute(r, 1.0);
+  net.send(0, 1, 1 << 20);
+  net.recv(1, 0);
+  const std::string art = net.timeline(40);
+  EXPECT_NE(art.find("rank 0"), std::string::npos);
+  EXPECT_NE(art.find("rank 2"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("legend"), std::string::npos);
+}
+
+TEST(CommTrace, TimelineWaitGlyphAppearsForBlockedReceives) {
+  TracedNetwork net(2, cost());
+  net.compute(0, 1.0);
+  net.send(0, 1, 10);
+  net.recv(1, 0);  // rank 1 idle-waits ~1 s
+  const std::string art = net.timeline(40);
+  // Rank 1's lane must contain wait glyphs.
+  const auto lane1 = art.find("rank 1");
+  ASSERT_NE(lane1, std::string::npos);
+  const auto line_end = art.find('\n', lane1);
+  EXPECT_NE(art.substr(lane1, line_end - lane1).find('.'),
+            std::string::npos);
+}
+
+TEST(CommTrace, NarrowTimelineRejected) {
+  TracedNetwork net(1, cost());
+  net.compute(0, 1.0);
+  EXPECT_THROW((void)net.timeline(2), pe::Error);
+}
+
+TEST(CommTrace, UnderlyingNetworkStaysUsable) {
+  TracedNetwork net(4, cost());
+  const double finish =
+      pe::sim::simulate_ring_allreduce(net.network(), 4096);
+  EXPECT_GT(finish, 0.0);
+  // Collective calls on network() bypass tracing (documented behaviour).
+  EXPECT_TRUE(net.events().empty());
+}
+
+TEST(CommTrace, LoadImbalanceShowsUpAsWaitTime) {
+  // Rank 0 computes 4x longer; its neighbour's recv blocks on it.
+  TracedNetwork net(2, cost());
+  net.compute(0, 4.0);
+  net.compute(1, 1.0);
+  net.send(0, 1, 8);
+  net.send(1, 0, 8);
+  net.recv(1, 0);
+  net.recv(0, 1);
+  const auto profiles = net.profile();
+  EXPECT_GT(profiles[1].wait_seconds, 2.9);  // the imbalance, visible
+  EXPECT_LT(profiles[0].wait_seconds, 0.1);
+}
+
+}  // namespace

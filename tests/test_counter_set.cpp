@@ -1,0 +1,82 @@
+// Tests for CounterSet in perfeng/counters/counter_set.hpp.
+#include "perfeng/counters/counter_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using namespace pe::counters;
+
+TEST(CounterSet, SetAndGet) {
+  CounterSet c;
+  c.set(kCycles, 1000);
+  EXPECT_EQ(c.get(kCycles), 1000u);
+  EXPECT_TRUE(c.has(kCycles));
+  EXPECT_FALSE(c.has(kInstructions));
+}
+
+TEST(CounterSet, MissingCounterThrowsOrZero) {
+  CounterSet c;
+  EXPECT_THROW((void)c.get("nope"), pe::Error);
+  EXPECT_EQ(c.get_or_zero("nope"), 0u);
+}
+
+TEST(CounterSet, AddAccumulates) {
+  CounterSet c;
+  c.add(kBranches, 10);
+  c.add(kBranches, 5);
+  EXPECT_EQ(c.get(kBranches), 15u);
+}
+
+TEST(CounterSet, SetOverwrites) {
+  CounterSet c;
+  c.set(kCycles, 10);
+  c.set(kCycles, 3);
+  EXPECT_EQ(c.get(kCycles), 3u);
+}
+
+TEST(CounterSet, RatioHandlesZeroDenominator) {
+  CounterSet c;
+  c.set(kInstructions, 100);
+  EXPECT_EQ(c.ratio(kInstructions, kCycles), 0.0);
+  c.set(kCycles, 50);
+  EXPECT_DOUBLE_EQ(c.ratio(kInstructions, kCycles), 2.0);
+}
+
+TEST(CounterSet, DerivedMetrics) {
+  CounterSet c;
+  c.set(kInstructions, 2000);
+  c.set(kCycles, 1000);
+  c.set(kMemAccesses, 500);
+  c.set(kL1Misses, 50);
+  c.set(kBranches, 400);
+  c.set(kBranchMisses, 100);
+  c.set(kDramAccesses, 20);
+  EXPECT_DOUBLE_EQ(c.ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(c.l1_miss_rate(), 0.1);
+  EXPECT_DOUBLE_EQ(c.branch_miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(c.dram_per_instruction(), 0.01);
+}
+
+TEST(CounterSet, MergeSums) {
+  CounterSet a, b;
+  a.set(kCycles, 100);
+  a.set(kBranches, 10);
+  b.set(kCycles, 50);
+  b.set(kL1Misses, 7);
+  a.merge(b);
+  EXPECT_EQ(a.get(kCycles), 150u);
+  EXPECT_EQ(a.get(kBranches), 10u);
+  EXPECT_EQ(a.get(kL1Misses), 7u);
+}
+
+TEST(CounterSet, ValuesExposesAll) {
+  CounterSet c;
+  c.set("a", 1);
+  c.set("b", 2);
+  EXPECT_EQ(c.values().size(), 2u);
+}
+
+}  // namespace

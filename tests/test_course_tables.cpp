@@ -1,0 +1,97 @@
+// Tests for the Figure 1 / Table 1 / Table 2 generators in perfeng/course.
+#include "perfeng/course/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/course/data.hpp"
+
+namespace {
+
+using namespace pe::course;
+
+TEST(Figure1, TableHasOneRowPerYearPlusTotal) {
+  const auto t = figure1_table();
+  EXPECT_EQ(t.rows(), 8u);
+  EXPECT_EQ(t.columns(), 4u);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("2017"), std::string::npos);
+  EXPECT_NE(out.find("2023"), std::string::npos);
+  EXPECT_NE(out.find("146"), std::string::npos);
+  EXPECT_NE(out.find("93"), std::string::npos);
+  EXPECT_NE(out.find("41"), std::string::npos);
+}
+
+TEST(Figure1, MissingEvaluationsRenderAsNa) {
+  const std::string out = figure1_table().render();
+  EXPECT_NE(out.find("n/a"), std::string::npos);
+}
+
+TEST(Figure1, AsciiChartShowsEveryYear) {
+  const std::string chart = figure1_ascii();
+  for (int year = 2017; year <= 2023; ++year) {
+    EXPECT_NE(chart.find(std::to_string(year)), std::string::npos) << year;
+  }
+  EXPECT_NE(chart.find("Figure 1"), std::string::npos);
+  // Growth: the 2023 bar must be longer than the 2017 bar.
+  const auto line_of = [&](const std::string& year) {
+    const auto pos = chart.find(year);
+    const auto end = chart.find('\n', pos);
+    return chart.substr(pos, end - pos);
+  };
+  EXPECT_GT(line_of("2023").size(), line_of("2017").size());
+}
+
+TEST(Table1Render, HasAllTopicsAndAxisHeaders) {
+  const auto t = table1();
+  EXPECT_EQ(t.rows(), topic_coverage().size());
+  EXPECT_EQ(t.columns(), 1u + 7u + 8u);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Roofline model and extensions"), std::string::npos);
+  EXPECT_NE(out.find("S1"), std::string::npos);
+  EXPECT_NE(out.find("O8"), std::string::npos);
+}
+
+TEST(Table1Render, ChecksMatchTheData) {
+  const std::string csv = table1().render_csv();
+  // "Queuing theory" covers stage 3: its row must contain an x in S3.
+  const auto pos = csv.find("Queuing theory");
+  ASSERT_NE(pos, std::string::npos);
+  const auto line = csv.substr(pos, csv.find('\n', pos) - pos);
+  // Columns: topic,S1..S7,O1..O8 -> S3 is field index 3.
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t comma = line.find(',');;
+       comma = line.find(',', start)) {
+    fields.push_back(line.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  EXPECT_EQ(fields[3], "x");   // S3
+  EXPECT_EQ(fields[1], "");    // S1 not covered by queuing theory
+}
+
+TEST(Table2Render, AgreementTableMatchesPaperShape) {
+  const auto t = table2a();
+  EXPECT_EQ(t.rows(), 13u);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Taught me a lot"), std::string::npos);
+  EXPECT_NE(out.find("Assignment 4"), std::string::npos);
+  EXPECT_NE(out.find("4.5"), std::string::npos);
+}
+
+TEST(Table2Render, LevelTableHasWorkloadAndLevel) {
+  const auto t = table2b();
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Workload"), std::string::npos);
+  EXPECT_NE(out.find("4.0"), std::string::npos);
+  EXPECT_NE(out.find("3.7"), std::string::npos);
+}
+
+TEST(Table2Render, RecomputedMeansShownNextToPaperMeans) {
+  const std::string out = table2a().render();
+  EXPECT_NE(out.find("M (paper)"), std::string::npos);
+  EXPECT_NE(out.find("M (recomputed)"), std::string::npos);
+}
+
+}  // namespace

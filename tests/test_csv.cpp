@@ -1,0 +1,88 @@
+// Tests for the CSV parser/writer in perfeng/common/csv.hpp.
+#include "perfeng/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+TEST(Csv, ParsesHeaderAndRows) {
+  const auto doc = pe::parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_EQ(doc.header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(doc.rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(Csv, HandlesMissingTrailingNewline) {
+  const auto doc = pe::parse_csv("x,y\n7,8");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "8");
+}
+
+TEST(Csv, HandlesCrlf) {
+  const auto doc = pe::parse_csv("x,y\r\n1,2\r\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "1");
+}
+
+TEST(Csv, QuotedFieldsKeepCommasAndQuotes) {
+  const auto doc = pe::parse_csv("name,note\n\"a,b\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "a,b");
+  EXPECT_EQ(doc.rows[0][1], "he said \"hi\"");
+}
+
+TEST(Csv, QuotedFieldMayContainNewline) {
+  const auto doc = pe::parse_csv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "line1\nline2");
+}
+
+TEST(Csv, RaggedRowThrows) {
+  EXPECT_THROW(pe::parse_csv("a,b\n1\n"), pe::Error);
+  EXPECT_THROW(pe::parse_csv("a,b\n1,2,3\n"), pe::Error);
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(pe::parse_csv("a\n\"oops\n"), pe::Error);
+}
+
+TEST(Csv, ColumnLookup) {
+  const auto doc = pe::parse_csv("year,count\n2020,5\n");
+  EXPECT_EQ(doc.column("year"), 0u);
+  EXPECT_EQ(doc.column("count"), 1u);
+  EXPECT_THROW(doc.column("missing"), pe::Error);
+}
+
+TEST(Csv, EmptyFieldsPreserved) {
+  const auto doc = pe::parse_csv("a,b,c\n,,\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(Csv, ParseSingleLine) {
+  const auto fields = pe::parse_csv_line("1,\"two, three\",4");
+  EXPECT_EQ(fields, (std::vector<std::string>{"1", "two, three", "4"}));
+}
+
+TEST(Csv, WriteRoundTrips) {
+  const std::vector<std::string> header = {"k", "v"};
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "1"}, {"with,comma", "2"}, {"with\nnewline", "3"}};
+  const std::string text = pe::write_csv(header, rows);
+  const auto doc = pe::parse_csv(text);
+  EXPECT_EQ(doc.header, header);
+  EXPECT_EQ(doc.rows, rows);
+}
+
+TEST(Csv, WriteRejectsRaggedRows) {
+  EXPECT_THROW(pe::write_csv({"a", "b"}, {{"only"}}), pe::Error);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(pe::read_csv_file("/nonexistent/file.csv"), pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Tests for Dataset in perfeng/statmodel/dataset.hpp.
+#include "perfeng/statmodel/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::statmodel::Dataset;
+
+Dataset small() {
+  Dataset d({"a", "b"});
+  d.add_row({1.0, 10.0}, 100.0);
+  d.add_row({2.0, 20.0}, 200.0);
+  d.add_row({3.0, 30.0}, 300.0);
+  d.add_row({4.0, 40.0}, 400.0);
+  return d;
+}
+
+TEST(Dataset, ShapeAndAccess) {
+  const auto d = small();
+  EXPECT_EQ(d.rows(), 4u);
+  EXPECT_EQ(d.features(), 2u);
+  EXPECT_EQ(d.feature_names()[1], "b");
+  EXPECT_EQ(d.row(2)[0], 3.0);
+  EXPECT_EQ(d.target(2), 300.0);
+  EXPECT_THROW((void)d.row(4), pe::Error);
+}
+
+TEST(Dataset, RowWidthValidated) {
+  Dataset d({"a", "b"});
+  EXPECT_THROW(d.add_row({1.0}, 1.0), pe::Error);
+}
+
+TEST(Dataset, EmptyFeaturesRejected) {
+  EXPECT_THROW(Dataset(std::vector<std::string>{}), pe::Error);
+}
+
+TEST(Dataset, SplitPreservesRowsInOrder) {
+  const auto split = small().train_test_split(0.25);
+  EXPECT_EQ(split.train.rows(), 3u);
+  EXPECT_EQ(split.test.rows(), 1u);
+  EXPECT_EQ(split.test.target(0), 400.0);
+}
+
+TEST(Dataset, SplitAlwaysLeavesBothSidesNonEmpty) {
+  Dataset d({"x"});
+  d.add_row({1.0}, 1.0);
+  d.add_row({2.0}, 2.0);
+  const auto split = d.train_test_split(0.01);
+  EXPECT_EQ(split.train.rows(), 1u);
+  EXPECT_EQ(split.test.rows(), 1u);
+}
+
+TEST(Dataset, SplitFractionValidated) {
+  EXPECT_THROW((void)small().train_test_split(0.0), pe::Error);
+  EXPECT_THROW((void)small().train_test_split(1.0), pe::Error);
+}
+
+TEST(Dataset, ShuffleKeepsRowTargetPairsTogether) {
+  auto d = small();
+  pe::Rng rng(5);
+  d.shuffle(rng);
+  EXPECT_EQ(d.rows(), 4u);
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    // Target is always 100x the first feature in this dataset.
+    EXPECT_DOUBLE_EQ(d.target(i), d.row(i)[0] * 100.0);
+  }
+}
+
+TEST(Dataset, StandardizerZeroMeanUnitVariance) {
+  const auto d = small();
+  const auto s = d.fit_standardizer();
+  const auto z = d.standardized(s);
+  double mean0 = 0.0;
+  for (std::size_t i = 0; i < z.rows(); ++i) mean0 += z.row(i)[0];
+  EXPECT_NEAR(mean0 / z.rows(), 0.0, 1e-12);
+  double var0 = 0.0;
+  for (std::size_t i = 0; i < z.rows(); ++i) var0 += z.row(i)[0] * z.row(i)[0];
+  EXPECT_NEAR(var0 / (z.rows() - 1), 1.0, 1e-12);
+}
+
+TEST(Dataset, StandardizerConstantFeatureMapsToZero) {
+  Dataset d({"c"});
+  d.add_row({7.0}, 1.0);
+  d.add_row({7.0}, 2.0);
+  const auto s = d.fit_standardizer();
+  const auto z = d.standardized(s);
+  EXPECT_DOUBLE_EQ(z.row(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(z.row(1)[0], 0.0);
+}
+
+TEST(Dataset, StandardizerAppliesToNewRows) {
+  const auto s = small().fit_standardizer();
+  std::vector<double> row = {2.5, 25.0};  // the feature means
+  s.apply(row);
+  EXPECT_NEAR(row[0], 0.0, 1e-12);
+  EXPECT_NEAR(row[1], 0.0, 1e-12);
+}
+
+}  // namespace

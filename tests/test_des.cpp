@@ -1,0 +1,97 @@
+// Tests for the discrete-event simulation core in perfeng/sim/des.hpp.
+#include "perfeng/sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::sim::EventSimulator;
+
+TEST(Des, ExecutesInTimeOrder) {
+  EventSimulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Des, FifoTieBreakAtEqualTimes) {
+  EventSimulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Des, HandlersMayScheduleMoreEvents) {
+  EventSimulator sim;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 10) sim.schedule_in(1.0, next);
+  };
+  sim.schedule_in(1.0, next);
+  sim.run();
+  EXPECT_EQ(chain, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Des, RunUntilStopsAtHorizon) {
+  EventSimulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  const auto count = sim.run_until(2.0);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Des, RunUntilAdvancesClockOnEmptyQueue) {
+  EventSimulator sim;
+  sim.run_until(7.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.5);
+}
+
+TEST(Des, SchedulingInPastRejected) {
+  EventSimulator sim;
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), pe::Error);
+  EXPECT_THROW(sim.schedule_in(-0.5, [] {}), pe::Error);
+}
+
+TEST(Des, NullHandlerRejected) {
+  EventSimulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, nullptr), pe::Error);
+}
+
+TEST(Des, ExecutedCountsAcrossRuns) {
+  EventSimulator sim;
+  for (int i = 0; i < 4; ++i) sim.schedule_at(i, [] {});
+  sim.run_until(1.5);
+  EXPECT_EQ(sim.executed(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 4u);
+}
+
+TEST(Des, ScheduleInUsesCurrentTime) {
+  EventSimulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(3.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+}  // namespace

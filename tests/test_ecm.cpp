@@ -1,0 +1,75 @@
+// Tests for the ECM model in perfeng/models/ecm.hpp.
+#include "perfeng/models/ecm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::models::EcmModel;
+
+TEST(Ecm, DataTimeSumsTransfers) {
+  EcmModel m(2e-9);
+  m.add_transfer("L2", "L1", 1e-9);
+  m.add_transfer("L3", "L2", 1.5e-9);
+  m.add_transfer("MEM", "L3", 2.5e-9);
+  EXPECT_DOUBLE_EQ(m.data_seconds(), 5e-9);
+  EXPECT_EQ(m.transfers().size(), 3u);
+}
+
+TEST(Ecm, OverlappedIsMaxOfCoreAndData) {
+  EcmModel core_bound(10e-9);
+  core_bound.add_transfer("MEM", "L1", 4e-9);
+  EXPECT_DOUBLE_EQ(core_bound.predict_overlapped(), 10e-9);
+
+  EcmModel data_bound(2e-9);
+  data_bound.add_transfer("MEM", "L1", 7e-9);
+  EXPECT_DOUBLE_EQ(data_bound.predict_overlapped(), 7e-9);
+}
+
+TEST(Ecm, SerialIsSum) {
+  EcmModel m(3e-9);
+  m.add_transfer("MEM", "L1", 4e-9);
+  EXPECT_DOUBLE_EQ(m.predict_serial(), 7e-9);
+}
+
+TEST(Ecm, SerialNeverBelowOverlapped) {
+  EcmModel m(1e-9);
+  m.add_transfer("L2", "L1", 2e-9);
+  m.add_transfer("MEM", "L2", 3e-9);
+  EXPECT_GE(m.predict_serial(), m.predict_overlapped());
+}
+
+TEST(Ecm, BracketsAcceptsMeasurementBetweenBounds) {
+  EcmModel m(4e-9);
+  m.add_transfer("MEM", "L1", 4e-9);
+  // overlapped = 4 ns, serial = 8 ns.
+  EXPECT_TRUE(m.brackets(5e-9, 0.0));
+  EXPECT_TRUE(m.brackets(8e-9, 0.0));
+  EXPECT_FALSE(m.brackets(10e-9, 0.0));
+  EXPECT_FALSE(m.brackets(2e-9, 0.0));
+}
+
+TEST(Ecm, SlackWidensBounds) {
+  EcmModel m(4e-9);
+  m.add_transfer("MEM", "L1", 4e-9);
+  EXPECT_FALSE(m.brackets(9e-9, 0.0));
+  EXPECT_TRUE(m.brackets(9e-9, 0.15));
+}
+
+TEST(Ecm, PureComputeModel) {
+  const EcmModel m(5e-9);
+  EXPECT_DOUBLE_EQ(m.predict_overlapped(), 5e-9);
+  EXPECT_DOUBLE_EQ(m.predict_serial(), 5e-9);
+}
+
+TEST(Ecm, Validation) {
+  EXPECT_THROW(EcmModel(-1e-9), pe::Error);
+  EcmModel m(1e-9);
+  EXPECT_THROW(m.add_transfer("a", "b", -1.0), pe::Error);
+  EXPECT_THROW((void)m.brackets(0.0), pe::Error);
+  EXPECT_THROW((void)m.brackets(1e-9, -0.1), pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Tests for the energy models in perfeng/models/energy.hpp.
+#include "perfeng/models/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using namespace pe::models;
+using namespace pe::counters;
+
+PowerModel power() { return {10.0, 30.0}; }
+
+TEST(PowerModel, LinearInUtilization) {
+  EXPECT_DOUBLE_EQ(power().power(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(power().power(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(power().power(0.5), 25.0);
+}
+
+TEST(PowerModel, EnergyIntegratesOverTime) {
+  EXPECT_DOUBLE_EQ(power().energy(2.0, 1.0), 80.0);
+  EXPECT_DOUBLE_EQ(power().energy(0.0, 1.0), 0.0);
+}
+
+TEST(PowerModel, UtilizationValidated) {
+  EXPECT_THROW((void)power().power(-0.1), pe::Error);
+  EXPECT_THROW((void)power().power(1.1), pe::Error);
+  EXPECT_THROW((void)power().energy(-1.0, 0.5), pe::Error);
+}
+
+TEST(EventEnergy, AttributesPerEvent) {
+  EventEnergyModel m;
+  m.joules_per_instruction = 1.0;
+  m.joules_per_l1_access = 2.0;
+  m.joules_per_l2_access = 4.0;
+  m.joules_per_l3_access = 8.0;
+  m.joules_per_dram_access = 16.0;
+  CounterSet c;
+  c.set(kInstructions, 10);
+  c.set(kMemAccesses, 5);
+  c.set(kL1Misses, 3);
+  c.set(kL2Misses, 2);
+  c.set(kDramAccesses, 1);
+  EXPECT_DOUBLE_EQ(m.energy(c), 10.0 + 10.0 + 12.0 + 16.0 + 16.0);
+}
+
+TEST(EventEnergy, MissingCountersContributeNothing) {
+  EventEnergyModel m;
+  EXPECT_DOUBLE_EQ(m.energy(CounterSet{}), 0.0);
+}
+
+TEST(EventEnergy, DramDominatesCacheFriendlyVsHostile) {
+  // Same instruction count, one run with 100x the DRAM traffic.
+  EventEnergyModel m;
+  CounterSet friendly, hostile;
+  for (auto* c : {&friendly, &hostile}) {
+    c->set(kInstructions, 1000000);
+    c->set(kMemAccesses, 500000);
+  }
+  friendly.set(kDramAccesses, 1000);
+  hostile.set(kDramAccesses, 100000);
+  EXPECT_GT(m.energy(hostile), m.energy(friendly) * 2.0);
+}
+
+TEST(EnergyReport, DerivedMetrics) {
+  EnergyReport r;
+  r.seconds = 2.0;
+  r.joules = 80.0;
+  r.flops = 1.6e9;
+  EXPECT_DOUBLE_EQ(r.watts(), 40.0);
+  EXPECT_DOUBLE_EQ(r.flops_per_joule(), 2e7);
+  EXPECT_DOUBLE_EQ(r.energy_delay_product(), 160.0);
+}
+
+TEST(EnergyReport, FromPowerAndFromEventsAgreeOnStructure) {
+  const auto rp = report_from_power(power(), 1.0, 0.5, 1e9);
+  EXPECT_DOUBLE_EQ(rp.joules, 25.0);
+  EXPECT_DOUBLE_EQ(rp.flops_per_joule(), 1e9 / 25.0);
+
+  CounterSet c;
+  c.set(kInstructions, 1000);
+  EventEnergyModel events;
+  events.joules_per_instruction = 0.001;
+  const auto re = report_from_events(events, c, 1.0, 1e9);
+  EXPECT_DOUBLE_EQ(re.joules, 1.0);
+}
+
+TEST(RaceToIdle, FasterAtHigherUtilizationCanStillSaveEnergy) {
+  // 2x faster at full utilization vs baseline at 50%:
+  // optimized 1 s * 40 W = 40 J vs baseline 2 s * 25 W = 50 J.
+  const double ratio = race_to_idle_ratio(power(), 2.0, 0.5, 1.0, 1.0);
+  EXPECT_NEAR(ratio, 0.8, 1e-12);
+  EXPECT_LT(ratio, 1.0);
+}
+
+TEST(RaceToIdle, SlowerNeverSavesUnderThisModel) {
+  EXPECT_GT(race_to_idle_ratio(power(), 1.0, 0.5, 3.0, 0.5), 1.0);
+}
+
+}  // namespace

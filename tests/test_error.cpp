@@ -1,0 +1,46 @@
+// Tests for the error-handling primitives in perfeng/common/error.hpp.
+#include "perfeng/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+void guarded(int v) { PE_REQUIRE(v > 0, "v must be positive"); }
+
+TEST(Error, RequirePassesOnTrueCondition) {
+  EXPECT_NO_THROW(guarded(1));
+  EXPECT_NO_THROW(guarded(100));
+}
+
+TEST(Error, RequireThrowsPeError) {
+  EXPECT_THROW(guarded(0), pe::Error);
+  EXPECT_THROW(guarded(-5), pe::Error);
+}
+
+TEST(Error, ErrorIsARuntimeError) {
+  EXPECT_THROW(guarded(0), std::runtime_error);
+}
+
+TEST(Error, MessageContainsConditionAndContext) {
+  try {
+    guarded(-1);
+    FAIL() << "expected throw";
+  } catch (const pe::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("v > 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("v must be positive"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, AssertBehavesLikeRequireByDefault) {
+  auto checked = [](int v) { PE_ASSERT(v != 42, "not the answer"); };
+  EXPECT_NO_THROW(checked(1));
+  EXPECT_THROW(checked(42), pe::Error);
+}
+
+TEST(Error, ConstructibleFromString) {
+  const pe::Error e("custom message");
+  EXPECT_STREQ(e.what(), "custom message");
+}
+
+}  // namespace

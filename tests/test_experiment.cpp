@@ -1,0 +1,90 @@
+// Tests for the factorial experiment design in perfeng/measure/experiment.hpp.
+#include "perfeng/measure/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+TEST(Experiment, DesignSizeIsProductOfLevels) {
+  pe::Experiment e("sweep");
+  e.add_factor("n", std::vector<int>{64, 128, 256});
+  e.add_factor("variant", std::vector<std::string>{"naive", "tiled"});
+  EXPECT_EQ(e.design_size(), 6u);
+  EXPECT_EQ(e.design().size(), 6u);
+}
+
+TEST(Experiment, DesignEnumeratesLastFactorFastest) {
+  pe::Experiment e("sweep");
+  e.add_factor("a", std::vector<std::string>{"1", "2"});
+  e.add_factor("b", std::vector<std::string>{"x", "y"});
+  const auto points = e.design();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].at("a"), "1");
+  EXPECT_EQ(points[0].at("b"), "x");
+  EXPECT_EQ(points[1].at("a"), "1");
+  EXPECT_EQ(points[1].at("b"), "y");
+  EXPECT_EQ(points[2].at("a"), "2");
+  EXPECT_EQ(points[3].at("b"), "y");
+}
+
+TEST(Experiment, DuplicateFactorRejected) {
+  pe::Experiment e("sweep");
+  e.add_factor("n", std::vector<int>{1});
+  EXPECT_THROW(e.add_factor("n", std::vector<int>{2}), pe::Error);
+}
+
+TEST(Experiment, EmptyLevelsRejected) {
+  pe::Experiment e("sweep");
+  EXPECT_THROW(e.add_factor("n", std::vector<std::string>{}), pe::Error);
+}
+
+TEST(Experiment, RecordValidatesMetricWidth) {
+  pe::Experiment e("sweep");
+  e.add_factor("n", std::vector<int>{1});
+  e.set_metrics({"time", "flops"});
+  const auto points = e.design();
+  EXPECT_THROW(e.record(points[0], {1.0}), pe::Error);
+  e.record(points[0], {1.0, 2.0});
+  EXPECT_EQ(e.record_count(), 1u);
+}
+
+TEST(Experiment, RunVisitsEveryDesignPoint) {
+  pe::Experiment e("sweep");
+  e.add_factor("n", std::vector<int>{2, 4, 8});
+  e.set_metrics({"n_squared"});
+  e.run([](const pe::DesignPoint& p) {
+    const double n = std::stod(p.at("n"));
+    return std::vector<double>{n * n};
+  });
+  EXPECT_EQ(e.record_count(), 3u);
+  EXPECT_EQ(e.metric_values("n_squared"),
+            (std::vector<double>{4.0, 16.0, 64.0}));
+}
+
+TEST(Experiment, MetricValuesUnknownNameThrows) {
+  pe::Experiment e("sweep");
+  e.add_factor("n", std::vector<int>{1});
+  e.set_metrics({"time"});
+  EXPECT_THROW(e.metric_values("nope"), pe::Error);
+}
+
+TEST(Experiment, TableHasFactorAndMetricColumns) {
+  pe::Experiment e("sweep");
+  e.add_factor("n", std::vector<int>{3});
+  e.set_metrics({"time"});
+  e.run([](const pe::DesignPoint&) { return std::vector<double>{1.25}; });
+  const auto t = e.to_table();
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.render().find("1.25"), std::string::npos);
+}
+
+TEST(Experiment, SizeTFactorOverload) {
+  pe::Experiment e("sweep");
+  e.add_factor("bytes", std::vector<std::size_t>{1024, 2048});
+  EXPECT_EQ(e.design_size(), 2u);
+}
+
+}  // namespace

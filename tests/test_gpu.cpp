@@ -1,0 +1,97 @@
+// Tests for the GPU occupancy and latency-hiding models in
+// perfeng/models/gpu.hpp.
+#include "perfeng/models/gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using namespace pe::models;
+
+GpuSmConfig sm() { return {}; }  // 64 warps, 32 blocks, 64K regs, 96K smem
+
+TEST(Occupancy, FullOccupancyForLightKernels) {
+  GpuKernelConfig k;
+  k.threads_per_block = 256;  // 8 warps/block
+  k.registers_per_thread = 32;
+  k.shared_memory_per_block = 0;
+  const auto occ = occupancy(sm(), k);
+  // warps limit: 64/8 = 8 blocks; regs: 65536/(32*256) = 8 blocks.
+  EXPECT_EQ(occ.blocks_per_sm, 8u);
+  EXPECT_EQ(occ.warps_per_sm, 64u);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, RegistersLimit) {
+  GpuKernelConfig k;
+  k.threads_per_block = 256;
+  k.registers_per_thread = 128;  // 32768 regs/block -> 2 blocks
+  const auto occ = occupancy(sm(), k);
+  EXPECT_EQ(occ.blocks_per_sm, 2u);
+  EXPECT_STREQ(occ.limiter, "registers");
+  EXPECT_DOUBLE_EQ(occ.fraction, 0.25);
+}
+
+TEST(Occupancy, SharedMemoryLimit) {
+  GpuKernelConfig k;
+  k.threads_per_block = 64;  // 2 warps/block
+  k.registers_per_thread = 16;
+  k.shared_memory_per_block = 48 * 1024;  // 2 blocks fit in 96K
+  const auto occ = occupancy(sm(), k);
+  EXPECT_EQ(occ.blocks_per_sm, 2u);
+  EXPECT_STREQ(occ.limiter, "smem");
+  EXPECT_EQ(occ.warps_per_sm, 4u);
+}
+
+TEST(Occupancy, BlockCountLimitForTinyBlocks) {
+  GpuKernelConfig k;
+  k.threads_per_block = 32;  // 1 warp/block; warps would allow 64 blocks
+  k.registers_per_thread = 8;
+  const auto occ = occupancy(sm(), k);
+  EXPECT_EQ(occ.blocks_per_sm, 32u);  // capped by max_blocks
+  EXPECT_STREQ(occ.limiter, "blocks");
+  EXPECT_DOUBLE_EQ(occ.fraction, 0.5);  // tiny blocks halve occupancy
+}
+
+TEST(Occupancy, PartialWarpsRoundUp) {
+  GpuKernelConfig k;
+  k.threads_per_block = 33;  // 2 warps (one nearly empty)
+  k.registers_per_thread = 0;
+  const auto occ = occupancy(sm(), k);
+  EXPECT_EQ(occ.warps_per_sm, occ.blocks_per_sm * 2);
+}
+
+TEST(Occupancy, OversizedBlockRejected) {
+  GpuKernelConfig k;
+  k.threads_per_block = 64 * 32 + 1;  // more warps than the SM holds
+  EXPECT_THROW((void)occupancy(sm(), k), pe::Error);
+}
+
+TEST(LatencyHiding, BandwidthScalesWithWarpsUntilPeak) {
+  // 80 SMs, 500 ns latency, 128 B per access, 900 GB/s peak.
+  const double peak = 9e11;
+  const double at8 = achievable_bandwidth(peak, 80, 8, 5e-7, 128);
+  const double at32 = achievable_bandwidth(peak, 80, 32, 5e-7, 128);
+  EXPECT_NEAR(at32 / at8, 4.0, 1e-9);  // linear region
+  const double at64 = achievable_bandwidth(peak, 80, 64, 5e-7, 128);
+  EXPECT_DOUBLE_EQ(at64, peak);  // saturated
+}
+
+TEST(LatencyHiding, SaturationThresholdConsistent) {
+  const double peak = 9e11;
+  const unsigned warps = warps_to_saturate(peak, 80, 5e-7, 128);
+  EXPECT_GE(achievable_bandwidth(peak, 80, warps, 5e-7, 128), peak * 0.999);
+  if (warps > 1) {
+    EXPECT_LT(achievable_bandwidth(peak, 80, warps - 1, 5e-7, 128), peak);
+  }
+}
+
+TEST(LatencyHiding, Validation) {
+  EXPECT_THROW((void)achievable_bandwidth(0.0, 1, 1, 1e-6, 64), pe::Error);
+  EXPECT_THROW((void)achievable_bandwidth(1e9, 0, 1, 1e-6, 64), pe::Error);
+  EXPECT_THROW((void)warps_to_saturate(1e9, 1, 0.0, 64), pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Tests for the grading formulas (Equations 1-3) in perfeng/course.
+#include "perfeng/course/grading.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using namespace pe::course;
+
+TEST(Equation1, WeightsMatchThePaper) {
+  // 0.5*Gp + 0.3*Ga + 0.3*(Ge + Sq/70)
+  EXPECT_NEAR(final_grade(8.0, 8.0, 8.0, 0.0), 0.5 * 8 + 0.3 * 8 + 0.3 * 8,
+              1e-12);
+  EXPECT_NEAR(final_grade(10.0, 5.0, 6.0, 0.0),
+              0.5 * 10 + 0.3 * 5 + 0.3 * 6, 1e-12);
+}
+
+TEST(Equation1, QuizPointsAreBonus) {
+  const double without = final_grade(7.0, 7.0, 7.0, 0.0);
+  const double with_quiz = final_grade(7.0, 7.0, 7.0, 35.0);
+  EXPECT_NEAR(with_quiz - without, 0.3 * 0.5, 1e-12);
+}
+
+TEST(Equation1, ClampsToTen) {
+  EXPECT_DOUBLE_EQ(final_grade(10.0, 10.0, 10.0, 70.0), 10.0);
+}
+
+TEST(Equation1, ClampsToOne) {
+  EXPECT_DOUBLE_EQ(final_grade(1.0, 1.0, 1.0, 0.0),
+                   std::max(1.0, 0.5 + 0.3 + 0.3));
+  // All-minimum inputs stay at the floor of 1.
+  EXPECT_GE(final_grade(1.0, 1.0, 1.0, 0.0), 1.0);
+}
+
+TEST(Equation1, InputsValidated) {
+  EXPECT_THROW((void)final_grade(0.5, 5.0, 5.0, 0.0), pe::Error);
+  EXPECT_THROW((void)final_grade(5.0, 11.0, 5.0, 0.0), pe::Error);
+  EXPECT_THROW((void)final_grade(5.0, 5.0, 5.0, -1.0), pe::Error);
+}
+
+TEST(Equation1, MonotoneInEveryComponent) {
+  for (double g = 2.0; g <= 9.0; g += 1.0) {
+    EXPECT_LE(final_grade(g, 5, 5, 0), final_grade(g + 1, 5, 5, 0));
+    EXPECT_LE(final_grade(5, g, 5, 0), final_grade(5, g + 1, 5, 0));
+    EXPECT_LE(final_grade(5, 5, g, 0), final_grade(5, 5, g + 1, 0));
+  }
+}
+
+TEST(Equation1, ProjectWeighsMost) {
+  // +1 on the project moves the grade more than +1 elsewhere.
+  const double base = final_grade(5, 5, 5, 0);
+  EXPECT_GT(final_grade(6, 5, 5, 0) - base,
+            final_grade(5, 6, 5, 0) - base);
+}
+
+TEST(Equation2, ProjectComposition) {
+  EXPECT_NEAR(project_grade(8.0, 7.0, 9.0), 0.4 * 8 + 0.3 * 7 + 0.3 * 9,
+              1e-12);
+  EXPECT_DOUBLE_EQ(project_grade(10.0, 10.0, 10.0), 10.0);
+  EXPECT_THROW((void)project_grade(0.0, 5.0, 5.0), pe::Error);
+}
+
+TEST(Equation3, NormalizersMatchThePaper) {
+  EXPECT_DOUBLE_EQ(assignment_normalizer(1), 32.0);
+  EXPECT_DOUBLE_EQ(assignment_normalizer(2), 36.0);
+  EXPECT_DOUBLE_EQ(assignment_normalizer(3), 40.0);
+  EXPECT_DOUBLE_EQ(assignment_normalizer(4), 40.0);
+  EXPECT_THROW((void)assignment_normalizer(0), pe::Error);
+  EXPECT_THROW((void)assignment_normalizer(5), pe::Error);
+}
+
+TEST(Equation3, FullMarksForSoloStudentExceedTen) {
+  // 42 points / 32 = 13.1 -> clamped to 10: solo students get slack.
+  EXPECT_DOUBLE_EQ(assignments_grade({10, 9, 11, 12}, 1), 10.0);
+}
+
+TEST(Equation3, FullMarksForBigTeamland) {
+  // 42 / 40 = 10.5 -> clamped to 10.
+  EXPECT_DOUBLE_EQ(assignments_grade({10, 9, 11, 12}, 4), 10.0);
+}
+
+TEST(Equation3, PartialPoints) {
+  // 20 points in a team of 2: 10 * 20/36 = 5.55...
+  EXPECT_NEAR(assignments_grade({5, 5, 5, 5}, 2), 10.0 * 20.0 / 36.0,
+              1e-12);
+}
+
+TEST(Equation3, PointsClampedToAssignmentMaxima) {
+  // Over-scored assignments cannot exceed their published maxima.
+  EXPECT_DOUBLE_EQ(assignments_grade({100, 100, 100, 100}, 4),
+                   assignments_grade({10, 9, 11, 12}, 4));
+}
+
+TEST(Equation3, SmallerTeamsGetHigherGradeForSamePoints) {
+  EXPECT_GT(assignments_grade({5, 5, 5, 5}, 1),
+            assignments_grade({5, 5, 5, 5}, 2));
+  EXPECT_GT(assignments_grade({5, 5, 5, 5}, 2),
+            assignments_grade({5, 5, 5, 5}, 3));
+}
+
+TEST(Equation3, NegativePointsRejected) {
+  EXPECT_THROW((void)assignments_grade({-1, 5, 5, 5}, 2), pe::Error);
+}
+
+TEST(Passing, ThresholdIsFiveAndAHalf) {
+  EXPECT_TRUE(passes(5.5));
+  EXPECT_TRUE(passes(8.0));
+  EXPECT_FALSE(passes(5.49));
+}
+
+TEST(Scenario, TypicalStudentFromThePaper) {
+  // Paper averages: project ~8, assignments ~8, exam ~7.5. The final
+  // grade should land around the reported average of 8.
+  const double gp = project_grade(8.0, 8.0, 8.0);
+  const double g = final_grade(gp, 8.0, 7.5, 20.0);
+  EXPECT_GT(g, 7.5);
+  EXPECT_LT(g, 9.0);
+  EXPECT_TRUE(passes(g));
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Tests for CSR graph processing in perfeng/kernels/graph.hpp.
+#include "perfeng/kernels/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::kernels::Graph;
+
+Graph diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 4
+  return Graph::from_edges(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}});
+}
+
+TEST(Graph, FromEdgesBuildsCsr) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.vertices(), 5u);
+  EXPECT_EQ(g.edges(), 5u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(4), 0u);
+  const auto n0 = g.neighbours(0);
+  EXPECT_EQ(std::vector<std::uint32_t>(n0.begin(), n0.end()),
+            (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Graph, DuplicateEdgesRemoved) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.edges(), 2u);
+}
+
+TEST(Graph, OutOfBoundsEdgeRejected) {
+  EXPECT_THROW((void)Graph::from_edges(2, {{0, 5}}), pe::Error);
+}
+
+TEST(Bfs, DistancesOnDiamond) {
+  const auto dist = pe::kernels::bfs(diamond(), 0);
+  EXPECT_EQ(dist, (std::vector<std::uint32_t>{0, 1, 1, 2, 3}));
+}
+
+TEST(Bfs, UnreachableVerticesAreMarked) {
+  const Graph g = Graph::from_edges(4, {{0, 1}});
+  const auto dist = pe::kernels::bfs(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], UINT32_MAX);
+  EXPECT_EQ(dist[3], UINT32_MAX);
+}
+
+TEST(Bfs, SourceValidated) {
+  EXPECT_THROW((void)pe::kernels::bfs(diamond(), 9), pe::Error);
+}
+
+TEST(Pagerank, SumsToOne) {
+  const auto pr = pe::kernels::pagerank(diamond());
+  const double total = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Pagerank, SinkAccumulatesRank) {
+  // In the diamond, 4 is a sink fed by the whole graph; it outranks 1 / 2.
+  const auto pr = pe::kernels::pagerank(diamond());
+  EXPECT_GT(pr[4], pr[1]);
+  EXPECT_GT(pr[3], pr[1]);
+  EXPECT_NEAR(pr[1], pr[2], 1e-12);  // symmetric positions
+}
+
+TEST(Pagerank, CycleIsUniform) {
+  const Graph ring = Graph::from_edges(
+      4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto pr = pe::kernels::pagerank(ring);
+  for (double r : pr) EXPECT_NEAR(r, 0.25, 1e-9);
+}
+
+TEST(Pagerank, DanglingMassRedistributed) {
+  // 0 -> 1; 1 dangles. Ranks must still sum to 1.
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  const auto pr = pe::kernels::pagerank(g);
+  EXPECT_NEAR(pr[0] + pr[1], 1.0, 1e-9);
+  EXPECT_GT(pr[1], pr[0]);
+}
+
+TEST(Pagerank, ParallelMatchesSerial) {
+  pe::Rng rng(13);
+  const Graph g = pe::kernels::generate_uniform_graph(300, 2000, rng);
+  const auto serial = pe::kernels::pagerank(g);
+  pe::ThreadPool pool(4);
+  const auto parallel = pe::kernels::pagerank_parallel(g, pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t v = 0; v < serial.size(); ++v)
+    EXPECT_NEAR(serial[v], parallel[v], 1e-9);
+}
+
+TEST(Pagerank, ParameterValidation) {
+  EXPECT_THROW((void)pe::kernels::pagerank(diamond(), 1.5), pe::Error);
+  EXPECT_THROW((void)pe::kernels::pagerank(diamond(), 0.85, -1.0),
+               pe::Error);
+  EXPECT_THROW((void)pe::kernels::pagerank(diamond(), 0.85, 1e-8, 0),
+               pe::Error);
+}
+
+TEST(Generators, UniformGraphHasRequestedShape) {
+  pe::Rng rng(17);
+  const Graph g = pe::kernels::generate_uniform_graph(100, 500, rng);
+  EXPECT_EQ(g.vertices(), 100u);
+  EXPECT_LE(g.edges(), 500u);   // duplicates removed
+  EXPECT_GT(g.edges(), 400u);
+}
+
+TEST(Generators, PowerLawConcentratesInDegrees) {
+  pe::Rng rng(19);
+  const std::size_t n = 500;
+  const Graph uniform = pe::kernels::generate_uniform_graph(n, 3000, rng);
+  const Graph skewed =
+      pe::kernels::generate_powerlaw_graph(n, 3000, 1.1, rng);
+
+  // Compare in-degree concentration: top-10 targets' share.
+  auto top10_share = [n](const Graph& g) {
+    std::vector<std::size_t> indeg(n, 0);
+    for (std::uint32_t v = 0; v < n; ++v)
+      for (auto w : g.neighbours(v)) ++indeg[w];
+    std::sort(indeg.begin(), indeg.end(), std::greater<>());
+    const double total = std::accumulate(indeg.begin(), indeg.end(), 0.0);
+    const double top = std::accumulate(indeg.begin(), indeg.begin() + 10,
+                                       0.0);
+    return top / total;
+  };
+  EXPECT_GT(top10_share(skewed), top10_share(uniform) * 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Tests for the histogram kernel in perfeng/kernels/histogram.hpp.
+#include "perfeng/kernels/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+TEST(HistogramGen, UniformIndicesInRange) {
+  pe::Rng rng(1);
+  const auto idx = pe::kernels::generate_uniform_indices(10000, 64, rng);
+  EXPECT_EQ(idx.size(), 10000u);
+  for (auto i : idx) EXPECT_LT(i, 64u);
+}
+
+TEST(HistogramGen, UniformCoversAllBins) {
+  pe::Rng rng(2);
+  const auto idx = pe::kernels::generate_uniform_indices(10000, 16, rng);
+  std::vector<std::uint64_t> counts(16, 0);
+  pe::kernels::histogram_serial(idx, counts);
+  for (auto c : counts) EXPECT_GT(c, 400u);  // expected 625 each
+}
+
+TEST(HistogramGen, ZipfConcentratesMass) {
+  pe::Rng rng(3);
+  const std::size_t bins = 4096;
+  const auto idx = pe::kernels::generate_zipf_indices(20000, bins, 1.2, rng);
+  std::vector<std::uint64_t> counts(bins, 0);
+  pe::kernels::histogram_serial(idx, counts);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  std::uint64_t top10 = 0;
+  for (int i = 0; i < 10; ++i) top10 += counts[i];
+  EXPECT_GT(top10, 20000u * 30 / 100);  // top 10 bins hold > 30%
+}
+
+TEST(HistogramGen, ZipfZeroSkewIsRoughlyUniform) {
+  pe::Rng rng(4);
+  const auto idx = pe::kernels::generate_zipf_indices(20000, 8, 0.0, rng);
+  std::vector<std::uint64_t> counts(8, 0);
+  pe::kernels::histogram_serial(idx, counts);
+  for (auto c : counts) EXPECT_NEAR(double(c), 2500.0, 350.0);
+}
+
+TEST(Histogram, SerialCountsEveryElement) {
+  const std::vector<std::uint32_t> idx = {0, 1, 1, 2, 2, 2};
+  std::vector<std::uint64_t> counts(4, 0);
+  pe::kernels::histogram_serial(idx, counts);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{1, 2, 3, 0}));
+  EXPECT_EQ(pe::kernels::histogram_total(counts), 6u);
+}
+
+TEST(Histogram, SerialAccumulatesOntoExisting) {
+  const std::vector<std::uint32_t> idx = {0, 0};
+  std::vector<std::uint64_t> counts = {5, 1};
+  pe::kernels::histogram_serial(idx, counts);
+  EXPECT_EQ(counts[0], 7u);
+}
+
+TEST(Histogram, ParallelMatchesSerial) {
+  pe::Rng rng(7);
+  const std::size_t bins = 128;
+  const auto idx = pe::kernels::generate_uniform_indices(50000, bins, rng);
+  std::vector<std::uint64_t> serial(bins, 0), parallel(bins, 0);
+  pe::kernels::histogram_serial(idx, serial);
+  pe::ThreadPool pool(4);
+  pe::kernels::histogram_parallel_private(idx, parallel, pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Histogram, AtomicVariantMatchesSerial) {
+  pe::Rng rng(9);
+  const std::size_t bins = 64;
+  const auto idx = pe::kernels::generate_zipf_indices(30000, bins, 1.0, rng);
+  std::vector<std::uint64_t> serial(bins, 0), atomic(bins, 0);
+  pe::kernels::histogram_serial(idx, serial);
+  pe::ThreadPool pool(4);
+  pe::kernels::histogram_parallel_atomic(idx, atomic, pool);
+  EXPECT_EQ(serial, atomic);
+}
+
+TEST(Histogram, AtomicVariantAccumulatesOntoExisting) {
+  std::vector<std::uint64_t> counts = {5, 0};
+  pe::ThreadPool pool(2);
+  pe::kernels::histogram_parallel_atomic({0, 0, 1}, counts, pool);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{7, 1}));
+}
+
+TEST(Histogram, ParallelWithSingleWorker) {
+  pe::Rng rng(8);
+  const auto idx = pe::kernels::generate_uniform_indices(1000, 8, rng);
+  std::vector<std::uint64_t> a(8, 0), b(8, 0);
+  pe::kernels::histogram_serial(idx, a);
+  pe::ThreadPool pool(1);
+  pe::kernels::histogram_parallel_private(idx, b, pool);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Histogram, EmptyInputLeavesCountsUntouched) {
+  std::vector<std::uint64_t> counts(4, 9);
+  pe::kernels::histogram_serial({}, counts);
+  EXPECT_EQ(pe::kernels::histogram_total(counts), 36u);
+}
+
+TEST(Histogram, EmptyCounterTableRejected) {
+  std::vector<std::uint64_t> counts;
+  EXPECT_THROW(pe::kernels::histogram_serial({0}, counts), pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Tests for permutation feature importance in perfeng/statmodel.
+#include "perfeng/statmodel/importance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/statmodel/linear.hpp"
+#include "perfeng/statmodel/tree.hpp"
+
+namespace {
+
+using namespace pe::statmodel;
+
+// Target depends only on "signal"; "noise" is irrelevant.
+Dataset signal_and_noise(std::uint64_t seed, std::size_t rows) {
+  Dataset d({"signal", "noise"});
+  pe::Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double s = rng.next_range_double(0, 10);
+    const double n = rng.next_range_double(0, 10);
+    d.add_row({s, n}, 5.0 * s + 1.0);
+  }
+  return d;
+}
+
+TEST(Importance, SignalFeatureDominatesNoise) {
+  const Dataset train = signal_and_noise(1, 200);
+  const Dataset eval = signal_and_noise(2, 100);
+  LinearRegression model;
+  model.fit(train);
+  pe::Rng rng(3);
+  const auto importances = permutation_importance(model, eval, rng);
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_EQ(importances[0].feature, "signal");
+  EXPECT_GT(importances[0].increase(), 1.0);
+  EXPECT_NEAR(importances[1].increase(), 0.0, 0.2);
+}
+
+TEST(Importance, BaselineMatchesUnpermutedError) {
+  const Dataset train = signal_and_noise(4, 100);
+  LinearRegression model;
+  model.fit(train);
+  pe::Rng rng(5);
+  const auto importances = permutation_importance(model, train, rng, 2);
+  // A perfect linear fit on its own training data: baseline ~ 0.
+  EXPECT_NEAR(importances[0].baseline_rmse, 0.0, 1e-9);
+}
+
+TEST(Importance, WorksWithForests) {
+  const Dataset train = signal_and_noise(6, 300);
+  const Dataset eval = signal_and_noise(7, 100);
+  RandomForestRegressor forest(24);
+  forest.fit(train);
+  pe::Rng rng(8);
+  const auto importances = permutation_importance(forest, eval, rng, 3);
+  EXPECT_GT(importances[0].increase(), importances[1].increase() * 3.0);
+}
+
+TEST(Importance, Validation) {
+  Dataset tiny({"x"});
+  tiny.add_row({1.0}, 1.0);
+  LinearRegression model;
+  pe::Rng rng(9);
+  EXPECT_THROW((void)permutation_importance(model, tiny, rng), pe::Error);
+
+  Dataset two({"x"});
+  two.add_row({1.0}, 1.0);
+  two.add_row({2.0}, 2.0);
+  EXPECT_THROW((void)permutation_importance(model, two, rng, 0), pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Tests for the kNN regressor in perfeng/statmodel/knn.hpp.
+#include "perfeng/statmodel/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::statmodel::Dataset;
+using pe::statmodel::KnnRegressor;
+
+Dataset grid() {
+  Dataset d({"x"});
+  for (double x = 0.0; x <= 10.0; x += 1.0) d.add_row({x}, 2.0 * x);
+  return d;
+}
+
+TEST(Knn, ExactTrainingPointIsReturnedVerbatim) {
+  KnnRegressor model(3);
+  model.fit(grid());
+  EXPECT_DOUBLE_EQ(model.predict({4.0}), 8.0);
+}
+
+TEST(Knn, InterpolatesBetweenNeighbours) {
+  KnnRegressor model(2);
+  model.fit(grid());
+  // Halfway between 4 and 5: neighbours contribute equally.
+  EXPECT_NEAR(model.predict({4.5}), 9.0, 1e-9);
+}
+
+TEST(Knn, CloserNeighbourWeighsMore) {
+  KnnRegressor model(2);
+  model.fit(grid());
+  const double near4 = model.predict({4.1});
+  EXPECT_GT(near4, 8.0);
+  EXPECT_LT(near4, 9.0);
+  EXPECT_LT(near4 - 8.0, 9.0 - near4);  // pulled toward y(4) = 8
+}
+
+TEST(Knn, KOneIsNearestNeighbour) {
+  KnnRegressor model(1);
+  model.fit(grid());
+  EXPECT_DOUBLE_EQ(model.predict({4.4}), 8.0);
+  EXPECT_DOUBLE_EQ(model.predict({4.6}), 10.0);
+}
+
+TEST(Knn, KLargerThanDatasetUsesAllPoints) {
+  Dataset d({"x"});
+  d.add_row({0.0}, 0.0);
+  d.add_row({1.0}, 10.0);
+  KnnRegressor model(50);
+  model.fit(d);
+  EXPECT_NEAR(model.predict({0.5}), 5.0, 1e-9);
+}
+
+TEST(Knn, MultiDimensionalDistance) {
+  Dataset d({"a", "b"});
+  d.add_row({0.0, 0.0}, 1.0);
+  d.add_row({10.0, 10.0}, 2.0);
+  KnnRegressor model(1);
+  model.fit(d);
+  EXPECT_DOUBLE_EQ(model.predict({1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(model.predict({9.0, 9.0}), 2.0);
+}
+
+TEST(Knn, Validation) {
+  EXPECT_THROW(KnnRegressor(0), pe::Error);
+  KnnRegressor model(1);
+  EXPECT_THROW((void)model.predict({1.0}), pe::Error);  // before fit
+  model.fit(grid());
+  EXPECT_THROW((void)model.predict({1.0, 2.0}), pe::Error);  // wrong width
+}
+
+TEST(Knn, Describe) {
+  EXPECT_EQ(KnnRegressor(5).describe(), "knn(k=5)");
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Tests for the Game of Life engines in perfeng/kernels/life.hpp —
+// including differential testing of the bit-packed engine against the
+// byte-per-cell reference.
+#include "perfeng/kernels/life.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::kernels::LifeGrid;
+using pe::kernels::LifeGridPacked;
+
+TEST(Life, BlockIsStill) {
+  LifeGrid g(4, 4);
+  g.set(1, 1, true);
+  g.set(1, 2, true);
+  g.set(2, 1, true);
+  g.set(2, 2, true);
+  EXPECT_EQ(g.step(), g);
+}
+
+TEST(Life, BlinkerOscillatesWithPeriodTwo) {
+  LifeGrid g(5, 5);
+  g.set(2, 1, true);
+  g.set(2, 2, true);
+  g.set(2, 3, true);
+  const LifeGrid next = g.step();
+  EXPECT_TRUE(next.alive(1, 2));
+  EXPECT_TRUE(next.alive(2, 2));
+  EXPECT_TRUE(next.alive(3, 2));
+  EXPECT_FALSE(next.alive(2, 1));
+  EXPECT_EQ(next.step(), g);
+}
+
+TEST(Life, LonelyCellDies) {
+  LifeGrid g(3, 3);
+  g.set(1, 1, true);
+  EXPECT_EQ(g.step().population(), 0u);
+}
+
+TEST(Life, BirthOnExactlyThreeNeighbours) {
+  LifeGrid g(3, 3);
+  g.set(0, 0, true);
+  g.set(0, 1, true);
+  g.set(1, 0, true);
+  const auto next = g.step();
+  EXPECT_TRUE(next.alive(1, 1));
+}
+
+TEST(Life, GliderTravelsDiagonally) {
+  LifeGrid g(10, 10);
+  g.place_glider(1, 1);
+  LifeGrid current = g;
+  for (int i = 0; i < 4; ++i) current = current.step();
+  // After 4 generations a glider moves one cell down-right.
+  LifeGrid expected(10, 10);
+  expected.place_glider(2, 2);
+  EXPECT_EQ(current, expected);
+}
+
+TEST(Life, DeadBorderKillsEdgeRunners) {
+  // A blinker jammed against the border loses cells to the void.
+  LifeGrid g(3, 5);
+  g.set(0, 1, true);
+  g.set(0, 2, true);
+  g.set(0, 3, true);
+  const auto next = g.step();
+  EXPECT_EQ(next.population(), 2u);  // vertical pair below the center
+  EXPECT_TRUE(next.alive(0, 2));
+  EXPECT_TRUE(next.alive(1, 2));
+}
+
+TEST(Life, RenderShowsPopulation) {
+  LifeGrid g(2, 2);
+  g.set(0, 1, true);
+  EXPECT_EQ(g.render(), ".#\n..\n");
+}
+
+TEST(Life, PopulationCounts) {
+  pe::Rng rng(9);
+  LifeGrid g(20, 20);
+  g.randomize(0.3, rng);
+  std::size_t manual = 0;
+  for (std::size_t r = 0; r < 20; ++r)
+    for (std::size_t c = 0; c < 20; ++c)
+      if (g.alive(r, c)) ++manual;
+  EXPECT_EQ(g.population(), manual);
+}
+
+// ------------------------------------------------------------ bit-packed
+
+TEST(LifePacked, RoundTripsThroughUnpack) {
+  pe::Rng rng(10);
+  LifeGrid g(13, 77);
+  g.randomize(0.4, rng);
+  const LifeGridPacked packed(g);
+  EXPECT_EQ(packed.population(), g.population());
+  EXPECT_EQ(packed.unpack(), g);
+}
+
+TEST(LifePacked, SetAndGet) {
+  LifeGridPacked p(4, 130);  // spans three words per row
+  p.set(2, 0, true);
+  p.set(2, 63, true);
+  p.set(2, 64, true);
+  p.set(2, 129, true);
+  EXPECT_TRUE(p.alive(2, 0));
+  EXPECT_TRUE(p.alive(2, 63));
+  EXPECT_TRUE(p.alive(2, 64));
+  EXPECT_TRUE(p.alive(2, 129));
+  EXPECT_FALSE(p.alive(2, 65));
+  p.set(2, 64, false);
+  EXPECT_FALSE(p.alive(2, 64));
+  EXPECT_THROW((void)p.alive(4, 0), pe::Error);
+}
+
+class LifeDifferential
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(LifeDifferential, PackedMatchesReferenceOverManySteps) {
+  const auto [rows, cols] = GetParam();
+  pe::Rng rng(rows * 131 + cols);
+  LifeGrid reference(rows, cols);
+  reference.randomize(0.35, rng);
+  LifeGridPacked packed(reference);
+
+  for (int gen = 0; gen < 8; ++gen) {
+    reference = reference.step();
+    packed = packed.step();
+    ASSERT_EQ(packed.unpack(), reference)
+        << "diverged at generation " << gen << " for " << rows << "x"
+        << cols;
+  }
+}
+
+// Widths around the 64-bit word boundary are the hard cases.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LifeDifferential,
+    ::testing::Values(std::make_pair(8, 8), std::make_pair(5, 63),
+                      std::make_pair(5, 64), std::make_pair(5, 65),
+                      std::make_pair(3, 128), std::make_pair(16, 129),
+                      std::make_pair(1, 200), std::make_pair(64, 1)));
+
+TEST(LifePacked, GliderMatchesReferenceEngine) {
+  LifeGrid g(12, 70);  // crosses a word boundary as it flies
+  g.place_glider(1, 58);
+  LifeGridPacked p(g);
+  for (int gen = 0; gen < 20; ++gen) {
+    g = g.step();
+    p = p.step();
+  }
+  EXPECT_EQ(p.unpack(), g);
+}
+
+TEST(LifePacked, EmptyUniverseStaysEmpty) {
+  LifeGridPacked p(6, 100);
+  EXPECT_EQ(p.step().population(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for linear/polynomial regression in perfeng/statmodel/linear.hpp.
+#include "perfeng/statmodel/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/common/rng.hpp"
+
+namespace {
+
+using pe::statmodel::Dataset;
+using pe::statmodel::LinearRegression;
+
+TEST(SolveLinearSystem, SolvesKnownSystem) {
+  // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+  const auto x = pe::statmodel::solve_linear_system(
+      {{2.0, 1.0}, {1.0, -1.0}}, {5.0, 1.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, PivotsWhenLeadingZero) {
+  const auto x = pe::statmodel::solve_linear_system(
+      {{0.0, 1.0}, {1.0, 0.0}}, {3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  EXPECT_THROW((void)pe::statmodel::solve_linear_system(
+                   {{1.0, 2.0}, {2.0, 4.0}}, {1.0, 2.0}),
+               pe::Error);
+}
+
+TEST(LinearRegression, RecoversExactLinearRelation) {
+  Dataset d({"x1", "x2"});
+  pe::Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const double x1 = rng.next_range_double(-5.0, 5.0);
+    const double x2 = rng.next_range_double(-5.0, 5.0);
+    d.add_row({x1, x2}, 7.0 + 2.0 * x1 - 3.0 * x2);
+  }
+  LinearRegression model;
+  model.fit(d);
+  const auto& w = model.coefficients();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_NEAR(w[0], 7.0, 1e-9);
+  EXPECT_NEAR(w[1], 2.0, 1e-9);
+  EXPECT_NEAR(w[2], -3.0, 1e-9);
+  EXPECT_NEAR(model.predict({1.0, 1.0}), 6.0, 1e-9);
+}
+
+TEST(LinearRegression, PredictBeforeFitThrows) {
+  LinearRegression model;
+  EXPECT_THROW((void)model.predict({1.0}), pe::Error);
+  EXPECT_THROW((void)model.coefficients(), pe::Error);
+}
+
+TEST(LinearRegression, NeedsMoreRowsThanCoefficients) {
+  Dataset d({"a", "b", "c"});
+  d.add_row({1, 2, 3}, 1.0);
+  d.add_row({2, 3, 4}, 2.0);
+  LinearRegression model;
+  EXPECT_THROW(model.fit(d), pe::Error);
+}
+
+TEST(LinearRegression, RidgeShrinksCoefficients) {
+  Dataset d({"x"});
+  pe::Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.next_range_double(-1.0, 1.0);
+    d.add_row({x}, 10.0 * x);
+  }
+  LinearRegression ols(0.0), ridge(100.0);
+  ols.fit(d);
+  ridge.fit(d);
+  EXPECT_LT(std::abs(ridge.coefficients()[1]),
+            std::abs(ols.coefficients()[1]));
+  EXPECT_GT(std::abs(ridge.coefficients()[1]), 0.0);
+}
+
+TEST(LinearRegression, RidgeHandlesDuplicatedFeatures) {
+  // Perfectly collinear features make OLS singular; ridge regularizes.
+  Dataset d({"x", "x_copy"});
+  for (int i = 0; i < 20; ++i) {
+    const double x = i;
+    d.add_row({x, x}, 3.0 * x);
+  }
+  LinearRegression ridge(1e-3);
+  EXPECT_NO_THROW(ridge.fit(d));
+  EXPECT_NEAR(ridge.predict({10.0, 10.0}), 30.0, 0.1);
+}
+
+TEST(LinearRegression, Describe) {
+  EXPECT_EQ(LinearRegression(0.0).describe(), "ols");
+  EXPECT_NE(LinearRegression(0.5).describe().find("ridge"),
+            std::string::npos);
+}
+
+TEST(PolynomialExpand, GeneratesPowers) {
+  const auto row = pe::statmodel::polynomial_expand_row({2.0, 3.0}, 3);
+  EXPECT_EQ(row, (std::vector<double>{2.0, 4.0, 8.0, 3.0, 9.0, 27.0}));
+}
+
+TEST(PolynomialExpand, NamesAreSuffixed) {
+  Dataset d({"n"});
+  d.add_row({2.0}, 1.0);
+  const auto expanded = pe::statmodel::polynomial_expand(d, 3);
+  EXPECT_EQ(expanded.feature_names(),
+            (std::vector<std::string>{"n", "n^2", "n^3"}));
+  EXPECT_EQ(expanded.rows(), 1u);
+}
+
+TEST(PolynomialExpand, CubicModelFitsCubicRuntime) {
+  // The Assignment 2/3 crossover: matmul runtime ~ c * n^3.
+  Dataset d({"n"});
+  for (double n = 4; n <= 40; n += 2) d.add_row({n}, 1e-9 * n * n * n);
+  const auto cubic = pe::statmodel::polynomial_expand(d, 3);
+  LinearRegression model;
+  model.fit(cubic);
+  const double predicted =
+      model.predict(pe::statmodel::polynomial_expand_row({50.0}, 3));
+  EXPECT_NEAR(predicted, 1e-9 * 50 * 50 * 50, 1e-9 * 50 * 50 * 50 * 0.01);
+}
+
+TEST(PolynomialExpand, DegreeValidated) {
+  Dataset d({"n"});
+  d.add_row({1.0}, 1.0);
+  EXPECT_THROW((void)pe::statmodel::polynomial_expand(d, 0), pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,41 @@
+// Tests for the one-call machine characterization in perfeng/microbench.
+#include "perfeng/microbench/machine_probe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(MachineProbe, ProducesConsistentCharacterization) {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 0;
+  cfg.repetitions = 2;
+  cfg.min_batch_seconds = 5e-5;
+  const pe::BenchmarkRunner runner(cfg);
+
+  pe::microbench::ProbeConfig probe;
+  probe.stream_elements = 1 << 16;       // keep the test fast
+  probe.cache_stream_elements = 1 << 11;
+  probe.latency_min_bytes = 1 << 12;
+  probe.latency_max_bytes = 1 << 16;
+
+  const auto mc = pe::microbench::probe_machine(runner, probe);
+  EXPECT_GT(mc.peak_flops, 1e6);
+  EXPECT_GT(mc.memory_bandwidth, 1e6);
+  EXPECT_GT(mc.cache_bandwidth, 1e6);
+  EXPECT_GT(mc.cache_latency, 0.0);
+  EXPECT_GT(mc.memory_latency, 0.0);
+  EXPECT_GT(mc.ridge_intensity(), 0.0);
+
+  const std::string s = mc.summary();
+  EXPECT_NE(s.find("peak"), std::string::npos);
+  EXPECT_NE(s.find("ridge"), std::string::npos);
+}
+
+TEST(MachineProbe, RidgeIsZeroWithoutBandwidth) {
+  pe::microbench::MachineCharacterization mc;
+  mc.peak_flops = 1e9;
+  mc.memory_bandwidth = 0.0;
+  EXPECT_EQ(mc.ridge_intensity(), 0.0);
+}
+
+}  // namespace

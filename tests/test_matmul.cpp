@@ -1,0 +1,111 @@
+// Tests for the matmul kernels in perfeng/kernels/matmul.hpp.
+#include "perfeng/kernels/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::kernels::Matrix;
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+}
+
+TEST(Matrix, RandomizeIsDeterministic) {
+  pe::Rng a(3), b(3);
+  Matrix ma(4, 4), mb(4, 4);
+  ma.randomize(a);
+  mb.randomize(b);
+  EXPECT_EQ(ma, mb);
+  EXPECT_DOUBLE_EQ(ma.max_abs_diff(mb), 0.0);
+}
+
+TEST(Matrix, EmptyRejected) { EXPECT_THROW(Matrix(0, 3), pe::Error); }
+
+TEST(Matmul, KnownSmallProduct) {
+  Matrix a(2, 2), b(2, 2), c(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  pe::kernels::matmul_naive(a, b, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  const std::size_t n = 16;
+  Matrix a(n, n), eye(n, n), c(n, n);
+  pe::Rng rng(5);
+  a.randomize(rng);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  pe::kernels::matmul_naive(a, eye, c);
+  EXPECT_LT(c.max_abs_diff(a), 1e-12);
+}
+
+class MatmulVariants : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatmulVariants, AllVariantsAgreeWithNaive) {
+  const std::size_t n = GetParam();
+  Matrix a(n, n), b(n, n);
+  pe::Rng rng(n);
+  a.randomize(rng);
+  b.randomize(rng);
+
+  Matrix reference(n, n), out(n, n);
+  pe::kernels::matmul_naive(a, b, reference);
+
+  pe::kernels::matmul_interchanged(a, b, out);
+  EXPECT_LT(out.max_abs_diff(reference), 1e-10) << "interchanged";
+
+  pe::kernels::matmul_tiled(a, b, out, 8);
+  EXPECT_LT(out.max_abs_diff(reference), 1e-10) << "tiled(8)";
+
+  pe::kernels::matmul_tiled(a, b, out, 7);  // non-dividing tile
+  EXPECT_LT(out.max_abs_diff(reference), 1e-10) << "tiled(7)";
+
+  pe::ThreadPool pool(3);
+  pe::kernels::matmul_parallel(a, b, out, pool, 8);
+  EXPECT_LT(out.max_abs_diff(reference), 1e-10) << "parallel";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatmulVariants,
+                         ::testing::Values(1, 2, 5, 16, 33, 64));
+
+TEST(Matmul, RectangularShapes) {
+  Matrix a(3, 5), b(5, 2), c(3, 2), reference(3, 2);
+  pe::Rng rng(9);
+  a.randomize(rng);
+  b.randomize(rng);
+  pe::kernels::matmul_naive(a, b, reference);
+  pe::kernels::matmul_interchanged(a, b, c);
+  EXPECT_LT(c.max_abs_diff(reference), 1e-12);
+  pe::kernels::matmul_tiled(a, b, c, 2);
+  EXPECT_LT(c.max_abs_diff(reference), 1e-12);
+}
+
+TEST(Matmul, ShapeMismatchRejected) {
+  Matrix a(2, 3), b(2, 2), c(2, 2);
+  EXPECT_THROW(pe::kernels::matmul_naive(a, b, c), pe::Error);
+  Matrix b2(3, 2), c_bad(3, 3);
+  EXPECT_THROW(pe::kernels::matmul_naive(a, b2, c_bad), pe::Error);
+}
+
+TEST(Matmul, FlopAccounting) {
+  EXPECT_DOUBLE_EQ(pe::kernels::matmul_flops(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(pe::kernels::matmul_flops(100, 100, 100), 2e6);
+}
+
+TEST(Matmul, MinTrafficAccounting) {
+  // 2x2: A 4 + B 4 + C 2*4 doubles = 16 doubles = 128 bytes.
+  EXPECT_DOUBLE_EQ(pe::kernels::matmul_min_bytes(2, 2, 2), 128.0);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for the Matrix Market reader/writer in perfeng/kernels.
+#include "perfeng/kernels/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+TEST(MatrixMarket, ParsesGeneralReal) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 1 5.0\n"
+      "3 2 -1.5\n";
+  const auto m = pe::kernels::parse_matrix_market(text);
+  EXPECT_EQ(m.rows, 3u);
+  EXPECT_EQ(m.cols, 3u);
+  ASSERT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.entries[0].row, 0u);
+  EXPECT_EQ(m.entries[0].col, 0u);
+  EXPECT_DOUBLE_EQ(m.entries[0].value, 5.0);
+  EXPECT_EQ(m.entries[1].row, 2u);
+  EXPECT_EQ(m.entries[1].col, 1u);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 1.0\n"
+      "2 1 2.0\n"
+      "3 2 3.0\n";
+  const auto m = pe::kernels::parse_matrix_market(text);
+  // Diagonal stays single; off-diagonals mirrored.
+  EXPECT_EQ(m.nnz(), 5u);
+  bool found_mirror = false;
+  for (const auto& t : m.entries)
+    if (t.row == 0 && t.col == 1 && t.value == 2.0) found_mirror = true;
+  EXPECT_TRUE(found_mirror);
+}
+
+TEST(MatrixMarket, SkewSymmetricNegatesMirror) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 4.0\n";
+  const auto m = pe::kernels::parse_matrix_market(text);
+  EXPECT_EQ(m.nnz(), 2u);
+  bool found = false;
+  for (const auto& t : m.entries)
+    if (t.row == 0 && t.col == 1 && t.value == -4.0) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(MatrixMarket, PatternEntriesDefaultToOne) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n";
+  const auto m = pe::kernels::parse_matrix_market(text);
+  ASSERT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.entries[0].value, 1.0);
+}
+
+TEST(MatrixMarket, IntegerFieldAccepted) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 1 7\n";
+  EXPECT_DOUBLE_EQ(pe::kernels::parse_matrix_market(text).entries[0].value,
+                   7.0);
+}
+
+TEST(MatrixMarket, BannerCaseInsensitive) {
+  const std::string text =
+      "%%matrixmarket MATRIX Coordinate REAL General\n"
+      "1 1 1\n"
+      "1 1 2.5\n";
+  EXPECT_NO_THROW((void)pe::kernels::parse_matrix_market(text));
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  EXPECT_THROW((void)pe::kernels::parse_matrix_market(""), pe::Error);
+  EXPECT_THROW((void)pe::kernels::parse_matrix_market("not a banner\n"),
+               pe::Error);
+  EXPECT_THROW((void)pe::kernels::parse_matrix_market(
+                   "%%MatrixMarket matrix array real general\n1 1\n"),
+               pe::Error);
+  EXPECT_THROW((void)pe::kernels::parse_matrix_market(
+                   "%%MatrixMarket matrix coordinate complex general\n"
+                   "1 1 1\n1 1 1.0 0.0\n"),
+               pe::Error);
+}
+
+TEST(MatrixMarket, RejectsOutOfBoundsEntries) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n";
+  EXPECT_THROW((void)pe::kernels::parse_matrix_market(text), pe::Error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntryList) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n";
+  EXPECT_THROW((void)pe::kernels::parse_matrix_market(text), pe::Error);
+}
+
+TEST(MatrixMarket, WriteParsesBackIdentically) {
+  pe::Rng rng(6);
+  const auto original = pe::kernels::generate_sparse(
+      20, 30, 0.05, pe::kernels::SparsityPattern::kUniform, rng);
+  const std::string text = pe::kernels::write_matrix_market(original);
+  const auto parsed = pe::kernels::parse_matrix_market(text);
+  ASSERT_EQ(parsed.nnz(), original.nnz());
+  for (std::size_t i = 0; i < parsed.nnz(); ++i) {
+    EXPECT_EQ(parsed.entries[i].row, original.entries[i].row);
+    EXPECT_EQ(parsed.entries[i].col, original.entries[i].col);
+    EXPECT_DOUBLE_EQ(parsed.entries[i].value, original.entries[i].value);
+  }
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW((void)pe::kernels::read_matrix_market_file("/nope.mtx"),
+               pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for the message-passing simulator in perfeng/sim/netsim.hpp,
+// cross-validated against the alpha-beta closed forms.
+#include "perfeng/sim/netsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/models/network.hpp"
+
+namespace {
+
+using pe::sim::MessageNetwork;
+using pe::sim::NetworkCost;
+
+NetworkCost cost() { return {1e-6, 1e-9}; }  // 1 us latency, 1 GB/s
+
+TEST(Netsim, P2pDeliveryTiming) {
+  MessageNetwork net(2, cost());
+  net.send(0, 1, 1000);
+  net.recv(1, 0);
+  // Arrival = 0 + alpha + beta*1000 = 2e-6.
+  EXPECT_DOUBLE_EQ(net.clock(1), 1e-6 + 1e-9 * 1000);
+  EXPECT_DOUBLE_EQ(net.clock(0), 1e-6);  // sender pays alpha only
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 1000u);
+}
+
+TEST(Netsim, RecvAfterLocalComputeTakesMax) {
+  MessageNetwork net(2, cost());
+  net.send(0, 1, 100);
+  net.compute(1, 1.0);  // receiver is busy long past the arrival
+  net.recv(1, 0);
+  EXPECT_DOUBLE_EQ(net.clock(1), 1.0);
+}
+
+TEST(Netsim, FifoMatchingPerChannel) {
+  MessageNetwork net(2, cost());
+  net.send(0, 1, 10, /*tag=*/7);
+  net.compute(0, 1.0);
+  net.send(0, 1, 10, /*tag=*/7);
+  net.recv(1, 0, 7);  // matches the first (early) message
+  const double first = net.clock(1);
+  EXPECT_LT(first, 1e-3);
+  net.recv(1, 0, 7);  // second arrives after the compute
+  EXPECT_GT(net.clock(1), 1.0);
+}
+
+TEST(Netsim, TagsKeepChannelsSeparate) {
+  MessageNetwork net(2, cost());
+  net.send(0, 1, 10, 1);
+  EXPECT_THROW(net.recv(1, 0, /*tag=*/2), pe::Error);
+  net.recv(1, 0, 1);
+}
+
+TEST(Netsim, UnreceivedMessageFailsFinish) {
+  MessageNetwork net(2, cost());
+  net.send(0, 1, 10);
+  EXPECT_THROW((void)net.finish_time(), pe::Error);
+  net.recv(1, 0);
+  EXPECT_NO_THROW((void)net.finish_time());
+}
+
+TEST(Netsim, SelfSendRejected) {
+  MessageNetwork net(2, cost());
+  EXPECT_THROW(net.send(0, 0, 10), pe::Error);
+}
+
+TEST(Netsim, BroadcastMatchesLogTreeModel) {
+  for (unsigned p : {2u, 4u, 8u, 16u}) {
+    MessageNetwork net(p, cost());
+    const double simulated = pe::sim::simulate_broadcast(net, 4096);
+    pe::models::AlphaBetaModel model{cost().alpha, cost().beta};
+    const double predicted = model.broadcast(p, 4096);
+    // The simulated tree pipeline may beat the serial-steps closed form
+    // slightly; they must agree within a small factor.
+    EXPECT_NEAR(simulated, predicted, predicted * 0.5) << "p=" << p;
+  }
+}
+
+TEST(Netsim, RingAllreduceMatchesModelShape) {
+  for (unsigned p : {2u, 4u, 8u}) {
+    MessageNetwork net(p, cost());
+    const double simulated = pe::sim::simulate_ring_allreduce(net, 1 << 20);
+    pe::models::AlphaBetaModel model{cost().alpha, cost().beta};
+    const double predicted = model.ring_allreduce(p, 1 << 20);
+    EXPECT_NEAR(simulated, predicted, predicted * 0.5) << "p=" << p;
+  }
+}
+
+TEST(Netsim, RingAllreduceBandwidthTermDominatesForLargeMessages) {
+  // For large m the ring moves ~2m bytes regardless of p: times for p=4
+  // and p=8 should be close (the celebrated bandwidth-optimality).
+  MessageNetwork n4(4, cost()), n8(8, cost());
+  const double t4 = pe::sim::simulate_ring_allreduce(n4, 8 << 20);
+  const double t8 = pe::sim::simulate_ring_allreduce(n8, 8 << 20);
+  EXPECT_NEAR(t4, t8, t4 * 0.35);
+}
+
+TEST(Netsim, HaloExchangeCostIndependentOfRanks) {
+  MessageNetwork small(4, cost()), large(16, cost());
+  const double ts = pe::sim::simulate_halo_exchange(small, 8192, 1e-3);
+  const double tl = pe::sim::simulate_halo_exchange(large, 8192, 1e-3);
+  EXPECT_NEAR(ts, tl, ts * 0.05);
+}
+
+TEST(Netsim, HaloExchangeSingleRankIsComputeOnly) {
+  MessageNetwork net(1, cost());
+  EXPECT_DOUBLE_EQ(pe::sim::simulate_halo_exchange(net, 1024, 0.5), 0.5);
+}
+
+TEST(Netsim, ComputeAdvancesOnlyOneRank) {
+  MessageNetwork net(3, cost());
+  net.compute(1, 2.0);
+  EXPECT_DOUBLE_EQ(net.clock(0), 0.0);
+  EXPECT_DOUBLE_EQ(net.clock(1), 2.0);
+  EXPECT_DOUBLE_EQ(net.clock(2), 0.0);
+}
+
+TEST(Netsim, RankBoundsChecked) {
+  MessageNetwork net(2, cost());
+  EXPECT_THROW(net.compute(2, 1.0), pe::Error);
+  EXPECT_THROW(net.send(0, 5, 1), pe::Error);
+  EXPECT_THROW((void)net.clock(9), pe::Error);
+}
+
+}  // namespace

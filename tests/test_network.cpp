@@ -1,0 +1,90 @@
+// Tests for the alpha-beta network model in perfeng/models/network.hpp.
+#include "perfeng/models/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::models::AlphaBetaModel;
+
+AlphaBetaModel net() { return {1e-6, 1e-9}; }
+
+TEST(AlphaBeta, PointToPoint) {
+  EXPECT_DOUBLE_EQ(net().p2p(0), 1e-6);
+  EXPECT_DOUBLE_EQ(net().p2p(1000), 1e-6 + 1e-6);
+}
+
+TEST(AlphaBeta, SmallMessagesAreLatencyBound) {
+  const auto m = net();
+  EXPECT_NEAR(m.p2p(8), m.p2p(0), m.p2p(0) * 0.01);
+}
+
+TEST(AlphaBeta, BroadcastScalesWithLogP) {
+  const auto m = net();
+  EXPECT_DOUBLE_EQ(m.broadcast(1, 100), 0.0);
+  EXPECT_DOUBLE_EQ(m.broadcast(2, 100), m.p2p(100));
+  EXPECT_DOUBLE_EQ(m.broadcast(8, 100), 3.0 * m.p2p(100));
+  EXPECT_DOUBLE_EQ(m.broadcast(9, 100), 4.0 * m.p2p(100));  // ceil(log2 9)
+}
+
+TEST(AlphaBeta, RingAllreduceSteps) {
+  const auto m = net();
+  EXPECT_DOUBLE_EQ(m.ring_allreduce(1, 100), 0.0);
+  // p = 4, m = 400: 2*3 steps of 100 bytes.
+  EXPECT_DOUBLE_EQ(m.ring_allreduce(4, 400), 6.0 * m.p2p(100));
+}
+
+TEST(AlphaBeta, RingAllreduceLatencyVsBandwidthTradeoff) {
+  const auto m = net();
+  // Tiny message: more ranks = more latency-bound steps = slower.
+  EXPECT_LT(m.ring_allreduce(2, 8), m.ring_allreduce(32, 8));
+  // Huge message: the bandwidth term is 2m(p-1)/p, so the p=16 over p=4
+  // ratio converges to 1.875/1.5 = 1.25 — not the latency blowup.
+  const double t4 = m.ring_allreduce(4, 64 << 20);
+  const double t16 = m.ring_allreduce(16, 64 << 20);
+  EXPECT_NEAR(t16 / t4, 1.25, 0.02);
+}
+
+TEST(AlphaBeta, HaloExchange) {
+  const auto m = net();
+  EXPECT_DOUBLE_EQ(m.halo_exchange(1000), 1e-6 + m.p2p(1000));
+}
+
+TEST(StrongScaling, ComputeShrinksCommPersists) {
+  const auto m = net();
+  const double t1 =
+      pe::models::strong_scaling_time(m, 1e9, 1e9, 1, 1 << 16);
+  const double t4 =
+      pe::models::strong_scaling_time(m, 1e9, 1e9, 4, 1 << 16);
+  EXPECT_DOUBLE_EQ(t1, 1.0);  // no communication on one rank
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(t4, 0.25);  // communication keeps it above the ideal 1/p
+}
+
+TEST(StrongScaling, SweetSpotExistsForSmallProblems) {
+  // A small problem on a slow network stops scaling early.
+  const AlphaBetaModel slow{1e-3, 1e-6};
+  const unsigned spot =
+      pe::models::strong_scaling_sweet_spot(slow, 1e7, 1e9, 64, 1 << 12);
+  EXPECT_LT(spot, 64u);
+  EXPECT_GE(spot, 1u);
+}
+
+TEST(StrongScaling, BigProblemsScaleToTheLimit) {
+  const unsigned spot =
+      pe::models::strong_scaling_sweet_spot(net(), 1e12, 1e9, 64, 1 << 10);
+  EXPECT_EQ(spot, 64u);
+}
+
+TEST(StrongScaling, Validation) {
+  EXPECT_THROW(
+      (void)pe::models::strong_scaling_time(net(), 0.0, 1.0, 1, 1),
+      pe::Error);
+  EXPECT_THROW(
+      (void)pe::models::strong_scaling_time(net(), 1.0, 1.0, 0, 1),
+      pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Tests for the per-operation cost table in perfeng/microbench/op_costs.hpp.
+#include "perfeng/microbench/op_costs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::microbench::Op;
+using pe::microbench::OpCost;
+using pe::microbench::OpCostTable;
+
+pe::BenchmarkRunner fast_runner() {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 1;
+  cfg.repetitions = 2;
+  cfg.min_batch_seconds = 1e-4;
+  return pe::BenchmarkRunner(cfg);
+}
+
+TEST(OpCosts, OpNames) {
+  EXPECT_EQ(pe::microbench::op_name(Op::kFadd), "fadd");
+  EXPECT_EQ(pe::microbench::op_name(Op::kFdiv), "fdiv");
+  EXPECT_EQ(pe::microbench::op_name(Op::kImul), "imul");
+}
+
+TEST(OpCosts, SetAndGet) {
+  OpCostTable t;
+  t.set_cost(Op::kFadd, {3e-9, 1e-9});
+  EXPECT_DOUBLE_EQ(t.cost(Op::kFadd).latency_seconds, 3e-9);
+  EXPECT_DOUBLE_EQ(t.cost(Op::kFadd).throughput_seconds, 1e-9);
+}
+
+TEST(OpCosts, MissingOpThrows) {
+  OpCostTable t;
+  EXPECT_THROW((void)t.cost(Op::kFma), pe::Error);
+}
+
+TEST(OpCosts, MeasureCoversAllOps) {
+  const auto runner = fast_runner();
+  const OpCostTable t = OpCostTable::measure(runner);
+  for (Op op : {Op::kFadd, Op::kFmul, Op::kFma, Op::kFdiv, Op::kIadd,
+                Op::kImul}) {
+    const OpCost& c = t.cost(op);
+    EXPECT_GT(c.latency_seconds, 0.0) << pe::microbench::op_name(op);
+    EXPECT_GT(c.throughput_seconds, 0.0) << pe::microbench::op_name(op);
+  }
+  EXPECT_EQ(t.entries().size(), 6u);
+}
+
+TEST(OpCosts, DivisionSlowerThanAddition) {
+  // The one per-op ordering that holds on every real and simulated core.
+  const auto runner = fast_runner();
+  const OpCostTable t = OpCostTable::measure(runner);
+  EXPECT_GT(t.cost(Op::kFdiv).latency_seconds,
+            t.cost(Op::kFadd).latency_seconds);
+}
+
+TEST(OpCosts, ThroughputNotSlowerThanLatency) {
+  // Independent chains can only help; allow 30% measurement noise.
+  const auto runner = fast_runner();
+  const OpCostTable t = OpCostTable::measure(runner);
+  for (const auto& [op, cost] : t.entries()) {
+    EXPECT_LT(cost.throughput_seconds, cost.latency_seconds * 1.3)
+        << pe::microbench::op_name(op);
+  }
+}
+
+}  // namespace

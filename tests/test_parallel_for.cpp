@@ -1,0 +1,116 @@
+// Tests for parallel_for / parallel_reduce in perfeng/parallel.
+#include "perfeng/parallel/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+class ParallelForSchedules
+    : public ::testing::TestWithParam<pe::Schedule> {};
+
+TEST_P(ParallelForSchedules, VisitsEveryIndexExactlyOnce) {
+  pe::ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pe::parallel_for(
+      pool, 0, visits.size(),
+      [&](std::size_t i) { visits[i].fetch_add(1); }, GetParam());
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST_P(ParallelForSchedules, HonorsSubrange) {
+  pe::ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(100);
+  pe::parallel_for(
+      pool, 10, 90, [&](std::size_t i) { visits[i].fetch_add(1); },
+      GetParam());
+  for (std::size_t i = 0; i < visits.size(); ++i)
+    EXPECT_EQ(visits[i].load(), (i >= 10 && i < 90) ? 1 : 0) << i;
+}
+
+TEST_P(ParallelForSchedules, EmptyRangeIsNoop) {
+  pe::ThreadPool pool(2);
+  bool called = false;
+  pe::parallel_for(
+      pool, 5, 5, [&](std::size_t) { called = true; }, GetParam());
+  EXPECT_FALSE(called);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ParallelForSchedules,
+                         ::testing::Values(pe::Schedule::kStatic,
+                                           pe::Schedule::kDynamic));
+
+TEST(ParallelFor, InvertedRangeThrows) {
+  pe::ThreadPool pool(2);
+  EXPECT_THROW(pe::parallel_for(pool, 10, 5, [](std::size_t) {}), pe::Error);
+}
+
+TEST(ParallelFor, ZeroChunkRejected) {
+  pe::ThreadPool pool(2);
+  EXPECT_THROW(pe::parallel_for(
+                   pool, 0, 10, [](std::size_t) {}, pe::Schedule::kDynamic,
+                   0),
+               pe::Error);
+}
+
+TEST(ParallelFor, ExceptionsPropagate) {
+  pe::ThreadPool pool(3);
+  EXPECT_THROW(pe::parallel_for(pool, 0, 100,
+                                [](std::size_t i) {
+                                  if (i == 57) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, SingleWorkerPoolRunsInline) {
+  pe::ThreadPool pool(1);
+  std::vector<int> order;
+  pe::parallel_for(pool, 0, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  pe::ThreadPool pool(4);
+  const auto sum = pe::parallel_reduce(
+      pool, 1, 1001, std::uint64_t{0},
+      [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, 500500u);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  pe::ThreadPool pool(2);
+  const auto result = pe::parallel_reduce(
+      pool, 3, 3, 42, [](std::size_t) { return 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  pe::ThreadPool pool(3);
+  std::vector<double> data(777);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<double>((i * 7919) % 1000);
+  const double m = pe::parallel_reduce(
+      pool, 0, data.size(), -1.0, [&](std::size_t i) { return data[i]; },
+      [](double a, double b) { return std::max(a, b); });
+  EXPECT_EQ(m, *std::max_element(data.begin(), data.end()));
+}
+
+TEST(ParallelReduce, MatchesSerialForManySizes) {
+  pe::ThreadPool pool(4);
+  for (std::size_t n : {1u, 2u, 3u, 7u, 64u, 1000u}) {
+    const auto sum = pe::parallel_reduce(
+        pool, 0, n, std::size_t{0}, [](std::size_t i) { return i; },
+        [](std::size_t a, std::size_t b) { return a + b; });
+    EXPECT_EQ(sum, n * (n - 1) / 2) << n;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Tests for the synthetic performance-pattern kernels in
+// perfeng/kernels/pattern_kernels.hpp: broken and fixed variants must be
+// semantically identical (that equality is the point of the exercise).
+#include "perfeng/kernels/pattern_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+TEST(StridedSum, TouchesEveryElementOnce) {
+  std::vector<double> data(100);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = double(i);
+  const double expected = 99.0 * 100.0 / 2.0;
+  for (std::size_t stride : {1u, 2u, 7u, 16u, 99u}) {
+    EXPECT_NEAR(pe::kernels::strided_sum(data, stride), expected, 1e-9)
+        << "stride " << stride;
+  }
+  EXPECT_NEAR(pe::kernels::sequential_sum(data), expected, 1e-9);
+}
+
+TEST(StridedSum, Validation) {
+  EXPECT_THROW((void)pe::kernels::strided_sum({}, 1), pe::Error);
+  EXPECT_THROW((void)pe::kernels::strided_sum({1.0}, 0), pe::Error);
+}
+
+TEST(FalseSharing, BothLayoutsCountTheSameTotal) {
+  pe::ThreadPool pool(4);
+  const std::uint64_t iterations = 20000;
+  EXPECT_EQ(pe::kernels::false_sharing_counters(pool, iterations),
+            4 * iterations);
+  EXPECT_EQ(pe::kernels::padded_counters(pool, iterations),
+            4 * iterations);
+}
+
+TEST(FalseSharing, SingleWorkerDegenerateCase) {
+  pe::ThreadPool pool(1);
+  EXPECT_EQ(pe::kernels::false_sharing_counters(pool, 1000), 1000u);
+  EXPECT_EQ(pe::kernels::padded_counters(pool, 1000), 1000u);
+}
+
+TEST(LoadImbalance, BothSchedulesComputeTheSameValues) {
+  pe::ThreadPool pool(3);
+  std::vector<double> s, d;
+  pe::kernels::imbalanced_static(pool, 200, s);
+  pe::kernels::imbalanced_dynamic(pool, 200, d);
+  ASSERT_EQ(s.size(), 200u);
+  EXPECT_EQ(s, d);
+}
+
+TEST(LoadImbalance, TaskCostGrowsWithIndex) {
+  // The value encodes the iteration count; later tasks drift further from
+  // the initial 1.0.
+  pe::ThreadPool pool(2);
+  std::vector<double> out;
+  pe::kernels::imbalanced_static(pool, 100, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);  // zero iterations
+  EXPECT_NE(out[99], 1.0);
+}
+
+TEST(BranchySum, BranchyAndBranchlessAgree) {
+  pe::Rng rng(21);
+  const auto data = pe::kernels::random_doubles(10000, rng);
+  const double a = pe::kernels::branchy_sum(data, 0.5);
+  const double b = pe::kernels::branchless_sum(data, 0.5);
+  EXPECT_NEAR(a, b, 1e-9);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(BranchySum, SortingPreservesTheResult) {
+  pe::Rng rng(22);
+  const auto random = pe::kernels::random_doubles(5000, rng);
+  auto sorted = random;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NEAR(pe::kernels::branchy_sum(random, 0.5),
+              pe::kernels::branchy_sum(sorted, 0.5), 1e-9);
+}
+
+TEST(BranchySum, ThresholdAtExtremes) {
+  pe::Rng rng(23);
+  const auto data = pe::kernels::random_doubles(100, rng);
+  EXPECT_DOUBLE_EQ(pe::kernels::branchy_sum(data, 2.0), 0.0);
+  EXPECT_NEAR(pe::kernels::branchy_sum(data, -1.0),
+              pe::kernels::sequential_sum(data), 1e-12);
+}
+
+TEST(Generators, SortedIsSorted) {
+  pe::Rng rng(24);
+  const auto sorted = pe::kernels::sorted_doubles(1000, rng);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EXPECT_EQ(sorted.size(), 1000u);
+}
+
+}  // namespace

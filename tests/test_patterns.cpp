@@ -1,0 +1,120 @@
+// Tests for the performance-pattern detectors in perfeng/counters.
+#include "perfeng/counters/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using namespace pe::counters;
+
+TEST(Patterns, Names) {
+  EXPECT_EQ(pattern_name(Pattern::kFalseSharing), "false sharing");
+  EXPECT_EQ(pattern_name(Pattern::kLoadImbalance), "load imbalance");
+}
+
+TEST(BadSpatialLocality, FiresOnColumnWalkingMissRates) {
+  CounterSet c;
+  c.set(kMemAccesses, 1000);
+  c.set(kL1Misses, 900);  // ~1 miss/access vs 1/8 streaming expectation
+  const auto r = detect_bad_spatial_locality(c);
+  EXPECT_TRUE(r.detected);
+  EXPECT_GT(r.severity, 0.5);
+  EXPECT_NE(r.evidence.find("L1 miss rate"), std::string::npos);
+}
+
+TEST(BadSpatialLocality, QuietOnStreamingMissRates) {
+  CounterSet c;
+  c.set(kMemAccesses, 1000);
+  c.set(kL1Misses, 125);  // exactly the 8-byte/64-byte streaming rate
+  EXPECT_FALSE(detect_bad_spatial_locality(c).detected);
+}
+
+TEST(BandwidthSaturation, FiresNearTheRoof) {
+  const auto r = detect_bandwidth_saturation(9e9, 1e10);
+  EXPECT_TRUE(r.detected);
+  EXPECT_NEAR(r.severity, 0.9, 1e-9);
+}
+
+TEST(BandwidthSaturation, QuietWellBelowTheRoof) {
+  EXPECT_FALSE(detect_bandwidth_saturation(2e9, 1e10).detected);
+}
+
+TEST(BandwidthSaturation, Validation) {
+  EXPECT_THROW((void)detect_bandwidth_saturation(1.0, 0.0), pe::Error);
+  EXPECT_THROW((void)detect_bandwidth_saturation(1.0, 1.0, 1.5),
+               pe::Error);
+}
+
+TEST(BranchUnpredictability, FiresOnRandomBranches) {
+  CounterSet c;
+  c.set(kBranches, 10000);
+  c.set(kBranchMisses, 4800);
+  const auto r = detect_branch_unpredictability(c);
+  EXPECT_TRUE(r.detected);
+  EXPECT_GT(r.severity, 0.9);
+}
+
+TEST(BranchUnpredictability, QuietOnPredictableBranches) {
+  CounterSet c;
+  c.set(kBranches, 10000);
+  c.set(kBranchMisses, 50);
+  EXPECT_FALSE(detect_branch_unpredictability(c).detected);
+}
+
+TEST(LoadImbalance, FiresWhenOneWorkerDominates) {
+  const std::vector<double> times = {1.0, 1.0, 1.0, 4.0};
+  const auto r = detect_load_imbalance(times);
+  EXPECT_TRUE(r.detected);
+  EXPECT_NE(r.evidence.find("max/mean"), std::string::npos);
+}
+
+TEST(LoadImbalance, QuietWhenBalanced) {
+  const std::vector<double> times = {1.0, 1.05, 0.97, 1.02};
+  EXPECT_FALSE(detect_load_imbalance(times).detected);
+}
+
+TEST(LoadImbalance, Validation) {
+  EXPECT_THROW((void)detect_load_imbalance(std::vector<double>{1.0}),
+               pe::Error);
+  EXPECT_THROW(
+      (void)detect_load_imbalance(std::vector<double>{1.0, -1.0}),
+      pe::Error);
+}
+
+TEST(FalseSharing, FiresWhenPaddingHelps) {
+  const auto r = detect_false_sharing(2.0, 0.5);
+  EXPECT_TRUE(r.detected);
+  EXPECT_NE(r.evidence.find("4"), std::string::npos);  // 4x speedup
+}
+
+TEST(FalseSharing, QuietWhenPaddingIsNeutral) {
+  EXPECT_FALSE(detect_false_sharing(1.0, 0.95).detected);
+}
+
+TEST(DetectAll, RunsOnlyApplicableDetectors) {
+  Diagnostics d;
+  d.counters.set(kMemAccesses, 1000);
+  d.counters.set(kL1Misses, 500);
+  EXPECT_EQ(detect_all(d).size(), 1u);
+
+  d.counters.set(kBranches, 100);
+  d.counters.set(kBranchMisses, 50);
+  EXPECT_EQ(detect_all(d).size(), 2u);
+
+  d.per_worker_seconds = {1.0, 3.0};
+  d.achieved_bandwidth = 9e9;
+  d.sustainable_bandwidth = 1e10;
+  d.shared_seconds = 2.0;
+  d.padded_seconds = 1.0;
+  const auto all = detect_all(d);
+  EXPECT_EQ(all.size(), 5u);
+  for (const auto& r : all) EXPECT_FALSE(r.evidence.empty());
+}
+
+TEST(DetectAll, EmptyDiagnosticsDetectNothing) {
+  EXPECT_TRUE(detect_all(Diagnostics{}).empty());
+}
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Tests for the hardware counter backend in perfeng/counters.
+// In environments without perf_event access the backend must degrade
+// gracefully — that graceful path is itself under test.
+#include "perfeng/counters/perf_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/measure/timer.hpp"
+
+namespace {
+
+using pe::counters::PerfBackend;
+
+TEST(PerfBackend, AvailabilityIsConsistentWithReason) {
+  if (PerfBackend::available()) {
+    EXPECT_TRUE(PerfBackend::unavailable_reason().empty());
+  } else {
+    EXPECT_FALSE(PerfBackend::unavailable_reason().empty());
+  }
+}
+
+TEST(PerfBackend, MeasureThrowsOrCounts) {
+  auto work = [] {
+    volatile double acc = 1.0;
+    for (int i = 0; i < 100000; ++i) acc = acc * 1.0000001 + 1e-9;
+    pe::do_not_optimize(acc);
+  };
+  if (!PerfBackend::available()) {
+    EXPECT_THROW((void)PerfBackend::measure(work), pe::Error);
+    return;
+  }
+  const auto counters = PerfBackend::measure(work);
+  // The loop retires at least one instruction per iteration.
+  EXPECT_GE(counters.get_or_zero(pe::counters::kInstructions), 100000u);
+}
+
+TEST(PerfBackend, NullWorkloadRejected) {
+  EXPECT_THROW((void)PerfBackend::measure(nullptr), pe::Error);
+}
+
+TEST(PerfBackend, UnavailableReasonMentionsPerf) {
+  if (PerfBackend::available()) GTEST_SKIP() << "perf available here";
+  EXPECT_NE(PerfBackend::unavailable_reason().find("perf"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Tests for the seven-stage pipeline in perfeng/core/pipeline.hpp.
+#include "perfeng/core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::core::Pipeline;
+using pe::core::Requirement;
+using pe::core::Variant;
+using pe::models::KernelCharacterization;
+using pe::models::RooflineModel;
+
+pe::BenchmarkRunner fast_runner() {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 0;
+  cfg.repetitions = 3;
+  cfg.min_batch_seconds = 1e-4;
+  return pe::BenchmarkRunner(cfg);
+}
+
+RooflineModel machine() { return RooflineModel(1e11, 1e10); }
+
+KernelCharacterization characterization() {
+  return {"toy", 1e6, 1e6};  // intensity 1 FLOP/B, memory-bound
+}
+
+// Busy-wait kernels: deterministic CPU work is far more stable than
+// sleep_for on loaded machines (itself a measurement lesson).
+void spin(std::size_t iterations) {
+  volatile double acc = 1.0;
+  for (std::size_t i = 0; i < iterations; ++i)
+    acc = acc * 1.0000001 + 1e-9;
+}
+void slow_kernel() { spin(1000000); }
+void fast_kernel() { spin(200000); }
+
+TEST(Pipeline, RequiresStagesInOrder) {
+  Pipeline p(machine(), fast_runner());
+  EXPECT_THROW((void)p.run(), pe::Error);  // no requirement
+  p.set_requirement({"go faster", 1.5});
+  EXPECT_THROW((void)p.run(), pe::Error);  // no baseline
+}
+
+TEST(Pipeline, ValidatesInputs) {
+  Pipeline p(machine(), fast_runner());
+  EXPECT_THROW(p.set_requirement({"shrink", 0.5}), pe::Error);
+  EXPECT_THROW(p.set_baseline({"b", "", nullptr}, characterization()),
+               pe::Error);
+  EXPECT_THROW(
+      p.set_baseline({"b", "", [] {}}, KernelCharacterization{"x", 0, 1}),
+      pe::Error);
+  EXPECT_THROW(p.add_variant({"v", "", nullptr}), pe::Error);
+}
+
+TEST(Pipeline, MeasuresVariantsAndPicksBest) {
+  Pipeline p(machine(), fast_runner());
+  p.set_requirement({"2x faster toy kernel", 2.0});
+  p.set_baseline({"baseline", "original", slow_kernel},
+                 characterization());
+  p.add_variant({"optimized", "sleeps less", fast_kernel});
+
+  const auto report = p.run();
+  ASSERT_EQ(report.variants.size(), 2u);
+  EXPECT_EQ(report.variants[0].name, "baseline");
+  EXPECT_NEAR(report.variants[0].speedup, 1.0, 1e-9);
+  EXPECT_GT(report.variants[1].speedup, 1.5);
+  EXPECT_EQ(report.best_variant, "optimized");
+  EXPECT_GT(report.best_speedup, 1.5);
+  EXPECT_TRUE(report.variants[1].meets_requirement);
+}
+
+TEST(Pipeline, FeasibilityUsesRooflineBound) {
+  // The toy kernel "runs" ~300 us; at intensity 1 FLOP/B the attainable
+  // rate is 1e10 FLOP/s, so the model-attainable time is 1e6/1e10 =
+  // 100 us: roughly a 3x model speedup, so a 2x target is feasible.
+  Pipeline p(machine(), fast_runner());
+  p.set_requirement({"2x", 2.0});
+  p.set_baseline({"baseline", "", slow_kernel}, characterization());
+  const auto report = p.run();
+  EXPECT_TRUE(report.feasibility.target_feasible);
+  EXPECT_GT(report.feasibility.max_model_speedup, 2.0);
+  EXPECT_NE(report.feasibility.rationale.find("feasible"),
+            std::string::npos);
+}
+
+TEST(Pipeline, InfeasibleTargetFlagged) {
+  // A baseline already at the roofline: any >1 target is infeasible.
+  // Model attainable time for 1e10 FLOPs at intensity 1 is 1 s; the
+  // kernel "takes" ~300 us, so the model bound is far *below* measured...
+  // so instead pick a characterization with tiny flops: attainable time
+  // 1e2/1e10 = 1e-8 s is impossible to beat 1000000x.
+  Pipeline p(machine(), fast_runner());
+  p.set_requirement({"a million times faster", 1e6});
+  p.set_baseline({"baseline", "", fast_kernel},
+                 KernelCharacterization{"toy", 1e6, 1e6});
+  const auto report = p.run();
+  // max_model_speedup ~ measured/1e-7 which is ~1000, well under 1e6.
+  EXPECT_FALSE(report.feasibility.target_feasible);
+}
+
+TEST(Pipeline, PerVariantCharacterizationOverride) {
+  Pipeline p(machine(), fast_runner());
+  p.set_requirement({"any", 1.0});
+  p.set_baseline({"baseline", "", slow_kernel}, characterization());
+  // A tiling-style variant that halves traffic: intensity doubles.
+  p.add_variant({"tiled", "halves traffic", fast_kernel},
+                KernelCharacterization{"toy", 1e6, 5e5});
+  const auto report = p.run();
+  ASSERT_EQ(report.variants.size(), 2u);
+  // Efficiency is computed against a different attainable value; with
+  // double the intensity the attainable FLOP/s doubles (memory-bound), so
+  // the variant's efficiency is lower than it would be at baseline AI.
+  EXPECT_GT(report.variants[1].roofline_efficiency, 0.0);
+}
+
+TEST(Pipeline, ReportRenderMentionsAllStages) {
+  Pipeline p(machine(), fast_runner());
+  p.set_requirement({"document me", 1.0});
+  p.set_baseline({"baseline", "original", fast_kernel},
+                 characterization());
+  const auto text = p.run().render();
+  for (const char* needle :
+       {"Stage 1", "Stage 2", "Stage 3", "Stages 4-6", "Stage 7",
+        "baseline", "document me"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Tests for the OSACA-style instruction-scheduler simulator in
+// perfeng/sim/pipeline_sim.hpp.
+#include "perfeng/sim/pipeline_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::sim::Instr;
+using pe::sim::PipelineSimulator;
+
+TEST(PipelineSim, SingleCarriedChainRunsAtLatency) {
+  // One accumulator, FMA latency 4: the classic 4 cycles/iteration.
+  const auto report =
+      PipelineSimulator::fma_reduction(1, 2, 4.0).run();
+  EXPECT_NEAR(report.cycles_per_iteration, 4.0, 0.1);
+  EXPECT_TRUE(report.latency_limited);
+  EXPECT_NE(report.bottleneck().find("dependency"), std::string::npos);
+}
+
+TEST(PipelineSim, EnoughChainsReachPortThroughput) {
+  // 8 chains on 2 ports, latency 4: 4 cycles/iteration = 0.5 per element,
+  // the port-throughput limit.
+  const auto report =
+      PipelineSimulator::fma_reduction(8, 2, 4.0).run();
+  EXPECT_NEAR(report.cycles_per_iteration, 4.0, 0.1);
+  EXPECT_NEAR(report.cycles_per_iteration / 8.0, 0.5, 0.02);
+  EXPECT_FALSE(report.latency_limited);
+}
+
+TEST(PipelineSim, ChainSweepReproducesTheAssignmentCurve) {
+  // Per-element cost falls as latency/chains until the ports saturate.
+  double previous = 1e9;
+  for (int chains : {1, 2, 4, 8}) {
+    const auto report =
+        PipelineSimulator::fma_reduction(chains, 2, 4.0).run();
+    const double per_element = report.cycles_per_iteration / chains;
+    EXPECT_LE(per_element, previous + 0.02) << chains;
+    previous = per_element;
+  }
+  EXPECT_NEAR(previous, 0.5, 0.05);  // saturated at 2 ports
+}
+
+TEST(PipelineSim, IndependentInstructionsPackOntoPorts) {
+  PipelineSimulator sim(2);
+  for (int i = 0; i < 6; ++i) {
+    Instr add;
+    add.name = "add";
+    add.latency = 1.0;
+    add.ports = {0, 1};
+    sim.add_instr(std::move(add));
+  }
+  // 6 single-cycle instructions on 2 ports: 3 cycles/iteration.
+  EXPECT_NEAR(sim.run().cycles_per_iteration, 3.0, 0.1);
+}
+
+TEST(PipelineSim, SinglePortInstructionSerializes) {
+  PipelineSimulator sim(2);
+  for (int i = 0; i < 4; ++i) {
+    Instr div;
+    div.name = "div";
+    div.latency = 1.0;
+    div.ports = {0};  // only port 0 divides
+    sim.add_instr(std::move(div));
+  }
+  const auto report = sim.run();
+  EXPECT_NEAR(report.cycles_per_iteration, 4.0, 0.1);
+  EXPECT_EQ(report.critical_port, 0);
+}
+
+TEST(PipelineSim, IntraIterationChainAddsLatencyOnce) {
+  // mul -> add chain, not carried: iterations overlap fully, so the
+  // steady state is throughput-bound (2 instrs / 2 ports = 1/iter).
+  PipelineSimulator sim(2);
+  Instr mul;
+  mul.name = "mul";
+  mul.latency = 5.0;
+  mul.ports = {0, 1};
+  const int mul_id = sim.add_instr(std::move(mul));
+  Instr add;
+  add.name = "add";
+  add.latency = 3.0;
+  add.ports = {0, 1};
+  add.deps = {mul_id};
+  sim.add_instr(std::move(add));
+  EXPECT_NEAR(sim.run().cycles_per_iteration, 1.0, 0.1);
+}
+
+TEST(PipelineSim, Validation) {
+  EXPECT_THROW(PipelineSimulator(0), pe::Error);
+  PipelineSimulator sim(1);
+  Instr bad;
+  bad.ports = {};
+  EXPECT_THROW(sim.add_instr(bad), pe::Error);
+  bad.ports = {5};
+  EXPECT_THROW(sim.add_instr(bad), pe::Error);
+  bad.ports = {0};
+  bad.latency = 0.0;
+  EXPECT_THROW(sim.add_instr(bad), pe::Error);
+  bad.latency = 1.0;
+  bad.deps = {0};  // no instruction 0 yet
+  EXPECT_THROW(sim.add_instr(bad), pe::Error);
+  EXPECT_THROW((void)sim.run(), pe::Error);  // empty body
+}
+
+}  // namespace

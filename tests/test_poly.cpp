@@ -1,0 +1,196 @@
+// Tests for the polyhedral-lite dependence analysis in perfeng/poly.
+#include "perfeng/poly/dependence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using namespace pe::poly;
+
+TEST(Affine, Evaluation) {
+  const AffineExpr e{{2, -1}, 3};  // 2i - j + 3
+  EXPECT_EQ(e.eval({1, 2}), 3);
+  EXPECT_EQ(e.eval({0, 0}), 3);
+  EXPECT_THROW((void)e.eval({1}), pe::Error);
+}
+
+TEST(Lex, PositiveAndNegative) {
+  EXPECT_TRUE(lex_positive({0, 0, 1}));
+  EXPECT_TRUE(lex_positive({1, -5, 0}));
+  EXPECT_FALSE(lex_positive({0, 0, 0}));
+  EXPECT_FALSE(lex_positive({-1, 5, 5}));
+  EXPECT_TRUE(lex_negative({0, -1, 3}));
+  EXPECT_FALSE(lex_negative({0, 0, 0}));
+}
+
+TEST(LoopNest, Validation) {
+  EXPECT_THROW(LoopNest({}), pe::Error);
+  EXPECT_THROW(LoopNest({{"i", 5, 5}}), pe::Error);  // empty loop
+  LoopNest nest({{"i", 0, 4}});
+  EXPECT_THROW(nest.add_access({"A", {AffineExpr{{1, 1}, 0}}, false}),
+               pe::Error);  // arity mismatch
+}
+
+TEST(Matmul, AccumulationCarriesOnlyK) {
+  const LoopNest nest = LoopNest::matmul(4);
+  const auto deps = nest.analyze();
+  ASSERT_FALSE(deps.empty());
+  for (const auto& d : deps) {
+    EXPECT_EQ(d.array, "C");  // A and B are read-only
+    // Every dependence direction must be (0, 0, +1): carried by k alone.
+    ASSERT_EQ(d.direction.size(), 3u);
+    EXPECT_EQ(d.direction[0], 0);
+    EXPECT_EQ(d.direction[1], 0);
+    EXPECT_EQ(d.direction[2], 1);
+  }
+  // Flow (write C then read C), anti (read then write), and output
+  // (write then write) dependences all appear.
+  bool flow = false, anti = false, output = false;
+  for (const auto& d : deps) {
+    flow |= d.kind == DepKind::kFlow;
+    anti |= d.kind == DepKind::kAnti;
+    output |= d.kind == DepKind::kOutput;
+  }
+  EXPECT_TRUE(flow);
+  EXPECT_TRUE(anti);
+  EXPECT_TRUE(output);
+}
+
+TEST(Matmul, AllLoopPermutationsLegal) {
+  const LoopNest nest = LoopNest::matmul(3);
+  const std::vector<std::vector<std::size_t>> perms = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (const auto& p : perms) {
+    EXPECT_TRUE(nest.interchange_legal(p))
+        << p[0] << p[1] << p[2];
+  }
+}
+
+TEST(Matmul, FullyPermutableHenceTilable) {
+  EXPECT_TRUE(LoopNest::matmul(3).tilable());
+}
+
+TEST(Jacobi2d, HasNoLoopCarriedDependences) {
+  const LoopNest nest = LoopNest::jacobi2d(6);
+  EXPECT_TRUE(nest.analyze().empty());
+  EXPECT_TRUE(nest.tilable());
+  EXPECT_TRUE(nest.interchange_legal({1, 0}));
+}
+
+TEST(Seidel2d, CarriesDependencesInBothLoops) {
+  const LoopNest nest = LoopNest::seidel2d(6);
+  const auto deps = nest.analyze();
+  ASSERT_FALSE(deps.empty());
+  // The classic distances: (1,0) and (0,1) flow deps (and (1,-1) etc. as
+  // anti); at minimum a (0,1) and a (1,*) dependence must appear.
+  bool row_carried = false, col_carried = false;
+  for (const auto& d : deps) {
+    if (d.direction[0] == 1) row_carried = true;
+    if (d.direction[0] == 0 && d.direction[1] == 1) col_carried = true;
+  }
+  EXPECT_TRUE(row_carried);
+  EXPECT_TRUE(col_carried);
+}
+
+TEST(Seidel2d, InterchangeStillLegalButNotTilable) {
+  const LoopNest nest = LoopNest::seidel2d(6);
+  // Seidel's (1,-1) anti/flow component blocks rectangular tiling...
+  EXPECT_FALSE(nest.tilable());
+  // ...and also makes plain interchange illegal: (1,-1) becomes (-1,1).
+  EXPECT_FALSE(nest.interchange_legal({1, 0}));
+  EXPECT_TRUE(nest.interchange_legal({0, 1}));  // identity is always legal
+}
+
+TEST(Interchange, PermutationValidated) {
+  const LoopNest nest = LoopNest::matmul(3);
+  EXPECT_THROW((void)nest.interchange_legal({0, 1}), pe::Error);
+  EXPECT_THROW((void)nest.interchange_legal({0, 0, 1}), pe::Error);
+  EXPECT_THROW((void)nest.interchange_legal({0, 1, 5}), pe::Error);
+}
+
+TEST(Analyze, UniformFlagForConstantDistances) {
+  // a[i] = a[i-1]: a single uniform flow dependence at distance 1.
+  LoopNest nest({{"i", 1, 8}});
+  nest.add_access({"a", {AffineExpr{{1}, 0}}, true});
+  nest.add_access({"a", {AffineExpr{{1}, -1}}, false});
+  const auto deps = nest.analyze();
+  bool found_uniform_flow = false;
+  for (const auto& d : deps) {
+    if (d.kind == DepKind::kFlow && d.uniform &&
+        d.distance == std::vector<long>{1}) {
+      found_uniform_flow = true;
+    }
+  }
+  EXPECT_TRUE(found_uniform_flow);
+  EXPECT_FALSE(nest.interchange_legal({0}) == false);  // identity legal
+}
+
+TEST(Analyze, ReadOnlyNestHasNoDependences) {
+  LoopNest nest({{"i", 0, 4}});
+  nest.add_access({"a", {AffineExpr{{1}, 0}}, false});
+  nest.add_access({"a", {AffineExpr{{1}, -1}}, false});
+  EXPECT_TRUE(nest.analyze().empty());
+}
+
+TEST(Analyze, DistinctArraysNeverConflict) {
+  LoopNest nest({{"i", 0, 4}});
+  nest.add_access({"a", {AffineExpr{{1}, 0}}, true});
+  nest.add_access({"b", {AffineExpr{{1}, 0}}, false});
+  EXPECT_TRUE(nest.analyze().empty());
+}
+
+TEST(Transform, IdentityIsAlwaysLegal) {
+  const std::vector<std::vector<long>> identity = {{1, 0}, {0, 1}};
+  EXPECT_TRUE(LoopNest::seidel2d(6).transform_legal(identity));
+  EXPECT_TRUE(LoopNest::jacobi2d(6).transform_legal(identity));
+}
+
+TEST(Transform, SkewingMakesSeidelTilable) {
+  // The classic result: seidel-2d carries (1,-1); the skew
+  // (i, j) -> (i, i + j) maps it to (1, 0) — fully permutable.
+  const LoopNest nest = LoopNest::seidel2d(6);
+  const std::vector<std::vector<long>> skew = {{1, 0}, {1, 1}};
+  EXPECT_FALSE(nest.tilable());
+  EXPECT_TRUE(nest.transform_legal(skew));
+  EXPECT_TRUE(nest.transform_makes_tilable(skew));
+}
+
+TEST(Transform, ReversalIsIllegalOnCarriedLoops) {
+  // Reversing the outer loop flips the (1, 0) dependences.
+  const std::vector<std::vector<long>> reverse_outer = {{-1, 0}, {0, 1}};
+  EXPECT_FALSE(LoopNest::seidel2d(6).transform_legal(reverse_outer));
+  // On a dependence-free nest any unimodular transform is legal.
+  EXPECT_TRUE(LoopNest::jacobi2d(6).transform_legal(reverse_outer));
+}
+
+TEST(Transform, InterchangeMatrixMatchesInterchangeCheck) {
+  const LoopNest nest = LoopNest::seidel2d(6);
+  const std::vector<std::vector<long>> swap = {{0, 1}, {1, 0}};
+  EXPECT_EQ(nest.transform_legal(swap), nest.interchange_legal({1, 0}));
+}
+
+TEST(Transform, ShapeValidated) {
+  const LoopNest nest = LoopNest::matmul(3);
+  EXPECT_THROW((void)nest.transform_legal({{1, 0}, {0, 1}}), pe::Error);
+  EXPECT_THROW(
+      (void)nest.transform_makes_tilable({{1, 0, 0}, {0, 1, 0}}),
+      pe::Error);
+}
+
+TEST(Analyze, ReductionOnScalarCell) {
+  // s[0] += ... : every iteration writes the same cell -> all-direction
+  // dependences carried by the single loop.
+  LoopNest nest({{"i", 0, 4}});
+  nest.add_access({"s", {AffineExpr{{0}, 0}}, true});
+  nest.add_access({"s", {AffineExpr{{0}, 0}}, false});
+  const auto deps = nest.analyze();
+  ASSERT_FALSE(deps.empty());
+  for (const auto& d : deps) {
+    EXPECT_EQ(d.direction[0], 1);
+    EXPECT_FALSE(d.uniform);  // distances 1..3 share direction (+1)
+  }
+}
+
+}  // namespace

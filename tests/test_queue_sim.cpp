@@ -1,0 +1,112 @@
+// Tests validating the DES queue simulator against queuing-theory closed
+// forms — the course's "trust but verify your models" exercise.
+#include "perfeng/sim/queue_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/models/queuing.hpp"
+
+namespace {
+
+using pe::sim::QueueSimConfig;
+using pe::sim::simulate_mgc;
+using pe::sim::simulate_mmc;
+
+QueueSimConfig base_config() {
+  QueueSimConfig cfg;
+  cfg.arrival_rate = 0.7;
+  cfg.service_rate = 1.0;
+  cfg.servers = 1;
+  cfg.jobs = 60000;
+  cfg.warmup_jobs = 2000;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(QueueSim, CompletesAllJobs) {
+  const auto r = simulate_mmc(base_config());
+  EXPECT_EQ(r.arrivals, 60000u);
+  EXPECT_EQ(r.completions, 60000u);
+  EXPECT_GT(r.sim_time, 0.0);
+}
+
+TEST(QueueSim, Mm1MatchesClosedForm) {
+  const auto cfg = base_config();
+  const auto sim = simulate_mmc(cfg);
+  const auto model = pe::models::mm1(cfg.arrival_rate, cfg.service_rate);
+  EXPECT_NEAR(sim.mean_wait, model.mean_wait, model.mean_wait * 0.10);
+  EXPECT_NEAR(sim.mean_response, model.mean_response,
+              model.mean_response * 0.10);
+  EXPECT_NEAR(sim.utilization, model.utilization, 0.03);
+}
+
+TEST(QueueSim, Mm2MatchesErlangC) {
+  QueueSimConfig cfg = base_config();
+  cfg.servers = 2;
+  cfg.arrival_rate = 1.5;  // rho = 0.75
+  const auto sim = simulate_mmc(cfg);
+  const auto model =
+      pe::models::mmc(cfg.arrival_rate, cfg.service_rate, cfg.servers);
+  EXPECT_NEAR(sim.mean_wait, model.mean_wait, model.mean_wait * 0.15);
+  EXPECT_NEAR(sim.utilization, model.utilization, 0.03);
+}
+
+TEST(QueueSim, LittlesLawHoldsInSimulation) {
+  const auto sim = simulate_mmc(base_config());
+  // L = lambda * W with lambda estimated from the simulation itself.
+  const double lambda = 0.7;
+  EXPECT_NEAR(sim.mean_in_system, lambda * sim.mean_response,
+              sim.mean_in_system * 0.10);
+  EXPECT_NEAR(sim.mean_queue_length, lambda * sim.mean_wait,
+              std::max(0.05, sim.mean_queue_length * 0.10));
+}
+
+TEST(QueueSim, HigherLoadMeansLongerWaits) {
+  QueueSimConfig low = base_config();
+  low.arrival_rate = 0.3;
+  QueueSimConfig high = base_config();
+  high.arrival_rate = 0.9;
+  EXPECT_LT(simulate_mmc(low).mean_wait, simulate_mmc(high).mean_wait);
+}
+
+TEST(QueueSim, DeterministicServiceHalvesWaiting) {
+  // M/D/1 waits are half of M/M/1 (Pollaczek-Khinchine with scv = 0).
+  const auto cfg = base_config();
+  const auto mm1_sim = simulate_mmc(cfg);
+  const auto md1_sim = simulate_mgc(
+      cfg, [&](pe::Rng&) { return 1.0 / cfg.service_rate; });
+  EXPECT_NEAR(md1_sim.mean_wait / mm1_sim.mean_wait, 0.5, 0.10);
+}
+
+TEST(QueueSim, SeedsChangeOnlyNoise) {
+  QueueSimConfig a = base_config();
+  QueueSimConfig b = base_config();
+  b.seed = 99;
+  const auto ra = simulate_mmc(a);
+  const auto rb = simulate_mmc(b);
+  EXPECT_NE(ra.mean_wait, rb.mean_wait);
+  EXPECT_NEAR(ra.mean_wait, rb.mean_wait, ra.mean_wait * 0.15);
+}
+
+TEST(QueueSim, SameSeedIsDeterministic) {
+  const auto a = simulate_mmc(base_config());
+  const auto b = simulate_mmc(base_config());
+  EXPECT_DOUBLE_EQ(a.mean_wait, b.mean_wait);
+  EXPECT_DOUBLE_EQ(a.sim_time, b.sim_time);
+}
+
+TEST(QueueSim, ConfigValidation) {
+  QueueSimConfig bad = base_config();
+  bad.jobs = bad.warmup_jobs;
+  EXPECT_THROW((void)simulate_mmc(bad), pe::Error);
+  bad = base_config();
+  bad.servers = 0;
+  EXPECT_THROW((void)simulate_mmc(bad), pe::Error);
+  bad = base_config();
+  bad.service_rate = 0.0;
+  EXPECT_THROW((void)simulate_mmc(bad), pe::Error);
+  EXPECT_THROW((void)simulate_mgc(base_config(), nullptr), pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for the queuing-theory closed forms in perfeng/models/queuing.hpp.
+#include "perfeng/models/queuing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+TEST(Mm1, TextbookValues) {
+  // lambda = 0.5, mu = 1: rho = 0.5, W = 2, Wq = 1, L = 1, Lq = 0.5.
+  const auto m = pe::models::mm1(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 0.5);
+  EXPECT_DOUBLE_EQ(m.mean_response, 2.0);
+  EXPECT_DOUBLE_EQ(m.mean_wait, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_in_system, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_queue_length, 0.5);
+}
+
+TEST(Mm1, WaitExplodesNearSaturation) {
+  EXPECT_GT(pe::models::mm1(0.99, 1.0).mean_wait,
+            pe::models::mm1(0.5, 1.0).mean_wait * 20.0);
+}
+
+TEST(Mm1, RequiresStability) {
+  EXPECT_THROW((void)pe::models::mm1(1.0, 1.0), pe::Error);
+  EXPECT_THROW((void)pe::models::mm1(2.0, 1.0), pe::Error);
+  EXPECT_THROW((void)pe::models::mm1(0.0, 1.0), pe::Error);
+}
+
+TEST(ErlangC, SingleServerReducesToRho) {
+  // For c = 1 the probability of waiting is exactly rho.
+  EXPECT_NEAR(pe::models::erlang_c(0.6, 1.0, 1), 0.6, 1e-12);
+}
+
+TEST(ErlangC, KnownTwoServerValue) {
+  // a = 1, c = 2, rho = 0.5: Pw = (a^2/2!)/(1-rho) / (1 + a + ...) = 1/3.
+  EXPECT_NEAR(pe::models::erlang_c(1.0, 1.0, 2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ErlangC, MoreServersWaitLess) {
+  const double pw2 = pe::models::erlang_c(1.5, 1.0, 2);
+  const double pw4 = pe::models::erlang_c(1.5, 1.0, 4);
+  EXPECT_GT(pw2, pw4);
+}
+
+TEST(Mmc, SingleServerMatchesMm1) {
+  const auto a = pe::models::mm1(0.7, 1.0);
+  const auto b = pe::models::mmc(0.7, 1.0, 1);
+  EXPECT_NEAR(a.mean_wait, b.mean_wait, 1e-12);
+  EXPECT_NEAR(a.mean_response, b.mean_response, 1e-12);
+  EXPECT_NEAR(a.mean_in_system, b.mean_in_system, 1e-12);
+}
+
+TEST(Mmc, LittlesLawInternalConsistency) {
+  const auto m = pe::models::mmc(3.0, 1.0, 4);
+  EXPECT_NEAR(m.mean_in_system, 3.0 * m.mean_response, 1e-12);
+  EXPECT_NEAR(m.mean_queue_length, 3.0 * m.mean_wait, 1e-12);
+}
+
+TEST(Mmc, PoolingBeatsSeparateQueues) {
+  // One fast pooled system vs separate queues: 2 servers with lambda 1.4
+  // beats one server at lambda 0.7 in waiting time.
+  const auto pooled = pe::models::mmc(1.4, 1.0, 2);
+  const auto single = pe::models::mm1(0.7, 1.0);
+  EXPECT_LT(pooled.mean_wait, single.mean_wait);
+}
+
+TEST(Mg1, ExponentialServiceMatchesMm1) {
+  const auto pk = pe::models::mg1(0.6, 1.0, 1.0);
+  const auto mm = pe::models::mm1(0.6, 1.0);
+  EXPECT_NEAR(pk.mean_wait, mm.mean_wait, 1e-12);
+}
+
+TEST(Mg1, DeterministicServiceHalvesWait) {
+  const auto det = pe::models::mg1(0.6, 1.0, 0.0);
+  const auto exp = pe::models::mg1(0.6, 1.0, 1.0);
+  EXPECT_NEAR(det.mean_wait, exp.mean_wait / 2.0, 1e-12);
+}
+
+TEST(Mg1, HighVarianceHurts) {
+  EXPECT_GT(pe::models::mg1(0.6, 1.0, 4.0).mean_wait,
+            pe::models::mg1(0.6, 1.0, 1.0).mean_wait);
+}
+
+TEST(LittlesLaw, Occupancy) {
+  EXPECT_DOUBLE_EQ(pe::models::littles_law_occupancy(100.0, 0.05), 5.0);
+}
+
+TEST(InteractiveLaw, ResponseTime) {
+  // N = 20 users, X = 2 req/s, Z = 5 s think -> R = 10 - 5 = 5 s.
+  EXPECT_DOUBLE_EQ(pe::models::interactive_response_time(20.0, 2.0, 5.0),
+                   5.0);
+  EXPECT_THROW(
+      (void)pe::models::interactive_response_time(0.0, 1.0, 1.0),
+      pe::Error);
+}
+
+}  // namespace

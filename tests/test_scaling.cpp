@@ -1,0 +1,124 @@
+// Tests for the scaling laws in perfeng/models/scaling.hpp.
+#include "perfeng/models/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+TEST(Amdahl, KnownValues) {
+  EXPECT_DOUBLE_EQ(pe::models::amdahl_speedup(0.0, 8.0), 8.0);
+  EXPECT_DOUBLE_EQ(pe::models::amdahl_speedup(1.0, 8.0), 1.0);
+  // f = 0.1, p = 10 -> 1 / (0.1 + 0.09) = 5.263...
+  EXPECT_NEAR(pe::models::amdahl_speedup(0.1, 10.0), 1.0 / 0.19, 1e-12);
+}
+
+TEST(Amdahl, LimitIsInverseSerialFraction) {
+  EXPECT_DOUBLE_EQ(pe::models::amdahl_limit(0.25), 4.0);
+  EXPECT_TRUE(std::isinf(pe::models::amdahl_limit(0.0)));
+}
+
+TEST(Amdahl, SpeedupBoundedByLimit) {
+  for (double p : {2.0, 8.0, 64.0, 4096.0}) {
+    EXPECT_LT(pe::models::amdahl_speedup(0.05, p),
+              pe::models::amdahl_limit(0.05));
+  }
+}
+
+TEST(Gustafson, KnownValues) {
+  EXPECT_DOUBLE_EQ(pe::models::gustafson_speedup(0.0, 16.0), 16.0);
+  EXPECT_DOUBLE_EQ(pe::models::gustafson_speedup(1.0, 16.0), 1.0);
+  EXPECT_DOUBLE_EQ(pe::models::gustafson_speedup(0.1, 10.0), 9.1);
+}
+
+TEST(Gustafson, AlwaysAtLeastAmdahl) {
+  for (double f : {0.05, 0.2, 0.5}) {
+    for (double p : {2.0, 8.0, 32.0}) {
+      EXPECT_GE(pe::models::gustafson_speedup(f, p),
+                pe::models::amdahl_speedup(f, p));
+    }
+  }
+}
+
+TEST(Usl, ReducesToAmdahlWithoutCoherence) {
+  // With kappa = 0, USL is Amdahl with sigma as the serial fraction.
+  for (double p : {1.0, 4.0, 16.0}) {
+    EXPECT_NEAR(pe::models::usl_speedup(0.1, 0.0, p),
+                pe::models::amdahl_speedup(0.1, p), 1e-12);
+  }
+}
+
+TEST(Usl, CoherenceCausesRetrogradeScaling) {
+  const double sigma = 0.05, kappa = 0.01;
+  const double peak = pe::models::usl_peak_workers(sigma, kappa);
+  EXPECT_NEAR(peak, std::sqrt(0.95 / 0.01), 1e-9);
+  const double before = pe::models::usl_speedup(sigma, kappa, 4.0);
+  const double at = pe::models::usl_speedup(sigma, kappa, peak);
+  const double after = pe::models::usl_speedup(sigma, kappa, peak * 4.0);
+  EXPECT_GT(at, before);
+  EXPECT_GT(at, after);
+}
+
+TEST(Usl, PeakInfiniteWithoutCoherence) {
+  EXPECT_TRUE(std::isinf(pe::models::usl_peak_workers(0.1, 0.0)));
+}
+
+TEST(UslFit, RecoversSyntheticParameters) {
+  const double sigma = 0.08, kappa = 0.002;
+  std::vector<double> workers, speedups;
+  for (double p : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    workers.push_back(p);
+    speedups.push_back(pe::models::usl_speedup(sigma, kappa, p));
+  }
+  const auto fit = pe::models::fit_usl(workers, speedups);
+  EXPECT_NEAR(fit.sigma, sigma, 0.02);
+  EXPECT_NEAR(fit.kappa, kappa, 0.002);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(UslFit, ToleratesNoise) {
+  std::vector<double> workers = {1, 2, 4, 8, 16, 32};
+  std::vector<double> speedups;
+  const double noise[] = {1.01, 0.98, 1.02, 0.99, 1.015, 0.985};
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    speedups.push_back(pe::models::usl_speedup(0.1, 0.005, workers[i]) *
+                       noise[i]);
+  }
+  const auto fit = pe::models::fit_usl(workers, speedups);
+  EXPECT_NEAR(fit.sigma, 0.1, 0.05);
+  EXPECT_GT(fit.r2, 0.95);
+}
+
+TEST(UslFit, Validation) {
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW((void)pe::models::fit_usl(two, two), pe::Error);
+  const std::vector<double> w = {1.0, 2.0, 4.0};
+  const std::vector<double> bad = {1.0, -2.0, 3.0};
+  EXPECT_THROW((void)pe::models::fit_usl(w, bad), pe::Error);
+}
+
+TEST(KarpFlatt, InvertsAmdahl) {
+  const double f = 0.15;
+  for (double p : {2.0, 8.0, 32.0}) {
+    const double s = pe::models::amdahl_speedup(f, p);
+    EXPECT_NEAR(pe::models::karp_flatt(s, p), f, 1e-12) << p;
+  }
+}
+
+TEST(KarpFlatt, PerfectScalingGivesZero) {
+  EXPECT_NEAR(pe::models::karp_flatt(8.0, 8.0), 0.0, 1e-12);
+}
+
+TEST(ScalingValidation, DomainChecks) {
+  EXPECT_THROW((void)pe::models::amdahl_speedup(-0.1, 2.0), pe::Error);
+  EXPECT_THROW((void)pe::models::amdahl_speedup(0.5, 0.5), pe::Error);
+  EXPECT_THROW((void)pe::models::gustafson_speedup(1.1, 2.0), pe::Error);
+  EXPECT_THROW((void)pe::models::usl_speedup(-0.1, 0.0, 2.0), pe::Error);
+  EXPECT_THROW((void)pe::models::karp_flatt(2.0, 1.0), pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Tests for sparse formats and SpMV in perfeng/kernels/sparse.hpp.
+#include "perfeng/kernels/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::kernels::CooMatrix;
+using pe::kernels::CsrMatrix;
+using pe::kernels::SparsityPattern;
+
+CooMatrix small_coo() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  CooMatrix m;
+  m.rows = 2;
+  m.cols = 3;
+  m.entries = {{0, 2, 2.0}, {1, 1, 3.0}, {0, 0, 1.0}};
+  return m;
+}
+
+TEST(Coo, NormalizeSortsAndMergesDuplicates) {
+  CooMatrix m;
+  m.rows = 2;
+  m.cols = 2;
+  m.entries = {{1, 1, 1.0}, {0, 0, 2.0}, {1, 1, 3.0}};
+  m.normalize();
+  ASSERT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.entries[0].row, 0u);
+  EXPECT_DOUBLE_EQ(m.entries[1].value, 4.0);
+}
+
+TEST(Conversions, CooToCsrLayout) {
+  const auto csr = pe::kernels::coo_to_csr(small_coo());
+  EXPECT_EQ(csr.rows, 2u);
+  EXPECT_EQ(csr.cols, 3u);
+  EXPECT_EQ(csr.row_ptr, (std::vector<std::uint32_t>{0, 2, 3}));
+  EXPECT_EQ(csr.col_idx, (std::vector<std::uint32_t>{0, 2, 1}));
+  EXPECT_EQ(csr.values, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Conversions, CooToCscLayout) {
+  const auto csc = pe::kernels::coo_to_csc(small_coo());
+  EXPECT_EQ(csc.col_ptr, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(csc.row_idx, (std::vector<std::uint32_t>{0, 1, 0}));
+  EXPECT_EQ(csc.values, (std::vector<double>{1.0, 3.0, 2.0}));
+}
+
+TEST(Conversions, CsrRoundTripsThroughCoo) {
+  const auto csr = pe::kernels::coo_to_csr(small_coo());
+  const auto back = pe::kernels::csr_to_coo(csr);
+  const auto csr2 = pe::kernels::coo_to_csr(back);
+  EXPECT_EQ(csr.row_ptr, csr2.row_ptr);
+  EXPECT_EQ(csr.col_idx, csr2.col_idx);
+  EXPECT_EQ(csr.values, csr2.values);
+}
+
+TEST(Conversions, OutOfBoundsEntryRejected) {
+  CooMatrix m;
+  m.rows = 2;
+  m.cols = 2;
+  m.entries = {{5, 0, 1.0}};
+  EXPECT_THROW((void)pe::kernels::coo_to_csr(m), pe::Error);
+}
+
+TEST(Spmv, KnownProduct) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(2, -1.0);
+  pe::kernels::spmv_coo(small_coo(), x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);  // 1*1 + 2*3
+  EXPECT_DOUBLE_EQ(y[1], 6.0);  // 3*2
+}
+
+class SpmvPatterns : public ::testing::TestWithParam<SparsityPattern> {};
+
+TEST_P(SpmvPatterns, AllFormatsAgree) {
+  pe::Rng rng(42);
+  const auto coo =
+      pe::kernels::generate_sparse(200, 150, 0.02, GetParam(), rng);
+  const auto csr = pe::kernels::coo_to_csr(coo);
+  const auto csc = pe::kernels::coo_to_csc(coo);
+
+  std::vector<double> x(coo.cols);
+  for (auto& v : x) v = rng.next_range_double(-1.0, 1.0);
+
+  std::vector<double> y_coo(coo.rows), y_csr(coo.rows), y_csc(coo.rows),
+      y_par(coo.rows);
+  pe::kernels::spmv_coo(coo, x, y_coo);
+  pe::kernels::spmv_csr(csr, x, y_csr);
+  pe::kernels::spmv_csc(csc, x, y_csc);
+  pe::ThreadPool pool(3);
+  pe::kernels::spmv_csr_parallel(csr, x, y_par, pool);
+
+  for (std::size_t r = 0; r < coo.rows; ++r) {
+    EXPECT_NEAR(y_csr[r], y_coo[r], 1e-12);
+    EXPECT_NEAR(y_csc[r], y_coo[r], 1e-12);
+    EXPECT_NEAR(y_par[r], y_coo[r], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, SpmvPatterns,
+                         ::testing::Values(SparsityPattern::kUniform,
+                                           SparsityPattern::kBanded,
+                                           SparsityPattern::kPowerLaw));
+
+TEST(Ell, ConversionPadsToMaxDegree) {
+  const auto ell = pe::kernels::csr_to_ell(
+      pe::kernels::coo_to_csr(small_coo()));
+  EXPECT_EQ(ell.rows, 2u);
+  EXPECT_EQ(ell.width, 2u);  // row 0 has two entries
+  EXPECT_EQ(ell.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(ell.padding_ratio(), 4.0 / 3.0);
+}
+
+TEST(Ell, SpmvMatchesCsr) {
+  pe::Rng rng(11);
+  for (const auto pattern :
+       {SparsityPattern::kUniform, SparsityPattern::kPowerLaw}) {
+    const auto csr = pe::kernels::coo_to_csr(
+        pe::kernels::generate_sparse(150, 120, 0.03, pattern, rng));
+    const auto ell = pe::kernels::csr_to_ell(csr);
+    std::vector<double> x(csr.cols);
+    for (auto& v : x) v = rng.next_range_double(-1.0, 1.0);
+    std::vector<double> y_csr(csr.rows), y_ell(csr.rows);
+    pe::kernels::spmv_csr(csr, x, y_csr);
+    pe::kernels::spmv_ell(ell, x, y_ell);
+    for (std::size_t r = 0; r < csr.rows; ++r)
+      EXPECT_NEAR(y_ell[r], y_csr[r], 1e-12);
+  }
+}
+
+TEST(Ell, PowerLawMatricesPadBadly) {
+  pe::Rng rng(12);
+  const auto uniform = pe::kernels::csr_to_ell(pe::kernels::coo_to_csr(
+      pe::kernels::generate_sparse(400, 400, 0.01,
+                                   SparsityPattern::kUniform, rng)));
+  const auto skewed = pe::kernels::csr_to_ell(pe::kernels::coo_to_csr(
+      pe::kernels::generate_sparse(400, 400, 0.01,
+                                   SparsityPattern::kPowerLaw, rng)));
+  // Skewed degree distributions waste far more padding — ELL's weakness.
+  EXPECT_GT(skewed.padding_ratio(), uniform.padding_ratio() * 2.0);
+}
+
+TEST(Spmv, SizeMismatchRejected) {
+  const auto csr = pe::kernels::coo_to_csr(small_coo());
+  std::vector<double> x(2), y(2);  // x too short
+  EXPECT_THROW(pe::kernels::spmv_csr(csr, x, y), pe::Error);
+}
+
+TEST(Generator, HitsTargetDensityApproximately) {
+  pe::Rng rng(1);
+  const auto coo = pe::kernels::generate_sparse(
+      300, 300, 0.05, SparsityPattern::kUniform, rng);
+  const double density =
+      double(coo.nnz()) / (300.0 * 300.0);
+  // Duplicates get merged, so achieved density is slightly below target.
+  EXPECT_GT(density, 0.03);
+  EXPECT_LE(density, 0.055);
+}
+
+TEST(Generator, BandedStaysNearDiagonal) {
+  pe::Rng rng(2);
+  const auto coo = pe::kernels::generate_sparse(
+      400, 400, 0.01, SparsityPattern::kBanded, rng);
+  for (const auto& t : coo.entries) {
+    EXPECT_LT(std::abs(double(t.row) - double(t.col)), 20.0);
+  }
+}
+
+TEST(Generator, PowerLawSkewsRowDegrees) {
+  pe::Rng rng(3);
+  const auto uniform = pe::kernels::coo_to_csr(pe::kernels::generate_sparse(
+      500, 500, 0.01, SparsityPattern::kUniform, rng));
+  const auto powerlaw = pe::kernels::coo_to_csr(pe::kernels::generate_sparse(
+      500, 500, 0.01, SparsityPattern::kPowerLaw, rng));
+  const auto fu = pe::kernels::sparse_features(uniform);
+  const auto fp = pe::kernels::sparse_features(powerlaw);
+  const std::size_t cv_index = 5;  // deg_cv
+  EXPECT_GT(fp[cv_index], fu[cv_index] * 2.0);
+}
+
+TEST(Generator, DensityValidated) {
+  pe::Rng rng(4);
+  EXPECT_THROW((void)pe::kernels::generate_sparse(
+                   10, 10, 0.0, SparsityPattern::kUniform, rng),
+               pe::Error);
+  EXPECT_THROW((void)pe::kernels::generate_sparse(
+                   10, 10, 1.5, SparsityPattern::kUniform, rng),
+               pe::Error);
+}
+
+TEST(Features, NamesMatchValues) {
+  EXPECT_EQ(pe::kernels::sparse_feature_names().size(), 7u);
+  const auto csr = pe::kernels::coo_to_csr(small_coo());
+  const auto f = pe::kernels::sparse_features(csr);
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_DOUBLE_EQ(f[0], 2.0);            // rows
+  EXPECT_DOUBLE_EQ(f[1], 3.0);            // cols
+  EXPECT_DOUBLE_EQ(f[2], 3.0);            // nnz
+  EXPECT_DOUBLE_EQ(f[3], 0.5);            // density
+  EXPECT_DOUBLE_EQ(f[4], 1.5);            // mean degree
+  EXPECT_DOUBLE_EQ(f[6], 2.0);            // bandwidth: |2-0|
+}
+
+TEST(Features, PatternNames) {
+  EXPECT_EQ(pe::kernels::pattern_name(SparsityPattern::kUniform),
+            "uniform");
+  EXPECT_EQ(pe::kernels::pattern_name(SparsityPattern::kBanded), "banded");
+  EXPECT_EQ(pe::kernels::pattern_name(SparsityPattern::kPowerLaw),
+            "powerlaw");
+}
+
+}  // namespace

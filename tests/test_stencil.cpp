@@ -1,0 +1,121 @@
+// Tests for the 2D Jacobi stencil in perfeng/kernels/stencil.hpp.
+#include "perfeng/kernels/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/common/rng.hpp"
+
+namespace {
+
+using pe::kernels::Grid2D;
+
+Grid2D random_grid(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Grid2D g(rows, cols);
+  pe::Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      g.at(r, c) = rng.next_range_double(0.0, 100.0);
+  return g;
+}
+
+TEST(Grid2D, NeedsAnInterior) {
+  EXPECT_THROW(Grid2D(2, 10), pe::Error);
+  EXPECT_NO_THROW(Grid2D(3, 3));
+}
+
+TEST(Stencil, InteriorIsNeighborAverage) {
+  Grid2D in(3, 3, 0.0), out(3, 3);
+  in.at(1, 1) = 5.0;
+  in.at(0, 1) = 10.0;
+  in.at(2, 1) = 20.0;
+  in.at(1, 0) = 30.0;
+  in.at(1, 2) = 40.0;
+  pe::kernels::stencil_step_naive(in, out);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), (5.0 + 10.0 + 20.0 + 30.0 + 40.0) / 5.0);
+}
+
+TEST(Stencil, BoundaryIsCopiedThrough) {
+  const Grid2D in = random_grid(6, 7, 1);
+  Grid2D out(6, 7);
+  pe::kernels::stencil_step_naive(in, out);
+  for (std::size_t c = 0; c < in.cols(); ++c) {
+    EXPECT_DOUBLE_EQ(out.at(0, c), in.at(0, c));
+    EXPECT_DOUBLE_EQ(out.at(5, c), in.at(5, c));
+  }
+  for (std::size_t r = 0; r < in.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(out.at(r, 0), in.at(r, 0));
+    EXPECT_DOUBLE_EQ(out.at(r, 6), in.at(r, 6));
+  }
+}
+
+class StencilSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(StencilSizes, BlockedAndParallelMatchNaive) {
+  const auto [rows, cols] = GetParam();
+  const Grid2D in = random_grid(rows, cols, rows * 31 + cols);
+  Grid2D naive(rows, cols), blocked(rows, cols), parallel(rows, cols);
+  pe::kernels::stencil_step_naive(in, naive);
+
+  pe::kernels::stencil_step_blocked(in, blocked, 5);
+  EXPECT_DOUBLE_EQ(naive.max_abs_diff(blocked), 0.0);
+
+  pe::ThreadPool pool(3);
+  pe::kernels::stencil_step_parallel(in, parallel, pool);
+  EXPECT_DOUBLE_EQ(naive.max_abs_diff(parallel), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, StencilSizes,
+    ::testing::Values(std::make_pair(3, 3), std::make_pair(8, 8),
+                      std::make_pair(17, 9), std::make_pair(33, 65)));
+
+TEST(Stencil, RunPingPongsBuffers) {
+  Grid2D start(5, 5, 0.0);
+  start.at(2, 2) = 100.0;
+  const Grid2D after2 = pe::kernels::stencil_run(
+      start, 2, pe::kernels::stencil_step_naive);
+  // Manually compute the two steps.
+  Grid2D a(5, 5), b(5, 5);
+  pe::kernels::stencil_step_naive(start, a);
+  pe::kernels::stencil_step_naive(a, b);
+  EXPECT_DOUBLE_EQ(after2.max_abs_diff(b), 0.0);
+}
+
+TEST(Stencil, ZeroStepsReturnsInput) {
+  const Grid2D start = random_grid(4, 4, 2);
+  const Grid2D same = pe::kernels::stencil_run(
+      start, 0, pe::kernels::stencil_step_naive);
+  EXPECT_DOUBLE_EQ(start.max_abs_diff(same), 0.0);
+}
+
+TEST(Stencil, JacobiConverges) {
+  // Fixed hot boundary, cold interior: successive residuals shrink.
+  Grid2D g(16, 16, 0.0);
+  for (std::size_t c = 0; c < 16; ++c) g.at(0, c) = 100.0;
+  Grid2D next(16, 16);
+  pe::kernels::stencil_step_naive(g, next);
+  const double r1 = pe::kernels::stencil_residual(g, next);
+  Grid2D prev = next;
+  for (int i = 0; i < 50; ++i) {
+    pe::kernels::stencil_step_naive(prev, next);
+    std::swap(prev, next);
+  }
+  pe::kernels::stencil_step_naive(prev, next);
+  const double r2 = pe::kernels::stencil_residual(prev, next);
+  EXPECT_LT(r2, r1 * 0.5);
+}
+
+TEST(Stencil, FlopAccounting) {
+  EXPECT_DOUBLE_EQ(pe::kernels::stencil_flops(10, 10), 5.0 * 8 * 8);
+  EXPECT_THROW((void)pe::kernels::stencil_flops(2, 10), pe::Error);
+}
+
+TEST(Stencil, ShapeMismatchRejected) {
+  Grid2D in(4, 4), out(5, 4);
+  EXPECT_THROW(pe::kernels::stencil_step_naive(in, out), pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Tests for the STREAM microbenchmarks in perfeng/microbench/stream.hpp.
+#include "perfeng/microbench/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::microbench::StreamKernel;
+
+pe::BenchmarkRunner fast_runner() {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 1;
+  cfg.repetitions = 3;
+  cfg.min_batch_seconds = 1e-4;
+  return pe::BenchmarkRunner(cfg);
+}
+
+TEST(Stream, KernelNames) {
+  EXPECT_EQ(pe::microbench::stream_kernel_name(StreamKernel::kCopy), "Copy");
+  EXPECT_EQ(pe::microbench::stream_kernel_name(StreamKernel::kTriad),
+            "Triad");
+}
+
+TEST(Stream, TrafficAccountingFollowsMcCalpin) {
+  EXPECT_EQ(pe::microbench::stream_bytes_per_element(StreamKernel::kCopy),
+            16u);
+  EXPECT_EQ(pe::microbench::stream_bytes_per_element(StreamKernel::kScale),
+            16u);
+  EXPECT_EQ(pe::microbench::stream_bytes_per_element(StreamKernel::kAdd),
+            24u);
+  EXPECT_EQ(pe::microbench::stream_bytes_per_element(StreamKernel::kTriad),
+            24u);
+}
+
+TEST(Stream, FlopAccounting) {
+  EXPECT_EQ(pe::microbench::stream_flops_per_element(StreamKernel::kCopy),
+            0u);
+  EXPECT_EQ(pe::microbench::stream_flops_per_element(StreamKernel::kScale),
+            1u);
+  EXPECT_EQ(pe::microbench::stream_flops_per_element(StreamKernel::kAdd),
+            1u);
+  EXPECT_EQ(pe::microbench::stream_flops_per_element(StreamKernel::kTriad),
+            2u);
+}
+
+class StreamKernels : public ::testing::TestWithParam<StreamKernel> {};
+
+TEST_P(StreamKernels, MeasuresPositiveBandwidth) {
+  const auto runner = fast_runner();
+  const auto r = pe::microbench::run_stream(GetParam(), 1 << 14, runner);
+  EXPECT_GT(r.best_bandwidth, 0.0);
+  EXPECT_GT(r.median_bandwidth, 0.0);
+  EXPECT_GE(r.best_bandwidth, r.median_bandwidth * 0.5);
+  EXPECT_EQ(r.elements, std::size_t{1} << 14);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, StreamKernels,
+                         ::testing::Values(StreamKernel::kCopy,
+                                           StreamKernel::kScale,
+                                           StreamKernel::kAdd,
+                                           StreamKernel::kTriad));
+
+TEST(Stream, SuiteRunsAllFour) {
+  const auto runner = fast_runner();
+  const auto suite = pe::microbench::run_stream_suite(1 << 13, runner);
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0].kernel, StreamKernel::kCopy);
+  EXPECT_EQ(suite[3].kernel, StreamKernel::kTriad);
+}
+
+TEST(Stream, SustainableBandwidthIsSuiteMax) {
+  const auto runner = fast_runner();
+  const double bw = pe::microbench::sustainable_bandwidth(1 << 13, runner);
+  EXPECT_GT(bw, 1e6);  // any machine moves more than 1 MB/s
+}
+
+TEST(Stream, TinyVectorsRejected) {
+  const auto runner = fast_runner();
+  EXPECT_THROW(
+      (void)pe::microbench::run_stream(StreamKernel::kCopy, 4, runner),
+      pe::Error);
+}
+
+}  // namespace

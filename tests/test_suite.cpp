@@ -1,0 +1,100 @@
+// Tests for the benchmark-suite scoring in perfeng/measure/suite.hpp.
+#include "perfeng/measure/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+pe::BenchmarkSuite three_member_suite() {
+  pe::BenchmarkSuite suite("toy");
+  suite.add({"a", [] {}, 1.0});
+  suite.add({"b", [] {}, 2.0});
+  suite.add({"c", [] {}, 4.0});
+  return suite;
+}
+
+TEST(Suite, GeometricMeanOfRatios) {
+  const auto suite = three_member_suite();
+  // Measured: 0.5, 2.0, 4.0 -> ratios 2.0, 1.0, 1.0.
+  const auto score = suite.score({0.5, 2.0, 4.0});
+  EXPECT_NEAR(score.geometric_mean_ratio, std::cbrt(2.0), 1e-12);
+  EXPECT_NEAR(score.arithmetic_mean_ratio, 4.0 / 3.0, 1e-12);
+  ASSERT_EQ(score.results.size(), 3u);
+  EXPECT_DOUBLE_EQ(score.results[0].ratio, 2.0);
+}
+
+TEST(Suite, GeometricMeanIsReferenceIndependent) {
+  // The SPEC lesson: with geometric means, the A-vs-B ranking does not
+  // depend on the reference times; with arithmetic means it can.
+  pe::BenchmarkSuite ref1("r1"), ref2("r2");
+  ref1.add({"x", [] {}, 1.0});
+  ref1.add({"y", [] {}, 1.0});
+  ref2.add({"x", [] {}, 10.0});
+  ref2.add({"y", [] {}, 0.1});
+
+  const std::vector<double> machine_a = {0.5, 2.0};
+  const std::vector<double> machine_b = {2.0, 0.5};
+  const double gm_ratio_ref1 =
+      ref1.score(machine_a).geometric_mean_ratio /
+      ref1.score(machine_b).geometric_mean_ratio;
+  const double gm_ratio_ref2 =
+      ref2.score(machine_a).geometric_mean_ratio /
+      ref2.score(machine_b).geometric_mean_ratio;
+  EXPECT_NEAR(gm_ratio_ref1, gm_ratio_ref2, 1e-12);
+}
+
+TEST(Suite, ArithmeticMeanFlipsWithReference) {
+  pe::BenchmarkSuite ref1("r1"), ref2("r2");
+  ref1.add({"x", [] {}, 1.0});
+  ref1.add({"y", [] {}, 1.0});
+  ref2.add({"x", [] {}, 10.0});
+  ref2.add({"y", [] {}, 0.1});
+  const std::vector<double> machine_a = {0.5, 2.0};
+  const std::vector<double> machine_b = {2.0, 0.5};
+  const bool a_wins_ref1 = ref1.score(machine_a).arithmetic_mean_ratio >
+                           ref1.score(machine_b).arithmetic_mean_ratio;
+  const bool a_wins_ref2 = ref2.score(machine_a).arithmetic_mean_ratio >
+                           ref2.score(machine_b).arithmetic_mean_ratio;
+  EXPECT_NE(a_wins_ref1, a_wins_ref2);  // the ranking flips
+}
+
+TEST(Suite, RegressionsListed) {
+  const auto score = three_member_suite().score({2.0, 1.0, 8.0});
+  EXPECT_EQ(score.regressions(),
+            (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(Suite, RunMeasuresEveryMember) {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 0;
+  cfg.repetitions = 2;
+  cfg.min_batch_seconds = 1e-5;
+  pe::BenchmarkSuite suite("live");
+  suite.add({"spin", [] {
+               volatile int x = 0;
+               for (int i = 0; i < 1000; ++i) x = x + i;
+             },
+             1e-6});
+  const auto score = suite.run(pe::BenchmarkRunner(cfg));
+  ASSERT_EQ(score.results.size(), 1u);
+  EXPECT_GT(score.results[0].seconds, 0.0);
+  EXPECT_GT(score.geometric_mean_ratio, 0.0);
+}
+
+TEST(Suite, Validation) {
+  pe::BenchmarkSuite suite("v");
+  EXPECT_THROW(suite.add({"a", nullptr, 1.0}), pe::Error);
+  EXPECT_THROW(suite.add({"a", [] {}, 0.0}), pe::Error);
+  suite.add({"a", [] {}, 1.0});
+  EXPECT_THROW(suite.add({"a", [] {}, 1.0}), pe::Error);  // duplicate
+  EXPECT_THROW((void)suite.score({1.0, 2.0}), pe::Error);  // wrong arity
+  EXPECT_THROW((void)suite.score({0.0}), pe::Error);       // bad time
+  pe::BenchmarkSuite empty("e");
+  EXPECT_THROW((void)empty.score({}), pe::Error);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Tests for the ASCII table renderer in perfeng/common/table.hpp.
+#include "perfeng/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  pe::Table t({"kernel", "time"});
+  t.add_row({"matmul", "1.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("kernel"), std::string::npos);
+  EXPECT_NE(out.find("matmul"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(Table, RowWidthMustMatchHeader) {
+  pe::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), pe::Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), pe::Error);
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  pe::Table t;
+  EXPECT_THROW(t.set_headers({}), pe::Error);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  pe::Table t({"x", "y", "z"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, VariadicAddFormatsNumbers) {
+  pe::Table t({"name", "value", "count"});
+  t.add("pi", 3.14159, 42);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("3.142"), std::string::npos);  // 4 significant digits
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, AlignmentControlsPadding) {
+  pe::Table t({"l", "r"});
+  t.set_alignment({pe::Align::kLeft, pe::Align::kRight});
+  t.add_row({"a", "b"});
+  t.add_row({"long", "word"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a    |"), std::string::npos);
+  EXPECT_NE(out.find("|    b |"), std::string::npos);
+}
+
+TEST(Table, AlignmentWidthValidated) {
+  pe::Table t({"a", "b"});
+  EXPECT_THROW(t.set_alignment({pe::Align::kLeft}), pe::Error);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  pe::Table t({"name", "note"});
+  t.add_row({"with,comma", "with \"quote\""});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(FormatSig, SignificantDigits) {
+  EXPECT_EQ(pe::format_sig(1234.5678, 4), "1235");
+  EXPECT_EQ(pe::format_sig(0.00012345, 3), "0.000123");
+  EXPECT_EQ(pe::format_sig(2.0, 4), "2");
+}
+
+TEST(FormatSig, HandlesNonFinite) {
+  EXPECT_EQ(pe::format_sig(std::nan(""), 4), "nan");
+  EXPECT_EQ(pe::format_sig(std::numeric_limits<double>::infinity(), 4), "inf");
+  EXPECT_EQ(pe::format_sig(-std::numeric_limits<double>::infinity(), 4), "-inf");
+}
+
+TEST(FormatFixed, FixedDecimals) {
+  EXPECT_EQ(pe::format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(pe::format_fixed(2.0, 1), "2.0");
+  EXPECT_EQ(pe::format_fixed(4.55, 1), "4.5");  // round-to-even edge noted
+}
+
+}  // namespace

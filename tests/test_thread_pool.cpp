@@ -1,0 +1,87 @@
+// Tests for the ThreadPool substrate in perfeng/parallel/thread_pool.hpp.
+#include "perfeng/parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  pe::ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SizeMatchesConstruction) {
+  pe::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroWorkersRejected) {
+  EXPECT_THROW(pe::ThreadPool(0), pe::Error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  pe::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  pe::ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, TasksReturnValues) {
+  pe::ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, RunOnAllUsesDistinctThreads) {
+  pe::ThreadPool pool(3);
+  std::mutex m;
+  std::set<std::thread::id> ids;
+  std::set<std::size_t> indices;
+  pool.run_on_all([&](std::size_t w) {
+    std::lock_guard lock(m);
+    ids.insert(std::this_thread::get_id());
+    indices.insert(w);
+  });
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    pe::ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) pool.submit([&counter] { ++counter; });
+  }  // destructor must wait for all 100
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(pe::ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  pe::ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    return pool.submit([] { return 7; });
+  });
+  EXPECT_EQ(outer.get().get(), 7);
+}
+
+}  // namespace

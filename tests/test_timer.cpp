@@ -1,0 +1,48 @@
+// Tests for WallTimer and helpers in perfeng/measure/timer.hpp.
+#include "perfeng/measure/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+TEST(WallTimer, ElapsedIsNonNegativeAndMonotone) {
+  pe::WallTimer t;
+  const double a = t.elapsed();
+  const double b = t.elapsed();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimer, MeasuresSleeps) {
+  pe::WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = t.elapsed();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 2.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(WallTimer, ResetRestartsTheClock) {
+  pe::WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.reset();
+  EXPECT_LT(t.elapsed(), 0.01);
+}
+
+TEST(TimerResolution, PositiveAndSane) {
+  const double res = pe::estimate_timer_resolution(50);
+  EXPECT_GT(res, 0.0);
+  EXPECT_LT(res, 1e-3);  // any modern steady clock resolves below 1 ms
+}
+
+TEST(DoNotOptimize, CompilesForCommonTypes) {
+  int x = 5;
+  double y = 2.0;
+  pe::do_not_optimize(x);
+  pe::do_not_optimize(y);
+  pe::clobber_memory();
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Tests for the transpose kernels in perfeng/kernels/transpose.hpp.
+#include "perfeng/kernels/transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::kernels::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols,
+                     std::uint64_t seed) {
+  Matrix m(rows, cols);
+  pe::Rng rng(seed);
+  m.randomize(rng);
+  return m;
+}
+
+TEST(Transpose, NaiveTransposesCorrectly) {
+  const Matrix in = random_matrix(5, 7, 1);
+  Matrix out(7, 5);
+  pe::kernels::transpose_naive(in, out);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 7; ++c)
+      EXPECT_DOUBLE_EQ(out(c, r), in(r, c));
+}
+
+class TransposeShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(TransposeShapes, BlockedMatchesNaive) {
+  const auto [rows, cols] = GetParam();
+  const Matrix in = random_matrix(rows, cols, rows * 17 + cols);
+  Matrix naive(cols, rows), blocked(cols, rows);
+  pe::kernels::transpose_naive(in, naive);
+  for (std::size_t block : {1u, 3u, 8u, 64u}) {
+    pe::kernels::transpose_blocked(in, blocked, block);
+    EXPECT_DOUBLE_EQ(naive.max_abs_diff(blocked), 0.0) << "block " << block;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransposeShapes,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(1, 9),
+                      std::make_pair(16, 16), std::make_pair(33, 17),
+                      std::make_pair(64, 65)));
+
+TEST(Transpose, InplaceMatchesOutOfPlace) {
+  Matrix m = random_matrix(20, 20, 3);
+  Matrix expected(20, 20);
+  pe::kernels::transpose_naive(m, expected);
+  pe::kernels::transpose_inplace(m);
+  EXPECT_DOUBLE_EQ(m.max_abs_diff(expected), 0.0);
+}
+
+TEST(Transpose, InplaceIsAnInvolution) {
+  Matrix m = random_matrix(12, 12, 4);
+  const Matrix original = m;
+  pe::kernels::transpose_inplace(m);
+  pe::kernels::transpose_inplace(m);
+  EXPECT_EQ(m, original);
+}
+
+TEST(Transpose, ShapeValidation) {
+  const Matrix in = random_matrix(3, 4, 5);
+  Matrix wrong(3, 4);
+  EXPECT_THROW(pe::kernels::transpose_naive(in, wrong), pe::Error);
+  Matrix rect = random_matrix(3, 4, 6);
+  EXPECT_THROW(pe::kernels::transpose_inplace(rect), pe::Error);
+}
+
+TEST(Transpose, MinBytesAccounting) {
+  EXPECT_DOUBLE_EQ(pe::kernels::transpose_min_bytes(10, 20), 3200.0);
+}
+
+TEST(TransposeTrace, BlockingCutsMissesBeyondCache) {
+  // 256x256 doubles = 512 KiB per matrix, far beyond a 2 KiB L1 and a
+  // 64 KiB L2: the naive scattered writes miss every line repeatedly.
+  auto make_hierarchy = [] {
+    std::vector<pe::sim::LevelSpec> specs;
+    specs.push_back({pe::sim::CacheConfig{"L1", 2 * 1024, 64, 8}, 4.0});
+    specs.push_back({pe::sim::CacheConfig{"L2", 64 * 1024, 64, 8}, 12.0});
+    return pe::sim::CacheHierarchy(std::move(specs), 200.0);
+  };
+  auto naive = make_hierarchy();
+  auto blocked = make_hierarchy();
+  pe::kernels::trace_transpose(naive, 256, 256, 0);
+  pe::kernels::trace_transpose(blocked, 256, 256, 8);
+  EXPECT_EQ(naive.stats().total_accesses,
+            blocked.stats().total_accesses);  // same work
+  EXPECT_LT(blocked.stats().levels[0].misses() * 2,
+            naive.stats().levels[0].misses());
+  EXPECT_LT(blocked.stats().total_cycles, naive.stats().total_cycles);
+}
+
+TEST(TransposeTrace, SmallMatricesAreInsensitive) {
+  auto make_hierarchy = [] {
+    return pe::sim::CacheHierarchy::typical_desktop();
+  };
+  auto naive = make_hierarchy();
+  auto blocked = make_hierarchy();
+  pe::kernels::trace_transpose(naive, 16, 16, 0);
+  pe::kernels::trace_transpose(blocked, 16, 16, 8);
+  // Everything fits in L1: both orders are compulsory-miss only.
+  EXPECT_EQ(naive.stats().levels[0].misses(),
+            blocked.stats().levels[0].misses());
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Tests for decision-tree and random-forest regression in
+// perfeng/statmodel/tree.hpp.
+#include "perfeng/statmodel/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/common/rng.hpp"
+
+namespace {
+
+using pe::statmodel::Dataset;
+using pe::statmodel::DecisionTreeRegressor;
+using pe::statmodel::RandomForestRegressor;
+using pe::statmodel::TreeConfig;
+
+Dataset step_function() {
+  // y = 1 for x < 5, y = 9 for x >= 5: one split recovers it exactly.
+  Dataset d({"x"});
+  for (double x = 0.0; x < 10.0; x += 0.5)
+    d.add_row({x}, x < 5.0 ? 1.0 : 9.0);
+  return d;
+}
+
+TEST(Tree, RecoversStepFunctionExactly) {
+  DecisionTreeRegressor tree;
+  tree.fit(step_function());
+  EXPECT_DOUBLE_EQ(tree.predict({2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict({7.0}), 9.0);
+}
+
+TEST(Tree, SingleLeafForConstantTarget) {
+  Dataset d({"x"});
+  for (double x = 0; x < 10; ++x) d.add_row({x}, 5.0);
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict({100.0}), 5.0);
+}
+
+TEST(Tree, MaxDepthLimitsGrowth) {
+  Dataset d({"x"});
+  pe::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.next_range_double(0, 10);
+    d.add_row({x}, x * x);
+  }
+  DecisionTreeRegressor shallow(TreeConfig{2, 1, 2});
+  shallow.fit(d);
+  EXPECT_LE(shallow.depth(), 2u);
+  DecisionTreeRegressor deep(TreeConfig{8, 1, 2});
+  deep.fit(d);
+  EXPECT_GT(deep.node_count(), shallow.node_count());
+}
+
+TEST(Tree, DeeperTreesFitBetter) {
+  Dataset d({"x"});
+  pe::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.next_range_double(0, 10);
+    d.add_row({x}, std::sin(x) * 10.0);
+  }
+  auto sse = [&](pe::statmodel::Regressor& model) {
+    model.fit(d);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < d.rows(); ++i) {
+      const double e = model.predict(d.row(i)) - d.target(i);
+      acc += e * e;
+    }
+    return acc;
+  };
+  DecisionTreeRegressor shallow(TreeConfig{2, 2, 4});
+  DecisionTreeRegressor deep(TreeConfig{10, 2, 4});
+  EXPECT_LT(sse(deep), sse(shallow));
+}
+
+TEST(Tree, SplitsOnTheInformativeFeature) {
+  // Feature 0 is noise; feature 1 carries the signal.
+  Dataset d({"noise", "signal"});
+  pe::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const double noise = rng.next_range_double(0, 1);
+    const double signal = rng.next_range_double(0, 10);
+    d.add_row({noise, signal}, signal > 5.0 ? 100.0 : 0.0);
+  }
+  DecisionTreeRegressor tree(TreeConfig{1000, 1, 2});
+  tree.fit(d);
+  EXPECT_DOUBLE_EQ(tree.predict({0.5, 9.0}), 100.0);
+  EXPECT_DOUBLE_EQ(tree.predict({0.5, 1.0}), 0.0);
+}
+
+TEST(Tree, PredictBeforeFitThrows) {
+  DecisionTreeRegressor tree;
+  EXPECT_THROW((void)tree.predict({1.0}), pe::Error);
+}
+
+TEST(Tree, ConfigValidation) {
+  EXPECT_THROW(DecisionTreeRegressor(TreeConfig{0, 1, 2}), pe::Error);
+  EXPECT_THROW(DecisionTreeRegressor(TreeConfig{2, 2, 2}), pe::Error);
+}
+
+TEST(Forest, PredictsSmoothAverageOfTrees) {
+  Dataset d = step_function();
+  RandomForestRegressor forest(16);
+  forest.fit(d);
+  EXPECT_NEAR(forest.predict({2.0}), 1.0, 1.5);
+  EXPECT_NEAR(forest.predict({8.0}), 9.0, 1.5);
+  EXPECT_EQ(forest.tree_count(), 16u);
+}
+
+TEST(Forest, DeterministicGivenSeed) {
+  RandomForestRegressor a(8, TreeConfig{}, 42), b(8, TreeConfig{}, 42);
+  a.fit(step_function());
+  b.fit(step_function());
+  EXPECT_DOUBLE_EQ(a.predict({3.3}), b.predict({3.3}));
+}
+
+TEST(Forest, SeedsChangePredictionsSlightly) {
+  RandomForestRegressor a(8, TreeConfig{}, 1), b(8, TreeConfig{}, 2);
+  Dataset d({"x"});
+  pe::Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.next_range_double(0, 10);
+    d.add_row({x}, x * 3.0 + rng.next_normal());
+  }
+  a.fit(d);
+  b.fit(d);
+  EXPECT_NE(a.predict({5.5}), b.predict({5.5}));
+  EXPECT_NEAR(a.predict({5.5}), b.predict({5.5}), 3.0);
+}
+
+TEST(Forest, Validation) {
+  EXPECT_THROW(RandomForestRegressor(0), pe::Error);
+  RandomForestRegressor f(2);
+  EXPECT_THROW((void)f.predict({1.0}), pe::Error);  // before fit
+}
+
+TEST(Forest, Describe) {
+  EXPECT_NE(RandomForestRegressor(4).describe().find("forest"),
+            std::string::npos);
+}
+
+}  // namespace

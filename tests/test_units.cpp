@@ -1,0 +1,38 @@
+// Tests for quantity formatting in perfeng/common/units.hpp.
+#include "perfeng/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Units, TimeScalesAutomatically) {
+  EXPECT_EQ(pe::format_time(0.0), "0 s");
+  EXPECT_EQ(pe::format_time(2.5e-9), "2.5 ns");
+  EXPECT_EQ(pe::format_time(3.2e-6), "3.2 us");
+  EXPECT_EQ(pe::format_time(1.5e-3), "1.5 ms");
+  EXPECT_EQ(pe::format_time(2.0), "2 s");
+}
+
+TEST(Units, BytesUseBinaryPrefixes) {
+  EXPECT_EQ(pe::format_bytes(512), "512 B");
+  EXPECT_EQ(pe::format_bytes(2048), "2 KiB");
+  EXPECT_EQ(pe::format_bytes(3 * 1024 * 1024), "3 MiB");
+  EXPECT_EQ(pe::format_bytes(std::uint64_t{5} << 30), "5 GiB");
+}
+
+TEST(Units, BandwidthUsesDecimalPrefixes) {
+  EXPECT_EQ(pe::format_bandwidth(1.0e3), "1 kB/s");
+  EXPECT_EQ(pe::format_bandwidth(2.5e9), "2.5 GB/s");
+}
+
+TEST(Units, FlopsUsesDecimalPrefixes) {
+  EXPECT_EQ(pe::format_flops(3.0e9), "3 GFLOP/s");
+  EXPECT_EQ(pe::format_flops(1.2e6), "1.2 MFLOP/s");
+}
+
+TEST(Units, CountScales) {
+  EXPECT_EQ(pe::format_count(999), "999");
+  EXPECT_EQ(pe::format_count(1.5e6), "1.5 M");
+}
+
+}  // namespace

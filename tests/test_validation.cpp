@@ -1,0 +1,97 @@
+// Tests for model validation helpers in perfeng/statmodel/validation.hpp.
+#include "perfeng/statmodel/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/statmodel/knn.hpp"
+#include "perfeng/statmodel/linear.hpp"
+
+namespace {
+
+using pe::statmodel::Dataset;
+using pe::statmodel::KnnRegressor;
+using pe::statmodel::LinearRegression;
+
+Dataset linear_data(int n) {
+  Dataset d({"x"});
+  for (int i = 0; i < n; ++i) d.add_row({double(i)}, 3.0 * i + 1.0);
+  return d;
+}
+
+TEST(Evaluate, PerfectModelScoresPerfectly) {
+  const auto split = linear_data(40).train_test_split(0.25);
+  LinearRegression model;
+  const auto r = pe::statmodel::evaluate(model, split.train, split.test);
+  EXPECT_NEAR(r.mape, 0.0, 1e-9);
+  EXPECT_NEAR(r.rmse, 0.0, 1e-6);
+  EXPECT_NEAR(r.r2, 1.0, 1e-9);
+  EXPECT_EQ(r.test_rows, 10u);
+}
+
+TEST(Evaluate, ImperfectModelHasPositiveError) {
+  Dataset train({"x"}), test({"x"});
+  for (int i = 0; i < 20; ++i)
+    train.add_row({double(i)}, double(i % 3));  // non-linear target
+  for (int i = 0; i < 5; ++i) test.add_row({double(i)}, double(i % 3));
+  LinearRegression model;
+  const auto r = pe::statmodel::evaluate(model, train, test);
+  EXPECT_GT(r.rmse, 0.0);
+}
+
+TEST(Evaluate, MapeSkippedWhenTargetsContainZero) {
+  Dataset train = linear_data(20);
+  Dataset test({"x"});
+  test.add_row({0.0}, 0.0);
+  test.add_row({1.0}, 4.0);
+  LinearRegression model;
+  const auto r = pe::statmodel::evaluate(model, train, test);
+  EXPECT_EQ(r.mape, 0.0);  // skipped, not NaN/inf
+}
+
+TEST(CrossValidate, AveragesAcrossFolds) {
+  const auto data = linear_data(30);
+  const auto r = pe::statmodel::cross_validate(
+      [] { return std::make_unique<LinearRegression>(); }, data, 5);
+  EXPECT_NEAR(r.r2, 1.0, 1e-9);
+  EXPECT_NEAR(r.rmse, 0.0, 1e-6);
+  EXPECT_EQ(r.test_rows, 30u);  // every row tested exactly once
+}
+
+TEST(CrossValidate, DistinguishesModelQuality) {
+  // A noisy nonlinear target: kNN (local) beats a straight line.
+  Dataset d({"x"});
+  for (int i = 0; i < 60; ++i) {
+    const double x = i * 0.2;
+    d.add_row({x}, x * x);
+  }
+  const auto line = pe::statmodel::cross_validate(
+      [] { return std::make_unique<LinearRegression>(); }, d, 5);
+  const auto knn = pe::statmodel::cross_validate(
+      [] { return std::make_unique<KnnRegressor>(2); }, d, 5);
+  EXPECT_LT(knn.rmse, line.rmse);
+}
+
+TEST(CrossValidate, Validation) {
+  const auto data = linear_data(10);
+  EXPECT_THROW((void)pe::statmodel::cross_validate(
+                   [] { return std::make_unique<LinearRegression>(); },
+                   data, 1),
+               pe::Error);
+  EXPECT_THROW((void)pe::statmodel::cross_validate(
+                   [] { return std::make_unique<LinearRegression>(); },
+                   data, 11),
+               pe::Error);
+  EXPECT_THROW((void)pe::statmodel::cross_validate(nullptr, data, 2),
+               pe::Error);
+}
+
+TEST(Evaluate, EmptyTestSetRejected) {
+  Dataset train = linear_data(10);
+  Dataset test({"x"});
+  LinearRegression model;
+  EXPECT_THROW((void)pe::statmodel::evaluate(model, train, test),
+               pe::Error);
+}
+
+}  // namespace
