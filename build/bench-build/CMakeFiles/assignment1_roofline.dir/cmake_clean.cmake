@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/assignment1_roofline"
+  "../bench/assignment1_roofline.pdb"
+  "CMakeFiles/assignment1_roofline.dir/assignment1_roofline.cpp.o"
+  "CMakeFiles/assignment1_roofline.dir/assignment1_roofline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment1_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

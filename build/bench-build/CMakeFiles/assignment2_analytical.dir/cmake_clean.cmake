@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/assignment2_analytical"
+  "../bench/assignment2_analytical.pdb"
+  "CMakeFiles/assignment2_analytical.dir/assignment2_analytical.cpp.o"
+  "CMakeFiles/assignment2_analytical.dir/assignment2_analytical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment2_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/assignment3_statistical"
+  "../bench/assignment3_statistical.pdb"
+  "CMakeFiles/assignment3_statistical.dir/assignment3_statistical.cpp.o"
+  "CMakeFiles/assignment3_statistical.dir/assignment3_statistical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment3_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

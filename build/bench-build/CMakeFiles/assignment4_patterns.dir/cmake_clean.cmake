@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/assignment4_patterns"
+  "../bench/assignment4_patterns.pdb"
+  "CMakeFiles/assignment4_patterns.dir/assignment4_patterns.cpp.o"
+  "CMakeFiles/assignment4_patterns.dir/assignment4_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment4_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/benchmark_suite"
+  "../bench/benchmark_suite.pdb"
+  "CMakeFiles/benchmark_suite.dir/benchmark_suite.cpp.o"
+  "CMakeFiles/benchmark_suite.dir/benchmark_suite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

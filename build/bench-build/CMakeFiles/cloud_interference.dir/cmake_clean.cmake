@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cloud_interference"
+  "../bench/cloud_interference.pdb"
+  "CMakeFiles/cloud_interference.dir/cloud_interference.cpp.o"
+  "CMakeFiles/cloud_interference.dir/cloud_interference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

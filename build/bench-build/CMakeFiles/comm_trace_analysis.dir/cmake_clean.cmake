@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/comm_trace_analysis"
+  "../bench/comm_trace_analysis.pdb"
+  "CMakeFiles/comm_trace_analysis.dir/comm_trace_analysis.cpp.o"
+  "CMakeFiles/comm_trace_analysis.dir/comm_trace_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/distributed_model.cpp" "bench-build/CMakeFiles/distributed_model.dir/distributed_model.cpp.o" "gcc" "bench-build/CMakeFiles/distributed_model.dir/distributed_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/perfeng_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perfeng_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/perfeng_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/perfeng_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/perfeng_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/perfeng_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/perfeng_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/distributed_model"
+  "../bench/distributed_model.pdb"
+  "CMakeFiles/distributed_model.dir/distributed_model.cpp.o"
+  "CMakeFiles/distributed_model.dir/distributed_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

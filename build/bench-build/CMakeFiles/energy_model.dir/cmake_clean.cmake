@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/energy_model"
+  "../bench/energy_model.pdb"
+  "CMakeFiles/energy_model.dir/energy_model.cpp.o"
+  "CMakeFiles/energy_model.dir/energy_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figure1_students"
+  "../bench/figure1_students.pdb"
+  "CMakeFiles/figure1_students.dir/figure1_students.cpp.o"
+  "CMakeFiles/figure1_students.dir/figure1_students.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_students.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gpu_occupancy"
+  "../bench/gpu_occupancy.pdb"
+  "CMakeFiles/gpu_occupancy.dir/gpu_occupancy.cpp.o"
+  "CMakeFiles/gpu_occupancy.dir/gpu_occupancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

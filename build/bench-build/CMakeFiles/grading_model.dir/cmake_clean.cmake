@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/grading_model"
+  "../bench/grading_model.pdb"
+  "CMakeFiles/grading_model.dir/grading_model.cpp.o"
+  "CMakeFiles/grading_model.dir/grading_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grading_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

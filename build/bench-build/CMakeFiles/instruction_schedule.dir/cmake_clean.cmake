@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/instruction_schedule"
+  "../bench/instruction_schedule.pdb"
+  "CMakeFiles/instruction_schedule.dir/instruction_schedule.cpp.o"
+  "CMakeFiles/instruction_schedule.dir/instruction_schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instruction_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/matmul_variants"
+  "../bench/matmul_variants.pdb"
+  "CMakeFiles/matmul_variants.dir/matmul_variants.cpp.o"
+  "CMakeFiles/matmul_variants.dir/matmul_variants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/offload_model"
+  "../bench/offload_model.pdb"
+  "CMakeFiles/offload_model.dir/offload_model.cpp.o"
+  "CMakeFiles/offload_model.dir/offload_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/polyhedral_transforms"
+  "../bench/polyhedral_transforms.pdb"
+  "CMakeFiles/polyhedral_transforms.dir/polyhedral_transforms.cpp.o"
+  "CMakeFiles/polyhedral_transforms.dir/polyhedral_transforms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyhedral_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

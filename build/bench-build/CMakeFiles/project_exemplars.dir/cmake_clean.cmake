@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/project_exemplars"
+  "../bench/project_exemplars.pdb"
+  "CMakeFiles/project_exemplars.dir/project_exemplars.cpp.o"
+  "CMakeFiles/project_exemplars.dir/project_exemplars.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_exemplars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

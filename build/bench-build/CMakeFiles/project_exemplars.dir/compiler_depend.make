@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for project_exemplars.
+# This may be replaced when dependencies are built.

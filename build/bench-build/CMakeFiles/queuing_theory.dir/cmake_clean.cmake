@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/queuing_theory"
+  "../bench/queuing_theory.pdb"
+  "CMakeFiles/queuing_theory.dir/queuing_theory.cpp.o"
+  "CMakeFiles/queuing_theory.dir/queuing_theory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queuing_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_laws"
+  "../bench/scaling_laws.pdb"
+  "CMakeFiles/scaling_laws.dir/scaling_laws.cpp.o"
+  "CMakeFiles/scaling_laws.dir/scaling_laws.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/spmv_formats"
+  "../bench/spmv_formats.pdb"
+  "CMakeFiles/spmv_formats.dir/spmv_formats.cpp.o"
+  "CMakeFiles/spmv_formats.dir/spmv_formats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/stream_micro"
+  "../bench/stream_micro.pdb"
+  "CMakeFiles/stream_micro.dir/stream_micro.cpp.o"
+  "CMakeFiles/stream_micro.dir/stream_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_topics"
+  "../bench/table1_topics.pdb"
+  "CMakeFiles/table1_topics.dir/table1_topics.cpp.o"
+  "CMakeFiles/table1_topics.dir/table1_topics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_evaluation"
+  "../bench/table2_evaluation.pdb"
+  "CMakeFiles/table2_evaluation.dir/table2_evaluation.cpp.o"
+  "CMakeFiles/table2_evaluation.dir/table2_evaluation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/course_grades.dir/course_grades.cpp.o"
+  "CMakeFiles/course_grades.dir/course_grades.cpp.o.d"
+  "course_grades"
+  "course_grades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/course_grades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/life_optimizer.dir/life_optimizer.cpp.o"
+  "CMakeFiles/life_optimizer.dir/life_optimizer.cpp.o.d"
+  "life_optimizer"
+  "life_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/life_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

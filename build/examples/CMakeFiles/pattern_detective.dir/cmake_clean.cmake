@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_detective.dir/pattern_detective.cpp.o"
+  "CMakeFiles/pattern_detective.dir/pattern_detective.cpp.o.d"
+  "pattern_detective"
+  "pattern_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

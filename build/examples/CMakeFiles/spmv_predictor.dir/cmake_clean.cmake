@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_predictor.dir/spmv_predictor.cpp.o"
+  "CMakeFiles/spmv_predictor.dir/spmv_predictor.cpp.o.d"
+  "spmv_predictor"
+  "spmv_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

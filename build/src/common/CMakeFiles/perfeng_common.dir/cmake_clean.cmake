@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_common.dir/src/csv.cpp.o"
+  "CMakeFiles/perfeng_common.dir/src/csv.cpp.o.d"
+  "CMakeFiles/perfeng_common.dir/src/rng.cpp.o"
+  "CMakeFiles/perfeng_common.dir/src/rng.cpp.o.d"
+  "CMakeFiles/perfeng_common.dir/src/table.cpp.o"
+  "CMakeFiles/perfeng_common.dir/src/table.cpp.o.d"
+  "CMakeFiles/perfeng_common.dir/src/units.cpp.o"
+  "CMakeFiles/perfeng_common.dir/src/units.cpp.o.d"
+  "libperfeng_common.a"
+  "libperfeng_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_core.dir/src/pipeline.cpp.o"
+  "CMakeFiles/perfeng_core.dir/src/pipeline.cpp.o.d"
+  "libperfeng_core.a"
+  "libperfeng_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/counters/src/attribution.cpp" "src/counters/CMakeFiles/perfeng_counters.dir/src/attribution.cpp.o" "gcc" "src/counters/CMakeFiles/perfeng_counters.dir/src/attribution.cpp.o.d"
+  "/root/repo/src/counters/src/counter_set.cpp" "src/counters/CMakeFiles/perfeng_counters.dir/src/counter_set.cpp.o" "gcc" "src/counters/CMakeFiles/perfeng_counters.dir/src/counter_set.cpp.o.d"
+  "/root/repo/src/counters/src/patterns.cpp" "src/counters/CMakeFiles/perfeng_counters.dir/src/patterns.cpp.o" "gcc" "src/counters/CMakeFiles/perfeng_counters.dir/src/patterns.cpp.o.d"
+  "/root/repo/src/counters/src/perf_backend.cpp" "src/counters/CMakeFiles/perfeng_counters.dir/src/perf_backend.cpp.o" "gcc" "src/counters/CMakeFiles/perfeng_counters.dir/src/perf_backend.cpp.o.d"
+  "/root/repo/src/counters/src/simulated_counters.cpp" "src/counters/CMakeFiles/perfeng_counters.dir/src/simulated_counters.cpp.o" "gcc" "src/counters/CMakeFiles/perfeng_counters.dir/src/simulated_counters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/perfeng_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perfeng_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/perfeng_measure.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_counters.dir/src/attribution.cpp.o"
+  "CMakeFiles/perfeng_counters.dir/src/attribution.cpp.o.d"
+  "CMakeFiles/perfeng_counters.dir/src/counter_set.cpp.o"
+  "CMakeFiles/perfeng_counters.dir/src/counter_set.cpp.o.d"
+  "CMakeFiles/perfeng_counters.dir/src/patterns.cpp.o"
+  "CMakeFiles/perfeng_counters.dir/src/patterns.cpp.o.d"
+  "CMakeFiles/perfeng_counters.dir/src/perf_backend.cpp.o"
+  "CMakeFiles/perfeng_counters.dir/src/perf_backend.cpp.o.d"
+  "CMakeFiles/perfeng_counters.dir/src/simulated_counters.cpp.o"
+  "CMakeFiles/perfeng_counters.dir/src/simulated_counters.cpp.o.d"
+  "libperfeng_counters.a"
+  "libperfeng_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_course.dir/src/data.cpp.o"
+  "CMakeFiles/perfeng_course.dir/src/data.cpp.o.d"
+  "CMakeFiles/perfeng_course.dir/src/grading.cpp.o"
+  "CMakeFiles/perfeng_course.dir/src/grading.cpp.o.d"
+  "CMakeFiles/perfeng_course.dir/src/tables.cpp.o"
+  "CMakeFiles/perfeng_course.dir/src/tables.cpp.o.d"
+  "libperfeng_course.a"
+  "libperfeng_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libperfeng_course.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/src/fft.cpp" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/fft.cpp.o" "gcc" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/fft.cpp.o.d"
+  "/root/repo/src/kernels/src/graph.cpp" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/graph.cpp.o" "gcc" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/graph.cpp.o.d"
+  "/root/repo/src/kernels/src/histogram.cpp" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/histogram.cpp.o" "gcc" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/histogram.cpp.o.d"
+  "/root/repo/src/kernels/src/life.cpp" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/life.cpp.o" "gcc" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/life.cpp.o.d"
+  "/root/repo/src/kernels/src/matmul.cpp" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/matmul.cpp.o" "gcc" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/matmul.cpp.o.d"
+  "/root/repo/src/kernels/src/matrix_market.cpp" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/matrix_market.cpp.o" "gcc" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/matrix_market.cpp.o.d"
+  "/root/repo/src/kernels/src/pattern_kernels.cpp" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/pattern_kernels.cpp.o" "gcc" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/pattern_kernels.cpp.o.d"
+  "/root/repo/src/kernels/src/sparse.cpp" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/sparse.cpp.o" "gcc" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/sparse.cpp.o.d"
+  "/root/repo/src/kernels/src/stencil.cpp" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/stencil.cpp.o" "gcc" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/stencil.cpp.o.d"
+  "/root/repo/src/kernels/src/traces.cpp" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/traces.cpp.o" "gcc" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/traces.cpp.o.d"
+  "/root/repo/src/kernels/src/transpose.cpp" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/transpose.cpp.o" "gcc" "src/kernels/CMakeFiles/perfeng_kernels.dir/src/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/perfeng_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/perfeng_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perfeng_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_kernels.dir/src/fft.cpp.o"
+  "CMakeFiles/perfeng_kernels.dir/src/fft.cpp.o.d"
+  "CMakeFiles/perfeng_kernels.dir/src/graph.cpp.o"
+  "CMakeFiles/perfeng_kernels.dir/src/graph.cpp.o.d"
+  "CMakeFiles/perfeng_kernels.dir/src/histogram.cpp.o"
+  "CMakeFiles/perfeng_kernels.dir/src/histogram.cpp.o.d"
+  "CMakeFiles/perfeng_kernels.dir/src/life.cpp.o"
+  "CMakeFiles/perfeng_kernels.dir/src/life.cpp.o.d"
+  "CMakeFiles/perfeng_kernels.dir/src/matmul.cpp.o"
+  "CMakeFiles/perfeng_kernels.dir/src/matmul.cpp.o.d"
+  "CMakeFiles/perfeng_kernels.dir/src/matrix_market.cpp.o"
+  "CMakeFiles/perfeng_kernels.dir/src/matrix_market.cpp.o.d"
+  "CMakeFiles/perfeng_kernels.dir/src/pattern_kernels.cpp.o"
+  "CMakeFiles/perfeng_kernels.dir/src/pattern_kernels.cpp.o.d"
+  "CMakeFiles/perfeng_kernels.dir/src/sparse.cpp.o"
+  "CMakeFiles/perfeng_kernels.dir/src/sparse.cpp.o.d"
+  "CMakeFiles/perfeng_kernels.dir/src/stencil.cpp.o"
+  "CMakeFiles/perfeng_kernels.dir/src/stencil.cpp.o.d"
+  "CMakeFiles/perfeng_kernels.dir/src/traces.cpp.o"
+  "CMakeFiles/perfeng_kernels.dir/src/traces.cpp.o.d"
+  "CMakeFiles/perfeng_kernels.dir/src/transpose.cpp.o"
+  "CMakeFiles/perfeng_kernels.dir/src/transpose.cpp.o.d"
+  "libperfeng_kernels.a"
+  "libperfeng_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

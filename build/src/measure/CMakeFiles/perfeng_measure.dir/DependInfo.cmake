@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/src/benchmark_runner.cpp" "src/measure/CMakeFiles/perfeng_measure.dir/src/benchmark_runner.cpp.o" "gcc" "src/measure/CMakeFiles/perfeng_measure.dir/src/benchmark_runner.cpp.o.d"
+  "/root/repo/src/measure/src/experiment.cpp" "src/measure/CMakeFiles/perfeng_measure.dir/src/experiment.cpp.o" "gcc" "src/measure/CMakeFiles/perfeng_measure.dir/src/experiment.cpp.o.d"
+  "/root/repo/src/measure/src/metrics.cpp" "src/measure/CMakeFiles/perfeng_measure.dir/src/metrics.cpp.o" "gcc" "src/measure/CMakeFiles/perfeng_measure.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/measure/src/statistics.cpp" "src/measure/CMakeFiles/perfeng_measure.dir/src/statistics.cpp.o" "gcc" "src/measure/CMakeFiles/perfeng_measure.dir/src/statistics.cpp.o.d"
+  "/root/repo/src/measure/src/suite.cpp" "src/measure/CMakeFiles/perfeng_measure.dir/src/suite.cpp.o" "gcc" "src/measure/CMakeFiles/perfeng_measure.dir/src/suite.cpp.o.d"
+  "/root/repo/src/measure/src/timer.cpp" "src/measure/CMakeFiles/perfeng_measure.dir/src/timer.cpp.o" "gcc" "src/measure/CMakeFiles/perfeng_measure.dir/src/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/perfeng_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

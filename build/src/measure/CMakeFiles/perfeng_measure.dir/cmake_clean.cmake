@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_measure.dir/src/benchmark_runner.cpp.o"
+  "CMakeFiles/perfeng_measure.dir/src/benchmark_runner.cpp.o.d"
+  "CMakeFiles/perfeng_measure.dir/src/experiment.cpp.o"
+  "CMakeFiles/perfeng_measure.dir/src/experiment.cpp.o.d"
+  "CMakeFiles/perfeng_measure.dir/src/metrics.cpp.o"
+  "CMakeFiles/perfeng_measure.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/perfeng_measure.dir/src/statistics.cpp.o"
+  "CMakeFiles/perfeng_measure.dir/src/statistics.cpp.o.d"
+  "CMakeFiles/perfeng_measure.dir/src/suite.cpp.o"
+  "CMakeFiles/perfeng_measure.dir/src/suite.cpp.o.d"
+  "CMakeFiles/perfeng_measure.dir/src/timer.cpp.o"
+  "CMakeFiles/perfeng_measure.dir/src/timer.cpp.o.d"
+  "libperfeng_measure.a"
+  "libperfeng_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microbench/src/latency.cpp" "src/microbench/CMakeFiles/perfeng_microbench.dir/src/latency.cpp.o" "gcc" "src/microbench/CMakeFiles/perfeng_microbench.dir/src/latency.cpp.o.d"
+  "/root/repo/src/microbench/src/machine_probe.cpp" "src/microbench/CMakeFiles/perfeng_microbench.dir/src/machine_probe.cpp.o" "gcc" "src/microbench/CMakeFiles/perfeng_microbench.dir/src/machine_probe.cpp.o.d"
+  "/root/repo/src/microbench/src/op_costs.cpp" "src/microbench/CMakeFiles/perfeng_microbench.dir/src/op_costs.cpp.o" "gcc" "src/microbench/CMakeFiles/perfeng_microbench.dir/src/op_costs.cpp.o.d"
+  "/root/repo/src/microbench/src/peak_flops.cpp" "src/microbench/CMakeFiles/perfeng_microbench.dir/src/peak_flops.cpp.o" "gcc" "src/microbench/CMakeFiles/perfeng_microbench.dir/src/peak_flops.cpp.o.d"
+  "/root/repo/src/microbench/src/stream.cpp" "src/microbench/CMakeFiles/perfeng_microbench.dir/src/stream.cpp.o" "gcc" "src/microbench/CMakeFiles/perfeng_microbench.dir/src/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/perfeng_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/perfeng_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/perfeng_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

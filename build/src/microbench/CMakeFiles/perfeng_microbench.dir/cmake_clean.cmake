@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_microbench.dir/src/latency.cpp.o"
+  "CMakeFiles/perfeng_microbench.dir/src/latency.cpp.o.d"
+  "CMakeFiles/perfeng_microbench.dir/src/machine_probe.cpp.o"
+  "CMakeFiles/perfeng_microbench.dir/src/machine_probe.cpp.o.d"
+  "CMakeFiles/perfeng_microbench.dir/src/op_costs.cpp.o"
+  "CMakeFiles/perfeng_microbench.dir/src/op_costs.cpp.o.d"
+  "CMakeFiles/perfeng_microbench.dir/src/peak_flops.cpp.o"
+  "CMakeFiles/perfeng_microbench.dir/src/peak_flops.cpp.o.d"
+  "CMakeFiles/perfeng_microbench.dir/src/stream.cpp.o"
+  "CMakeFiles/perfeng_microbench.dir/src/stream.cpp.o.d"
+  "libperfeng_microbench.a"
+  "libperfeng_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

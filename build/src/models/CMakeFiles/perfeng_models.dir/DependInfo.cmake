@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/src/analytical.cpp" "src/models/CMakeFiles/perfeng_models.dir/src/analytical.cpp.o" "gcc" "src/models/CMakeFiles/perfeng_models.dir/src/analytical.cpp.o.d"
+  "/root/repo/src/models/src/ecm.cpp" "src/models/CMakeFiles/perfeng_models.dir/src/ecm.cpp.o" "gcc" "src/models/CMakeFiles/perfeng_models.dir/src/ecm.cpp.o.d"
+  "/root/repo/src/models/src/energy.cpp" "src/models/CMakeFiles/perfeng_models.dir/src/energy.cpp.o" "gcc" "src/models/CMakeFiles/perfeng_models.dir/src/energy.cpp.o.d"
+  "/root/repo/src/models/src/gpu.cpp" "src/models/CMakeFiles/perfeng_models.dir/src/gpu.cpp.o" "gcc" "src/models/CMakeFiles/perfeng_models.dir/src/gpu.cpp.o.d"
+  "/root/repo/src/models/src/interference.cpp" "src/models/CMakeFiles/perfeng_models.dir/src/interference.cpp.o" "gcc" "src/models/CMakeFiles/perfeng_models.dir/src/interference.cpp.o.d"
+  "/root/repo/src/models/src/network.cpp" "src/models/CMakeFiles/perfeng_models.dir/src/network.cpp.o" "gcc" "src/models/CMakeFiles/perfeng_models.dir/src/network.cpp.o.d"
+  "/root/repo/src/models/src/offload.cpp" "src/models/CMakeFiles/perfeng_models.dir/src/offload.cpp.o" "gcc" "src/models/CMakeFiles/perfeng_models.dir/src/offload.cpp.o.d"
+  "/root/repo/src/models/src/queuing.cpp" "src/models/CMakeFiles/perfeng_models.dir/src/queuing.cpp.o" "gcc" "src/models/CMakeFiles/perfeng_models.dir/src/queuing.cpp.o.d"
+  "/root/repo/src/models/src/roofline.cpp" "src/models/CMakeFiles/perfeng_models.dir/src/roofline.cpp.o" "gcc" "src/models/CMakeFiles/perfeng_models.dir/src/roofline.cpp.o.d"
+  "/root/repo/src/models/src/scaling.cpp" "src/models/CMakeFiles/perfeng_models.dir/src/scaling.cpp.o" "gcc" "src/models/CMakeFiles/perfeng_models.dir/src/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/perfeng_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/perfeng_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/perfeng_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/perfeng_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/perfeng_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perfeng_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_models.dir/src/analytical.cpp.o"
+  "CMakeFiles/perfeng_models.dir/src/analytical.cpp.o.d"
+  "CMakeFiles/perfeng_models.dir/src/ecm.cpp.o"
+  "CMakeFiles/perfeng_models.dir/src/ecm.cpp.o.d"
+  "CMakeFiles/perfeng_models.dir/src/energy.cpp.o"
+  "CMakeFiles/perfeng_models.dir/src/energy.cpp.o.d"
+  "CMakeFiles/perfeng_models.dir/src/gpu.cpp.o"
+  "CMakeFiles/perfeng_models.dir/src/gpu.cpp.o.d"
+  "CMakeFiles/perfeng_models.dir/src/interference.cpp.o"
+  "CMakeFiles/perfeng_models.dir/src/interference.cpp.o.d"
+  "CMakeFiles/perfeng_models.dir/src/network.cpp.o"
+  "CMakeFiles/perfeng_models.dir/src/network.cpp.o.d"
+  "CMakeFiles/perfeng_models.dir/src/offload.cpp.o"
+  "CMakeFiles/perfeng_models.dir/src/offload.cpp.o.d"
+  "CMakeFiles/perfeng_models.dir/src/queuing.cpp.o"
+  "CMakeFiles/perfeng_models.dir/src/queuing.cpp.o.d"
+  "CMakeFiles/perfeng_models.dir/src/roofline.cpp.o"
+  "CMakeFiles/perfeng_models.dir/src/roofline.cpp.o.d"
+  "CMakeFiles/perfeng_models.dir/src/scaling.cpp.o"
+  "CMakeFiles/perfeng_models.dir/src/scaling.cpp.o.d"
+  "libperfeng_models.a"
+  "libperfeng_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_parallel.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/perfeng_parallel.dir/src/thread_pool.cpp.o.d"
+  "libperfeng_parallel.a"
+  "libperfeng_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

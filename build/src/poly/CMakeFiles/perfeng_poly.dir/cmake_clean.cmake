@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_poly.dir/src/dependence.cpp.o"
+  "CMakeFiles/perfeng_poly.dir/src/dependence.cpp.o.d"
+  "libperfeng_poly.a"
+  "libperfeng_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

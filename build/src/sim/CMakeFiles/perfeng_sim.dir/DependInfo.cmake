@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/branch_predictor.cpp" "src/sim/CMakeFiles/perfeng_sim.dir/src/branch_predictor.cpp.o" "gcc" "src/sim/CMakeFiles/perfeng_sim.dir/src/branch_predictor.cpp.o.d"
+  "/root/repo/src/sim/src/cache.cpp" "src/sim/CMakeFiles/perfeng_sim.dir/src/cache.cpp.o" "gcc" "src/sim/CMakeFiles/perfeng_sim.dir/src/cache.cpp.o.d"
+  "/root/repo/src/sim/src/cache_hierarchy.cpp" "src/sim/CMakeFiles/perfeng_sim.dir/src/cache_hierarchy.cpp.o" "gcc" "src/sim/CMakeFiles/perfeng_sim.dir/src/cache_hierarchy.cpp.o.d"
+  "/root/repo/src/sim/src/comm_trace.cpp" "src/sim/CMakeFiles/perfeng_sim.dir/src/comm_trace.cpp.o" "gcc" "src/sim/CMakeFiles/perfeng_sim.dir/src/comm_trace.cpp.o.d"
+  "/root/repo/src/sim/src/des.cpp" "src/sim/CMakeFiles/perfeng_sim.dir/src/des.cpp.o" "gcc" "src/sim/CMakeFiles/perfeng_sim.dir/src/des.cpp.o.d"
+  "/root/repo/src/sim/src/netsim.cpp" "src/sim/CMakeFiles/perfeng_sim.dir/src/netsim.cpp.o" "gcc" "src/sim/CMakeFiles/perfeng_sim.dir/src/netsim.cpp.o.d"
+  "/root/repo/src/sim/src/pipeline_sim.cpp" "src/sim/CMakeFiles/perfeng_sim.dir/src/pipeline_sim.cpp.o" "gcc" "src/sim/CMakeFiles/perfeng_sim.dir/src/pipeline_sim.cpp.o.d"
+  "/root/repo/src/sim/src/queue_sim.cpp" "src/sim/CMakeFiles/perfeng_sim.dir/src/queue_sim.cpp.o" "gcc" "src/sim/CMakeFiles/perfeng_sim.dir/src/queue_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/perfeng_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_sim.dir/src/branch_predictor.cpp.o"
+  "CMakeFiles/perfeng_sim.dir/src/branch_predictor.cpp.o.d"
+  "CMakeFiles/perfeng_sim.dir/src/cache.cpp.o"
+  "CMakeFiles/perfeng_sim.dir/src/cache.cpp.o.d"
+  "CMakeFiles/perfeng_sim.dir/src/cache_hierarchy.cpp.o"
+  "CMakeFiles/perfeng_sim.dir/src/cache_hierarchy.cpp.o.d"
+  "CMakeFiles/perfeng_sim.dir/src/comm_trace.cpp.o"
+  "CMakeFiles/perfeng_sim.dir/src/comm_trace.cpp.o.d"
+  "CMakeFiles/perfeng_sim.dir/src/des.cpp.o"
+  "CMakeFiles/perfeng_sim.dir/src/des.cpp.o.d"
+  "CMakeFiles/perfeng_sim.dir/src/netsim.cpp.o"
+  "CMakeFiles/perfeng_sim.dir/src/netsim.cpp.o.d"
+  "CMakeFiles/perfeng_sim.dir/src/pipeline_sim.cpp.o"
+  "CMakeFiles/perfeng_sim.dir/src/pipeline_sim.cpp.o.d"
+  "CMakeFiles/perfeng_sim.dir/src/queue_sim.cpp.o"
+  "CMakeFiles/perfeng_sim.dir/src/queue_sim.cpp.o.d"
+  "libperfeng_sim.a"
+  "libperfeng_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statmodel/src/dataset.cpp" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/dataset.cpp.o" "gcc" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/dataset.cpp.o.d"
+  "/root/repo/src/statmodel/src/importance.cpp" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/importance.cpp.o" "gcc" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/importance.cpp.o.d"
+  "/root/repo/src/statmodel/src/knn.cpp" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/knn.cpp.o" "gcc" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/knn.cpp.o.d"
+  "/root/repo/src/statmodel/src/linear.cpp" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/linear.cpp.o" "gcc" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/linear.cpp.o.d"
+  "/root/repo/src/statmodel/src/tree.cpp" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/tree.cpp.o" "gcc" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/tree.cpp.o.d"
+  "/root/repo/src/statmodel/src/validation.cpp" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/validation.cpp.o" "gcc" "src/statmodel/CMakeFiles/perfeng_statmodel.dir/src/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/perfeng_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/perfeng_measure.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfeng_statmodel.dir/src/dataset.cpp.o"
+  "CMakeFiles/perfeng_statmodel.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/perfeng_statmodel.dir/src/importance.cpp.o"
+  "CMakeFiles/perfeng_statmodel.dir/src/importance.cpp.o.d"
+  "CMakeFiles/perfeng_statmodel.dir/src/knn.cpp.o"
+  "CMakeFiles/perfeng_statmodel.dir/src/knn.cpp.o.d"
+  "CMakeFiles/perfeng_statmodel.dir/src/linear.cpp.o"
+  "CMakeFiles/perfeng_statmodel.dir/src/linear.cpp.o.d"
+  "CMakeFiles/perfeng_statmodel.dir/src/tree.cpp.o"
+  "CMakeFiles/perfeng_statmodel.dir/src/tree.cpp.o.d"
+  "CMakeFiles/perfeng_statmodel.dir/src/validation.cpp.o"
+  "CMakeFiles/perfeng_statmodel.dir/src/validation.cpp.o.d"
+  "libperfeng_statmodel.a"
+  "libperfeng_statmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfeng_statmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for perfeng_statmodel.
+# This may be replaced when dependencies are built.

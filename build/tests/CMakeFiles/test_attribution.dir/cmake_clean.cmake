@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attribution.dir/test_attribution.cpp.o"
+  "CMakeFiles/test_attribution.dir/test_attribution.cpp.o.d"
+  "test_attribution"
+  "test_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

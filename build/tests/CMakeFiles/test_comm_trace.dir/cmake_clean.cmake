@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_trace.dir/test_comm_trace.cpp.o"
+  "CMakeFiles/test_comm_trace.dir/test_comm_trace.cpp.o.d"
+  "test_comm_trace"
+  "test_comm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counter_set.dir/test_counter_set.cpp.o"
+  "CMakeFiles/test_counter_set.dir/test_counter_set.cpp.o.d"
+  "test_counter_set"
+  "test_counter_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counter_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_course_data.dir/test_course_data.cpp.o"
+  "CMakeFiles/test_course_data.dir/test_course_data.cpp.o.d"
+  "test_course_data"
+  "test_course_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_course_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

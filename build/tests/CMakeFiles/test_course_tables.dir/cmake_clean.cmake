@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_course_tables.dir/test_course_tables.cpp.o"
+  "CMakeFiles/test_course_tables.dir/test_course_tables.cpp.o.d"
+  "test_course_tables"
+  "test_course_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_course_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

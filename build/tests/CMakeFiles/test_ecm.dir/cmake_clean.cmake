@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecm.dir/test_ecm.cpp.o"
+  "CMakeFiles/test_ecm.dir/test_ecm.cpp.o.d"
+  "test_ecm"
+  "test_ecm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

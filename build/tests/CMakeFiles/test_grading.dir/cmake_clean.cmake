@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grading.dir/test_grading.cpp.o"
+  "CMakeFiles/test_grading.dir/test_grading.cpp.o.d"
+  "test_grading"
+  "test_grading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_assignment3.dir/test_integration_assignment3.cpp.o"
+  "CMakeFiles/test_integration_assignment3.dir/test_integration_assignment3.cpp.o.d"
+  "test_integration_assignment3"
+  "test_integration_assignment3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_assignment3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

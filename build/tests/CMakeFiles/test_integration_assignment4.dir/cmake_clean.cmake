@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_assignment4.dir/test_integration_assignment4.cpp.o"
+  "CMakeFiles/test_integration_assignment4.dir/test_integration_assignment4.cpp.o.d"
+  "test_integration_assignment4"
+  "test_integration_assignment4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_assignment4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

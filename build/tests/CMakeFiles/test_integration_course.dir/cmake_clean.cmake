@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_course.dir/test_integration_course.cpp.o"
+  "CMakeFiles/test_integration_course.dir/test_integration_course.cpp.o.d"
+  "test_integration_course"
+  "test_integration_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_life.dir/test_life.cpp.o"
+  "CMakeFiles/test_life.dir/test_life.cpp.o.d"
+  "test_life"
+  "test_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

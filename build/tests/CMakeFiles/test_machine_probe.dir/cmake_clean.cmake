@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_probe.dir/test_machine_probe.cpp.o"
+  "CMakeFiles/test_machine_probe.dir/test_machine_probe.cpp.o.d"
+  "test_machine_probe"
+  "test_machine_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

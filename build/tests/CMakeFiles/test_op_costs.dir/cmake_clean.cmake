@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op_costs.dir/test_op_costs.cpp.o"
+  "CMakeFiles/test_op_costs.dir/test_op_costs.cpp.o.d"
+  "test_op_costs"
+  "test_op_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern_kernels.dir/test_pattern_kernels.cpp.o"
+  "CMakeFiles/test_pattern_kernels.dir/test_pattern_kernels.cpp.o.d"
+  "test_pattern_kernels"
+  "test_pattern_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

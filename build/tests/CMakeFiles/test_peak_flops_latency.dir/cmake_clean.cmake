@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peak_flops_latency.dir/test_peak_flops_latency.cpp.o"
+  "CMakeFiles/test_peak_flops_latency.dir/test_peak_flops_latency.cpp.o.d"
+  "test_peak_flops_latency"
+  "test_peak_flops_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peak_flops_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_peak_flops_latency.
+# This may be replaced when dependencies are built.

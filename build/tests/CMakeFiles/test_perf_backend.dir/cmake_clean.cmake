@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_backend.dir/test_perf_backend.cpp.o"
+  "CMakeFiles/test_perf_backend.dir/test_perf_backend.cpp.o.d"
+  "test_perf_backend"
+  "test_perf_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queuing.dir/test_queuing.cpp.o"
+  "CMakeFiles/test_queuing.dir/test_queuing.cpp.o.d"
+  "test_queuing"
+  "test_queuing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queuing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

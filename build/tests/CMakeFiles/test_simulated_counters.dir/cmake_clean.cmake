@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulated_counters.dir/test_simulated_counters.cpp.o"
+  "CMakeFiles/test_simulated_counters.dir/test_simulated_counters.cpp.o.d"
+  "test_simulated_counters"
+  "test_simulated_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulated_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
