@@ -23,14 +23,19 @@ struct CsvDocument {
   [[nodiscard]] std::size_t column(std::string_view name) const;
 };
 
-/// Parse CSV text (first row is the header). Throws pe::Error on ragged rows
-/// or unterminated quotes.
-[[nodiscard]] CsvDocument parse_csv(std::string_view text);
+/// Parse CSV text (first row is the header). Throws pe::Error on ragged
+/// rows or unterminated quotes; the message names `source` (a file name or
+/// "<memory>") and the offending 1-based line so a failed campaign log
+/// points at the broken record, not just at "csv".
+[[nodiscard]] CsvDocument parse_csv(std::string_view text,
+                                    std::string_view source = "<memory>");
 
 /// Parse a single CSV record (no trailing newline handling).
 [[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line);
 
-/// Read and parse a CSV file from disk. Throws pe::Error on IO failure.
+/// Read and parse a CSV file from disk. Throws pe::Error on IO failure and
+/// on malformed content (with `path` and line number in the message).
+/// Passes the `io.csv` fault site.
 [[nodiscard]] CsvDocument read_csv_file(const std::string& path);
 
 /// Serialize rows as CSV with proper quoting.

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file fault_hook.hpp
+/// Process-wide fault-injection hook points.
+///
+/// Real measurement campaigns fail partway: counter backends disappear,
+/// kernels throw, input files are garbage. To test those paths
+/// deterministically, the toolbox's failure-prone layers call
+/// `fault_point(site)` (and `fault_value(site, v)` for data corruption) at
+/// named sites. By default these are no-ops costing one relaxed atomic
+/// load; when a `FaultHook` is installed — normally a
+/// `pe::resilience::FaultInjector` armed with a seeded `FaultPlan` — the
+/// hook may throw, delay, or corrupt the value, exercising every recovery
+/// path on demand. The hook lives here (not in perfeng_resilience) so that
+/// low-level layers like the CSV reader and the thread pool can host sites
+/// without depending on the resilience library.
+
+#include <atomic>
+#include <string_view>
+
+namespace pe {
+
+/// Interface a fault injector implements to intercept hook points.
+/// Implementations must be thread-safe: sites fire from worker threads.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Called when execution passes the named site. May throw `pe::Error`
+  /// (fault kind: throw) or sleep (fault kind: delay).
+  virtual void at(std::string_view site) = 0;
+
+  /// Called where a measured value can be corrupted; returns the value to
+  /// use (possibly scaled/poisoned, fault kind: corrupt-value).
+  virtual double corrupt(std::string_view site, double value) = 0;
+};
+
+/// Canonical fault-site names (see docs/robustness.md for the catalog).
+namespace fault_sites {
+inline constexpr std::string_view kCountersRead = "counters.read";
+inline constexpr std::string_view kPoolWorker = "pool.worker";
+inline constexpr std::string_view kKernelCall = "kernel.call";
+inline constexpr std::string_view kIoCsv = "io.csv";
+inline constexpr std::string_view kIoMatrixMarket = "io.matrix_market";
+}  // namespace fault_sites
+
+/// Install (or with nullptr, remove) the process-wide hook. The caller
+/// keeps ownership and must keep the hook alive until it is removed;
+/// `pe::resilience::ScopedFaultInjection` does both ends via RAII.
+void set_fault_hook(FaultHook* hook) noexcept;
+
+/// Currently installed hook, or nullptr.
+[[nodiscard]] FaultHook* fault_hook() noexcept;
+
+namespace detail {
+extern std::atomic<FaultHook*> g_fault_hook;
+}  // namespace detail
+
+/// Pass a named fault site: no-op unless a hook is installed.
+inline void fault_point(std::string_view site) {
+  if (FaultHook* hook = detail::g_fault_hook.load(std::memory_order_acquire))
+    hook->at(site);
+}
+
+/// Pass a value through a named corruption site.
+[[nodiscard]] inline double fault_value(std::string_view site, double value) {
+  if (FaultHook* hook = detail::g_fault_hook.load(std::memory_order_acquire))
+    return hook->corrupt(site, value);
+  return value;
+}
+
+}  // namespace pe

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "perfeng/common/error.hpp"
+#include "perfeng/common/fault_hook.hpp"
 
 namespace pe {
 
@@ -15,13 +16,24 @@ std::size_t CsvDocument::column(std::string_view name) const {
 
 namespace {
 
+std::string where(std::string_view source, std::size_t line) {
+  return "csv: " + std::string(source) + ": line " + std::to_string(line) +
+         ": ";
+}
+
 // State machine over the whole text so quoted fields may contain newlines.
-CsvDocument parse_all(std::string_view text) {
+// Line numbers are 1-based physical lines; a multi-line quoted record is
+// reported at the line it started on.
+CsvDocument parse_all(std::string_view text, std::string_view source) {
   CsvDocument doc;
   std::vector<std::string> record;
   std::string field;
   bool in_quotes = false;
   bool row_has_data = false;
+  std::size_t line = 1;             // current physical line
+  std::size_t record_line = 1;      // line the current record started on
+  std::size_t quote_line = 1;       // line the open quote started on
+  std::vector<std::size_t> row_lines;  // start line of each data row
 
   auto end_field = [&] {
     record.push_back(std::move(field));
@@ -33,6 +45,7 @@ CsvDocument parse_all(std::string_view text) {
       doc.header = std::move(record);
     } else {
       doc.rows.push_back(std::move(record));
+      row_lines.push_back(record_line);
     }
     record.clear();
     row_has_data = false;
@@ -49,6 +62,7 @@ CsvDocument parse_all(std::string_view text) {
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         field += c;
       }
       continue;
@@ -56,6 +70,7 @@ CsvDocument parse_all(std::string_view text) {
     switch (c) {
       case '"':
         in_quotes = true;
+        quote_line = line;
         row_has_data = true;
         break;
       case ',':
@@ -66,6 +81,8 @@ CsvDocument parse_all(std::string_view text) {
         break;  // tolerate CRLF
       case '\n':
         if (row_has_data || !field.empty() || !record.empty()) end_record();
+        ++line;
+        record_line = line;
         break;
       default:
         field += c;
@@ -73,14 +90,16 @@ CsvDocument parse_all(std::string_view text) {
         break;
     }
   }
-  if (in_quotes) throw Error("csv: unterminated quoted field");
+  if (in_quotes)
+    throw Error(where(source, quote_line) + "unterminated quoted field");
   if (row_has_data || !field.empty() || !record.empty()) end_record();
 
-  for (const auto& row : doc.rows) {
-    if (row.size() != doc.header.size()) {
-      throw Error("csv: ragged row (got " + std::to_string(row.size()) +
-                  " fields, header has " + std::to_string(doc.header.size()) +
-                  ")");
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    if (doc.rows[r].size() != doc.header.size()) {
+      throw Error(where(source, row_lines[r]) + "ragged row (got " +
+                  std::to_string(doc.rows[r].size()) +
+                  " fields, header has " +
+                  std::to_string(doc.header.size()) + ")");
     }
   }
   return doc;
@@ -88,19 +107,23 @@ CsvDocument parse_all(std::string_view text) {
 
 }  // namespace
 
-CsvDocument parse_csv(std::string_view text) { return parse_all(text); }
+CsvDocument parse_csv(std::string_view text, std::string_view source) {
+  return parse_all(text, source);
+}
 
 std::vector<std::string> parse_csv_line(std::string_view line) {
-  CsvDocument doc = parse_all(line);
+  CsvDocument doc = parse_all(line, "<line>");
   return doc.header;  // single record parses as the header
 }
 
 CsvDocument read_csv_file(const std::string& path) {
+  fault_point(fault_sites::kIoCsv);
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("csv: cannot open '" + path + "'");
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse_csv(ss.str());
+  if (in.bad()) throw Error("csv: read error on '" + path + "'");
+  return parse_csv(ss.str(), path);
 }
 
 std::string write_csv(const std::vector<std::string>& header,

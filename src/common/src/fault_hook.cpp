@@ -1,0 +1,17 @@
+#include "perfeng/common/fault_hook.hpp"
+
+namespace pe {
+
+namespace detail {
+std::atomic<FaultHook*> g_fault_hook{nullptr};
+}  // namespace detail
+
+void set_fault_hook(FaultHook* hook) noexcept {
+  detail::g_fault_hook.store(hook, std::memory_order_release);
+}
+
+FaultHook* fault_hook() noexcept {
+  return detail::g_fault_hook.load(std::memory_order_acquire);
+}
+
+}  // namespace pe

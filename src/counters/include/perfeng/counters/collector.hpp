@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file collector.hpp
+/// Counter collection with graceful backend degradation.
+///
+/// Campaigns should not die because the host forbids perf_event_open. The
+/// `CounterCollector` tries the hardware backend first and, when it is
+/// unavailable or fails mid-read (including injected `counters.read`
+/// faults), falls back to a timing-based simulated estimate — the same
+/// documented substitution the rest of the toolbox uses — tagging the
+/// result `degraded` with the reason, so downstream reports can show the
+/// number *and* its provenance instead of crashing or silently lying.
+
+#include <functional>
+#include <string>
+
+#include "perfeng/counters/counter_set.hpp"
+
+namespace pe::counters {
+
+/// Nominal machine assumptions used to synthesize counters from wall time
+/// when no hardware backend is available.
+struct SimulatedMachineModel {
+  double clock_ghz = 3.0;       ///< assumed core clock
+  double assumed_ipc = 1.0;     ///< instructions per cycle
+  double branch_fraction = 0.2; ///< branches per instruction
+  double branch_miss_rate = 0.05;
+};
+
+/// A collected counter set plus its provenance.
+struct CollectedCounters {
+  CounterSet counters;
+  std::string backend;   ///< "perf" or "simulated"
+  bool degraded = false; ///< true when the hardware backend was unusable
+  std::string note;      ///< degradation reason (empty when not degraded)
+};
+
+/// Collects counters around a closure, degrading from the perf backend to
+/// a simulated estimate instead of throwing. Passes the `counters.read`
+/// fault site before touching the hardware backend.
+class CounterCollector {
+ public:
+  explicit CounterCollector(SimulatedMachineModel model = {});
+
+  /// Run `work` once and collect counters. Never throws for backend
+  /// trouble (only for a null closure): every failure path lands in the
+  /// simulated fallback with `degraded = true`.
+  [[nodiscard]] CollectedCounters collect(
+      const std::function<void()>& work) const;
+
+  [[nodiscard]] const SimulatedMachineModel& model() const { return model_; }
+
+ private:
+  SimulatedMachineModel model_;
+};
+
+}  // namespace pe::counters

@@ -1,0 +1,63 @@
+#include "perfeng/counters/collector.hpp"
+
+#include <cstdint>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/common/fault_hook.hpp"
+#include "perfeng/counters/perf_backend.hpp"
+#include "perfeng/measure/timer.hpp"
+
+namespace pe::counters {
+
+CounterCollector::CounterCollector(SimulatedMachineModel model)
+    : model_(model) {
+  PE_REQUIRE(model_.clock_ghz > 0.0, "clock must be positive");
+  PE_REQUIRE(model_.assumed_ipc > 0.0, "IPC must be positive");
+  PE_REQUIRE(model_.branch_fraction >= 0.0 && model_.branch_fraction <= 1.0,
+             "branch fraction must be in [0, 1]");
+  PE_REQUIRE(
+      model_.branch_miss_rate >= 0.0 && model_.branch_miss_rate <= 1.0,
+      "branch miss rate must be in [0, 1]");
+}
+
+CollectedCounters CounterCollector::collect(
+    const std::function<void()>& work) const {
+  PE_REQUIRE(static_cast<bool>(work), "null workload");
+  CollectedCounters out;
+  try {
+    fault_point(fault_sites::kCountersRead);
+    if (!PerfBackend::available())
+      throw Error("perf backend unavailable: " +
+                  PerfBackend::unavailable_reason());
+    out.counters = PerfBackend::measure(work);
+    out.backend = "perf";
+    return out;
+  } catch (const std::exception& e) {
+    out.note = e.what();
+  }
+
+  // Degraded path: time the work and synthesize counters from the nominal
+  // machine model. Corrupt-value faults at `counters.read` poison the
+  // timing here, which is exactly what chaos runs want to observe.
+  WallTimer t;
+  work();
+  const double seconds =
+      fault_value(fault_sites::kCountersRead, t.elapsed());
+  const double cycles_d = seconds * model_.clock_ghz * 1e9;
+  const auto cycles = static_cast<std::uint64_t>(cycles_d);
+  const auto instructions =
+      static_cast<std::uint64_t>(cycles_d * model_.assumed_ipc);
+  const auto branches = static_cast<std::uint64_t>(
+      static_cast<double>(instructions) * model_.branch_fraction);
+  const auto branch_misses = static_cast<std::uint64_t>(
+      static_cast<double>(branches) * model_.branch_miss_rate);
+  out.counters.set(kCycles, cycles);
+  out.counters.set(kInstructions, instructions);
+  out.counters.set(kBranches, branches);
+  out.counters.set(kBranchMisses, branch_misses);
+  out.backend = "simulated";
+  out.degraded = true;
+  return out;
+}
+
+}  // namespace pe::counters

@@ -10,6 +10,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "perfeng/kernels/sparse.hpp"
 
@@ -17,13 +18,17 @@ namespace pe::kernels {
 
 /// Parse a Matrix Market stream into COO form. Symmetric matrices are
 /// expanded (mirror entries added, diagonal kept single). Throws pe::Error
-/// on malformed input or unsupported qualifiers (complex, hermitian).
-[[nodiscard]] CooMatrix read_matrix_market(std::istream& in);
+/// on malformed input or unsupported qualifiers (complex, hermitian); the
+/// message names `source` (a file name or "<stream>") and the offending
+/// 1-based line, so a bad SuiteSparse download is diagnosable from the log.
+[[nodiscard]] CooMatrix read_matrix_market(std::istream& in,
+                                           std::string_view source =
+                                               "<stream>");
 
 /// Parse a Matrix Market document held in a string.
 [[nodiscard]] CooMatrix parse_matrix_market(const std::string& text);
 
-/// Read a .mtx file from disk.
+/// Read a .mtx file from disk. Passes the `io.matrix_market` fault site.
 [[nodiscard]] CooMatrix read_matrix_market_file(const std::string& path);
 
 /// Serialize a COO matrix as `matrix coordinate real general`.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "perfeng/common/error.hpp"
+#include "perfeng/common/fault_hook.hpp"
 
 namespace pe::kernels {
 
@@ -16,48 +17,72 @@ std::string lower(std::string s) {
   return s;
 }
 
+/// "mtx: <source>: line N: " prefix for diagnostics.
+std::string where(std::string_view source, std::size_t line) {
+  return "mtx: " + std::string(source) + ": line " + std::to_string(line) +
+         ": ";
+}
+
+/// Line-counting getline so every error can name the offending line.
+bool next_line(std::istream& in, std::string& line, std::size_t& lineno) {
+  if (!std::getline(in, line)) return false;
+  ++lineno;
+  return true;
+}
+
 }  // namespace
 
-CooMatrix read_matrix_market(std::istream& in) {
+CooMatrix read_matrix_market(std::istream& in, std::string_view source) {
   std::string line;
-  if (!std::getline(in, line)) throw Error("mtx: empty input");
+  std::size_t lineno = 0;
+  if (!next_line(in, line, lineno))
+    throw Error("mtx: " + std::string(source) + ": empty input");
 
   // Banner: %%MatrixMarket matrix coordinate <field> <symmetry>
   std::istringstream banner(line);
   std::string tag, object, format, field, symmetry;
   banner >> tag >> object >> format >> field >> symmetry;
   if (lower(tag) != "%%matrixmarket")
-    throw Error("mtx: missing %%MatrixMarket banner");
+    throw Error(where(source, lineno) + "missing %%MatrixMarket banner");
   if (lower(object) != "matrix" || lower(format) != "coordinate")
-    throw Error("mtx: only 'matrix coordinate' is supported");
+    throw Error(where(source, lineno) +
+                "only 'matrix coordinate' is supported");
   field = lower(field);
   symmetry = lower(symmetry);
   const bool pattern = field == "pattern";
   if (field != "real" && field != "integer" && !pattern)
-    throw Error("mtx: unsupported field '" + field + "'");
-  const bool symmetric = symmetry == "symmetric" || symmetry == "skew-symmetric";
+    throw Error(where(source, lineno) + "unsupported field '" + field + "'");
+  const bool symmetric =
+      symmetry == "symmetric" || symmetry == "skew-symmetric";
   const bool skew = symmetry == "skew-symmetric";
   if (!symmetric && symmetry != "general")
-    throw Error("mtx: unsupported symmetry '" + symmetry + "'");
+    throw Error(where(source, lineno) + "unsupported symmetry '" + symmetry +
+                "'");
 
   // Skip comments, read the size line.
   std::size_t rows = 0, cols = 0, nnz = 0;
   for (;;) {
-    if (!std::getline(in, line)) throw Error("mtx: missing size line");
+    if (!next_line(in, line, lineno))
+      throw Error("mtx: " + std::string(source) + ": missing size line");
     if (line.empty() || line[0] == '%') continue;
     std::istringstream size_line(line);
     if (!(size_line >> rows >> cols >> nnz))
-      throw Error("mtx: malformed size line");
+      throw Error(where(source, lineno) + "malformed size line '" + line +
+                  "'");
     break;
   }
-  PE_REQUIRE(rows >= 1 && cols >= 1, "mtx: empty matrix");
+  if (rows < 1 || cols < 1)
+    throw Error(where(source, lineno) + "empty matrix");
 
   CooMatrix coo;
   coo.rows = rows;
   coo.cols = cols;
   coo.entries.reserve(symmetric ? nnz * 2 : nnz);
   for (std::size_t e = 0; e < nnz; ++e) {
-    if (!std::getline(in, line)) throw Error("mtx: truncated entry list");
+    if (!next_line(in, line, lineno))
+      throw Error(where(source, lineno) + "truncated entry list (got " +
+                  std::to_string(e) + " of " + std::to_string(nnz) +
+                  " entries)");
     if (line.empty() || line[0] == '%') {
       --e;
       continue;
@@ -65,10 +90,14 @@ CooMatrix read_matrix_market(std::istream& in) {
     std::istringstream entry(line);
     std::size_t r = 0, c = 0;
     double v = 1.0;
-    if (!(entry >> r >> c)) throw Error("mtx: malformed entry");
-    if (!pattern && !(entry >> v)) throw Error("mtx: missing value");
+    if (!(entry >> r >> c))
+      throw Error(where(source, lineno) + "malformed entry '" + line + "'");
+    if (!pattern && !(entry >> v))
+      throw Error(where(source, lineno) + "missing value in '" + line + "'");
     if (r < 1 || r > rows || c < 1 || c > cols)
-      throw Error("mtx: entry out of bounds");
+      throw Error(where(source, lineno) + "entry (" + std::to_string(r) +
+                  ", " + std::to_string(c) + ") out of bounds for " +
+                  std::to_string(rows) + "x" + std::to_string(cols));
     const auto row = static_cast<std::uint32_t>(r - 1);
     const auto col = static_cast<std::uint32_t>(c - 1);
     coo.entries.push_back({row, col, v});
@@ -81,13 +110,14 @@ CooMatrix read_matrix_market(std::istream& in) {
 
 CooMatrix parse_matrix_market(const std::string& text) {
   std::istringstream in(text);
-  return read_matrix_market(in);
+  return read_matrix_market(in, "<string>");
 }
 
 CooMatrix read_matrix_market_file(const std::string& path) {
+  fault_point(fault_sites::kIoMatrixMarket);
   std::ifstream in(path);
   if (!in) throw Error("mtx: cannot open '" + path + "'");
-  return read_matrix_market(in);
+  return read_matrix_market(in, path);
 }
 
 std::string write_matrix_market(const CooMatrix& m) {

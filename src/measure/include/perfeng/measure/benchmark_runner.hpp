@@ -9,12 +9,21 @@
 /// timer quantization), and the requested number of repetitions is recorded
 /// for statistical summary. This is the behaviour students must implement by
 /// hand in Assignment 1 before they may trust any Roofline placement.
+///
+/// For unattended campaigns the runner is resilient (docs/robustness.md):
+/// an optional wall-clock `deadline_seconds` aborts runaway kernels or
+/// calibrations with a structured `pe::resilience::MeasurementError`
+/// instead of hanging, and an optional `retry` policy re-measures (with
+/// exponential backoff) when the sample's coefficient of variation says the
+/// host was too noisy, recording how many attempts the number cost.
 
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "perfeng/measure/statistics.hpp"
+#include "perfeng/measure/timer.hpp"
+#include "perfeng/resilience/retry.hpp"
 
 namespace pe {
 
@@ -24,6 +33,13 @@ struct MeasurementConfig {
   int repetitions = 10;        ///< recorded, independently-timed batches
   double min_batch_seconds = 1e-3;  ///< grow batch until this long
   std::size_t max_batch_iterations = 1u << 20;  ///< safety cap
+  /// Wall-clock budget per attempt (warmup + calibration + repetitions);
+  /// 0 disables the watchdog. On expiry the measurement throws
+  /// `pe::resilience::MeasurementError` (kind kTimeout) — see
+  /// resilience/watchdog.hpp for the abandoned-thread contract.
+  double deadline_seconds = 0.0;
+  /// Retry-on-noise policy; max_attempts == 1 disables it.
+  resilience::RetryPolicy retry;
 };
 
 /// Result of measuring one kernel configuration.
@@ -32,6 +48,8 @@ struct Measurement {
   std::size_t batch_iterations = 1;   ///< kernel calls per timed batch
   std::vector<double> seconds;        ///< per-iteration time, one per repeat
   SampleSummary summary;              ///< summary of `seconds`
+  int attempts = 1;    ///< measurement attempts consumed (retry-on-noise)
+  bool stable = true;  ///< final sample CV within the retry policy threshold
 
   /// Best (minimum) per-iteration time — the standard "peak" estimator.
   [[nodiscard]] double best() const { return summary.min; }
@@ -49,6 +67,7 @@ class BenchmarkRunner {
 
   /// Measure `kernel` (a void() closure). The kernel must perform the same
   /// work every call; use `do_not_optimize` inside it to keep results alive.
+  /// Every kernel call passes the `kernel.call` fault site.
   [[nodiscard]] Measurement run(const std::string& label,
                                 const std::function<void()>& kernel) const;
 
@@ -60,8 +79,18 @@ class BenchmarkRunner {
       const std::function<void()>& kernel) const;
 
  private:
+  /// Batch-size calibration; before each probe batch, predicts its runtime
+  /// from the previous one and aborts with a timeout error if the deadline
+  /// cannot be met — so a slow-but-terminating kernel fails cleanly on the
+  /// caller's thread instead of being abandoned by the watchdog.
   [[nodiscard]] std::size_t calibrate_batch(
-      const std::function<void()>& kernel) const;
+      const std::string& label, const std::function<void()>& kernel,
+      const WallTimer& attempt_timer) const;
+
+  /// Watchdog + retry-on-noise wrapper around one attempt body.
+  [[nodiscard]] Measurement measure_with_policy(
+      const std::string& label,
+      const std::function<Measurement()>& attempt) const;
 
   MeasurementConfig config_;
 };

@@ -53,24 +53,41 @@ class Experiment {
   /// set_metrics().
   void record(const DesignPoint& point, const std::vector<double>& values);
 
+  /// Record a design point whose measurement failed: every metric becomes
+  /// NaN and the row carries the error annotation.
+  void record_failure(const DesignPoint& point, std::string error);
+
   /// Run `body(point)` for every design point, recording its returned
   /// metrics. `body` must return exactly the declared metric count.
+  /// A `body` that throws does not abort the sweep: the point is recorded
+  /// as a NaN row annotated with the error (graceful degradation), and the
+  /// remaining design points still run. Misuse of the recording API itself
+  /// (wrong metric width) still propagates.
   void run(const std::function<std::vector<double>(const DesignPoint&)>& body);
 
   /// Recorded results as an ASCII table (factors + metrics columns).
   [[nodiscard]] Table to_table() const;
 
-  /// All recorded values of one metric, in record order.
+  /// All recorded values of one metric, in record order (failed rows
+  /// contribute NaN).
   [[nodiscard]] std::vector<double> metric_values(
       const std::string& metric) const;
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t record_count() const { return rows_.size(); }
 
+  /// Rows recorded as failures (NaN rows), in record order.
+  [[nodiscard]] std::size_t failure_count() const;
+
+  /// (design point, error) for every failed row, in record order.
+  [[nodiscard]] std::vector<std::pair<DesignPoint, std::string>> failures()
+      const;
+
  private:
   struct Row {
     DesignPoint point;
     std::vector<double> values;
+    std::string error;  ///< non-empty when the row is a recorded failure
   };
 
   std::string name_;

@@ -27,6 +27,7 @@ struct SampleSummary {
   double p05 = 0.0;      ///< 5th percentile
   double p95 = 0.0;      ///< 95th percentile
   double ci95_half = 0.0;  ///< half-width of the 95% CI of the mean
+  double cv = 0.0;       ///< coefficient of variation (stddev / mean)
 };
 
 /// Arithmetic mean; 0 for an empty sample.

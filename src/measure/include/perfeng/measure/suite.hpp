@@ -10,6 +10,11 @@
 /// the only mean for which "machine A scores higher than B" is
 /// independent of the reference machine (the classic SPEC lesson, and a
 /// reliable exam question).
+///
+/// `run` degrades gracefully: a member whose measurement throws (kernel
+/// fault, watchdog timeout, injected chaos) is captured in
+/// `SuiteScore::failed` and the suite is scored over the survivors, so an
+/// unattended campaign always comes back with every result it could get.
 
 #include <functional>
 #include <optional>
@@ -34,11 +39,24 @@ struct SuiteResult {
   double ratio = 0.0;  ///< reference_seconds / seconds (higher is better)
 };
 
+/// A member whose measurement failed (see SuiteScore::failed).
+struct SuiteFailure {
+  std::string name;
+  std::string error;  ///< what() of the exception that aborted the member
+};
+
 /// Scored run of a whole suite.
 struct SuiteScore {
-  std::vector<SuiteResult> results;
+  std::vector<SuiteResult> results;  ///< survivors, in suite order
+  std::vector<SuiteFailure> failed;  ///< members whose measurement threw
+  /// Means over the *survivors* only; 0 when every member failed. A score
+  /// with failures is a partial score — check complete() before comparing
+  /// machines on it.
   double geometric_mean_ratio = 0.0;
   double arithmetic_mean_ratio = 0.0;  ///< reported for the comparison
+
+  /// True when every member produced a measurement.
+  [[nodiscard]] bool complete() const { return failed.empty(); }
 
   /// Names of benchmarks slower than the reference (ratio < 1).
   [[nodiscard]] std::vector<std::string> regressions() const;
@@ -55,15 +73,22 @@ class BenchmarkSuite {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t size() const { return members_.size(); }
 
-  /// Run every member under the runner and score the machine.
+  /// Run every member under the runner and score the machine. Per-member
+  /// failures are captured into `SuiteScore::failed` (never propagated);
+  /// the score covers the surviving members.
   [[nodiscard]] SuiteScore run(const BenchmarkRunner& runner) const;
 
   /// Score from externally-measured times (same order as added); used to
-  /// compare scoring rules without re-running, and by tests.
+  /// compare scoring rules without re-running, and by tests. All times
+  /// must be present and positive (no failure handling on this path).
   [[nodiscard]] SuiteScore score(
       const std::vector<double>& measured_seconds) const;
 
  private:
+  /// Score (name, seconds) pairs for the surviving subset.
+  [[nodiscard]] SuiteScore score_survivors(
+      const std::vector<std::pair<std::string, double>>& survivors) const;
+
   std::string name_;
   std::vector<SuiteBenchmark> members_;
 };

@@ -1,9 +1,14 @@
 #include "perfeng/measure/benchmark_runner.hpp"
 
 #include "perfeng/common/error.hpp"
-#include "perfeng/measure/timer.hpp"
+#include "perfeng/common/fault_hook.hpp"
+#include "perfeng/resilience/measurement_error.hpp"
+#include "perfeng/resilience/watchdog.hpp"
 
 namespace pe {
+
+using resilience::FailureKind;
+using resilience::MeasurementError;
 
 BenchmarkRunner::BenchmarkRunner(MeasurementConfig config)
     : config_(config) {
@@ -11,10 +16,14 @@ BenchmarkRunner::BenchmarkRunner(MeasurementConfig config)
   PE_REQUIRE(config_.repetitions >= 1, "need at least one repetition");
   PE_REQUIRE(config_.min_batch_seconds > 0.0, "batch time must be positive");
   PE_REQUIRE(config_.max_batch_iterations >= 1, "batch cap must be positive");
+  PE_REQUIRE(config_.deadline_seconds >= 0.0,
+             "deadline must be non-negative");
+  resilience::validate(config_.retry);
 }
 
 std::size_t BenchmarkRunner::calibrate_batch(
-    const std::function<void()>& kernel) const {
+    const std::string& label, const std::function<void()>& kernel,
+    const WallTimer& attempt_timer) const {
   // Double the batch size until one batch takes at least min_batch_seconds.
   std::size_t batch = 1;
   for (;;) {
@@ -26,15 +35,72 @@ std::size_t BenchmarkRunner::calibrate_batch(
       return batch;
     }
     // Jump straight to the projected size when we have signal, else double.
+    std::size_t next;
     if (elapsed > 0.0) {
       const double scale = config_.min_batch_seconds / elapsed;
       const auto projected =
           static_cast<std::size_t>(static_cast<double>(batch) * scale * 1.2) +
           1;
-      batch = std::min(std::max(projected, batch * 2),
-                       config_.max_batch_iterations);
+      next = std::min(std::max(projected, batch * 2),
+                      config_.max_batch_iterations);
     } else {
-      batch = std::min(batch * 2, config_.max_batch_iterations);
+      next = std::min(batch * 2, config_.max_batch_iterations);
+    }
+    // Predictive deadline check: refuse to launch a probe batch whose
+    // projected runtime would blow the budget. This aborts on the caller's
+    // thread *before* the watchdog expires, so a slow-but-terminating
+    // kernel fails cleanly instead of being abandoned mid-batch.
+    if (config_.deadline_seconds > 0.0 && elapsed > 0.0) {
+      const double per_iteration = elapsed / static_cast<double>(batch);
+      const double predicted =
+          per_iteration * static_cast<double>(next);
+      if (attempt_timer.elapsed() + predicted > config_.deadline_seconds) {
+        throw MeasurementError(
+            FailureKind::kTimeout, label, /*attempts=*/1,
+            attempt_timer.elapsed(),
+            "batch calibration at size " + std::to_string(batch) +
+                " projects " + std::to_string(predicted) +
+                " s for the next probe, exceeding the deadline");
+      }
+    }
+    batch = next;
+  }
+}
+
+Measurement BenchmarkRunner::measure_with_policy(
+    const std::string& label,
+    const std::function<Measurement()>& attempt) const {
+  const resilience::RetryPolicy& retry = config_.retry;
+  const WallTimer total;
+  Measurement m;
+  for (int attempt_no = 1;; ++attempt_no) {
+    resilience::sleep_for_seconds(
+        resilience::backoff_seconds(retry, attempt_no));
+    try {
+      if (config_.deadline_seconds > 0.0) {
+        resilience::run_with_deadline(
+            config_.deadline_seconds, [&] { m = attempt(); }, label);
+      } else {
+        m = attempt();
+      }
+    } catch (const MeasurementError& e) {
+      // Re-tag watchdog/calibration aborts with the true attempt count.
+      throw MeasurementError(e.kind(), label, attempt_no, total.elapsed(),
+                             e.detail());
+    }
+    m.attempts = attempt_no;
+    m.stable =
+        retry.max_attempts <= 1 || m.summary.cv <= retry.cv_threshold;
+    if (m.stable) return m;
+    if (attempt_no >= retry.max_attempts) {
+      if (retry.fail_on_unstable) {
+        throw MeasurementError(
+            FailureKind::kUnstable, label, attempt_no, total.elapsed(),
+            "sample CV " + std::to_string(m.summary.cv) +
+                " still above threshold " +
+                std::to_string(retry.cv_threshold));
+      }
+      return m;  // degrade: hand back the last attempt, flagged unstable
     }
   }
 }
@@ -42,20 +108,29 @@ std::size_t BenchmarkRunner::calibrate_batch(
 Measurement BenchmarkRunner::run(const std::string& label,
                                  const std::function<void()>& kernel) const {
   PE_REQUIRE(static_cast<bool>(kernel), "null kernel");
-  for (int i = 0; i < config_.warmup_runs; ++i) kernel();
+  const auto guarded = [&kernel] {
+    fault_point(fault_sites::kKernelCall);
+    kernel();
+  };
+  return measure_with_policy(label, [&]() -> Measurement {
+    const WallTimer attempt_timer;
+    for (int i = 0; i < config_.warmup_runs; ++i) guarded();
 
-  Measurement m;
-  m.label = label;
-  m.batch_iterations = calibrate_batch(kernel);
-  m.seconds.reserve(static_cast<std::size_t>(config_.repetitions));
-  for (int rep = 0; rep < config_.repetitions; ++rep) {
-    WallTimer t;
-    for (std::size_t i = 0; i < m.batch_iterations; ++i) kernel();
-    m.seconds.push_back(t.elapsed() /
-                        static_cast<double>(m.batch_iterations));
-  }
-  m.summary = summarize(m.seconds);
-  return m;
+    Measurement m;
+    m.label = label;
+    m.batch_iterations = calibrate_batch(label, guarded, attempt_timer);
+    m.seconds.reserve(static_cast<std::size_t>(config_.repetitions));
+    for (int rep = 0; rep < config_.repetitions; ++rep) {
+      WallTimer t;
+      for (std::size_t i = 0; i < m.batch_iterations; ++i) guarded();
+      const double per_iteration =
+          t.elapsed() / static_cast<double>(m.batch_iterations);
+      m.seconds.push_back(
+          fault_value(fault_sites::kKernelCall, per_iteration));
+    }
+    m.summary = summarize(m.seconds);
+    return m;
+  });
 }
 
 Measurement BenchmarkRunner::run_with_setup(
@@ -63,27 +138,32 @@ Measurement BenchmarkRunner::run_with_setup(
     const std::function<void()>& kernel) const {
   PE_REQUIRE(static_cast<bool>(setup), "null setup");
   PE_REQUIRE(static_cast<bool>(kernel), "null kernel");
-
-  // Setup must precede every timed execution (e.g. re-randomizing an input
-  // that the kernel mutates); batching is therefore fixed at one iteration
-  // and the repetition count is raised to compensate.
-  for (int i = 0; i < config_.warmup_runs; ++i) {
-    setup();
+  const auto guarded = [&kernel] {
+    fault_point(fault_sites::kKernelCall);
     kernel();
-  }
-  Measurement m;
-  m.label = label;
-  m.batch_iterations = 1;
-  const int reps = config_.repetitions;
-  m.seconds.reserve(static_cast<std::size_t>(reps));
-  for (int rep = 0; rep < reps; ++rep) {
-    setup();
-    WallTimer t;
-    kernel();
-    m.seconds.push_back(t.elapsed());
-  }
-  m.summary = summarize(m.seconds);
-  return m;
+  };
+  return measure_with_policy(label, [&]() -> Measurement {
+    // Setup must precede every timed execution (e.g. re-randomizing an input
+    // that the kernel mutates); batching is therefore fixed at one iteration
+    // and the repetition count is raised to compensate.
+    for (int i = 0; i < config_.warmup_runs; ++i) {
+      setup();
+      guarded();
+    }
+    Measurement m;
+    m.label = label;
+    m.batch_iterations = 1;
+    const int reps = config_.repetitions;
+    m.seconds.reserve(static_cast<std::size_t>(reps));
+    for (int rep = 0; rep < reps; ++rep) {
+      setup();
+      WallTimer t;
+      guarded();
+      m.seconds.push_back(fault_value(fault_sites::kKernelCall, t.elapsed()));
+    }
+    m.summary = summarize(m.seconds);
+    return m;
+  });
 }
 
 }  // namespace pe

@@ -1,5 +1,7 @@
 #include "perfeng/measure/experiment.hpp"
 
+#include <limits>
+
 #include "perfeng/common/error.hpp"
 
 namespace pe {
@@ -70,27 +72,63 @@ void Experiment::record(const DesignPoint& point,
              "metric count mismatch with set_metrics()");
   for (const auto& f : factors_)
     PE_REQUIRE(point.contains(f.name), "design point missing factor");
-  rows_.push_back({point, values});
+  rows_.push_back({point, values, /*error=*/{}});
+}
+
+void Experiment::record_failure(const DesignPoint& point, std::string error) {
+  PE_REQUIRE(!metrics_.empty(), "set_metrics() before recording");
+  for (const auto& f : factors_)
+    PE_REQUIRE(point.contains(f.name), "design point missing factor");
+  const std::vector<double> nan_row(
+      metrics_.size(), std::numeric_limits<double>::quiet_NaN());
+  rows_.push_back({point, nan_row, std::move(error)});
 }
 
 void Experiment::run(
     const std::function<std::vector<double>(const DesignPoint&)>& body) {
   PE_REQUIRE(static_cast<bool>(body), "null body");
-  for (const auto& point : design()) record(point, body(point));
+  for (const auto& point : design()) {
+    std::vector<double> values;
+    try {
+      values = body(point);
+    } catch (const std::exception& e) {
+      // Graceful degradation: one failed point must not abort the sweep.
+      record_failure(point, e.what());
+      continue;
+    }
+    record(point, values);
+  }
 }
 
 Table Experiment::to_table() const {
+  const bool any_failed = failure_count() > 0;
   std::vector<std::string> headers;
   for (const auto& f : factors_) headers.push_back(f.name);
   for (const auto& m : metrics_) headers.push_back(m);
+  if (any_failed) headers.push_back("error");
   Table t(headers);
   for (const auto& row : rows_) {
     std::vector<std::string> cells;
     for (const auto& f : factors_) cells.push_back(row.point.at(f.name));
     for (double v : row.values) cells.push_back(format_sig(v, 4));
+    if (any_failed) cells.push_back(row.error);
     t.add_row(std::move(cells));
   }
   return t;
+}
+
+std::size_t Experiment::failure_count() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_)
+    if (!row.error.empty()) ++n;
+  return n;
+}
+
+std::vector<std::pair<DesignPoint, std::string>> Experiment::failures() const {
+  std::vector<std::pair<DesignPoint, std::string>> out;
+  for (const auto& row : rows_)
+    if (!row.error.empty()) out.emplace_back(row.point, row.error);
+  return out;
 }
 
 std::vector<double> Experiment::metric_values(const std::string& metric) const {

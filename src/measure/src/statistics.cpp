@@ -154,6 +154,7 @@ SampleSummary summarize(std::span<const double> xs) {
   s.p05 = percentile_sorted(v, 5.0);
   s.p95 = percentile_sorted(v, 95.0);
   s.ci95_half = ci95_halfwidth(xs);
+  s.cv = coefficient_of_variation(xs);
   return s;
 }
 

@@ -18,6 +18,7 @@ BenchmarkSuite::BenchmarkSuite(std::string name) : name_(std::move(name)) {
 }
 
 void BenchmarkSuite::add(SuiteBenchmark benchmark) {
+  PE_REQUIRE(!benchmark.name.empty(), "member needs a name");
   PE_REQUIRE(static_cast<bool>(benchmark.kernel), "member needs a kernel");
   PE_REQUIRE(benchmark.reference_seconds > 0.0,
              "reference time must be positive");
@@ -26,36 +27,60 @@ void BenchmarkSuite::add(SuiteBenchmark benchmark) {
   members_.push_back(std::move(benchmark));
 }
 
+SuiteScore BenchmarkSuite::score_survivors(
+    const std::vector<std::pair<std::string, double>>& survivors) const {
+  SuiteScore score;
+  double log_acc = 0.0, acc = 0.0;
+  for (const auto& [name, seconds] : survivors) {
+    PE_REQUIRE(seconds > 0.0, "measured time must be positive");
+    const SuiteBenchmark* member = nullptr;
+    for (const auto& m : members_)
+      if (m.name == name) member = &m;
+    PE_ASSERT(member != nullptr, "survivor is not a suite member");
+    SuiteResult r;
+    r.name = name;
+    r.seconds = seconds;
+    r.ratio = member->reference_seconds / seconds;
+    log_acc += std::log(r.ratio);
+    acc += r.ratio;
+    score.results.push_back(std::move(r));
+  }
+  if (!score.results.empty()) {
+    const double n = static_cast<double>(score.results.size());
+    score.geometric_mean_ratio = std::exp(log_acc / n);
+    score.arithmetic_mean_ratio = acc / n;
+  }
+  return score;
+}
+
 SuiteScore BenchmarkSuite::score(
     const std::vector<double>& measured_seconds) const {
   PE_REQUIRE(measured_seconds.size() == members_.size(),
              "one measurement per member required");
   PE_REQUIRE(!members_.empty(), "empty suite");
-  SuiteScore score;
-  double log_acc = 0.0, acc = 0.0;
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    PE_REQUIRE(measured_seconds[i] > 0.0, "measured time must be positive");
-    SuiteResult r;
-    r.name = members_[i].name;
-    r.seconds = measured_seconds[i];
-    r.ratio = members_[i].reference_seconds / measured_seconds[i];
-    log_acc += std::log(r.ratio);
-    acc += r.ratio;
-    score.results.push_back(std::move(r));
-  }
-  const double n = static_cast<double>(members_.size());
-  score.geometric_mean_ratio = std::exp(log_acc / n);
-  score.arithmetic_mean_ratio = acc / n;
-  return score;
+  std::vector<std::pair<std::string, double>> survivors;
+  survivors.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    survivors.emplace_back(members_[i].name, measured_seconds[i]);
+  return score_survivors(survivors);
 }
 
 SuiteScore BenchmarkSuite::run(const BenchmarkRunner& runner) const {
   PE_REQUIRE(!members_.empty(), "empty suite");
-  std::vector<double> measured;
-  measured.reserve(members_.size());
-  for (const auto& m : members_)
-    measured.push_back(runner.run(m.name, m.kernel).typical());
-  return score(measured);
+  std::vector<std::pair<std::string, double>> survivors;
+  std::vector<SuiteFailure> failed;
+  survivors.reserve(members_.size());
+  for (const auto& m : members_) {
+    try {
+      survivors.emplace_back(m.name, runner.run(m.name, m.kernel).typical());
+    } catch (const std::exception& e) {
+      // Graceful degradation: record the casualty, keep the campaign going.
+      failed.push_back({m.name, e.what()});
+    }
+  }
+  SuiteScore score = score_survivors(survivors);
+  score.failed = std::move(failed);
+  return score;
 }
 
 }  // namespace pe

@@ -9,6 +9,7 @@
 /// The pool is a fixed set of workers with a shared FIFO queue; `parallel_for`
 /// style helpers are layered on top in parallel_for.hpp.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -26,6 +27,15 @@ namespace pe {
 /// including from inside tasks (but a task must not block on work that can
 /// only run on the pool it occupies a lane of, or it may deadlock when the
 /// pool has one thread).
+///
+/// Exception-safe: a task that throws delivers its exception through the
+/// submitter's future and never takes down the worker thread; anything
+/// that still escapes task invocation itself is absorbed and counted
+/// (`escaped_exceptions()`) rather than terminating the process. The
+/// worker loop also hosts the `pool.worker` fault site: injected worker
+/// faults are absorbed and counted (`absorbed_faults()`) without dropping
+/// the task, so chaos runs exercise worker recovery without wedging
+/// futures.
 class ThreadPool {
  public:
   /// Create a pool with `threads` workers (>= 1). Defaults to the hardware
@@ -60,10 +70,23 @@ class ThreadPool {
 
   /// Run `fn(worker_index)` once on each of the pool's threads and wait.
   /// Used by microbenchmarks that need one pinned activity per worker.
+  /// Waits for *every* lane to finish even when some throw (so `fn` is
+  /// never referenced after return), then rethrows the first exception.
   void run_on_all(const std::function<void(std::size_t)>& fn);
 
   /// Default worker count: hardware_concurrency with a floor of 1.
   static std::size_t default_thread_count();
+
+  /// Exceptions that escaped a task invocation (not the normal
+  /// through-the-future path) and were absorbed by a worker.
+  [[nodiscard]] std::size_t escaped_exceptions() const noexcept {
+    return escaped_exceptions_.load(std::memory_order_relaxed);
+  }
+
+  /// Injected `pool.worker` faults absorbed by the worker loop.
+  [[nodiscard]] std::size_t absorbed_faults() const noexcept {
+    return absorbed_faults_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop();
@@ -74,6 +97,8 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool closing_ = false;
+  std::atomic<std::size_t> escaped_exceptions_{0};
+  std::atomic<std::size_t> absorbed_faults_{0};
 };
 
 }  // namespace pe

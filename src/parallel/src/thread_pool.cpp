@@ -1,9 +1,11 @@
 #include "perfeng/parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <latch>
 
 #include "perfeng/common/error.hpp"
+#include "perfeng/common/fault_hook.hpp"
 
 namespace pe {
 
@@ -38,7 +40,21 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // Chaos site: an injected worker fault is absorbed (and counted), never
+    // allowed to drop the task — dropping would leave its future forever
+    // unready and wedge the submitter.
+    try {
+      fault_point(fault_sites::kPoolWorker);
+    } catch (...) {
+      absorbed_faults_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Tasks are packaged, so their exceptions travel through the future;
+    // anything that escapes anyway must not take down this worker.
+    try {
+      task();
+    } catch (...) {
+      escaped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -55,7 +71,17 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
       fn(i);
     }));
   }
-  for (auto& f : done) f.get();
+  // Wait for every lane before rethrowing: returning (or unwinding) early
+  // would destroy the latch and `fn` while other workers still use them.
+  std::exception_ptr first_error;
+  for (auto& f : done) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 std::size_t ThreadPool::default_thread_count() {

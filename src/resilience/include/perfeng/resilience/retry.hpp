@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file retry.hpp
+/// Bounded retry with exponential backoff for noisy measurements.
+///
+/// A sample whose coefficient of variation is too high usually means the
+/// host was noisy (preemption, thermal events, a neighbour VM) — the course
+/// lesson is to re-measure, not to average garbage. `RetryPolicy` bounds
+/// how often and how patiently: each rejected attempt sleeps an
+/// exponentially growing backoff before the next, and the attempt count is
+/// recorded in the `Measurement` so reports can show how hard a number was
+/// to obtain.
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::resilience {
+
+/// Knobs for re-measuring when a sample is too noisy.
+struct RetryPolicy {
+  int max_attempts = 1;          ///< total attempts (1 disables retry)
+  double cv_threshold = 0.10;    ///< accept when sample CV <= this
+  double initial_backoff_seconds = 0.0;  ///< sleep before attempt 2
+  double backoff_multiplier = 2.0;       ///< growth per further attempt
+  double max_backoff_seconds = 1.0;      ///< cap on any single sleep
+  bool fail_on_unstable = false;  ///< throw MeasurementError(kUnstable)
+                                  ///< instead of returning the last attempt
+};
+
+/// Validate a policy's invariants; throws pe::Error on nonsense values.
+void validate(const RetryPolicy& policy);
+
+/// Backoff before the given 1-based attempt (attempt 1 never sleeps):
+/// initial * multiplier^(attempt - 2), capped at max_backoff_seconds.
+[[nodiscard]] double backoff_seconds(const RetryPolicy& policy, int attempt);
+
+/// Sleep helper used between attempts; no-op for non-positive durations.
+void sleep_for_seconds(double seconds);
+
+}  // namespace pe::resilience

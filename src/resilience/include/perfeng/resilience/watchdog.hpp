@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file watchdog.hpp
+/// Wall-clock deadlines around possibly-runaway work.
+///
+/// A mis-parameterized kernel (or a batch calibration chasing a kernel whose
+/// runtime exploded) can hang an unattended campaign forever. The watchdog
+/// runs the work on a helper thread and waits with a deadline: on timeout it
+/// throws a structured `MeasurementError` (kind kTimeout) and *abandons* the
+/// helper — the runaway thread is detached, not killed, because C++ has no
+/// safe cross-thread cancellation. Consequences callers must respect:
+///
+///  - the abandoned thread keeps running; state it references must outlive
+///    it (the closure itself is copied into the thread), and a truly
+///    non-terminating kernel leaks one thread for the process lifetime;
+///  - the watchdog is for *campaign survival*, not precision: the helper
+///    thread adds scheduling noise, so leave `deadline_seconds` at 0 (run
+///    inline, no watchdog) when measuring ultra-short kernels.
+
+#include <functional>
+#include <string_view>
+
+#include "perfeng/resilience/measurement_error.hpp"
+
+namespace pe::resilience {
+
+/// Run `work` to completion, or throw MeasurementError(kTimeout) after
+/// `deadline_seconds` of wall-clock time. A non-positive deadline runs the
+/// work inline with no watchdog. Exceptions thrown by `work` are rethrown
+/// on the calling thread. `label` names the work in the error.
+void run_with_deadline(double deadline_seconds,
+                       const std::function<void()>& work,
+                       std::string_view label = "watchdog");
+
+}  // namespace pe::resilience

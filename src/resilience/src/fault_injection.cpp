@@ -1,0 +1,119 @@
+#include "perfeng/resilience/fault_injection.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace pe::resilience {
+
+namespace {
+
+/// FNV-1a, so per-site RNG streams are stable across platforms (std::hash
+/// is implementation-defined).
+std::uint64_t hash_site(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjected::FaultInjected(std::string site, int visit,
+                             const std::string& message)
+    : Error(message.empty()
+                ? "injected fault at '" + site + "' (visit " +
+                      std::to_string(visit) + ")"
+                : message),
+      site_(std::move(site)),
+      visit_(visit) {}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const FaultSpec& spec : plan_.faults) {
+    PE_REQUIRE(!spec.site.empty(), "fault spec needs a site name");
+    PE_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
+               "fault probability must be in [0, 1]");
+    PE_REQUIRE(spec.skip_first >= 0, "skip_first must be non-negative");
+    PE_REQUIRE(spec.delay_seconds >= 0.0, "delay must be non-negative");
+    PE_REQUIRE(!sites_.contains(spec.site),
+               "duplicate fault spec for one site");
+    SiteState state;
+    state.spec = &spec;
+    state.rng.reseed(plan_.seed ^ hash_site(spec.site));
+    sites_.emplace(spec.site, std::move(state));
+  }
+}
+
+const FaultSpec* FaultInjector::roll(SiteState& state) {
+  ++state.visits;
+  const FaultSpec* spec = state.spec;
+  if (spec == nullptr) return nullptr;
+  if (state.visits <= spec->skip_first) return nullptr;
+  // Consume one RNG draw per eligible visit even when max_fires already
+  // capped the rule, so the per-site stream stays aligned across runs.
+  const bool hit =
+      spec->probability >= 1.0 || state.rng.next_double() < spec->probability;
+  if (!hit) return nullptr;
+  if (spec->max_fires >= 0 && state.fires >= spec->max_fires) return nullptr;
+  ++state.fires;
+  return spec;
+}
+
+void FaultInjector::at(std::string_view site) {
+  const FaultSpec* fired = nullptr;
+  int visit = 0;
+  {
+    std::lock_guard lock(mutex_);
+    auto [it, _] = sites_.try_emplace(std::string(site));
+    fired = roll(it->second);
+    visit = it->second.visits;
+  }
+  if (fired == nullptr) return;
+  switch (fired->kind) {
+    case FaultKind::kThrow:
+      throw FaultInjected(std::string(site), visit, fired->message);
+    case FaultKind::kDelay:
+      // Sleep outside the lock so a stalled site does not stall others.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(fired->delay_seconds));
+      return;
+    case FaultKind::kCorruptValue:
+      return;  // corruption only applies where a value passes fault_value()
+  }
+}
+
+double FaultInjector::corrupt(std::string_view site, double value) {
+  const FaultSpec* fired = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    auto [it, _] = sites_.try_emplace(std::string(site));
+    fired = roll(it->second);
+  }
+  if (fired == nullptr || fired->kind != FaultKind::kCorruptValue)
+    return value;
+  return value * fired->corrupt_scale;
+}
+
+int FaultInjector::visits(std::string_view site) const {
+  std::lock_guard lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.visits;
+}
+
+int FaultInjector::fires(std::string_view site) const {
+  std::lock_guard lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultPlan plan)
+    : injector_(std::move(plan)) {
+  PE_REQUIRE(fault_hook() == nullptr,
+             "another fault injection scope is already active");
+  set_fault_hook(&injector_);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() { set_fault_hook(nullptr); }
+
+}  // namespace pe::resilience

@@ -1,0 +1,41 @@
+#include "perfeng/resilience/measurement_error.hpp"
+
+namespace pe::resilience {
+
+std::string_view to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kTimeout:
+      return "timeout";
+    case FailureKind::kFault:
+      return "fault";
+    case FailureKind::kUnstable:
+      return "unstable";
+  }
+  return "unknown";
+}
+
+namespace {
+std::string format_message(FailureKind kind, const std::string& label,
+                           int attempts, double elapsed_seconds,
+                           const std::string& detail) {
+  std::string s = "measurement '" + label + "' failed (" +
+                  std::string(to_string(kind)) + ") after " +
+                  std::to_string(attempts) +
+                  (attempts == 1 ? " attempt" : " attempts");
+  s += ", " + std::to_string(elapsed_seconds) + " s elapsed";
+  if (!detail.empty()) s += ": " + detail;
+  return s;
+}
+}  // namespace
+
+MeasurementError::MeasurementError(FailureKind kind, std::string label,
+                                   int attempts, double elapsed_seconds,
+                                   const std::string& detail)
+    : Error(format_message(kind, label, attempts, elapsed_seconds, detail)),
+      kind_(kind),
+      label_(std::move(label)),
+      attempts_(attempts),
+      elapsed_(elapsed_seconds),
+      detail_(detail) {}
+
+}  // namespace pe::resilience

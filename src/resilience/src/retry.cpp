@@ -1,0 +1,34 @@
+#include "perfeng/resilience/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace pe::resilience {
+
+void validate(const RetryPolicy& policy) {
+  PE_REQUIRE(policy.max_attempts >= 1, "need at least one attempt");
+  PE_REQUIRE(policy.cv_threshold >= 0.0, "CV threshold must be non-negative");
+  PE_REQUIRE(policy.initial_backoff_seconds >= 0.0,
+             "backoff must be non-negative");
+  PE_REQUIRE(policy.backoff_multiplier >= 1.0,
+             "backoff multiplier must be >= 1");
+  PE_REQUIRE(policy.max_backoff_seconds >= 0.0,
+             "backoff cap must be non-negative");
+}
+
+double backoff_seconds(const RetryPolicy& policy, int attempt) {
+  if (attempt <= 1 || policy.initial_backoff_seconds <= 0.0) return 0.0;
+  const double grown =
+      policy.initial_backoff_seconds *
+      std::pow(policy.backoff_multiplier, static_cast<double>(attempt - 2));
+  return std::min(grown, policy.max_backoff_seconds);
+}
+
+void sleep_for_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace pe::resilience

@@ -1,0 +1,140 @@
+// Chaos acceptance tests: a fault campaign over a whole benchmark suite
+// must be survivable (the suite completes and scores the survivors) and
+// deterministic (the same seed produces the same failure set).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "perfeng/counters/collector.hpp"
+#include "perfeng/measure/suite.hpp"
+#include "perfeng/resilience/fault_injection.hpp"
+
+namespace {
+
+using pe::BenchmarkRunner;
+using pe::BenchmarkSuite;
+using pe::MeasurementConfig;
+using pe::SuiteScore;
+using pe::resilience::FaultPlan;
+using pe::resilience::ScopedFaultInjection;
+
+BenchmarkSuite make_suite(int members) {
+  BenchmarkSuite suite("chaos");
+  for (int i = 0; i < members; ++i) {
+    volatile static double sink = 0.0;
+    suite.add({"member" + std::to_string(i), [] { sink = sink + 1.0; },
+               1e-6});
+  }
+  return suite;
+}
+
+BenchmarkRunner fast_runner() {
+  MeasurementConfig cfg;
+  cfg.warmup_runs = 0;
+  cfg.repetitions = 2;
+  cfg.min_batch_seconds = 1e-9;
+  return BenchmarkRunner(cfg);
+}
+
+std::vector<std::string> failed_names(const SuiteScore& score) {
+  std::vector<std::string> names;
+  names.reserve(score.failed.size());
+  for (const auto& f : score.failed) names.push_back(f.name);
+  return names;
+}
+
+TEST(Chaos, SuiteSurvivesInjectedKernelFaults) {
+  const auto suite = make_suite(6);
+  const auto runner = fast_runner();
+  FaultPlan plan;
+  plan.faults.push_back(
+      {.site = std::string(pe::fault_sites::kKernelCall), .max_fires = 2});
+  ScopedFaultInjection scope(std::move(plan));
+  const SuiteScore score = suite.run(runner);
+
+  // With p=1 and a budget of two fires, each member's very first kernel
+  // visit decides its fate: exactly the first two members fail.
+  EXPECT_EQ(failed_names(score),
+            (std::vector<std::string>{"member0", "member1"}));
+  EXPECT_FALSE(score.complete());
+  ASSERT_EQ(score.results.size(), 4u);
+  for (const auto& r : score.results) EXPECT_GT(r.ratio, 0.0);
+  EXPECT_GT(score.geometric_mean_ratio, 0.0);  // partial score, survivors
+  for (const auto& f : score.failed)
+    EXPECT_NE(f.error.find("injected fault"), std::string::npos);
+}
+
+TEST(Chaos, SameSeedSameFailureSet) {
+  const auto suite = make_suite(8);
+  const auto runner = fast_runner();
+  const auto campaign = [&](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.faults.push_back(
+        {.site = std::string(pe::fault_sites::kKernelCall),
+         .probability = 0.3});
+    ScopedFaultInjection scope(std::move(plan));
+    return failed_names(suite.run(runner));
+  };
+  const auto a = campaign(1234);
+  const auto b = campaign(1234);
+  EXPECT_EQ(a, b);  // the chaos contract: reproducible failure sets
+}
+
+TEST(Chaos, AllMembersFailingYieldsEmptyScore) {
+  const auto suite = make_suite(3);
+  const auto runner = fast_runner();
+  FaultPlan plan;
+  plan.faults.push_back(
+      {.site = std::string(pe::fault_sites::kKernelCall)});
+  ScopedFaultInjection scope(std::move(plan));
+  const SuiteScore score = suite.run(runner);
+  EXPECT_EQ(score.failed.size(), 3u);
+  EXPECT_TRUE(score.results.empty());
+  EXPECT_EQ(score.geometric_mean_ratio, 0.0);
+  EXPECT_EQ(score.arithmetic_mean_ratio, 0.0);
+}
+
+TEST(Chaos, CombinedCampaignAcrossKernelAndCounterSites) {
+  // The acceptance scenario: one plan attacking both kernel.call and
+  // counters.read. The suite completes and reports its failures, the
+  // counter collector degrades instead of dying, and the same seed
+  // reproduces the identical failure set.
+  const auto suite = make_suite(6);
+  const auto runner = fast_runner();
+  const pe::counters::CounterCollector collector;
+  const auto campaign = [&] {
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.faults.push_back(
+        {.site = std::string(pe::fault_sites::kKernelCall),
+         .probability = 0.4});
+    plan.faults.push_back(
+        {.site = std::string(pe::fault_sites::kCountersRead)});
+    ScopedFaultInjection scope(std::move(plan));
+    const SuiteScore score = suite.run(runner);
+    const auto counters = collector.collect([] {
+      volatile double sink = 0.0;
+      for (int i = 0; i < 100; ++i) sink = sink + 1.0;
+    });
+    EXPECT_TRUE(counters.degraded);  // counters.read faulted, not fatal
+    EXPECT_EQ(counters.backend, "simulated");
+    EXPECT_EQ(score.results.size() + score.failed.size(), 6u);
+    return failed_names(score);
+  };
+  const auto a = campaign();
+  const auto b = campaign();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Chaos, NoPlanNoInterference) {
+  // Without an active scope the suite runs exactly as before the
+  // resilience work: complete score, no failures.
+  const auto suite = make_suite(3);
+  const SuiteScore score = suite.run(fast_runner());
+  EXPECT_TRUE(score.complete());
+  EXPECT_EQ(score.results.size(), 3u);
+}
+
+}  // namespace

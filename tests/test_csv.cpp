@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "perfeng/common/error.hpp"
+#include "perfeng/resilience/fault_injection.hpp"
 
 namespace {
 
@@ -83,6 +86,62 @@ TEST(Csv, WriteRejectsRaggedRows) {
 
 TEST(Csv, MissingFileThrows) {
   EXPECT_THROW(pe::read_csv_file("/nonexistent/file.csv"), pe::Error);
+}
+
+std::string error_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const pe::Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Csv, RaggedRowErrorNamesSourceAndLine) {
+  const auto msg = error_of(
+      [] { (void)pe::parse_csv("a,b\n1,2\n3\n", "experiment.csv"); });
+  EXPECT_NE(msg.find("experiment.csv"), std::string::npos);
+  EXPECT_NE(msg.find("line 3"), std::string::npos);
+  EXPECT_NE(msg.find("ragged"), std::string::npos);
+}
+
+TEST(Csv, DefaultSourceIsMemory) {
+  const auto msg = error_of([] { (void)pe::parse_csv("a,b\n1\n"); });
+  EXPECT_NE(msg.find("<memory>"), std::string::npos);
+  EXPECT_NE(msg.find("line 2"), std::string::npos);
+}
+
+TEST(Csv, UnterminatedQuoteReportedAtOpeningLine) {
+  const auto msg = error_of(
+      [] { (void)pe::parse_csv("a\nok\n\"oops\nmore\n", "bad.csv"); });
+  EXPECT_NE(msg.find("bad.csv"), std::string::npos);
+  EXPECT_NE(msg.find("line 3"), std::string::npos);  // where the quote opened
+}
+
+TEST(Csv, FileErrorsCarryThePath) {
+  const std::string path = testing::TempDir() + "pe_test_garbage.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\n1,2,3\n";
+  }
+  const auto msg = error_of([&] { (void)pe::read_csv_file(path); });
+  EXPECT_NE(msg.find(path), std::string::npos);
+  EXPECT_NE(msg.find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, IoFaultSiteCoversFileReads) {
+  const std::string path = testing::TempDir() + "pe_test_ok.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\n1,2\n";
+  }
+  pe::resilience::FaultPlan plan;
+  plan.faults.push_back({.site = std::string(pe::fault_sites::kIoCsv)});
+  pe::resilience::ScopedFaultInjection scope(std::move(plan));
+  EXPECT_THROW((void)pe::read_csv_file(path),
+               pe::resilience::FaultInjected);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "perfeng/common/error.hpp"
 
 namespace {
@@ -85,6 +87,87 @@ TEST(Experiment, SizeTFactorOverload) {
   pe::Experiment e("sweep");
   e.add_factor("bytes", std::vector<std::size_t>{1024, 2048});
   EXPECT_EQ(e.design_size(), 2u);
+}
+
+// --- precondition coverage (the PE_REQUIRE paths) ---
+
+TEST(Experiment, RecordRejectsUndeclaredDesignPoint) {
+  pe::Experiment e("sweep");
+  e.add_factor("n", std::vector<int>{1});
+  e.set_metrics({"time"});
+  pe::DesignPoint alien;  // lacks the "n" factor entirely
+  alien["m"] = "2";
+  EXPECT_THROW(e.record(alien, {1.0}), pe::Error);
+  EXPECT_THROW(e.record_failure(alien, "oops"), pe::Error);
+}
+
+TEST(Experiment, RecordFailureRequiresMetrics) {
+  pe::Experiment e("sweep");
+  e.add_factor("n", std::vector<int>{1});
+  EXPECT_THROW(e.record_failure(e.design()[0], "oops"), pe::Error);
+}
+
+TEST(Experiment, RunPropagatesWrongMetricWidth) {
+  // A body returning the wrong number of metrics is API misuse, not a
+  // measurement failure — it must propagate, not degrade into a NaN row.
+  pe::Experiment e("sweep");
+  e.add_factor("n", std::vector<int>{1, 2});
+  e.set_metrics({"a", "b"});
+  EXPECT_THROW(e.run([](const pe::DesignPoint&) {
+    return std::vector<double>{1.0};  // width 1, expected 2
+  }),
+               pe::Error);
+}
+
+TEST(Experiment, RunRejectsNullBody) {
+  pe::Experiment e("sweep");
+  e.add_factor("n", std::vector<int>{1});
+  e.set_metrics({"time"});
+  EXPECT_THROW(
+      e.run(std::function<std::vector<double>(const pe::DesignPoint&)>{}),
+      pe::Error);
+}
+
+// --- graceful degradation across a sweep ---
+
+TEST(Experiment, FailedPointsBecomeNanRowsAndTheSweepContinues) {
+  pe::Experiment e("sweep");
+  e.add_factor("n", std::vector<int>{2, 4, 8});
+  e.set_metrics({"n_squared"});
+  e.run([](const pe::DesignPoint& p) {
+    const double n = std::stod(p.at("n"));
+    if (n == 4.0) throw pe::Error("kernel exploded at n=4");
+    return std::vector<double>{n * n};
+  });
+  EXPECT_EQ(e.record_count(), 3u);  // every point has a row
+  EXPECT_EQ(e.failure_count(), 1u);
+  const auto values = e.metric_values("n_squared");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 4.0);
+  EXPECT_TRUE(std::isnan(values[1]));
+  EXPECT_DOUBLE_EQ(values[2], 64.0);
+  const auto failures = e.failures();
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].first.at("n"), "4");
+  EXPECT_NE(failures[0].second.find("exploded"), std::string::npos);
+}
+
+TEST(Experiment, ErrorColumnAppearsOnlyWhenSomethingFailed) {
+  pe::Experiment clean("clean");
+  clean.add_factor("n", std::vector<int>{1});
+  clean.set_metrics({"time"});
+  clean.run([](const pe::DesignPoint&) { return std::vector<double>{1.0}; });
+  EXPECT_EQ(clean.to_table().columns(), 2u);  // factor + metric, no error
+
+  pe::Experiment dirty("dirty");
+  dirty.add_factor("n", std::vector<int>{1});
+  dirty.set_metrics({"time"});
+  dirty.run([](const pe::DesignPoint&) -> std::vector<double> {
+    throw pe::Error("boom");
+  });
+  const auto t = dirty.to_table();
+  EXPECT_EQ(t.columns(), 3u);  // factor + metric + error annotation
+  EXPECT_NE(t.render().find("boom"), std::string::npos);
 }
 
 }  // namespace

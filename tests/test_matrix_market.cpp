@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "perfeng/common/error.hpp"
+#include "perfeng/resilience/fault_injection.hpp"
 
 namespace {
 
@@ -128,6 +131,82 @@ TEST(MatrixMarket, WriteParsesBackIdentically) {
 TEST(MatrixMarket, MissingFileThrows) {
   EXPECT_THROW((void)pe::kernels::read_matrix_market_file("/nope.mtx"),
                pe::Error);
+}
+
+std::string error_of(const std::string& text) {
+  try {
+    (void)pe::kernels::parse_matrix_market(text);
+  } catch (const pe::Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(MatrixMarket, MalformedEntryNamesTheLine) {
+  const auto msg = error_of(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "garbage here\n");
+  EXPECT_NE(msg.find("line 5"), std::string::npos);
+  EXPECT_NE(msg.find("garbage here"), std::string::npos);
+}
+
+TEST(MatrixMarket, TruncatedEntryListReportsCounts) {
+  const auto msg = error_of(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 5\n"
+      "1 1 1.0\n"
+      "2 2 2.0\n");
+  EXPECT_NE(msg.find("truncated"), std::string::npos);
+  EXPECT_NE(msg.find("got 2 of 5 entries"), std::string::npos);
+}
+
+TEST(MatrixMarket, GarbageSizeLineQuoted) {
+  const auto msg = error_of(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "three by three\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos);
+  EXPECT_NE(msg.find("malformed size line"), std::string::npos);
+  EXPECT_NE(msg.find("three by three"), std::string::npos);
+}
+
+TEST(MatrixMarket, OutOfBoundsEntryNamesCoordinates) {
+  const auto msg = error_of(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_NE(msg.find("(3, 1)"), std::string::npos);
+  EXPECT_NE(msg.find("2x2"), std::string::npos);
+}
+
+TEST(MatrixMarket, FileErrorsCarryThePath) {
+  const std::string path = testing::TempDir() + "pe_test_bad.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "2 2 1\n"
+        << "bogus\n";
+  }
+  try {
+    (void)pe::kernels::read_matrix_market_file(path);
+    FAIL() << "expected pe::Error";
+  } catch (const pe::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos);
+    EXPECT_NE(msg.find("line 3"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, IoFaultSiteCoversFileReads) {
+  pe::resilience::FaultPlan plan;
+  plan.faults.push_back(
+      {.site = std::string(pe::fault_sites::kIoMatrixMarket)});
+  pe::resilience::ScopedFaultInjection scope(std::move(plan));
+  EXPECT_THROW((void)pe::kernels::read_matrix_market_file("/nope.mtx"),
+               pe::resilience::FaultInjected);
 }
 
 }  // namespace

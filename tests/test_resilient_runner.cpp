@@ -1,0 +1,162 @@
+// Tests for the resilient BenchmarkRunner: watchdog deadline, predictive
+// calibration abort, and retry-on-noise.
+#include "perfeng/measure/benchmark_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "perfeng/resilience/fault_injection.hpp"
+#include "perfeng/resilience/measurement_error.hpp"
+
+namespace {
+
+using pe::BenchmarkRunner;
+using pe::MeasurementConfig;
+using pe::resilience::FailureKind;
+using pe::resilience::FaultKind;
+using pe::resilience::FaultPlan;
+using pe::resilience::MeasurementError;
+using pe::resilience::ScopedFaultInjection;
+
+MeasurementConfig fast_config() {
+  MeasurementConfig cfg;
+  cfg.warmup_runs = 0;
+  cfg.repetitions = 4;
+  cfg.min_batch_seconds = 1e-9;
+  return cfg;
+}
+
+TEST(ResilientRunner, ConfigValidation) {
+  MeasurementConfig cfg;
+  cfg.deadline_seconds = -1.0;
+  EXPECT_THROW(BenchmarkRunner{cfg}, pe::Error);
+  cfg = {};
+  cfg.retry.max_attempts = 0;
+  EXPECT_THROW(BenchmarkRunner{cfg}, pe::Error);
+}
+
+TEST(ResilientRunner, DefaultPolicyIsSingleStableAttempt) {
+  const BenchmarkRunner runner(fast_config());
+  volatile double sink = 0.0;
+  const auto m = runner.run("noop", [&] { sink = sink + 1.0; });
+  EXPECT_EQ(m.attempts, 1);
+  EXPECT_TRUE(m.stable);
+  EXPECT_GE(m.summary.cv, 0.0);
+}
+
+TEST(ResilientRunner, WatchdogAbortsRunawayKernel) {
+  MeasurementConfig cfg = fast_config();
+  cfg.deadline_seconds = 0.25;
+  const BenchmarkRunner runner(cfg);
+  // The watchdog abandons the helper thread on timeout, so the kernel must
+  // never return into the (by then destroyed) measurement frames. It spins
+  // forever on an intentionally leaked flag, reading only thread-local
+  // state after entry; the detached thread dies with the process.
+  auto* leaked_flag = new std::atomic<bool>(false);
+  try {
+    (void)runner.run("runaway", [leaked_flag] {
+      std::atomic<bool>* f = leaked_flag;
+      while (!f->load(std::memory_order_relaxed)) std::this_thread::yield();
+    });
+    FAIL() << "expected MeasurementError";
+  } catch (const MeasurementError& e) {
+    EXPECT_EQ(e.kind(), FailureKind::kTimeout);
+    EXPECT_EQ(e.label(), "runaway");
+    EXPECT_EQ(e.attempts(), 1);
+  }
+}
+
+TEST(ResilientRunner, CalibrationAbortsPredictively) {
+  MeasurementConfig cfg;
+  cfg.warmup_runs = 0;
+  cfg.repetitions = 2;
+  cfg.min_batch_seconds = 5.0;  // unreachable under the deadline
+  cfg.deadline_seconds = 0.5;
+  const BenchmarkRunner runner(cfg);
+  const pe::WallTimer t;
+  try {
+    (void)runner.run("slow", [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    FAIL() << "expected MeasurementError";
+  } catch (const MeasurementError& e) {
+    EXPECT_EQ(e.kind(), FailureKind::kTimeout);
+    EXPECT_NE(std::string(e.what()).find("calibration"), std::string::npos);
+  }
+  // The predictive check fired after the first probe, well before the
+  // deadline — no thread was abandoned and no time was wasted.
+  EXPECT_LT(t.elapsed(), 0.4);
+}
+
+TEST(ResilientRunner, RetryExhaustsAttemptsOnNoisySamples) {
+  MeasurementConfig cfg = fast_config();
+  cfg.repetitions = 16;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.cv_threshold = 0.10;
+  const BenchmarkRunner runner(cfg);
+  // Probabilistic value corruption creates genuine dispersion: roughly half
+  // the recorded samples are scaled 50x, so the CV stays far above the
+  // threshold on every attempt. (A constant scale on all samples would
+  // leave the CV unchanged.)
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.faults.push_back({.site = std::string(pe::fault_sites::kKernelCall),
+                         .kind = FaultKind::kCorruptValue,
+                         .probability = 0.5,
+                         .corrupt_scale = 50.0});
+  ScopedFaultInjection scope(std::move(plan));
+  volatile double sink = 0.0;
+  const auto m = runner.run("noisy", [&] { sink = sink + 1.0; });
+  EXPECT_EQ(m.attempts, 3);  // bounded: never exceeds max_attempts
+  EXPECT_FALSE(m.stable);
+  EXPECT_GT(m.summary.cv, 0.10);
+}
+
+TEST(ResilientRunner, FailOnUnstableThrowsStructured) {
+  MeasurementConfig cfg = fast_config();
+  cfg.repetitions = 16;
+  cfg.retry.max_attempts = 2;
+  cfg.retry.cv_threshold = 0.10;
+  cfg.retry.fail_on_unstable = true;
+  const BenchmarkRunner runner(cfg);
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.faults.push_back({.site = std::string(pe::fault_sites::kKernelCall),
+                         .kind = FaultKind::kCorruptValue,
+                         .probability = 0.5,
+                         .corrupt_scale = 50.0});
+  ScopedFaultInjection scope(std::move(plan));
+  volatile double sink = 0.0;
+  try {
+    (void)runner.run("noisy", [&] { sink = sink + 1.0; });
+    FAIL() << "expected MeasurementError";
+  } catch (const MeasurementError& e) {
+    EXPECT_EQ(e.kind(), FailureKind::kUnstable);
+    EXPECT_EQ(e.attempts(), 2);
+  }
+}
+
+TEST(ResilientRunner, StableSampleStopsRetrying) {
+  MeasurementConfig cfg = fast_config();
+  cfg.retry.max_attempts = 5;
+  cfg.retry.cv_threshold = 1e9;  // anything passes
+  const BenchmarkRunner runner(cfg);
+  volatile double sink = 0.0;
+  const auto m = runner.run("calm", [&] { sink = sink + 1.0; });
+  EXPECT_EQ(m.attempts, 1);
+  EXPECT_TRUE(m.stable);
+}
+
+TEST(ResilientRunner, KernelFaultsPropagateToCaller) {
+  const BenchmarkRunner runner(fast_config());
+  FaultPlan plan;
+  plan.faults.push_back({.site = std::string(pe::fault_sites::kKernelCall)});
+  ScopedFaultInjection scope(std::move(plan));
+  EXPECT_THROW((void)runner.run("doomed", [] {}),
+               pe::resilience::FaultInjected);
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Tests for the retry/backoff policy in perfeng/resilience/retry.hpp.
+#include "perfeng/resilience/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::resilience::backoff_seconds;
+using pe::resilience::RetryPolicy;
+
+TEST(Retry, FirstAttemptNeverSleeps) {
+  RetryPolicy p;
+  p.initial_backoff_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(backoff_seconds(p, 1), 0.0);
+}
+
+TEST(Retry, BackoffGrowsExponentially) {
+  RetryPolicy p;
+  p.initial_backoff_seconds = 0.1;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_seconds = 10.0;
+  EXPECT_DOUBLE_EQ(backoff_seconds(p, 2), 0.1);
+  EXPECT_DOUBLE_EQ(backoff_seconds(p, 3), 0.2);
+  EXPECT_DOUBLE_EQ(backoff_seconds(p, 4), 0.4);
+}
+
+TEST(Retry, BackoffIsCapped) {
+  RetryPolicy p;
+  p.initial_backoff_seconds = 1.0;
+  p.backoff_multiplier = 10.0;
+  p.max_backoff_seconds = 2.5;
+  EXPECT_DOUBLE_EQ(backoff_seconds(p, 5), 2.5);
+}
+
+TEST(Retry, ZeroInitialBackoffDisablesSleeping) {
+  RetryPolicy p;  // defaults: initial backoff 0
+  EXPECT_DOUBLE_EQ(backoff_seconds(p, 7), 0.0);
+}
+
+TEST(Retry, ValidationRejectsNonsense) {
+  RetryPolicy p;
+  p.max_attempts = 0;
+  EXPECT_THROW(pe::resilience::validate(p), pe::Error);
+  p = {};
+  p.cv_threshold = -0.1;
+  EXPECT_THROW(pe::resilience::validate(p), pe::Error);
+  p = {};
+  p.backoff_multiplier = 0.5;
+  EXPECT_THROW(pe::resilience::validate(p), pe::Error);
+  p = {};
+  p.initial_backoff_seconds = -1.0;
+  EXPECT_THROW(pe::resilience::validate(p), pe::Error);
+  p = {};
+  EXPECT_NO_THROW(pe::resilience::validate(p));
+}
+
+TEST(Retry, SleepForSecondsToleratesNonPositive) {
+  EXPECT_NO_THROW(pe::resilience::sleep_for_seconds(0.0));
+  EXPECT_NO_THROW(pe::resilience::sleep_for_seconds(-1.0));
+}
+
+}  // namespace

@@ -89,12 +89,49 @@ TEST(Suite, Validation) {
   pe::BenchmarkSuite suite("v");
   EXPECT_THROW(suite.add({"a", nullptr, 1.0}), pe::Error);
   EXPECT_THROW(suite.add({"a", [] {}, 0.0}), pe::Error);
+  EXPECT_THROW(suite.add({"a", [] {}, -1.0}), pe::Error);
+  EXPECT_THROW(suite.add({"", [] {}, 1.0}), pe::Error);
   suite.add({"a", [] {}, 1.0});
   EXPECT_THROW(suite.add({"a", [] {}, 1.0}), pe::Error);  // duplicate
   EXPECT_THROW((void)suite.score({1.0, 2.0}), pe::Error);  // wrong arity
   EXPECT_THROW((void)suite.score({0.0}), pe::Error);       // bad time
   pe::BenchmarkSuite empty("e");
   EXPECT_THROW((void)empty.score({}), pe::Error);
+}
+
+TEST(Suite, ThrowingMemberIsCapturedNotPropagated) {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 0;
+  cfg.repetitions = 2;
+  cfg.min_batch_seconds = 1e-9;
+  pe::BenchmarkSuite suite("flaky");
+  suite.add({"ok", [] {}, 1.0});
+  suite.add({"doomed", [] { throw pe::Error("member blew up"); }, 1.0});
+  suite.add({"fine", [] {}, 1.0});
+  const auto score = suite.run(pe::BenchmarkRunner(cfg));
+  EXPECT_FALSE(score.complete());
+  ASSERT_EQ(score.failed.size(), 1u);
+  EXPECT_EQ(score.failed[0].name, "doomed");
+  EXPECT_NE(score.failed[0].error.find("blew up"), std::string::npos);
+  ASSERT_EQ(score.results.size(), 2u);  // survivors, in suite order
+  EXPECT_EQ(score.results[0].name, "ok");
+  EXPECT_EQ(score.results[1].name, "fine");
+  EXPECT_GT(score.geometric_mean_ratio, 0.0);  // partial score
+}
+
+TEST(Suite, AllMembersFailingGivesEmptyPartialScore) {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 0;
+  cfg.repetitions = 2;
+  cfg.min_batch_seconds = 1e-9;
+  pe::BenchmarkSuite suite("doomed");
+  suite.add({"x", [] { throw pe::Error("x down"); }, 1.0});
+  suite.add({"y", [] { throw pe::Error("y down"); }, 1.0});
+  const auto score = suite.run(pe::BenchmarkRunner(cfg));
+  EXPECT_EQ(score.failed.size(), 2u);
+  EXPECT_TRUE(score.results.empty());
+  EXPECT_EQ(score.geometric_mean_ratio, 0.0);
+  EXPECT_EQ(score.arithmetic_mean_ratio, 0.0);
 }
 
 }  // namespace

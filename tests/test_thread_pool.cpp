@@ -7,6 +7,7 @@
 #include <set>
 
 #include "perfeng/common/error.hpp"
+#include "perfeng/resilience/fault_injection.hpp"
 
 namespace {
 
@@ -82,6 +83,52 @@ TEST(ThreadPool, TasksMaySubmitTasks) {
     return pool.submit([] { return 7; });
   });
   EXPECT_EQ(outer.get().get(), 7);
+}
+
+TEST(ThreadPool, ThrowingTasksLeaveEveryWorkerAlive) {
+  pe::ThreadPool pool(2);
+  for (int round = 0; round < 4; ++round) {
+    auto bad = pool.submit([]() -> int { throw pe::Error("task failed"); });
+    EXPECT_THROW(bad.get(), pe::Error);
+  }
+  // The pool still has both workers processing after the carnage.
+  auto ok = pool.submit([] { return 5; });
+  EXPECT_EQ(ok.get(), 5);
+  std::mutex m;
+  std::set<std::thread::id> ids;
+  pool.run_on_all([&](std::size_t) {
+    std::lock_guard lock(m);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(ids.size(), 2u);
+  // Packaged tasks carry their own exceptions; none escaped into a worker.
+  EXPECT_EQ(pool.escaped_exceptions(), 0u);
+}
+
+TEST(ThreadPool, RunOnAllRethrowsOnlyAfterEveryLaneFinishes) {
+  pe::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.run_on_all([&](std::size_t worker) {
+    ++ran;
+    if (worker == 1) throw std::runtime_error("lane down");
+  }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 3);  // no lane was abandoned mid-flight
+  auto f = pool.submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);  // and the pool is not wedged
+}
+
+TEST(ThreadPool, InjectedWorkerFaultsAreAbsorbedNotFatal) {
+  pe::resilience::FaultPlan plan;
+  plan.faults.push_back(
+      {.site = std::string(pe::fault_sites::kPoolWorker), .max_fires = 2});
+  pe::resilience::ScopedFaultInjection scope(std::move(plan));
+  pe::ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 6; ++i)
+    futures.push_back(pool.submit([i] { return i; }));
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(futures[i].get(), i);  // none dropped
+  EXPECT_EQ(pool.absorbed_faults(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+// Tests for the wall-clock watchdog and structured measurement errors.
+#include "perfeng/resilience/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "perfeng/measure/timer.hpp"
+
+namespace {
+
+using pe::resilience::FailureKind;
+using pe::resilience::MeasurementError;
+using pe::resilience::run_with_deadline;
+
+TEST(Watchdog, ZeroDeadlineRunsInline) {
+  int calls = 0;
+  run_with_deadline(0.0, [&] { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Watchdog, FastWorkCompletesUnderDeadline) {
+  std::atomic<int> calls{0};
+  run_with_deadline(5.0, [&] { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Watchdog, NonTerminatingWorkTimesOutStructured) {
+  // The spin flag is shared-owned so the abandoned helper thread can keep
+  // reading it safely after this test frame unwinds.
+  auto stop = std::make_shared<std::atomic<bool>>(false);
+  const pe::WallTimer t;
+  try {
+    run_with_deadline(
+        0.25,
+        [stop] {
+          while (!stop->load(std::memory_order_relaxed)) {
+          }
+        },
+        "runaway");
+    FAIL() << "expected MeasurementError";
+  } catch (const MeasurementError& e) {
+    EXPECT_EQ(e.kind(), FailureKind::kTimeout);
+    EXPECT_EQ(e.label(), "runaway");
+    EXPECT_EQ(e.attempts(), 1);
+    EXPECT_NE(std::string(e.what()).find("timeout"), std::string::npos);
+  }
+  // It threw because the deadline expired, not because the work finished.
+  EXPECT_GE(t.elapsed(), 0.2);
+  EXPECT_LT(t.elapsed(), 5.0);  // ...and it did not hang
+  stop->store(true);  // let the abandoned helper exit
+}
+
+TEST(Watchdog, WorkExceptionsRethrownOnCaller) {
+  EXPECT_THROW(
+      run_with_deadline(5.0, [] { throw std::runtime_error("inner"); }),
+      std::runtime_error);
+}
+
+TEST(Watchdog, NullWorkRejected) {
+  EXPECT_THROW(run_with_deadline(1.0, std::function<void()>{}), pe::Error);
+}
+
+TEST(MeasurementErrorTest, CarriesStructuredFields) {
+  const MeasurementError e(FailureKind::kUnstable, "spmv", 4, 1.5,
+                           "CV too high");
+  EXPECT_EQ(e.kind(), FailureKind::kUnstable);
+  EXPECT_EQ(e.label(), "spmv");
+  EXPECT_EQ(e.attempts(), 4);
+  EXPECT_DOUBLE_EQ(e.elapsed_seconds(), 1.5);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("spmv"), std::string::npos);
+  EXPECT_NE(what.find("unstable"), std::string::npos);
+  EXPECT_NE(what.find("4 attempts"), std::string::npos);
+  EXPECT_NE(what.find("CV too high"), std::string::npos);
+}
+
+TEST(MeasurementErrorTest, KindNames) {
+  EXPECT_EQ(pe::resilience::to_string(FailureKind::kTimeout), "timeout");
+  EXPECT_EQ(pe::resilience::to_string(FailureKind::kFault), "fault");
+  EXPECT_EQ(pe::resilience::to_string(FailureKind::kUnstable), "unstable");
+}
+
+}  // namespace
