@@ -43,8 +43,11 @@ class CounterCollector {
   explicit CounterCollector(SimulatedMachineModel model = {});
 
   /// Run `work` once and collect counters. Never throws for backend
-  /// trouble (only for a null closure): every failure path lands in the
-  /// simulated fallback with `degraded = true`.
+  /// trouble (only for a null closure, or an exception from `work`
+  /// itself, which propagates): every backend failure path lands in the
+  /// simulated fallback with `degraded = true`. The workload executes at
+  /// most once per collect() — a backend that fails after running the
+  /// workload degrades by reusing the recorded wall time.
   [[nodiscard]] CollectedCounters collect(
       const std::function<void()>& work) const;
 

@@ -24,25 +24,45 @@ CollectedCounters CounterCollector::collect(
     const std::function<void()>& work) const {
   PE_REQUIRE(static_cast<bool>(work), "null workload");
   CollectedCounters out;
+  // Record whether the workload already ran (and how long it took) inside
+  // the hardware backend, so a backend failure *after* the workload — a
+  // mid-read error — degrades by reusing the recorded wall time instead of
+  // executing a possibly side-effecting workload a second time.
+  bool work_started = false;
+  bool work_completed = false;
+  double work_seconds = 0.0;
   try {
     fault_point(fault_sites::kCountersRead);
     if (!PerfBackend::available())
       throw Error("perf backend unavailable: " +
                   PerfBackend::unavailable_reason());
-    out.counters = PerfBackend::measure(work);
+    out.counters = PerfBackend::measure([&] {
+      work_started = true;
+      const WallTimer t;
+      work();
+      work_seconds = t.elapsed();
+      work_completed = true;
+    });
     out.backend = "perf";
     return out;
   } catch (const std::exception& e) {
+    // An exception out of the workload itself is not backend trouble:
+    // propagate it rather than re-running a workload that just failed.
+    if (work_started && !work_completed) throw;
     out.note = e.what();
   }
 
-  // Degraded path: time the work and synthesize counters from the nominal
-  // machine model. Corrupt-value faults at `counters.read` poison the
-  // timing here, which is exactly what chaos runs want to observe.
-  WallTimer t;
-  work();
+  // Degraded path: time the work (unless the failing backend already ran
+  // it to completion) and synthesize counters from the nominal machine
+  // model. Corrupt-value faults at `counters.read` poison the timing here,
+  // which is exactly what chaos runs want to observe.
+  if (!work_completed) {
+    const WallTimer t;
+    work();
+    work_seconds = t.elapsed();
+  }
   const double seconds =
-      fault_value(fault_sites::kCountersRead, t.elapsed());
+      fault_value(fault_sites::kCountersRead, work_seconds);
   const double cycles_d = seconds * model_.clock_ghz * 1e9;
   const auto cycles = static_cast<std::uint64_t>(cycles_d);
   const auto instructions =

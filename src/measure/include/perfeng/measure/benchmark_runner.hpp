@@ -81,13 +81,18 @@ class BenchmarkRunner {
  private:
   /// Batch-size calibration; before each probe batch, predicts its runtime
   /// from the previous one and aborts with a timeout error if the deadline
-  /// cannot be met — so a slow-but-terminating kernel fails cleanly on the
-  /// caller's thread instead of being abandoned by the watchdog.
-  [[nodiscard]] std::size_t calibrate_batch(
-      const std::string& label, const std::function<void()>& kernel,
-      const WallTimer& attempt_timer) const;
+  /// cannot be met — so a slow-but-terminating kernel fails cleanly
+  /// before the watchdog expires. Static (and parameterized on a config)
+  /// because it runs inside the attempt closure, which may outlive both
+  /// `this` and the caller's stack when the watchdog abandons it.
+  [[nodiscard]] static std::size_t calibrate_batch(
+      const MeasurementConfig& config, const std::string& label,
+      const std::function<void()>& kernel, const WallTimer& attempt_timer);
 
-  /// Watchdog + retry-on-noise wrapper around one attempt body.
+  /// Watchdog + retry-on-noise wrapper around one attempt body. The
+  /// attempt must be self-contained (no reference captures into frames
+  /// that unwind on timeout): the watchdog copies it into heap state
+  /// shared with a helper thread that survives a timeout.
   [[nodiscard]] Measurement measure_with_policy(
       const std::string& label,
       const std::function<Measurement()>& attempt) const;

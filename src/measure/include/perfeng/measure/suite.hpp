@@ -85,9 +85,11 @@ class BenchmarkSuite {
       const std::vector<double>& measured_seconds) const;
 
  private:
-  /// Score (name, seconds) pairs for the surviving subset.
+  /// Score (member index, seconds) pairs for the surviving subset. Indexed
+  /// rather than named so a survivor resolves to its member in O(1) with
+  /// no re-matching.
   [[nodiscard]] SuiteScore score_survivors(
-      const std::vector<std::pair<std::string, double>>& survivors) const;
+      const std::vector<std::pair<std::size_t, double>>& survivors) const;
 
   std::string name_;
   std::vector<SuiteBenchmark> members_;

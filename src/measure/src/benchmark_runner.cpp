@@ -22,39 +22,39 @@ BenchmarkRunner::BenchmarkRunner(MeasurementConfig config)
 }
 
 std::size_t BenchmarkRunner::calibrate_batch(
-    const std::string& label, const std::function<void()>& kernel,
-    const WallTimer& attempt_timer) const {
+    const MeasurementConfig& config, const std::string& label,
+    const std::function<void()>& kernel, const WallTimer& attempt_timer) {
   // Double the batch size until one batch takes at least min_batch_seconds.
   std::size_t batch = 1;
   for (;;) {
     WallTimer t;
     for (std::size_t i = 0; i < batch; ++i) kernel();
     const double elapsed = t.elapsed();
-    if (elapsed >= config_.min_batch_seconds ||
-        batch >= config_.max_batch_iterations) {
+    if (elapsed >= config.min_batch_seconds ||
+        batch >= config.max_batch_iterations) {
       return batch;
     }
     // Jump straight to the projected size when we have signal, else double.
     std::size_t next;
     if (elapsed > 0.0) {
-      const double scale = config_.min_batch_seconds / elapsed;
+      const double scale = config.min_batch_seconds / elapsed;
       const auto projected =
           static_cast<std::size_t>(static_cast<double>(batch) * scale * 1.2) +
           1;
       next = std::min(std::max(projected, batch * 2),
-                      config_.max_batch_iterations);
+                      config.max_batch_iterations);
     } else {
-      next = std::min(batch * 2, config_.max_batch_iterations);
+      next = std::min(batch * 2, config.max_batch_iterations);
     }
     // Predictive deadline check: refuse to launch a probe batch whose
     // projected runtime would blow the budget. This aborts on the caller's
     // thread *before* the watchdog expires, so a slow-but-terminating
     // kernel fails cleanly instead of being abandoned mid-batch.
-    if (config_.deadline_seconds > 0.0 && elapsed > 0.0) {
+    if (config.deadline_seconds > 0.0 && elapsed > 0.0) {
       const double per_iteration = elapsed / static_cast<double>(batch);
       const double predicted =
           per_iteration * static_cast<double>(next);
-      if (attempt_timer.elapsed() + predicted > config_.deadline_seconds) {
+      if (attempt_timer.elapsed() + predicted > config.deadline_seconds) {
         throw MeasurementError(
             FailureKind::kTimeout, label, /*attempts=*/1,
             attempt_timer.elapsed(),
@@ -78,8 +78,11 @@ Measurement BenchmarkRunner::measure_with_policy(
         resilience::backoff_seconds(retry, attempt_no));
     try {
       if (config_.deadline_seconds > 0.0) {
-        resilience::run_with_deadline(
-            config_.deadline_seconds, [&] { m = attempt(); }, label);
+        // The watchdog copies `attempt` into heap state co-owned by its
+        // helper thread; the result comes back by value. Nothing the
+        // abandoned thread touches lives on this (unwindable) stack.
+        m = resilience::run_with_deadline(config_.deadline_seconds, attempt,
+                                          label);
       } else {
         m = attempt();
       }
@@ -108,19 +111,23 @@ Measurement BenchmarkRunner::measure_with_policy(
 Measurement BenchmarkRunner::run(const std::string& label,
                                  const std::function<void()>& kernel) const {
   PE_REQUIRE(static_cast<bool>(kernel), "null kernel");
-  const auto guarded = [&kernel] {
-    fault_point(fault_sites::kKernelCall);
-    kernel();
-  };
-  return measure_with_policy(label, [&]() -> Measurement {
+  // The attempt captures everything it touches by value: on a watchdog
+  // timeout it keeps executing on an abandoned thread after this frame —
+  // and possibly the runner itself — is gone.
+  return measure_with_policy(label, [config = config_, label,
+                                     kernel]() -> Measurement {
+    const auto guarded = [&kernel] {
+      fault_point(fault_sites::kKernelCall);
+      kernel();
+    };
     const WallTimer attempt_timer;
-    for (int i = 0; i < config_.warmup_runs; ++i) guarded();
+    for (int i = 0; i < config.warmup_runs; ++i) guarded();
 
     Measurement m;
     m.label = label;
-    m.batch_iterations = calibrate_batch(label, guarded, attempt_timer);
-    m.seconds.reserve(static_cast<std::size_t>(config_.repetitions));
-    for (int rep = 0; rep < config_.repetitions; ++rep) {
+    m.batch_iterations = calibrate_batch(config, label, guarded, attempt_timer);
+    m.seconds.reserve(static_cast<std::size_t>(config.repetitions));
+    for (int rep = 0; rep < config.repetitions; ++rep) {
       WallTimer t;
       for (std::size_t i = 0; i < m.batch_iterations; ++i) guarded();
       const double per_iteration =
@@ -138,22 +145,25 @@ Measurement BenchmarkRunner::run_with_setup(
     const std::function<void()>& kernel) const {
   PE_REQUIRE(static_cast<bool>(setup), "null setup");
   PE_REQUIRE(static_cast<bool>(kernel), "null kernel");
-  const auto guarded = [&kernel] {
-    fault_point(fault_sites::kKernelCall);
-    kernel();
-  };
-  return measure_with_policy(label, [&]() -> Measurement {
+  // By-value captures for the same reason as run(): the watchdog may
+  // abandon this attempt mid-flight after the caller's stack unwinds.
+  return measure_with_policy(label, [config = config_, label, setup,
+                                     kernel]() -> Measurement {
+    const auto guarded = [&kernel] {
+      fault_point(fault_sites::kKernelCall);
+      kernel();
+    };
     // Setup must precede every timed execution (e.g. re-randomizing an input
     // that the kernel mutates); batching is therefore fixed at one iteration
     // and the repetition count is raised to compensate.
-    for (int i = 0; i < config_.warmup_runs; ++i) {
+    for (int i = 0; i < config.warmup_runs; ++i) {
       setup();
       guarded();
     }
     Measurement m;
     m.label = label;
     m.batch_iterations = 1;
-    const int reps = config_.repetitions;
+    const int reps = config.repetitions;
     m.seconds.reserve(static_cast<std::size_t>(reps));
     for (int rep = 0; rep < reps; ++rep) {
       setup();

@@ -28,19 +28,17 @@ void BenchmarkSuite::add(SuiteBenchmark benchmark) {
 }
 
 SuiteScore BenchmarkSuite::score_survivors(
-    const std::vector<std::pair<std::string, double>>& survivors) const {
+    const std::vector<std::pair<std::size_t, double>>& survivors) const {
   SuiteScore score;
   double log_acc = 0.0, acc = 0.0;
-  for (const auto& [name, seconds] : survivors) {
+  for (const auto& [index, seconds] : survivors) {
     PE_REQUIRE(seconds > 0.0, "measured time must be positive");
-    const SuiteBenchmark* member = nullptr;
-    for (const auto& m : members_)
-      if (m.name == name) member = &m;
-    PE_ASSERT(member != nullptr, "survivor is not a suite member");
+    PE_ASSERT(index < members_.size(), "survivor is not a suite member");
+    const SuiteBenchmark& member = members_[index];
     SuiteResult r;
-    r.name = name;
+    r.name = member.name;
     r.seconds = seconds;
-    r.ratio = member->reference_seconds / seconds;
+    r.ratio = member.reference_seconds / seconds;
     log_acc += std::log(r.ratio);
     acc += r.ratio;
     score.results.push_back(std::move(r));
@@ -58,21 +56,22 @@ SuiteScore BenchmarkSuite::score(
   PE_REQUIRE(measured_seconds.size() == members_.size(),
              "one measurement per member required");
   PE_REQUIRE(!members_.empty(), "empty suite");
-  std::vector<std::pair<std::string, double>> survivors;
+  std::vector<std::pair<std::size_t, double>> survivors;
   survivors.reserve(members_.size());
   for (std::size_t i = 0; i < members_.size(); ++i)
-    survivors.emplace_back(members_[i].name, measured_seconds[i]);
+    survivors.emplace_back(i, measured_seconds[i]);
   return score_survivors(survivors);
 }
 
 SuiteScore BenchmarkSuite::run(const BenchmarkRunner& runner) const {
   PE_REQUIRE(!members_.empty(), "empty suite");
-  std::vector<std::pair<std::string, double>> survivors;
+  std::vector<std::pair<std::size_t, double>> survivors;
   std::vector<SuiteFailure> failed;
   survivors.reserve(members_.size());
-  for (const auto& m : members_) {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const SuiteBenchmark& m = members_[i];
     try {
-      survivors.emplace_back(m.name, runner.run(m.name, m.kernel).typical());
+      survivors.emplace_back(i, runner.run(m.name, m.kernel).typical());
     } catch (const std::exception& e) {
       // Graceful degradation: record the casualty, keep the campaign going.
       failed.push_back({m.name, e.what()});

@@ -89,8 +89,14 @@ class FaultInjector final : public FaultHook {
     int fires = 0;
   };
 
-  /// Returns the spec if this visit should fire, bumping counters.
-  const FaultSpec* roll(SiteState& state);
+  /// Which hook is consulting the site: fault_point() can execute kThrow /
+  /// kDelay specs, fault_value() only kCorruptValue specs. A visit through
+  /// the wrong hook must not consume the spec's fire budget.
+  enum class Hook { kPoint, kValue };
+
+  /// Returns the spec if this visit should fire through `hook`, bumping
+  /// counters. Only a visit whose hook matches the spec kind can fire.
+  const FaultSpec* roll(SiteState& state, Hook hook);
 
   FaultPlan plan_;
   mutable std::mutex mutex_;

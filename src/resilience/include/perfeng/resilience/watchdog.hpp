@@ -8,28 +8,85 @@
 /// runs the work on a helper thread and waits with a deadline: on timeout it
 /// throws a structured `MeasurementError` (kind kTimeout) and *abandons* the
 /// helper — the runaway thread is detached, not killed, because C++ has no
-/// safe cross-thread cancellation. Consequences callers must respect:
+/// safe cross-thread cancellation. To make abandonment safe, the callable is
+/// *moved into heap state co-owned by the helper thread*, so the closure and
+/// everything it captures by value stay alive after the caller's stack
+/// unwinds. Consequences callers must respect:
 ///
-///  - the abandoned thread keeps running; state it references must outlive
-///    it (the closure itself is copied into the thread), and a truly
-///    non-terminating kernel leaks one thread for the process lifetime;
+///  - anything the closure captures *by reference* must outlive the
+///    abandoned thread (capture by value or via shared_ptr when in doubt),
+///    and a truly non-terminating kernel leaks one thread for the process
+///    lifetime;
 ///  - the watchdog is for *campaign survival*, not precision: the helper
 ///    thread adds scheduling noise, so leave `deadline_seconds` at 0 (run
 ///    inline, no watchdog) when measuring ultra-short kernels.
 
-#include <functional>
+#include <chrono>
+#include <future>
+#include <memory>
 #include <string_view>
+#include <thread>
+#include <type_traits>
 
 #include "perfeng/resilience/measurement_error.hpp"
 
 namespace pe::resilience {
 
-/// Run `work` to completion, or throw MeasurementError(kTimeout) after
-/// `deadline_seconds` of wall-clock time. A non-positive deadline runs the
-/// work inline with no watchdog. Exceptions thrown by `work` are rethrown
-/// on the calling thread. `label` names the work in the error.
-void run_with_deadline(double deadline_seconds,
-                       const std::function<void()>& work,
-                       std::string_view label = "watchdog");
+namespace detail {
+
+/// Builds the structured timeout error thrown when a deadline expires.
+[[nodiscard]] MeasurementError timeout_error(double deadline_seconds,
+                                             std::string_view label);
+
+}  // namespace detail
+
+/// Run `work` to completion and return its result, or throw
+/// MeasurementError(kTimeout) after `deadline_seconds` of wall-clock time.
+/// A non-positive deadline runs the work inline with no watchdog.
+/// Exceptions thrown by `work` are rethrown on the calling thread. `label`
+/// names the work in the error. The callable is moved into shared heap
+/// state owned jointly with the helper thread (see the file comment for
+/// the lifetime contract on reference captures).
+template <typename Work>
+auto run_with_deadline(double deadline_seconds, Work work,
+                       std::string_view label = "watchdog")
+    -> std::invoke_result_t<Work&> {
+  using Result = std::invoke_result_t<Work&>;
+  if constexpr (std::is_constructible_v<bool, const Work&>) {
+    PE_REQUIRE(static_cast<bool>(work), "null work");
+  }
+  if (deadline_seconds <= 0.0) return work();
+
+  // The helper co-owns the closure and the promise, so a timeout that
+  // unwinds this frame leaves the abandoned thread with valid state.
+  struct Shared {
+    Work work;
+    std::promise<Result> done;
+    explicit Shared(Work&& w) : work(std::move(w)) {}
+  };
+  auto shared = std::make_shared<Shared>(std::move(work));
+  std::future<Result> finished = shared->done.get_future();
+  std::thread helper([shared] {
+    try {
+      if constexpr (std::is_void_v<Result>) {
+        shared->work();
+        shared->done.set_value();
+      } else {
+        shared->done.set_value(shared->work());
+      }
+    } catch (...) {
+      shared->done.set_exception(std::current_exception());
+    }
+  });
+
+  const auto status =
+      finished.wait_for(std::chrono::duration<double>(deadline_seconds));
+  if (status == std::future_status::ready) {
+    helper.join();
+    return finished.get();  // rethrows the work's exception, if any
+  }
+  helper.detach();  // abandon the runaway; see file comment for the contract
+  throw detail::timeout_error(deadline_seconds, label);
+}
 
 }  // namespace pe::resilience

@@ -45,16 +45,23 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   }
 }
 
-const FaultSpec* FaultInjector::roll(SiteState& state) {
+const FaultSpec* FaultInjector::roll(SiteState& state, Hook hook) {
   ++state.visits;
   const FaultSpec* spec = state.spec;
   if (spec == nullptr) return nullptr;
   if (state.visits <= spec->skip_first) return nullptr;
-  // Consume one RNG draw per eligible visit even when max_fires already
-  // capped the rule, so the per-site stream stays aligned across runs.
+  // Consume one RNG draw per eligible visit — even when the hook cannot
+  // execute this spec kind or max_fires already capped the rule — so the
+  // per-site stream stays aligned across runs.
   const bool hit =
       spec->probability >= 1.0 || state.rng.next_double() < spec->probability;
-  if (!hit) return nullptr;
+  // A site can host both hooks (e.g. kernel.call passes fault_point and
+  // fault_value); only the hook that can execute the spec may consume its
+  // fire budget, so `fires` counts real faults, never no-op hits.
+  const bool executable = hook == Hook::kValue
+                              ? spec->kind == FaultKind::kCorruptValue
+                              : spec->kind != FaultKind::kCorruptValue;
+  if (!hit || !executable) return nullptr;
   if (spec->max_fires >= 0 && state.fires >= spec->max_fires) return nullptr;
   ++state.fires;
   return spec;
@@ -66,7 +73,7 @@ void FaultInjector::at(std::string_view site) {
   {
     std::lock_guard lock(mutex_);
     auto [it, _] = sites_.try_emplace(std::string(site));
-    fired = roll(it->second);
+    fired = roll(it->second, Hook::kPoint);
     visit = it->second.visits;
   }
   if (fired == nullptr) return;
@@ -79,7 +86,7 @@ void FaultInjector::at(std::string_view site) {
           std::chrono::duration<double>(fired->delay_seconds));
       return;
     case FaultKind::kCorruptValue:
-      return;  // corruption only applies where a value passes fault_value()
+      return;  // unreachable: roll() never fires corruption through at()
   }
 }
 
@@ -88,10 +95,9 @@ double FaultInjector::corrupt(std::string_view site, double value) {
   {
     std::lock_guard lock(mutex_);
     auto [it, _] = sites_.try_emplace(std::string(site));
-    fired = roll(it->second);
+    fired = roll(it->second, Hook::kValue);
   }
-  if (fired == nullptr || fired->kind != FaultKind::kCorruptValue)
-    return value;
+  if (fired == nullptr) return value;
   return value * fired->corrupt_scale;
 }
 

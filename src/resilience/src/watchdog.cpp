@@ -1,47 +1,16 @@
 #include "perfeng/resilience/watchdog.hpp"
 
-#include <chrono>
-#include <future>
-#include <memory>
-#include <thread>
+#include <string>
 
-namespace pe::resilience {
+namespace pe::resilience::detail {
 
-void run_with_deadline(double deadline_seconds,
-                       const std::function<void()>& work,
-                       std::string_view label) {
-  PE_REQUIRE(static_cast<bool>(work), "null work");
-  if (deadline_seconds <= 0.0) {
-    work();
-    return;
-  }
-
-  // The promise is shared with the helper so it stays valid even after a
-  // timeout abandons the thread mid-run.
-  auto done = std::make_shared<std::promise<void>>();
-  std::future<void> finished = done->get_future();
-  std::thread helper([done, work] {
-    try {
-      work();
-      done->set_value();
-    } catch (...) {
-      done->set_exception(std::current_exception());
-    }
-  });
-
-  const auto status = finished.wait_for(
-      std::chrono::duration<double>(deadline_seconds));
-  if (status == std::future_status::ready) {
-    helper.join();
-    finished.get();  // rethrow the work's exception, if any
-    return;
-  }
-  helper.detach();  // abandon the runaway; see header for the contract
-  throw MeasurementError(FailureKind::kTimeout, std::string(label),
-                         /*attempts=*/1, deadline_seconds,
-                         "wall-clock deadline of " +
-                             std::to_string(deadline_seconds) +
-                             " s exceeded; runaway thread abandoned");
+MeasurementError timeout_error(double deadline_seconds,
+                               std::string_view label) {
+  return MeasurementError(FailureKind::kTimeout, std::string(label),
+                          /*attempts=*/1, deadline_seconds,
+                          "wall-clock deadline of " +
+                              std::to_string(deadline_seconds) +
+                              " s exceeded; runaway thread abandoned");
 }
 
-}  // namespace pe::resilience
+}  // namespace pe::resilience::detail

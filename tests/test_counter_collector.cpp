@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "perfeng/resilience/fault_injection.hpp"
 
 namespace {
@@ -62,6 +64,32 @@ TEST(CounterCollector, DegradedResultCarriesReason) {
   }
   EXPECT_EQ(out.backend, "simulated");
   EXPECT_FALSE(out.note.empty());  // the reason for degrading is recorded
+}
+
+TEST(CounterCollector, WorkloadRunsExactlyOncePerCollect) {
+  // Holds on both paths: the perf path runs the work inside the backend,
+  // and the degraded path reuses the wall time recorded there instead of
+  // re-executing a possibly side-effecting workload.
+  const CounterCollector c;
+  int runs = 0;
+  (void)c.collect([&] {
+    ++runs;
+    small_work();
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(CounterCollector, ThrowingWorkloadPropagatesWithoutRerun) {
+  // A workload that throws is not backend trouble: the exception escapes
+  // collect() and the fallback must not run the broken workload again.
+  const CounterCollector c;
+  int runs = 0;
+  EXPECT_THROW((void)c.collect([&] {
+                 ++runs;
+                 throw std::runtime_error("workload bug");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(runs, 1);
 }
 
 TEST(CounterCollector, CorruptedTimingPoisonsSimulatedCounters) {

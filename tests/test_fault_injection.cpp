@@ -75,6 +75,38 @@ TEST(FaultInjection, MaxFiresBoundsTheDamage) {
   EXPECT_EQ(scope.injector().fires("s"), 2);
 }
 
+TEST(FaultInjection, FireBudgetNotConsumedByMismatchedHook) {
+  // Regression: a site can host both hooks (kernel.call passes fault_point
+  // *and* fault_value in BenchmarkRunner). Visits through the hook that
+  // cannot execute the spec kind must neither fire nor eat max_fires.
+  {
+    FaultPlan plan;
+    plan.faults.push_back({.site = "s", .max_fires = 1});
+    ScopedFaultInjection scope(std::move(plan));
+    EXPECT_DOUBLE_EQ(pe::fault_value("s", 2.0), 2.0);
+    EXPECT_DOUBLE_EQ(pe::fault_value("s", 2.0), 2.0);
+    EXPECT_EQ(scope.injector().fires("s"), 0);
+    EXPECT_THROW(pe::fault_point("s"), FaultInjected);  // budget intact
+    EXPECT_EQ(scope.injector().fires("s"), 1);
+    EXPECT_NO_THROW(pe::fault_point("s"));  // and now spent
+  }
+  {
+    // Mirror image: at() visits must not consume a corruption budget.
+    FaultPlan plan;
+    plan.faults.push_back({.site = "c",
+                           .kind = FaultKind::kCorruptValue,
+                           .max_fires = 1,
+                           .corrupt_scale = 10.0});
+    ScopedFaultInjection scope(std::move(plan));
+    EXPECT_NO_THROW(pe::fault_point("c"));
+    EXPECT_NO_THROW(pe::fault_point("c"));
+    EXPECT_EQ(scope.injector().fires("c"), 0);
+    EXPECT_DOUBLE_EQ(pe::fault_value("c", 2.0), 20.0);  // budget intact
+    EXPECT_EQ(scope.injector().fires("c"), 1);
+    EXPECT_DOUBLE_EQ(pe::fault_value("c", 2.0), 2.0);  // and now spent
+  }
+}
+
 std::vector<bool> firing_pattern(std::uint64_t seed, int visits) {
   FaultPlan plan;
   plan.seed = seed;

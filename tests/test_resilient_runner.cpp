@@ -69,6 +69,39 @@ TEST(ResilientRunner, WatchdogAbortsRunawayKernel) {
   }
 }
 
+TEST(ResilientRunner, AbandonedSlowKernelFinishesSafely) {
+  // Regression: on timeout the abandoned attempt used to write its result
+  // through references into the unwound measurement frames (use-after-free
+  // caught by the sanitized chaos run). The attempt now owns copies of
+  // everything it touches, so a slow-but-*terminating* kernel that blows
+  // the deadline mid-warmup runs to completion harmlessly after the
+  // runner, label and kernel of the timed-out call are all destroyed.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  {
+    MeasurementConfig cfg;
+    cfg.warmup_runs = 2;  // the deadline expires during warmup
+    cfg.repetitions = 1;
+    cfg.min_batch_seconds = 1e-9;
+    cfg.deadline_seconds = 0.1;
+    const BenchmarkRunner runner(cfg);
+    EXPECT_THROW((void)runner.run("slow-but-terminating",
+                                  [calls] {
+                                    ++*calls;
+                                    std::this_thread::sleep_for(
+                                        std::chrono::milliseconds(80));
+                                  }),
+                 MeasurementError);
+  }
+  // 2 warmups + 1 calibration batch + 1 repetition = 4 kernel calls; wait
+  // for the abandoned attempt to finish them and write its (now heap-
+  // owned) Measurement. Any dangling reference dies here under ASan.
+  const pe::WallTimer t;
+  while (calls->load() < 4 && t.elapsed() < 5.0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_GE(calls->load(), 4);
+}
+
 TEST(ResilientRunner, CalibrationAbortsPredictively) {
   MeasurementConfig cfg;
   cfg.warmup_runs = 0;
