@@ -10,6 +10,7 @@
 #include "perfeng/common/table.hpp"
 #include "perfeng/common/units.hpp"
 #include "perfeng/kernels/matmul.hpp"
+#include "perfeng/machine/registry.hpp"
 #include "perfeng/measure/benchmark_runner.hpp"
 #include "perfeng/microbench/machine_probe.hpp"
 #include "perfeng/models/roofline.hpp"
@@ -22,15 +23,17 @@ int main() {
   const pe::BenchmarkRunner runner(cfg);
 
   std::puts("== Assignment 1: Roofline model of matmul versions ==\n");
-  std::puts("Calibrating machine ceilings (microbenchmarks)...");
+  std::printf("Resolving machine (%s=<preset|file>, else probe)...\n",
+              pe::machine::kMachineEnv);
   pe::microbench::ProbeConfig probe;
   probe.stream_elements = 1 << 21;  // 16 MiB working set
   probe.latency_max_bytes = 1 << 22;
-  const auto mc = pe::microbench::probe_machine(runner, probe);
-  std::printf("machine: %s\n\n", mc.summary().c_str());
+  const pe::machine::Machine desc =
+      pe::microbench::resolve_or_probe(runner, probe);
+  std::printf("machine: %s\n", desc.summary().c_str());
+  std::printf("calibration: %s\n\n", desc.calibration_hash().c_str());
 
-  pe::models::RooflineModel machine(mc.peak_flops, mc.memory_bandwidth);
-  machine.add_bandwidth_ceiling("cache", mc.cache_bandwidth);
+  const auto machine = pe::models::RooflineModel::from_machine(desc);
 
   std::puts("Roofline curve (attainable FLOP/s by arithmetic intensity):");
   pe::Table curve({"intensity FLOP/B", "attainable", "bound"});

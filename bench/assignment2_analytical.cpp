@@ -12,6 +12,7 @@
 #include "perfeng/common/units.hpp"
 #include "perfeng/kernels/histogram.hpp"
 #include "perfeng/kernels/matmul.hpp"
+#include "perfeng/machine/registry.hpp"
 #include "perfeng/measure/benchmark_runner.hpp"
 #include "perfeng/measure/metrics.hpp"
 #include "perfeng/microbench/machine_probe.hpp"
@@ -35,9 +36,12 @@ int main() {
   pe::microbench::ProbeConfig probe;
   probe.stream_elements = 1 << 21;
   probe.latency_max_bytes = 1 << 22;
-  const auto mc = pe::microbench::probe_machine(runner, probe);
+  const pe::machine::Machine desc =
+      pe::microbench::resolve_or_probe(runner, probe);
   const auto ops = pe::microbench::OpCostTable::measure(runner);
-  std::printf("machine: %s\n", mc.summary().c_str());
+  std::printf("machine: %s\n", desc.summary().c_str());
+  std::printf("calibration: %s  (override with %s=<preset|file>)\n",
+              desc.calibration_hash().c_str(), pe::machine::kMachineEnv);
 
   pe::Table op_table({"op", "latency", "throughput"});
   for (const auto& [op, cost] : ops.entries()) {
@@ -48,13 +52,7 @@ int main() {
   std::puts("\nMeasured per-operation cost table (Agner-Fog stand-in):");
   std::fputs(op_table.render().c_str(), stdout);
 
-  Calibration calib;
-  calib.peak_flops = mc.peak_flops;
-  calib.dram_bandwidth = mc.memory_bandwidth;
-  calib.cache_bandwidth = mc.cache_bandwidth;
-  calib.cache_bytes = mc.cache_level_bytes.empty()
-                          ? (1u << 21)
-                          : mc.cache_level_bytes.back();
+  const Calibration calib = Calibration::from_machine(desc);
 
   // ----- matmul at three granularities -----
   pe::Table mm({"n", "variant", "measured", "coarse", "traffic",

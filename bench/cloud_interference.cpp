@@ -5,13 +5,19 @@
 
 #include "perfeng/common/table.hpp"
 #include "perfeng/common/units.hpp"
+#include "perfeng/machine/registry.hpp"
 #include "perfeng/models/interference.hpp"
 
 using pe::models::SharedSystemModel;
 
 int main() {
   std::puts("== Cloud / shared-system interference model ==\n");
-  const SharedSystemModel node{5e10, 4e10};  // 50 GFLOP/s, 40 GB/s shared
+  const pe::machine::Machine desc =
+      pe::machine::resolve_or_preset("cloud-smt");
+  const SharedSystemModel node = SharedSystemModel::from_machine(desc);
+  std::printf("machine: %s  [calibration %s; override with %s]\n",
+              desc.name.c_str(), desc.calibration_hash().c_str(),
+              pe::machine::kMachineEnv);
   std::printf("node: %s per tenant, %s shared; ridge alone at %.2f "
               "FLOP/B\n\n",
               pe::format_flops(node.peak_flops).c_str(),

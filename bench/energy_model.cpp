@@ -8,6 +8,7 @@
 #include "perfeng/counters/simulated_counters.hpp"
 #include "perfeng/kernels/matmul.hpp"
 #include "perfeng/kernels/traces.hpp"
+#include "perfeng/machine/registry.hpp"
 #include "perfeng/measure/benchmark_runner.hpp"
 #include "perfeng/models/energy.hpp"
 
@@ -20,7 +21,13 @@ int main() {
   const pe::BenchmarkRunner runner(cfg);
 
   std::puts("== Energy models over the matmul ladder ==\n");
-  const PowerModel power{10.0, 30.0};  // 10 W idle + 30 W dynamic
+  const pe::machine::Machine desc =
+      pe::machine::resolve_or_preset("laptop-x86");
+  const PowerModel power = PowerModel::from_machine(desc);
+  std::printf("machine: %s (%.0f W idle + %.0f W dynamic)  [override with "
+              "%s]\n\n",
+              desc.name.c_str(), power.static_watts,
+              power.peak_dynamic_watts, pe::machine::kMachineEnv);
 
   const std::size_t n = 192;
   pe::kernels::Matrix a(n, n), b(n, n), c(n, n);

@@ -5,6 +5,7 @@
 
 #include "perfeng/common/table.hpp"
 #include "perfeng/common/units.hpp"
+#include "perfeng/machine/registry.hpp"
 #include "perfeng/models/gpu.hpp"
 
 using namespace pe::models;
@@ -41,19 +42,26 @@ int main() {
   std::puts("Occupancy calculator (kernel resource sweep):");
   std::fputs(occ_table.render().c_str(), stdout);
 
-  // Latency hiding: a 900 GB/s part with 500 ns memory latency, 80 SMs.
-  const double peak = 9e11;
+  // Latency hiding, calibrated from an accelerator machine description.
+  const pe::machine::Machine gpu_desc =
+      pe::machine::resolve_or_preset("das5-gpu");
+  const auto hiding = LatencyHidingModel::from_machine(gpu_desc);
+  const std::size_t access = gpu_desc.dram().line_bytes;
   pe::Table bw({"warps/SM", "achievable bandwidth", "% of peak"});
   for (unsigned warps : {1u, 4u, 8u, 16u, 32u, 48u, 64u}) {
-    const double achieved =
-        achievable_bandwidth(peak, 80, warps, 5e-7, 128);
+    const double achieved = hiding.achievable(warps, access);
     bw.add_row({std::to_string(warps), pe::format_bandwidth(achieved),
-                pe::format_fixed(achieved / peak * 100.0, 1)});
+                pe::format_fixed(achieved / hiding.peak_bandwidth * 100.0,
+                                 1)});
   }
-  std::puts("\nLatency hiding (80 SMs, 500 ns latency, 128 B accesses):");
+  std::printf("\nLatency hiding (%s: %u SMs, %.0f ns latency, %zu B "
+              "accesses; override with %s):\n",
+              gpu_desc.name.c_str(), hiding.num_sms,
+              hiding.memory_latency * 1e9, access,
+              pe::machine::kMachineEnv);
   std::fputs(bw.render().c_str(), stdout);
   std::printf("\nwarps/SM needed to saturate the peak: %u\n",
-              warps_to_saturate(peak, 80, 5e-7, 128));
+              hiding.saturation_warps(access));
   std::puts(
       "\nExpected shape: occupancy collapses under register/smem "
       "pressure; bandwidth\nscales linearly with resident warps until "

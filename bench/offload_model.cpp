@@ -6,6 +6,7 @@
 
 #include "perfeng/common/table.hpp"
 #include "perfeng/common/units.hpp"
+#include "perfeng/machine/registry.hpp"
 #include "perfeng/models/offload.hpp"
 
 using namespace pe::models;
@@ -15,11 +16,15 @@ int main() {
 
   // Device ratios modeled on the course's hardware (compute capability
   // 3.0-7.2 GPUs vs contemporary Xeons): ~10x FLOPS, ~5x bandwidth,
-  // PCIe-3-ish link.
-  OffloadModel m;
-  m.host = {5e10, 2e10};     // 50 GFLOP/s, 20 GB/s
-  m.device = {5e11, 1e11};   // 500 GFLOP/s, 100 GB/s
-  m.link = {1e-5, 1.0 / 12e9};  // 10 us + 12 GB/s
+  // PCIe-3-ish link. PERFENG_MACHINE swaps the host side.
+  const pe::machine::Machine host_desc =
+      pe::machine::resolve_or_preset("laptop-x86");
+  const pe::machine::Machine gpu_desc =
+      pe::machine::MachineRegistry::builtin().get("das5-gpu");
+  const OffloadModel m = OffloadModel::from_machine(host_desc, gpu_desc);
+  std::printf("host: %s  device: %s  [override host with %s]\n\n",
+              host_desc.name.c_str(), gpu_desc.name.c_str(),
+              pe::machine::kMachineEnv);
 
   pe::Table t({"n (matmul)", "host time", "offload time", "speedup",
                "verdict"});

@@ -21,15 +21,15 @@ int main() {
   cfg.repetitions = 5;
   const pe::BenchmarkRunner runner(cfg);
 
-  std::puts("calibrating (machine probe + per-op cost table)...");
-  const auto mc = pe::microbench::probe_machine(runner);
+  std::puts("calibrating (PERFENG_MACHINE or probe + per-op cost table)...");
+  const pe::machine::Machine mc =
+      pe::microbench::resolve_or_probe(runner);
   const auto ops = pe::microbench::OpCostTable::measure(runner);
-  std::printf("-> %s\n\n", mc.summary().c_str());
+  std::printf("-> %s  [calibration %s]\n\n", mc.summary().c_str(),
+              mc.calibration_hash().c_str());
 
-  pe::models::Calibration calib;
-  calib.peak_flops = mc.peak_flops;
-  calib.dram_bandwidth = mc.memory_bandwidth;
-  calib.cache_bandwidth = mc.cache_bandwidth;
+  const pe::models::Calibration calib =
+      pe::models::Calibration::from_machine(mc);
 
   const std::size_t n = 192;
   pe::kernels::Matrix a(n, n), b(n, n), c(n, n);

@@ -6,6 +6,7 @@
 
 #include "perfeng/common/units.hpp"
 #include "perfeng/kernels/stencil.hpp"
+#include "perfeng/machine/registry.hpp"
 #include "perfeng/measure/benchmark_runner.hpp"
 #include "perfeng/microbench/machine_probe.hpp"
 #include "perfeng/models/roofline.hpp"
@@ -27,13 +28,15 @@ int main() {
               pe::format_time(m.summary.ci95_half).c_str(),
               int(m.seconds.size()));
 
-  // 3. Characterize this machine with microbenchmarks.
-  const auto machine_info = pe::microbench::probe_machine(runner);
+  // 3. Resolve the machine: PERFENG_MACHINE (preset name or saved JSON
+  //    file), else characterize this host with microbenchmarks.
+  const pe::machine::Machine machine_info =
+      pe::microbench::resolve_or_probe(runner);
   std::printf("machine:  %s\n", machine_info.summary().c_str());
 
   // 4. Place the kernel on the machine's Roofline.
-  const pe::models::RooflineModel roofline(machine_info.peak_flops,
-                                           machine_info.memory_bandwidth);
+  const auto roofline =
+      pe::models::RooflineModel::from_machine(machine_info);
   const pe::models::KernelCharacterization kernel{
       "jacobi-512", pe::kernels::stencil_flops(512, 512),
       /*bytes=*/512.0 * 512.0 * sizeof(double) * 2.0};

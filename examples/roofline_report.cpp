@@ -23,9 +23,11 @@ int main(int argc, char** argv) {
   cfg.repetitions = 5;
   const pe::BenchmarkRunner runner(cfg);
 
-  std::puts("calibrating the machine (STREAM + peak FLOPS + latency)...");
-  const auto mc = pe::microbench::probe_machine(runner);
-  std::printf("-> %s\n\n", mc.summary().c_str());
+  std::puts("resolving the machine (PERFENG_MACHINE, else probe)...");
+  const pe::machine::Machine mc =
+      pe::microbench::resolve_or_probe(runner);
+  std::printf("-> %s  [calibration %s]\n\n", mc.summary().c_str(),
+              mc.calibration_hash().c_str());
 
   pe::kernels::Matrix a(n, n), b(n, n), c(n, n);
   pe::Rng rng(1);
@@ -33,8 +35,7 @@ int main(int argc, char** argv) {
   b.randomize(rng);
 
   pe::core::Pipeline pipeline(
-      pe::models::RooflineModel(mc.peak_flops, mc.memory_bandwidth),
-      runner);
+      pe::models::RooflineModel::from_machine(mc), runner);
   pipeline.set_requirement(
       {"multiply " + std::to_string(n) + "^2 matrices 2x faster", 2.0});
   pipeline.set_baseline(

@@ -32,6 +32,35 @@ namespace detail {
 }
 }  // namespace detail
 
+/// Reject a duplicate registration by name. Scans `range` with `proj`
+/// mapping each element to its name (defaults to `element.name`) and throws
+/// pe::Error naming `what` and the offending `name` when it already exists.
+/// One helper for every "named things must be unique" guard in the library
+/// (roofline ceilings, experiment factors, suite members, fault specs,
+/// machine registries) so the scan and the message stay consistent.
+template <typename Range, typename Proj>
+void require_unique_name(const Range& range, std::string_view name,
+                         std::string_view what, Proj proj) {
+  for (const auto& item : range) {
+    if (std::string_view(proj(item)) == name) {
+      std::string s;
+      s.reserve(what.size() + name.size() + 24);
+      s.append("duplicate ").append(what).append(" '").append(name).append(
+          "'");
+      throw Error(s);
+    }
+  }
+}
+
+template <typename Range>
+void require_unique_name(const Range& range, std::string_view name,
+                         std::string_view what) {
+  require_unique_name(range, name, what,
+                      [](const auto& item) -> const std::string& {
+                        return item.name;
+                      });
+}
+
 }  // namespace pe
 
 /// Check a precondition on a public API entry point; throws pe::Error.

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file machine.hpp
+/// The machine description layer: a first-class, serializable value type
+/// for the numbers every model in the toolbox is calibrated from.
+///
+/// Assignments 1-3 all start from the same machine characterization (peak
+/// FLOP/s, the bandwidth/latency/capacity hierarchy, core count); a
+/// `Machine` captures those numbers once — probed, loaded from JSON, or
+/// taken from a named preset — and every model grows a `from_machine()`
+/// factory so calibrations are shared instead of re-typed as positional
+/// doubles. Serialization is lossless and byte-stable (save(load(save(m)))
+/// == save(m)), so a published result can carry its calibration verbatim,
+/// and `calibration_hash()` gives experiments a provenance column
+/// ("Benchmarking as Empirical Standard": numbers travel with how they
+/// were obtained).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pe::machine {
+
+/// One level of the memory hierarchy, fastest first; the last level is
+/// main memory (capacity 0 = unbounded).
+struct MemoryLevel {
+  std::string name;            ///< e.g. "L1", "L2", "DRAM"
+  double bandwidth = 0.0;      ///< sustainable bytes/s at this level
+  double latency = 0.0;        ///< dependent-load seconds (0 = unknown)
+  std::size_t capacity = 0;    ///< bytes; 0 on the last level = unbounded
+  std::size_t line_bytes = 64; ///< transfer granularity
+
+  bool operator==(const MemoryLevel&) const = default;
+};
+
+/// A complete machine description. All models calibrate from this.
+struct Machine {
+  std::string name;         ///< registry/preset identity, e.g. "das5-node"
+  std::string description;  ///< one human line about the hardware
+  std::string source;       ///< provenance: "preset", "probe", "file <p>"
+
+  double peak_flops = 0.0;  ///< single-core FLOP/s roof
+  unsigned cores = 1;       ///< physical cores (parallel compute roof)
+
+  /// Memory hierarchy, fastest level first, last level = main memory.
+  std::vector<MemoryLevel> hierarchy;
+
+  /// Optional energy coefficients (0/0 = not calibrated).
+  double static_watts = 0.0;        ///< idle/leakage power
+  double peak_dynamic_watts = 0.0;  ///< extra power at 100% utilization
+
+  /// Optional interconnect (Hockney alpha-beta; 0/0 = not calibrated).
+  /// For a node preset this is the network link; for an accelerator
+  /// preset it is the host-device transfer link.
+  double link_alpha = 0.0;  ///< per-message/transfer latency (s)
+  double link_beta = 0.0;   ///< per-byte time (s)
+
+  bool operator==(const Machine&) const = default;
+
+  // --- derived views the models calibrate from ---
+
+  /// Main memory (the last hierarchy level); check() guarantees presence.
+  [[nodiscard]] const MemoryLevel& dram() const;
+
+  /// Fastest level (the first hierarchy level).
+  [[nodiscard]] const MemoryLevel& fastest() const;
+
+  [[nodiscard]] double dram_bandwidth() const { return dram().bandwidth; }
+  [[nodiscard]] double cache_bandwidth() const { return fastest().bandwidth; }
+
+  /// Capacity of the largest cache (levels before main memory); falls back
+  /// to 2 MiB when the hierarchy has no cache level.
+  [[nodiscard]] std::size_t largest_cache_bytes() const;
+
+  /// Whole-machine compute roof: per-core peak times core count.
+  [[nodiscard]] double total_peak_flops() const {
+    return peak_flops * static_cast<double>(cores);
+  }
+
+  /// FLOPs per byte at the single-core Roofline ridge point.
+  [[nodiscard]] double ridge_intensity() const;
+
+  [[nodiscard]] bool has_energy() const {
+    return static_watts > 0.0 || peak_dynamic_watts > 0.0;
+  }
+  [[nodiscard]] bool has_link() const {
+    return link_alpha > 0.0 || link_beta > 0.0;
+  }
+
+  /// Validate the description; throws pe::Error on the first violation.
+  /// Rejects: empty name, non-positive peak, zero cores, empty hierarchy,
+  /// duplicate/empty level names, non-positive bandwidths or line sizes,
+  /// and non-monotone hierarchies (bandwidth must not increase and
+  /// capacity must strictly increase fastest -> main memory; latency,
+  /// where known, must not decrease).
+  void check() const;
+
+  /// One-line human-readable summary (peaks, ridge, hierarchy).
+  [[nodiscard]] std::string summary() const;
+
+  /// Stable 16-hex-digit digest of the canonical JSON form; recorded as
+  /// the provenance column next to measurements calibrated from this
+  /// machine. Two equal machines hash equal on every platform.
+  [[nodiscard]] std::string calibration_hash() const;
+};
+
+/// Canonical JSON form: fixed key order, two-space indent, doubles printed
+/// round-trip losslessly. `from_json(to_json(m))` reproduces `m` exactly
+/// and `to_json` of the reparse is byte-identical.
+[[nodiscard]] std::string to_json(const Machine& m);
+
+/// Parse a machine description. Throws pe::Error carrying `source` and the
+/// 1-based line of the offending token (same contract as the CSV and
+/// Matrix Market loaders) on malformed or incomplete input. The parsed
+/// machine is check()ed before it is returned.
+[[nodiscard]] Machine from_json(std::string_view text,
+                                std::string_view source = "<memory>");
+
+/// Save the canonical JSON form to `path`; throws pe::Error on IO failure.
+void save_json_file(const Machine& m, const std::string& path);
+
+/// Load and validate a machine from a JSON file; throws pe::Error on IO
+/// failure or malformed content (with `path` and line in the message).
+[[nodiscard]] Machine load_json_file(const std::string& path);
+
+}  // namespace pe::machine

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file registry.hpp
+/// Named machine presets and the shared `PERFENG_MACHINE` resolver.
+///
+/// The registry holds validated machine descriptions by name; the built-in
+/// instance ships the course's reference systems (the DAS-5 node and GPU
+/// from the paper, a laptop baseline, a shared cloud node). Bench drivers
+/// and examples resolve their machine through one spec string — a preset
+/// name or a JSON file path — usually taken from the `PERFENG_MACHINE`
+/// environment variable, so a probe saved once is reused by every tool
+/// instead of re-run or hand-wired.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "perfeng/machine/machine.hpp"
+
+namespace pe::machine {
+
+/// Environment variable every driver consults: preset name or JSON path.
+inline constexpr const char* kMachineEnv = "PERFENG_MACHINE";
+
+/// A named collection of validated machine descriptions.
+class MachineRegistry {
+ public:
+  MachineRegistry() = default;
+
+  /// The built-in presets (das5-node, das5-gpu, laptop-x86, cloud-smt).
+  static const MachineRegistry& builtin();
+
+  /// Register a machine; it is check()ed and its name must be unique.
+  void add(Machine m);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Look up by name; throws pe::Error listing the known names on a miss.
+  [[nodiscard]] const Machine& get(std::string_view name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const { return machines_.size(); }
+
+ private:
+  std::vector<Machine> machines_;
+};
+
+/// Resolve a machine spec: a built-in preset name, else a JSON file path.
+/// Throws pe::Error when the spec is neither.
+[[nodiscard]] Machine resolve(const std::string& spec);
+
+/// Resolve `PERFENG_MACHINE` when set and non-empty; nullopt otherwise
+/// (callers fall back to probing or a default preset).
+[[nodiscard]] std::optional<Machine> machine_from_env();
+
+/// The shared driver entry point: `PERFENG_MACHINE` when set, else the
+/// named built-in preset.
+[[nodiscard]] Machine resolve_or_preset(const std::string& preset_name);
+
+}  // namespace pe::machine

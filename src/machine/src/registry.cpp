@@ -1,0 +1,161 @@
+#include "perfeng/machine/registry.hpp"
+
+#include <cstdlib>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::machine {
+
+namespace {
+
+Machine das5_node() {
+  Machine m;
+  m.name = "das5-node";
+  m.description =
+      "DAS-5 compute node: dual 8-core Xeon E5-2630v3 (AVX2 FMA), DDR4";
+  m.source = "preset";
+  m.peak_flops = 3.84e10;  // 2.4 GHz x 16 DP FLOP/cycle (2x FMA-256)
+  m.cores = 16;
+  m.hierarchy = {
+      {"L1", 8e11, 1.3e-9, 32u * 1024u, 64},
+      {"L2", 4e11, 3.5e-9, 256u * 1024u, 64},
+      {"L3", 2e11, 1.2e-8, 20u * 1024u * 1024u, 64},
+      {"DRAM", 5.9e10, 8.5e-8, 0, 64},
+  };
+  m.static_watts = 65.0;
+  m.peak_dynamic_watts = 170.0;
+  m.link_alpha = 1.7e-6;          // FDR InfiniBand
+  m.link_beta = 1.0 / 6.8e9;
+  return m;
+}
+
+Machine das5_gpu() {
+  Machine m;
+  m.name = "das5-gpu";
+  m.description =
+      "DAS-5 accelerator: Maxwell-class GPU behind a PCIe-3 x16 link";
+  m.source = "preset";
+  m.peak_flops = 2e10;  // per SM; x24 SMs ~ 480 GFLOP/s device roof
+  m.cores = 24;         // streaming multiprocessors
+  m.hierarchy = {
+      {"L2", 3e11, 2.4e-7, 3u * 1024u * 1024u, 128},
+      {"GDDR", 1e11, 5e-7, 0, 128},
+  };
+  m.static_watts = 15.0;
+  m.peak_dynamic_watts = 235.0;
+  m.link_alpha = 1e-5;            // PCIe-3 x16: 10 us + ~12 GB/s
+  m.link_beta = 1.0 / 1.2e10;
+  return m;
+}
+
+Machine laptop_x86() {
+  Machine m;
+  m.name = "laptop-x86";
+  m.description = "modest 4-core x86 laptop, dual-channel DDR4";
+  m.source = "preset";
+  m.peak_flops = 1.25e10;  // ~3.1 GHz x 4 DP FLOP/cycle
+  m.cores = 4;
+  m.hierarchy = {
+      {"L1", 3e11, 1.2e-9, 32u * 1024u, 64},
+      {"L2", 1.5e11, 4e-9, 256u * 1024u, 64},
+      {"L3", 1e11, 1.5e-8, 8u * 1024u * 1024u, 64},
+      {"DRAM", 2e10, 9e-8, 0, 64},
+  };
+  m.static_watts = 10.0;
+  m.peak_dynamic_watts = 30.0;
+  return m;
+}
+
+Machine cloud_smt() {
+  Machine m;
+  m.name = "cloud-smt";
+  m.description =
+      "multi-tenant cloud node: private per-vCPU compute, shared memory";
+  m.source = "preset";
+  m.peak_flops = 5e10;  // per-tenant compute roof
+  m.cores = 16;
+  m.hierarchy = {
+      {"L1", 4e11, 1.3e-9, 32u * 1024u, 64},
+      {"L2", 2e11, 4e-9, 1024u * 1024u, 64},
+      {"L3", 1e11, 2e-8, 32u * 1024u * 1024u, 64},
+      {"DRAM", 4e10, 1e-7, 0, 64},  // shared across all tenants
+  };
+  return m;
+}
+
+}  // namespace
+
+const MachineRegistry& MachineRegistry::builtin() {
+  static const MachineRegistry registry = [] {
+    MachineRegistry r;
+    r.add(das5_node());
+    r.add(das5_gpu());
+    r.add(laptop_x86());
+    r.add(cloud_smt());
+    return r;
+  }();
+  return registry;
+}
+
+void MachineRegistry::add(Machine m) {
+  m.check();
+  require_unique_name(machines_, m.name, "machine");
+  machines_.push_back(std::move(m));
+}
+
+bool MachineRegistry::contains(std::string_view name) const {
+  for (const Machine& m : machines_)
+    if (m.name == name) return true;
+  return false;
+}
+
+const Machine& MachineRegistry::get(std::string_view name) const {
+  for (const Machine& m : machines_)
+    if (m.name == name) return m;
+  std::string known;
+  for (const Machine& m : machines_) {
+    if (!known.empty()) known += ", ";
+    known += m.name;
+  }
+  throw Error("machine: no preset named '" + std::string(name) +
+              "' (known: " + known + ")");
+}
+
+std::vector<std::string> MachineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(machines_.size());
+  for (const Machine& m : machines_) out.push_back(m.name);
+  return out;
+}
+
+Machine resolve(const std::string& spec) {
+  PE_REQUIRE(!spec.empty(), "empty machine spec");
+  const MachineRegistry& presets = MachineRegistry::builtin();
+  if (presets.contains(spec)) return presets.get(spec);
+  // Not a preset: treat as a file path. Distinguish the two failure modes
+  // so PERFENG_MACHINE=typo explains itself.
+  try {
+    return load_json_file(spec);
+  } catch (const Error& e) {
+    if (spec.find('/') == std::string::npos &&
+        spec.find(".json") == std::string::npos) {
+      throw Error("machine: '" + spec +
+                  "' is neither a built-in preset nor a readable JSON "
+                  "file (" + e.what() + ")");
+    }
+    throw;
+  }
+}
+
+std::optional<Machine> machine_from_env() {
+  const char* spec = std::getenv(kMachineEnv);
+  if (spec == nullptr || spec[0] == '\0') return std::nullopt;
+  return resolve(spec);
+}
+
+Machine resolve_or_preset(const std::string& preset_name) {
+  if (auto m = machine_from_env()) return *m;
+  return MachineRegistry::builtin().get(preset_name);
+}
+
+}  // namespace pe::machine

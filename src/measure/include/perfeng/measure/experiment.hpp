@@ -12,9 +12,11 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "perfeng/common/table.hpp"
+#include "perfeng/machine/machine.hpp"
 
 namespace pe {
 
@@ -35,10 +37,27 @@ class Experiment {
   /// Add a factor with string levels (order preserved in enumeration).
   void add_factor(const std::string& name, std::vector<std::string> levels);
 
-  /// Convenience: numeric levels formatted via to_string.
-  void add_factor(const std::string& name, const std::vector<int>& levels);
-  void add_factor(const std::string& name,
-                  const std::vector<std::size_t>& levels);
+  /// Convenience: any arithmetic level type, formatted via std::to_string.
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void add_factor(const std::string& name, const std::vector<T>& levels) {
+    std::vector<std::string> s;
+    s.reserve(levels.size());
+    for (const T& v : levels) s.push_back(std::to_string(v));
+    add_factor(name, std::move(s));
+  }
+
+  /// Record the machine this experiment was calibrated against; the name
+  /// and calibration hash become provenance columns of the result table,
+  /// so a published sweep names the numbers it was modeled from.
+  void set_machine(const machine::Machine& m);
+
+  [[nodiscard]] const std::string& machine_name() const {
+    return machine_name_;
+  }
+  [[nodiscard]] const std::string& calibration_hash() const {
+    return calibration_hash_;
+  }
 
   /// Declare the response metrics recorded per design point, in order.
   void set_metrics(std::vector<std::string> metric_names);
@@ -91,6 +110,8 @@ class Experiment {
   };
 
   std::string name_;
+  std::string machine_name_;       ///< provenance: calibration machine
+  std::string calibration_hash_;   ///< provenance: Machine::calibration_hash
   std::vector<Factor> factors_;
   std::vector<std::string> metrics_;
   std::vector<Row> rows_;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "perfeng/machine/machine.hpp"
 #include "perfeng/measure/benchmark_runner.hpp"
 
 namespace pe {
@@ -55,6 +56,12 @@ struct SuiteScore {
   double geometric_mean_ratio = 0.0;
   double arithmetic_mean_ratio = 0.0;  ///< reported for the comparison
 
+  /// Provenance: the machine the suite was scored on (empty when the suite
+  /// had no machine attached). A score that names its machine and
+  /// calibration hash can be audited long after the run.
+  std::string machine_name;
+  std::string calibration_hash;
+
   /// True when every member produced a measurement.
   [[nodiscard]] bool complete() const { return failed.empty(); }
 
@@ -69,6 +76,14 @@ class BenchmarkSuite {
 
   /// Add a member; reference time must be positive, names unique.
   void add(SuiteBenchmark benchmark);
+
+  /// Record the machine under test; every score produced afterwards
+  /// carries its name and calibration hash as provenance.
+  void set_machine(const machine::Machine& m);
+
+  [[nodiscard]] const std::string& machine_name() const {
+    return machine_name_;
+  }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t size() const { return members_.size(); }
@@ -92,6 +107,8 @@ class BenchmarkSuite {
       const std::vector<std::pair<std::size_t, double>>& survivors) const;
 
   std::string name_;
+  std::string machine_name_;       ///< provenance: machine under test
+  std::string calibration_hash_;   ///< provenance: Machine::calibration_hash
   std::vector<SuiteBenchmark> members_;
 };
 

@@ -13,25 +13,14 @@ Experiment::Experiment(std::string name) : name_(std::move(name)) {
 void Experiment::add_factor(const std::string& name,
                             std::vector<std::string> levels) {
   PE_REQUIRE(!levels.empty(), "factor needs at least one level");
-  for (const auto& f : factors_)
-    PE_REQUIRE(f.name != name, "duplicate factor name");
+  require_unique_name(factors_, name, "factor");
   factors_.push_back({name, std::move(levels)});
 }
 
-void Experiment::add_factor(const std::string& name,
-                            const std::vector<int>& levels) {
-  std::vector<std::string> s;
-  s.reserve(levels.size());
-  for (int v : levels) s.push_back(std::to_string(v));
-  add_factor(name, std::move(s));
-}
-
-void Experiment::add_factor(const std::string& name,
-                            const std::vector<std::size_t>& levels) {
-  std::vector<std::string> s;
-  s.reserve(levels.size());
-  for (std::size_t v : levels) s.push_back(std::to_string(v));
-  add_factor(name, std::move(s));
+void Experiment::set_machine(const machine::Machine& m) {
+  m.check();
+  machine_name_ = m.name;
+  calibration_hash_ = m.calibration_hash();
 }
 
 void Experiment::set_metrics(std::vector<std::string> metric_names) {
@@ -102,16 +91,25 @@ void Experiment::run(
 
 Table Experiment::to_table() const {
   const bool any_failed = failure_count() > 0;
+  const bool has_machine = !machine_name_.empty();
   std::vector<std::string> headers;
   for (const auto& f : factors_) headers.push_back(f.name);
   for (const auto& m : metrics_) headers.push_back(m);
   if (any_failed) headers.push_back("error");
+  if (has_machine) {
+    headers.push_back("machine");
+    headers.push_back("calibration");
+  }
   Table t(headers);
   for (const auto& row : rows_) {
     std::vector<std::string> cells;
     for (const auto& f : factors_) cells.push_back(row.point.at(f.name));
     for (double v : row.values) cells.push_back(format_sig(v, 4));
     if (any_failed) cells.push_back(row.error);
+    if (has_machine) {
+      cells.push_back(machine_name_);
+      cells.push_back(calibration_hash_);
+    }
     t.add_row(std::move(cells));
   }
   return t;

@@ -22,9 +22,14 @@ void BenchmarkSuite::add(SuiteBenchmark benchmark) {
   PE_REQUIRE(static_cast<bool>(benchmark.kernel), "member needs a kernel");
   PE_REQUIRE(benchmark.reference_seconds > 0.0,
              "reference time must be positive");
-  for (const auto& m : members_)
-    PE_REQUIRE(m.name != benchmark.name, "duplicate benchmark name");
+  require_unique_name(members_, benchmark.name, "benchmark");
   members_.push_back(std::move(benchmark));
+}
+
+void BenchmarkSuite::set_machine(const machine::Machine& m) {
+  m.check();
+  machine_name_ = m.name;
+  calibration_hash_ = m.calibration_hash();
 }
 
 SuiteScore BenchmarkSuite::score_survivors(
@@ -48,6 +53,8 @@ SuiteScore BenchmarkSuite::score_survivors(
     score.geometric_mean_ratio = std::exp(log_acc / n);
     score.arithmetic_mean_ratio = acc / n;
   }
+  score.machine_name = machine_name_;
+  score.calibration_hash = calibration_hash_;
   return score;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "perfeng/machine/machine.hpp"
 #include "perfeng/measure/benchmark_runner.hpp"
 
 namespace pe::microbench {
@@ -46,4 +47,31 @@ struct ProbeConfig {
 [[nodiscard]] MachineCharacterization probe_machine(
     const BenchmarkRunner& runner, const ProbeConfig& config = {});
 
+/// Probe and emit a serializable `pe::machine::Machine` directly — the
+/// shape every model's `from_machine()` factory calibrates from. Save it
+/// with `pe::machine::save_json_file` and point `PERFENG_MACHINE` at the
+/// file to reuse the probe everywhere.
+[[nodiscard]] machine::Machine probe_machine_description(
+    const BenchmarkRunner& runner, const ProbeConfig& config = {},
+    std::string name = "probed");
+
+/// The shared driver path: the machine named by `PERFENG_MACHINE` (preset
+/// or JSON file) when set, else a fresh probe of this host.
+[[nodiscard]] machine::Machine resolve_or_probe(
+    const BenchmarkRunner& runner, const ProbeConfig& config = {});
+
 }  // namespace pe::microbench
+
+namespace pe::machine {
+
+/// Bridge a probe result into the machine layer: detected cache levels
+/// become the hierarchy (bandwidth/latency interpolated geometrically
+/// between the measured cache- and DRAM-resident endpoints, then clamped
+/// monotone so a noisy probe still validates), DRAM closes the hierarchy,
+/// and `cores` records the host's hardware concurrency. The result passes
+/// `Machine::check()`.
+[[nodiscard]] Machine from_probe(
+    const pe::microbench::MachineCharacterization& probe,
+    std::string name = "probed");
+
+}  // namespace pe::machine

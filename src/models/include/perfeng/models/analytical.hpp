@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <map>
 
+#include "perfeng/machine/machine.hpp"
 #include "perfeng/microbench/op_costs.hpp"
 
 namespace pe::models {
@@ -33,6 +34,11 @@ struct Calibration {
   double cache_bandwidth = 5e10;       ///< bytes/s for cache-resident sets
   std::size_t cache_bytes = 1u << 21;  ///< effective capacity for reuse
   std::size_t line_bytes = 64;         ///< cache line granularity
+
+  /// Calibrate from a machine description: compute and DRAM roofs, the
+  /// fastest level's bandwidth for cache-resident sets, the largest cache
+  /// capacity for reuse, and the DRAM line granularity.
+  [[nodiscard]] static Calibration from_machine(const machine::Machine& m);
 };
 
 /// Compose compute and memory time Roofline-style (max = full overlap).

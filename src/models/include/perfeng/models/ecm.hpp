@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "perfeng/machine/machine.hpp"
+
 namespace pe::models {
 
 /// Per-level transfer cost for one unit of work (e.g. one cache line or one
@@ -34,6 +36,15 @@ class EcmModel {
  public:
   /// `core_seconds`: in-core execution time per unit of work.
   explicit EcmModel(double core_seconds);
+
+  /// ECM model of a streaming kernel on a machine: in-core time is
+  /// `unit_flops` at the compute peak, and `unit_bytes` stream through
+  /// every hierarchy boundary — one transfer from each level into the
+  /// next-faster one (and from the fastest level into the core) at that
+  /// level's bandwidth.
+  [[nodiscard]] static EcmModel from_machine(const machine::Machine& m,
+                                             double unit_flops,
+                                             double unit_bytes);
 
   /// Append a data-transfer contribution per unit of work.
   void add_transfer(const std::string& from, const std::string& to,

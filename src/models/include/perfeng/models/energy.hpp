@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "perfeng/counters/counter_set.hpp"
+#include "perfeng/machine/machine.hpp"
 
 namespace pe::models {
 
@@ -31,6 +32,10 @@ struct PowerModel {
 
   /// Energy (J) of a run of `seconds` at constant `utilization`.
   [[nodiscard]] double energy(double seconds, double utilization) const;
+
+  /// Calibrate from a machine description's energy coefficients; the
+  /// machine must carry them (`Machine::has_energy()`).
+  [[nodiscard]] static PowerModel from_machine(const machine::Machine& m);
 };
 
 /// Per-event energy coefficients (RAPL-style attribution), in joules.

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "perfeng/machine/machine.hpp"
+
 namespace pe::models {
 
 /// Per-SM hardware limits (defaults ~ a compute-capability-7.x part).
@@ -62,5 +64,28 @@ struct Occupancy {
                                          unsigned num_sms,
                                          double latency_seconds,
                                          std::size_t bytes_per_access);
+
+/// The machine side of the latency-hiding throughput model: device peak
+/// bandwidth, memory latency, and SM count bound to one description so the
+/// curve and the saturation threshold come from a shared calibration.
+struct LatencyHidingModel {
+  double peak_bandwidth = 0.0;    ///< device memory roof (bytes/s)
+  double memory_latency = 0.0;    ///< round-trip seconds per request
+  unsigned num_sms = 1;           ///< parallel units issuing requests
+
+  /// Calibrate from an accelerator machine description: the DRAM level's
+  /// bandwidth and latency, with `cores` read as the SM count. The
+  /// machine's DRAM latency must be known (non-zero).
+  [[nodiscard]] static LatencyHidingModel from_machine(
+      const machine::Machine& m);
+
+  /// Achieved bandwidth with `warps_per_sm` resident warps.
+  [[nodiscard]] double achievable(unsigned warps_per_sm,
+                                  std::size_t bytes_per_access) const;
+
+  /// Resident warps per SM needed to reach the peak.
+  [[nodiscard]] unsigned saturation_warps(
+      std::size_t bytes_per_access) const;
+};
 
 }  // namespace pe::models

@@ -13,12 +13,19 @@
 
 #include <cstddef>
 
+#include "perfeng/machine/machine.hpp"
+
 namespace pe::models {
 
 /// A node shared by several tenants.
 struct SharedSystemModel {
   double peak_flops = 1e10;       ///< per-tenant compute roof (private)
   double total_bandwidth = 2e10;  ///< shared memory bandwidth (bytes/s)
+
+  /// Calibrate from a machine description: the per-core peak is each
+  /// tenant's private compute roof, the DRAM roof is what they share.
+  [[nodiscard]] static SharedSystemModel from_machine(
+      const machine::Machine& m);
 
   /// Bandwidth available to one tenant among `tenants` equal co-runners.
   [[nodiscard]] double tenant_bandwidth(unsigned tenants) const;

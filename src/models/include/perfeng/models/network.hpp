@@ -11,12 +11,19 @@
 
 #include <cstddef>
 
+#include "perfeng/machine/machine.hpp"
+
 namespace pe::models {
 
 /// Hockney point-to-point model.
 struct AlphaBetaModel {
   double alpha = 1e-6;  ///< per-message latency (s)
   double beta = 1e-10;  ///< per-byte time (s)
+
+  /// Calibrate from a machine description's interconnect coefficients;
+  /// the machine must carry them (`Machine::has_link()`).
+  [[nodiscard]] static AlphaBetaModel from_machine(
+      const machine::Machine& m);
 
   /// Cost of one m-byte message.
   [[nodiscard]] double p2p(std::size_t bytes) const;

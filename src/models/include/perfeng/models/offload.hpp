@@ -15,12 +15,18 @@
 
 #include <cstddef>
 
+#include "perfeng/machine/machine.hpp"
+
 namespace pe::models {
 
 /// One execution target: a Roofline pair.
 struct DeviceModel {
   double peak_flops = 1e9;       ///< device compute roof (FLOP/s)
   double bandwidth = 1e10;       ///< device memory roof (bytes/s)
+
+  /// Calibrate from a machine description: the whole-machine compute
+  /// roof (per-core peak x cores) over the DRAM roof.
+  [[nodiscard]] static DeviceModel from_machine(const machine::Machine& m);
 
   /// Roofline-attainable execution time for (flops, bytes) of work.
   [[nodiscard]] double kernel_time(double flops, double bytes) const;
@@ -39,6 +45,12 @@ struct OffloadModel {
   DeviceModel host;
   DeviceModel device;
   TransferLink link;
+
+  /// Calibrate both rooflines from machine descriptions; the transfer
+  /// link comes from the device machine's link coefficients
+  /// (`Machine::has_link()` must hold on `device`).
+  [[nodiscard]] static OffloadModel from_machine(
+      const machine::Machine& host, const machine::Machine& device);
 
   /// Time on the host (no transfers).
   [[nodiscard]] double host_time(double flops, double bytes) const;

@@ -10,6 +10,8 @@
 /// within sampling error — a course exercise in trusting (and distrusting)
 /// analytical models.
 
+#include "perfeng/machine/machine.hpp"
+
 namespace pe::models {
 
 /// Steady-state metrics of a queueing station.
@@ -45,5 +47,29 @@ struct QueueMetrics {
 [[nodiscard]] double interactive_response_time(double users,
                                                double throughput,
                                                double think_time);
+
+/// The machine side of a queueing station: how fast one server (core)
+/// retires requests of a known shape, so arrival rates can be judged
+/// against a calibrated service roof instead of a guessed mu.
+struct ServiceModel {
+  double service_rate = 0.0;  ///< requests/s one server sustains
+  unsigned servers = 1;       ///< cores available as parallel servers
+
+  /// Calibrate from a machine description: the per-request service time
+  /// is the single-core Roofline time of (flops, bytes) per request, and
+  /// the machine's cores serve in parallel.
+  [[nodiscard]] static ServiceModel from_machine(const machine::Machine& m,
+                                                 double flops_per_request,
+                                                 double bytes_per_request);
+
+  /// M/M/1 on one server of this machine.
+  [[nodiscard]] QueueMetrics mm1(double arrival_rate) const;
+
+  /// M/M/c across all of this machine's cores.
+  [[nodiscard]] QueueMetrics mmc(double arrival_rate) const;
+
+  /// Highest arrival rate the whole machine can absorb (c * mu).
+  [[nodiscard]] double saturation_rate() const;
+};
 
 }  // namespace pe::models

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "perfeng/machine/machine.hpp"
+
 namespace pe::models {
 
 /// Which ceiling limits a kernel at a given intensity.
@@ -27,6 +29,12 @@ class RooflineModel {
  public:
   /// Classic roofline: one compute peak (FLOP/s), one bandwidth (B/s).
   RooflineModel(double peak_flops, double memory_bandwidth);
+
+  /// Cache-aware roofline calibrated from a machine description: the
+  /// single-core compute peak, the DRAM roof, and one bandwidth ceiling
+  /// per cache level (labelled with the level names).
+  [[nodiscard]] static RooflineModel from_machine(
+      const machine::Machine& m);
 
   /// Add an extra bandwidth ceiling (e.g. L1/L2/L3) with a label.
   void add_bandwidth_ceiling(const std::string& label, double bandwidth);

@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "perfeng/machine/machine.hpp"
+
 namespace pe::models {
 
 /// Amdahl speedup with serial fraction `f` in [0,1] on `p` workers.
@@ -49,5 +51,20 @@ struct UslFit {
 /// Estimate the serial fraction from a single (p, speedup) observation by
 /// inverting Amdahl — the Karp–Flatt metric.
 [[nodiscard]] double karp_flatt(double speedup, double workers);
+
+/// Speedup projections pinned to one machine's core count, so "what would
+/// this code do on the DAS-5 node?" is a calibrated question rather than a
+/// hand-picked p.
+struct SpeedupProjection {
+  double workers = 1.0;  ///< the machine's parallel width
+
+  /// Calibrate from a machine description (`workers` = cores).
+  [[nodiscard]] static SpeedupProjection from_machine(
+      const machine::Machine& m);
+
+  [[nodiscard]] double amdahl(double serial_fraction) const;
+  [[nodiscard]] double gustafson(double serial_fraction) const;
+  [[nodiscard]] double usl(double sigma, double kappa) const;
+};
 
 }  // namespace pe::models

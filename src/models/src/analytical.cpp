@@ -7,6 +7,17 @@
 
 namespace pe::models {
 
+Calibration Calibration::from_machine(const machine::Machine& m) {
+  m.check();
+  Calibration calib;
+  calib.peak_flops = m.peak_flops;
+  calib.dram_bandwidth = m.dram_bandwidth();
+  calib.cache_bandwidth = m.cache_bandwidth();
+  calib.cache_bytes = m.largest_cache_bytes();
+  calib.line_bytes = m.dram().line_bytes;
+  return calib;
+}
+
 double traffic_time(double flops, double dram_bytes,
                     const Calibration& calib) {
   PE_REQUIRE(flops >= 0.0 && dram_bytes >= 0.0, "negative work");

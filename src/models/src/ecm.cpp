@@ -10,6 +10,20 @@ EcmModel::EcmModel(double core_seconds) : core_(core_seconds) {
   PE_REQUIRE(core_seconds >= 0.0, "core time must be non-negative");
 }
 
+EcmModel EcmModel::from_machine(const machine::Machine& m,
+                                double unit_flops, double unit_bytes) {
+  m.check();
+  PE_REQUIRE(unit_flops >= 0.0 && unit_bytes >= 0.0, "negative work");
+  EcmModel model(unit_flops / m.peak_flops);
+  model.add_transfer(m.hierarchy.front().name, "core",
+                     unit_bytes / m.hierarchy.front().bandwidth);
+  for (std::size_t i = 1; i < m.hierarchy.size(); ++i) {
+    model.add_transfer(m.hierarchy[i].name, m.hierarchy[i - 1].name,
+                       unit_bytes / m.hierarchy[i].bandwidth);
+  }
+  return model;
+}
+
 void EcmModel::add_transfer(const std::string& from, const std::string& to,
                             double seconds) {
   PE_REQUIRE(seconds >= 0.0, "transfer time must be non-negative");

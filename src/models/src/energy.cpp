@@ -17,6 +17,13 @@ double PowerModel::energy(double seconds, double utilization) const {
   return power(utilization) * seconds;
 }
 
+PowerModel PowerModel::from_machine(const machine::Machine& m) {
+  m.check();
+  PE_REQUIRE(m.has_energy(),
+             "machine carries no energy coefficients (see docs/machine.md)");
+  return {m.static_watts, m.peak_dynamic_watts};
+}
+
 double EventEnergyModel::energy(
     const counters::CounterSet& counters) const {
   using namespace pe::counters;

@@ -78,4 +78,24 @@ unsigned warps_to_saturate(double peak_bandwidth, unsigned num_sms,
   return static_cast<unsigned>(std::ceil(peak_bandwidth / per_warp));
 }
 
+LatencyHidingModel LatencyHidingModel::from_machine(
+    const machine::Machine& m) {
+  m.check();
+  PE_REQUIRE(m.dram().latency > 0.0,
+             "machine needs a calibrated memory latency");
+  return {m.dram_bandwidth(), m.dram().latency, m.cores};
+}
+
+double LatencyHidingModel::achievable(unsigned warps_per_sm,
+                                      std::size_t bytes_per_access) const {
+  return achievable_bandwidth(peak_bandwidth, num_sms, warps_per_sm,
+                              memory_latency, bytes_per_access);
+}
+
+unsigned LatencyHidingModel::saturation_warps(
+    std::size_t bytes_per_access) const {
+  return warps_to_saturate(peak_bandwidth, num_sms, memory_latency,
+                           bytes_per_access);
+}
+
 }  // namespace pe::models

@@ -7,6 +7,12 @@
 
 namespace pe::models {
 
+SharedSystemModel SharedSystemModel::from_machine(
+    const machine::Machine& m) {
+  m.check();
+  return {m.peak_flops, m.dram_bandwidth()};
+}
+
 double SharedSystemModel::tenant_bandwidth(unsigned tenants) const {
   PE_REQUIRE(tenants >= 1, "need at least one tenant");
   PE_REQUIRE(total_bandwidth > 0.0 && peak_flops > 0.0,

@@ -6,6 +6,13 @@
 
 namespace pe::models {
 
+AlphaBetaModel AlphaBetaModel::from_machine(const machine::Machine& m) {
+  m.check();
+  PE_REQUIRE(m.has_link(),
+             "machine carries no link coefficients (see docs/machine.md)");
+  return {m.link_alpha, m.link_beta};
+}
+
 double AlphaBetaModel::p2p(std::size_t bytes) const {
   return alpha + beta * static_cast<double>(bytes);
 }

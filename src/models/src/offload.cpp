@@ -8,6 +8,19 @@
 
 namespace pe::models {
 
+DeviceModel DeviceModel::from_machine(const machine::Machine& m) {
+  m.check();
+  return {m.total_peak_flops(), m.dram_bandwidth()};
+}
+
+OffloadModel OffloadModel::from_machine(const machine::Machine& host,
+                                        const machine::Machine& device) {
+  PE_REQUIRE(device.has_link(),
+             "device machine carries no transfer-link coefficients");
+  return {DeviceModel::from_machine(host), DeviceModel::from_machine(device),
+          {device.link_alpha, device.link_beta}};
+}
+
 double DeviceModel::kernel_time(double flops, double bytes) const {
   PE_REQUIRE(flops >= 0.0 && bytes >= 0.0, "negative work");
   PE_REQUIRE(peak_flops > 0.0 && bandwidth > 0.0,

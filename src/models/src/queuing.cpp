@@ -1,5 +1,6 @@
 #include "perfeng/models/queuing.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "perfeng/common/error.hpp"
@@ -81,6 +82,32 @@ double interactive_response_time(double users, double throughput,
   PE_REQUIRE(users > 0.0 && throughput > 0.0, "inputs must be positive");
   PE_REQUIRE(think_time >= 0.0, "negative think time");
   return users / throughput - think_time;
+}
+
+ServiceModel ServiceModel::from_machine(const machine::Machine& m,
+                                        double flops_per_request,
+                                        double bytes_per_request) {
+  m.check();
+  PE_REQUIRE(flops_per_request >= 0.0 && bytes_per_request >= 0.0,
+             "negative work per request");
+  // Single-core Roofline time per request (max = full overlap).
+  const double seconds =
+      std::max(flops_per_request / m.peak_flops,
+               bytes_per_request / m.dram_bandwidth());
+  PE_REQUIRE(seconds > 0.0, "request needs some work");
+  return {1.0 / seconds, m.cores};
+}
+
+QueueMetrics ServiceModel::mm1(double arrival_rate) const {
+  return pe::models::mm1(arrival_rate, service_rate);
+}
+
+QueueMetrics ServiceModel::mmc(double arrival_rate) const {
+  return pe::models::mmc(arrival_rate, service_rate, servers);
+}
+
+double ServiceModel::saturation_rate() const {
+  return service_rate * static_cast<double>(servers);
 }
 
 }  // namespace pe::models

@@ -15,11 +15,25 @@ RooflineModel::RooflineModel(double peak_flops, double memory_bandwidth)
   ceilings_.push_back({"DRAM", true, memory_bandwidth});
 }
 
+RooflineModel RooflineModel::from_machine(const machine::Machine& m) {
+  m.check();
+  RooflineModel model(m.peak_flops, m.dram_bandwidth());
+  for (std::size_t i = 0; i + 1 < m.hierarchy.size(); ++i) {
+    const machine::MemoryLevel& level = m.hierarchy[i];
+    // The classic model already owns the "DRAM" label.
+    if (level.name != "DRAM")
+      model.add_bandwidth_ceiling(level.name, level.bandwidth);
+  }
+  return model;
+}
+
 void RooflineModel::add_bandwidth_ceiling(const std::string& label,
                                           double bandwidth) {
   PE_REQUIRE(bandwidth > 0.0, "bandwidth must be positive");
-  for (const auto& c : ceilings_)
-    PE_REQUIRE(c.label != label, "duplicate ceiling label");
+  require_unique_name(ceilings_, label, "ceiling label",
+                      [](const Ceiling& c) -> const std::string& {
+                        return c.label;
+                      });
   ceilings_.push_back({label, true, bandwidth});
 }
 
@@ -27,8 +41,10 @@ void RooflineModel::add_compute_ceiling(const std::string& label,
                                         double flops) {
   PE_REQUIRE(flops > 0.0, "FLOP/s must be positive");
   PE_REQUIRE(flops <= peak_flops_, "compute ceiling above the peak");
-  for (const auto& c : ceilings_)
-    PE_REQUIRE(c.label != label, "duplicate ceiling label");
+  require_unique_name(ceilings_, label, "ceiling label",
+                      [](const Ceiling& c) -> const std::string& {
+                        return c.label;
+                      });
   ceilings_.push_back({label, false, flops});
 }
 

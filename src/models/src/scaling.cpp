@@ -105,4 +105,21 @@ double karp_flatt(double speedup, double workers) {
   return (1.0 / speedup - 1.0 / workers) / (1.0 - 1.0 / workers);
 }
 
+SpeedupProjection SpeedupProjection::from_machine(const machine::Machine& m) {
+  m.check();
+  return {static_cast<double>(m.cores)};
+}
+
+double SpeedupProjection::amdahl(double serial_fraction) const {
+  return amdahl_speedup(serial_fraction, workers);
+}
+
+double SpeedupProjection::gustafson(double serial_fraction) const {
+  return gustafson_speedup(serial_fraction, workers);
+}
+
+double SpeedupProjection::usl(double sigma, double kappa) const {
+  return usl_speedup(sigma, kappa, workers);
+}
+
 }  // namespace pe::models

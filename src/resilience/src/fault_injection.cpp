@@ -36,8 +36,10 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
                "fault probability must be in [0, 1]");
     PE_REQUIRE(spec.skip_first >= 0, "skip_first must be non-negative");
     PE_REQUIRE(spec.delay_seconds >= 0.0, "delay must be non-negative");
-    PE_REQUIRE(!sites_.contains(spec.site),
-               "duplicate fault spec for one site");
+    require_unique_name(sites_, spec.site, "fault spec site",
+                        [](const auto& kv) -> const std::string& {
+                          return kv.first;
+                        });
     SiteState state;
     state.spec = &spec;
     state.rng.reseed(plan_.seed ^ hash_site(spec.site));

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
 namespace {
 
 void guarded(int v) { PE_REQUIRE(v > 0, "v must be positive"); }
@@ -41,6 +45,35 @@ TEST(Error, AssertBehavesLikeRequireByDefault) {
 TEST(Error, ConstructibleFromString) {
   const pe::Error e("custom message");
   EXPECT_STREQ(e.what(), "custom message");
+}
+
+struct Named {
+  std::string name;
+};
+
+TEST(RequireUniqueName, PassesWhenNameIsAbsent) {
+  const std::vector<Named> items = {{"alpha"}, {"beta"}};
+  EXPECT_NO_THROW(pe::require_unique_name(items, "gamma", "item"));
+  EXPECT_NO_THROW(pe::require_unique_name(std::vector<Named>{}, "x", "item"));
+}
+
+TEST(RequireUniqueName, ThrowsNamingTheDuplicate) {
+  const std::vector<Named> items = {{"alpha"}, {"beta"}};
+  try {
+    pe::require_unique_name(items, "beta", "factor");
+    FAIL() << "expected throw";
+  } catch (const pe::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate factor"), std::string::npos) << what;
+    EXPECT_NE(what.find("'beta'"), std::string::npos) << what;
+  }
+}
+
+TEST(RequireUniqueName, SupportsCustomProjection) {
+  const std::map<std::string, int> by_key = {{"a", 1}, {"b", 2}};
+  auto key = [](const auto& kv) -> const std::string& { return kv.first; };
+  EXPECT_NO_THROW(pe::require_unique_name(by_key, "c", "site", key));
+  EXPECT_THROW(pe::require_unique_name(by_key, "a", "site", key), pe::Error);
 }
 
 }  // namespace

@@ -89,6 +89,17 @@ TEST(Experiment, SizeTFactorOverload) {
   EXPECT_EQ(e.design_size(), 2u);
 }
 
+TEST(Experiment, ArithmeticFactorLevelsFormatViaToString) {
+  pe::Experiment e("sweep");
+  e.add_factor("skew", std::vector<double>{0.0, 1.5});
+  e.add_factor("threads", std::vector<unsigned>{1, 8});
+  const auto points = e.design();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].at("skew"), std::to_string(0.0));
+  EXPECT_EQ(points[3].at("skew"), std::to_string(1.5));
+  EXPECT_EQ(points[3].at("threads"), "8");
+}
+
 // --- precondition coverage (the PE_REQUIRE paths) ---
 
 TEST(Experiment, RecordRejectsUndeclaredDesignPoint) {
@@ -168,6 +179,40 @@ TEST(Experiment, ErrorColumnAppearsOnlyWhenSomethingFailed) {
   const auto t = dirty.to_table();
   EXPECT_EQ(t.columns(), 3u);  // factor + metric + error annotation
   EXPECT_NE(t.render().find("boom"), std::string::npos);
+}
+
+TEST(Experiment, MachineProvenanceColumnsAppearWhenSet) {
+  pe::machine::Machine m;
+  m.name = "prov-node";
+  m.peak_flops = 1e10;
+  m.hierarchy = {{"DRAM", 2e10, 0.0, 0, 64}};
+
+  pe::Experiment e("sweep");
+  e.set_machine(m);
+  e.add_factor("n", std::vector<int>{1});
+  e.set_metrics({"time"});
+  e.run([](const pe::DesignPoint&) { return std::vector<double>{1.0}; });
+
+  EXPECT_EQ(e.machine_name(), "prov-node");
+  EXPECT_EQ(e.calibration_hash(), m.calibration_hash());
+  const auto t = e.to_table();
+  EXPECT_EQ(t.columns(), 4u);  // factor + metric + machine + calibration
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("prov-node"), std::string::npos);
+  EXPECT_NE(rendered.find(m.calibration_hash()), std::string::npos);
+
+  // Without a machine the table keeps its original shape.
+  pe::Experiment plain("plain");
+  plain.add_factor("n", std::vector<int>{1});
+  plain.set_metrics({"time"});
+  plain.run([](const pe::DesignPoint&) { return std::vector<double>{1.0}; });
+  EXPECT_EQ(plain.to_table().columns(), 2u);
+}
+
+TEST(Experiment, SetMachineValidatesTheMachine) {
+  pe::Experiment e("sweep");
+  pe::machine::Machine broken;  // no name, no peak, no hierarchy
+  EXPECT_THROW(e.set_machine(broken), pe::Error);
 }
 
 }  // namespace

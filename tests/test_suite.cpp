@@ -134,4 +134,25 @@ TEST(Suite, AllMembersFailingGivesEmptyPartialScore) {
   EXPECT_EQ(score.arithmetic_mean_ratio, 0.0);
 }
 
+TEST(Suite, MachineProvenanceTravelsWithTheScore) {
+  pe::machine::Machine m;
+  m.name = "score-node";
+  m.peak_flops = 1e10;
+  m.hierarchy = {{"DRAM", 2e10, 0.0, 0, 64}};
+
+  auto suite = three_member_suite();
+  EXPECT_TRUE(suite.machine_name().empty());
+  suite.set_machine(m);
+  EXPECT_EQ(suite.machine_name(), "score-node");
+
+  const auto score = suite.score({1.0, 2.0, 4.0});
+  EXPECT_EQ(score.machine_name, "score-node");
+  EXPECT_EQ(score.calibration_hash, m.calibration_hash());
+
+  // A suite without a machine produces an unattributed score.
+  const auto anonymous = three_member_suite().score({1.0, 2.0, 4.0});
+  EXPECT_TRUE(anonymous.machine_name.empty());
+  EXPECT_TRUE(anonymous.calibration_hash.empty());
+}
+
 }  // namespace
