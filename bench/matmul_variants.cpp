@@ -1,9 +1,11 @@
 // Matmul optimization ladder as a google-benchmark binary: naive ijk,
-// interchanged ikj, tiled, and thread-pool-parallel, across sizes. The
-// ladder is the raw material of Assignment 1's Roofline exercise.
+// interchanged ikj, tiled, thread-pool-parallel, and the packed
+// register-blocked microkernel, across sizes. The ladder is the raw
+// material of Assignment 1's Roofline exercise.
 #include <benchmark/benchmark.h>
 
 #include "perfeng/kernels/matmul.hpp"
+#include "perfeng/machine/registry.hpp"
 
 namespace {
 
@@ -63,6 +65,19 @@ void bm_matmul_parallel(benchmark::State& state) {
   set_flops(state, n);
 }
 
+void bm_matmul_parallel_packed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Operands op(n);
+  pe::ThreadPool pool;
+  const auto blocking = pe::kernels::MatmulBlocking::from_machine(
+      pe::machine::resolve_or_preset("laptop-x86"));
+  for (auto _ : state) {
+    pe::kernels::matmul_parallel_packed(op.a, op.b, op.c, pool, blocking);
+    benchmark::DoNotOptimize(op.c.data());
+  }
+  set_flops(state, n);
+}
+
 BENCHMARK(bm_matmul_naive)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_matmul_interchanged)
     ->Arg(128)
@@ -72,6 +87,12 @@ BENCHMARK(bm_matmul_tiled)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_matmul_parallel)
     ->Arg(128)
     ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_matmul_parallel_packed)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,93 @@
+// Scheduler dispatch-overhead experiment: per-task cost of the legacy
+// submit/future path vs the bulk parallel_for path, on the work-stealing
+// pool (docs/parallel.md).
+//
+// The interesting number is the *ratio*: absolute dispatch times vary
+// wildly across hosts and CI runners, but the bulk path should always be
+// several times cheaper than a packaged_task + future per task. `--check`
+// exits non-zero when bulk dispatch costs more than half a legacy submit,
+// which is the regression guard CI runs; `--json <path>` writes the
+// snapshot checked in at bench/snapshots/BENCH_scheduler.json.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/machine/machine.hpp"
+#include "perfeng/machine/registry.hpp"
+#include "perfeng/microbench/scheduler.hpp"
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--check] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 1;
+  cfg.repetitions = 5;
+  cfg.min_batch_seconds = 2e-3;
+  const pe::BenchmarkRunner runner(cfg);
+
+  std::puts("== Scheduler dispatch overhead: submit/future vs bulk ==\n");
+
+  const auto probe = pe::microbench::probe_scheduler(runner);
+  std::printf("%s\n\n", probe.summary().c_str());
+
+  pe::Table table({"path", "ns per task", "relative"});
+  table.add_row({"submit (packaged_task + future)",
+                 pe::format_sig(probe.submit_ns, 3), "1.00x"});
+  table.add_row({"bulk parallel_for (chunk = 1)",
+                 pe::format_sig(probe.bulk_ns, 3),
+                 pe::format_fixed(probe.bulk_ns / probe.submit_ns, 3) + "x"});
+  std::fputs(table.render().c_str(), stdout);
+
+  // Record the calibration in a machine description so the numbers travel
+  // with a provenance hash, the way every other probe result does.
+  pe::machine::Machine m = pe::machine::resolve_or_preset("laptop-x86");
+  pe::microbench::apply_scheduler_probe(m, probe);
+  std::printf("\ncalibration hash (%s + scheduler): %s\n", m.name.c_str(),
+              m.calibration_hash().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << "{\n"
+        << "  \"bench\": \"scheduler_overhead\",\n"
+        << "  \"pool_threads\": " << probe.pool_threads << ",\n"
+        << "  \"tasks_per_batch\": " << probe.tasks << ",\n"
+        << "  \"submit_ns\": " << pe::format_sig(probe.submit_ns, 4) << ",\n"
+        << "  \"bulk_ns\": " << pe::format_sig(probe.bulk_ns, 4) << ",\n"
+        << "  \"bulk_over_submit\": "
+        << pe::format_sig(probe.bulk_ns / probe.submit_ns, 4) << ",\n"
+        << "  \"calibration_hash\": \"" << m.calibration_hash() << "\"\n"
+        << "}\n";
+    std::printf("snapshot written to %s\n", json_path.c_str());
+  }
+
+  if (check) {
+    // Generous threshold: bulk dispatch must cost at most half a legacy
+    // submit. Real hosts show far larger gaps; this only catches a bulk
+    // path that regressed into per-chunk allocation or lock handoffs.
+    const double ratio = probe.bulk_ns / probe.submit_ns;
+    if (!(ratio <= 0.5)) {
+      std::printf("\nCHECK FAILED: bulk/submit = %.3f > 0.5\n", ratio);
+      return 1;
+    }
+    std::printf("\nCHECK OK: bulk/submit = %.3f <= 0.5\n", ratio);
+  }
+  return 0;
+}

@@ -16,6 +16,10 @@
 #include "perfeng/common/rng.hpp"
 #include "perfeng/parallel/thread_pool.hpp"
 
+namespace pe::machine {
+struct Machine;
+}
+
 namespace pe::kernels {
 
 /// Row-major dense matrix of doubles.
@@ -64,6 +68,29 @@ void matmul_tiled(const Matrix& a, const Matrix& b, Matrix& c,
 /// C = A * B, tiled, with row-blocks distributed over the pool.
 void matmul_parallel(const Matrix& a, const Matrix& b, Matrix& c,
                      ThreadPool& pool, std::size_t tile = 64);
+
+/// Cache-blocking parameters for the packed microkernel (BLIS-style
+/// nomenclature): the kernel packs `mc x kc` panels of A and `kc x nc`
+/// panels of B into contiguous tiles, then runs a register-blocked
+/// microkernel over them. The register tile (mr x nr) is a compile-time
+/// constant of the kernel; these three only set the cache footprint.
+struct MatmulBlocking {
+  std::size_t mc = 128;   ///< A-panel rows   (mc*kc doubles ~ half of L2)
+  std::size_t kc = 256;   ///< panel depth    (kc*nr doubles ~ part of L1)
+  std::size_t nc = 2048;  ///< B-panel cols   (kc*nc doubles ~ half of LLC)
+
+  /// Derive the panel sizes from a machine description's cache capacities
+  /// (kc from the fastest level, mc from the next, nc from the largest
+  /// cache). Falls back to the defaults where the hierarchy is silent.
+  [[nodiscard]] static MatmulBlocking from_machine(const machine::Machine& m);
+};
+
+/// C = A * B with A/B packed into contiguous panels and a register-blocked
+/// microkernel, row-panels distributed over the pool. Numerically
+/// equivalent to the other variants up to floating-point reassociation.
+void matmul_parallel_packed(const Matrix& a, const Matrix& b, Matrix& c,
+                            ThreadPool& pool,
+                            const MatmulBlocking& blocking = {});
 
 /// Useful FLOPs of an (m x k) * (k x n) multiplication: 2 m k n.
 [[nodiscard]] double matmul_flops(std::size_t m, std::size_t k,

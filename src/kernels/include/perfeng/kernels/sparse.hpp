@@ -96,6 +96,22 @@ void spmv_ell(const EllMatrix& a, const std::vector<double>& x,
 void spmv_csr_parallel(const CsrMatrix& a, const std::vector<double>& x,
                        std::vector<double>& y, ThreadPool& pool);
 
+/// Split [0, rows) into `parts + 1` boundaries so each part covers about
+/// the same number of non-zeros (row_ptr *is* the nnz prefix sum, so each
+/// boundary is a lower-bound search for `part * nnz / parts`). Boundaries
+/// are non-decreasing; parts with no rows are empty, never negative.
+[[nodiscard]] std::vector<std::size_t> balanced_row_partition(
+    const CsrMatrix& a, std::size_t parts);
+
+/// Row-parallel CSR SpMV with a nonzero-balanced *static* partition: one
+/// contiguous row range per worker, boundaries from
+/// `balanced_row_partition`. Matches `spmv_csr` exactly (same per-row
+/// summation order); preferable to dynamic chunks on power-law matrices
+/// where a handful of heavy rows dominate the work.
+void spmv_csr_parallel_balanced(const CsrMatrix& a,
+                                const std::vector<double>& x,
+                                std::vector<double>& y, ThreadPool& pool);
+
 // ----------------------------------------------------------------- corpus
 
 /// Structure classes the generators produce (the statistical model's

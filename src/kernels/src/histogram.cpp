@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 
+#include "perfeng/common/aligned_buffer.hpp"
 #include "perfeng/common/error.hpp"
 #include "perfeng/parallel/parallel_for.hpp"
 
@@ -69,21 +70,31 @@ void histogram_parallel_private(const std::vector<std::uint32_t>& indices,
     histogram_serial(indices, counts);
     return;
   }
-  std::vector<std::vector<std::uint64_t>> privates(
-      workers, std::vector<std::uint64_t>(counts.size(), 0));
-  const std::size_t n = indices.size();
-  const std::size_t block = (n + workers - 1) / workers;
+  // One flat allocation of per-lane tables, each padded to a whole number
+  // of cache lines: neighbouring lanes' counters never share a line, so
+  // the private tables cannot false-share (the `vector<vector>` layout
+  // this replaces put different workers' heap blocks wherever the
+  // allocator did, including adjacent lines).
+  const std::size_t bins = counts.size();
+  constexpr std::size_t kPerLine = kCacheLineBytes / sizeof(std::uint64_t);
+  const std::size_t stride = (bins + kPerLine - 1) / kPerLine * kPerLine;
+  const std::size_t lanes = workers + 1;  // workers + submitting thread
+  AlignedBuffer<std::uint64_t> privates(lanes * stride);
 
-  parallel_for(pool, 0, workers, [&](std::size_t w) {
-    const std::size_t lo = w * block;
-    const std::size_t hi = std::min(n, lo + block);
-    auto& mine = privates[w];
-    for (std::size_t i = lo; i < hi; ++i) ++mine[indices[i]];
-  });
+  parallel_for_chunks(
+      pool, 0, indices.size(),
+      [&](std::size_t lo, std::size_t hi, std::size_t lane) {
+        std::uint64_t* mine = privates.data() + lane * stride;
+        for (std::size_t i = lo; i < hi; ++i) {
+          PE_ASSERT(indices[i] < bins, "index out of range");
+          ++mine[indices[i]];
+        }
+      });
 
-  for (const auto& table : privates)
-    for (std::size_t bin = 0; bin < counts.size(); ++bin)
-      counts[bin] += table[bin];
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const std::uint64_t* table = privates.data() + lane * stride;
+    for (std::size_t bin = 0; bin < bins; ++bin) counts[bin] += table[bin];
+  }
 }
 
 std::uint64_t histogram_total(const std::vector<std::uint64_t>& counts) {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "perfeng/common/aligned_buffer.hpp"
 #include "perfeng/common/error.hpp"
+#include "perfeng/machine/machine.hpp"
 #include "perfeng/parallel/parallel_for.hpp"
 
 namespace pe::kernels {
@@ -110,6 +112,164 @@ void matmul_parallel(const Matrix& a, const Matrix& b, Matrix& c,
       }
     }
   });
+}
+
+namespace {
+
+// Register tile of the packed microkernel: a 4x8 block of C accumulators
+// stays resident in registers across the whole kc-deep update.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+
+/// Pack a kcb-deep strip of up to kNr columns of B (starting at j0) into
+/// k-major contiguous layout, zero-padding missing columns so the
+/// microkernel never branches on the edge.
+void pack_b_strip(const Matrix& b, std::size_t k0, std::size_t kcb,
+                  std::size_t j0, std::size_t width, double* dst) {
+  for (std::size_t kk = 0; kk < kcb; ++kk) {
+    const double* row = b.data() + (k0 + kk) * b.cols() + j0;
+    std::size_t j = 0;
+    for (; j < width; ++j) dst[kk * kNr + j] = row[j];
+    for (; j < kNr; ++j) dst[kk * kNr + j] = 0.0;
+  }
+}
+
+/// Pack a kcb-deep strip of up to kMr rows of A (starting at i0) into
+/// k-major contiguous layout, zero-padding missing rows.
+void pack_a_strip(const Matrix& a, std::size_t i0, std::size_t height,
+                  std::size_t k0, std::size_t kcb, double* dst) {
+  for (std::size_t kk = 0; kk < kcb; ++kk)
+    for (std::size_t r = 0; r < kMr; ++r)
+      dst[kk * kMr + r] = r < height ? a(i0 + r, k0 + kk) : 0.0;
+}
+
+/// C[0..rows)[0..cols) += packed-A-strip * packed-B-strip. The accumulator
+/// block covers the full kMr x kNr register tile (padding contributes
+/// zeros); only the writeback is guarded for edge tiles.
+void microkernel(const double* ap, const double* bp, std::size_t kcb,
+                 double* c, std::size_t ldc, std::size_t rows,
+                 std::size_t cols) {
+  double acc[kMr][kNr] = {};
+  for (std::size_t kk = 0; kk < kcb; ++kk) {
+    const double* arow = ap + kk * kMr;
+    const double* brow = bp + kk * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const double av = arow[r];
+      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  if (rows == kMr && cols == kNr) {
+    for (std::size_t r = 0; r < kMr; ++r)
+      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] += acc[r][j];
+  } else {
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t j = 0; j < cols; ++j) c[r * ldc + j] += acc[r][j];
+  }
+}
+
+std::size_t round_down_to(std::size_t v, std::size_t unit,
+                          std::size_t floor_v) {
+  return std::max(v - v % unit, floor_v);
+}
+
+}  // namespace
+
+MatmulBlocking MatmulBlocking::from_machine(const machine::Machine& m) {
+  MatmulBlocking blk;
+  const auto& levels = m.hierarchy;
+  const std::size_t cache_levels =
+      levels.size() > 1 ? levels.size() - 1 : 0;
+  // kc: one kMr x kc A strip plus one kc x kNr B strip resident in the
+  // fastest level while the microkernel streams them.
+  if (cache_levels >= 1 && levels[0].capacity > 0)
+    blk.kc = std::clamp<std::size_t>(
+        levels[0].capacity / ((kMr + kNr) * sizeof(double)), 64, 1024);
+  // mc: the packed mc x kc A panel should occupy about half of the next
+  // level so B strips and C rows fit beside it.
+  if (cache_levels >= 2 && levels[1].capacity > 0)
+    blk.mc = round_down_to(
+        std::clamp<std::size_t>(
+            levels[1].capacity / (2 * blk.kc * sizeof(double)), kMr, 2048),
+        kMr, kMr);
+  // nc: the shared kc x nc B panel should occupy about half of the
+  // largest cache (largest_cache_bytes falls back to 2 MiB).
+  blk.nc = round_down_to(
+      std::clamp<std::size_t>(
+          m.largest_cache_bytes() / (2 * blk.kc * sizeof(double)), kNr,
+          8192),
+      kNr, kNr);
+  return blk;
+}
+
+void matmul_parallel_packed(const Matrix& a, const Matrix& b, Matrix& c,
+                            ThreadPool& pool,
+                            const MatmulBlocking& blocking) {
+  check_shapes(a, b, c);
+  PE_REQUIRE(blocking.mc >= 1 && blocking.kc >= 1 && blocking.nc >= 1,
+             "blocking parameters must be positive");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // Clamp panels to the problem and round to whole register tiles.
+  const std::size_t mc =
+      std::min(round_down_to(blocking.mc, kMr, kMr),
+               (m + kMr - 1) / kMr * kMr);
+  const std::size_t kc = std::min(blocking.kc, k);
+  const std::size_t nc =
+      std::min(round_down_to(blocking.nc, kNr, kNr),
+               (n + kNr - 1) / kNr * kNr);
+
+  const std::size_t lanes = pool.size() + 1;
+  const std::size_t a_panel_elems = mc * kc;
+  AlignedBuffer<double> a_pack(lanes * a_panel_elems);
+  AlignedBuffer<double> b_pack(nc * kc);
+
+  parallel_for_chunks(
+      pool, 0, m,
+      [&](std::size_t lo, std::size_t hi, std::size_t /*lane*/) {
+        std::fill(c.data() + lo * n, c.data() + hi * n, 0.0);
+      });
+
+  for (std::size_t jc = 0; jc < n; jc += nc) {
+    const std::size_t ncb = std::min(nc, n - jc);
+    const std::size_t b_strips = (ncb + kNr - 1) / kNr;
+    for (std::size_t pc = 0; pc < k; pc += kc) {
+      const std::size_t kcb = std::min(kc, k - pc);
+      // Pack the shared kcb x ncb panel of B once; all lanes reuse it.
+      parallel_for(
+          pool, 0, b_strips,
+          [&](std::size_t s) {
+            const std::size_t j0 = jc + s * kNr;
+            pack_b_strip(b, pc, kcb, j0, std::min(kNr, n - j0),
+                         b_pack.data() + s * kNr * kcb);
+          },
+          Schedule::kDynamic, 8);
+      // Row panels in parallel; each lane packs A into its own slot.
+      const std::size_t ic_blocks = (m + mc - 1) / mc;
+      parallel_for_chunks(
+          pool, 0, ic_blocks,
+          [&](std::size_t lo, std::size_t hi, std::size_t lane) {
+            double* apack = a_pack.data() + lane * a_panel_elems;
+            for (std::size_t blk = lo; blk < hi; ++blk) {
+              const std::size_t i0 = blk * mc;
+              const std::size_t mcb = std::min(mc, m - i0);
+              const std::size_t a_strips = (mcb + kMr - 1) / kMr;
+              for (std::size_t t = 0; t < a_strips; ++t)
+                pack_a_strip(a, i0 + t * kMr,
+                             std::min(kMr, mcb - t * kMr), pc, kcb,
+                             apack + t * kMr * kcb);
+              for (std::size_t s = 0; s < b_strips; ++s) {
+                const std::size_t j0 = jc + s * kNr;
+                const double* bp = b_pack.data() + s * kNr * kcb;
+                for (std::size_t t = 0; t < a_strips; ++t)
+                  microkernel(apack + t * kMr * kcb, bp, kcb,
+                              c.data() + (i0 + t * kMr) * n + j0, n,
+                              std::min(kMr, mcb - t * kMr),
+                              std::min(kNr, n - j0));
+              }
+            }
+          },
+          Schedule::kDynamic, 1);
+    }
+  }
 }
 
 double matmul_flops(std::size_t m, std::size_t k, std::size_t n) {

@@ -190,6 +190,47 @@ void spmv_csr_parallel(const CsrMatrix& a, const std::vector<double>& x,
       Schedule::kDynamic, 256);
 }
 
+std::vector<std::size_t> balanced_row_partition(const CsrMatrix& a,
+                                                std::size_t parts) {
+  PE_REQUIRE(parts >= 1, "parts must be positive");
+  std::vector<std::size_t> bounds(parts + 1, a.rows);
+  bounds[0] = 0;
+  const std::uint32_t nnz = a.row_ptr.empty() ? 0 : a.row_ptr[a.rows];
+  for (std::size_t p = 1; p < parts; ++p) {
+    // First row whose starting offset reaches this part's nnz quota; rows
+    // are never split, so a very heavy row simply owns its part alone.
+    const std::uint32_t target = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(nnz) * p) / parts);
+    const auto it = std::lower_bound(a.row_ptr.begin(),
+                                     a.row_ptr.begin() + a.rows, target);
+    bounds[p] = std::max<std::size_t>(
+        bounds[p - 1],
+        static_cast<std::size_t>(it - a.row_ptr.begin()));
+  }
+  return bounds;
+}
+
+void spmv_csr_parallel_balanced(const CsrMatrix& a,
+                                const std::vector<double>& x,
+                                std::vector<double>& y, ThreadPool& pool) {
+  PE_REQUIRE(x.size() == a.cols, "x size mismatch");
+  PE_REQUIRE(y.size() == a.rows, "y size mismatch");
+  const std::size_t parts = std::min<std::size_t>(
+      pool.size() + 1, std::max<std::size_t>(1, a.rows));
+  const std::vector<std::size_t> bounds = balanced_row_partition(a, parts);
+  parallel_for(
+      pool, 0, parts,
+      [&](std::size_t p) {
+        for (std::size_t r = bounds[p]; r < bounds[p + 1]; ++r) {
+          double acc = 0.0;
+          for (std::uint32_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i)
+            acc += a.values[i] * x[a.col_idx[i]];
+          y[r] = acc;
+        }
+      },
+      Schedule::kStatic);
+}
+
 std::string pattern_name(SparsityPattern p) {
   switch (p) {
     case SparsityPattern::kUniform: return "uniform";

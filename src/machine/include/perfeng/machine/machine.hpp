@@ -56,6 +56,13 @@ struct Machine {
   double link_alpha = 0.0;  ///< per-message/transfer latency (s)
   double link_beta = 0.0;   ///< per-byte time (s)
 
+  /// Optional scheduler calibration from `probe_scheduler` (0/0 = not
+  /// calibrated): per-task dispatch cost of the pool's two submission
+  /// paths, in nanoseconds. Granularity models use these to pick chunk
+  /// sizes large enough that dispatch is noise.
+  double sched_submit_ns = 0.0;  ///< legacy submit/future path, per task
+  double sched_bulk_ns = 0.0;    ///< bulk parallel_for path, per chunk
+
   bool operator==(const Machine&) const = default;
 
   // --- derived views the models calibrate from ---
@@ -86,6 +93,9 @@ struct Machine {
   }
   [[nodiscard]] bool has_link() const {
     return link_alpha > 0.0 || link_beta > 0.0;
+  }
+  [[nodiscard]] bool has_scheduler() const {
+    return sched_submit_ns > 0.0 || sched_bulk_ns > 0.0;
   }
 
   /// Validate the description; throws pe::Error on the first violation.

@@ -307,6 +307,8 @@ void Machine::check() const {
              "energy coefficients must be non-negative");
   PE_REQUIRE(link_alpha >= 0.0 && link_beta >= 0.0,
              "link coefficients must be non-negative");
+  PE_REQUIRE(sched_submit_ns >= 0.0 && sched_bulk_ns >= 0.0,
+             "scheduler dispatch costs must be non-negative");
   std::vector<MemoryLevel> seen;
   seen.reserve(hierarchy.size());
   for (std::size_t i = 0; i < hierarchy.size(); ++i) {
@@ -399,6 +401,11 @@ std::string to_json(const Machine& m) {
     ss << ",\n  \"link\": { \"alpha\": " << format_double(m.link_alpha)
        << ", \"beta\": " << format_double(m.link_beta) << " }";
   }
+  if (m.has_scheduler()) {
+    ss << ",\n  \"scheduler\": { \"submit_ns\": "
+       << format_double(m.sched_submit_ns)
+       << ", \"bulk_ns\": " << format_double(m.sched_bulk_ns) << " }";
+  }
   ss << "\n}\n";
   return ss.str();
 }
@@ -452,6 +459,18 @@ Machine from_json(std::string_view text, std::string_view source) {
           m.link_beta = as_number(parser, lv, lkey);
         } else {
           parser.fail("unknown link key '" + lkey + "'", lv.line);
+        }
+      }
+    } else if (key == "scheduler") {
+      if (v.kind != Value::Kind::kObject)
+        parser.fail("key 'scheduler' must be an object", v.line);
+      for (const auto& [skey, sv] : v.object) {
+        if (skey == "submit_ns") {
+          m.sched_submit_ns = as_number(parser, sv, skey);
+        } else if (skey == "bulk_ns") {
+          m.sched_bulk_ns = as_number(parser, sv, skey);
+        } else {
+          parser.fail("unknown scheduler key '" + skey + "'", sv.line);
         }
       }
     } else {

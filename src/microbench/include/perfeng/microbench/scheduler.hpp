@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Scheduler dispatch-overhead microbenchmark.
+///
+/// The pool has two submission paths with very different constant costs:
+/// the classic `submit` (one heap-allocated `packaged_task` + future per
+/// task) and the bulk `parallel_for` path (one POD broadcast per loop, one
+/// atomic claim per chunk). Granularity decisions — how small a chunk is
+/// worth dispatching — need both constants, so this probe measures them
+/// the same way the STREAM/peak probes measure bandwidth and FLOP/s, and
+/// `apply_scheduler_probe` records them in a `pe::machine::Machine` (where
+/// they travel with the calibration hash).
+
+#include <cstddef>
+#include <string>
+
+#include "perfeng/machine/machine.hpp"
+#include "perfeng/measure/benchmark_runner.hpp"
+
+namespace pe::microbench {
+
+/// Measured per-task dispatch constants of the two submission paths.
+struct SchedulerCharacterization {
+  double submit_ns = 0.0;  ///< legacy submit/future path, ns per task
+  double bulk_ns = 0.0;    ///< bulk parallel_for path, ns per chunk
+  std::size_t tasks = 0;          ///< tasks/chunks per timed batch
+  std::size_t pool_threads = 0;   ///< workers in the probed pool
+
+  /// How many times cheaper one bulk chunk is than one legacy task.
+  [[nodiscard]] double bulk_speedup() const {
+    return bulk_ns > 0.0 ? submit_ns / bulk_ns : 0.0;
+  }
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Probe settings; the defaults complete in a couple of seconds.
+struct SchedulerProbeConfig {
+  std::size_t tasks = 4096;      ///< dispatches per timed batch
+  std::size_t pool_threads = 0;  ///< 0 = ThreadPool::default_thread_count()
+};
+
+/// Measure both dispatch paths with the given measurement design. The
+/// per-task body is a single relaxed counter bump, so the measured time is
+/// dispatch, not work.
+[[nodiscard]] SchedulerCharacterization probe_scheduler(
+    const BenchmarkRunner& runner, const SchedulerProbeConfig& config = {});
+
+/// Record a probe in a machine description (fills `sched_submit_ns` /
+/// `sched_bulk_ns`; the machine's calibration_hash changes accordingly).
+void apply_scheduler_probe(machine::Machine& m,
+                           const SchedulerCharacterization& probe);
+
+}  // namespace pe::microbench

@@ -1,0 +1,86 @@
+#include "perfeng/microbench/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <sstream>
+#include <vector>
+
+#include "perfeng/common/aligned_buffer.hpp"
+#include "perfeng/common/error.hpp"
+#include "perfeng/common/table.hpp"
+#include "perfeng/parallel/parallel_for.hpp"
+#include "perfeng/parallel/thread_pool.hpp"
+
+namespace pe::microbench {
+
+std::string SchedulerCharacterization::summary() const {
+  std::ostringstream ss;
+  ss << "scheduler: submit " << format_sig(submit_ns, 3) << " ns/task, bulk "
+     << format_sig(bulk_ns, 3) << " ns/chunk (" << format_sig(bulk_speedup(), 3)
+     << "x cheaper), " << tasks << " tasks on " << pool_threads << " workers";
+  return ss.str();
+}
+
+SchedulerCharacterization probe_scheduler(const BenchmarkRunner& runner,
+                                          const SchedulerProbeConfig& config) {
+  PE_REQUIRE(config.tasks >= 1, "probe needs at least one task per batch");
+  // Floor of 2: a 1-worker pool executes parallel_for inline, which would
+  // make the bulk path look free; two workers engage the broadcast +
+  // chunk-claim machinery even on a single-core host.
+  const std::size_t threads =
+      config.pool_threads != 0
+          ? config.pool_threads
+          : std::max<std::size_t>(2, ThreadPool::default_thread_count());
+  ThreadPool pool(threads);
+
+  SchedulerCharacterization out;
+  out.tasks = config.tasks;
+  out.pool_threads = threads;
+  const double to_ns_per_task = 1e9 / static_cast<double>(config.tasks);
+
+  // Legacy path: one packaged_task + future per task. The task body is a
+  // single relaxed increment, so the batch time is dominated by dispatch.
+  {
+    std::atomic<std::uint64_t> sink{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(config.tasks);
+    const Measurement m = runner.run("scheduler.submit", [&] {
+      futures.clear();
+      for (std::size_t i = 0; i < config.tasks; ++i)
+        futures.push_back(pool.submit(
+            [&sink] { sink.fetch_add(1, std::memory_order_relaxed); }));
+      for (auto& f : futures) f.get();
+    });
+    do_not_optimize(sink.load());
+    out.submit_ns = m.typical() * to_ns_per_task;
+  }
+
+  // Bulk path: one broadcast per loop, one atomic claim per chunk
+  // (chunk = 1 iteration, so chunks == tasks). Lane-private counters are
+  // cache-line strided so the body itself stays a plain store.
+  {
+    constexpr std::size_t kStride = kCacheLineBytes / sizeof(std::uint64_t);
+    AlignedBuffer<std::uint64_t> counts((pool.size() + 1) * kStride);
+    const Measurement m = runner.run("scheduler.bulk", [&] {
+      parallel_for_chunks(
+          pool, 0, config.tasks,
+          [&](std::size_t lo, std::size_t hi, std::size_t lane) {
+            counts[lane * kStride] += hi - lo;
+          },
+          Schedule::kDynamic, 1);
+    });
+    do_not_optimize(counts[0]);
+    out.bulk_ns = m.typical() * to_ns_per_task;
+  }
+  return out;
+}
+
+void apply_scheduler_probe(machine::Machine& m,
+                           const SchedulerCharacterization& probe) {
+  m.sched_submit_ns = probe.submit_ns;
+  m.sched_bulk_ns = probe.bulk_ns;
+}
+
+}  // namespace pe::microbench

@@ -14,6 +14,10 @@
 
 #include "perfeng/statmodel/dataset.hpp"
 
+namespace pe {
+class ThreadPool;
+}
+
 namespace pe::statmodel {
 
 /// OLS / ridge linear regression with intercept.
@@ -23,6 +27,13 @@ class LinearRegression : public Regressor {
   explicit LinearRegression(double ridge_lambda = 0.0);
 
   void fit(const Dataset& data) override;
+
+  /// Parallel fit: accumulates the normal equations over the pool with
+  /// `parallel_reduce_ordered`, so the fitted coefficients are
+  /// bit-identical to each other across repeated runs *and* across pool
+  /// sizes (the fold grouping is fixed, never schedule-dependent).
+  void fit(const Dataset& data, ThreadPool& pool);
+
   [[nodiscard]] double predict(
       const std::vector<double>& features) const override;
   [[nodiscard]] std::string describe() const override;

@@ -1,10 +1,52 @@
 #include "perfeng/statmodel/linear.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "perfeng/common/error.hpp"
+#include "perfeng/parallel/parallel_for.hpp"
 
 namespace pe::statmodel {
+
+namespace {
+
+/// Accumulated normal equations: flat dim x dim X'X and dim-long X'y.
+struct NormalAccum {
+  std::vector<double> xtx;
+  std::vector<double> xty;
+};
+
+NormalAccum make_accum(std::size_t dim) {
+  return {std::vector<double>(dim * dim, 0.0),
+          std::vector<double>(dim, 0.0)};
+}
+
+/// Fold rows [lo, hi) of the design matrix [1 | X] into `acc`.
+void accumulate_rows(const Dataset& data, std::size_t lo, std::size_t hi,
+                     std::size_t dim, NormalAccum& acc) {
+  std::vector<double> row(dim);
+  for (std::size_t i = lo; i < hi; ++i) {
+    row[0] = 1.0;
+    const auto& features = data.row(i);
+    for (std::size_t f = 0; f + 1 < dim; ++f) row[f + 1] = features[f];
+    for (std::size_t r = 0; r < dim; ++r) {
+      for (std::size_t c = 0; c < dim; ++c)
+        acc.xtx[r * dim + c] += row[r] * row[c];
+      acc.xty[r] += row[r] * data.target(i);
+    }
+  }
+}
+
+std::vector<double> solve_normal(NormalAccum accum, std::size_t dim,
+                                 double lambda) {
+  std::vector<std::vector<double>> xtx(dim, std::vector<double>(dim));
+  for (std::size_t r = 0; r < dim; ++r)
+    for (std::size_t c = 0; c < dim; ++c) xtx[r][c] = accum.xtx[r * dim + c];
+  for (std::size_t f = 1; f < dim; ++f) xtx[f][f] += lambda;
+  return solve_linear_system(std::move(xtx), std::move(accum.xty));
+}
+
+}  // namespace
 
 std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
                                         std::vector<double> b) {
@@ -51,21 +93,38 @@ void LinearRegression::fit(const Dataset& data) {
 
   // Normal equations over the design matrix [1 | X]: (X'X + λI) w = X'y.
   const std::size_t dim = d + 1;
-  std::vector<std::vector<double>> xtx(dim, std::vector<double>(dim, 0.0));
-  std::vector<double> xty(dim, 0.0);
-  std::vector<double> row(dim);
-  for (std::size_t i = 0; i < n; ++i) {
-    row[0] = 1.0;
-    const auto& features = data.row(i);
-    for (std::size_t f = 0; f < d; ++f) row[f + 1] = features[f];
-    for (std::size_t r = 0; r < dim; ++r) {
-      for (std::size_t c = 0; c < dim; ++c) xtx[r][c] += row[r] * row[c];
-      xty[r] += row[r] * data.target(i);
-    }
-  }
-  for (std::size_t f = 1; f < dim; ++f) xtx[f][f] += lambda_;
+  NormalAccum accum = make_accum(dim);
+  accumulate_rows(data, 0, n, dim, accum);
+  coef_ = solve_normal(std::move(accum), dim, lambda_);
+  fitted_ = true;
+}
 
-  coef_ = solve_linear_system(std::move(xtx), std::move(xty));
+void LinearRegression::fit(const Dataset& data, ThreadPool& pool) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.features();
+  PE_REQUIRE(n >= d + 1, "need more rows than coefficients");
+
+  // Fixed 256-row blocks folded in ascending order: the grouping (and so
+  // the floating-point rounding) depends on the block size only, making
+  // repeated fits bit-identical regardless of pool size or thread timing.
+  const std::size_t dim = d + 1;
+  constexpr std::size_t kRowsPerBlock = 256;
+  const std::size_t blocks = (n + kRowsPerBlock - 1) / kRowsPerBlock;
+  NormalAccum total = parallel_reduce_ordered(
+      pool, 0, blocks, make_accum(dim),
+      [&](std::size_t b) {
+        NormalAccum acc = make_accum(dim);
+        const std::size_t lo = b * kRowsPerBlock;
+        accumulate_rows(data, lo, std::min(n, lo + kRowsPerBlock), dim, acc);
+        return acc;
+      },
+      [dim](NormalAccum acc, NormalAccum next) {
+        for (std::size_t k = 0; k < dim * dim; ++k) acc.xtx[k] += next.xtx[k];
+        for (std::size_t k = 0; k < dim; ++k) acc.xty[k] += next.xty[k];
+        return acc;
+      },
+      /*block=*/1);
+  coef_ = solve_normal(std::move(total), dim, lambda_);
   fitted_ = true;
 }
 

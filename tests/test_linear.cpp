@@ -5,6 +5,7 @@
 
 #include "perfeng/common/error.hpp"
 #include "perfeng/common/rng.hpp"
+#include "perfeng/parallel/thread_pool.hpp"
 
 namespace {
 
@@ -128,6 +129,61 @@ TEST(PolynomialExpand, DegreeValidated) {
   Dataset d({"n"});
   d.add_row({1.0}, 1.0);
   EXPECT_THROW((void)pe::statmodel::polynomial_expand(d, 0), pe::Error);
+}
+
+Dataset noisy_dataset(std::size_t rows) {
+  Dataset d({"x1", "x2", "x3"});
+  pe::Rng rng(101);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double x1 = rng.next_range_double(-5.0, 5.0);
+    const double x2 = rng.next_range_double(-5.0, 5.0);
+    const double x3 = rng.next_range_double(-5.0, 5.0);
+    const double noise = rng.next_range_double(-0.01, 0.01);
+    d.add_row({x1, x2, x3}, 1.5 - 2.0 * x1 + 0.5 * x2 + 4.0 * x3 + noise);
+  }
+  return d;
+}
+
+TEST(LinearRegressionParallel, MatchesSerialFitClosely) {
+  const Dataset d = noisy_dataset(4000);
+  LinearRegression serial, parallel;
+  serial.fit(d);
+  pe::ThreadPool pool(3);
+  parallel.fit(d, pool);
+  ASSERT_EQ(parallel.coefficients().size(), serial.coefficients().size());
+  for (std::size_t i = 0; i < serial.coefficients().size(); ++i)
+    EXPECT_NEAR(parallel.coefficients()[i], serial.coefficients()[i], 1e-9)
+        << i;
+}
+
+// The parallel fit uses the ordered reduction, so the accumulated normal
+// equations — and therefore the coefficients — are bit-identical no matter
+// how many workers the pool has or how chunks interleave between runs.
+TEST(LinearRegressionParallel, BitIdenticalAcrossPoolSizesAndRuns) {
+  const Dataset d = noisy_dataset(3000);
+  std::vector<std::vector<double>> results;
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    pe::ThreadPool pool(workers);
+    for (int rep = 0; rep < 3; ++rep) {
+      LinearRegression model;
+      model.fit(d, pool);
+      results.push_back(model.coefficients());
+    }
+  }
+  for (const auto& coeffs : results) {
+    ASSERT_EQ(coeffs.size(), results.front().size());
+    for (std::size_t i = 0; i < coeffs.size(); ++i)
+      EXPECT_EQ(coeffs[i], results.front()[i]) << i;
+  }
+}
+
+TEST(LinearRegressionParallel, ValidatesLikeSerial) {
+  Dataset d({"a", "b", "c"});
+  d.add_row({1, 2, 3}, 1.0);
+  d.add_row({2, 3, 4}, 2.0);
+  LinearRegression model;
+  pe::ThreadPool pool(2);
+  EXPECT_THROW(model.fit(d, pool), pe::Error);
 }
 
 }  // namespace

@@ -257,6 +257,56 @@ TEST(Machine, CalibrationHashIsStableAndSensitive) {
   EXPECT_NE(changed.calibration_hash(), m.calibration_hash());
 }
 
+// --- scheduler calibration --------------------------------------------------
+
+TEST(MachineScheduler, RoundTripsThroughJson) {
+  Machine m = sample_machine();
+  m.sched_submit_ns = 541.75;
+  m.sched_bulk_ns = 11.125;
+  EXPECT_TRUE(m.has_scheduler());
+  const std::string text = pe::machine::to_json(m);
+  EXPECT_NE(text.find("\"scheduler\""), std::string::npos);
+  EXPECT_NE(text.find("\"submit_ns\""), std::string::npos);
+  const Machine back = pe::machine::from_json(text);
+  EXPECT_EQ(back, m);
+  EXPECT_EQ(pe::machine::to_json(back), text);
+}
+
+TEST(MachineScheduler, OmittedWhenUnset) {
+  const Machine m = sample_machine();
+  EXPECT_FALSE(m.has_scheduler());
+  EXPECT_EQ(pe::machine::to_json(m).find("\"scheduler\""),
+            std::string::npos);
+}
+
+TEST(MachineScheduler, AffectsCalibrationHash) {
+  Machine m = sample_machine();
+  const std::string before = m.calibration_hash();
+  m.sched_submit_ns = 500.0;
+  m.sched_bulk_ns = 10.0;
+  EXPECT_NE(m.calibration_hash(), before);
+}
+
+TEST(MachineScheduler, NegativeValuesRejected) {
+  Machine m = sample_machine();
+  m.sched_submit_ns = -1.0;
+  EXPECT_THROW(m.check(), pe::Error);
+  m.sched_submit_ns = 10.0;
+  m.sched_bulk_ns = -0.5;
+  EXPECT_THROW(m.check(), pe::Error);
+}
+
+TEST(MachineScheduler, UnknownSchedulerKeyRejected) {
+  Machine m = sample_machine();
+  m.sched_submit_ns = 500.0;
+  m.sched_bulk_ns = 10.0;
+  std::string text = pe::machine::to_json(m);
+  const auto pos = text.find("\"submit_ns\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 11, "\"submit_xx\"");
+  EXPECT_THROW((void)pe::machine::from_json(text), pe::Error);
+}
+
 // --- registry + resolver ----------------------------------------------------
 
 TEST(MachineRegistry, BuiltinPresetsValidate) {

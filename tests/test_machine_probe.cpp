@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "perfeng/machine/registry.hpp"
+#include "perfeng/microbench/scheduler.hpp"
+
 namespace {
 
 TEST(MachineProbe, ProducesConsistentCharacterization) {
@@ -36,6 +41,45 @@ TEST(MachineProbe, RidgeIsZeroWithoutBandwidth) {
   mc.peak_flops = 1e9;
   mc.memory_bandwidth = 0.0;
   EXPECT_EQ(mc.ridge_intensity(), 0.0);
+}
+
+TEST(SchedulerProbe, MeasuresBothDispatchPaths) {
+  pe::MeasurementConfig cfg;
+  cfg.warmup_runs = 0;
+  cfg.repetitions = 2;
+  cfg.min_batch_seconds = 5e-5;
+  const pe::BenchmarkRunner runner(cfg);
+
+  pe::microbench::SchedulerProbeConfig probe;
+  probe.tasks = 256;  // keep the test fast
+  const auto sc = pe::microbench::probe_scheduler(runner, probe);
+  EXPECT_GT(sc.submit_ns, 0.0);
+  EXPECT_GT(sc.bulk_ns, 0.0);
+  EXPECT_EQ(sc.tasks, 256u);
+  EXPECT_GE(sc.pool_threads, 2u);  // probe floors at two workers
+
+  const std::string s = sc.summary();
+  EXPECT_NE(s.find("submit"), std::string::npos);
+  EXPECT_NE(s.find("bulk"), std::string::npos);
+}
+
+TEST(SchedulerProbe, AppliesToMachineCalibration) {
+  pe::microbench::SchedulerCharacterization sc;
+  sc.submit_ns = 500.0;
+  sc.bulk_ns = 12.5;
+  sc.tasks = 1024;
+  sc.pool_threads = 4;
+  EXPECT_DOUBLE_EQ(sc.bulk_speedup(), 40.0);
+
+  pe::machine::Machine m = pe::machine::resolve_or_preset("laptop-x86");
+  ASSERT_FALSE(m.has_scheduler());
+  const std::string before = m.calibration_hash();
+  pe::microbench::apply_scheduler_probe(m, sc);
+  EXPECT_TRUE(m.has_scheduler());
+  EXPECT_DOUBLE_EQ(m.sched_submit_ns, 500.0);
+  EXPECT_DOUBLE_EQ(m.sched_bulk_ns, 12.5);
+  EXPECT_NE(m.calibration_hash(), before);
+  EXPECT_NO_THROW(m.check());
 }
 
 }  // namespace

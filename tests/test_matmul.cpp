@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+
 #include "perfeng/common/error.hpp"
+#include "perfeng/machine/registry.hpp"
 
 namespace {
 
@@ -74,10 +77,57 @@ TEST_P(MatmulVariants, AllVariantsAgreeWithNaive) {
   pe::ThreadPool pool(3);
   pe::kernels::matmul_parallel(a, b, out, pool, 8);
   EXPECT_LT(out.max_abs_diff(reference), 1e-10) << "parallel";
+
+  pe::kernels::matmul_parallel_packed(a, b, out, pool);
+  EXPECT_LT(out.max_abs_diff(reference), 1e-10) << "packed(default)";
+
+  // Tiny panels force every edge path: partial register tiles in both
+  // dimensions and multiple jc/pc/ic panel iterations.
+  const pe::kernels::MatmulBlocking tiny{.mc = 8, .kc = 8, .nc = 16};
+  pe::kernels::matmul_parallel_packed(a, b, out, pool, tiny);
+  EXPECT_LT(out.max_abs_diff(reference), 1e-10) << "packed(tiny)";
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, MatmulVariants,
                          ::testing::Values(1, 2, 5, 16, 33, 64));
+
+TEST(MatmulPacked, RectangularAndRemainderShapes) {
+  pe::ThreadPool pool(2);
+  const pe::kernels::MatmulBlocking tiny{.mc = 8, .kc = 8, .nc = 16};
+  const std::size_t shapes[][3] = {{1, 1, 1},   {3, 5, 2},  {7, 13, 9},
+                                   {33, 17, 5}, {4, 64, 8}, {65, 3, 31}};
+  for (const auto& s : shapes) {
+    Matrix a(s[0], s[1]), b(s[1], s[2]);
+    pe::Rng rng(s[0] * 100 + s[2]);
+    a.randomize(rng);
+    b.randomize(rng);
+    Matrix reference(s[0], s[2]), out(s[0], s[2]);
+    pe::kernels::matmul_naive(a, b, reference);
+    pe::kernels::matmul_parallel_packed(a, b, out, pool, tiny);
+    EXPECT_LT(out.max_abs_diff(reference), 1e-10)
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(MatmulPacked, BlockingFromMachineIsUsable) {
+  const pe::machine::Machine m = pe::machine::resolve_or_preset("laptop-x86");
+  const auto blocking = pe::kernels::MatmulBlocking::from_machine(m);
+  EXPECT_GE(blocking.mc, 4u);
+  EXPECT_GE(blocking.kc, 64u);
+  EXPECT_GE(blocking.nc, 8u);
+  EXPECT_EQ(blocking.mc % 4, 0u);
+  EXPECT_EQ(blocking.nc % 8, 0u);
+
+  Matrix a(48, 32), b(32, 40);
+  pe::Rng rng(11);
+  a.randomize(rng);
+  b.randomize(rng);
+  Matrix reference(48, 40), out(48, 40);
+  pe::kernels::matmul_naive(a, b, reference);
+  pe::ThreadPool pool(2);
+  pe::kernels::matmul_parallel_packed(a, b, out, pool, blocking);
+  EXPECT_LT(out.max_abs_diff(reference), 1e-10);
+}
 
 TEST(Matmul, RectangularShapes) {
   Matrix a(3, 5), b(5, 2), c(3, 2), reference(3, 2);

@@ -3,8 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "perfeng/common/error.hpp"
 
@@ -42,7 +47,8 @@ TEST_P(ParallelForSchedules, EmptyRangeIsNoop) {
 
 INSTANTIATE_TEST_SUITE_P(Schedules, ParallelForSchedules,
                          ::testing::Values(pe::Schedule::kStatic,
-                                           pe::Schedule::kDynamic));
+                                           pe::Schedule::kDynamic,
+                                           pe::Schedule::kGuided));
 
 TEST(ParallelFor, InvertedRangeThrows) {
   pe::ThreadPool pool(2);
@@ -111,6 +117,114 @@ TEST(ParallelReduce, MatchesSerialForManySizes) {
         [](std::size_t a, std::size_t b) { return a + b; });
     EXPECT_EQ(sum, n * (n - 1) / 2) << n;
   }
+}
+
+TEST_P(ParallelForSchedules, ExceptionsPropagateFromAnySchedule) {
+  pe::ThreadPool pool(4);
+  std::atomic<int> before{0};
+  EXPECT_THROW(
+      pe::parallel_for(
+          pool, 0, 512,
+          [&](std::size_t i) {
+            before.fetch_add(1);
+            if (i == 137) throw std::runtime_error("boom");
+          },
+          GetParam(), 1),
+      std::runtime_error);
+  EXPECT_GE(before.load(), 1);
+}
+
+TEST_P(ParallelForSchedules, NestedInsideLoopBodiesDoesNotDeadlock) {
+  pe::ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pe::parallel_for(
+      pool, 0, 8,
+      [&](std::size_t) {
+        pe::parallel_for(
+            pool, 0, 64, [&](std::size_t) { total.fetch_add(1); },
+            GetParam(), 4);
+      },
+      GetParam(), 1);
+  EXPECT_EQ(total.load(), 8u * 64u);
+}
+
+// The static-schedule tail fix: block sizes must never differ by more than
+// one, even when n is slightly above a multiple of the worker count (the
+// old ceil-division split could leave the last worker with no block).
+TEST(ParallelForChunks, StaticBlocksAreBalanced) {
+  pe::ThreadPool pool(4);
+  for (std::size_t n : {13u, 16u, 17u, 97u, 100u, 101u}) {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pe::parallel_for_chunks(
+        pool, 0, n,
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          std::lock_guard lock(mu);
+          chunks.emplace_back(lo, hi);
+        },
+        pe::Schedule::kStatic);
+    std::size_t covered = 0, smallest = n, largest = 0;
+    for (const auto& [lo, hi] : chunks) {
+      ASSERT_LT(lo, hi);
+      covered += hi - lo;
+      smallest = std::min(smallest, hi - lo);
+      largest = std::max(largest, hi - lo);
+    }
+    EXPECT_EQ(covered, n) << n;
+    EXPECT_LE(largest - smallest, 1u) << n;
+    EXPECT_EQ(chunks.size(), std::min<std::size_t>(pool.size(), n)) << n;
+  }
+}
+
+TEST(ParallelForChunks, LanesFitLaneIndexedScratch) {
+  pe::ThreadPool pool(3);
+  std::atomic<bool> bad{false};
+  pe::parallel_for_chunks(
+      pool, 0, 10000,
+      [&](std::size_t, std::size_t, std::size_t lane) {
+        if (lane > pool.size()) bad.store(true);
+      },
+      pe::Schedule::kDynamic, 7);
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ParallelReduce, DeterministicForFixedPoolSize) {
+  pe::ThreadPool pool(4);
+  std::vector<double> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = 1.0 / static_cast<double>(i + 1);
+  const auto run = [&] {
+    return pe::parallel_reduce(
+        pool, 0, data.size(), 0.0, [&](std::size_t i) { return data[i]; },
+        [](double a, double b) { return a + b; });
+  };
+  const double first = run();
+  for (int rep = 0; rep < 10; ++rep) EXPECT_EQ(first, run());
+}
+
+TEST(ParallelReduceOrdered, BitIdenticalAcrossPoolSizes) {
+  std::vector<double> data(9973);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = 1.0 / static_cast<double>(i + 1);
+  std::vector<double> results;
+  for (std::size_t workers : {1u, 2u, 3u, 4u}) {
+    pe::ThreadPool pool(workers);
+    for (int rep = 0; rep < 3; ++rep) {
+      results.push_back(pe::parallel_reduce_ordered(
+          pool, 0, data.size(), 0.0,
+          [&](std::size_t i) { return data[i]; },
+          [](double a, double b) { return a + b; }, 128));
+    }
+  }
+  for (const double r : results) EXPECT_EQ(r, results.front());
+}
+
+TEST(ParallelReduceOrdered, MatchesUnorderedSumForIntegers) {
+  pe::ThreadPool pool(4);
+  const auto sum = pe::parallel_reduce_ordered(
+      pool, 0, 5000, std::size_t{0}, [](std::size_t i) { return i; },
+      [](std::size_t a, std::size_t b) { return a + b; }, 64);
+  EXPECT_EQ(sum, 5000u * 4999u / 2);
 }
 
 }  // namespace

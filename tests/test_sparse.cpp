@@ -107,6 +107,84 @@ INSTANTIATE_TEST_SUITE_P(Patterns, SpmvPatterns,
                                            SparsityPattern::kBanded,
                                            SparsityPattern::kPowerLaw));
 
+TEST_P(SpmvPatterns, BalancedPartitionCoversRowsMonotonically) {
+  pe::Rng rng(7);
+  const auto csr = pe::kernels::coo_to_csr(
+      pe::kernels::generate_sparse(311, 200, 0.03, GetParam(), rng));
+  for (std::size_t parts : {1u, 2u, 3u, 5u, 8u}) {
+    const auto bounds = pe::kernels::balanced_row_partition(csr, parts);
+    ASSERT_EQ(bounds.size(), parts + 1);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), csr.rows);
+    for (std::size_t p = 0; p < parts; ++p)
+      EXPECT_LE(bounds[p], bounds[p + 1]) << parts << "/" << p;
+  }
+}
+
+TEST(BalancedPartition, EvensOutPowerLawNonzeros) {
+  pe::Rng rng(8);
+  const auto csr = pe::kernels::coo_to_csr(pe::kernels::generate_sparse(
+      600, 600, 0.02, SparsityPattern::kPowerLaw, rng));
+  const std::size_t parts = 4;
+  const auto bounds = pe::kernels::balanced_row_partition(csr, parts);
+  // Naive row-count splits give the first part the heavy head rows; the
+  // nonzero-balanced split must keep every part near nnz/parts. A single
+  // row can exceed the ideal share, so allow a 2x band plus slack.
+  const double ideal = double(csr.nnz()) / double(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    const double part_nnz =
+        double(csr.row_ptr[bounds[p + 1]]) - double(csr.row_ptr[bounds[p]]);
+    EXPECT_LE(part_nnz, 2.0 * ideal + 64.0) << p;
+  }
+}
+
+TEST(BalancedPartition, MorePartsThanRows) {
+  const auto csr = pe::kernels::coo_to_csr(small_coo());  // 2 rows
+  const auto bounds = pe::kernels::balanced_row_partition(csr, 6);
+  ASSERT_EQ(bounds.size(), 7u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), csr.rows);
+  std::size_t nonempty = 0;
+  for (std::size_t p = 0; p < 6; ++p)
+    nonempty += (bounds[p + 1] > bounds[p]) ? 1 : 0;
+  EXPECT_LE(nonempty, csr.rows);
+}
+
+// The balanced kernel promises the exact per-row summation order of the
+// serial spmv_csr, so equality here is exact, not tolerance-based.
+TEST_P(SpmvPatterns, BalancedSpmvMatchesSerialExactly) {
+  pe::Rng rng(21);
+  const auto csr = pe::kernels::coo_to_csr(
+      pe::kernels::generate_sparse(257, 193, 0.04, GetParam(), rng));
+  std::vector<double> x(csr.cols);
+  for (auto& v : x) v = rng.next_range_double(-1.0, 1.0);
+  std::vector<double> y_serial(csr.rows), y_bal(csr.rows, -7.0);
+  pe::kernels::spmv_csr(csr, x, y_serial);
+  pe::ThreadPool pool(3);
+  pe::kernels::spmv_csr_parallel_balanced(csr, x, y_bal, pool);
+  for (std::size_t r = 0; r < csr.rows; ++r)
+    EXPECT_EQ(y_bal[r], y_serial[r]) << r;
+}
+
+TEST(Spmv, BalancedHandlesTinyAndSingleRowMatrices) {
+  pe::ThreadPool pool(4);
+  const auto csr = pe::kernels::coo_to_csr(small_coo());
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(csr.rows);
+  pe::kernels::spmv_csr_parallel_balanced(csr, x, y, pool);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+
+  CooMatrix one;
+  one.rows = 1;
+  one.cols = 4;
+  one.entries = {{0, 0, 2.0}, {0, 3, 5.0}};
+  const auto csr1 = pe::kernels::coo_to_csr(one);
+  std::vector<double> x1 = {1.0, 1.0, 1.0, 10.0}, y1(1);
+  pe::kernels::spmv_csr_parallel_balanced(csr1, x1, y1, pool);
+  EXPECT_DOUBLE_EQ(y1[0], 52.0);
+}
+
 TEST(Ell, ConversionPadsToMaxDegree) {
   const auto ell = pe::kernels::csr_to_ell(
       pe::kernels::coo_to_csr(small_coo()));
