@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file access_checker.hpp
+/// Interval-based race lint for data-parallel loops.
+///
+/// The checker is a lockset-free race detector tailored to the one pattern
+/// the toolbox's `parallel_for` family promises: *chunks of one loop write
+/// disjoint ranges*. While installed (via `ScopedAccessCheck`), the
+/// parallel runtime announces every loop and chunk, and instrumented code
+/// — the shipped kernels via `pe::access_record`, student code via
+/// `checked_span` — announces the byte ranges each chunk reads and writes.
+/// `report()` then diffs the per-chunk interval sets and returns a
+/// `RaceReport` naming the exact conflicting chunk pairs, buffers, byte
+/// ranges, and source locations.
+///
+/// Because the check is on the *partition*, not on this run's thread
+/// timing, it also catches latent races: two overlapping chunks that
+/// happened to execute on the same lane are still reported (flagged
+/// `same_lane`) — a dynamic scheduler could legally have raced them.
+///
+/// Scope and limits: chunks are diffed within one loop at a time (loops
+/// are barrier-separated). Nested parallel loops are each checked
+/// internally, but two *inner* loops launched from concurrently-running
+/// outer chunks are not diffed against each other. Lane-indexed private
+/// scratch (e.g. the packed-matmul A panels) is intentionally outside the
+/// model — it is partitioned by lane, not by chunk — and should not be
+/// recorded. See docs/analysis.md.
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "perfeng/common/access_hook.hpp"
+#include "perfeng/analysis/race_report.hpp"
+
+namespace pe::analysis {
+
+/// Records chunk/interval provenance while installed as the process-wide
+/// AccessHook; thread-safe (chunks fire from pool workers). Install with
+/// `ScopedAccessCheck`, run the loops under test, then call `report()`.
+class AccessChecker final : public AccessHook {
+ public:
+  AccessChecker() = default;
+
+  // AccessHook interface (called by the runtime; not for direct use).
+  void begin_loop(std::size_t begin, std::size_t end) noexcept override;
+  void end_loop() noexcept override;
+  void begin_chunk(std::size_t lo, std::size_t hi,
+                   std::size_t lane) noexcept override;
+  void end_chunk() noexcept override;
+  void record(const void* base, std::size_t lo_byte, std::size_t hi_byte,
+              bool is_write, const char* tag, const char* file,
+              unsigned line) noexcept override;
+
+  /// Diff the per-chunk interval sets recorded so far. Safe to call after
+  /// the loops under test have completed (not concurrently with them).
+  [[nodiscard]] RaceReport report() const;
+
+  /// Drop everything recorded so far (loop/chunk counters restart).
+  void reset();
+
+ private:
+  /// One coalesced access interval of one chunk.
+  struct Interval {
+    const void* base;
+    const char* tag;
+    std::size_t lo_byte, hi_byte;
+    bool write;
+    const char* file;
+    unsigned line;
+  };
+
+  /// Everything one executed chunk touched. Appended to by exactly one
+  /// thread (the one that announced the chunk), read by report().
+  struct ChunkLog {
+    ChunkProvenance id;
+    std::vector<Interval> intervals;
+  };
+
+  mutable std::mutex mutex_;        // guards chunks_/counters below
+  std::deque<ChunkLog> chunks_;     // deque: stable addresses for the
+                                    // per-thread active-chunk stack
+  std::size_t next_chunk_ = 0;
+  std::size_t loops_ = 0;
+  std::atomic<std::size_t> epoch_{0};  // bumped by begin_loop
+  std::atomic<std::size_t> unscoped_records_{0};
+};
+
+/// RAII installer: makes `checker` the process-wide AccessHook for the
+/// scope's lifetime. Only one hook may be active at a time (nesting
+/// throws pe::Error — overlapping checker scopes are a test bug).
+class ScopedAccessCheck {
+ public:
+  explicit ScopedAccessCheck(AccessChecker& checker);
+  ~ScopedAccessCheck();
+
+  ScopedAccessCheck(const ScopedAccessCheck&) = delete;
+  ScopedAccessCheck& operator=(const ScopedAccessCheck&) = delete;
+
+ private:
+  AccessChecker& checker_;
+};
+
+}  // namespace pe::analysis

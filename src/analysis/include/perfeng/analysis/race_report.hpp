@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file race_report.hpp
+/// Structured result of an AccessChecker run.
+///
+/// A conflict is two chunks of the *same* parallel loop whose recorded
+/// byte intervals on the same buffer overlap, with at least one side
+/// writing. Chunks of different loops never conflict (the loop's
+/// completion barrier orders them), and overlapping reads are harmless.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pe::analysis {
+
+/// Identity of one executed chunk: which loop it belonged to, its claimed
+/// iteration range, and the lane (worker index, or `pool.size()` for the
+/// submitting thread) that ran it.
+struct ChunkProvenance {
+  std::size_t loop = 0;   ///< 1-based loop sequence number in this run
+  std::size_t index = 0;  ///< chunk sequence number within the run
+  std::size_t lo = 0;     ///< first claimed iteration
+  std::size_t hi = 0;     ///< one past the last claimed iteration
+  std::size_t lane = 0;   ///< executing lane
+};
+
+/// One detected cross-chunk overlap. `first`/`second` are the offending
+/// chunk pair; `lo_byte`/`hi_byte` is the first overlapping byte range
+/// found on `buffer` (relative to the buffer base).
+struct Conflict {
+  std::string buffer;          ///< tag given at the instrumentation site
+  const void* base = nullptr;  ///< buffer base pointer
+  std::size_t lo_byte = 0;
+  std::size_t hi_byte = 0;
+  bool write_write = false;  ///< both sides wrote (else write/read)
+  bool same_lane = false;    ///< chunks happened to run on one lane: the
+                             ///< overlap did not race *this* run, but the
+                             ///< partition is still broken (latent race)
+  ChunkProvenance first;
+  ChunkProvenance second;
+  std::string first_where;   ///< file:line of the first side's record
+  std::string second_where;  ///< file:line of the second side's record
+};
+
+/// Everything the checker saw, plus the conflicts it found.
+struct RaceReport {
+  std::vector<Conflict> conflicts;
+  std::size_t loops = 0;      ///< parallel loops observed
+  std::size_t chunks = 0;     ///< chunks observed across all loops
+  std::size_t intervals = 0;  ///< coalesced access intervals recorded
+  std::size_t unscoped_records = 0;  ///< records outside any chunk (ignored)
+
+  [[nodiscard]] bool clean() const noexcept { return conflicts.empty(); }
+
+  /// Human-readable multi-line summary, one line per conflict.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace pe::analysis

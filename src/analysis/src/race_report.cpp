@@ -1,0 +1,43 @@
+#include "perfeng/analysis/race_report.hpp"
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+namespace pe::analysis {
+
+namespace {
+
+void append_chunk(std::ostream& os, const ChunkProvenance& c,
+                  const std::string& where) {
+  os << "chunk #" << c.index << " (loop " << c.loop << ", iters [" << c.lo
+     << ", " << c.hi << "), lane " << c.lane << ", recorded at " << where
+     << ")";
+}
+
+}  // namespace
+
+std::string RaceReport::to_string() const {
+  std::ostringstream os;
+  os << "RaceReport: " << conflicts.size() << " conflict(s) across "
+     << loops << " loop(s), " << chunks << " chunk(s), " << intervals
+     << " interval(s)";
+  if (unscoped_records > 0)
+    os << ", " << unscoped_records << " unscoped record(s) ignored";
+  os << "\n";
+  std::size_t n = 0;
+  for (const Conflict& c : conflicts) {
+    os << "  [" << ++n << "] " << (c.write_write ? "write/write" : "write/read")
+       << " overlap on '" << c.buffer << "' bytes [" << c.lo_byte << ", "
+       << c.hi_byte << ")";
+    if (c.same_lane) os << " [latent: both chunks ran on one lane]";
+    os << ": ";
+    append_chunk(os, c.first, c.first_where);
+    os << " vs ";
+    append_chunk(os, c.second, c.second_where);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pe::analysis

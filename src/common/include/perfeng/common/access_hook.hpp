@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file access_hook.hpp
+/// Process-wide memory-access instrumentation hook points.
+///
+/// The race lint in perfeng_analysis needs to see which byte ranges each
+/// parallel chunk reads and writes. Rather than make every kernel depend on
+/// the analysis library, the instrumentation mirrors fault_hook.hpp: the
+/// parallel runtime announces loop and chunk boundaries, kernels (and
+/// student code via `pe::analysis::checked_span`) announce the ranges they
+/// touch, and all of it is a no-op costing one relaxed atomic load until an
+/// `AccessHook` — normally a `pe::analysis::AccessChecker` — is installed.
+/// The hook lives here (not in perfeng_analysis) so the thread pool and the
+/// kernels can host instrumentation points without a layering inversion.
+
+#include <atomic>
+#include <cstddef>
+#include <source_location>
+
+namespace pe {
+
+/// Interface a race checker implements to observe parallel-loop accesses.
+/// Implementations must be thread-safe: chunks fire from worker threads.
+/// Every method is noexcept — instrumentation must never alter the control
+/// flow of the code under observation.
+class AccessHook {
+ public:
+  virtual ~AccessHook() = default;
+
+  /// A new parallel loop over [begin, end) is starting on the calling
+  /// thread. Chunks of distinct loops are separated by the loop's
+  /// completion barrier and therefore never race with each other.
+  virtual void begin_loop(std::size_t begin, std::size_t end) noexcept = 0;
+
+  /// The loop announced by the matching `begin_loop` has quiesced.
+  virtual void end_loop() noexcept = 0;
+
+  /// The calling thread starts executing the chunk [lo, hi) on `lane`.
+  virtual void begin_chunk(std::size_t lo, std::size_t hi,
+                           std::size_t lane) noexcept = 0;
+
+  /// The calling thread finished its current chunk.
+  virtual void end_chunk() noexcept = 0;
+
+  /// The current chunk accessed bytes [lo_byte, hi_byte) of the buffer
+  /// identified by `base`. `tag` names the buffer in reports; `file`/`line`
+  /// locate the instrumentation site (or the `checked_span` creation).
+  virtual void record(const void* base, std::size_t lo_byte,
+                      std::size_t hi_byte, bool is_write, const char* tag,
+                      const char* file, unsigned line) noexcept = 0;
+};
+
+/// Install (or with nullptr, remove) the process-wide hook. The caller
+/// keeps ownership and must keep the hook alive until it is removed;
+/// `pe::analysis::ScopedAccessCheck` does both ends via RAII.
+void set_access_hook(AccessHook* hook) noexcept;
+
+/// Currently installed hook, or nullptr.
+[[nodiscard]] AccessHook* access_hook() noexcept;
+
+namespace detail {
+extern std::atomic<AccessHook*> g_access_hook;
+
+[[nodiscard]] inline AccessHook* access_hook_fast() noexcept {
+  return g_access_hook.load(std::memory_order_acquire);
+}
+}  // namespace detail
+
+/// Announce a parallel loop over [begin, end); no-op unless hooked.
+inline void access_begin_loop(std::size_t begin, std::size_t end) noexcept {
+  if (AccessHook* hook = detail::access_hook_fast())
+    hook->begin_loop(begin, end);
+}
+
+inline void access_end_loop() noexcept {
+  if (AccessHook* hook = detail::access_hook_fast()) hook->end_loop();
+}
+
+/// Announce that the calling thread starts chunk [lo, hi) on `lane`.
+inline void access_begin_chunk(std::size_t lo, std::size_t hi,
+                               std::size_t lane) noexcept {
+  if (AccessHook* hook = detail::access_hook_fast())
+    hook->begin_chunk(lo, hi, lane);
+}
+
+inline void access_end_chunk() noexcept {
+  if (AccessHook* hook = detail::access_hook_fast()) hook->end_chunk();
+}
+
+/// Record that the current chunk touches elements [lo, hi) of the buffer
+/// at `base` whose elements are `elem_size` bytes. Call once per chunk at
+/// range granularity — the checker coalesces, but one call is cheaper.
+inline void access_record(
+    const void* base, std::size_t elem_size, std::size_t lo, std::size_t hi,
+    bool is_write, const char* tag,
+    std::source_location loc = std::source_location::current()) noexcept {
+  if (AccessHook* hook = detail::access_hook_fast())
+    hook->record(base, lo * elem_size, hi * elem_size, is_write, tag,
+                 loc.file_name(), static_cast<unsigned>(loc.line()));
+}
+
+/// RAII chunk scope used by the parallel runtime: announces begin/end even
+/// when the chunk body throws.
+class AccessChunkScope {
+ public:
+  AccessChunkScope(std::size_t lo, std::size_t hi, std::size_t lane) noexcept
+      : hook_(detail::access_hook_fast()) {
+    if (hook_ != nullptr) hook_->begin_chunk(lo, hi, lane);
+  }
+  ~AccessChunkScope() {
+    if (hook_ != nullptr) hook_->end_chunk();
+  }
+
+  AccessChunkScope(const AccessChunkScope&) = delete;
+  AccessChunkScope& operator=(const AccessChunkScope&) = delete;
+
+ private:
+  AccessHook* hook_;
+};
+
+}  // namespace pe

@@ -8,6 +8,7 @@
 /// CSV files; this parser handles quoted fields, embedded commas/quotes and
 /// CRLF line endings — enough for every artifact in the repository.
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>

@@ -10,6 +10,7 @@
 /// predictable across standard libraries than `std::mt19937_64` +
 /// `std::uniform_*_distribution` (whose outputs are implementation-defined).
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -7,7 +7,9 @@
 /// collected; every bench binary in this repository prints its results as a
 /// table whose rows mirror the corresponding table/figure in the paper.
 
+#include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pe {

@@ -1,0 +1,15 @@
+#include "perfeng/common/access_hook.hpp"
+
+namespace pe {
+
+namespace detail {
+std::atomic<AccessHook*> g_access_hook{nullptr};
+}  // namespace detail
+
+void set_access_hook(AccessHook* hook) noexcept {
+  detail::g_access_hook.store(hook, std::memory_order_release);
+}
+
+AccessHook* access_hook() noexcept { return detail::access_hook_fast(); }
+
+}  // namespace pe

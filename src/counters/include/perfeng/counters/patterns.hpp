@@ -10,6 +10,7 @@
 /// with the verdict, a severity in [0,1], and the evidence that triggered
 /// it — the structure students are asked to produce by hand.
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>

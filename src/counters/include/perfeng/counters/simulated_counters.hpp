@@ -9,6 +9,7 @@
 /// replaying a kernel's address/branch trace through configurable hardware
 /// models instead of reading MSRs.
 
+#include <cstdint>
 #include <functional>
 
 #include "perfeng/counters/counter_set.hpp"

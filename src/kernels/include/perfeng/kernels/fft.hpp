@@ -10,6 +10,7 @@
 /// nice cache-analysis subject).
 
 #include <complex>
+#include <cstddef>
 #include <vector>
 
 namespace pe::kernels {

@@ -9,6 +9,7 @@
 /// uniform graphs and power-law (preferential-attachment-flavoured) graphs
 /// whose skewed degree distribution stresses load balancing.
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <utility>

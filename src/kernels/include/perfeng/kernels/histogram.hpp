@@ -9,6 +9,7 @@
 /// the hot bins resident. The generators below produce both regimes so the
 /// analytical model's data-dependent term can be validated.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

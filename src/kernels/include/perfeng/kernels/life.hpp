@@ -9,6 +9,7 @@
 /// optimization project result (an order of magnitude from data-layout
 /// alone, which the Roofline model explains as an intensity increase).
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -13,6 +13,7 @@
 ///   load imbalance      -> fix: dynamic scheduling
 ///   branch-heavy code   -> fix: sorted data / branchless form
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -10,6 +10,7 @@
 /// (uniform random, banded, power-law rows) that build the training corpus
 /// for the statistical models.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -10,6 +10,7 @@
 /// exhibit the same qualitative behaviour (loop-order miss blowups, stride
 /// effects, branch-predictability differences).
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

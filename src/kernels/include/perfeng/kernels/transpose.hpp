@@ -9,6 +9,8 @@
 /// Zero FLOPs, pure traffic — the cleanest possible Roofline/x-axis
 /// degenerate case, and a favourite course demo.
 
+#include <cstddef>
+
 #include "perfeng/kernels/matmul.hpp"
 #include "perfeng/sim/cache_hierarchy.hpp"
 

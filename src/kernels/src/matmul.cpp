@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "perfeng/common/access_hook.hpp"
 #include "perfeng/common/aligned_buffer.hpp"
 #include "perfeng/common/error.hpp"
 #include "perfeng/machine/machine.hpp"
@@ -225,6 +226,8 @@ void matmul_parallel_packed(const Matrix& a, const Matrix& b, Matrix& c,
   parallel_for_chunks(
       pool, 0, m,
       [&](std::size_t lo, std::size_t hi, std::size_t /*lane*/) {
+        access_record(c.data(), sizeof(double), lo * n, hi * n, true,
+                      "matmul.c");
         std::fill(c.data() + lo * n, c.data() + hi * n, 0.0);
       });
 
@@ -238,6 +241,8 @@ void matmul_parallel_packed(const Matrix& a, const Matrix& b, Matrix& c,
           pool, 0, b_strips,
           [&](std::size_t s) {
             const std::size_t j0 = jc + s * kNr;
+            access_record(b_pack.data(), sizeof(double), s * kNr * kcb,
+                          (s + 1) * kNr * kcb, true, "matmul.b_pack");
             pack_b_strip(b, pc, kcb, j0, std::min(kNr, n - j0),
                          b_pack.data() + s * kNr * kcb);
           },
@@ -247,10 +252,17 @@ void matmul_parallel_packed(const Matrix& a, const Matrix& b, Matrix& c,
       parallel_for_chunks(
           pool, 0, ic_blocks,
           [&](std::size_t lo, std::size_t hi, std::size_t lane) {
+            // a_pack is lane-indexed private scratch — partitioned by
+            // lane, not by chunk — so it is deliberately not recorded
+            // (see the AccessChecker model in docs/analysis.md).
             double* apack = a_pack.data() + lane * a_panel_elems;
+            access_record(b_pack.data(), sizeof(double), 0,
+                          b_strips * kNr * kcb, false, "matmul.b_pack");
             for (std::size_t blk = lo; blk < hi; ++blk) {
               const std::size_t i0 = blk * mc;
               const std::size_t mcb = std::min(mc, m - i0);
+              access_record(c.data(), sizeof(double), i0 * n,
+                            (i0 + mcb) * n, true, "matmul.c");
               const std::size_t a_strips = (mcb + kMr - 1) / kMr;
               for (std::size_t t = 0; t < a_strips; ++t)
                 pack_a_strip(a, i0 + t * kMr,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "perfeng/common/access_hook.hpp"
 #include "perfeng/common/error.hpp"
 #include "perfeng/parallel/parallel_for.hpp"
 
@@ -185,6 +186,7 @@ void spmv_csr_parallel(const CsrMatrix& a, const std::vector<double>& x,
         double acc = 0.0;
         for (std::uint32_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i)
           acc += a.values[i] * x[a.col_idx[i]];
+        access_record(y.data(), sizeof(double), r, r + 1, true, "spmv.y");
         y[r] = acc;
       },
       Schedule::kDynamic, 256);
@@ -221,6 +223,8 @@ void spmv_csr_parallel_balanced(const CsrMatrix& a,
   parallel_for(
       pool, 0, parts,
       [&](std::size_t p) {
+        access_record(y.data(), sizeof(double), bounds[p], bounds[p + 1],
+                      true, "spmv.y");
         for (std::size_t r = bounds[p]; r < bounds[p + 1]; ++r) {
           double acc = 0.0;
           for (std::uint32_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i)

@@ -11,6 +11,7 @@
 /// environment variable, so a probe saved once is reused by every tool
 /// instead of re-run or hand-wired.
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <string_view>

@@ -17,6 +17,7 @@
 /// exponential backoff) when the sample's coefficient of variation says the
 /// host was too noisy, recording how many attempts the number cost.
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>

@@ -9,10 +9,12 @@
 /// row of metrics per design point, then render the result table or CSV in
 /// one call.
 
+#include <cstddef>
 #include <functional>
 #include <map>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "perfeng/common/table.hpp"

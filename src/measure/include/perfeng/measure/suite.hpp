@@ -16,9 +16,11 @@
 /// `SuiteScore::failed` and the suite is scored over the survivors, so an
 /// unattended campaign always comes back with every result it could get.
 
+#include <cstddef>
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "perfeng/machine/machine.hpp"

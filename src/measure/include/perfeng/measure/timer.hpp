@@ -42,6 +42,7 @@ inline void do_not_optimize(const T& value) {
 #if defined(__GNUC__) || defined(__clang__)
   asm volatile("" : : "g"(value) : "memory");
 #else
+  // Optimizer sink, not synchronization. perfeng-lint: allow(no-volatile)
   volatile T sink = value;
   (void)sink;
 #endif

@@ -11,6 +11,7 @@
 /// "discover your machine" exercise.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "perfeng/measure/benchmark_runner.hpp"

@@ -12,10 +12,11 @@ namespace {
 constexpr std::size_t kStepsPerCall = 4096;
 
 // Runtime-opaque constants: reading them through volatile blocks the
-// compiler from constant-folding the whole chain away.
-volatile double g_fma_x = 0.999999999;
-volatile double g_fma_y = 1e-9;
-volatile double g_fma_init = 1.000000001;
+// compiler from constant-folding the whole chain away. These are optimizer
+// blinds read once per call, not cross-thread state.
+volatile double g_fma_x = 0.999999999;     // perfeng-lint: allow(no-volatile)
+volatile double g_fma_y = 1e-9;            // perfeng-lint: allow(no-volatile)
+volatile double g_fma_init = 1.000000001;  // perfeng-lint: allow(no-volatile)
 
 // One timed call performs kStepsPerCall iterations over `N` independent
 // multiply-add chains: 2 FLOPs per chain per step.

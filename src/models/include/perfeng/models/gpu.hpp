@@ -13,6 +13,7 @@
 /// machine peak is reached — why low-occupancy kernels are latency-bound
 /// even with idle DRAM pins.
 
+#include <cstddef>
 #include <cstdint>
 
 #include "perfeng/machine/machine.hpp"

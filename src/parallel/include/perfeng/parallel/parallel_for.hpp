@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "perfeng/common/access_hook.hpp"
 #include "perfeng/common/error.hpp"
 #include "perfeng/parallel/thread_pool.hpp"
 
@@ -137,6 +138,10 @@ struct BulkLoop {
     for (;;) {
       const auto [lo, hi] = claim();
       if (lo >= hi) return;
+      // The chunk scope tells an installed race checker (see
+      // perfeng/analysis) which [lo, hi) this thread claims; a no-op
+      // otherwise. RAII so the announcement closes even on a throw.
+      AccessChunkScope scope(lo, hi, lane);
       try {
         chunk_fn(lo, hi, lane);
       } catch (...) {
@@ -155,6 +160,18 @@ struct BulkLoop {
   }
 };
 
+/// RAII loop announcement for an installed race checker: chunks of
+/// distinct loops are barrier-separated and must not be diffed against
+/// each other.
+struct AccessLoopScope {
+  AccessLoopScope(std::size_t begin, std::size_t end) noexcept {
+    access_begin_loop(begin, end);
+  }
+  ~AccessLoopScope() { access_end_loop(); }
+  AccessLoopScope(const AccessLoopScope&) = delete;
+  AccessLoopScope& operator=(const AccessLoopScope&) = delete;
+};
+
 /// Drive one bulk loop to completion: broadcast, participate, reclaim
 /// unstarted copies, wait for the stragglers, rethrow the first error.
 template <typename ChunkFn>
@@ -162,9 +179,11 @@ void run_bulk(ThreadPool& pool, std::size_t begin, std::size_t end,
               ChunkFn&& chunk_fn, Schedule schedule, std::size_t grain) {
   const std::size_t n = end - begin;
   const std::size_t workers = pool.size();
+  AccessLoopScope loop_scope(begin, end);
   if (workers == 1 || n == 1) {
     // Inline: a 1-worker pool (or a single chunk) gains nothing from
     // dispatch, and inline execution keeps iteration order sequential.
+    AccessChunkScope scope(begin, end, pool.this_lane());
     chunk_fn(begin, end, pool.this_lane());
     return;
   }

@@ -7,6 +7,24 @@
 #include "perfeng/common/error.hpp"
 #include "perfeng/common/fault_hook.hpp"
 
+// Happens-before protocol (the TSan gate in docs/analysis.md holds the
+// whole suite to zero reports against these edges):
+//
+//   publish → steal    every deque operation, own or stolen, happens under
+//                      that deque's mutex — job payloads cross threads
+//                      through the lock, never bare.
+//   submit → park      `pending_` and `sleepers_` are seq_cst so the
+//                      "increment pending, then check sleepers" producer
+//                      and the "register sleeper, then re-check pending"
+//                      consumer cannot both miss each other; the cv wait
+//                      re-checks both under `mutex_`.
+//   work → completion  bulk loops retire chunks with a release
+//                      fetch_sub on `remaining` and the waiter re-reads
+//                      it acquire (run_on_all uses std::latch), so chunk
+//                      side effects are visible to whoever observes zero.
+//   stats              `steals_` / absorbed-fault counters are relaxed:
+//                      monotonic telemetry, never used for ordering.
+
 namespace pe {
 
 namespace {

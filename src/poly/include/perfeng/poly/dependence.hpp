@@ -17,6 +17,7 @@
 /// dependence within one iteration — imposes no ordering constraint and is
 /// not reported).
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>

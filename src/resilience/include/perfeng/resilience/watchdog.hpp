@@ -22,6 +22,7 @@
 ///    inline, no watchdog) when measuring ultra-short kernels.
 
 #include <chrono>
+#include <exception>
 #include <future>
 #include <memory>
 #include <string_view>

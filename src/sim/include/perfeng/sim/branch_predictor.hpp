@@ -8,6 +8,7 @@
 /// random data defeats the predictor (≈50% mispredictions) while the same
 /// branch on sorted data is almost free — the classic demonstration.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -13,7 +13,9 @@
 /// write-back + write-allocate (the common x86 configuration). An access
 /// that straddles a line boundary is split into one access per touched line.
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "perfeng/common/error.hpp"

@@ -10,6 +10,7 @@
 /// cache-model bench that validates analytical miss predictions for the
 /// matmul loop orders.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

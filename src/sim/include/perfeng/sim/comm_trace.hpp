@@ -14,6 +14,7 @@
 ///    late-sender count (receives that blocked on a not-yet-arrived
 ///    message).
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -11,6 +11,7 @@
 /// composed from these primitives so their *simulated* cost can be compared
 /// against the closed-form α-β predictions in `perfeng/models/network.hpp`.
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>

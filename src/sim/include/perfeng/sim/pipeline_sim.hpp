@@ -16,6 +16,7 @@
 /// accumulator chains at the FMA latency while four accumulators reach
 /// the port throughput.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -10,6 +10,7 @@
 /// shuffling, train/test splitting, and z-score standardization (fit on the
 /// training split only — leaking test statistics is the classic mistake).
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

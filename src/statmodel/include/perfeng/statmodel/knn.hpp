@@ -11,6 +11,10 @@
 /// interpretability contrast with analytical models the course wants
 /// students to notice.
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "perfeng/statmodel/dataset.hpp"
 
 namespace pe::statmodel {

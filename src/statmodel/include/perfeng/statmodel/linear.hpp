@@ -11,6 +11,8 @@
 /// the interesting terms are n, n^2, n^3 and nnz-like interaction terms.
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "perfeng/statmodel/dataset.hpp"
 

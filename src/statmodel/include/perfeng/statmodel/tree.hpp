@@ -10,7 +10,11 @@
 /// feature subsampling and averages the predictions. Both are deterministic
 /// given the seed.
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "perfeng/common/rng.hpp"
 #include "perfeng/statmodel/dataset.hpp"

@@ -8,6 +8,7 @@
 /// `Regressor` with the metrics from perfeng/measure/metrics.hpp and make
 /// the train/test discipline explicit.
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 
