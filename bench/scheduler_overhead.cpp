@@ -7,15 +7,16 @@
 // several times cheaper than a packaged_task + future per task. `--check`
 // exits non-zero when bulk dispatch costs more than half a legacy submit,
 // which is the regression guard CI runs; `--json <path>` writes the
-// snapshot checked in at bench/snapshots/BENCH_scheduler.json.
+// snapshot checked in at bench/snapshots/BENCH_scheduler.json in the
+// uniform pe-bench-v1 schema (machine hash + full sample distributions).
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 
 #include "perfeng/common/table.hpp"
 #include "perfeng/machine/machine.hpp"
 #include "perfeng/machine/registry.hpp"
+#include "perfeng/measure/bench_json.hpp"
 #include "perfeng/microbench/scheduler.hpp"
 
 int main(int argc, char** argv) {
@@ -59,22 +60,22 @@ int main(int argc, char** argv) {
               m.calibration_hash().c_str());
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "cannot open '%s' for writing\n",
-                   json_path.c_str());
+    pe::BenchReport report("scheduler_overhead");
+    report.set_machine(m);
+    report.set_context("pool_threads",
+                       static_cast<double>(probe.pool_threads));
+    report.set_context("tasks_per_batch", static_cast<double>(probe.tasks));
+    report.add_metric("submit_ns_per_task", "ns", probe.submit_samples_ns);
+    report.add_metric("bulk_ns_per_chunk", "ns", probe.bulk_samples_ns);
+    report.add_scalar("bulk_over_submit", "ratio",
+                      probe.bulk_ns / probe.submit_ns);
+    try {
+      report.save_file(json_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot write '%s': %s\n", json_path.c_str(),
+                   e.what());
       return 2;
     }
-    out << "{\n"
-        << "  \"bench\": \"scheduler_overhead\",\n"
-        << "  \"pool_threads\": " << probe.pool_threads << ",\n"
-        << "  \"tasks_per_batch\": " << probe.tasks << ",\n"
-        << "  \"submit_ns\": " << pe::format_sig(probe.submit_ns, 4) << ",\n"
-        << "  \"bulk_ns\": " << pe::format_sig(probe.bulk_ns, 4) << ",\n"
-        << "  \"bulk_over_submit\": "
-        << pe::format_sig(probe.bulk_ns / probe.submit_ns, 4) << ",\n"
-        << "  \"calibration_hash\": \"" << m.calibration_hash() << "\"\n"
-        << "}\n";
     std::printf("snapshot written to %s\n", json_path.c_str());
   }
 

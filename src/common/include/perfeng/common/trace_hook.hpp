@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file trace_hook.hpp
+/// Process-wide scheduler-tracing hook points.
+///
+/// The work-stealing pool is the hot substrate under every parallel kernel,
+/// but without observability it is a black box: where does worker time go,
+/// how long do tasks wait between submit and start, which locks and
+/// park/unpark cycles eat throughput? This hook mirrors fault_hook.hpp and
+/// access_hook.hpp: the scheduler and the bulk-loop runtime announce task
+/// lifecycle events (submit, steal, start, finish, park, unpark, contended
+/// lock acquisitions) and loop/chunk provenance, and all of it is a no-op
+/// costing one relaxed atomic load until a `TraceHook` — normally a
+/// `pe::observe::Tracer` — is installed. The hook lives here (not in
+/// perfeng_observe) so the thread pool and the loop runtime can host
+/// instrumentation points without a layering inversion.
+///
+/// Emission sites on hot paths must go through the `PE_TRACE_EMIT` /
+/// `PE_TRACE_EMIT_SITE` guard macros — never call `on_event` directly —
+/// so the disabled path is provably one load + branch; perfeng-lint's
+/// `trace-hook-guard` check enforces this.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace pe {
+
+/// Kinds of scheduler/loop lifecycle events. Values are stable: they name
+/// event records in serialized traces (see docs/observability.md).
+enum class TraceEventKind : std::uint8_t {
+  kSubmit = 0,      ///< task/bulk loop handed to the pool (obj = job key)
+  kSteal = 1,       ///< a worker stole a job from another worker's deque
+  kTaskStart = 2,   ///< a claimed job began executing on a lane
+  kTaskFinish = 3,  ///< the job claimed by the matching kTaskStart returned
+  kPark = 4,        ///< an idle worker parked on the pool's condition var
+  kUnpark = 5,      ///< a parked worker woke
+  kContended = 6,   ///< a deque/inbox lock acquisition had to wait
+  kLoopBegin = 7,   ///< bulk loop dispatch (obj = loop key, a/b = range)
+  kLoopEnd = 8,     ///< the loop announced by kLoopBegin quiesced
+  kChunkStart = 9,  ///< chunk [a, b) of loop obj claimed by a lane
+  kChunkFinish = 10 ///< the chunk claimed by the matching kChunkStart ended
+};
+
+/// Number of distinct TraceEventKind values (array sizing).
+inline constexpr std::size_t kTraceEventKinds = 11;
+
+/// Human-readable event-kind name (stable, used by trace serialization).
+[[nodiscard]] const char* trace_event_kind_name(TraceEventKind kind) noexcept;
+
+/// Interface a tracer implements to observe scheduler events.
+/// Implementations must be thread-safe and wait-free on the emission path:
+/// events fire from worker threads inside dispatch loops, and a tracer
+/// that blocks would perturb exactly the behaviour it measures. The hook
+/// timestamps events itself (so tests can inject deterministic clocks).
+class TraceHook {
+ public:
+  virtual ~TraceHook() = default;
+
+  /// One scheduler event on `lane`. `obj` is a correlation key (job arg or
+  /// loop record address) valid only for matching events of one trace, not
+  /// for dereferencing. `a`/`b` carry kind-specific payload (chunk bounds,
+  /// broadcast copy counts). `file`/`line` locate the provenance site
+  /// (static storage duration; may be null/0 when the site has none).
+  virtual void on_event(TraceEventKind kind, const void* obj, std::uint64_t a,
+                        std::uint64_t b, std::size_t lane, const char* file,
+                        std::uint32_t line) noexcept = 0;
+};
+
+/// Install (or with nullptr, remove) the process-wide hook. The caller
+/// keeps ownership and must keep the hook alive until it is removed;
+/// `pe::observe::ScopedTrace` does both ends via RAII.
+void set_trace_hook(TraceHook* hook) noexcept;
+
+/// Currently installed hook, or nullptr.
+[[nodiscard]] TraceHook* trace_hook() noexcept;
+
+namespace detail {
+extern std::atomic<TraceHook*> g_trace_hook;
+
+[[nodiscard]] inline TraceHook* trace_hook_fast() noexcept {
+  return g_trace_hook.load(std::memory_order_acquire);
+}
+}  // namespace detail
+
+}  // namespace pe
+
+/// Guarded trace emission: one acquire load + branch when no tracer is
+/// installed. The macro is the only sanctioned spelling on hot paths
+/// (perfeng-lint: trace-hook-guard); it exists so the guard cannot be
+/// forgotten and so emission sites are greppable.
+#define PE_TRACE_EMIT(kind, obj, a, b, lane)                                \
+  do {                                                                      \
+    if (::pe::TraceHook* pe_trace_hook_ = ::pe::detail::trace_hook_fast())  \
+      pe_trace_hook_->on_event((kind), (obj), (a), (b), (lane), nullptr, 0);\
+  } while (0)
+
+/// Guarded trace emission carrying a provenance site (file/line of the
+/// parallel_for call, for flame-graph frames).
+#define PE_TRACE_EMIT_SITE(kind, obj, a, b, lane, file, line)               \
+  do {                                                                      \
+    if (::pe::TraceHook* pe_trace_hook_ = ::pe::detail::trace_hook_fast())  \
+      pe_trace_hook_->on_event((kind), (obj), (a), (b), (lane), (file),     \
+                               (line));                                     \
+  } while (0)
+
+/// Guarded emission through a hook pointer the caller loaded once (with
+/// `pe::detail::trace_hook_fast()`) and reuses across many sites — the
+/// per-chunk spelling inside dispatch loops, where paying the atomic load
+/// per chunk would dominate the disabled path. The disabled cost here is a
+/// single predictable branch on a register. A hook installed mid-loop is
+/// picked up at the next load site; loops never outlive a `ScopedTrace`
+/// by contract.
+#define PE_TRACE_EMIT_CACHED(hook, kind, obj, a, b, lane, file, line)       \
+  do {                                                                      \
+    if ((hook) != nullptr)                                                  \
+      (hook)->on_event((kind), (obj), (a), (b), (lane), (file), (line));    \
+  } while (0)

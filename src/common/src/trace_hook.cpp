@@ -1,0 +1,32 @@
+#include "perfeng/common/trace_hook.hpp"
+
+namespace pe {
+
+namespace detail {
+std::atomic<TraceHook*> g_trace_hook{nullptr};
+}  // namespace detail
+
+void set_trace_hook(TraceHook* hook) noexcept {
+  detail::g_trace_hook.store(hook, std::memory_order_release);
+}
+
+TraceHook* trace_hook() noexcept { return detail::trace_hook_fast(); }
+
+const char* trace_event_kind_name(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kSubmit: return "submit";
+    case TraceEventKind::kSteal: return "steal";
+    case TraceEventKind::kTaskStart: return "task_start";
+    case TraceEventKind::kTaskFinish: return "task_finish";
+    case TraceEventKind::kPark: return "park";
+    case TraceEventKind::kUnpark: return "unpark";
+    case TraceEventKind::kContended: return "contended";
+    case TraceEventKind::kLoopBegin: return "loop_begin";
+    case TraceEventKind::kLoopEnd: return "loop_end";
+    case TraceEventKind::kChunkStart: return "chunk_start";
+    case TraceEventKind::kChunkFinish: return "chunk_finish";
+  }
+  return "?";
+}
+
+}  // namespace pe

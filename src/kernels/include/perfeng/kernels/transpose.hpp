@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "perfeng/kernels/matmul.hpp"
+#include "perfeng/parallel/thread_pool.hpp"
 #include "perfeng/sim/cache_hierarchy.hpp"
 
 namespace pe::kernels {
@@ -22,6 +23,13 @@ void transpose_naive(const Matrix& in, Matrix& out);
 /// out = in^T with square blocking of edge `block`.
 void transpose_blocked(const Matrix& in, Matrix& out,
                        std::size_t block = 32);
+
+/// out = in^T, blocked, with the *output* rows partitioned over the pool —
+/// each chunk's writes are one contiguous row-major slab of `out`, so the
+/// race-checker claims are disjoint by construction and no written cache
+/// line is shared between workers.
+void transpose_parallel(const Matrix& in, Matrix& out, ThreadPool& pool,
+                        std::size_t block = 32);
 
 /// In-place transpose of a square matrix (swap-based).
 void transpose_inplace(Matrix& m);

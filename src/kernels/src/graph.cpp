@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 
+#include "perfeng/common/access_hook.hpp"
 #include "perfeng/common/error.hpp"
 #include "perfeng/parallel/parallel_for.hpp"
 
@@ -161,6 +162,15 @@ std::vector<double> pagerank_parallel(const Graph& g, ThreadPool& pool,
       double dangling = 0.0;
       const std::size_t lo = w * block;
       const std::size_t hi = std::min(n, lo + block);
+      // Race-checker claims: each worker scatters into its own private
+      // accumulator (distinct base per w), reads its own block of `rank`,
+      // and writes one distinct slot of the dangling sums.
+      access_record(mine.data(), sizeof(double), 0, n, true,
+                    "pagerank.private");
+      access_record(rank.data(), sizeof(double), lo, hi, false,
+                    "pagerank.rank");
+      access_record(dangling_per_worker.data(), sizeof(double), w, w + 1,
+                    true, "pagerank.dangling");
       for (std::size_t v = lo; v < hi; ++v) {
         const auto out = g.neighbours(static_cast<std::uint32_t>(v));
         if (out.empty()) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 
+#include "perfeng/common/access_hook.hpp"
 #include "perfeng/common/aligned_buffer.hpp"
 #include "perfeng/common/error.hpp"
 #include "perfeng/parallel/parallel_for.hpp"
@@ -52,10 +53,19 @@ void histogram_parallel_atomic(const std::vector<std::uint32_t>& indices,
   for (std::size_t bin = 0; bin < counts.size(); ++bin)
     shared[bin].store(counts[bin], std::memory_order_relaxed);
 
-  parallel_for(pool, 0, indices.size(), [&](std::size_t i) {
-    PE_ASSERT(indices[i] < shared.size(), "index out of range");
-    shared[indices[i]].fetch_add(1, std::memory_order_relaxed);
-  });
+  parallel_for_chunks(
+      pool, 0, indices.size(),
+      [&](std::size_t lo, std::size_t hi, std::size_t /*lane*/) {
+        // The shared counter table is updated atomically (outside the race
+        // checker's overlap model); the index stream reads are what each
+        // chunk claims.
+        access_record(indices.data(), sizeof(std::uint32_t), lo, hi, false,
+                      "histogram.indices");
+        for (std::size_t i = lo; i < hi; ++i) {
+          PE_ASSERT(indices[i] < shared.size(), "index out of range");
+          shared[indices[i]].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
 
   for (std::size_t bin = 0; bin < counts.size(); ++bin)
     counts[bin] = shared[bin].load(std::memory_order_relaxed);
@@ -85,6 +95,10 @@ void histogram_parallel_private(const std::vector<std::uint32_t>& indices,
       pool, 0, indices.size(),
       [&](std::size_t lo, std::size_t hi, std::size_t lane) {
         std::uint64_t* mine = privates.data() + lane * stride;
+        // Lane-private tables never overlap (the point of the pattern);
+        // the chunk's claim on the shared index stream is the read range.
+        access_record(indices.data(), sizeof(std::uint32_t), lo, hi, false,
+                      "histogram.indices");
         for (std::size_t i = lo; i < hi; ++i) {
           PE_ASSERT(indices[i] < bins, "index out of range");
           ++mine[indices[i]];

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "perfeng/common/access_hook.hpp"
 #include "perfeng/common/error.hpp"
+#include "perfeng/parallel/parallel_for.hpp"
 
 namespace pe::kernels {
 
@@ -32,6 +34,31 @@ void transpose_blocked(const Matrix& in, Matrix& out, std::size_t block) {
         for (std::size_t c = c0; c < c1; ++c) out(c, r) = in(r, c);
     }
   }
+}
+
+void transpose_parallel(const Matrix& in, Matrix& out, ThreadPool& pool,
+                        std::size_t block) {
+  check_shapes(in, out);
+  PE_REQUIRE(block >= 1, "block must be positive");
+  const std::size_t rows = in.rows(), cols = in.cols();
+  parallel_for_chunks(
+      pool, 0, cols,
+      [&](std::size_t lo, std::size_t hi, std::size_t /*lane*/) {
+        // Each chunk owns output rows [lo, hi): a contiguous slab of
+        // `out`, a column stripe of `in` (reads may overlap freely).
+        access_record(in.data(), sizeof(double), 0, rows * cols, false,
+                      "transpose.in");
+        access_record(out.data(), sizeof(double), lo * rows, hi * rows,
+                      true, "transpose.out");
+        for (std::size_t r0 = 0; r0 < rows; r0 += block) {
+          const std::size_t r1 = std::min(rows, r0 + block);
+          for (std::size_t c0 = lo; c0 < hi; c0 += block) {
+            const std::size_t c1 = std::min(hi, c0 + block);
+            for (std::size_t r = r0; r < r1; ++r)
+              for (std::size_t c = c0; c < c1; ++c) out(c, r) = in(r, c);
+          }
+        }
+      });
 }
 
 void transpose_inplace(Matrix& m) {

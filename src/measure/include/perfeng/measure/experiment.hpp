@@ -61,6 +61,15 @@ class Experiment {
     return calibration_hash_;
   }
 
+  /// Record an extra provenance column rendered next to the machine name
+  /// and calibration hash — e.g. the scheduler-trace aggregates attached
+  /// by `pe::observe::annotate`. Re-setting a key overwrites its value;
+  /// column order is first-set order.
+  void set_provenance(const std::string& key, std::string value);
+
+  /// Provenance value for `key`, or empty string when unset.
+  [[nodiscard]] std::string provenance(const std::string& key) const;
+
   /// Declare the response metrics recorded per design point, in order.
   void set_metrics(std::vector<std::string> metric_names);
 
@@ -114,6 +123,8 @@ class Experiment {
   std::string name_;
   std::string machine_name_;       ///< provenance: calibration machine
   std::string calibration_hash_;   ///< provenance: Machine::calibration_hash
+  /// Extra provenance columns (key, value) in first-set order.
+  std::vector<std::pair<std::string, std::string>> provenance_;
   std::vector<Factor> factors_;
   std::vector<std::string> metrics_;
   std::vector<Row> rows_;

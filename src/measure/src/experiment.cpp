@@ -23,6 +23,23 @@ void Experiment::set_machine(const machine::Machine& m) {
   calibration_hash_ = m.calibration_hash();
 }
 
+void Experiment::set_provenance(const std::string& key, std::string value) {
+  PE_REQUIRE(!key.empty(), "provenance key must be non-empty");
+  for (auto& [k, v] : provenance_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  provenance_.emplace_back(key, std::move(value));
+}
+
+std::string Experiment::provenance(const std::string& key) const {
+  for (const auto& [k, v] : provenance_)
+    if (k == key) return v;
+  return {};
+}
+
 void Experiment::set_metrics(std::vector<std::string> metric_names) {
   PE_REQUIRE(!metric_names.empty(), "need at least one metric");
   metrics_ = std::move(metric_names);
@@ -100,6 +117,7 @@ Table Experiment::to_table() const {
     headers.push_back("machine");
     headers.push_back("calibration");
   }
+  for (const auto& [key, value] : provenance_) headers.push_back(key);
   Table t(headers);
   for (const auto& row : rows_) {
     std::vector<std::string> cells;
@@ -110,6 +128,7 @@ Table Experiment::to_table() const {
       cells.push_back(machine_name_);
       cells.push_back(calibration_hash_);
     }
+    for (const auto& [key, value] : provenance_) cells.push_back(value);
     t.add_row(std::move(cells));
   }
   return t;

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "perfeng/machine/machine.hpp"
 #include "perfeng/measure/benchmark_runner.hpp"
@@ -26,6 +27,10 @@ struct SchedulerCharacterization {
   double bulk_ns = 0.0;    ///< bulk parallel_for path, ns per chunk
   std::size_t tasks = 0;          ///< tasks/chunks per timed batch
   std::size_t pool_threads = 0;   ///< workers in the probed pool
+  /// Full per-repetition distributions (ns per task/chunk), so snapshot
+  /// consumers see the spread, not just the median the `_ns` fields carry.
+  std::vector<double> submit_samples_ns;
+  std::vector<double> bulk_samples_ns;
 
   /// How many times cheaper one bulk chunk is than one legacy task.
   [[nodiscard]] double bulk_speedup() const {

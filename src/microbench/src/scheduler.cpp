@@ -55,6 +55,9 @@ SchedulerCharacterization probe_scheduler(const BenchmarkRunner& runner,
     });
     do_not_optimize(sink.load());
     out.submit_ns = m.typical() * to_ns_per_task;
+    out.submit_samples_ns.reserve(m.seconds.size());
+    for (double s : m.seconds)
+      out.submit_samples_ns.push_back(s * to_ns_per_task);
   }
 
   // Bulk path: one broadcast per loop, one atomic claim per chunk
@@ -73,6 +76,9 @@ SchedulerCharacterization probe_scheduler(const BenchmarkRunner& runner,
     });
     do_not_optimize(counts[0]);
     out.bulk_ns = m.typical() * to_ns_per_task;
+    out.bulk_samples_ns.reserve(m.seconds.size());
+    for (double s : m.seconds)
+      out.bulk_samples_ns.push_back(s * to_ns_per_task);
   }
   return out;
 }

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file analysis.hpp
+/// Scheduler-trace analysis: latency histograms and contention profiles.
+///
+/// Distribution-level evidence, not means: the latency monitor reports
+/// p50/p95/p99 of the submit→start gap (one sample per job copy a worker
+/// claimed), and the contention profile counts contended lock acquisitions,
+/// park cycles with their durations, and steals per lane. `summarize`
+/// reduces a trace to the aggregate row that travels with experiment
+/// provenance next to the machine hash.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perfeng/common/table.hpp"
+#include "perfeng/measure/experiment.hpp"
+#include "perfeng/measure/statistics.hpp"
+#include "perfeng/observe/trace.hpp"
+
+namespace pe::observe {
+
+/// One bucket of a log2 latency histogram: [lo_ns, hi_ns).
+struct HistogramBucket {
+  std::uint64_t lo_ns = 0;
+  std::uint64_t hi_ns = 0;
+  std::size_t count = 0;
+};
+
+/// Power-of-two bucketing of nanosecond samples (first bucket [0, 1)).
+[[nodiscard]] std::vector<HistogramBucket> log2_histogram(
+    const std::vector<double>& samples_ns);
+
+/// Submit→start scheduler-dispatch latency distribution.
+struct LatencyReport {
+  std::vector<double> samples_ns;  ///< one per worker-claimed job copy
+  SampleSummary summary;           ///< of samples_ns
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  std::size_t unmatched_starts = 0;  ///< starts with no prior submit seen
+                                     ///< (ring overwrote the submit event)
+
+  /// Rendered histogram + percentile table.
+  [[nodiscard]] Table to_table() const;
+};
+
+/// Match every kTaskStart against the latest preceding kSubmit with the
+/// same correlation key and report the gap distribution.
+[[nodiscard]] LatencyReport scheduler_latency(const Trace& trace);
+
+/// Park/steal/lock-contention counters of one lane.
+struct LaneContention {
+  std::size_t lane = 0;
+  std::size_t parks = 0;          ///< completed park→unpark cycles
+  double park_ns = 0.0;           ///< total parked time
+  std::size_t contended = 0;      ///< lock acquisitions that had to wait
+  std::size_t steals = 0;         ///< jobs taken from another lane's deque
+};
+
+/// Per-lane contention profile (one entry per lane that emitted events).
+struct ContentionReport {
+  std::vector<LaneContention> lanes;
+  std::size_t total_parks = 0;
+  double total_park_ns = 0.0;
+  std::size_t total_contended = 0;
+  std::size_t total_steals = 0;
+
+  [[nodiscard]] Table to_table() const;
+};
+
+[[nodiscard]] ContentionReport contention_profile(const Trace& trace);
+
+/// Aggregate row of one trace — the provenance record experiments carry.
+struct TraceSummary {
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+  double latency_p50_ns = 0.0;
+  double latency_p95_ns = 0.0;
+  double latency_p99_ns = 0.0;
+  std::size_t parks = 0;
+  double park_ns = 0.0;
+  std::size_t contended = 0;
+  std::size_t steals = 0;
+
+  [[nodiscard]] std::string one_line() const;
+};
+
+[[nodiscard]] TraceSummary summarize(const Trace& trace);
+
+/// Attach the summary as provenance columns of an experiment (rendered
+/// next to the machine name and calibration hash): sched_p50_ns,
+/// sched_p99_ns, parks, steals, contended, trace_dropped.
+void annotate(Experiment& experiment, const TraceSummary& summary);
+
+}  // namespace pe::observe

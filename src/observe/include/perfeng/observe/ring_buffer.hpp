@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file ring_buffer.hpp
+/// Lock-free per-lane event ring buffers for the scheduler tracer.
+///
+/// One `EventRing` holds the events of one worker lane. Producers claim a
+/// slot with a single `fetch_add` on the head cursor, write the record, and
+/// publish it by storing the slot's sequence number with release ordering —
+/// no locks, no waiting, so emission never perturbs the scheduling it
+/// observes. The ring overwrites its oldest entries when full and counts
+/// every overwritten record (`dropped()`): a trace either holds the tail of
+/// the run or says exactly how much of the head it lost. Draining is only
+/// defined after the traced region has quiesced (the tracer is uninstalled
+/// or the pool is idle); per-slot sequence numbers let the drain detect and
+/// discard records that were being overwritten mid-read.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/common/trace_hook.hpp"
+
+namespace pe::observe {
+
+/// One recorded scheduler event (see TraceEventKind for the catalog).
+/// POD: records are copied in and out of rings by value.
+struct TraceRecord {
+  std::uint64_t ns = 0;       ///< tracer-clock timestamp
+  std::uint64_t a = 0;        ///< kind-specific payload (chunk lo, counts)
+  std::uint64_t b = 0;        ///< kind-specific payload (chunk hi)
+  const void* obj = nullptr;  ///< correlation key (job arg / loop record)
+  const char* file = nullptr; ///< provenance site, static storage or null
+  std::uint32_t line = 0;
+  std::uint32_t lane = 0;     ///< emitting lane
+  TraceEventKind kind = TraceEventKind::kSubmit;
+};
+
+/// Fixed-capacity, overwrite-oldest, lock-free MPSC event ring.
+///
+/// Worker lanes have exactly one producer (the worker thread), but the
+/// external lane is shared by every non-pool thread, so the claim protocol
+/// is multi-producer-safe: `fetch_add` hands out distinct slots even under
+/// concurrent emission. There is no consumer while producers run; `drain`
+/// is a post-quiesce operation.
+class EventRing {
+ public:
+  /// `capacity` is rounded up to a power of two (slot indexing is a mask).
+  explicit EventRing(std::size_t capacity = kDefaultCapacity) {
+    PE_REQUIRE(capacity >= 2, "ring needs at least two slots");
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    slots_ = std::vector<Slot>(cap);
+  }
+
+  /// Record one event; never blocks, never fails. Overwrites the oldest
+  /// record when the ring is full.
+  void push(const TraceRecord& record) noexcept {
+    const std::uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[idx & (slots_.size() - 1)];
+    // Mark the slot in-progress (odd) so a concurrent drain of a lapped
+    // slot can tell it is torn, then publish (idx + 1, even baseline) with
+    // release so the payload is visible to the acquire-reading drain.
+    slot.seq.store(0, std::memory_order_relaxed);
+    slot.record = record;
+    slot.seq.store(idx + 1, std::memory_order_release);
+  }
+
+  /// Events recorded since construction/reset (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Events lost to overwriting — `recorded() - capacity`, clamped at 0.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    const std::uint64_t n = recorded();
+    const std::uint64_t cap = slots_.size();
+    return n > cap ? n - cap : 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Copy the surviving records (oldest first) into `out`. Only meaningful
+  /// after producers have quiesced; slots whose sequence number does not
+  /// match their claim index (torn by a concurrent overwrite) are skipped.
+  void drain(std::vector<TraceRecord>& out) const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t cap = slots_.size();
+    const std::uint64_t first = head > cap ? head - cap : 0;
+    for (std::uint64_t idx = first; idx < head; ++idx) {
+      const Slot& slot = slots_[idx & (cap - 1)];
+      if (slot.seq.load(std::memory_order_acquire) != idx + 1) continue;
+      out.push_back(slot.record);
+    }
+  }
+
+  /// Forget everything recorded so far. Not safe concurrently with push.
+  void reset() noexcept {
+    head_.store(0, std::memory_order_release);
+    for (Slot& slot : slots_) slot.seq.store(0, std::memory_order_release);
+  }
+
+  /// Default per-lane capacity: 64Ki events (~4 MiB per lane) holds several
+  /// seconds of bulk-loop dispatch on current hosts.
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< claim index + 1 once published
+    TraceRecord record;
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace pe::observe

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file sampler.hpp
+/// Sampling profiler: periodic snapshots of in-flight lane provenance.
+///
+/// The event stream answers "what happened"; the sampler answers "where
+/// does time go" at a fixed cost independent of event rate. A background
+/// thread wakes every `period` and reads each lane's current-activity
+/// seqlock (the chunk and provenance site the lane is executing right
+/// now, maintained by the `Tracer`), folding the observations into
+/// flame-graph stacks. Output is the same collapsed format as
+/// `pe::observe::collapse`, with sample counts as weights.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <thread>
+
+#include "perfeng/observe/export.hpp"
+#include "perfeng/observe/tracer.hpp"
+
+namespace pe::observe {
+
+/// Sampling-profiler settings.
+struct SamplerConfig {
+  std::chrono::microseconds period{100};  ///< snapshot interval
+};
+
+/// Periodically snapshots a tracer's per-lane activity into folded stacks.
+/// Start/stop explicitly (or let the destructor stop); read `folded()`
+/// only after `stop()`.
+class SamplingProfiler {
+ public:
+  explicit SamplingProfiler(const Tracer& tracer, SamplerConfig config = {});
+  ~SamplingProfiler();
+
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  /// Launch the sampling thread (idempotent).
+  void start();
+
+  /// Stop and join the sampling thread (idempotent).
+  void stop();
+
+  /// Snapshots taken so far.
+  [[nodiscard]] std::uint64_t samples() const noexcept {
+    return samples_.load(std::memory_order_acquire);
+  }
+
+  /// Folded stacks accumulated by the sampler; stable only after stop().
+  [[nodiscard]] const FoldedStacks& folded() const noexcept {
+    return folded_;
+  }
+
+  /// Write the accumulated stacks in collapsed flame-graph format.
+  void write_collapsed(std::ostream& out) const;
+
+ private:
+  void sample_once();
+
+  const Tracer& tracer_;
+  SamplerConfig config_;
+  FoldedStacks folded_;
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace pe::observe

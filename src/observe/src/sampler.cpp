@@ -1,0 +1,62 @@
+#include "perfeng/observe/sampler.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace pe::observe {
+
+SamplingProfiler::SamplingProfiler(const Tracer& tracer, SamplerConfig config)
+    : tracer_(tracer), config_(config) {}
+
+SamplingProfiler::~SamplingProfiler() { stop(); }
+
+void SamplingProfiler::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      sample_once();
+      std::this_thread::sleep_for(config_.period);
+    }
+  });
+}
+
+void SamplingProfiler::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void SamplingProfiler::sample_once() {
+  for (std::size_t lane = 0; lane < tracer_.lanes(); ++lane) {
+    const LaneActivity& act = tracer_.activity(lane);
+    // Seqlock read: retry while the tracer is mid-update (odd) or the
+    // sequence moved under us; give up after a few spins — a torn sample
+    // is simply skipped, never misattributed.
+    const char* file = nullptr;
+    std::uint32_t line = 0;
+    bool parked = false;
+    bool idle = true;
+    bool consistent = false;
+    for (int attempt = 0; attempt < 4 && !consistent; ++attempt) {
+      const std::uint64_t before = act.seq.load(std::memory_order_acquire);
+      if ((before & 1) != 0) continue;
+      file = act.file.load(std::memory_order_relaxed);
+      line = act.line.load(std::memory_order_relaxed);
+      parked = act.parked.load(std::memory_order_relaxed);
+      idle = file == nullptr && !parked;
+      const std::uint64_t after = act.seq.load(std::memory_order_acquire);
+      consistent = before == after;
+    }
+    if (!consistent || idle) continue;
+    const std::string stack =
+        "pool;lane " + std::to_string(lane) + ";" +
+        (parked ? std::string("idle.park") : provenance_frame(file, line));
+    ++folded_[stack];
+  }
+  samples_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void SamplingProfiler::write_collapsed(std::ostream& out) const {
+  pe::observe::write_collapsed(out, folded_);
+}
+
+}  // namespace pe::observe

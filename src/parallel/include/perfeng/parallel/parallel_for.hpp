@@ -26,13 +26,16 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <mutex>
+#include <source_location>
 #include <utility>
 #include <vector>
 
 #include "perfeng/common/access_hook.hpp"
 #include "perfeng/common/error.hpp"
+#include "perfeng/common/trace_hook.hpp"
 #include "perfeng/parallel/thread_pool.hpp"
 
 namespace pe {
@@ -73,6 +76,8 @@ struct BulkLoop {
   const std::size_t parts;  ///< static block count
   const std::size_t lanes;  ///< executors: workers + submitting thread
   const std::size_t limit;  ///< cursor bound (parts or n); cancel target
+  const char* file;         ///< submitting call site, for trace provenance
+  const std::uint32_t line;
 
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> retired{0};
@@ -81,7 +86,8 @@ struct BulkLoop {
   std::exception_ptr error;
 
   BulkLoop(std::size_t begin_, std::size_t n_, ChunkFn& fn, Schedule sched,
-           std::size_t grain_, std::size_t workers)
+           std::size_t grain_, std::size_t workers, const char* file_,
+           std::uint32_t line_)
       : begin(begin_),
         n(n_),
         chunk_fn(fn),
@@ -89,7 +95,9 @@ struct BulkLoop {
         grain(grain_),
         parts(std::min(workers, n_)),
         lanes(workers + 1),
-        limit(sched == Schedule::kStatic ? std::min(workers, n_) : n_) {}
+        limit(sched == Schedule::kStatic ? std::min(workers, n_) : n_),
+        file(file_),
+        line(line_) {}
 
   /// Claim the next chunk; {x, x} means the range is drained (static block
   /// sizes are monotone non-increasing, so the first empty block implies
@@ -135,6 +143,11 @@ struct BulkLoop {
   }
 
   void execute(std::size_t lane) {
+    // One hook load per claimed job copy, amortized over all its chunks:
+    // the disabled per-chunk cost is two register branches, not two atomic
+    // loads (bench/scheduler_trace --check holds this under 2% of chunk
+    // dispatch).
+    TraceHook* const trace = detail::trace_hook_fast();
     for (;;) {
       const auto [lo, hi] = claim();
       if (lo >= hi) return;
@@ -142,11 +155,15 @@ struct BulkLoop {
       // perfeng/analysis) which [lo, hi) this thread claims; a no-op
       // otherwise. RAII so the announcement closes even on a throw.
       AccessChunkScope scope(lo, hi, lane);
+      PE_TRACE_EMIT_CACHED(trace, TraceEventKind::kChunkStart, this, lo, hi,
+                           lane, file, line);
       try {
         chunk_fn(lo, hi, lane);
       } catch (...) {
         record_error();
       }
+      PE_TRACE_EMIT_CACHED(trace, TraceEventKind::kChunkFinish, this, lo, hi,
+                           lane, file, line);
     }
   }
 
@@ -176,18 +193,31 @@ struct AccessLoopScope {
 /// unstarted copies, wait for the stragglers, rethrow the first error.
 template <typename ChunkFn>
 void run_bulk(ThreadPool& pool, std::size_t begin, std::size_t end,
-              ChunkFn&& chunk_fn, Schedule schedule, std::size_t grain) {
+              ChunkFn&& chunk_fn, Schedule schedule, std::size_t grain,
+              std::source_location loc = std::source_location::current()) {
   const std::size_t n = end - begin;
   const std::size_t workers = pool.size();
   AccessLoopScope loop_scope(begin, end);
   if (workers == 1 || n == 1) {
     // Inline: a 1-worker pool (or a single chunk) gains nothing from
     // dispatch, and inline execution keeps iteration order sequential.
-    AccessChunkScope scope(begin, end, pool.this_lane());
-    chunk_fn(begin, end, pool.this_lane());
+    const std::size_t lane = pool.this_lane();
+    AccessChunkScope scope(begin, end, lane);
+    PE_TRACE_EMIT_SITE(TraceEventKind::kLoopBegin, &chunk_fn, begin, end,
+                       lane, loc.file_name(), loc.line());
+    PE_TRACE_EMIT_SITE(TraceEventKind::kChunkStart, &chunk_fn, begin, end,
+                       lane, loc.file_name(), loc.line());
+    chunk_fn(begin, end, lane);
+    PE_TRACE_EMIT_SITE(TraceEventKind::kChunkFinish, &chunk_fn, begin, end,
+                       lane, loc.file_name(), loc.line());
+    PE_TRACE_EMIT_SITE(TraceEventKind::kLoopEnd, &chunk_fn, begin, end,
+                       lane, loc.file_name(), loc.line());
     return;
   }
-  BulkLoop<ChunkFn> loop(begin, n, chunk_fn, schedule, grain, workers);
+  BulkLoop<ChunkFn> loop(begin, n, chunk_fn, schedule, grain, workers,
+                         loc.file_name(), loc.line());
+  PE_TRACE_EMIT_SITE(TraceEventKind::kLoopBegin, &loop, begin, end,
+                     pool.this_lane(), loc.file_name(), loc.line());
   const std::size_t pushed =
       pool.bulk_broadcast({&BulkLoop<ChunkFn>::run, &loop});
   loop.execute(pool.this_lane());
@@ -202,6 +232,8 @@ void run_bulk(ThreadPool& pool, std::size_t begin, std::size_t end,
     loop.retired.wait(done, std::memory_order_acquire);
     done = loop.retired.load(std::memory_order_acquire);
   }
+  PE_TRACE_EMIT_SITE(TraceEventKind::kLoopEnd, &loop, begin, end,
+                     pool.this_lane(), loc.file_name(), loc.line());
   if (loop.failed.load(std::memory_order_acquire))
     std::rethrow_exception(loop.error);
 }
@@ -217,14 +249,15 @@ void run_bulk(ThreadPool& pool, std::size_t begin, std::size_t end,
 /// dynamic grain / guided minimum; static scheduling produces one balanced
 /// block per worker.
 template <typename ChunkFn>
-void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
-                         ChunkFn&& fn, Schedule schedule = Schedule::kStatic,
-                         std::size_t chunk = 64) {
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end, ChunkFn&& fn,
+    Schedule schedule = Schedule::kStatic, std::size_t chunk = 64,
+    std::source_location loc = std::source_location::current()) {
   PE_REQUIRE(begin <= end, "empty or inverted range");
   PE_REQUIRE(chunk >= 1, "chunk must be positive");
   if (begin == end) return;
   detail::run_bulk(pool, begin, end, std::forward<ChunkFn>(fn), schedule,
-                   chunk);
+                   chunk, loc);
 }
 
 /// Execute `body(i)` for every i in [begin, end) on the pool.
@@ -235,13 +268,14 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
 template <typename Body>
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   Body&& body, Schedule schedule = Schedule::kStatic,
-                  std::size_t chunk = 64) {
+                  std::size_t chunk = 64,
+                  std::source_location loc = std::source_location::current()) {
   parallel_for_chunks(
       pool, begin, end,
       [&body](std::size_t lo, std::size_t hi, std::size_t /*lane*/) {
         for (std::size_t i = lo; i < hi; ++i) body(i);
       },
-      schedule, chunk);
+      schedule, chunk, loc);
 }
 
 /// Parallel reduction: returns combine-fold of `map(i)` over [begin, end),

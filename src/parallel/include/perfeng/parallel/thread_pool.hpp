@@ -159,8 +159,8 @@ class ThreadPool {
     std::size_t bottom = 0;    // next push slot; bottom - top == count
 
     void push_bottom_locked(Job job);
-    [[nodiscard]] Job pop_bottom();
-    [[nodiscard]] Job steal_top();
+    [[nodiscard]] Job pop_bottom(std::size_t lane);
+    [[nodiscard]] Job steal_top(std::size_t lane);
     std::size_t purge_locked(const void* arg);
   };
 

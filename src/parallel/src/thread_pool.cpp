@@ -6,6 +6,7 @@
 
 #include "perfeng/common/error.hpp"
 #include "perfeng/common/fault_hook.hpp"
+#include "perfeng/common/trace_hook.hpp"
 
 // Happens-before protocol (the TSan gate in docs/analysis.md holds the
 // whole suite to zero reports against these edges):
@@ -49,6 +50,18 @@ std::size_t next_victim_seed() {
   return static_cast<std::size_t>(state);
 }
 
+/// Deque lock that reports contention to an installed tracer: a failed
+/// try_lock means this acquisition had to wait behind another lane. The
+/// uncontended path costs the same single CAS as a plain lock.
+std::unique_lock<std::mutex> lock_traced(std::mutex& mu, std::size_t lane) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    PE_TRACE_EMIT(TraceEventKind::kContended, &mu, 0, 0, lane);
+    lock.lock();
+  }
+  return lock;
+}
+
 }  // namespace
 
 // --- ring-buffer deque ------------------------------------------------------
@@ -67,15 +80,15 @@ void ThreadPool::Deque::push_bottom_locked(Job job) {
   ++bottom;
 }
 
-ThreadPool::Job ThreadPool::Deque::pop_bottom() {
-  std::lock_guard lock(mu);
+ThreadPool::Job ThreadPool::Deque::pop_bottom(std::size_t lane) {
+  const auto lock = lock_traced(mu, lane);
   if (bottom == top) return {};
   --bottom;
   return ring[bottom & (ring.size() - 1)];
 }
 
-ThreadPool::Job ThreadPool::Deque::steal_top() {
-  std::lock_guard lock(mu);
+ThreadPool::Job ThreadPool::Deque::steal_top(std::size_t lane) {
+  const auto lock = lock_traced(mu, lane);
   if (bottom == top) return {};
   Job job = ring[top & (ring.size() - 1)];
   ++top;
@@ -137,9 +150,12 @@ void ThreadPool::enqueue(Job job) {
   // Count the job before it becomes stealable: a consumer may pop it the
   // instant it lands, and `pending_` must never underflow.
   pending_.fetch_add(1, std::memory_order_seq_cst);
+  // Emit before the push: a worker may claim the job the instant it lands,
+  // and its kTaskStart must find this kSubmit earlier in the trace.
+  PE_TRACE_EMIT(TraceEventKind::kSubmit, job.arg, 1, 0, this_lane());
   if (t_worker.pool == this) {
     Deque& mine = workers_[t_worker.index]->deque;
-    std::lock_guard lock(mine.mu);
+    const auto lock = lock_traced(mine.mu, t_worker.index);
     mine.push_bottom_locked(job);
   } else {
     std::lock_guard lock(mutex_);
@@ -152,8 +168,11 @@ std::size_t ThreadPool::bulk_broadcast(Job job) {
   ensure_open();
   const std::size_t copies = workers_.size();
   pending_.fetch_add(copies, std::memory_order_seq_cst);
+  // Emit before the pushes (see enqueue): claimed copies' kTaskStart
+  // events must sort after the one kSubmit they all correlate with.
+  PE_TRACE_EMIT(TraceEventKind::kSubmit, job.arg, copies, 0, this_lane());
   for (auto& w : workers_) {
-    std::lock_guard lock(w->deque.mu);
+    const auto lock = lock_traced(w->deque.mu, this_lane());
     w->deque.push_bottom_locked(job);
   }
   announce(copies);
@@ -210,7 +229,7 @@ ThreadPool::Job ThreadPool::find_work(std::size_t index) {
       return job;
     }
   }
-  if (Job job = me.deque.pop_bottom()) {
+  if (Job job = me.deque.pop_bottom(index)) {
     pending_.fetch_sub(1, std::memory_order_seq_cst);
     return job;
   }
@@ -229,9 +248,10 @@ ThreadPool::Job ThreadPool::find_work(std::size_t index) {
     for (std::size_t k = 0; k < n; ++k) {
       const std::size_t victim = (start + k) % n;
       if (victim == index) continue;
-      if (Job job = workers_[victim]->deque.steal_top()) {
+      if (Job job = workers_[victim]->deque.steal_top(index)) {
         pending_.fetch_sub(1, std::memory_order_seq_cst);
         steals_.fetch_add(1, std::memory_order_relaxed);
+        PE_TRACE_EMIT(TraceEventKind::kSteal, job.arg, victim, 0, index);
         return job;
       }
     }
@@ -251,11 +271,13 @@ void ThreadPool::run_job(Job job) noexcept {
   // Packaged tasks carry their exceptions through the future and bulk jobs
   // capture theirs in the loop record; anything that escapes anyway must
   // not take down this worker.
+  PE_TRACE_EMIT(TraceEventKind::kTaskStart, job.arg, 0, 0, t_worker.index);
   try {
     job.fn(job.arg, t_worker.index);
   } catch (...) {
     escaped_exceptions_.fetch_add(1, std::memory_order_relaxed);
   }
+  PE_TRACE_EMIT(TraceEventKind::kTaskFinish, job.arg, 0, 0, t_worker.index);
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
@@ -277,12 +299,14 @@ void ThreadPool::worker_loop(std::size_t index) {
     }
     std::unique_lock lock(mutex_);
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    PE_TRACE_EMIT(TraceEventKind::kPark, this, 0, 0, index);
     cv_.wait(lock, [&] {
       if (closing_.load(std::memory_order_seq_cst)) return true;
       if (pending_.load(std::memory_order_seq_cst) > 0) return true;
       std::lock_guard pinned_lock(workers_[index]->pinned_mu);
       return !workers_[index]->pinned.empty();
     });
+    PE_TRACE_EMIT(TraceEventKind::kUnpark, this, 0, 0, index);
     sleepers_.fetch_sub(1, std::memory_order_seq_cst);
     if (closing_.load(std::memory_order_seq_cst) &&
         pending_.load(std::memory_order_seq_cst) == 0) {

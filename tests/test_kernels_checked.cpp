@@ -10,8 +10,12 @@
 
 #include "perfeng/analysis/access_checker.hpp"
 #include "perfeng/common/rng.hpp"
+#include "perfeng/kernels/graph.hpp"
+#include "perfeng/kernels/histogram.hpp"
 #include "perfeng/kernels/matmul.hpp"
 #include "perfeng/kernels/sparse.hpp"
+#include "perfeng/kernels/stencil.hpp"
+#include "perfeng/kernels/transpose.hpp"
 #include "perfeng/parallel/thread_pool.hpp"
 
 namespace {
@@ -89,6 +93,98 @@ TEST(KernelsUnderChecker, DynamicSpmvPartitionIsDisjointWrite) {
   const RaceReport report = checker.report();
   EXPECT_TRUE(report.clean()) << report.to_string();
   EXPECT_GE(report.chunks, 2u);
+}
+
+TEST(KernelsUnderChecker, StencilRowPartitionIsDisjointWrite) {
+  pe::ThreadPool pool(4);
+  pe::kernels::Grid2D in(40, 36), out(40, 36), reference(40, 36);
+  for (std::size_t r = 0; r < in.rows(); ++r)
+    for (std::size_t c = 0; c < in.cols(); ++c)
+      in.at(r, c) = double((r * 7 + c * 3) % 11) * 0.1;
+  pe::kernels::stencil_step_naive(in, reference);
+
+  AccessChecker checker;
+  {
+    ScopedAccessCheck guard(checker);
+    pe::kernels::stencil_step_parallel(in, out, pool);
+  }
+  EXPECT_LT(out.max_abs_diff(reference), 1e-12);
+
+  // Halo reads overlap between neighbouring chunks; writes never do.
+  const RaceReport report = checker.report();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GE(report.chunks, 2u);
+}
+
+TEST(KernelsUnderChecker, HistogramVariantsClaimTheirIndexReads) {
+  pe::ThreadPool pool(4);
+  pe::Rng rng(17);
+  const auto indices =
+      pe::kernels::generate_zipf_indices(20000, 256, 1.1, rng);
+  std::vector<std::uint64_t> expected(256, 0);
+  pe::kernels::histogram_serial(indices, expected);
+
+  for (const bool atomic_variant : {true, false}) {
+    std::vector<std::uint64_t> counts(256, 0);
+    AccessChecker checker;
+    {
+      ScopedAccessCheck guard(checker);
+      if (atomic_variant)
+        pe::kernels::histogram_parallel_atomic(indices, counts, pool);
+      else
+        pe::kernels::histogram_parallel_private(indices, counts, pool);
+    }
+    EXPECT_EQ(counts, expected);
+    const RaceReport report = checker.report();
+    EXPECT_TRUE(report.clean()) << report.to_string();
+    EXPECT_GT(report.intervals, 0u);
+  }
+}
+
+TEST(KernelsUnderChecker, TransposeParallelOutputSlabsAreDisjoint) {
+  pe::ThreadPool pool(4);
+  pe::Rng rng(23);
+  pe::kernels::Matrix in(45, 33), out(33, 45), reference(33, 45);
+  in.randomize(rng);
+  pe::kernels::transpose_naive(in, reference);
+
+  AccessChecker checker;
+  {
+    ScopedAccessCheck guard(checker);
+    pe::kernels::transpose_parallel(in, out, pool, /*block=*/8);
+  }
+  EXPECT_EQ(out, reference);
+
+  const RaceReport report = checker.report();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GE(report.chunks, 2u);
+}
+
+TEST(KernelsUnderChecker, PagerankPrivateAccumulatorsAreDisjoint) {
+  pe::ThreadPool pool(4);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const std::uint32_t n = 200;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    edges.push_back({v, (v + 1) % n});
+    edges.push_back({v, (v * 7 + 3) % n});
+    if (v % 13 == 0) edges.push_back({v, 0});
+  }
+  const auto g = pe::kernels::Graph::from_edges(n, edges);
+  const auto expected = pe::kernels::pagerank(g);
+
+  std::vector<double> ranks;
+  AccessChecker checker;
+  {
+    ScopedAccessCheck guard(checker);
+    ranks = pe::kernels::pagerank_parallel(g, pool);
+  }
+  ASSERT_EQ(ranks.size(), expected.size());
+  for (std::size_t v = 0; v < ranks.size(); ++v)
+    EXPECT_NEAR(ranks[v], expected[v], 1e-9);
+
+  const RaceReport report = checker.report();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GE(report.loops, 1u);
 }
 
 TEST(KernelsUnderChecker, InstrumentationIsInertWithoutAChecker) {

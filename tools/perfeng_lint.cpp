@@ -22,6 +22,11 @@
 //   self-contained-includes
 //                        headers directly include what they use for a
 //                        curated std token set (transitive includes rot)
+//   trace-hook-guard     scheduler-trace emission in src/ goes through the
+//                        PE_TRACE_EMIT* guard macros, never a direct
+//                        on_event() call — the macros are what keep the
+//                        disabled path one guarded branch (the property
+//                        bench/scheduler_trace --check measures)
 //
 // Suppressions: a line containing `perfeng-lint: allow(<check>)` in a
 // comment exempts that line; `perfeng-lint: allow-file(<check>)` anywhere
@@ -368,6 +373,25 @@ void check_self_contained(const SourceFile& f, std::vector<Violation>& out) {
   }
 }
 
+void check_trace_hook_guard(const SourceFile& f,
+                            std::vector<Violation>& out) {
+  if (!f.in_src) return;
+  // The guard macros themselves are the one sanctioned spelling.
+  if (f.rel == "src/common/include/perfeng/common/trace_hook.hpp") return;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    const std::size_t pos = line.find("on_event(");
+    if (pos == std::string::npos || pos == 0) continue;
+    const char before = line[pos - 1];
+    if (before != '.' && before != '>') continue;  // declarations are fine
+    if (line_allows(f, i, "trace-hook-guard")) continue;
+    out.push_back({f.rel, i + 1, "trace-hook-guard",
+                   "direct on_event() call — emit through PE_TRACE_EMIT / "
+                   "PE_TRACE_EMIT_SITE / PE_TRACE_EMIT_CACHED so the "
+                   "disabled-hook path stays one guarded branch"});
+  }
+}
+
 // --- driver -----------------------------------------------------------------
 
 const std::vector<std::string_view>& check_names() {
@@ -375,6 +399,7 @@ const std::vector<std::string_view>& check_names() {
       "pragma-once",       "include-style",      "namespace-pe",
       "no-using-namespace", "no-std-rand",       "no-raw-new-array",
       "no-volatile",       "test-determinism",   "self-contained-includes",
+      "trace-hook-guard",
   };
   return names;
 }
@@ -438,6 +463,7 @@ int main(int argc, char** argv) {
       check_volatile(f, violations);
       check_test_determinism(f, violations);
       check_self_contained(f, violations);
+      check_trace_hook_guard(f, violations);
     }
   }
 

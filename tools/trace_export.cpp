@@ -1,0 +1,90 @@
+// Offline scheduler-trace exporter: post-process a capture written by
+// `Trace::save` (e.g. bench/scheduler_trace's scheduler_trace.jsonl)
+// without re-running the workload. Emits collapsed flame-graph stacks
+// and/or a Chrome trace_event timeline, and prints the same latency and
+// contention reports the live driver shows — so a capture taken on one
+// machine (a cluster node, a student laptop) can be analysed on another.
+//
+//   trace_export <capture.jsonl> [--folded <path>] [--chrome <path>]
+//
+// With no export flags it prints the analysis only. See
+// docs/observability.md for the capture format.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "perfeng/observe/analysis.hpp"
+#include "perfeng/observe/export.hpp"
+#include "perfeng/observe/trace.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <capture.jsonl> [--folded <path>] "
+               "[--chrome <path>]\n",
+               argv0);
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+  if (!out) {
+    std::fprintf(stderr, "trace_export: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string capture_path, folded_path, chrome_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--folded") == 0 && i + 1 < argc) {
+      folded_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome") == 0 && i + 1 < argc) {
+      chrome_path = argv[++i];
+    } else if (argv[i][0] == '-' || !capture_path.empty()) {
+      return usage(argv[0]);
+    } else {
+      capture_path = argv[i];
+    }
+  }
+  if (capture_path.empty()) return usage(argv[0]);
+
+  pe::observe::Trace trace;
+  try {
+    trace = pe::observe::Trace::load_file(capture_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_export: %s\n", e.what());
+    return 1;
+  }
+
+  const pe::observe::TraceSummary summary = pe::observe::summarize(trace);
+  std::printf("%s\n\n", summary.one_line().c_str());
+  std::fputs(pe::observe::scheduler_latency(trace).to_table().render().c_str(),
+             stdout);
+  std::puts("");
+  std::fputs(pe::observe::contention_profile(trace).to_table().render().c_str(),
+             stdout);
+
+  bool ok = true;
+  if (!folded_path.empty()) {
+    std::ostringstream folded;
+    pe::observe::write_collapsed(folded, trace);
+    ok = write_file(folded_path, folded.str()) && ok;
+    if (ok) std::printf("\nfolded stacks: %s\n", folded_path.c_str());
+  }
+  if (!chrome_path.empty()) {
+    std::ostringstream chrome;
+    pe::observe::write_chrome_trace(chrome, trace);
+    ok = write_file(chrome_path, chrome.str()) && ok;
+    if (ok) std::printf("chrome trace: %s\n", chrome_path.c_str());
+  }
+  return ok ? 0 : 1;
+}
