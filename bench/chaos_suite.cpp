@@ -5,7 +5,11 @@
 // aborting a runaway calibration, and (4) the counter collector falling
 // back to its simulated backend when the hardware path faults.
 #include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
 
+#include "perfeng/common/error.hpp"
 #include "perfeng/common/table.hpp"
 #include "perfeng/common/units.hpp"
 #include "perfeng/counters/collector.hpp"
@@ -50,6 +54,29 @@ void report(const pe::SuiteScore& score) {
 
 int main() {
   std::puts("== Chaos campaign over the measurement toolbox ==\n");
+
+  // ---- 0. the fault-site catalog ----
+  // A chaos plan is only as trustworthy as its spelling: a typo'd site
+  // would silently inject nothing. FaultInjector therefore rejects
+  // unknown sites up front, and `known_sites()` is the introspection that
+  // keeps this enumeration honest (it includes any sites registered at
+  // runtime via pe::register_fault_site).
+  std::puts("-- injectable fault sites (FaultInjector::known_sites) --");
+  {
+    pe::Table sites({"site"});
+    for (const std::string_view site :
+         pe::resilience::FaultInjector::known_sites())
+      sites.add_row({std::string(site)});
+    std::fputs(sites.render().c_str(), stdout);
+    pe::resilience::FaultPlan typo;
+    typo.faults.push_back({.site = "kernel.cal"});  // note the typo
+    try {
+      const pe::resilience::FaultInjector reject{std::move(typo)};
+      std::puts("unexpected: a typo'd site was accepted");
+    } catch (const pe::Error& e) {
+      std::printf("typo'd plan rejected as designed:\n  %s\n\n", e.what());
+    }
+  }
 
   const std::size_t n = 96;
   pe::kernels::Matrix a(n, n), b(n, n), c(n, n);

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <string_view>
+#include <vector>
 
 namespace pe {
 
@@ -42,7 +43,26 @@ inline constexpr std::string_view kPoolWorker = "pool.worker";
 inline constexpr std::string_view kKernelCall = "kernel.call";
 inline constexpr std::string_view kIoCsv = "io.csv";
 inline constexpr std::string_view kIoMatrixMarket = "io.matrix_market";
+inline constexpr std::string_view kServiceAdmit = "service.admit";
+inline constexpr std::string_view kServiceDequeue = "service.dequeue";
+inline constexpr std::string_view kServiceCache = "service.cache";
 }  // namespace fault_sites
+
+/// Every fault site a plan may legally attack: the canonical catalog above
+/// plus any sites registered at runtime. A `FaultPlan` naming a site not in
+/// this list is rejected with a structured error (a typo'd site name would
+/// otherwise silently never fire — the chaos test would pass by testing
+/// nothing). Returned by value: the registry may grow concurrently.
+[[nodiscard]] std::vector<std::string_view> known_fault_sites();
+
+/// Register an additional fault site (idempotent). For layers and tests
+/// that host `fault_point` sites outside the canonical catalog; the name
+/// must have static storage duration (string literals qualify) because the
+/// registry stores views. Thread-safe.
+void register_fault_site(std::string_view site);
+
+/// True when `site` names a canonical or registered fault site.
+[[nodiscard]] bool is_known_fault_site(std::string_view site);
 
 /// Install (or with nullptr, remove) the process-wide hook. The caller
 /// keeps ownership and must keep the hook alive until it is removed;

@@ -73,9 +73,11 @@ Measurement BenchmarkRunner::measure_with_policy(
   const resilience::RetryPolicy& retry = config_.retry;
   const WallTimer total;
   Measurement m;
+  // The schedule reproduces backoff_seconds() exactly for un-jittered
+  // policies and adds seeded decorrelated jitter when asked for.
+  resilience::BackoffSchedule backoff(retry);
   for (int attempt_no = 1;; ++attempt_no) {
-    resilience::sleep_for_seconds(
-        resilience::backoff_seconds(retry, attempt_no));
+    if (attempt_no > 1) resilience::sleep_for_seconds(backoff.next());
     try {
       if (config_.deadline_seconds > 0.0) {
         // The watchdog copies `attempt` into heap state co-owned by its

@@ -81,6 +81,13 @@ class FaultInjector final : public FaultHook {
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
 
+  /// Every site a plan may attack: `pe::known_fault_sites()` re-exported
+  /// for chaos drivers (bench/chaos_suite enumerates injection coverage
+  /// from it). The constructor validates every spec against this list and
+  /// throws a pe::Error naming the known sites on a miss — a typo'd site
+  /// would otherwise silently never fire.
+  [[nodiscard]] static std::vector<std::string_view> known_sites();
+
  private:
   struct SiteState {
     const FaultSpec* spec = nullptr;  // owned by plan_

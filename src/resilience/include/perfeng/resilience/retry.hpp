@@ -11,9 +11,22 @@
 /// recorded in the `Measurement` so reports can show how hard a number was
 /// to obtain.
 
+#include <cstdint>
+
 #include "perfeng/common/error.hpp"
+#include "perfeng/common/rng.hpp"
 
 namespace pe::resilience {
+
+/// How successive backoffs are spread out. `kNone` is the original fixed
+/// exponential schedule; `kDecorrelated` is the AWS-style decorrelated
+/// jitter (each sleep drawn uniformly from [initial, 3 * previous sleep],
+/// capped) that keeps a fleet of retriers from thundering in lockstep.
+/// Jittered schedules are seeded, so chaos tests stay bit-reproducible.
+enum class BackoffJitter {
+  kNone,          ///< deterministic: initial * multiplier^(attempt - 2)
+  kDecorrelated,  ///< seeded decorrelated jitter over the same base/cap
+};
 
 /// Knobs for re-measuring when a sample is too noisy.
 struct RetryPolicy {
@@ -24,6 +37,8 @@ struct RetryPolicy {
   double max_backoff_seconds = 1.0;      ///< cap on any single sleep
   bool fail_on_unstable = false;  ///< throw MeasurementError(kUnstable)
                                   ///< instead of returning the last attempt
+  BackoffJitter jitter = BackoffJitter::kNone;  ///< spread of the schedule
+  std::uint64_t jitter_seed = 0;  ///< seed for jittered schedules
 };
 
 /// Validate a policy's invariants; throws pe::Error on nonsense values.
@@ -31,7 +46,36 @@ void validate(const RetryPolicy& policy);
 
 /// Backoff before the given 1-based attempt (attempt 1 never sleeps):
 /// initial * multiplier^(attempt - 2), capped at max_backoff_seconds.
+/// This is the un-jittered closed form; jittered schedules are stateful —
+/// use a `BackoffSchedule`.
 [[nodiscard]] double backoff_seconds(const RetryPolicy& policy, int attempt);
+
+/// Stateful backoff sequence over a policy. `next()` returns the sleep
+/// before the next retry (first call = before attempt 2, and so on);
+/// `reset()` restarts the sequence, including the jitter stream, so a
+/// reset schedule replays the same sleeps — the determinism the chaos
+/// tests and the circuit breaker's trip backoff rely on. With
+/// `BackoffJitter::kNone` the sequence reproduces `backoff_seconds`
+/// exactly, so adopting the schedule changes nothing for existing
+/// policies.
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(RetryPolicy policy);
+
+  /// Sleep (seconds) before the next retry; advances the sequence.
+  [[nodiscard]] double next();
+
+  /// Restart the sequence (attempt counter and jitter stream).
+  void reset();
+
+  [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int attempt_ = 1;       ///< attempt the next `next()` call precedes - 1
+  double previous_ = 0.0; ///< last sleep handed out (decorrelated state)
+};
 
 /// Sleep helper used between attempts; no-op for non-positive durations.
 void sleep_for_seconds(double seconds);

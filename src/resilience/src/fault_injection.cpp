@@ -29,9 +29,23 @@ FaultInjected::FaultInjected(std::string site, int visit,
       site_(std::move(site)),
       visit_(visit) {}
 
+std::vector<std::string_view> FaultInjector::known_sites() {
+  return known_fault_sites();
+}
+
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   for (const FaultSpec& spec : plan_.faults) {
     PE_REQUIRE(!spec.site.empty(), "fault spec needs a site name");
+    if (!is_known_fault_site(spec.site)) {
+      std::string msg = "fault spec names unknown site '" + spec.site +
+                        "'; known sites:";
+      for (const std::string_view known : known_fault_sites()) {
+        msg.append(" ").append(known);
+      }
+      msg.append(
+          " (register additional sites with pe::register_fault_site)");
+      throw Error(msg);
+    }
     PE_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
                "fault probability must be in [0, 1]");
     PE_REQUIRE(spec.skip_first >= 0, "skip_first must be non-negative");

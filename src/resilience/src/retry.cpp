@@ -26,6 +26,36 @@ double backoff_seconds(const RetryPolicy& policy, int attempt) {
   return std::min(grown, policy.max_backoff_seconds);
 }
 
+BackoffSchedule::BackoffSchedule(RetryPolicy policy)
+    : policy_(policy), rng_(policy.jitter_seed) {
+  validate(policy_);
+}
+
+double BackoffSchedule::next() {
+  ++attempt_;
+  if (policy_.initial_backoff_seconds <= 0.0) return 0.0;
+  switch (policy_.jitter) {
+    case BackoffJitter::kNone:
+      return backoff_seconds(policy_, attempt_);
+    case BackoffJitter::kDecorrelated: {
+      // sleep = min(cap, uniform(base, 3 * previous)): grows roughly
+      // exponentially in expectation but decorrelates concurrent retriers.
+      const double base = policy_.initial_backoff_seconds;
+      const double hi = std::max(base, 3.0 * previous_);
+      previous_ = std::min(policy_.max_backoff_seconds,
+                           rng_.next_range_double(base, hi));
+      return previous_;
+    }
+  }
+  return 0.0;  // unreachable; keeps -Wswitch quiet on exotic values
+}
+
+void BackoffSchedule::reset() {
+  attempt_ = 1;
+  previous_ = 0.0;
+  rng_.reseed(policy_.jitter_seed);
+}
+
 void sleep_for_seconds(double seconds) {
   if (seconds <= 0.0) return;
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));

@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file admission_queue.hpp
+/// Bounded, multi-tenant admission queue with explicit backpressure.
+///
+/// The queue is the service's overload valve. Admission never blocks:
+/// `try_push` either admits or answers *why not* — the global capacity is
+/// exhausted (`kQueueFull`) or the tenant's fair share is (`kTenantOver-
+/// Share`). Per-tenant caps stop a flooding tenant from filling the queue,
+/// and dequeue walks tenants round-robin, so even a tenant that legally
+/// holds many slots cannot make another tenant's work wait behind all of
+/// its own — the two mechanisms together are the fairness story the
+/// service tests assert under a deliberate flood.
+///
+/// Header-only template: the service queues its internal task records, the
+/// unit tests queue plain integers.
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::service {
+
+/// Sizing of an admission queue.
+struct AdmissionQueueConfig {
+  std::size_t capacity = 1024;        ///< global bound over all tenants
+  std::size_t tenant_capacity = 256;  ///< per-tenant fair-share bound
+};
+
+/// Admission verdict of one `try_push`.
+enum class AdmissionVerdict {
+  kAdmitted,
+  kQueueFull,        ///< global capacity reached
+  kTenantOverShare,  ///< this tenant's share is exhausted
+};
+
+/// Bounded multi-tenant FIFO-per-tenant queue with round-robin dequeue.
+/// Thread-safe; all operations are short critical sections (no waiting
+/// inside the queue — backpressure is an answer, not a block).
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionQueueConfig config = {})
+      : config_(config) {
+    PE_REQUIRE(config_.capacity >= 1, "queue capacity must be positive");
+    PE_REQUIRE(config_.tenant_capacity >= 1,
+               "tenant capacity must be positive");
+  }
+
+  /// Admit `value` under `tenant`, or answer why not. Never blocks.
+  /// Moves from `value` only on admission: a rejected value stays with
+  /// the caller, who owes it a terminal state.
+  AdmissionVerdict try_push(const std::string& tenant, T& value) {
+    std::lock_guard lock(mu_);
+    if (size_ >= config_.capacity) return AdmissionVerdict::kQueueFull;
+    Lane& lane = lane_for(tenant);
+    if (lane.items.size() >= config_.tenant_capacity)
+      return AdmissionVerdict::kTenantOverShare;
+    lane.items.push_back(std::move(value));
+    ++size_;
+    return AdmissionVerdict::kAdmitted;
+  }
+
+  /// Pop the front of the next non-empty tenant lane after the round-robin
+  /// cursor; empty optional when the queue is empty. Round-robin is what
+  /// keeps a many-slot tenant from monopolizing dequeue order.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (size_ == 0) return std::nullopt;
+    const std::size_t lanes = lanes_.size();
+    for (std::size_t probe = 0; probe < lanes; ++probe) {
+      Lane& lane = lanes_[(cursor_ + probe) % lanes];
+      if (lane.items.empty()) continue;
+      cursor_ = (cursor_ + probe + 1) % lanes;
+      T value = std::move(lane.items.front());
+      lane.items.pop_front();
+      --size_;
+      return value;
+    }
+    return std::nullopt;  // unreachable while size_ is accurate
+  }
+
+  /// Remove and return everything (shutdown path: shed, don't drop).
+  std::vector<T> drain() {
+    std::lock_guard lock(mu_);
+    std::vector<T> out;
+    out.reserve(size_);
+    for (Lane& lane : lanes_) {
+      for (T& value : lane.items) out.push_back(std::move(value));
+      lane.items.clear();
+    }
+    size_ = 0;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return size_;
+  }
+
+  /// Queued items of one tenant (0 for tenants never seen).
+  [[nodiscard]] std::size_t tenant_depth(const std::string& tenant) const {
+    std::lock_guard lock(mu_);
+    for (const Lane& lane : lanes_)
+      if (lane.tenant == tenant) return lane.items.size();
+    return 0;
+  }
+
+  [[nodiscard]] const AdmissionQueueConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Lane {
+    std::string tenant;
+    std::deque<T> items;
+  };
+
+  /// Lane of `tenant`, created on first use. Tenant counts are small
+  /// (a course's worth, not the internet's); linear scan beats a map's
+  /// allocation churn here and keeps round-robin order stable.
+  Lane& lane_for(const std::string& tenant) {
+    for (Lane& lane : lanes_)
+      if (lane.tenant == tenant) return lane;
+    lanes_.emplace_back();
+    lanes_.back().tenant = tenant;
+    return lanes_.back();
+  }
+
+  AdmissionQueueConfig config_;
+  mutable std::mutex mu_;
+  // A deque, not a vector: growth never relocates existing lanes, so Lane
+  // needs no copy/move even when T is move-only (the service queues
+  // unique_ptrs).
+  std::deque<Lane> lanes_;    ///< one per tenant, in first-seen order
+  std::size_t cursor_ = 0;    ///< round-robin dequeue position
+  std::size_t size_ = 0;      ///< total queued items
+};
+
+}  // namespace pe::service

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file circuit_breaker.hpp
+/// Per-tenant circuit breaker: closed -> open -> half-open -> closed.
+///
+/// A tenant whose submissions keep failing (a broken kernel, a poisoned
+/// input, a fault-injection campaign) should stop consuming service
+/// capacity until there is evidence it recovered. The breaker counts
+/// *consecutive* failures; at the threshold it opens and sheds the
+/// tenant's submissions (`ShedReason::kBreakerOpen`) for a cooldown drawn
+/// from a seeded `BackoffSchedule` — successive trips back off longer,
+/// with optional decorrelated jitter so many tripped tenants do not probe
+/// in lockstep. After the cooldown the breaker is half-open: it lets a
+/// bounded number of probe submissions through; enough successes close
+/// it, any failure re-opens it (with the next, longer cooldown).
+///
+/// Time is injected (`Clock`), so the state machine is unit-testable
+/// without sleeping, and deterministic under chaos seeds.
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+#include "perfeng/resilience/retry.hpp"
+
+namespace pe::service {
+
+/// Breaker tuning. The cooldown schedule reuses `RetryPolicy`:
+/// `initial_backoff_seconds` is the first open-state cooldown,
+/// `backoff_multiplier`/`max_backoff_seconds` grow and cap it per
+/// successive trip, and `jitter`/`jitter_seed` decorrelate fleets.
+struct CircuitBreakerConfig {
+  int failure_threshold = 3;   ///< consecutive failures that trip it
+  int half_open_probes = 1;    ///< probes admitted while half-open
+  int successes_to_close = 1;  ///< probe successes that re-close it
+  resilience::RetryPolicy cooldown{
+      .initial_backoff_seconds = 0.5,
+      .backoff_multiplier = 2.0,
+      .max_backoff_seconds = 30.0,
+  };
+};
+
+/// Validate breaker invariants; throws pe::Error on nonsense values.
+void validate(const CircuitBreakerConfig& config);
+
+/// One tenant's breaker. Thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// Monotonic seconds; injected so tests advance time by hand.
+  using Clock = std::function<double()>;
+
+  /// `now` may be empty: then a steady_clock-backed default is used.
+  explicit CircuitBreaker(CircuitBreakerConfig config = {}, Clock now = {});
+
+  /// May a submission from this tenant proceed right now? Consumes a
+  /// probe slot when half-open; transitions open -> half-open when the
+  /// cooldown has elapsed. A false answer means shed (kBreakerOpen).
+  [[nodiscard]] bool allow();
+
+  /// Record the terminal state of an allowed submission.
+  void on_success();
+  void on_failure();
+
+  /// An allowed submission ended without running (shed downstream, or
+  /// served from cache): no health evidence either way. Releases the
+  /// half-open probe slot `allow()` consumed — without this a probe shed
+  /// by a full queue would wedge the breaker half-open forever.
+  void on_abandoned();
+
+  [[nodiscard]] State state();
+
+  /// Consecutive-failure count while closed (diagnostics).
+  [[nodiscard]] int consecutive_failures();
+
+  /// Times the breaker tripped closed/half-open -> open.
+  [[nodiscard]] std::size_t trips();
+
+ private:
+  void trip_locked();  ///< -> kOpen with the next cooldown
+
+  /// Advance open -> half-open when the cooldown elapsed (mu_ held).
+  void refresh_locked();
+
+  CircuitBreakerConfig config_;
+  Clock now_;
+  std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int probes_in_flight_ = 0;    ///< half-open probes handed out
+  int probe_successes_ = 0;     ///< successes observed while half-open
+  std::size_t trips_ = 0;
+  double open_until_ = 0.0;     ///< clock time the cooldown ends
+  resilience::BackoffSchedule cooldowns_;  ///< per-trip cooldown sequence
+};
+
+/// Human-readable breaker state name ("closed", "open", "half-open").
+[[nodiscard]] const char* to_string(CircuitBreaker::State state);
+
+}  // namespace pe::service

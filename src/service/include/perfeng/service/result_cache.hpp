@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file result_cache.hpp
+/// Single-flight result cache keyed on (calibration hash, workload key).
+///
+/// Identical submissions on an identical machine produce identical
+/// measurements — that is the point of hash-stamped calibrations
+/// (`Machine::calibration_hash`). The cache exploits it twice:
+///
+///  - **done cache**: a completed Outcome is stored under its key and
+///    served to later identical submissions without re-running;
+///  - **single-flight**: while a key is being measured, concurrent
+///    identical submissions *join* the in-flight run (sharing its future)
+///    instead of queueing duplicate work — N simultaneous identical
+///    submissions cost one run.
+///
+/// Only `kCompleted` outcomes are cached; a failed or shed leader
+/// resolves its joiners (they share the leader's fate, documented
+/// coalescing semantics) and then vacates the key so the next submission
+/// retries fresh. The `service.cache` fault site covers the lookup path:
+/// an injected cache fault degrades to a bypass (run without caching),
+/// never to a lost or failed submission.
+
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "perfeng/service/submission.hpp"
+
+namespace pe::service {
+
+/// Thread-safe single-flight cache of submission outcomes.
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t max_entries = 1024);
+
+  /// How a submission relates to the cache after lookup.
+  enum class Role {
+    kLead,    ///< first in: run the workload, then call `complete`
+    kJoined,  ///< an identical run is in flight: share its future
+    kHit,     ///< a completed outcome is cached: future is ready
+    kBypass,  ///< cache faulted (injected): run without caching
+  };
+
+  struct Lookup {
+    Role role = Role::kBypass;
+    /// kJoined/kHit: the outcome to share. kLead: the future the leader's
+    /// `complete` call will resolve (what the leader's caller waits on).
+    /// kBypass: invalid — the caller owns its own promise.
+    std::shared_future<Outcome> future;
+  };
+
+  /// Look up (hash, key): hit, join, or lead — or bypass when the
+  /// `service.cache` fault site fires. A kLead answer *obligates* the
+  /// caller to call `complete` for the same key exactly once, whatever
+  /// happens; the service's terminal-state invariant hangs on it.
+  [[nodiscard]] Lookup acquire(const std::string& calibration_hash,
+                               const std::string& workload_key);
+
+  /// Resolve the in-flight entry of (hash, key) with the leader's
+  /// terminal outcome: joiners' futures become ready, and the outcome is
+  /// stored in the done cache iff it completed. No-op for keys without an
+  /// in-flight entry (bypass paths may call it unconditionally).
+  void complete(const std::string& calibration_hash,
+                const std::string& workload_key, const Outcome& outcome);
+
+  /// Drop every completed entry (in-flight entries are untouched).
+  void invalidate();
+
+  struct Stats {
+    std::size_t hits = 0;      ///< served from the done cache
+    std::size_t joins = 0;     ///< coalesced onto an in-flight run
+    std::size_t leads = 0;     ///< lookups that became leaders
+    std::size_t bypasses = 0;  ///< cache faults degraded to no caching
+    std::size_t evictions = 0; ///< done entries evicted by capacity
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t done_entries() const;
+  [[nodiscard]] std::size_t in_flight_entries() const;
+
+ private:
+  struct InFlight {
+    std::promise<Outcome> promise;
+    std::shared_future<Outcome> future;
+  };
+
+  static std::string key_of(const std::string& calibration_hash,
+                            const std::string& workload_key);
+
+  std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
+  std::map<std::string, Outcome> done_;
+  std::deque<std::string> done_order_;  ///< FIFO eviction order
+  Stats stats_;
+};
+
+}  // namespace pe::service

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file submission.hpp
+/// Submission, terminal-state, and outcome types of the benchmark service.
+///
+/// The service's spine is one invariant: every submission reaches exactly
+/// one terminal state — `kCompleted` (a Measurement came back),
+/// `kFailed` (the run threw a structured error), or `kShed` (the service
+/// refused or abandoned the work *and said so*, with a reason). There is
+/// no fourth state and no silent drop: under overload, injected faults,
+/// and expired deadlines the chaos tests assert that the outcomes of all
+/// submissions still partition into these three. "Benchmarking as
+/// Empirical Standard" (PAPERS.md) is the motivation — a number produced
+/// under overload is only meaningful when the system reports the overload.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <string>
+#include <string_view>
+
+#include "perfeng/measure/benchmark_runner.hpp"
+#include "perfeng/resilience/measurement_error.hpp"
+
+namespace pe::service {
+
+/// The three terminal states of a submission.
+enum class TerminalState : std::uint8_t {
+  kCompleted,  ///< measured; `Outcome::measurement` is valid
+  kFailed,     ///< the run threw; `Outcome::error` says why
+  kShed,       ///< refused or abandoned; `Outcome::shed_reason` says why
+};
+
+/// Stable human-readable name ("completed", "failed", "shed").
+[[nodiscard]] std::string_view to_string(TerminalState state);
+
+/// Why a submission was shed. Every reason is explicit backpressure:
+/// callers can tell "the system is full" apart from "your tenant is
+/// misbehaving" apart from "you asked too late".
+enum class ShedReason : std::uint8_t {
+  kNone,            ///< not shed (state != kShed)
+  kQueueFull,       ///< global admission-queue capacity reached
+  kTenantOverShare, ///< the tenant's fair share of the queue is exhausted
+  kBreakerOpen,     ///< the tenant's circuit breaker is open
+  kDeadlineExpired, ///< the deadline budget expired while queued
+  kShutdown,        ///< the service is stopping
+  kAdmissionFault,  ///< a fault fired in the admission path itself
+};
+
+/// Stable human-readable name ("queue-full", "breaker-open", ...).
+[[nodiscard]] std::string_view to_string(ShedReason reason);
+
+/// One unit of work handed to the service: which tenant wants which
+/// workload measured, under what end-to-end budget.
+struct SubmissionRequest {
+  std::string tenant;        ///< multi-tenant identity (fairness, breaker)
+  std::string workload_key;  ///< workload identity; cache key together
+                             ///< with the machine's calibration hash
+  std::function<void()> kernel;  ///< the workload to measure
+  /// End-to-end budget in wall-clock seconds: queue wait plus run. The
+  /// remaining budget at dequeue flows into
+  /// `MeasurementConfig::deadline_seconds`; work whose budget expired
+  /// while queued is shed, never run. 0 = no deadline.
+  double deadline_seconds = 0.0;
+};
+
+/// The single terminal record of one submission.
+struct Outcome {
+  TerminalState state = TerminalState::kShed;
+  ShedReason shed_reason = ShedReason::kNone;   ///< when state == kShed
+  Measurement measurement;                      ///< when state == kCompleted
+  std::string error;  ///< what() of the failure, when state == kFailed
+  resilience::FailureKind failure_kind =
+      resilience::FailureKind::kFault;          ///< when state == kFailed
+  double queue_seconds = 0.0;  ///< admit -> dequeue wall-clock wait
+  double run_seconds = 0.0;    ///< dequeue -> terminal wall-clock time
+
+  [[nodiscard]] bool completed() const noexcept {
+    return state == TerminalState::kCompleted;
+  }
+  [[nodiscard]] bool shed() const noexcept {
+    return state == TerminalState::kShed;
+  }
+
+  /// One-line summary ("completed in ...", "shed: queue-full", ...).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// What `BenchmarkService::submit` hands back, synchronously. The future
+/// is *always* valid — a submission shed at the door gets an
+/// already-resolved future — so waiting on it is the one way to observe a
+/// submission's terminal state, and every submission has one.
+struct SubmitResult {
+  std::uint64_t ticket = 0;  ///< unique per submit() call (1-based)
+  bool admitted = false;     ///< entered the admission queue as a leader
+  bool coalesced = false;    ///< joined an identical in-flight run
+  bool cache_hit = false;    ///< served from the completed-result cache
+  ShedReason shed_reason = ShedReason::kNone;  ///< when shed at the door
+  std::shared_future<Outcome> outcome;         ///< always valid
+};
+
+/// Build an already-resolved shed outcome (admission rejections).
+[[nodiscard]] std::shared_future<Outcome> resolved_shed(ShedReason reason);
+
+}  // namespace pe::service

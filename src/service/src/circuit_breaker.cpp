@@ -1,0 +1,140 @@
+#include "perfeng/service/circuit_breaker.hpp"
+
+#include <chrono>
+
+namespace pe::service {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void validate(const CircuitBreakerConfig& config) {
+  PE_REQUIRE(config.failure_threshold >= 1,
+             "failure threshold must be positive");
+  PE_REQUIRE(config.half_open_probes >= 1,
+             "need at least one half-open probe");
+  PE_REQUIRE(config.successes_to_close >= 1,
+             "need at least one success to close");
+  resilience::validate(config.cooldown);
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config, Clock now)
+    : config_(config),
+      now_(now ? std::move(now) : Clock(&steady_seconds)),
+      cooldowns_(config.cooldown) {
+  validate(config_);
+}
+
+void CircuitBreaker::trip_locked() {
+  state_ = State::kOpen;
+  ++trips_;
+  consecutive_failures_ = 0;
+  probes_in_flight_ = 0;
+  probe_successes_ = 0;
+  // Successive trips back off longer (the schedule grows and jitters);
+  // a full recovery (close) resets the schedule to the base cooldown.
+  open_until_ = now_() + cooldowns_.next();
+}
+
+void CircuitBreaker::refresh_locked() {
+  if (state_ == State::kOpen && now_() >= open_until_) {
+    state_ = State::kHalfOpen;
+    probes_in_flight_ = 0;
+    probe_successes_ = 0;
+  }
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard lock(mu_);
+  refresh_locked();
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return false;
+    case State::kHalfOpen:
+      if (probes_in_flight_ >= config_.half_open_probes) return false;
+      ++probes_in_flight_;
+      return true;
+  }
+  return false;  // unreachable
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard lock(mu_);
+  refresh_locked();
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      return;
+    case State::kOpen:
+      // A result from before the trip; the cooldown stands.
+      return;
+    case State::kHalfOpen:
+      if (++probe_successes_ >= config_.successes_to_close) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        probes_in_flight_ = 0;
+        probe_successes_ = 0;
+        cooldowns_.reset();
+      }
+      return;
+  }
+}
+
+void CircuitBreaker::on_failure() {
+  std::lock_guard lock(mu_);
+  refresh_locked();
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold)
+        trip_locked();
+      return;
+    case State::kOpen:
+      // A result from before the trip; the cooldown stands.
+      return;
+    case State::kHalfOpen:
+      trip_locked();  // the probe failed: re-open, longer cooldown
+      return;
+  }
+}
+
+void CircuitBreaker::on_abandoned() {
+  std::lock_guard lock(mu_);
+  refresh_locked();
+  if (state_ == State::kHalfOpen && probes_in_flight_ > 0)
+    --probes_in_flight_;
+}
+
+CircuitBreaker::State CircuitBreaker::state() {
+  std::lock_guard lock(mu_);
+  refresh_locked();
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() {
+  std::lock_guard lock(mu_);
+  return consecutive_failures_;
+}
+
+std::size_t CircuitBreaker::trips() {
+  std::lock_guard lock(mu_);
+  return trips_;
+}
+
+const char* to_string(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace pe::service

@@ -1,0 +1,99 @@
+#include "perfeng/service/result_cache.hpp"
+
+#include "perfeng/common/fault_hook.hpp"
+#include "perfeng/resilience/fault_injection.hpp"
+
+namespace pe::service {
+
+ResultCache::ResultCache(std::size_t max_entries)
+    : max_entries_(max_entries) {
+  PE_REQUIRE(max_entries_ >= 1, "cache needs at least one entry");
+}
+
+std::string ResultCache::key_of(const std::string& calibration_hash,
+                                const std::string& workload_key) {
+  // '\n' cannot appear in a 16-hex-digit hash, so the pair is unambiguous.
+  return calibration_hash + "\n" + workload_key;
+}
+
+ResultCache::Lookup ResultCache::acquire(const std::string& calibration_hash,
+                                        const std::string& workload_key) {
+  // A faulted cache degrades to a bypass: the submission still runs, it
+  // just runs uncached. Shedding or failing a submission because the
+  // *cache* hiccuped would invert the cache's whole value proposition.
+  try {
+    fault_point(fault_sites::kServiceCache);
+  } catch (const resilience::FaultInjected&) {
+    std::lock_guard lock(mu_);
+    ++stats_.bypasses;
+    return Lookup{Role::kBypass, {}};
+  }
+
+  const std::string key = key_of(calibration_hash, workload_key);
+  std::lock_guard lock(mu_);
+  if (const auto done = done_.find(key); done != done_.end()) {
+    ++stats_.hits;
+    std::promise<Outcome> ready;
+    ready.set_value(done->second);
+    return Lookup{Role::kHit, ready.get_future().share()};
+  }
+  if (const auto flying = in_flight_.find(key); flying != in_flight_.end()) {
+    ++stats_.joins;
+    return Lookup{Role::kJoined, flying->second->future};
+  }
+  ++stats_.leads;
+  auto entry = std::make_shared<InFlight>();
+  entry->future = entry->promise.get_future().share();
+  Lookup lookup{Role::kLead, entry->future};
+  in_flight_.emplace(key, std::move(entry));
+  return lookup;
+}
+
+void ResultCache::complete(const std::string& calibration_hash,
+                           const std::string& workload_key,
+                           const Outcome& outcome) {
+  const std::string key = key_of(calibration_hash, workload_key);
+  std::shared_ptr<InFlight> entry;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = in_flight_.find(key);
+    if (it == in_flight_.end()) return;  // bypass or double-complete
+    entry = it->second;
+    in_flight_.erase(it);
+    if (outcome.state == TerminalState::kCompleted) {
+      done_.emplace(key, outcome);
+      done_order_.push_back(key);
+      while (done_.size() > max_entries_) {
+        done_.erase(done_order_.front());
+        done_order_.pop_front();
+        ++stats_.evictions;
+      }
+    }
+  }
+  // Resolve outside the lock: joiners may be waiting on this future and
+  // react immediately on the resolving thread.
+  entry->promise.set_value(outcome);
+}
+
+void ResultCache::invalidate() {
+  std::lock_guard lock(mu_);
+  done_.clear();
+  done_order_.clear();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t ResultCache::done_entries() const {
+  std::lock_guard lock(mu_);
+  return done_.size();
+}
+
+std::size_t ResultCache::in_flight_entries() const {
+  std::lock_guard lock(mu_);
+  return in_flight_.size();
+}
+
+}  // namespace pe::service

@@ -1,0 +1,51 @@
+#include "perfeng/service/submission.hpp"
+
+#include "perfeng/common/units.hpp"
+
+namespace pe::service {
+
+std::string_view to_string(TerminalState state) {
+  switch (state) {
+    case TerminalState::kCompleted: return "completed";
+    case TerminalState::kFailed: return "failed";
+    case TerminalState::kShed: return "shed";
+  }
+  return "?";
+}
+
+std::string_view to_string(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kQueueFull: return "queue-full";
+    case ShedReason::kTenantOverShare: return "tenant-over-share";
+    case ShedReason::kBreakerOpen: return "breaker-open";
+    case ShedReason::kDeadlineExpired: return "deadline-expired";
+    case ShedReason::kShutdown: return "shutdown";
+    case ShedReason::kAdmissionFault: return "admission-fault";
+  }
+  return "?";
+}
+
+std::string Outcome::summary() const {
+  switch (state) {
+    case TerminalState::kCompleted:
+      return "completed in " + format_time(measurement.typical()) +
+             " (queued " + format_time(queue_seconds) + ")";
+    case TerminalState::kFailed:
+      return "failed: " + error;
+    case TerminalState::kShed:
+      return "shed: " + std::string(to_string(shed_reason));
+  }
+  return "?";
+}
+
+std::shared_future<Outcome> resolved_shed(ShedReason reason) {
+  std::promise<Outcome> p;
+  Outcome o;
+  o.state = TerminalState::kShed;
+  o.shed_reason = reason;
+  p.set_value(std::move(o));
+  return p.get_future().share();
+}
+
+}  // namespace pe::service

@@ -1,0 +1,119 @@
+// Tests for the bounded multi-tenant admission queue in perfeng/service.
+#include "perfeng/service/admission_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::service::AdmissionQueue;
+using pe::service::AdmissionQueueConfig;
+using pe::service::AdmissionVerdict;
+
+AdmissionQueueConfig sized(std::size_t capacity, std::size_t tenant) {
+  AdmissionQueueConfig config;
+  config.capacity = capacity;
+  config.tenant_capacity = tenant;
+  return config;
+}
+
+AdmissionVerdict push(AdmissionQueue<int>& q, const std::string& tenant,
+                      int value) {
+  return q.try_push(tenant, value);
+}
+
+TEST(AdmissionQueue, AdmitsUpToGlobalCapacity) {
+  AdmissionQueue<int> q(sized(3, 3));
+  EXPECT_EQ(push(q, "a", 1), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(push(q, "a", 2), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(push(q, "a", 3), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(push(q, "a", 4), AdmissionVerdict::kQueueFull);
+  EXPECT_EQ(q.size(), 3u);
+  // Popping frees capacity again: backpressure, not a death sentence.
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(push(q, "a", 4), AdmissionVerdict::kAdmitted);
+}
+
+TEST(AdmissionQueue, TenantShareBoundsBeforeGlobalCapacity) {
+  AdmissionQueue<int> q(sized(10, 2));
+  EXPECT_EQ(push(q, "flood", 1), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(push(q, "flood", 2), AdmissionVerdict::kAdmitted);
+  // The flooding tenant hits its share while the queue has room...
+  EXPECT_EQ(push(q, "flood", 3), AdmissionVerdict::kTenantOverShare);
+  // ...and other tenants are unaffected: that is the fairness point.
+  EXPECT_EQ(push(q, "polite", 1), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(q.tenant_depth("flood"), 2u);
+  EXPECT_EQ(q.tenant_depth("polite"), 1u);
+  EXPECT_EQ(q.tenant_depth("never-seen"), 0u);
+}
+
+TEST(AdmissionQueue, RejectedValueStaysWithTheCaller) {
+  // The service queues unique_ptrs; a rejected push must not consume the
+  // value (the caller still owes it a terminal state).
+  AdmissionQueue<std::unique_ptr<int>> q(sized(1, 1));
+  auto first = std::make_unique<int>(1);
+  EXPECT_EQ(q.try_push("a", first), AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(first, nullptr);  // admitted: moved from
+  auto second = std::make_unique<int>(2);
+  EXPECT_EQ(q.try_push("a", second), AdmissionVerdict::kQueueFull);
+  ASSERT_NE(second, nullptr);  // rejected: still ours
+  EXPECT_EQ(*second, 2);
+}
+
+TEST(AdmissionQueue, DequeueIsRoundRobinAcrossTenants) {
+  AdmissionQueue<int> q(sized(16, 8));
+  // Tenant a floods first; b and c each queue one item afterwards.
+  (void)push(q, "a", 1);
+  (void)push(q, "a", 2);
+  (void)push(q, "a", 3);
+  (void)push(q, "b", 10);
+  (void)push(q, "c", 20);
+  std::vector<int> order;
+  while (auto v = q.try_pop()) order.push_back(*v);
+  // Round-robin interleaves tenants: b and c are served before a's
+  // backlog, even though a queued everything first.
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 20, 2, 3}));
+}
+
+TEST(AdmissionQueue, PerTenantOrderIsFifo) {
+  AdmissionQueue<int> q(sized(8, 8));
+  (void)push(q, "a", 1);
+  (void)push(q, "a", 2);
+  (void)push(q, "a", 3);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_EQ(q.try_pop().value(), 3);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(AdmissionQueue, DrainReturnsEverythingAndEmpties) {
+  AdmissionQueue<int> q(sized(8, 8));
+  (void)push(q, "a", 1);
+  (void)push(q, "b", 2);
+  (void)push(q, "a", 3);
+  const std::vector<int> drained = q.drain();
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+  // The queue is reusable after a drain.
+  EXPECT_EQ(push(q, "a", 4), AdmissionVerdict::kAdmitted);
+}
+
+TEST(AdmissionQueue, PopOnEmptyReturnsNothing) {
+  AdmissionQueue<int> q;
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(AdmissionQueue, ConfigValidation) {
+  EXPECT_THROW(AdmissionQueue<int>(sized(0, 1)), pe::Error);
+  EXPECT_THROW(AdmissionQueue<int>(sized(1, 0)), pe::Error);
+  EXPECT_NO_THROW(AdmissionQueue<int>(sized(1, 1)));
+}
+
+}  // namespace

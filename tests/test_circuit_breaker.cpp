@@ -1,0 +1,180 @@
+// Tests for the per-tenant circuit breaker in perfeng/service.
+// Time is injected, so the whole state machine runs without sleeping.
+#include "perfeng/service/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "perfeng/common/error.hpp"
+
+namespace {
+
+using pe::service::CircuitBreaker;
+using pe::service::CircuitBreakerConfig;
+using State = pe::service::CircuitBreaker::State;
+
+/// A breaker plus the hand-advanced clock it reads.
+struct Harness {
+  explicit Harness(CircuitBreakerConfig config = tuned())
+      : time(std::make_shared<double>(0.0)),
+        breaker(config, [t = time] { return *t; }) {}
+
+  static CircuitBreakerConfig tuned() {
+    CircuitBreakerConfig config;
+    config.failure_threshold = 3;
+    config.half_open_probes = 1;
+    config.successes_to_close = 1;
+    config.cooldown.initial_backoff_seconds = 1.0;
+    config.cooldown.backoff_multiplier = 2.0;
+    config.cooldown.max_backoff_seconds = 30.0;
+    return config;
+  }
+
+  void advance(double seconds) { *time += seconds; }
+
+  std::shared_ptr<double> time;
+  CircuitBreaker breaker;
+};
+
+TEST(CircuitBreaker, StartsClosedAndAllows) {
+  Harness h;
+  EXPECT_EQ(h.breaker.state(), State::kClosed);
+  EXPECT_TRUE(h.breaker.allow());
+  EXPECT_EQ(h.breaker.trips(), 0u);
+}
+
+TEST(CircuitBreaker, TripsOnConsecutiveFailuresOnly) {
+  Harness h;
+  h.breaker.on_failure();
+  h.breaker.on_failure();
+  EXPECT_EQ(h.breaker.consecutive_failures(), 2);
+  h.breaker.on_success();  // a success resets the streak
+  EXPECT_EQ(h.breaker.consecutive_failures(), 0);
+  h.breaker.on_failure();
+  h.breaker.on_failure();
+  EXPECT_EQ(h.breaker.state(), State::kClosed);
+  h.breaker.on_failure();  // third consecutive: trip
+  EXPECT_EQ(h.breaker.state(), State::kOpen);
+  EXPECT_FALSE(h.breaker.allow());
+  EXPECT_EQ(h.breaker.trips(), 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenAfterCooldownAdmitsBoundedProbes) {
+  Harness h;
+  for (int i = 0; i < 3; ++i) h.breaker.on_failure();
+  ASSERT_EQ(h.breaker.state(), State::kOpen);
+  h.advance(0.5);
+  EXPECT_FALSE(h.breaker.allow());  // cooldown (1.0s) not elapsed
+  h.advance(0.6);
+  EXPECT_EQ(h.breaker.state(), State::kHalfOpen);
+  EXPECT_TRUE(h.breaker.allow());   // the one probe slot
+  EXPECT_FALSE(h.breaker.allow());  // no second probe while it is out
+}
+
+TEST(CircuitBreaker, ProbeSuccessCloses) {
+  Harness h;
+  for (int i = 0; i < 3; ++i) h.breaker.on_failure();
+  h.advance(1.0);
+  ASSERT_TRUE(h.breaker.allow());
+  h.breaker.on_success();
+  EXPECT_EQ(h.breaker.state(), State::kClosed);
+  EXPECT_TRUE(h.breaker.allow());
+  EXPECT_EQ(h.breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensWithLongerCooldown) {
+  Harness h;
+  for (int i = 0; i < 3; ++i) h.breaker.on_failure();
+  h.advance(1.0);  // first cooldown: 1.0s
+  ASSERT_TRUE(h.breaker.allow());
+  h.breaker.on_failure();  // probe failed: re-trip
+  EXPECT_EQ(h.breaker.state(), State::kOpen);
+  EXPECT_EQ(h.breaker.trips(), 2u);
+  h.advance(1.0);
+  EXPECT_FALSE(h.breaker.allow());  // second cooldown doubled to 2.0s
+  h.advance(1.0);
+  EXPECT_TRUE(h.breaker.allow());
+}
+
+TEST(CircuitBreaker, CloseResetsTheCooldownSchedule) {
+  Harness h;
+  // Trip twice (cooldowns 1.0s then 2.0s), then recover fully.
+  for (int i = 0; i < 3; ++i) h.breaker.on_failure();
+  h.advance(1.0);
+  ASSERT_TRUE(h.breaker.allow());
+  h.breaker.on_failure();
+  h.advance(2.0);
+  ASSERT_TRUE(h.breaker.allow());
+  h.breaker.on_success();
+  ASSERT_EQ(h.breaker.state(), State::kClosed);
+  // A fresh trip starts over at the base cooldown, not at 4.0s.
+  for (int i = 0; i < 3; ++i) h.breaker.on_failure();
+  h.advance(1.0);
+  EXPECT_EQ(h.breaker.state(), State::kHalfOpen);
+}
+
+TEST(CircuitBreaker, AbandonedProbeReleasesTheSlot) {
+  // A probe that sheds downstream (full queue, cache hit) carries no
+  // health evidence; without on_abandoned the breaker would stay
+  // half-open with zero free probe slots forever.
+  Harness h;
+  for (int i = 0; i < 3; ++i) h.breaker.on_failure();
+  h.advance(1.0);
+  ASSERT_TRUE(h.breaker.allow());
+  EXPECT_FALSE(h.breaker.allow());
+  h.breaker.on_abandoned();
+  EXPECT_TRUE(h.breaker.allow());  // the slot is usable again
+}
+
+TEST(CircuitBreaker, MultipleProbesNeedMultipleSuccesses) {
+  CircuitBreakerConfig config = Harness::tuned();
+  config.half_open_probes = 2;
+  config.successes_to_close = 2;
+  Harness h(config);
+  for (int i = 0; i < 3; ++i) h.breaker.on_failure();
+  h.advance(1.0);
+  ASSERT_TRUE(h.breaker.allow());
+  ASSERT_TRUE(h.breaker.allow());
+  EXPECT_FALSE(h.breaker.allow());
+  h.breaker.on_success();
+  EXPECT_EQ(h.breaker.state(), State::kHalfOpen);  // one is not enough
+  h.breaker.on_success();
+  EXPECT_EQ(h.breaker.state(), State::kClosed);
+}
+
+TEST(CircuitBreaker, LateResultsWhileOpenAreIgnored) {
+  Harness h;
+  for (int i = 0; i < 3; ++i) h.breaker.on_failure();
+  ASSERT_EQ(h.breaker.state(), State::kOpen);
+  // Results of work admitted before the trip trickle in; the cooldown
+  // stands either way.
+  h.breaker.on_success();
+  h.breaker.on_failure();
+  EXPECT_EQ(h.breaker.state(), State::kOpen);
+  EXPECT_EQ(h.breaker.trips(), 1u);
+}
+
+TEST(CircuitBreaker, ToStringNamesStates) {
+  EXPECT_STREQ(pe::service::to_string(State::kClosed), "closed");
+  EXPECT_STREQ(pe::service::to_string(State::kOpen), "open");
+  EXPECT_STREQ(pe::service::to_string(State::kHalfOpen), "half-open");
+}
+
+TEST(CircuitBreaker, ValidationRejectsNonsense) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 0;
+  EXPECT_THROW(pe::service::validate(config), pe::Error);
+  config = {};
+  config.half_open_probes = 0;
+  EXPECT_THROW(pe::service::validate(config), pe::Error);
+  config = {};
+  config.successes_to_close = 0;
+  EXPECT_THROW(pe::service::validate(config), pe::Error);
+  config = {};
+  config.cooldown.backoff_multiplier = 0.5;
+  EXPECT_THROW(pe::service::validate(config), pe::Error);
+  EXPECT_NO_THROW(pe::service::validate(CircuitBreakerConfig{}));
+}
+
+}  // namespace

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "perfeng/common/fault_hook.hpp"
@@ -12,10 +14,20 @@
 namespace {
 
 using pe::resilience::FaultInjected;
+using pe::resilience::FaultInjector;
 using pe::resilience::FaultKind;
 using pe::resilience::FaultPlan;
 using pe::resilience::FaultSpec;
 using pe::resilience::ScopedFaultInjection;
+
+// Synthetic sites this file uses in fault specs. The injector rejects
+// unknown sites (a typo'd plan must fail loudly, not silently no-op), so
+// tests opt their scratch sites into the registry up front.
+const bool kScratchSitesRegistered = [] {
+  pe::register_fault_site("s");
+  pe::register_fault_site("c");
+  return true;
+}();
 
 TEST(FaultInjection, NoHookMeansNoOp) {
   ASSERT_EQ(pe::fault_hook(), nullptr);
@@ -168,6 +180,45 @@ TEST(FaultInjection, CustomMessageUsedWhenSet) {
   } catch (const FaultInjected& e) {
     EXPECT_STREQ(e.what(), "backend melted");
   }
+}
+
+TEST(FaultInjection, UnknownSiteRejectedWithCatalog) {
+  FaultPlan plan;
+  plan.faults.push_back({.site = "no.such.site"});
+  try {
+    FaultInjector injector(std::move(plan));
+    FAIL() << "expected pe::Error for unknown site";
+  } catch (const pe::Error& e) {
+    const std::string msg = e.what();
+    // The error is a teaching moment: it names the typo'd site, lists
+    // every site the build knows, and says how to register new ones.
+    EXPECT_NE(msg.find("no.such.site"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("kernel.call"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("service.admit"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("register_fault_site"), std::string::npos) << msg;
+  }
+}
+
+TEST(FaultInjection, KnownSitesIntrospection) {
+  const std::vector<std::string_view> sites = FaultInjector::known_sites();
+  const auto has = [&](std::string_view s) {
+    return std::find(sites.begin(), sites.end(), s) != sites.end();
+  };
+  // Catalog sites plus this file's registered scratch sites.
+  EXPECT_TRUE(has(pe::fault_sites::kKernelCall));
+  EXPECT_TRUE(has(pe::fault_sites::kServiceAdmit));
+  EXPECT_TRUE(has(pe::fault_sites::kServiceDequeue));
+  EXPECT_TRUE(has(pe::fault_sites::kServiceCache));
+  EXPECT_TRUE(has("s"));
+  EXPECT_TRUE(has("c"));
+  EXPECT_TRUE(pe::is_known_fault_site("kernel.call"));
+  EXPECT_FALSE(pe::is_known_fault_site("no.such.site"));
+  // Re-registration is idempotent: no duplicate entries.
+  pe::register_fault_site("s");
+  const auto again = FaultInjector::known_sites();
+  EXPECT_EQ(std::count(again.begin(), again.end(),
+                       std::string_view("s")),
+            1);
 }
 
 TEST(FaultInjection, PlanValidation) {

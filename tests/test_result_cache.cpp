@@ -1,0 +1,143 @@
+// Tests for the single-flight result cache in perfeng/service.
+#include "perfeng/service/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+
+#include "perfeng/resilience/fault_injection.hpp"
+
+namespace {
+
+using pe::service::Outcome;
+using pe::service::ResultCache;
+using pe::service::ShedReason;
+using pe::service::TerminalState;
+using Role = pe::service::ResultCache::Role;
+
+Outcome completed_outcome(const std::string& label) {
+  Outcome o;
+  o.state = TerminalState::kCompleted;
+  o.measurement.label = label;
+  return o;
+}
+
+TEST(ResultCache, FirstLookupLeads) {
+  ResultCache cache;
+  const auto look = cache.acquire("hash", "matmul/512");
+  EXPECT_EQ(look.role, Role::kLead);
+  EXPECT_TRUE(look.future.valid());
+  EXPECT_EQ(cache.in_flight_entries(), 1u);
+  EXPECT_EQ(cache.stats().leads, 1u);
+}
+
+TEST(ResultCache, CompleteTurnsLeadIntoHit) {
+  ResultCache cache;
+  (void)cache.acquire("hash", "k");
+  cache.complete("hash", "k", completed_outcome("k"));
+  EXPECT_EQ(cache.in_flight_entries(), 0u);
+  EXPECT_EQ(cache.done_entries(), 1u);
+  const auto look = cache.acquire("hash", "k");
+  EXPECT_EQ(look.role, Role::kHit);
+  // A hit's future is already resolved: no waiting, no re-run.
+  EXPECT_EQ(look.future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(look.future.get().measurement.label, "k");
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ResultCache, ConcurrentIdenticalLookupsJoinTheLeader) {
+  ResultCache cache;
+  const auto lead = cache.acquire("hash", "k");
+  ASSERT_EQ(lead.role, Role::kLead);
+  const auto join1 = cache.acquire("hash", "k");
+  const auto join2 = cache.acquire("hash", "k");
+  EXPECT_EQ(join1.role, Role::kJoined);
+  EXPECT_EQ(join2.role, Role::kJoined);
+  EXPECT_EQ(cache.stats().joins, 2u);
+  // Joiners wait on the leader's future; complete resolves all of them.
+  cache.complete("hash", "k", completed_outcome("k"));
+  EXPECT_EQ(join1.future.get().state, TerminalState::kCompleted);
+  EXPECT_EQ(join2.future.get().state, TerminalState::kCompleted);
+}
+
+TEST(ResultCache, JoinersShareTheLeadersFateEvenWhenItSheds) {
+  ResultCache cache;
+  (void)cache.acquire("hash", "k");
+  const auto join = cache.acquire("hash", "k");
+  Outcome shed;
+  shed.state = TerminalState::kShed;
+  shed.shed_reason = ShedReason::kQueueFull;
+  cache.complete("hash", "k", shed);
+  const Outcome seen = join.future.get();
+  EXPECT_EQ(seen.state, TerminalState::kShed);
+  EXPECT_EQ(seen.shed_reason, ShedReason::kQueueFull);
+}
+
+TEST(ResultCache, OnlyCompletedOutcomesAreCached) {
+  ResultCache cache;
+  (void)cache.acquire("hash", "k");
+  Outcome failed;
+  failed.state = TerminalState::kFailed;
+  failed.error = "kernel threw";
+  cache.complete("hash", "k", failed);
+  EXPECT_EQ(cache.done_entries(), 0u);
+  // The key is vacated: the next submission retries fresh as a leader.
+  EXPECT_EQ(cache.acquire("hash", "k").role, Role::kLead);
+}
+
+TEST(ResultCache, CalibrationHashKeepsMachinesApart) {
+  ResultCache cache;
+  (void)cache.acquire("laptop", "k");
+  cache.complete("laptop", "k", completed_outcome("laptop-k"));
+  // Same workload on a different machine calibration: not a hit.
+  EXPECT_EQ(cache.acquire("cluster", "k").role, Role::kLead);
+  EXPECT_EQ(cache.acquire("laptop", "k").role, Role::kHit);
+}
+
+TEST(ResultCache, FifoEvictionBoundsTheDoneCache) {
+  ResultCache cache(2);
+  for (const std::string key : {"a", "b", "c"}) {
+    (void)cache.acquire("hash", key);
+    cache.complete("hash", key, completed_outcome(key));
+  }
+  EXPECT_EQ(cache.done_entries(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.acquire("hash", "a").role, Role::kLead);  // evicted
+  EXPECT_EQ(cache.acquire("hash", "b").role, Role::kHit);
+  EXPECT_EQ(cache.acquire("hash", "c").role, Role::kHit);
+}
+
+TEST(ResultCache, InvalidateDropsCompletedEntriesOnly) {
+  ResultCache cache;
+  (void)cache.acquire("hash", "done");
+  cache.complete("hash", "done", completed_outcome("done"));
+  const auto lead = cache.acquire("hash", "running");
+  ASSERT_EQ(lead.role, Role::kLead);
+  cache.invalidate();
+  EXPECT_EQ(cache.done_entries(), 0u);
+  EXPECT_EQ(cache.in_flight_entries(), 1u);
+  EXPECT_EQ(cache.acquire("hash", "done").role, Role::kLead);
+  EXPECT_EQ(cache.acquire("hash", "running").role, Role::kJoined);
+}
+
+TEST(ResultCache, InjectedCacheFaultDegradesToBypass) {
+  // A faulting cache must cost performance, never correctness: the
+  // lookup degrades to "run without caching", and the submission lives.
+  pe::resilience::FaultPlan plan;
+  plan.faults.push_back({.site = std::string(pe::fault_sites::kServiceCache),
+                         .probability = 1.0});
+  pe::resilience::ScopedFaultInjection scope(std::move(plan));
+  ResultCache cache;
+  const auto look = cache.acquire("hash", "k");
+  EXPECT_EQ(look.role, Role::kBypass);
+  EXPECT_EQ(cache.in_flight_entries(), 0u);
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+  // Bypass callers may call complete unconditionally; it is a no-op.
+  EXPECT_NO_THROW(cache.complete("hash", "k", completed_outcome("k")));
+  EXPECT_EQ(cache.done_entries(), 0u);
+}
+
+}  // namespace

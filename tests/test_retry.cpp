@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "perfeng/common/error.hpp"
 
 namespace {
@@ -59,6 +62,77 @@ TEST(Retry, ValidationRejectsNonsense) {
 TEST(Retry, SleepForSecondsToleratesNonPositive) {
   EXPECT_NO_THROW(pe::resilience::sleep_for_seconds(0.0));
   EXPECT_NO_THROW(pe::resilience::sleep_for_seconds(-1.0));
+}
+
+TEST(BackoffSchedule, NoneJitterReproducesClosedForm) {
+  RetryPolicy p;
+  p.initial_backoff_seconds = 0.1;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_seconds = 10.0;
+  pe::resilience::BackoffSchedule schedule(p);
+  // next() call k precedes attempt k+1 — exactly backoff_seconds(p, k+1),
+  // so adopting the schedule changes nothing for un-jittered policies.
+  for (int attempt = 2; attempt <= 8; ++attempt) {
+    EXPECT_DOUBLE_EQ(schedule.next(), backoff_seconds(p, attempt));
+  }
+}
+
+TEST(BackoffSchedule, DecorrelatedIsSeedDeterministic) {
+  RetryPolicy p;
+  p.initial_backoff_seconds = 0.1;
+  p.max_backoff_seconds = 5.0;
+  p.jitter = pe::resilience::BackoffJitter::kDecorrelated;
+  p.jitter_seed = 42;
+  pe::resilience::BackoffSchedule a(p);
+  pe::resilience::BackoffSchedule b(p);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(a.next(), b.next());  // same seed, same sleeps
+  }
+  p.jitter_seed = 43;
+  pe::resilience::BackoffSchedule c(p);
+  pe::resilience::BackoffSchedule d(p);
+  bool any_differ = false;
+  c.reset();
+  for (int i = 0; i < 16; ++i) {
+    if (c.next() != d.next()) any_differ = true;
+  }
+  EXPECT_FALSE(any_differ);  // reset() replays the stream from scratch
+}
+
+TEST(BackoffSchedule, DecorrelatedStaysWithinBaseAndCap) {
+  RetryPolicy p;
+  p.initial_backoff_seconds = 0.25;
+  p.max_backoff_seconds = 1.0;
+  p.jitter = pe::resilience::BackoffJitter::kDecorrelated;
+  p.jitter_seed = 7;
+  pe::resilience::BackoffSchedule schedule(p);
+  for (int i = 0; i < 64; ++i) {
+    const double sleep = schedule.next();
+    EXPECT_GE(sleep, p.initial_backoff_seconds);
+    EXPECT_LE(sleep, p.max_backoff_seconds);
+  }
+}
+
+TEST(BackoffSchedule, ResetReplaysTheSameSequence) {
+  RetryPolicy p;
+  p.initial_backoff_seconds = 0.1;
+  p.max_backoff_seconds = 3.0;
+  p.jitter = pe::resilience::BackoffJitter::kDecorrelated;
+  p.jitter_seed = 11;
+  pe::resilience::BackoffSchedule schedule(p);
+  std::vector<double> first;
+  for (int i = 0; i < 8; ++i) first.push_back(schedule.next());
+  schedule.reset();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(schedule.next(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(BackoffSchedule, ZeroInitialBackoffNeverSleeps) {
+  RetryPolicy p;  // defaults: initial backoff 0
+  p.jitter = pe::resilience::BackoffJitter::kDecorrelated;
+  pe::resilience::BackoffSchedule schedule(p);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(schedule.next(), 0.0);
 }
 
 }  // namespace
