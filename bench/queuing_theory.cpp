@@ -1,20 +1,40 @@
 // Queuing theory topic: M/M/1, M/M/c and M/G/1 closed forms validated
 // against the discrete-event simulator across a utilization sweep.
+//
+// `--json <path>` writes a pe-bench-v1 BenchReport snapshot (model vs
+// simulated response times per system) for bench/snapshots/. The closed
+// forms are machine-independent, so the machine field records that
+// rather than a calibration.
+#include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "perfeng/common/table.hpp"
+#include "perfeng/measure/bench_json.hpp"
 #include "perfeng/models/queuing.hpp"
 #include "perfeng/sim/queue_sim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+
   std::puts("== Queuing theory: closed forms vs discrete-event simulation "
             "==\n");
 
+  pe::BenchReport report("queuing_theory");
+  report.set_machine("analytical", "machine-independent");
+  report.set_context("jobs", 200000);
+  report.set_context("warmup_jobs", 5000);
+
   pe::Table t({"system", "rho", "W model", "W sim", "Lq model", "Lq sim",
                "err %"});
-  auto add_row = [&t](const char* name, double rho,
-                      const pe::models::QueueMetrics& model,
-                      const pe::sim::QueueSimResult& sim) {
+  auto add_row = [&t, &report](const std::string& name, double rho,
+                               const pe::models::QueueMetrics& model,
+                               const pe::sim::QueueSimResult& sim) {
     const double err =
         std::abs(sim.mean_response - model.mean_response) /
         model.mean_response * 100.0;
@@ -24,6 +44,19 @@ int main() {
                pe::format_fixed(model.mean_queue_length, 3),
                pe::format_fixed(sim.mean_queue_length, 3),
                pe::format_fixed(err, 1)});
+    std::string prefix = name;
+    for (char& c : prefix) {
+      if (c == '/') c = '_';
+      c = char(std::tolower(static_cast<unsigned char>(c)));
+    }
+    prefix += ".rho" + pe::format_fixed(rho * 100.0, 0);
+    report.add_scalar(prefix + ".response_model", "s", model.mean_response);
+    report.add_scalar(prefix + ".response_sim", "s", sim.mean_response);
+    report.add_scalar(prefix + ".queue_len_model", "jobs",
+                      model.mean_queue_length);
+    report.add_scalar(prefix + ".queue_len_sim", "jobs",
+                      sim.mean_queue_length);
+    report.add_scalar(prefix + ".response_err_pct", "%", err);
   };
 
   for (double rho : {0.3, 0.5, 0.7, 0.9}) {
@@ -74,5 +107,15 @@ int main() {
       "\nExpected shape (paper): simulation matches the closed forms "
       "within sampling\nerror at every rho; waits explode as rho -> 1; "
       "M/D/1 waits are half of M/M/1.");
+
+  if (!json_path.empty()) {
+    report.add_scalar("littles_law.occupancy", "jobs",
+                      pe::models::littles_law_occupancy(0.7,
+                                                        m.mean_response));
+    report.add_scalar("interactive.response_s", "s",
+                      pe::models::interactive_response_time(20.0, 2.0, 5.0));
+    report.save_file(json_path);
+    std::printf("\nsnapshot written to %s\n", json_path.c_str());
+  }
   return 0;
 }

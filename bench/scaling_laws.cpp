@@ -4,15 +4,28 @@
 // On a single-core host the measured curve is flat (speedup ~1): the
 // model table still demonstrates the laws, and the USL fit correctly
 // reports a large contention term — a result, not a failure (Lesson 5).
+//
+// `--json <path>` writes a pe-bench-v1 BenchReport snapshot (full
+// per-repetition sample distributions, not just the medians the table
+// shows) for bench/snapshots/.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "perfeng/common/table.hpp"
 #include "perfeng/common/units.hpp"
 #include "perfeng/kernels/stencil.hpp"
+#include "perfeng/machine/registry.hpp"
+#include "perfeng/measure/bench_json.hpp"
 #include "perfeng/measure/benchmark_runner.hpp"
 #include "perfeng/models/scaling.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+
   pe::MeasurementConfig cfg;
   cfg.warmup_runs = 1;
   cfg.repetitions = 3;
@@ -41,6 +54,7 @@ int main() {
   const std::size_t rows = 512, cols = 512;
   pe::kernels::Grid2D grid(rows, cols, 1.0), out(rows, cols);
   std::vector<double> workers, speedups;
+  std::vector<pe::Measurement> runs;
   double baseline = 0.0;
   pe::Table measured({"pool threads", "median time", "speedup",
                       "efficiency %", "Karp-Flatt serial frac"});
@@ -54,6 +68,7 @@ int main() {
     const double speedup = baseline / m.typical();
     workers.push_back(double(p));
     speedups.push_back(speedup);
+    runs.push_back(m);
     measured.add_row(
         {std::to_string(p), pe::format_time(m.typical()),
          pe::format_fixed(speedup, 2),
@@ -66,8 +81,10 @@ int main() {
               hw);
   std::fputs(measured.render().c_str(), stdout);
 
-  if (workers.size() >= 3) {
-    const auto fit = pe::models::fit_usl(workers, speedups);
+  pe::models::UslFit fit{};
+  const bool fitted = workers.size() >= 3;
+  if (fitted) {
+    fit = pe::models::fit_usl(workers, speedups);
     std::printf(
         "\nUSL fit to the measured curve: sigma=%.3f kappa=%.4f "
         "(R^2=%.3f)\n -> predicted peak at %.1f workers\n",
@@ -78,5 +95,31 @@ int main() {
       "\nExpected shape (paper): speedup saturates by Amdahl; USL's "
       "contention/coherence\nterms explain retrograde scaling that Amdahl "
       "cannot.");
+
+  if (!json_path.empty()) {
+    pe::BenchReport report("scaling_laws");
+    report.set_machine(pe::machine::resolve_or_preset("laptop-x86"));
+    report.set_context("hardware_threads", double(hw));
+    report.set_context("grid_rows", double(rows));
+    report.set_context("grid_cols", double(cols));
+    report.set_context("repetitions", double(cfg.repetitions));
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const std::string prefix =
+          "stencil.p" + std::to_string(std::size_t(workers[i]));
+      report.add_metric(prefix + ".seconds", "s", runs[i].seconds);
+      report.add_scalar(prefix + ".speedup", "x", speedups[i]);
+    }
+    report.add_scalar("model.amdahl_limit_f005", "x",
+                      pe::models::amdahl_limit(0.05));
+    if (fitted) {
+      report.add_scalar("usl_fit.sigma", "frac", fit.sigma);
+      report.add_scalar("usl_fit.kappa", "frac", fit.kappa);
+      report.add_scalar("usl_fit.r2", "frac", fit.r2);
+      report.add_scalar("usl_fit.peak_workers", "workers",
+                        pe::models::usl_peak_workers(fit.sigma, fit.kappa));
+    }
+    report.save_file(json_path);
+    std::printf("\nsnapshot written to %s\n", json_path.c_str());
+  }
   return 0;
 }

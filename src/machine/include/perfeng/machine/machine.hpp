@@ -98,6 +98,13 @@ struct Machine {
     return sched_submit_ns > 0.0 || sched_bulk_ns > 0.0;
   }
 
+  /// Per-chunk dispatch cost of the bulk parallel_for path, in seconds
+  /// (0.0 when the scheduler was never probed). The composition layer
+  /// charges this once per parallel region it predicts.
+  [[nodiscard]] double bulk_dispatch_seconds() const {
+    return sched_bulk_ns * 1e-9;
+  }
+
   /// Validate the description; throws pe::Error on the first violation.
   /// Rejects: empty name, non-positive peak, zero cores, empty hierarchy,
   /// duplicate/empty level names, non-positive bandwidths or line sizes,

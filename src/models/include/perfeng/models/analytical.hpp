@@ -24,6 +24,7 @@
 
 #include "perfeng/machine/machine.hpp"
 #include "perfeng/microbench/op_costs.hpp"
+#include "perfeng/models/model_eval.hpp"
 
 namespace pe::models {
 
@@ -86,6 +87,10 @@ class MatmulModel {
   [[nodiscard]] double predict_instruction(
       const microbench::OpCostTable& ops) const;
 
+  /// Composition adapter: the traffic-level prediction with its FLOP and
+  /// DRAM-byte footprint, as "analytical.matmul.<variant>".
+  [[nodiscard]] ModelEval eval() const;
+
   [[nodiscard]] std::size_t n() const { return n_; }
   [[nodiscard]] MatmulVariant variant() const { return variant_; }
 
@@ -124,6 +129,10 @@ class HistogramModel {
   /// Traffic model including the data-dependent miss term.
   [[nodiscard]] double predict_traffic() const;
 
+  /// Composition adapter: the traffic-level prediction as
+  /// "analytical.histogram".
+  [[nodiscard]] ModelEval eval() const;
+
  private:
   std::size_t elements_;
   std::size_t bins_;
@@ -150,6 +159,10 @@ class SpmvModel {
   [[nodiscard]] double flops() const;  ///< 2 nnz
   [[nodiscard]] double dram_bytes() const;
   [[nodiscard]] double predict() const;  ///< Roofline-style composition
+
+  /// Composition adapter: `predict()` with its footprint, as
+  /// "analytical.spmv".
+  [[nodiscard]] ModelEval eval() const;
 
  private:
   std::size_t rows_, cols_, nnz_;

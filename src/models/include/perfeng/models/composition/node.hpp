@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file composition/node.hpp
+/// The spine of the compositional prediction system: an evaluation
+/// context calibrated from a machine description, a `Prediction` value
+/// rich enough for pattern nodes to compose, and the abstract `Node`
+/// every pattern implements.
+///
+/// The refactor's thesis (ROADMAP: "compose the model zoo"): each model
+/// in `pe::models` prices one kernel or one mechanism in isolation;
+/// real programs are *structures* of kernels — maps over tiles, farms of
+/// requests, pipelines of stages. A pattern tree mirrors that structure
+/// and folds child predictions upward with machine-aware rules:
+///
+///  * `work_seconds`/`span_seconds` — total serialized work W and
+///    critical path S, composed per Brent/Graham; a node's makespan on
+///    `workers` cores is the two-sided bound collapsed to the classic
+///    estimate `W/P + (1 - 1/P) * S` (exactly `W` when P == 1, so serial
+///    composition degenerates to plain summation — the algebra identity
+///    the tests pin).
+///  * `latency_seconds`/`bottleneck_seconds` — single-item traversal
+///    time and slowest repeating interval; `Pipeline` composes these so
+///    throughput is priced by the bottleneck stage, and nesting a
+///    pipeline inside a pipeline is associative.
+///  * `dispatch_seconds` — scheduler cost charged once per predicted
+///    parallel region, from `Machine::bulk_dispatch_seconds()` (the
+///    `probe_scheduler` calibration): composition is where per-region
+///    dispatch finally meets whole-program structure.
+///  * `comm_seconds` — alpha-beta communication terms from the context's
+///    link coefficients, so distributed compositions can be cross-checked
+///    against `pe::sim` (netsim / DES).
+///
+/// `Footprint`s absorb upward alongside time, so one tree evaluation
+/// also yields whole-program FLOPs, traffic and joules.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perfeng/machine/machine.hpp"
+#include "perfeng/models/model_eval.hpp"
+
+namespace pe::models::composition {
+
+/// Everything a pattern node may charge for, bound to one machine
+/// calibration. Built by `from_machine` so the whole tree prices
+/// parallelism, dispatch and communication from a shared description.
+struct Context {
+  unsigned workers = 1;           ///< cores available to parallel nodes
+  double dispatch_seconds = 0.0;  ///< per-parallel-region scheduler cost
+  double link_alpha = 0.0;        ///< per-message latency (s), comm nodes
+  double link_beta = 0.0;         ///< per-byte time (s), comm nodes
+
+  /// Calibrate from a machine description: `cores`,
+  /// `bulk_dispatch_seconds()`, and the link coefficients (0 when the
+  /// machine carries none — `Comm` nodes then predict zero cost).
+  [[nodiscard]] static Context from_machine(const machine::Machine& m);
+
+  /// The same calibration restricted to one worker: parallel patterns
+  /// degenerate to serial sums and no dispatch is charged.
+  [[nodiscard]] Context serial() const;
+};
+
+/// One line of a prediction's attribution: where the seconds come from.
+/// Paths are slash-joined pattern labels ending in the leaf model name,
+/// e.g. "map[x8]/leaf:analytical.matmul.tiled".
+struct BreakdownLine {
+  std::string path;
+  double seconds = 0.0;
+
+  bool operator==(const BreakdownLine&) const = default;
+};
+
+/// A whole-(sub)program prediction. `seconds` is the headline makespan;
+/// the remaining fields are the composition state sibling patterns fold
+/// over (see the file comment for the algebra).
+struct Prediction {
+  double seconds = 0.0;             ///< predicted makespan
+  double work_seconds = 0.0;        ///< total serialized work (W)
+  double span_seconds = 0.0;        ///< critical path (S, P = infinity)
+  double latency_seconds = 0.0;     ///< one item end-to-end (pipelines)
+  double bottleneck_seconds = 0.0;  ///< slowest repeating interval
+  double dispatch_seconds = 0.0;    ///< scheduler cost included above
+  double comm_seconds = 0.0;        ///< communication cost included above
+  Footprint footprint;              ///< aggregate resource demand
+  std::vector<BreakdownLine> breakdown;  ///< per-leaf attribution
+};
+
+/// A pattern-tree node. Immutable once built; `predict` is pure, so the
+/// same tree evaluated twice under the same context returns identical
+/// predictions (the determinism identity the tests pin).
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Fold this subtree into a prediction under `ctx`.
+  [[nodiscard]] virtual Prediction predict(const Context& ctx) const = 0;
+
+  /// Short structural label, e.g. "map[x8]" or "leaf:ecm.stream" — the
+  /// path component this node contributes to breakdown lines.
+  [[nodiscard]] virtual std::string label() const = 0;
+};
+
+/// Nodes are shared immutable values: one subtree can appear in several
+/// compositions (a farm body reused in a pipeline stage, say).
+using NodePtr = std::shared_ptr<const Node>;
+
+/// Wrap any retrofitted model evaluation as a tree leaf. This is the
+/// whole point of the `ModelEval` interface: every `eval*` adapter in
+/// the model zoo plugs in here.
+[[nodiscard]] NodePtr leaf(ModelEval model);
+
+/// A communication step of `bytes` priced by the context's alpha-beta
+/// link (`alpha + beta * bytes`; zero when `bytes == 0` or the context
+/// has no link). `name` labels the transfer in breakdowns.
+[[nodiscard]] NodePtr comm(std::string name, double bytes);
+
+/// Render a prediction as an indented human-readable report (headline
+/// seconds, the work/span/latency/bottleneck state, footprint, and the
+/// breakdown table) — what `bench/composition_validate` prints.
+[[nodiscard]] std::string format_prediction(const Prediction& p);
+
+}  // namespace pe::models::composition

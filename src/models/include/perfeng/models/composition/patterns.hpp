@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file composition/patterns.hpp
+/// The pattern constructors: `map`, `farm`, `pipeline`, `reduce` and
+/// `divide_and_conquer`, each a structured way to multiply and fold the
+/// predictions of child nodes (leaves come from `node.hpp`).
+///
+/// Composition rules (W = work, S = span; see node.hpp for the fold):
+///
+///  * `map {c1..cn}`  — independent children on the context's workers:
+///        W = sum Wi (+ dispatch),  S = max Si (+ dispatch),
+///        seconds = Graham(W, S, workers).
+///    At workers == 1 this is exactly `sum ci.seconds` — serial maps are
+///    sums. Nesting maps is associative because sums and maxes are.
+///  * `farm (body, jobs, replicas)` — `jobs` instances of `body` served
+///    by R = min(replicas, workers) replicas:
+///        W = jobs * W_body (+ dispatch),  S = S_body (+ dispatch),
+///        seconds = Graham(W, S, R),
+///        bottleneck = body.seconds / R   (steady-state service interval,
+///                                         what a pipeline stage sees).
+///  * `pipeline {s1..sk} x items` — stages process a stream:
+///        latency    = sum stage latencies,
+///        interval   = max(max stage bottlenecks,
+///                         sum stage work / workers),
+///        seconds    = latency + (items - 1) * interval.
+///    The work term makes the drain rate machine-aware: with fewer
+///    workers than busy stages, throughput is CPU-bound, and on one
+///    worker the pipeline degenerates exactly to the serial sum. A
+///    pipeline charges no dispatch of its own (stages carry theirs), so
+///    nesting a single-item pipeline as a stage is exactly associative.
+///  * `reduce (combine, leaves)` — a combining tree over `leaves` inputs:
+///        W = (leaves - 1) * W_c (+ dispatch),
+///        S = ceil(log2 leaves) * S_c (+ dispatch).
+///  * `divide_and_conquer (divide, base, merge, branching, depth)` —
+///    `branching`-ary recursion of `depth` levels:
+///        W = sum_k b^k (W_div + W_merge) + b^depth * W_base (+ dispatch),
+///        S = depth * (S_div + S_merge) + S_base (+ dispatch).
+///
+/// Dispatch (`Context::dispatch_seconds`) is charged once per node that
+/// actually opens a parallel region, i.e. only when the effective width
+/// exceeds one — serial evaluation stays dispatch-free so the algebra
+/// identities hold exactly.
+///
+/// The constructors operate on the machine calibration only through
+/// `Context::from_machine` (node.hpp); no factory of their own lives here.
+// perfeng-lint: allow-file(model-from-machine)
+
+#include <cstddef>
+#include <vector>
+
+#include "perfeng/models/composition/node.hpp"
+
+namespace pe::models::composition {
+
+/// Independent children executed by the context's worker pool.
+[[nodiscard]] NodePtr map(std::vector<NodePtr> children);
+
+/// Uniform map: `iterations` instances of the same body (a parallel-for;
+/// only one body prediction is computed, then scaled).
+[[nodiscard]] NodePtr map(NodePtr body, std::size_t iterations);
+
+/// Task farm: `jobs` instances of `body` across `replicas` workers
+/// (capped by the context's worker count).
+[[nodiscard]] NodePtr farm(NodePtr body, std::size_t jobs,
+                           unsigned replicas);
+
+/// Stream pipeline over `items` items. Build nested stages with the
+/// default `items == 1` so their seconds equal their latency.
+[[nodiscard]] NodePtr pipeline(std::vector<NodePtr> stages,
+                               std::size_t items = 1);
+
+/// Combining tree over `leaves` inputs; each combine is one `combine`
+/// prediction. `leaves >= 1`; a single leaf needs no combining.
+[[nodiscard]] NodePtr reduce(NodePtr combine, std::size_t leaves);
+
+/// `branching`-ary divide-and-conquer of `depth` levels: `divide` and
+/// `merge` run at every internal node, `base` at each of the
+/// branching^depth leaves. `depth == 0` degenerates to `base` alone.
+[[nodiscard]] NodePtr divide_and_conquer(NodePtr divide, NodePtr base,
+                                         NodePtr merge, unsigned branching,
+                                         unsigned depth);
+
+}  // namespace pe::models::composition

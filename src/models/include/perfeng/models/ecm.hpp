@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "perfeng/machine/machine.hpp"
+#include "perfeng/models/model_eval.hpp"
 
 namespace pe::models {
 
@@ -68,9 +69,16 @@ class EcmModel {
     return transfers_;
   }
 
+  /// Composition adapter: the overlapped prediction for `units` of work,
+  /// as "ecm.stream". Footprints are known only for `from_machine`-built
+  /// models (the manual ctor does not carry per-unit FLOPs/bytes).
+  [[nodiscard]] ModelEval eval(double units) const;
+
  private:
   double core_;
   std::vector<EcmLevelCost> transfers_;
+  double unit_flops_ = 0.0;  ///< per-unit work, when built from_machine
+  double unit_bytes_ = 0.0;
 };
 
 }  // namespace pe::models

@@ -19,6 +19,7 @@
 
 #include "perfeng/counters/counter_set.hpp"
 #include "perfeng/machine/machine.hpp"
+#include "perfeng/models/model_eval.hpp"
 
 namespace pe::models {
 
@@ -36,6 +37,12 @@ struct PowerModel {
   /// Calibrate from a machine description's energy coefficients; the
   /// machine must carry them (`Machine::has_energy()`).
   [[nodiscard]] static PowerModel from_machine(const machine::Machine& m);
+
+  /// Composition adapter: a phase of `seconds` at `utilization` doing
+  /// `flops` of useful work, with its joules in the footprint
+  /// ("energy.power") — so compositions can sum energy alongside time.
+  [[nodiscard]] ModelEval eval(double seconds, double utilization,
+                               double flops) const;
 };
 
 /// Per-event energy coefficients (RAPL-style attribution), in joules.

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "perfeng/machine/machine.hpp"
+#include "perfeng/models/model_eval.hpp"
 
 namespace pe::models {
 
@@ -87,6 +88,11 @@ struct LatencyHidingModel {
   /// Resident warps per SM needed to reach the peak.
   [[nodiscard]] unsigned saturation_warps(
       std::size_t bytes_per_access) const;
+
+  /// Composition adapter: time to stream `bytes` at the bandwidth
+  /// achievable with `warps_per_sm` resident warps, as "gpu.stream".
+  [[nodiscard]] ModelEval eval(double bytes, unsigned warps_per_sm,
+                               std::size_t bytes_per_access) const;
 };
 
 }  // namespace pe::models

@@ -14,6 +14,7 @@
 #include <cstddef>
 
 #include "perfeng/machine/machine.hpp"
+#include "perfeng/models/model_eval.hpp"
 
 namespace pe::models {
 
@@ -48,6 +49,12 @@ struct SharedSystemModel {
   [[nodiscard]] unsigned estimate_tenants(double flops, double bytes,
                                           double observed_slowdown,
                                           unsigned max_tenants = 64) const;
+
+  /// Composition adapter: the kernel's time under `tenants` co-runners
+  /// ("interference.shared") — a leaf that prices multi-tenancy into a
+  /// larger composition.
+  [[nodiscard]] ModelEval eval(double flops, double bytes,
+                               unsigned tenants) const;
 };
 
 }  // namespace pe::models

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file model_eval.hpp
+/// The common currency of the model zoo: every model in perfeng/models can
+/// answer one question — "how long will this workload take, using what
+/// resources?" — and `ModelEval` is that answer packaged as a value.
+///
+/// Each model header keeps its own rich API (ceilings, curves, bounds,
+/// break-evens) and its `from_machine()` factory; on top of those, every
+/// model now exposes one or more `eval*()` adapters returning a `ModelEval`
+/// so any calibrated model+workload pairing can become a `Leaf` of a
+/// composition tree (perfeng/models/composition) and be combined with
+/// others into a whole-program prediction. Evaluations are pure arithmetic:
+/// re-evaluating the same `ModelEval` returns bit-identical results.
+///
+/// This header defines the interface, not a model, so it carries no
+/// from_machine() factory of its own.
+/// perfeng-lint: allow-file(model-from-machine)
+
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace pe::models {
+
+/// Resource footprint of one predicted execution. Zero means "the model
+/// does not know", not "none".
+struct Footprint {
+  double flops = 0.0;   ///< useful floating-point work
+  double bytes = 0.0;   ///< memory or link traffic
+  double cores = 1.0;   ///< parallel lanes the prediction assumes busy
+  double joules = 0.0;  ///< energy, when the model attributes it
+
+  /// Accumulate another footprint (cores are taken as the max: two
+  /// sequential phases need the wider of the two, not the sum).
+  void absorb(const Footprint& other);
+
+  bool operator==(const Footprint&) const = default;
+};
+
+/// What every model answers: predicted seconds plus the footprint.
+struct Evaluation {
+  double seconds = 0.0;
+  Footprint footprint;
+
+  bool operator==(const Evaluation&) const = default;
+};
+
+/// Type-erased handle to one calibrated model + workload pairing.
+///
+/// Value-semantic and cheap to copy; the wrapped callable must be pure
+/// (same Evaluation on every call) — the composition layer's determinism
+/// guarantee rests on it, and tests/test_composition asserts it.
+class ModelEval {
+ public:
+  /// Wrap a pure evaluation callable under a human-readable name
+  /// (convention: "<header>.<model>", e.g. "analytical.matmul.tiled").
+  ModelEval(std::string name, std::function<Evaluation()> fn);
+
+  /// A fixed, precomputed evaluation (measurement stubs, tests).
+  [[nodiscard]] static ModelEval constant(std::string name, Evaluation e);
+
+  /// Run the wrapped model.
+  [[nodiscard]] Evaluation evaluate() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::function<Evaluation()> fn_;
+};
+
+}  // namespace pe::models

@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "perfeng/machine/machine.hpp"
+#include "perfeng/models/model_eval.hpp"
 
 namespace pe::models {
 
@@ -38,6 +39,16 @@ struct AlphaBetaModel {
 
   /// 1-D halo exchange: two neighbour messages, overlapping directions.
   [[nodiscard]] double halo_exchange(std::size_t halo_bytes) const;
+
+  /// Composition adapters: a point-to-point transfer ("network.p2p"), a
+  /// broadcast ("network.broadcast"), and a ring allreduce
+  /// ("network.allreduce") as communication leaves. The footprint records
+  /// the payload bytes and, for collectives, the ranks as busy lanes.
+  [[nodiscard]] ModelEval eval_p2p(std::size_t bytes) const;
+  [[nodiscard]] ModelEval eval_broadcast(unsigned ranks,
+                                         std::size_t bytes) const;
+  [[nodiscard]] ModelEval eval_allreduce(unsigned ranks,
+                                         std::size_t bytes) const;
 };
 
 /// Strong-scaling prediction for a data-parallel iteration: total work

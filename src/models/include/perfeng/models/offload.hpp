@@ -16,6 +16,7 @@
 #include <cstddef>
 
 #include "perfeng/machine/machine.hpp"
+#include "perfeng/models/model_eval.hpp"
 
 namespace pe::models {
 
@@ -70,6 +71,14 @@ struct OffloadModel {
   [[nodiscard]] double amortization_factor(double flops, double bytes,
                                            double input_bytes,
                                            double output_bytes) const;
+
+  /// Composition adapters: the same kernel kept on the host
+  /// ("offload.host") or shipped to the device including both copies
+  /// ("offload.device") — so an offload decision can be made by swapping
+  /// one leaf of a larger composition.
+  [[nodiscard]] ModelEval eval_host(double flops, double bytes) const;
+  [[nodiscard]] ModelEval eval_offload(double flops, double input_bytes,
+                                       double output_bytes) const;
 };
 
 /// Break-even matrix order for an n x n x n matmul-like kernel (2 n^3

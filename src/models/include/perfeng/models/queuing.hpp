@@ -11,6 +11,7 @@
 /// analytical models.
 
 #include "perfeng/machine/machine.hpp"
+#include "perfeng/models/model_eval.hpp"
 
 namespace pe::models {
 
@@ -70,6 +71,14 @@ struct ServiceModel {
 
   /// Highest arrival rate the whole machine can absorb (c * mu).
   [[nodiscard]] double saturation_rate() const;
+
+  /// Composition adapters, as "queuing.wait" / "queuing.service": the
+  /// M/M/c mean queueing delay at `arrival_rate` (an admission stage) and
+  /// the bare per-request service time (a worker-body leaf). Together they
+  /// let a whole submission campaign be expressed as a pattern tree whose
+  /// admission leaf reproduces the closed form.
+  [[nodiscard]] ModelEval eval_wait(double arrival_rate) const;
+  [[nodiscard]] ModelEval eval_service() const;
 };
 
 }  // namespace pe::models

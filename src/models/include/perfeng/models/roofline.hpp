@@ -17,11 +17,14 @@
 #include <vector>
 
 #include "perfeng/machine/machine.hpp"
+#include "perfeng/models/model_eval.hpp"
 
 namespace pe::models {
 
 /// Which ceiling limits a kernel at a given intensity.
 enum class Bound { kMemory, kCompute };
+
+struct KernelCharacterization;
 
 /// Machine side of the model: one compute roof + one or more bandwidth
 /// ceilings (DRAM only for the classic model).
@@ -61,6 +64,10 @@ class RooflineModel {
   /// Fraction of attainable performance achieved by a measured kernel.
   [[nodiscard]] double efficiency(double intensity,
                                   double measured_flops) const;
+
+  /// Composition adapter: predicted seconds of one kernel invocation at
+  /// the attainable ceiling, as "roofline.<kernel name>".
+  [[nodiscard]] ModelEval eval(const KernelCharacterization& kernel) const;
 
   /// Sampled roofline curve for plotting: log-spaced intensities in
   /// [min_intensity, max_intensity] with attainable FLOP/s.

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "perfeng/machine/machine.hpp"
+#include "perfeng/models/model_eval.hpp"
 
 namespace pe::models {
 
@@ -65,6 +66,14 @@ struct SpeedupProjection {
   [[nodiscard]] double amdahl(double serial_fraction) const;
   [[nodiscard]] double gustafson(double serial_fraction) const;
   [[nodiscard]] double usl(double sigma, double kappa) const;
+
+  /// Composition adapters: project a measured single-worker runtime onto
+  /// this machine's width, as "scaling.amdahl" / "scaling.usl". The
+  /// footprint records the machine width as busy cores.
+  [[nodiscard]] ModelEval eval_amdahl(double serial_seconds,
+                                      double serial_fraction) const;
+  [[nodiscard]] ModelEval eval_usl(double serial_seconds, double sigma,
+                                   double kappa) const;
 };
 
 }  // namespace pe::models

@@ -217,4 +217,40 @@ double SpmvModel::predict() const {
   return traffic_time(flops(), dram_bytes(), calib_);
 }
 
+namespace {
+
+/// The shared shape of the adapters: a pure snapshot of (seconds, flops,
+/// bytes) taken now, so later mutation of the model cannot skew a tree
+/// that already captured the evaluation.
+ModelEval traffic_eval(std::string name, double seconds, double flops,
+                       double bytes) {
+  Evaluation e;
+  e.seconds = seconds;
+  e.footprint.flops = flops;
+  e.footprint.bytes = bytes;
+  return ModelEval::constant(std::move(name), e);
+}
+
+}  // namespace
+
+ModelEval MatmulModel::eval() const {
+  const char* variant = "tiled";
+  switch (variant_) {
+    case MatmulVariant::kNaiveIjk: variant = "naive-ijk"; break;
+    case MatmulVariant::kInterchangedIkj: variant = "interchanged-ikj"; break;
+    case MatmulVariant::kTiled: variant = "tiled"; break;
+  }
+  return traffic_eval(std::string("analytical.matmul.") + variant,
+                      predict_traffic(), flops(), dram_bytes());
+}
+
+ModelEval HistogramModel::eval() const {
+  return traffic_eval("analytical.histogram", predict_traffic(),
+                      static_cast<double>(elements_), dram_bytes());
+}
+
+ModelEval SpmvModel::eval() const {
+  return traffic_eval("analytical.spmv", predict(), flops(), dram_bytes());
+}
+
 }  // namespace pe::models

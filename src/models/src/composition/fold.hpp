@@ -1,0 +1,26 @@
+#pragma once
+
+// Internal helpers shared by the composition pattern implementations.
+// Not installed; the public surface is include/perfeng/models/composition.
+
+#include <string>
+#include <vector>
+
+#include "perfeng/models/composition/node.hpp"
+
+namespace pe::models::composition::detail {
+
+/// The Graham/Brent makespan estimate for (work W, span S) on P workers:
+/// exactly W at P == 1 (serial composition is summation), approaching S
+/// as P grows. Requires W >= S >= 0, which every fold maintains.
+[[nodiscard]] double graham(double work, double span, unsigned workers);
+
+/// Append `child`'s breakdown lines to `out`, each path prefixed with
+/// `prefix` + '/'. `scale` multiplies the seconds (e.g. a farm body
+/// counted `jobs` times).
+void absorb_breakdown(std::vector<BreakdownLine>& out,
+                      const std::string& prefix,
+                      const std::vector<BreakdownLine>& child,
+                      double scale = 1.0);
+
+}  // namespace pe::models::composition::detail

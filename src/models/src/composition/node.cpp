@@ -1,0 +1,141 @@
+#include "perfeng/models/composition/node.hpp"
+
+#include <sstream>
+#include <utility>
+
+// Private detail header, shared only by the composition .cpp files — it
+// deliberately has no perfeng/ install path. perfeng-lint: allow(include-style)
+#include "fold.hpp"
+#include "perfeng/common/error.hpp"
+
+namespace pe::models::composition {
+
+Context Context::from_machine(const machine::Machine& m) {
+  m.check();
+  Context ctx;
+  ctx.workers = m.cores;
+  ctx.dispatch_seconds = m.bulk_dispatch_seconds();
+  ctx.link_alpha = m.link_alpha;
+  ctx.link_beta = m.link_beta;
+  return ctx;
+}
+
+Context Context::serial() const {
+  Context ctx = *this;
+  ctx.workers = 1;
+  return ctx;
+}
+
+namespace detail {
+
+double graham(double work, double span, unsigned workers) {
+  PE_REQUIRE(workers >= 1, "need at least one worker");
+  PE_REQUIRE(work >= 0.0 && span >= 0.0 && work >= span,
+             "fold invariant violated: need work >= span >= 0");
+  if (workers == 1) return work;
+  const double p = static_cast<double>(workers);
+  return work / p + (1.0 - 1.0 / p) * span;
+}
+
+void absorb_breakdown(std::vector<BreakdownLine>& out,
+                      const std::string& prefix,
+                      const std::vector<BreakdownLine>& child,
+                      double scale) {
+  for (const auto& line : child)
+    out.push_back({prefix + "/" + line.path, line.seconds * scale});
+}
+
+}  // namespace detail
+
+namespace {
+
+/// A retrofitted model evaluation as a degenerate (single-activity)
+/// prediction: every composition quantity is the evaluation's seconds.
+class LeafNode final : public Node {
+ public:
+  explicit LeafNode(ModelEval model) : model_(std::move(model)) {}
+
+  Prediction predict(const Context&) const override {
+    const Evaluation e = model_.evaluate();
+    PE_REQUIRE(e.seconds >= 0.0,
+               "leaf model predicted negative seconds: " + model_.name());
+    Prediction p;
+    p.seconds = e.seconds;
+    p.work_seconds = e.seconds;
+    p.span_seconds = e.seconds;
+    p.latency_seconds = e.seconds;
+    p.bottleneck_seconds = e.seconds;
+    p.footprint = e.footprint;
+    p.breakdown.push_back({label(), e.seconds});
+    return p;
+  }
+
+  std::string label() const override { return "leaf:" + model_.name(); }
+
+ private:
+  ModelEval model_;
+};
+
+/// An alpha-beta transfer priced by the context's link coefficients.
+class CommNode final : public Node {
+ public:
+  CommNode(std::string name, double bytes)
+      : name_(std::move(name)), bytes_(bytes) {
+    PE_REQUIRE(!name_.empty(), "comm node needs a name");
+    PE_REQUIRE(bytes_ >= 0.0, "comm node needs non-negative bytes");
+  }
+
+  Prediction predict(const Context& ctx) const override {
+    const double seconds =
+        bytes_ == 0.0 ? 0.0 : ctx.link_alpha + ctx.link_beta * bytes_;
+    Prediction p;
+    p.seconds = seconds;
+    p.work_seconds = seconds;
+    p.span_seconds = seconds;
+    p.latency_seconds = seconds;
+    p.bottleneck_seconds = seconds;
+    p.comm_seconds = seconds;
+    p.footprint.bytes = bytes_;
+    p.breakdown.push_back({label(), seconds});
+    return p;
+  }
+
+  std::string label() const override { return "comm:" + name_; }
+
+ private:
+  std::string name_;
+  double bytes_;
+};
+
+}  // namespace
+
+NodePtr leaf(ModelEval model) {
+  return std::make_shared<LeafNode>(std::move(model));
+}
+
+NodePtr comm(std::string name, double bytes) {
+  return std::make_shared<CommNode>(std::move(name), bytes);
+}
+
+std::string format_prediction(const Prediction& p) {
+  std::ostringstream out;
+  out.setf(std::ios::scientific);
+  out.precision(3);
+  out << "predicted " << p.seconds << " s"
+      << "  (work " << p.work_seconds << ", span " << p.span_seconds
+      << ", latency " << p.latency_seconds << ", bottleneck "
+      << p.bottleneck_seconds << ")\n";
+  out << "  dispatch " << p.dispatch_seconds << " s, comm "
+      << p.comm_seconds << " s\n";
+  out << "  footprint: " << p.footprint.flops << " flops, "
+      << p.footprint.bytes << " bytes, " << p.footprint.cores
+      << " cores, " << p.footprint.joules << " J\n";
+  if (!p.breakdown.empty()) {
+    out << "  breakdown:\n";
+    for (const auto& line : p.breakdown)
+      out << "    " << line.seconds << " s  " << line.path << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pe::models::composition

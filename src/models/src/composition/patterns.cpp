@@ -1,0 +1,370 @@
+#include "perfeng/models/composition/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+// Private detail header, shared only by the composition .cpp files — it
+// deliberately has no perfeng/ install path. perfeng-lint: allow(include-style)
+#include "fold.hpp"
+#include "perfeng/common/error.hpp"
+
+namespace pe::models::composition {
+
+namespace {
+
+using detail::absorb_breakdown;
+using detail::graham;
+
+/// `k` instances of the same activity: time-like footprint fields scale,
+/// concurrency (cores) does not.
+Footprint scaled(const Footprint& f, double k) {
+  Footprint s = f;
+  s.flops *= k;
+  s.bytes *= k;
+  s.joules *= k;
+  return s;
+}
+
+double min_width(unsigned workers, std::size_t tasks) {
+  return static_cast<double>(
+      std::min<std::size_t>(workers, std::max<std::size_t>(tasks, 1)));
+}
+
+/// Heterogeneous map: independent children on the context's workers.
+class MapNode final : public Node {
+ public:
+  explicit MapNode(std::vector<NodePtr> children)
+      : children_(std::move(children)) {
+    PE_REQUIRE(!children_.empty(), "map needs at least one child");
+    for (const auto& c : children_)
+      PE_REQUIRE(c != nullptr, "map child must not be null");
+  }
+
+  Prediction predict(const Context& ctx) const override {
+    Prediction p;
+    const std::string prefix = label();
+    for (const auto& child : children_) {
+      const Prediction c = child->predict(ctx);
+      p.work_seconds += c.work_seconds;
+      p.span_seconds = std::max(p.span_seconds, c.span_seconds);
+      p.comm_seconds += c.comm_seconds;
+      p.dispatch_seconds += c.dispatch_seconds;
+      p.footprint.absorb(c.footprint);
+      absorb_breakdown(p.breakdown, prefix, c.breakdown);
+    }
+    if (ctx.workers > 1) {
+      p.work_seconds += ctx.dispatch_seconds;
+      p.span_seconds += ctx.dispatch_seconds;
+      p.dispatch_seconds += ctx.dispatch_seconds;
+    }
+    p.seconds = graham(p.work_seconds, p.span_seconds, ctx.workers);
+    p.latency_seconds = p.seconds;
+    p.bottleneck_seconds = p.seconds;
+    p.footprint.cores =
+        std::max(p.footprint.cores, min_width(ctx.workers, children_.size()));
+    return p;
+  }
+
+  std::string label() const override {
+    return "map[" + std::to_string(children_.size()) + "]";
+  }
+
+ private:
+  std::vector<NodePtr> children_;
+};
+
+/// Uniform map (a parallel-for): one body prediction, scaled.
+class UniformMapNode final : public Node {
+ public:
+  UniformMapNode(NodePtr body, std::size_t iterations)
+      : body_(std::move(body)), iterations_(iterations) {
+    PE_REQUIRE(body_ != nullptr, "map body must not be null");
+    PE_REQUIRE(iterations_ >= 1, "map needs at least one iteration");
+  }
+
+  Prediction predict(const Context& ctx) const override {
+    const Prediction c = body_->predict(ctx);
+    const double n = static_cast<double>(iterations_);
+    Prediction p;
+    p.work_seconds = n * c.work_seconds;
+    p.span_seconds = c.span_seconds;
+    p.comm_seconds = n * c.comm_seconds;
+    p.dispatch_seconds = n * c.dispatch_seconds;
+    p.footprint = scaled(c.footprint, n);
+    absorb_breakdown(p.breakdown, label(), c.breakdown, n);
+    if (ctx.workers > 1) {
+      p.work_seconds += ctx.dispatch_seconds;
+      p.span_seconds += ctx.dispatch_seconds;
+      p.dispatch_seconds += ctx.dispatch_seconds;
+    }
+    p.seconds = graham(p.work_seconds, p.span_seconds, ctx.workers);
+    p.latency_seconds = p.seconds;
+    p.bottleneck_seconds = p.seconds;
+    p.footprint.cores =
+        std::max(p.footprint.cores, min_width(ctx.workers, iterations_));
+    return p;
+  }
+
+  std::string label() const override {
+    return "map[x" + std::to_string(iterations_) + "]";
+  }
+
+ private:
+  NodePtr body_;
+  std::size_t iterations_;
+};
+
+/// Task farm: `jobs` bodies served by min(replicas, workers) replicas.
+class FarmNode final : public Node {
+ public:
+  FarmNode(NodePtr body, std::size_t jobs, unsigned replicas)
+      : body_(std::move(body)), jobs_(jobs), replicas_(replicas) {
+    PE_REQUIRE(body_ != nullptr, "farm body must not be null");
+    PE_REQUIRE(jobs_ >= 1, "farm needs at least one job");
+    PE_REQUIRE(replicas_ >= 1, "farm needs at least one replica");
+  }
+
+  Prediction predict(const Context& ctx) const override {
+    const Prediction c = body_->predict(ctx);
+    const unsigned width = std::min(replicas_, ctx.workers);
+    const double n = static_cast<double>(jobs_);
+    Prediction p;
+    p.work_seconds = n * c.work_seconds;
+    p.span_seconds = c.span_seconds;
+    p.comm_seconds = n * c.comm_seconds;
+    p.dispatch_seconds = n * c.dispatch_seconds;
+    p.footprint = scaled(c.footprint, n);
+    absorb_breakdown(p.breakdown, label(), c.breakdown, n);
+    if (width > 1) {
+      p.work_seconds += ctx.dispatch_seconds;
+      p.span_seconds += ctx.dispatch_seconds;
+      p.dispatch_seconds += ctx.dispatch_seconds;
+    }
+    p.seconds = graham(p.work_seconds, p.span_seconds, width);
+    p.latency_seconds = p.seconds;
+    // Steady state the farm accepts one job every body-time / replicas:
+    // the service interval a surrounding pipeline stage is priced at.
+    p.bottleneck_seconds = c.seconds / static_cast<double>(width);
+    p.footprint.cores = std::max(p.footprint.cores,
+                                 min_width(ctx.workers, width));
+    return p;
+  }
+
+  std::string label() const override {
+    return "farm[x" + std::to_string(jobs_) + "@" +
+           std::to_string(replicas_) + "]";
+  }
+
+ private:
+  NodePtr body_;
+  std::size_t jobs_;
+  unsigned replicas_;
+};
+
+/// Stream pipeline: latency is the sum, throughput is the bottleneck.
+class PipelineNode final : public Node {
+ public:
+  PipelineNode(std::vector<NodePtr> stages, std::size_t items)
+      : stages_(std::move(stages)), items_(items) {
+    PE_REQUIRE(!stages_.empty(), "pipeline needs at least one stage");
+    for (const auto& s : stages_)
+      PE_REQUIRE(s != nullptr, "pipeline stage must not be null");
+    PE_REQUIRE(items_ >= 1, "pipeline needs at least one item");
+  }
+
+  Prediction predict(const Context& ctx) const override {
+    const double n = static_cast<double>(items_);
+    Prediction p;
+    double work_per_item = 0.0;
+    double cores = 0.0;
+    const std::string prefix = label();
+    for (const auto& stage : stages_) {
+      const Prediction s = stage->predict(ctx);
+      p.latency_seconds += s.latency_seconds;
+      p.bottleneck_seconds =
+          std::max(p.bottleneck_seconds, s.bottleneck_seconds);
+      work_per_item += s.work_seconds;
+      p.comm_seconds += n * s.comm_seconds;
+      p.dispatch_seconds += n * s.dispatch_seconds;
+      p.footprint.absorb(scaled(s.footprint, n));
+      cores += s.footprint.cores;
+      absorb_breakdown(p.breakdown, prefix, s.breakdown, n);
+    }
+    // Fill, then drain one item per steady-state interval: the slowest
+    // stage, or the whole item's work divided across the workers when
+    // there are fewer workers than the stages could occupy (a pipeline
+    // on one core cannot overlap at all — it degenerates exactly to the
+    // serial sum). Folding the work term from the stage-work *sum* keeps
+    // nesting a single-item pipeline as a stage associative, and no
+    // dispatch of the pipeline's own is charged: stages carry theirs.
+    p.bottleneck_seconds =
+        std::max(p.bottleneck_seconds,
+                 work_per_item / static_cast<double>(ctx.workers));
+    p.seconds = p.latency_seconds + (n - 1.0) * p.bottleneck_seconds;
+    p.work_seconds = n * work_per_item;
+    p.span_seconds = p.seconds;
+    p.footprint.cores = cores;  // stages are concurrently resident
+    return p;
+  }
+
+  std::string label() const override {
+    return "pipeline[x" + std::to_string(items_) + "]";
+  }
+
+ private:
+  std::vector<NodePtr> stages_;
+  std::size_t items_;
+};
+
+/// Combining tree: leaves - 1 combines, ceil(log2(leaves)) levels deep.
+class ReduceNode final : public Node {
+ public:
+  ReduceNode(NodePtr combine, std::size_t leaves)
+      : combine_(std::move(combine)), leaves_(leaves) {
+    PE_REQUIRE(combine_ != nullptr, "reduce combine must not be null");
+    PE_REQUIRE(leaves_ >= 1, "reduce needs at least one input");
+  }
+
+  Prediction predict(const Context& ctx) const override {
+    const Prediction c = combine_->predict(ctx);
+    const double combines = static_cast<double>(leaves_ - 1);
+    unsigned depth = 0;
+    for (std::size_t cap = 1; cap < leaves_; cap <<= 1) ++depth;
+    Prediction p;
+    p.work_seconds = combines * c.work_seconds;
+    p.span_seconds = static_cast<double>(depth) * c.span_seconds;
+    p.comm_seconds = combines * c.comm_seconds;
+    p.dispatch_seconds = combines * c.dispatch_seconds;
+    p.footprint = scaled(c.footprint, combines);
+    absorb_breakdown(p.breakdown, label(), c.breakdown, combines);
+    if (ctx.workers > 1 && leaves_ > 1) {
+      p.work_seconds += ctx.dispatch_seconds;
+      p.span_seconds += ctx.dispatch_seconds;
+      p.dispatch_seconds += ctx.dispatch_seconds;
+    }
+    p.seconds = graham(p.work_seconds, p.span_seconds, ctx.workers);
+    p.latency_seconds = p.seconds;
+    p.bottleneck_seconds = p.seconds;
+    p.footprint.cores = std::max(
+        p.footprint.cores,
+        min_width(ctx.workers, leaves_ > 1 ? (leaves_ + 1) / 2 : 1));
+    return p;
+  }
+
+  std::string label() const override {
+    return "reduce[x" + std::to_string(leaves_) + "]";
+  }
+
+ private:
+  NodePtr combine_;
+  std::size_t leaves_;
+};
+
+/// Branching-ary recursion: divide and merge at every internal node,
+/// base at every leaf.
+class DivideAndConquerNode final : public Node {
+ public:
+  DivideAndConquerNode(NodePtr divide, NodePtr base, NodePtr merge,
+                       unsigned branching, unsigned depth)
+      : divide_(std::move(divide)),
+        base_(std::move(base)),
+        merge_(std::move(merge)),
+        branching_(branching),
+        depth_(depth) {
+    PE_REQUIRE(divide_ != nullptr && base_ != nullptr && merge_ != nullptr,
+               "divide-and-conquer phases must not be null");
+    PE_REQUIRE(branching_ >= 1, "branching factor must be at least one");
+    PE_REQUIRE(depth_ <= 40, "recursion depth out of modeling range");
+  }
+
+  Prediction predict(const Context& ctx) const override {
+    const Prediction d = divide_->predict(ctx);
+    const Prediction b = base_->predict(ctx);
+    const Prediction m = merge_->predict(ctx);
+    const double bf = static_cast<double>(branching_);
+    const double leaves = std::pow(bf, static_cast<double>(depth_));
+    // Internal nodes: 1 + b + ... + b^(depth-1).
+    double internal = 0.0;
+    for (unsigned k = 0; k < depth_; ++k)
+      internal += std::pow(bf, static_cast<double>(k));
+    Prediction p;
+    p.work_seconds = internal * (d.work_seconds + m.work_seconds) +
+                     leaves * b.work_seconds;
+    p.span_seconds =
+        static_cast<double>(depth_) * (d.span_seconds + m.span_seconds) +
+        b.span_seconds;
+    p.comm_seconds = internal * (d.comm_seconds + m.comm_seconds) +
+                     leaves * b.comm_seconds;
+    p.dispatch_seconds =
+        internal * (d.dispatch_seconds + m.dispatch_seconds) +
+        leaves * b.dispatch_seconds;
+    p.footprint = scaled(d.footprint, internal);
+    p.footprint.absorb(scaled(m.footprint, internal));
+    p.footprint.absorb(scaled(b.footprint, leaves));
+    const std::string prefix = label();
+    absorb_breakdown(p.breakdown, prefix + "/divide", d.breakdown, internal);
+    absorb_breakdown(p.breakdown, prefix + "/base", b.breakdown, leaves);
+    absorb_breakdown(p.breakdown, prefix + "/merge", m.breakdown, internal);
+    if (ctx.workers > 1 && branching_ > 1 && depth_ >= 1) {
+      // One parallel region per recursion level.
+      const double charge =
+          static_cast<double>(depth_) * ctx.dispatch_seconds;
+      p.work_seconds += charge;
+      p.span_seconds += charge;
+      p.dispatch_seconds += charge;
+    }
+    p.seconds = graham(p.work_seconds, p.span_seconds, ctx.workers);
+    p.latency_seconds = p.seconds;
+    p.bottleneck_seconds = p.seconds;
+    p.footprint.cores = std::max(
+        p.footprint.cores,
+        min_width(ctx.workers, static_cast<std::size_t>(
+                                   std::min(leaves, 1e9))));
+    return p;
+  }
+
+  std::string label() const override {
+    return "dnc[b" + std::to_string(branching_) + ",d" +
+           std::to_string(depth_) + "]";
+  }
+
+ private:
+  NodePtr divide_;
+  NodePtr base_;
+  NodePtr merge_;
+  unsigned branching_;
+  unsigned depth_;
+};
+
+}  // namespace
+
+NodePtr map(std::vector<NodePtr> children) {
+  return std::make_shared<MapNode>(std::move(children));
+}
+
+NodePtr map(NodePtr body, std::size_t iterations) {
+  return std::make_shared<UniformMapNode>(std::move(body), iterations);
+}
+
+NodePtr farm(NodePtr body, std::size_t jobs, unsigned replicas) {
+  return std::make_shared<FarmNode>(std::move(body), jobs, replicas);
+}
+
+NodePtr pipeline(std::vector<NodePtr> stages, std::size_t items) {
+  return std::make_shared<PipelineNode>(std::move(stages), items);
+}
+
+NodePtr reduce(NodePtr combine, std::size_t leaves) {
+  return std::make_shared<ReduceNode>(std::move(combine), leaves);
+}
+
+NodePtr divide_and_conquer(NodePtr divide, NodePtr base, NodePtr merge,
+                           unsigned branching, unsigned depth) {
+  return std::make_shared<DivideAndConquerNode>(
+      std::move(divide), std::move(base), std::move(merge), branching,
+      depth);
+}
+
+}  // namespace pe::models::composition

@@ -21,6 +21,8 @@ EcmModel EcmModel::from_machine(const machine::Machine& m,
     model.add_transfer(m.hierarchy[i].name, m.hierarchy[i - 1].name,
                        unit_bytes / m.hierarchy[i].bandwidth);
   }
+  model.unit_flops_ = unit_flops;
+  model.unit_bytes_ = unit_bytes;
   return model;
 }
 
@@ -48,6 +50,15 @@ bool EcmModel::brackets(double measured_seconds, double slack) const {
   const double lo = predict_overlapped() * (1.0 - slack);
   const double hi = predict_serial() * (1.0 + slack);
   return measured_seconds >= lo && measured_seconds <= hi;
+}
+
+ModelEval EcmModel::eval(double units) const {
+  PE_REQUIRE(units >= 0.0, "units must be non-negative");
+  Evaluation e;
+  e.seconds = units * predict_overlapped();
+  e.footprint.flops = units * unit_flops_;
+  e.footprint.bytes = units * unit_bytes_;
+  return ModelEval::constant("ecm.stream", e);
 }
 
 }  // namespace pe::models

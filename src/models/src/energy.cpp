@@ -89,4 +89,15 @@ double race_to_idle_ratio(const PowerModel& power, double baseline_seconds,
   return optimized / baseline;
 }
 
+ModelEval PowerModel::eval(double seconds, double utilization,
+                           double flops) const {
+  PE_REQUIRE(seconds >= 0.0, "negative duration");
+  PE_REQUIRE(flops >= 0.0, "negative flop count");
+  Evaluation e;
+  e.seconds = seconds;
+  e.footprint.flops = flops;
+  e.footprint.joules = energy(seconds, utilization);
+  return ModelEval::constant("energy.power", e);
+}
+
 }  // namespace pe::models

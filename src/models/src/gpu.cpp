@@ -98,4 +98,14 @@ unsigned LatencyHidingModel::saturation_warps(
                            bytes_per_access);
 }
 
+ModelEval LatencyHidingModel::eval(double bytes, unsigned warps_per_sm,
+                                   std::size_t bytes_per_access) const {
+  PE_REQUIRE(bytes >= 0.0, "bytes must be non-negative");
+  Evaluation e;
+  e.seconds = bytes / achievable(warps_per_sm, bytes_per_access);
+  e.footprint.bytes = bytes;
+  e.footprint.cores = num_sms;
+  return ModelEval::constant("gpu.stream", e);
+}
+
 }  // namespace pe::models

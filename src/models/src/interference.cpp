@@ -56,4 +56,13 @@ unsigned SharedSystemModel::estimate_tenants(double flops, double bytes,
   return best;
 }
 
+ModelEval SharedSystemModel::eval(double flops, double bytes,
+                                  unsigned tenants) const {
+  Evaluation e;
+  e.seconds = kernel_time(flops, bytes, tenants);
+  e.footprint.flops = flops;
+  e.footprint.bytes = bytes;
+  return ModelEval::constant("interference.shared", e);
+}
+
 }  // namespace pe::models

@@ -1,0 +1,29 @@
+#include "perfeng/models/model_eval.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "perfeng/common/error.hpp"
+
+namespace pe::models {
+
+void Footprint::absorb(const Footprint& other) {
+  flops += other.flops;
+  bytes += other.bytes;
+  cores = std::max(cores, other.cores);
+  joules += other.joules;
+}
+
+ModelEval::ModelEval(std::string name, std::function<Evaluation()> fn)
+    : name_(std::move(name)), fn_(std::move(fn)) {
+  PE_REQUIRE(!name_.empty(), "ModelEval needs a name");
+  PE_REQUIRE(static_cast<bool>(fn_), "ModelEval needs a callable");
+}
+
+ModelEval ModelEval::constant(std::string name, Evaluation e) {
+  return ModelEval(std::move(name), [e] { return e; });
+}
+
+Evaluation ModelEval::evaluate() const { return fn_(); }
+
+}  // namespace pe::models

@@ -75,4 +75,33 @@ unsigned strong_scaling_sweet_spot(const AlphaBetaModel& net, double flops,
   return best;
 }
 
+namespace {
+
+ModelEval comm_eval(std::string name, double seconds, std::size_t bytes,
+                    unsigned ranks) {
+  Evaluation e;
+  e.seconds = seconds;
+  e.footprint.bytes = static_cast<double>(bytes);
+  e.footprint.cores = ranks;
+  return ModelEval::constant(std::move(name), e);
+}
+
+}  // namespace
+
+ModelEval AlphaBetaModel::eval_p2p(std::size_t bytes) const {
+  return comm_eval("network.p2p", p2p(bytes), bytes, 1);
+}
+
+ModelEval AlphaBetaModel::eval_broadcast(unsigned ranks,
+                                         std::size_t bytes) const {
+  return comm_eval("network.broadcast", broadcast(ranks, bytes), bytes,
+                   ranks);
+}
+
+ModelEval AlphaBetaModel::eval_allreduce(unsigned ranks,
+                                         std::size_t bytes) const {
+  return comm_eval("network.allreduce", ring_allreduce(ranks, bytes), bytes,
+                   ranks);
+}
+
 }  // namespace pe::models

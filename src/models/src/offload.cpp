@@ -83,4 +83,21 @@ std::size_t offload_breakeven_matmul(const OffloadModel& m, std::size_t lo,
   return 0;
 }
 
+ModelEval OffloadModel::eval_host(double flops, double bytes) const {
+  Evaluation e;
+  e.seconds = host_time(flops, bytes);
+  e.footprint.flops = flops;
+  e.footprint.bytes = bytes;
+  return ModelEval::constant("offload.host", e);
+}
+
+ModelEval OffloadModel::eval_offload(double flops, double input_bytes,
+                                     double output_bytes) const {
+  Evaluation e;
+  e.seconds = offload_time(flops, input_bytes, output_bytes);
+  e.footprint.flops = flops;
+  e.footprint.bytes = input_bytes + output_bytes;
+  return ModelEval::constant("offload.device", e);
+}
+
 }  // namespace pe::models

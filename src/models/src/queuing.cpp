@@ -110,4 +110,18 @@ double ServiceModel::saturation_rate() const {
   return service_rate * static_cast<double>(servers);
 }
 
+ModelEval ServiceModel::eval_wait(double arrival_rate) const {
+  Evaluation e;
+  e.seconds = mmc(arrival_rate).mean_wait;
+  e.footprint.cores = servers;
+  return ModelEval::constant("queuing.wait", e);
+}
+
+ModelEval ServiceModel::eval_service() const {
+  PE_REQUIRE(service_rate > 0.0, "service rate must be positive");
+  Evaluation e;
+  e.seconds = 1.0 / service_rate;
+  return ModelEval::constant("queuing.service", e);
+}
+
 }  // namespace pe::models

@@ -112,4 +112,14 @@ RooflinePlacement place_kernel(const RooflineModel& machine,
   return p;
 }
 
+ModelEval RooflineModel::eval(const KernelCharacterization& kernel) const {
+  PE_REQUIRE(kernel.flops > 0.0, "kernel needs a FLOP count");
+  PE_REQUIRE(kernel.bytes > 0.0, "kernel needs a byte count");
+  Evaluation e;
+  e.seconds = kernel.flops / attainable(kernel.intensity());
+  e.footprint.flops = kernel.flops;
+  e.footprint.bytes = kernel.bytes;
+  return ModelEval::constant("roofline." + kernel.name, e);
+}
+
 }  // namespace pe::models

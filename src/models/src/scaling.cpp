@@ -122,4 +122,22 @@ double SpeedupProjection::usl(double sigma, double kappa) const {
   return usl_speedup(sigma, kappa, workers);
 }
 
+ModelEval SpeedupProjection::eval_amdahl(double serial_seconds,
+                                         double serial_fraction) const {
+  PE_REQUIRE(serial_seconds > 0.0, "serial time must be positive");
+  Evaluation e;
+  e.seconds = serial_seconds / amdahl(serial_fraction);
+  e.footprint.cores = workers;
+  return ModelEval::constant("scaling.amdahl", e);
+}
+
+ModelEval SpeedupProjection::eval_usl(double serial_seconds, double sigma,
+                                      double kappa) const {
+  PE_REQUIRE(serial_seconds > 0.0, "serial time must be positive");
+  Evaluation e;
+  e.seconds = serial_seconds / usl(sigma, kappa);
+  e.footprint.cores = workers;
+  return ModelEval::constant("scaling.usl", e);
+}
+
 }  // namespace pe::models

@@ -88,4 +88,15 @@ double simulate_ring_allreduce(MessageNetwork& net, std::size_t bytes,
 double simulate_halo_exchange(MessageNetwork& net, std::size_t halo_bytes,
                               double compute_seconds);
 
+/// A distributed stream pipeline: rank r is stage r, charging
+/// `stage_seconds[r]` of compute per item; `items` items enter at rank 0
+/// and each hop forwards `item_bytes`. Ranks overlap on different items,
+/// so the finish time approaches latency + (items - 1) * bottleneck —
+/// the closed form `pe::models::composition::pipeline` predicts, which
+/// this simulation cross-checks. `stage_seconds.size()` must equal
+/// `net.ranks()`. Returns finish time.
+double simulate_pipeline(MessageNetwork& net,
+                         const std::vector<double>& stage_seconds,
+                         std::size_t item_bytes, std::size_t items);
+
 }  // namespace pe::sim

@@ -98,4 +98,24 @@ double simulate_halo_exchange(MessageNetwork& net, std::size_t halo_bytes,
   return net.finish_time();
 }
 
+double simulate_pipeline(MessageNetwork& net,
+                         const std::vector<double>& stage_seconds,
+                         std::size_t item_bytes, std::size_t items) {
+  const unsigned p = net.ranks();
+  PE_REQUIRE(stage_seconds.size() == p,
+             "need one stage time per simulated rank");
+  PE_REQUIRE(items >= 1, "pipeline needs at least one item");
+  // Process items in submission order; the per-rank logical clocks let
+  // stage r work on item i while stage r+1 still handles item i-1.
+  for (std::size_t item = 0; item < items; ++item) {
+    const int tag = static_cast<int>(item);
+    for (unsigned r = 0; r < p; ++r) {
+      if (r > 0) net.recv(r, r - 1, tag);
+      net.compute(r, stage_seconds[r]);
+      if (r + 1 < p) net.send(r, r + 1, item_bytes, tag);
+    }
+  }
+  return net.finish_time();
+}
+
 }  // namespace pe::sim

@@ -1,0 +1,306 @@
+// Tests for the compositional prediction system (models/composition):
+// the algebra identities ISSUE 8 pins — a single leaf is the flat model,
+// serial maps are sums, pipelines nest associatively, evaluation is
+// deterministic — plus the machine-aware pieces (dispatch charging, comm
+// pricing, Context::from_machine).
+//
+// Dyadic constants (1.0, 2.0, 4.0, 0.5) keep every fold exactly
+// representable, so the identities can be asserted with EXPECT_DOUBLE_EQ
+// rather than tolerances.
+#include "perfeng/models/composition/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/machine/machine.hpp"
+#include "perfeng/models/composition/node.hpp"
+#include "perfeng/models/network.hpp"
+
+namespace {
+
+namespace comp = pe::models::composition;
+using comp::Context;
+using comp::NodePtr;
+using comp::Prediction;
+using pe::models::Evaluation;
+using pe::models::ModelEval;
+
+/// A leaf taking `seconds` with seconds-worth of flops, for footprint
+/// accounting checks.
+NodePtr task(const std::string& name, double seconds) {
+  Evaluation e;
+  e.seconds = seconds;
+  e.footprint.flops = seconds * 1e9;
+  return comp::leaf(ModelEval::constant(name, e));
+}
+
+Context serial_ctx() { return Context{.workers = 1}; }
+
+Context parallel_ctx(unsigned workers, double dispatch = 0.0) {
+  return Context{.workers = workers, .dispatch_seconds = dispatch};
+}
+
+pe::machine::Machine test_machine() {
+  pe::machine::Machine m;
+  m.name = "test-node";
+  m.description = "synthetic fixture";
+  m.source = "test";
+  m.peak_flops = 4e9;
+  m.cores = 8;
+  m.hierarchy = {{"L1", 8e10, 1e-9, 32768, 64},
+                 {"DRAM", 2e10, 8e-8, 0, 64}};
+  m.link_alpha = 1e-6;
+  m.link_beta = 1e-9;
+  m.sched_bulk_ns = 250.0;
+  return m;
+}
+
+TEST(Composition, SingleLeafIsTheFlatModel) {
+  // Wrapping a model as a one-node tree must not change its answer, on
+  // any context.
+  const pe::models::AlphaBetaModel net{1e-6, 1e-9};
+  const NodePtr n = comp::leaf(net.eval_p2p(4096));
+  for (const Context& ctx : {serial_ctx(), parallel_ctx(8, 0.5)}) {
+    const Prediction p = n->predict(ctx);
+    EXPECT_DOUBLE_EQ(p.seconds, net.p2p(4096));
+    EXPECT_DOUBLE_EQ(p.work_seconds, p.seconds);
+    EXPECT_DOUBLE_EQ(p.span_seconds, p.seconds);
+    EXPECT_DOUBLE_EQ(p.dispatch_seconds, 0.0);
+  }
+}
+
+TEST(Composition, SerialMapIsTheSumOfItsChildren) {
+  const NodePtr n =
+      comp::map({task("a", 1.0), task("b", 2.0), task("c", 4.0)});
+  const Prediction p = n->predict(serial_ctx());
+  EXPECT_DOUBLE_EQ(p.seconds, 7.0);
+  EXPECT_DOUBLE_EQ(p.work_seconds, 7.0);
+  EXPECT_DOUBLE_EQ(p.span_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(p.dispatch_seconds, 0.0);  // no parallel region opened
+}
+
+TEST(Composition, ParallelMapFollowsTheGrahamBound) {
+  // Four equal unit tasks on four workers: W/P + (1 - 1/P) S.
+  const NodePtr n = comp::map(task("t", 1.0), 4);
+  const Prediction p = n->predict(parallel_ctx(4));
+  EXPECT_DOUBLE_EQ(p.seconds, 4.0 / 4.0 + (1.0 - 0.25) * 1.0);
+  EXPECT_DOUBLE_EQ(p.work_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(p.span_seconds, 1.0);
+}
+
+TEST(Composition, MapNestingIsAssociative) {
+  // Sums and maxes compose, so grouping map children does not change the
+  // prediction (dispatch-free context: grouping adds a region).
+  const NodePtr flat =
+      comp::map({task("a", 1.0), task("b", 2.0), task("c", 4.0)});
+  const NodePtr nested = comp::map(
+      {comp::map({task("a", 1.0), task("b", 2.0)}), task("c", 4.0)});
+  for (unsigned workers : {1u, 4u, 64u}) {
+    const Context ctx = parallel_ctx(workers);
+    EXPECT_DOUBLE_EQ(nested->predict(ctx).seconds,
+                     flat->predict(ctx).seconds);
+  }
+}
+
+TEST(Composition, DispatchChargedOncePerParallelRegion) {
+  const NodePtr n = comp::map(task("t", 1.0), 4);
+  const Context ctx = parallel_ctx(4, /*dispatch=*/0.5);
+  const Prediction p = n->predict(ctx);
+  // W = 4 + 0.5, S = 1 + 0.5, P = 4.
+  EXPECT_DOUBLE_EQ(p.seconds, 4.5 / 4.0 + 0.75 * 1.5);
+  EXPECT_DOUBLE_EQ(p.dispatch_seconds, 0.5);
+  // The serial restriction of the same context charges nothing.
+  const Prediction s = n->predict(ctx.serial());
+  EXPECT_DOUBLE_EQ(s.seconds, 4.0);
+  EXPECT_DOUBLE_EQ(s.dispatch_seconds, 0.0);
+}
+
+TEST(Composition, PipelineSingleItemIsTheStageSum) {
+  const NodePtr n = comp::pipeline(
+      {task("s1", 1.0), task("s2", 2.0), task("s3", 4.0)});
+  const Prediction p = n->predict(parallel_ctx(8));
+  EXPECT_DOUBLE_EQ(p.seconds, 7.0);
+  EXPECT_DOUBLE_EQ(p.latency_seconds, 7.0);
+  EXPECT_DOUBLE_EQ(p.bottleneck_seconds, 4.0);
+}
+
+TEST(Composition, PipelineThroughputIsBottleneckBound) {
+  const NodePtr n = comp::pipeline(
+      {task("s1", 1.0), task("s2", 2.0), task("s3", 4.0)}, /*items=*/11);
+  const Prediction p = n->predict(parallel_ctx(8));
+  // Fill (7 s) then drain ten more items at the 4 s bottleneck.
+  EXPECT_DOUBLE_EQ(p.seconds, 7.0 + 10.0 * 4.0);
+  EXPECT_DOUBLE_EQ(p.work_seconds, 11.0 * 7.0);
+}
+
+TEST(Composition, SerialPipelineDegeneratesToTheSerialSum) {
+  // One worker cannot overlap stages: the drain interval becomes the
+  // whole item's work, so the stream costs exactly items * stage-sum.
+  const NodePtr n = comp::pipeline(
+      {task("s1", 1.0), task("s2", 2.0), task("s3", 4.0)}, /*items=*/16);
+  const Prediction p = n->predict(serial_ctx());
+  EXPECT_DOUBLE_EQ(p.seconds, 16.0 * 7.0);
+  // Two workers: the CPU-bound interval 7/2 stays below the slowest
+  // stage, so the 4.0 bottleneck still sets the drain rate.
+  EXPECT_DOUBLE_EQ(n->predict(parallel_ctx(2)).seconds,
+                   7.0 + 15.0 * 4.0);
+  // Plenty of workers: the slowest stage sets the drain rate.
+  EXPECT_DOUBLE_EQ(n->predict(parallel_ctx(8)).seconds,
+                   7.0 + 15.0 * 4.0);
+}
+
+TEST(Composition, PipelineNestingIsAssociative) {
+  // A single-item pipeline used as a stage must fold exactly like its
+  // stages spliced inline.
+  const NodePtr flat = comp::pipeline(
+      {task("s1", 1.0), task("s2", 2.0), task("s3", 4.0)}, /*items=*/16);
+  const NodePtr nested = comp::pipeline(
+      {task("s1", 1.0),
+       comp::pipeline({task("s2", 2.0), task("s3", 4.0)})},
+      /*items=*/16);
+  for (const Context& ctx : {serial_ctx(), parallel_ctx(8, 0.5)}) {
+    const Prediction a = flat->predict(ctx);
+    const Prediction b = nested->predict(ctx);
+    EXPECT_DOUBLE_EQ(b.seconds, a.seconds);
+    EXPECT_DOUBLE_EQ(b.latency_seconds, a.latency_seconds);
+    EXPECT_DOUBLE_EQ(b.bottleneck_seconds, a.bottleneck_seconds);
+    EXPECT_DOUBLE_EQ(b.work_seconds, a.work_seconds);
+  }
+}
+
+TEST(Composition, FarmWidthIsCappedByReplicasAndWorkers) {
+  const NodePtr n = comp::farm(task("job", 1.0), /*jobs=*/8,
+                               /*replicas=*/4);
+  // Two workers available: width 2.
+  const Prediction narrow = n->predict(parallel_ctx(2));
+  EXPECT_DOUBLE_EQ(narrow.seconds, 8.0 / 2.0 + 0.5 * 1.0);
+  EXPECT_DOUBLE_EQ(narrow.bottleneck_seconds, 1.0 / 2.0);
+  // Sixteen workers: still only four replicas.
+  const Prediction wide = n->predict(parallel_ctx(16));
+  EXPECT_DOUBLE_EQ(wide.seconds, 8.0 / 4.0 + 0.75 * 1.0);
+  EXPECT_DOUBLE_EQ(wide.bottleneck_seconds, 1.0 / 4.0);
+}
+
+TEST(Composition, ReduceTreeHasLogarithmicSpan) {
+  const NodePtr n = comp::reduce(task("combine", 1.0), /*leaves=*/8);
+  // Seven combines, three levels.
+  const Prediction serial = n->predict(serial_ctx());
+  EXPECT_DOUBLE_EQ(serial.seconds, 7.0);
+  const Prediction par = n->predict(parallel_ctx(4));
+  EXPECT_DOUBLE_EQ(par.work_seconds, 7.0);
+  EXPECT_DOUBLE_EQ(par.span_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(par.seconds, 7.0 / 4.0 + 0.75 * 3.0);
+  // One input needs no combining at all.
+  EXPECT_DOUBLE_EQ(
+      comp::reduce(task("c", 1.0), 1)->predict(parallel_ctx(4)).seconds,
+      0.0);
+}
+
+TEST(Composition, DivideAndConquerCountsEveryLevel) {
+  const NodePtr n = comp::divide_and_conquer(
+      task("divide", 1.0), task("base", 4.0), task("merge", 1.0),
+      /*branching=*/2, /*depth=*/2);
+  // Internal nodes 1 + 2 = 3, leaves 4:
+  //   W = 3 * (1 + 1) + 4 * 4 = 22, S = 2 * (1 + 1) + 4 = 8.
+  const Prediction serial = n->predict(serial_ctx());
+  EXPECT_DOUBLE_EQ(serial.seconds, 22.0);
+  const Prediction par = n->predict(parallel_ctx(2));
+  EXPECT_DOUBLE_EQ(par.seconds, 22.0 / 2.0 + 0.5 * 8.0);
+  // Depth zero degenerates to the base case alone.
+  const NodePtr base_only = comp::divide_and_conquer(
+      task("divide", 1.0), task("base", 4.0), task("merge", 1.0), 2, 0);
+  EXPECT_DOUBLE_EQ(base_only->predict(serial_ctx()).seconds, 4.0);
+}
+
+TEST(Composition, CommNodesPriceTheContextLink) {
+  const NodePtr n = comp::comm("halo", 1000.0);
+  Context ctx = parallel_ctx(4);
+  ctx.link_alpha = 1e-6;
+  ctx.link_beta = 1e-9;
+  const Prediction p = n->predict(ctx);
+  EXPECT_DOUBLE_EQ(p.seconds, 1e-6 + 1e-9 * 1000.0);
+  EXPECT_DOUBLE_EQ(p.comm_seconds, p.seconds);
+  // No link calibration (or nothing to move): free.
+  EXPECT_DOUBLE_EQ(n->predict(parallel_ctx(4)).seconds, 0.0);
+  EXPECT_DOUBLE_EQ(comp::comm("empty", 0.0)->predict(ctx).seconds, 0.0);
+}
+
+TEST(Composition, CommRidesInsidePatterns) {
+  Context ctx = serial_ctx();
+  ctx.link_alpha = 0.5;
+  ctx.link_beta = 0.0;
+  const NodePtr n = comp::pipeline(
+      {task("produce", 1.0), comp::comm("ship", 64.0), task("consume", 2.0)});
+  const Prediction p = n->predict(ctx);
+  EXPECT_DOUBLE_EQ(p.seconds, 1.0 + 0.5 + 2.0);
+  EXPECT_DOUBLE_EQ(p.comm_seconds, 0.5);
+}
+
+TEST(Composition, EvaluationIsDeterministic) {
+  const NodePtr n = comp::pipeline(
+      {comp::map(task("tile", 1.0), 16),
+       comp::farm(task("job", 2.0), 32, 4),
+       comp::reduce(task("combine", 0.5), 8)},
+      /*items=*/4);
+  const Context ctx = parallel_ctx(8, 0.5);
+  const Prediction a = n->predict(ctx);
+  const Prediction b = n->predict(ctx);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.footprint, b.footprint);
+  EXPECT_EQ(a.breakdown, b.breakdown);
+}
+
+TEST(Composition, FootprintsAggregateUpward) {
+  // task() attaches 1e9 flops per second of work.
+  const NodePtr n = comp::map({task("a", 1.0), task("b", 2.0)});
+  const Prediction p = n->predict(parallel_ctx(4));
+  EXPECT_DOUBLE_EQ(p.footprint.flops, 3e9);
+  EXPECT_DOUBLE_EQ(p.footprint.cores, 2.0);  // two tasks, four workers
+  const Prediction farmed =
+      comp::farm(task("j", 1.0), 10, 4)->predict(parallel_ctx(4));
+  EXPECT_DOUBLE_EQ(farmed.footprint.flops, 10e9);
+  EXPECT_DOUBLE_EQ(farmed.footprint.cores, 4.0);
+}
+
+TEST(Composition, BreakdownPathsNameTheStructure) {
+  const NodePtr n = comp::map({task("a", 1.0), task("b", 2.0)});
+  const Prediction p = n->predict(serial_ctx());
+  ASSERT_EQ(p.breakdown.size(), 2u);
+  EXPECT_EQ(p.breakdown[0].path, "map[2]/leaf:a");
+  EXPECT_EQ(p.breakdown[1].path, "map[2]/leaf:b");
+  EXPECT_DOUBLE_EQ(p.breakdown[1].seconds, 2.0);
+  EXPECT_FALSE(comp::format_prediction(p).empty());
+}
+
+TEST(Composition, ContextFromMachineReadsTheCalibration) {
+  const pe::machine::Machine m = test_machine();
+  const Context ctx = Context::from_machine(m);
+  EXPECT_EQ(ctx.workers, 8u);
+  EXPECT_DOUBLE_EQ(ctx.dispatch_seconds, 250.0 * 1e-9);
+  EXPECT_DOUBLE_EQ(ctx.link_alpha, 1e-6);
+  EXPECT_DOUBLE_EQ(ctx.link_beta, 1e-9);
+  const Context serial = ctx.serial();
+  EXPECT_EQ(serial.workers, 1u);
+  EXPECT_DOUBLE_EQ(serial.dispatch_seconds, ctx.dispatch_seconds);
+}
+
+TEST(Composition, MalformedTreesAreRejected) {
+  EXPECT_THROW(comp::map(std::vector<NodePtr>{}), pe::Error);
+  EXPECT_THROW(comp::map({task("a", 1.0), nullptr}), pe::Error);
+  EXPECT_THROW(comp::map(nullptr, 4), pe::Error);
+  EXPECT_THROW(comp::map(task("a", 1.0), 0), pe::Error);
+  EXPECT_THROW(comp::farm(task("a", 1.0), 0, 4), pe::Error);
+  EXPECT_THROW(comp::farm(task("a", 1.0), 4, 0), pe::Error);
+  EXPECT_THROW(comp::pipeline({}, 4), pe::Error);
+  EXPECT_THROW(comp::pipeline({task("a", 1.0)}, 0), pe::Error);
+  EXPECT_THROW(comp::reduce(task("a", 1.0), 0), pe::Error);
+  EXPECT_THROW(comp::divide_and_conquer(nullptr, task("b", 1.0),
+                                        task("m", 1.0), 2, 2),
+               pe::Error);
+  EXPECT_THROW(comp::comm("", 10.0), pe::Error);
+  EXPECT_THROW(comp::comm("negative", -1.0), pe::Error);
+}
+
+}  // namespace

@@ -27,6 +27,12 @@
 //                        on_event() call — the macros are what keep the
 //                        disabled path one guarded branch (the property
 //                        bench/scheduler_trace --check measures)
+//   model-from-machine   every public header under src/models exposes a
+//                        from_machine() factory — the calibration contract
+//                        that lets the composition layer treat any model
+//                        as a leaf (docs/models.md); deliberately machine-
+//                        independent headers carry an allow-file waiver
+//                        with a rationale
 //
 // Suppressions: a line containing `perfeng-lint: allow(<check>)` in a
 // comment exempts that line; `perfeng-lint: allow-file(<check>)` anywhere
@@ -392,6 +398,22 @@ void check_trace_hook_guard(const SourceFile& f,
   }
 }
 
+void check_model_from_machine(const SourceFile& f,
+                              std::vector<Violation>& out) {
+  if (!f.is_public_header) return;
+  if (f.rel.rfind("src/models/", 0) != 0) return;
+  if (file_allows(f, "model-from-machine")) return;
+  for (const std::string& line : f.code)
+    if (line.find("from_machine(") != std::string::npos) return;
+  out.push_back(
+      {f.rel, 0, "model-from-machine",
+       "public model header has no from_machine() factory — every model "
+       "must be constructible from a machine description so the "
+       "composition layer can use it as a leaf (docs/models.md); if the "
+       "model is deliberately machine-independent, add `perfeng-lint: "
+       "allow-file(model-from-machine)` with a rationale"});
+}
+
 // --- driver -----------------------------------------------------------------
 
 const std::vector<std::string_view>& check_names() {
@@ -399,7 +421,7 @@ const std::vector<std::string_view>& check_names() {
       "pragma-once",       "include-style",      "namespace-pe",
       "no-using-namespace", "no-std-rand",       "no-raw-new-array",
       "no-volatile",       "test-determinism",   "self-contained-includes",
-      "trace-hook-guard",
+      "trace-hook-guard",  "model-from-machine",
   };
   return names;
 }
@@ -464,6 +486,7 @@ int main(int argc, char** argv) {
       check_test_determinism(f, violations);
       check_self_contained(f, violations);
       check_trace_hook_guard(f, violations);
+      check_model_from_machine(f, violations);
     }
   }
 
