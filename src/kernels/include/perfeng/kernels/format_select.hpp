@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file format_select.hpp
+/// Statistically trained sparse-format auto-selection.
+///
+/// No single sparse format wins everywhere: CSR is the safe default, ELL
+/// flies on regular matrices and drowns in padding on skewed ones,
+/// SELL-C-σ splits the difference, COO/CSC have their niches. Instead of
+/// hand-written switch heuristics (the SNIPPETS.md idiom), the selector is
+/// *learned*: one statmodel decision tree per format, fit on
+/// (shape features -> log seconds) samples from the spmv_formats corpus,
+/// and the cheapest predicted format wins. This is the Assignment 3 move —
+/// model the machine empirically, then let the model make the call.
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "perfeng/kernels/sparse.hpp"
+#include "perfeng/statmodel/tree.hpp"
+
+namespace pe::kernels {
+
+/// The SpMV storage formats the engine can choose between.
+enum class SpmvFormat { kCsr, kCsc, kCoo, kEll, kSell };
+
+inline constexpr std::size_t kNumSpmvFormats = 5;
+
+inline constexpr std::array<SpmvFormat, kNumSpmvFormats> kAllSpmvFormats = {
+    SpmvFormat::kCsr, SpmvFormat::kCsc, SpmvFormat::kCoo, SpmvFormat::kEll,
+    SpmvFormat::kSell};
+
+[[nodiscard]] std::string spmv_format_name(SpmvFormat f);
+
+/// Matrix-shape features the selector sees — computable from CSR alone in
+/// one pass, cheap relative to even a single SpMV.
+struct FormatFeatures {
+  double rows = 0.0;
+  double cols = 0.0;
+  double nnz = 0.0;
+  double mean_deg = 0.0;     ///< nnz / rows
+  double deg_cv = 0.0;       ///< row-degree coefficient of variation
+  double deg_max = 0.0;      ///< heaviest row (ELL width)
+  double bandwidth = 0.0;    ///< max |col - row| over entries
+  double ell_padding = 0.0;  ///< rows * deg_max / nnz (ELL waste factor)
+
+  [[nodiscard]] static FormatFeatures from_csr(const CsrMatrix& m);
+
+  [[nodiscard]] std::vector<double> as_vector() const;
+  [[nodiscard]] static std::vector<std::string> names();
+};
+
+/// One training observation: a matrix's features plus the measured SpMV
+/// seconds for every format.
+struct FormatSample {
+  FormatFeatures features;
+  std::array<double, kNumSpmvFormats> seconds{};  ///< indexed by format
+};
+
+/// Per-format runtime regressors; `choose` returns the format with the
+/// smallest predicted time. Deterministic given the training set.
+class FormatSelector {
+ public:
+  /// Fit one tree per format on log(seconds) — log because runtimes span
+  /// orders of magnitude across the corpus and variance-minimizing splits
+  /// would otherwise only see the big matrices.
+  [[nodiscard]] static FormatSelector train(
+      const std::vector<FormatSample>& samples);
+
+  [[nodiscard]] SpmvFormat choose(const FormatFeatures& f) const;
+
+  /// Predicted seconds for one format (exp of the tree output).
+  [[nodiscard]] double predict_seconds(const FormatFeatures& f,
+                                       SpmvFormat format) const;
+
+  [[nodiscard]] bool trained() const { return trained_; }
+
+ private:
+  std::array<statmodel::DecisionTreeRegressor, kNumSpmvFormats> models_;
+  bool trained_ = false;
+};
+
+}  // namespace pe::kernels

@@ -77,11 +77,56 @@ struct EllMatrix {
   [[nodiscard]] double padding_ratio() const;
 };
 
+/// SELL-C-σ chunk height. Fixed at the native double-vector lane count
+/// (pe::simd::kDoubleLanes; sparse.cpp static_asserts the match) so one
+/// chunk's rows map one-to-one onto SIMD lanes.
+inline constexpr std::size_t kSellChunk = 4;
+
+/// SELL-C-σ storage (Kreutzer et al.): rows are grouped into chunks of
+/// C = kSellChunk, each chunk padded only to *its own* widest row (not the
+/// global max like ELL), and stored slot-major so slot s of all C rows is
+/// contiguous — the SIMD SpMV walks lanes *across* rows, which keeps each
+/// row's accumulation order identical to scalar CSR (exact equality, see
+/// spmv_sell). Within windows of σ rows, rows are sorted by descending
+/// degree before chunking so similar-degree rows share a chunk and padding
+/// shrinks; `row_ids` remembers the permutation.
+struct SellMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t sigma = 1;  ///< sorting-window height used at build time
+
+  /// Chunk c's elements live at [chunk_ptr[c], chunk_ptr[c+1]) in
+  /// col_idx/values; width_c = (chunk_ptr[c+1] - chunk_ptr[c]) / C.
+  std::vector<std::uint32_t> chunk_ptr;
+  /// Original row handled by lane l of chunk c, at [c * C + l];
+  /// kSellPadRow marks a padding lane (rows not a multiple of C).
+  std::vector<std::uint32_t> row_ids;
+  std::vector<std::uint32_t> col_idx;  ///< slot-major, 0 in padding
+  std::vector<double> values;          ///< slot-major, 0.0 in padding
+
+  static constexpr std::uint32_t kSellPadRow = 0xffffffffu;
+
+  [[nodiscard]] std::size_t chunks() const {
+    return chunk_ptr.empty() ? 0 : chunk_ptr.size() - 1;
+  }
+  [[nodiscard]] std::size_t nnz() const;  ///< non-padding entries
+
+  /// Stored slots / useful entries (1.0 = no padding waste). Bounded by
+  /// ELL's ratio from below; approaches 1.0 as sigma grows.
+  [[nodiscard]] double padding_ratio() const;
+};
+
 /// Format conversions (all normalize duplicates via COO).
 [[nodiscard]] CsrMatrix coo_to_csr(const CooMatrix& coo);
 [[nodiscard]] CscMatrix coo_to_csc(const CooMatrix& coo);
 [[nodiscard]] CooMatrix csr_to_coo(const CsrMatrix& csr);
 [[nodiscard]] EllMatrix csr_to_ell(const CsrMatrix& csr);
+
+/// Build SELL-C-σ from CSR. `sigma` is the degree-sorting window in rows
+/// (1 = no reordering; must be a multiple of kSellChunk or 1). The sort is
+/// stable, so equal-degree rows keep their original order.
+[[nodiscard]] SellMatrix csr_to_sell(const CsrMatrix& csr,
+                                     std::size_t sigma = 32);
 
 /// y = A x for each format (y is overwritten; sizes must match).
 void spmv_coo(const CooMatrix& a, const std::vector<double>& x,
@@ -93,8 +138,31 @@ void spmv_csc(const CscMatrix& a, const std::vector<double>& x,
 void spmv_ell(const EllMatrix& a, const std::vector<double>& x,
               std::vector<double>& y);
 
+/// SIMD SpMV over SELL-C-σ: one vector lane per row, unfused multiply-add
+/// so every row's sum is computed in exactly the order and rounding of
+/// `spmv_csr` — results are equal (operator==) for finite inputs. Padding
+/// contributes `0.0 * x[0]`, which never changes a finite sum.
+void spmv_sell(const SellMatrix& a, const std::vector<double>& x,
+               std::vector<double>& y);
+
 /// Row-parallel CSR SpMV (dynamic scheduling absorbs row imbalance).
 void spmv_csr_parallel(const CsrMatrix& a, const std::vector<double>& x,
+                       std::vector<double>& y, ThreadPool& pool);
+
+/// Chunk-parallel SELL SpMV. Chunks own disjoint rows (row_ids is a
+/// permutation), so this is race-free and matches `spmv_sell` exactly.
+void spmv_sell_parallel(const SellMatrix& a, const std::vector<double>& x,
+                        std::vector<double>& y, ThreadPool& pool);
+
+/// Row-parallel ELL SpMV; matches `spmv_ell` exactly.
+void spmv_ell_parallel(const EllMatrix& a, const std::vector<double>& x,
+                       std::vector<double>& y, ThreadPool& pool);
+
+/// Entry-parallel COO SpMV. Requires `a` to be normalized (row-sorted):
+/// the entry list is partitioned at row boundaries so each worker owns a
+/// disjoint row range of y. Throws pe::Error on out-of-order rows.
+/// Matches `spmv_coo` exactly (same per-row accumulation order).
+void spmv_coo_parallel(const CooMatrix& a, const std::vector<double>& x,
                        std::vector<double>& y, ThreadPool& pool);
 
 /// Split [0, rows) into `parts + 1` boundaries so each part covers about

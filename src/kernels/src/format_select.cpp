@@ -1,0 +1,99 @@
+#include "perfeng/kernels/format_select.hpp"
+
+#include <cmath>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/statmodel/dataset.hpp"
+
+namespace pe::kernels {
+
+std::string spmv_format_name(SpmvFormat f) {
+  switch (f) {
+    case SpmvFormat::kCsr: return "csr";
+    case SpmvFormat::kCsc: return "csc";
+    case SpmvFormat::kCoo: return "coo";
+    case SpmvFormat::kEll: return "ell";
+    case SpmvFormat::kSell: return "sell";
+  }
+  return "?";
+}
+
+FormatFeatures FormatFeatures::from_csr(const CsrMatrix& m) {
+  FormatFeatures f;
+  f.rows = static_cast<double>(m.rows);
+  f.cols = static_cast<double>(m.cols);
+  f.nnz = static_cast<double>(m.nnz());
+
+  double deg_sum = 0.0, deg_sq = 0.0, deg_max = 0.0, band = 0.0;
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    const double deg = static_cast<double>(m.row_ptr[r + 1] - m.row_ptr[r]);
+    deg_sum += deg;
+    deg_sq += deg * deg;
+    deg_max = std::max(deg_max, deg);
+    for (std::uint32_t i = m.row_ptr[r]; i < m.row_ptr[r + 1]; ++i)
+      band = std::max(band, std::abs(static_cast<double>(m.col_idx[i]) -
+                                     static_cast<double>(r)));
+  }
+  f.mean_deg = f.rows > 0.0 ? deg_sum / f.rows : 0.0;
+  const double var =
+      f.rows > 0.0 ? std::max(0.0, deg_sq / f.rows - f.mean_deg * f.mean_deg)
+                   : 0.0;
+  f.deg_cv = f.mean_deg > 0.0 ? std::sqrt(var) / f.mean_deg : 0.0;
+  f.deg_max = deg_max;
+  f.bandwidth = band;
+  f.ell_padding = f.nnz > 0.0 ? f.rows * deg_max / f.nnz : 1.0;
+  return f;
+}
+
+std::vector<double> FormatFeatures::as_vector() const {
+  return {rows,    cols,      nnz, mean_deg, deg_cv,
+          deg_max, bandwidth, ell_padding};
+}
+
+std::vector<std::string> FormatFeatures::names() {
+  return {"rows",    "cols",      "nnz",        "mean_deg", "deg_cv",
+          "deg_max", "bandwidth", "ell_padding"};
+}
+
+FormatSelector FormatSelector::train(
+    const std::vector<FormatSample>& samples) {
+  PE_REQUIRE(!samples.empty(), "cannot train a selector on zero samples");
+  FormatSelector sel;
+  for (std::size_t fi = 0; fi < kNumSpmvFormats; ++fi) {
+    statmodel::Dataset data(FormatFeatures::names());
+    for (const FormatSample& s : samples) {
+      PE_REQUIRE(s.seconds[fi] > 0.0,
+                 "training sample has non-positive runtime");
+      data.add_row(s.features.as_vector(), std::log(s.seconds[fi]));
+    }
+    sel.models_[fi].fit(data);
+  }
+  sel.trained_ = true;
+  return sel;
+}
+
+SpmvFormat FormatSelector::choose(const FormatFeatures& f) const {
+  PE_REQUIRE(trained_, "selector is not trained");
+  SpmvFormat best = SpmvFormat::kCsr;
+  double best_log = 0.0;
+  bool first = true;
+  const std::vector<double> x = f.as_vector();
+  for (std::size_t fi = 0; fi < kNumSpmvFormats; ++fi) {
+    const double pred = models_[fi].predict(x);
+    if (first || pred < best_log) {
+      best = kAllSpmvFormats[fi];
+      best_log = pred;
+      first = false;
+    }
+  }
+  return best;
+}
+
+double FormatSelector::predict_seconds(const FormatFeatures& f,
+                                       SpmvFormat format) const {
+  PE_REQUIRE(trained_, "selector is not trained");
+  return std::exp(
+      models_[static_cast<std::size_t>(format)].predict(f.as_vector()));
+}
+
+}  // namespace pe::kernels

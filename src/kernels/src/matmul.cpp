@@ -8,6 +8,7 @@
 #include "perfeng/common/error.hpp"
 #include "perfeng/machine/machine.hpp"
 #include "perfeng/parallel/parallel_for.hpp"
+#include "perfeng/simd/vec.hpp"
 
 namespace pe::kernels {
 
@@ -147,22 +148,44 @@ void pack_a_strip(const Matrix& a, std::size_t i0, std::size_t height,
 /// C[0..rows)[0..cols) += packed-A-strip * packed-B-strip. The accumulator
 /// block covers the full kMr x kNr register tile (padding contributes
 /// zeros); only the writeback is guarded for edge tiles.
+///
+/// Each C row is two VecD accumulators (kNr = 2 * VecD::lanes) updated by
+/// mul_add — fused to one rounding per update on the AVX2+FMA backend,
+/// which is why the packed path promises a small ULP envelope against the
+/// scalar references rather than bit-equality (see docs/simd.md).
 void microkernel(const double* ap, const double* bp, std::size_t kcb,
                  double* c, std::size_t ldc, std::size_t rows,
                  std::size_t cols) {
-  double acc[kMr][kNr] = {};
+  using simd::VecD;
+  static_assert(kNr == 2 * VecD::lanes,
+                "register tile is two native double vectors wide");
+  VecD acc_lo[kMr], acc_hi[kMr];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    acc_lo[r] = VecD::zero();
+    acc_hi[r] = VecD::zero();
+  }
   for (std::size_t kk = 0; kk < kcb; ++kk) {
     const double* arow = ap + kk * kMr;
-    const double* brow = bp + kk * kNr;
+    const VecD b_lo = VecD::load(bp + kk * kNr);
+    const VecD b_hi = VecD::load(bp + kk * kNr + VecD::lanes);
     for (std::size_t r = 0; r < kMr; ++r) {
-      const double av = arow[r];
-      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += av * brow[j];
+      const VecD av = VecD::broadcast(arow[r]);
+      acc_lo[r] = av.mul_add(b_lo, acc_lo[r]);
+      acc_hi[r] = av.mul_add(b_hi, acc_hi[r]);
     }
   }
   if (rows == kMr && cols == kNr) {
-    for (std::size_t r = 0; r < kMr; ++r)
-      for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j] += acc[r][j];
+    for (std::size_t r = 0; r < kMr; ++r) {
+      double* crow = c + r * ldc;
+      (VecD::load(crow) + acc_lo[r]).store(crow);
+      (VecD::load(crow + VecD::lanes) + acc_hi[r]).store(crow + VecD::lanes);
+    }
   } else {
+    double acc[kMr][kNr];
+    for (std::size_t r = 0; r < kMr; ++r) {
+      acc_lo[r].store(&acc[r][0]);
+      acc_hi[r].store(&acc[r][VecD::lanes]);
+    }
     for (std::size_t r = 0; r < rows; ++r)
       for (std::size_t j = 0; j < cols; ++j) c[r * ldc + j] += acc[r][j];
   }

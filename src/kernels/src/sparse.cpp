@@ -7,8 +7,12 @@
 #include "perfeng/common/access_hook.hpp"
 #include "perfeng/common/error.hpp"
 #include "perfeng/parallel/parallel_for.hpp"
+#include "perfeng/simd/vec.hpp"
 
 namespace pe::kernels {
+
+static_assert(kSellChunk == simd::kDoubleLanes,
+              "SELL chunk height must equal the native double lane count");
 
 void CooMatrix::normalize() {
   std::sort(entries.begin(), entries.end(),
@@ -127,6 +131,206 @@ EllMatrix csr_to_ell(const CsrMatrix& csr) {
     }
   }
   return ell;
+}
+
+std::size_t SellMatrix::nnz() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (values[i] != 0.0) ++count;
+  return count;
+}
+
+double SellMatrix::padding_ratio() const {
+  const std::size_t useful = nnz();
+  return useful == 0 ? 0.0
+                     : static_cast<double>(values.size()) /
+                           static_cast<double>(useful);
+}
+
+SellMatrix csr_to_sell(const CsrMatrix& csr, std::size_t sigma) {
+  PE_REQUIRE(sigma == 1 || (sigma > 0 && sigma % kSellChunk == 0),
+             "sigma must be 1 or a positive multiple of the chunk height");
+  constexpr std::size_t c = kSellChunk;
+  SellMatrix sell;
+  sell.rows = csr.rows;
+  sell.cols = csr.cols;
+  sell.sigma = sigma;
+
+  const std::size_t n_chunks = (csr.rows + c - 1) / c;
+  const std::size_t padded_rows = n_chunks * c;
+
+  // Permutation: within each sigma-window, stable-sort rows by descending
+  // degree so a chunk's rows have similar width and padding stays small.
+  sell.row_ids.resize(padded_rows);
+  for (std::size_t r = 0; r < padded_rows; ++r)
+    sell.row_ids[r] = r < csr.rows ? static_cast<std::uint32_t>(r)
+                                   : SellMatrix::kSellPadRow;
+  auto degree = [&csr](std::uint32_t r) {
+    return csr.row_ptr[r + 1] - csr.row_ptr[r];
+  };
+  for (std::size_t w0 = 0; w0 < csr.rows; w0 += sigma) {
+    const std::size_t w1 = std::min(csr.rows, w0 + sigma);
+    std::stable_sort(sell.row_ids.begin() + static_cast<std::ptrdiff_t>(w0),
+                     sell.row_ids.begin() + static_cast<std::ptrdiff_t>(w1),
+                     [&degree](std::uint32_t a, std::uint32_t b) {
+                       return degree(a) > degree(b);
+                     });
+  }
+
+  // Chunk widths -> element offsets (slot-major: width * c elements).
+  sell.chunk_ptr.assign(n_chunks + 1, 0);
+  for (std::size_t ch = 0; ch < n_chunks; ++ch) {
+    std::size_t width = 0;
+    for (std::size_t l = 0; l < c; ++l) {
+      const std::uint32_t r = sell.row_ids[ch * c + l];
+      if (r != SellMatrix::kSellPadRow)
+        width = std::max<std::size_t>(width, degree(r));
+    }
+    sell.chunk_ptr[ch + 1] =
+        sell.chunk_ptr[ch] + static_cast<std::uint32_t>(width * c);
+  }
+
+  sell.col_idx.assign(sell.chunk_ptr[n_chunks], 0);
+  sell.values.assign(sell.chunk_ptr[n_chunks], 0.0);
+  for (std::size_t ch = 0; ch < n_chunks; ++ch) {
+    const std::size_t base = sell.chunk_ptr[ch];
+    for (std::size_t l = 0; l < c; ++l) {
+      const std::uint32_t r = sell.row_ids[ch * c + l];
+      if (r == SellMatrix::kSellPadRow) continue;
+      std::size_t slot = 0;
+      for (std::uint32_t i = csr.row_ptr[r]; i < csr.row_ptr[r + 1];
+           ++i, ++slot) {
+        sell.col_idx[base + slot * c + l] = csr.col_idx[i];
+        sell.values[base + slot * c + l] = csr.values[i];
+      }
+    }
+  }
+  return sell;
+}
+
+namespace {
+
+/// Shared body of the serial and chunk-parallel SELL SpMV: process one
+/// chunk. Lane l walks original row row_ids[chunk*C + l] in CSR order;
+/// the accumulate is deliberately *unfused* (acc + v * xv, two roundings)
+/// so each lane reproduces spmv_csr's scalar arithmetic exactly.
+void sell_chunk_spmv(const SellMatrix& a, const std::vector<double>& x,
+                     std::vector<double>& y, std::size_t chunk) {
+  using simd::VecD;
+  constexpr std::size_t c = kSellChunk;
+  const std::size_t base = a.chunk_ptr[chunk];
+  const std::size_t width = (a.chunk_ptr[chunk + 1] - base) / c;
+  VecD acc = VecD::zero();
+  double xg[c];
+  for (std::size_t slot = 0; slot < width; ++slot) {
+    const std::size_t off = base + slot * c;
+    for (std::size_t l = 0; l < c; ++l) xg[l] = x[a.col_idx[off + l]];
+    acc = acc + VecD::load(a.values.data() + off) * VecD::load(xg);
+  }
+  double out[c];
+  acc.store(out);
+  for (std::size_t l = 0; l < c; ++l) {
+    const std::uint32_t r = a.row_ids[chunk * c + l];
+    if (r != SellMatrix::kSellPadRow) y[r] = out[l];
+  }
+}
+
+}  // namespace
+
+void spmv_sell(const SellMatrix& a, const std::vector<double>& x,
+               std::vector<double>& y) {
+  PE_REQUIRE(x.size() == a.cols, "x size mismatch");
+  PE_REQUIRE(y.size() == a.rows, "y size mismatch");
+  for (std::size_t ch = 0; ch < a.chunks(); ++ch)
+    sell_chunk_spmv(a, x, y, ch);
+}
+
+void spmv_sell_parallel(const SellMatrix& a, const std::vector<double>& x,
+                        std::vector<double>& y, ThreadPool& pool) {
+  PE_REQUIRE(x.size() == a.cols, "x size mismatch");
+  PE_REQUIRE(y.size() == a.rows, "y size mismatch");
+  constexpr std::size_t c = kSellChunk;
+  parallel_for(
+      pool, 0, a.chunks(),
+      [&](std::size_t ch) {
+        // Each lane's target row is recorded individually: the sigma
+        // permutation scatters a chunk's rows, so there is no contiguous
+        // range to report.
+        for (std::size_t l = 0; l < c; ++l) {
+          const std::uint32_t r = a.row_ids[ch * c + l];
+          if (r != SellMatrix::kSellPadRow)
+            access_record(y.data(), sizeof(double), r, r + 1, true,
+                          "spmv.y");
+        }
+        sell_chunk_spmv(a, x, y, ch);
+      },
+      Schedule::kDynamic, 64);
+}
+
+void spmv_ell_parallel(const EllMatrix& a, const std::vector<double>& x,
+                       std::vector<double>& y, ThreadPool& pool) {
+  PE_REQUIRE(x.size() == a.cols, "x size mismatch");
+  PE_REQUIRE(y.size() == a.rows, "y size mismatch");
+  parallel_for(
+      pool, 0, a.rows,
+      [&](std::size_t r) {
+        double acc = 0.0;
+        for (std::size_t slot = 0; slot < a.width; ++slot)
+          acc +=
+              a.values[r * a.width + slot] * x[a.col_idx[r * a.width + slot]];
+        access_record(y.data(), sizeof(double), r, r + 1, true, "spmv.y");
+        y[r] = acc;
+      },
+      Schedule::kDynamic, 256);
+}
+
+void spmv_coo_parallel(const CooMatrix& a, const std::vector<double>& x,
+                       std::vector<double>& y, ThreadPool& pool) {
+  PE_REQUIRE(x.size() == a.cols, "x size mismatch");
+  PE_REQUIRE(y.size() == a.rows, "y size mismatch");
+  for (std::size_t e = 1; e < a.entries.size(); ++e)
+    PE_REQUIRE(a.entries[e - 1].row <= a.entries[e].row,
+               "spmv_coo_parallel requires row-sorted entries "
+               "(call normalize() first)");
+
+  const std::size_t nnz = a.entries.size();
+  const std::size_t parts =
+      std::min<std::size_t>(pool.size() + 1, std::max<std::size_t>(1, nnz));
+  // Entry-balanced boundaries, then advanced to the next row change so no
+  // row straddles two parts — each part owns a disjoint slice of y.
+  std::vector<std::size_t> bounds(parts + 1, nnz);
+  bounds[0] = 0;
+  for (std::size_t p = 1; p < parts; ++p) {
+    std::size_t e = std::max(bounds[p - 1], nnz * p / parts);
+    while (e < nnz && e > 0 && a.entries[e - 1].row == a.entries[e].row)
+      ++e;
+    bounds[p] = e;
+  }
+
+  parallel_for(
+      pool, 0, parts,
+      [&](std::size_t p) {
+        const std::size_t lo = bounds[p], hi = bounds[p + 1];
+        // Zero this part's row slice: rows between parts' slices (fully
+        // empty rows) are zeroed by whichever neighbour's slice covers
+        // them below.
+        const std::size_t row_lo =
+            p == 0 ? 0 : (lo < nnz ? a.entries[lo].row : a.rows);
+        const std::size_t row_hi =
+            p + 1 == parts ? a.rows
+                           : (hi < nnz ? a.entries[hi].row : a.rows);
+        if (row_lo < row_hi) {
+          access_record(y.data(), sizeof(double), row_lo, row_hi, true,
+                        "spmv.y");
+          std::fill(y.begin() + static_cast<std::ptrdiff_t>(row_lo),
+                    y.begin() + static_cast<std::ptrdiff_t>(row_hi), 0.0);
+          for (std::size_t e = lo; e < hi; ++e) {
+            const Triplet& t = a.entries[e];
+            y[t.row] += t.value * x[t.col];
+          }
+        }
+      },
+      Schedule::kStatic);
 }
 
 void spmv_ell(const EllMatrix& a, const std::vector<double>& x,

@@ -63,6 +63,15 @@ struct Machine {
   double sched_submit_ns = 0.0;  ///< legacy submit/future path, per task
   double sched_bulk_ns = 0.0;    ///< bulk parallel_for path, per chunk
 
+  /// Optional SIMD capability (0/false = not calibrated): widest usable
+  /// vector register and whether fused multiply-add is available. Probed
+  /// at runtime by pe::simd::runtime_simd_caps() (see from_probe), or set
+  /// honestly in presets; peak_flops already *implies* these (the FLOP/
+  /// cycle factor), so recording them makes the implication auditable and
+  /// puts them under calibration_hash.
+  unsigned simd_width_bits = 0;  ///< 0 = unknown/scalar-only
+  bool simd_fma = false;         ///< fused multiply-add available
+
   bool operator==(const Machine&) const = default;
 
   // --- derived views the models calibrate from ---
@@ -96,6 +105,15 @@ struct Machine {
   }
   [[nodiscard]] bool has_scheduler() const {
     return sched_submit_ns > 0.0 || sched_bulk_ns > 0.0;
+  }
+  [[nodiscard]] bool has_simd() const {
+    return simd_width_bits > 0 || simd_fma;
+  }
+
+  /// Double lanes per vector register (1 when SIMD is uncalibrated — the
+  /// scalar "vector").
+  [[nodiscard]] unsigned simd_double_lanes() const {
+    return simd_width_bits >= 64 ? simd_width_bits / 64 : 1;
   }
 
   /// Per-chunk dispatch cost of the bulk parallel_for path, in seconds

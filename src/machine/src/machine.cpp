@@ -309,6 +309,11 @@ void Machine::check() const {
              "link coefficients must be non-negative");
   PE_REQUIRE(sched_submit_ns >= 0.0 && sched_bulk_ns >= 0.0,
              "scheduler dispatch costs must be non-negative");
+  PE_REQUIRE(simd_width_bits % 64 == 0,
+             "SIMD width must be a whole number of 64-bit lanes");
+  PE_REQUIRE(!simd_fma || simd_width_bits > 0,
+             "FMA without a SIMD width is not a calibration this layer "
+             "can represent");
   std::vector<MemoryLevel> seen;
   seen.reserve(hierarchy.size());
   for (std::size_t i = 0; i < hierarchy.size(); ++i) {
@@ -406,6 +411,10 @@ std::string to_json(const Machine& m) {
        << format_double(m.sched_submit_ns)
        << ", \"bulk_ns\": " << format_double(m.sched_bulk_ns) << " }";
   }
+  if (m.has_simd()) {
+    ss << ",\n  \"simd\": { \"width_bits\": " << m.simd_width_bits
+       << ", \"fma\": " << (m.simd_fma ? "true" : "false") << " }";
+  }
   ss << "\n}\n";
   return ss.str();
 }
@@ -459,6 +468,23 @@ Machine from_json(std::string_view text, std::string_view source) {
           m.link_beta = as_number(parser, lv, lkey);
         } else {
           parser.fail("unknown link key '" + lkey + "'", lv.line);
+        }
+      }
+    } else if (key == "simd") {
+      if (v.kind != Value::Kind::kObject)
+        parser.fail("key 'simd' must be an object", v.line);
+      for (const auto& [mkey, mv] : v.object) {
+        if (mkey == "width_bits") {
+          m.simd_width_bits =
+              static_cast<unsigned>(as_size(parser, mv, mkey));
+        } else if (mkey == "fma") {
+          if (mv.kind != Value::Kind::kBool)
+            parser.fail("key 'fma' must be a bool, got " +
+                            std::string(mv.kind_name()),
+                        mv.line);
+          m.simd_fma = mv.boolean;
+        } else {
+          parser.fail("unknown simd key '" + mkey + "'", mv.line);
         }
       }
     } else if (key == "scheduler") {

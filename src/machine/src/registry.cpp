@@ -26,6 +26,8 @@ Machine das5_node() {
   m.peak_dynamic_watts = 170.0;
   m.link_alpha = 1.7e-6;          // FDR InfiniBand
   m.link_beta = 1.0 / 6.8e9;
+  m.simd_width_bits = 256;        // the AVX2 FMA the peak_flops assumes
+  m.simd_fma = true;
   return m;
 }
 
@@ -45,6 +47,7 @@ Machine das5_gpu() {
   m.peak_dynamic_watts = 235.0;
   m.link_alpha = 1e-5;            // PCIe-3 x16: 10 us + ~12 GB/s
   m.link_beta = 1.0 / 1.2e10;
+  // SIMT warps are not CPU-style SIMD registers; left uncalibrated.
   return m;
 }
 
@@ -63,6 +66,10 @@ Machine laptop_x86() {
   };
   m.static_watts = 10.0;
   m.peak_dynamic_watts = 30.0;
+  // 4 DP FLOP/cycle = 256-bit adds+muls without FMA; recording fma=false
+  // keeps the peak honest (with FMA the same width would be 8/cycle).
+  m.simd_width_bits = 256;
+  m.simd_fma = false;
   return m;
 }
 
@@ -80,6 +87,8 @@ Machine cloud_smt() {
       {"L3", 1e11, 2e-8, 32u * 1024u * 1024u, 64},
       {"DRAM", 4e10, 1e-7, 0, 64},  // shared across all tenants
   };
+  m.simd_width_bits = 256;
+  m.simd_fma = true;
   return m;
 }
 

@@ -26,6 +26,11 @@ struct MachineCharacterization {
   double cache_latency = 0.0;          ///< dependent-load s at small sets
   std::vector<std::size_t> cache_level_bytes;  ///< detected level capacities
 
+  /// Vector capability from pe::simd::runtime_simd_caps() — what the CPU
+  /// *reports*, not a measurement (0/false when the probe skipped it).
+  unsigned simd_width_bits = 0;
+  bool simd_fma = false;
+
   /// Machine balance: FLOPs per byte at the ridge point of the Roofline.
   [[nodiscard]] double ridge_intensity() const {
     return memory_bandwidth > 0.0 ? peak_flops / memory_bandwidth : 0.0;

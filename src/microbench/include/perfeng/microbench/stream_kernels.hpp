@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file stream_kernels.hpp
+/// The four STREAM loop bodies, explicitly vectorized through pe::simd,
+/// plus the scalar references they are tested against.
+///
+/// The measurement harness (stream.hpp) times the `stream_*` variants;
+/// the `stream_*_scalar` twins are the reference semantics. Copy, Scale
+/// and Add are exactly equal to their scalar references at every length
+/// (lane-wise ops, no reordering — the tail is the same scalar loop).
+/// Triad uses `Vec::mul_add`, so when the binary carries the AVX2+FMA
+/// backend each element is `fma(scalar, b[i], a[i])` (one rounding) while
+/// the scalar reference rounds twice; tests/test_stream.cpp pins this down
+/// by checking exact equality against a `kFusedMulAdd`-aware reference.
+/// The scalar tail of the vectorized triad uses the same policy
+/// (`std::fma` when fused) so every element of one run is computed the
+/// same way regardless of its index.
+
+#include <cmath>
+#include <cstddef>
+
+#include "perfeng/simd/vec.hpp"
+
+namespace pe::microbench {
+
+/// b[i] = a[i]
+inline void stream_copy(const double* a, double* b, std::size_t n) {
+  using simd::VecD;
+  std::size_t i = 0;
+  for (; i + VecD::lanes <= n; i += VecD::lanes)
+    VecD::load(a + i).store(b + i);
+  for (; i < n; ++i) b[i] = a[i];
+}
+
+/// b[i] = s * a[i]
+inline void stream_scale(const double* a, double* b, double s,
+                         std::size_t n) {
+  using simd::VecD;
+  const VecD vs = VecD::broadcast(s);
+  std::size_t i = 0;
+  for (; i + VecD::lanes <= n; i += VecD::lanes)
+    (vs * VecD::load(a + i)).store(b + i);
+  for (; i < n; ++i) b[i] = s * a[i];
+}
+
+/// c[i] = a[i] + b[i]
+inline void stream_add(const double* a, const double* b, double* c,
+                       std::size_t n) {
+  using simd::VecD;
+  std::size_t i = 0;
+  for (; i + VecD::lanes <= n; i += VecD::lanes)
+    (VecD::load(a + i) + VecD::load(b + i)).store(c + i);
+  for (; i < n; ++i) c[i] = a[i] + b[i];
+}
+
+/// c[i] = a[i] + s * b[i] — fused to one rounding per element when the
+/// compiled backend has FMA (see file comment).
+inline void stream_triad(const double* a, const double* b, double* c,
+                         double s, std::size_t n) {
+  using simd::VecD;
+  const VecD vs = VecD::broadcast(s);
+  std::size_t i = 0;
+  for (; i + VecD::lanes <= n; i += VecD::lanes)
+    vs.mul_add(VecD::load(b + i), VecD::load(a + i)).store(c + i);
+  if constexpr (VecD::kFusedMulAdd) {
+    for (; i < n; ++i) c[i] = std::fma(s, b[i], a[i]);
+  } else {
+    for (; i < n; ++i) c[i] = a[i] + s * b[i];
+  }
+}
+
+/// Scalar references (plain loops, two roundings for triad).
+inline void stream_copy_scalar(const double* a, double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) b[i] = a[i];
+}
+inline void stream_scale_scalar(const double* a, double* b, double s,
+                                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) b[i] = s * a[i];
+}
+inline void stream_add_scalar(const double* a, const double* b, double* c,
+                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+}
+inline void stream_triad_scalar(const double* a, const double* b, double* c,
+                                double s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + s * b[i];
+}
+
+}  // namespace pe::microbench

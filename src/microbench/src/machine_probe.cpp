@@ -12,6 +12,7 @@
 #include "perfeng/microbench/latency.hpp"
 #include "perfeng/microbench/peak_flops.hpp"
 #include "perfeng/microbench/stream.hpp"
+#include "perfeng/simd/caps.hpp"
 
 namespace pe::microbench {
 
@@ -41,6 +42,10 @@ MachineCharacterization probe_machine(const BenchmarkRunner& runner,
     mc.memory_latency = sweep.back().seconds_per_load;
     mc.cache_level_bytes = detect_cache_levels(sweep);
   }
+
+  const simd::SimdCaps caps = simd::runtime_simd_caps();
+  mc.simd_width_bits = caps.width_bits();
+  mc.simd_fma = caps.fma && caps.width_bits() > 0;
   return mc;
 }
 
@@ -108,6 +113,10 @@ Machine from_probe(const pe::microbench::MachineCharacterization& probe,
   }
   m.hierarchy.push_back({"DRAM", std::min(probe.memory_bandwidth, prev_bw),
                          std::max(probe.memory_latency, prev_lat), 0, 64});
+  // Record the host's vector capability so calibration_hash pins down
+  // which SIMD hardware the measured peak belongs to.
+  m.simd_width_bits = probe.simd_width_bits;
+  m.simd_fma = probe.simd_fma && probe.simd_width_bits > 0;
   m.check();
   return m;
 }

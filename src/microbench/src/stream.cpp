@@ -5,6 +5,7 @@
 #include "perfeng/common/aligned_buffer.hpp"
 #include "perfeng/common/error.hpp"
 #include "perfeng/measure/timer.hpp"
+#include "perfeng/microbench/stream_kernels.hpp"
 
 namespace pe::microbench {
 
@@ -55,30 +56,31 @@ StreamResult run_stream(StreamKernel kernel, std::size_t elements,
   double* pb = b.data();
   double* pc = c.data();
 
+  // Loop bodies live in stream_kernels.hpp, explicitly vectorized through
+  // pe::simd and tested against scalar references in tests/test_stream.cpp.
   std::function<void()> body;
   switch (kernel) {
     case StreamKernel::kCopy:
       body = [pa, pb, elements] {
-        for (std::size_t i = 0; i < elements; ++i) pb[i] = pa[i];
+        stream_copy(pa, pb, elements);
         do_not_optimize(pb[0]);
       };
       break;
     case StreamKernel::kScale:
       body = [pa, pb, scalar, elements] {
-        for (std::size_t i = 0; i < elements; ++i) pb[i] = scalar * pa[i];
+        stream_scale(pa, pb, scalar, elements);
         do_not_optimize(pb[0]);
       };
       break;
     case StreamKernel::kAdd:
       body = [pa, pb, pc, elements] {
-        for (std::size_t i = 0; i < elements; ++i) pc[i] = pa[i] + pb[i];
+        stream_add(pa, pb, pc, elements);
         do_not_optimize(pc[0]);
       };
       break;
     case StreamKernel::kTriad:
       body = [pa, pb, pc, scalar, elements] {
-        for (std::size_t i = 0; i < elements; ++i)
-          pc[i] = pa[i] + scalar * pb[i];
+        stream_triad(pa, pb, pc, scalar, elements);
         do_not_optimize(pc[0]);
       };
       break;

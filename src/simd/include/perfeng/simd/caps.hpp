@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file caps.hpp
+/// Runtime SIMD capability probe.
+///
+/// `compiled_backend_name()` (vec.hpp) answers "what did the *binary*
+/// assume"; this header answers "what does the *host* support". The two
+/// differ when a generic-backend binary lands on an AVX2 machine (or a
+/// native binary is moved — which traps, hence the build runs a
+/// check_cxx_source_runs probe before enabling -mavx2). The probe result
+/// is recorded into `pe::machine::Machine` calibrations (the "simd" JSON
+/// section) so the calibration hash pins down which vector hardware a
+/// measurement was taken on.
+
+#include <string>
+
+namespace pe::simd {
+
+/// What the executing CPU reports. All fields false / 0 on non-x86.
+struct SimdCaps {
+  bool sse2 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+
+  /// Widest usable vector register in bits (0 if none detected).
+  [[nodiscard]] unsigned width_bits() const {
+    if (avx512f) return 512;
+    if (avx2 || avx) return 256;
+    if (sse2) return 128;
+    return 0;
+  }
+
+  /// Human-readable one-liner, e.g. "avx2+fma (256-bit)".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Probe the executing CPU (cached after the first call; cheap to call).
+[[nodiscard]] SimdCaps runtime_simd_caps();
+
+}  // namespace pe::simd

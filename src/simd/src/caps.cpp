@@ -1,0 +1,45 @@
+#include "perfeng/simd/caps.hpp"
+
+namespace pe::simd {
+
+std::string SimdCaps::summary() const {
+  std::string s;
+  if (avx512f) {
+    s = "avx512f";
+  } else if (avx2) {
+    s = "avx2";
+  } else if (avx) {
+    s = "avx";
+  } else if (sse2) {
+    s = "sse2";
+  } else {
+    return "scalar (no SIMD detected)";
+  }
+  if (fma) s += "+fma";
+  s += " (" + std::to_string(width_bits()) + "-bit)";
+  return s;
+}
+
+namespace {
+
+SimdCaps probe() {
+  SimdCaps caps;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  caps.sse2 = __builtin_cpu_supports("sse2") != 0;
+  caps.avx = __builtin_cpu_supports("avx") != 0;
+  caps.avx2 = __builtin_cpu_supports("avx2") != 0;
+  caps.fma = __builtin_cpu_supports("fma") != 0;
+  caps.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return caps;
+}
+
+}  // namespace
+
+SimdCaps runtime_simd_caps() {
+  static const SimdCaps caps = probe();
+  return caps;
+}
+
+}  // namespace pe::simd

@@ -95,6 +95,80 @@ TEST(KernelsUnderChecker, DynamicSpmvPartitionIsDisjointWrite) {
   EXPECT_GE(report.chunks, 2u);
 }
 
+TEST(KernelsUnderChecker, SellSpmvChunkPartitionIsDisjointWrite) {
+  pe::ThreadPool pool(4);
+  pe::Rng rng(31);
+  // Power-law + remainder row count: heavy chunks, a partial tail chunk.
+  const auto csr = pe::kernels::coo_to_csr(pe::kernels::generate_sparse(
+      517, 400, 0.02, pe::kernels::SparsityPattern::kPowerLaw, rng));
+  const auto sell = pe::kernels::csr_to_sell(csr, 32);
+  std::vector<double> x(csr.cols);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = double(i % 13) * 0.5;
+  std::vector<double> expected(csr.rows, 0.0);
+  pe::kernels::spmv_csr(csr, x, expected);
+
+  std::vector<double> y(csr.rows, -1.0);
+  AccessChecker checker;
+  {
+    ScopedAccessCheck guard(checker);
+    pe::kernels::spmv_sell_parallel(sell, x, y, pool);
+  }
+  EXPECT_EQ(y, expected);  // SELL promises the exact CSR summation order
+
+  const RaceReport report = checker.report();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GE(report.chunks, 2u);
+}
+
+TEST(KernelsUnderChecker, EllSpmvRowPartitionIsDisjointWrite) {
+  pe::ThreadPool pool(4);
+  pe::Rng rng(37);
+  const auto csr = pe::kernels::coo_to_csr(pe::kernels::generate_sparse(
+      700, 300, 0.01, pe::kernels::SparsityPattern::kBanded, rng));
+  const auto ell = pe::kernels::csr_to_ell(csr);
+  std::vector<double> x(csr.cols, 0.75);
+  std::vector<double> expected(csr.rows, 0.0);
+  pe::kernels::spmv_csr(csr, x, expected);
+
+  std::vector<double> y(csr.rows, -1.0);
+  AccessChecker checker;
+  {
+    ScopedAccessCheck guard(checker);
+    pe::kernels::spmv_ell_parallel(ell, x, y, pool);
+  }
+  EXPECT_EQ(y, expected);
+
+  const RaceReport report = checker.report();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GE(report.chunks, 2u);
+}
+
+TEST(KernelsUnderChecker, CooSpmvEntryPartitionIsDisjointWrite) {
+  pe::ThreadPool pool(4);
+  pe::Rng rng(41);
+  // Power-law: many entries share heavy rows, so the entry-balanced
+  // boundaries must visibly snap to row edges to stay disjoint.
+  const auto coo = pe::kernels::csr_to_coo(pe::kernels::coo_to_csr(
+      pe::kernels::generate_sparse(
+          450, 450, 0.02, pe::kernels::SparsityPattern::kPowerLaw, rng)));
+  std::vector<double> x(coo.cols);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = double(i % 7) - 3.0;
+  std::vector<double> expected(coo.rows, 0.0);
+  pe::kernels::spmv_coo(coo, x, expected);
+
+  std::vector<double> y(coo.rows, -1.0);
+  AccessChecker checker;
+  {
+    ScopedAccessCheck guard(checker);
+    pe::kernels::spmv_coo_parallel(coo, x, y, pool);
+  }
+  EXPECT_EQ(y, expected);
+
+  const RaceReport report = checker.report();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GE(report.chunks, 2u);
+}
+
 TEST(KernelsUnderChecker, StencilRowPartitionIsDisjointWrite) {
   pe::ThreadPool pool(4);
   pe::kernels::Grid2D in(40, 36), out(40, 36), reference(40, 36);

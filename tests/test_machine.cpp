@@ -307,6 +307,87 @@ TEST(MachineScheduler, UnknownSchedulerKeyRejected) {
   EXPECT_THROW((void)pe::machine::from_json(text), pe::Error);
 }
 
+// --- simd calibration -------------------------------------------------------
+
+TEST(MachineSimd, RoundTripsThroughJson) {
+  Machine m = sample_machine();
+  m.simd_width_bits = 256;
+  m.simd_fma = true;
+  EXPECT_TRUE(m.has_simd());
+  EXPECT_EQ(m.simd_double_lanes(), 4u);
+  const std::string text = pe::machine::to_json(m);
+  EXPECT_NE(text.find("\"simd\""), std::string::npos);
+  EXPECT_NE(text.find("\"width_bits\""), std::string::npos);
+  const Machine back = pe::machine::from_json(text);
+  EXPECT_EQ(back, m);
+  EXPECT_EQ(pe::machine::to_json(back), text);  // byte-stable
+}
+
+TEST(MachineSimd, OmittedWhenUnset) {
+  const Machine m = sample_machine();
+  EXPECT_FALSE(m.has_simd());
+  EXPECT_EQ(m.simd_double_lanes(), 1u);  // scalar = one lane
+  EXPECT_EQ(pe::machine::to_json(m).find("\"simd\""), std::string::npos);
+}
+
+TEST(MachineSimd, AffectsCalibrationHash) {
+  Machine m = sample_machine();
+  const std::string before = m.calibration_hash();
+  m.simd_width_bits = 256;
+  m.simd_fma = true;
+  EXPECT_NE(m.calibration_hash(), before);
+  // Width alone vs width+fma hash differently too — fma changes what a
+  // flop costs, so it must pin measurements.
+  Machine no_fma = m;
+  no_fma.simd_fma = false;
+  EXPECT_NE(no_fma.calibration_hash(), m.calibration_hash());
+}
+
+TEST(MachineSimd, InvalidCombinationsRejected) {
+  Machine m = sample_machine();
+  m.simd_width_bits = 100;  // not a multiple of 64
+  EXPECT_THROW(m.check(), pe::Error);
+  m.simd_width_bits = 0;
+  m.simd_fma = true;  // FMA with no vector unit recorded
+  EXPECT_THROW(m.check(), pe::Error);
+  m.simd_width_bits = 128;
+  EXPECT_NO_THROW(m.check());
+  EXPECT_EQ(m.simd_double_lanes(), 2u);
+}
+
+TEST(MachineSimd, UnknownSimdKeyRejected) {
+  Machine m = sample_machine();
+  m.simd_width_bits = 256;
+  std::string text = pe::machine::to_json(m);
+  const auto pos = text.find("\"width_bits\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 12, "\"width_bitz\"");
+  EXPECT_THROW((void)pe::machine::from_json(text), pe::Error);
+}
+
+TEST(MachineSimd, NonBooleanFmaRejected) {
+  Machine m = sample_machine();
+  m.simd_width_bits = 256;
+  m.simd_fma = true;
+  std::string text = pe::machine::to_json(m);
+  const auto pos = text.find("\"fma\": true");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 11, "\"fma\": 1.00");
+  EXPECT_THROW((void)pe::machine::from_json(text), pe::Error);
+}
+
+TEST(MachineSimd, PresetsCarryHonestVectorWidths) {
+  const auto& reg = pe::machine::MachineRegistry::builtin();
+  // Every CPU preset records its vector hardware; das5-node (Haswell
+  // E5-2630v3) and cloud-smt have FMA, the conservative laptop preset
+  // does not claim it.
+  EXPECT_EQ(reg.get("das5-node").simd_width_bits, 256u);
+  EXPECT_TRUE(reg.get("das5-node").simd_fma);
+  EXPECT_EQ(reg.get("laptop-x86").simd_width_bits, 256u);
+  EXPECT_FALSE(reg.get("laptop-x86").simd_fma);
+  EXPECT_TRUE(reg.get("cloud-smt").simd_fma);
+}
+
 // --- registry + resolver ----------------------------------------------------
 
 TEST(MachineRegistry, BuiltinPresetsValidate) {

@@ -7,6 +7,8 @@
 
 #include "perfeng/machine/registry.hpp"
 #include "perfeng/microbench/scheduler.hpp"
+#include "perfeng/simd/caps.hpp"
+#include "perfeng/simd/vec.hpp"
 
 namespace {
 
@@ -34,6 +36,22 @@ TEST(MachineProbe, ProducesConsistentCharacterization) {
   const std::string s = mc.summary();
   EXPECT_NE(s.find("peak"), std::string::npos);
   EXPECT_NE(s.find("ridge"), std::string::npos);
+
+  // The probe records the host's vector capability from the runtime caps
+  // probe, and the machine bridge must carry it into the calibration (so
+  // calibration_hash pins which vector hardware measured the numbers).
+  EXPECT_EQ(mc.simd_width_bits, pe::simd::runtime_simd_caps().width_bits());
+  EXPECT_EQ(mc.simd_fma, pe::simd::runtime_simd_caps().fma &&
+                             mc.simd_width_bits > 0);
+  const pe::machine::Machine m = pe::machine::from_probe(mc, "probe-test");
+  EXPECT_NO_THROW(m.check());
+  EXPECT_EQ(m.simd_width_bits, mc.simd_width_bits);
+  EXPECT_EQ(m.simd_fma, mc.simd_fma);
+  // A binary compiled against the AVX2 backend can only be running on a
+  // host whose probe reports at least 256-bit vectors.
+  if (pe::simd::compiled_width_bits() > 0) {
+    EXPECT_GE(m.simd_width_bits, pe::simd::compiled_width_bits());
+  }
 }
 
 TEST(MachineProbe, RidgeIsZeroWithoutBandwidth) {

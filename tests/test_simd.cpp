@@ -1,0 +1,179 @@
+// The pe::simd exactness contract (docs/simd.md): every backend computes
+// lane-wise IEEE arithmetic bit-identical to the portable generic
+// backend, reductions use one fixed tree, and the *only* sanctioned
+// semantic difference is `mul_add` fusing — advertised through the
+// kFusedMulAdd trait, never silent. These tests pin that contract with
+// exact equality (no tolerances): when they pass on an AVX2 build and on
+// a generic build, a kernel written against Vec<T, N> is portable by
+// construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perfeng/common/rng.hpp"
+#include "perfeng/simd/caps.hpp"
+#include "perfeng/simd/vec.hpp"
+
+namespace {
+
+using pe::simd::Vec;
+using pe::simd::VecD;
+using pe::simd::VecF;
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed) {
+  pe::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.next_range_double(-8.0, 8.0);
+  return v;
+}
+
+TEST(Simd, LaneCountsMatchPreferredWidths) {
+  EXPECT_EQ(VecD::lanes, pe::simd::kDoubleLanes);
+  EXPECT_EQ(VecF::lanes, pe::simd::kFloatLanes);
+  EXPECT_EQ(VecD::lanes, 4u);
+  EXPECT_EQ(VecF::lanes, 8u);
+}
+
+TEST(Simd, ZeroBroadcastAndGet) {
+  const VecD z = VecD::zero();
+  for (std::size_t i = 0; i < VecD::lanes; ++i) EXPECT_EQ(z.get(i), 0.0);
+  const VecD b = VecD::broadcast(2.5);
+  for (std::size_t i = 0; i < VecD::lanes; ++i) EXPECT_EQ(b.get(i), 2.5);
+}
+
+TEST(Simd, LoadStoreRoundTripsUnaligned) {
+  // Loads and stores carry no alignment requirement — exercise every
+  // offset within a cache line to prove it.
+  const auto src = random_doubles(VecD::lanes + 7, 11);
+  for (std::size_t off = 0; off < 8; ++off) {
+    const VecD v = VecD::load(src.data() + off);
+    double out[VecD::lanes];
+    v.store(out);
+    for (std::size_t i = 0; i < VecD::lanes; ++i) {
+      EXPECT_EQ(out[i], src[off + i]);
+      EXPECT_EQ(v.get(i), src[off + i]);
+    }
+  }
+}
+
+TEST(Simd, ArithmeticIsLaneWiseExact) {
+  const auto xs = random_doubles(VecD::lanes, 21);
+  const auto ys = random_doubles(VecD::lanes, 22);
+  const VecD x = VecD::load(xs.data());
+  const VecD y = VecD::load(ys.data());
+  const VecD sum = x + y, diff = x - y, prod = x * y;
+  for (std::size_t i = 0; i < VecD::lanes; ++i) {
+    EXPECT_EQ(sum.get(i), xs[i] + ys[i]);
+    EXPECT_EQ(diff.get(i), xs[i] - ys[i]);
+    EXPECT_EQ(prod.get(i), xs[i] * ys[i]);
+  }
+}
+
+TEST(Simd, MulAddHonorsTheFusedTrait) {
+  // The one sanctioned backend difference: with kFusedMulAdd the result
+  // is std::fma (one rounding), without it mul-then-add (two roundings).
+  // Either way the trait tells callers exactly which — verified here per
+  // lane with exact equality.
+  const auto as = random_doubles(VecD::lanes, 31);
+  const auto bs = random_doubles(VecD::lanes, 32);
+  const auto cs = random_doubles(VecD::lanes, 33);
+  const VecD r = VecD::load(as.data())
+                     .mul_add(VecD::load(bs.data()), VecD::load(cs.data()));
+  for (std::size_t i = 0; i < VecD::lanes; ++i) {
+    const double expect = VecD::kFusedMulAdd
+                              ? std::fma(as[i], bs[i], cs[i])
+                              : as[i] * bs[i] + cs[i];
+    EXPECT_EQ(r.get(i), expect);
+  }
+}
+
+TEST(Simd, HsumUsesTheFixedStrideHalvingTree) {
+  // hsum must reduce as (l0+l2) + (l1+l3) for N=4 — the order the generic
+  // backend defines and every hardware backend must reproduce, so that a
+  // reduction written on Vec is bit-stable across backends.
+  const auto xs = random_doubles(VecD::lanes, 41);
+  const VecD v = VecD::load(xs.data());
+  const double expect = (xs[0] + xs[2]) + (xs[1] + xs[3]);
+  EXPECT_EQ(v.hsum(), expect);
+}
+
+TEST(Simd, FloatBackendMatchesScalarSemantics) {
+  pe::Rng rng(51);
+  float a[VecF::lanes], b[VecF::lanes];
+  for (std::size_t i = 0; i < VecF::lanes; ++i) {
+    a[i] = static_cast<float>(rng.next_range_double(-4.0, 4.0));
+    b[i] = static_cast<float>(rng.next_range_double(-4.0, 4.0));
+  }
+  const VecF prod = VecF::load(a) * VecF::load(b);
+  for (std::size_t i = 0; i < VecF::lanes; ++i)
+    EXPECT_EQ(prod.get(i), a[i] * b[i]);
+  // N=8 tree: ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+  const float expect = ((a[0] + a[4]) + (a[2] + a[6])) +
+                       ((a[1] + a[5]) + (a[3] + a[7]));
+  EXPECT_EQ(VecF::load(a).hsum(), expect);
+}
+
+TEST(Simd, GenericTemplateAgreesWithCompiledBackendAtOtherWidths) {
+  // Widths with no hardware specialization always instantiate the
+  // generic template — they must behave identically to VecD semantics so
+  // kernels can pick any power-of-two width without surprises.
+  using V2 = Vec<double, 2>;
+  const auto xs = random_doubles(2, 61);
+  const auto ys = random_doubles(2, 62);
+  const V2 r = V2::load(xs.data()).mul_add(V2::load(ys.data()), V2::zero());
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double expect = V2::kFusedMulAdd ? std::fma(xs[i], ys[i], 0.0)
+                                           : xs[i] * ys[i];
+    EXPECT_EQ(r.get(i), expect);
+  }
+  EXPECT_EQ(V2::load(xs.data()).hsum(), xs[0] + xs[1]);
+}
+
+TEST(Simd, CompiledBackendReportingIsConsistent) {
+  const unsigned width = pe::simd::compiled_width_bits();
+  const std::string name = pe::simd::compiled_backend_name();
+  if (name == "avx2") {
+    EXPECT_EQ(width, 256u);
+  } else {
+    EXPECT_EQ(name, "generic");
+    EXPECT_EQ(width, 0u);
+    EXPECT_FALSE(pe::simd::fused_mul_add());
+  }
+  EXPECT_EQ(pe::simd::fused_mul_add(), VecD::kFusedMulAdd);
+}
+
+TEST(Simd, RuntimeCapsAreSelfConsistent) {
+  const pe::simd::SimdCaps caps = pe::simd::runtime_simd_caps();
+  // Feature implications on x86 (all vacuously true on other ISAs where
+  // the probe reports everything false).
+  if (caps.avx2) {
+    EXPECT_TRUE(caps.avx);
+  }
+  if (caps.avx) {
+    EXPECT_TRUE(caps.sse2);
+  }
+  if (caps.avx512f) {
+    EXPECT_TRUE(caps.avx2);
+  }
+  const unsigned width = caps.width_bits();
+  if (caps.avx512f) {
+    EXPECT_EQ(width, 512u);
+  } else if (caps.avx2 || caps.avx) {
+    EXPECT_EQ(width, 256u);
+  } else if (caps.sse2) {
+    EXPECT_EQ(width, 128u);
+  } else {
+    EXPECT_EQ(width, 0u);
+  }
+  EXPECT_FALSE(caps.summary().empty());
+  // A binary compiled for AVX2 can only be running on an AVX2 host.
+  if (pe::simd::compiled_width_bits() >= 256) {
+    EXPECT_TRUE(caps.avx2);
+  }
+}
+
+}  // namespace

@@ -1,11 +1,16 @@
-// Tests for sparse formats and SpMV in perfeng/kernels/sparse.hpp.
+// Tests for sparse formats and SpMV in perfeng/kernels/sparse.hpp, plus
+// the SELL-C-sigma format and the learned format selector
+// (perfeng/kernels/format_select.hpp).
 #include "perfeng/kernels/sparse.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "perfeng/common/error.hpp"
+#include "perfeng/kernels/format_select.hpp"
 
 namespace {
 
@@ -282,6 +287,222 @@ TEST(Features, NamesMatchValues) {
   EXPECT_DOUBLE_EQ(f[3], 0.5);            // density
   EXPECT_DOUBLE_EQ(f[4], 1.5);            // mean degree
   EXPECT_DOUBLE_EQ(f[6], 2.0);            // bandwidth: |2-0|
+}
+
+TEST(Sell, ConversionLayoutAndPadding) {
+  // 2 rows -> one chunk of C=4 with 2 padding rows; chunk width = widest
+  // row (2), so storage is 4*2 slots for 3 real nonzeros.
+  const auto sell = pe::kernels::csr_to_sell(
+      pe::kernels::coo_to_csr(small_coo()), /*sigma=*/1);
+  EXPECT_EQ(sell.rows, 2u);
+  EXPECT_EQ(sell.chunks(), 1u);
+  EXPECT_EQ(sell.nnz(), 3u);
+  EXPECT_EQ(sell.values.size(), pe::kernels::kSellChunk * 2);
+  EXPECT_DOUBLE_EQ(sell.padding_ratio(), 8.0 / 3.0);
+  // Padding rows carry the sentinel id; real rows keep their identity
+  // (sigma=1 means no reordering).
+  EXPECT_EQ(sell.row_ids[0], 0u);
+  EXPECT_EQ(sell.row_ids[1], 1u);
+  EXPECT_EQ(sell.row_ids[2], pe::kernels::SellMatrix::kSellPadRow);
+  EXPECT_EQ(sell.row_ids[3], pe::kernels::SellMatrix::kSellPadRow);
+}
+
+TEST(Sell, SigmaValidated) {
+  const auto csr = pe::kernels::coo_to_csr(small_coo());
+  EXPECT_THROW((void)pe::kernels::csr_to_sell(csr, 0), pe::Error);
+  EXPECT_THROW((void)pe::kernels::csr_to_sell(csr, 3), pe::Error);
+  EXPECT_NO_THROW((void)pe::kernels::csr_to_sell(csr, 1));
+  EXPECT_NO_THROW((void)pe::kernels::csr_to_sell(csr, 8));
+}
+
+TEST(Sell, SortingWindowCutsPaddingOnSkewedRows) {
+  pe::Rng rng(14);
+  const auto csr = pe::kernels::coo_to_csr(pe::kernels::generate_sparse(
+      512, 512, 0.01, SparsityPattern::kPowerLaw, rng));
+  const auto unsorted = pe::kernels::csr_to_sell(csr, 1);
+  const auto sorted = pe::kernels::csr_to_sell(csr, 64);
+  EXPECT_LT(sorted.padding_ratio(), unsorted.padding_ratio());
+  // SELL padding can never exceed ELL's (ELL pads every row to the global
+  // max; SELL only to the per-chunk max).
+  const auto ell = pe::kernels::csr_to_ell(csr);
+  EXPECT_LE(sorted.padding_ratio(), ell.padding_ratio() + 1e-12);
+}
+
+// spmv_sell promises the *exact* per-row summation order of spmv_csr
+// (ascending column index, unfused accumulation), so equality is
+// operator==, not EXPECT_NEAR — at remainder shapes too (rows not a
+// multiple of the chunk height, empty rows, single-row matrices).
+TEST_P(SpmvPatterns, SellSpmvMatchesCsrExactly) {
+  pe::Rng rng(15);
+  // 257 rows: 64 full chunks + a remainder chunk of 1 row. Low density
+  // leaves genuinely empty rows in the uniform/powerlaw draws.
+  const auto csr = pe::kernels::coo_to_csr(
+      pe::kernels::generate_sparse(257, 190, 0.01, GetParam(), rng));
+  std::vector<double> x(csr.cols);
+  for (auto& v : x) v = rng.next_range_double(-1.0, 1.0);
+  std::vector<double> y_csr(csr.rows), y_sell(csr.rows, -7.0);
+  pe::kernels::spmv_csr(csr, x, y_csr);
+  for (const std::size_t sigma : {std::size_t{1}, std::size_t{8},
+                                  std::size_t{64}}) {
+    const auto sell = pe::kernels::csr_to_sell(csr, sigma);
+    std::fill(y_sell.begin(), y_sell.end(), -7.0);
+    pe::kernels::spmv_sell(sell, x, y_sell);
+    EXPECT_EQ(y_sell, y_csr) << "sigma=" << sigma;
+  }
+}
+
+TEST_P(SpmvPatterns, ParallelFormatVariantsMatchSerialExactly) {
+  pe::Rng rng(16);
+  const auto coo =
+      pe::kernels::generate_sparse(253, 170, 0.02, GetParam(), rng);
+  const auto csr = pe::kernels::coo_to_csr(coo);
+  const auto ell = pe::kernels::csr_to_ell(csr);
+  const auto sell = pe::kernels::csr_to_sell(csr, 16);
+  std::vector<double> x(csr.cols);
+  for (auto& v : x) v = rng.next_range_double(-1.0, 1.0);
+
+  std::vector<double> y_ref(csr.rows);
+  pe::kernels::spmv_csr(csr, x, y_ref);
+
+  pe::ThreadPool pool(3);
+  std::vector<double> y(csr.rows, -7.0);
+  pe::kernels::spmv_sell_parallel(sell, x, y, pool);
+  EXPECT_EQ(y, y_ref);
+
+  std::fill(y.begin(), y.end(), -7.0);
+  pe::kernels::spmv_ell_parallel(ell, x, y, pool);
+  EXPECT_EQ(y, y_ref);
+
+  // coo_to_csr sorts, so csr_to_coo yields the row-sorted entries the
+  // parallel COO kernel requires.
+  const auto sorted_coo = pe::kernels::csr_to_coo(csr);
+  std::fill(y.begin(), y.end(), -7.0);
+  pe::kernels::spmv_coo_parallel(sorted_coo, x, y, pool);
+  EXPECT_EQ(y, y_ref);
+}
+
+TEST(Spmv, CooParallelRejectsUnsortedEntries) {
+  CooMatrix m;
+  m.rows = 2;
+  m.cols = 2;
+  m.entries = {{1, 0, 1.0}, {0, 1, 2.0}};  // rows out of order
+  const std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y(2);
+  pe::ThreadPool pool(2);
+  EXPECT_THROW(pe::kernels::spmv_coo_parallel(m, x, y, pool), pe::Error);
+}
+
+TEST(Spmv, NewFormatsHandleSingleRowAndAllEmptyRows) {
+  pe::ThreadPool pool(4);
+  // Single row (smaller than one SELL chunk).
+  CooMatrix one;
+  one.rows = 1;
+  one.cols = 5;
+  one.entries = {{0, 1, 2.0}, {0, 4, 3.0}};
+  const auto csr1 = pe::kernels::coo_to_csr(one);
+  const std::vector<double> x1 = {1.0, 10.0, 1.0, 1.0, 100.0};
+  std::vector<double> y1(1, -7.0);
+  pe::kernels::spmv_sell(pe::kernels::csr_to_sell(csr1), x1, y1);
+  EXPECT_DOUBLE_EQ(y1[0], 320.0);
+  y1[0] = -7.0;
+  pe::kernels::spmv_coo_parallel(pe::kernels::csr_to_coo(csr1), x1, y1,
+                                 pool);
+  EXPECT_DOUBLE_EQ(y1[0], 320.0);
+
+  // A matrix with no entries at all: every path must zero-fill y.
+  CooMatrix empty;
+  empty.rows = 6;
+  empty.cols = 4;
+  const auto csr0 = pe::kernels::coo_to_csr(empty);
+  const std::vector<double> x0(4, 1.0);
+  for (int variant = 0; variant < 4; ++variant) {
+    std::vector<double> y0(6, -7.0);
+    switch (variant) {
+      case 0:
+        pe::kernels::spmv_sell(pe::kernels::csr_to_sell(csr0), x0, y0);
+        break;
+      case 1:
+        pe::kernels::spmv_sell_parallel(pe::kernels::csr_to_sell(csr0), x0,
+                                        y0, pool);
+        break;
+      case 2:
+        pe::kernels::spmv_ell_parallel(pe::kernels::csr_to_ell(csr0), x0,
+                                       y0, pool);
+        break;
+      case 3:
+        pe::kernels::spmv_coo_parallel(empty, x0, y0, pool);
+        break;
+    }
+    EXPECT_EQ(y0, std::vector<double>(6, 0.0)) << "variant " << variant;
+  }
+}
+
+TEST(FormatFeatures, ComputedFromCsr) {
+  const auto csr = pe::kernels::coo_to_csr(small_coo());
+  const auto f = pe::kernels::FormatFeatures::from_csr(csr);
+  EXPECT_DOUBLE_EQ(f.rows, 2.0);
+  EXPECT_DOUBLE_EQ(f.cols, 3.0);
+  EXPECT_DOUBLE_EQ(f.nnz, 3.0);
+  EXPECT_DOUBLE_EQ(f.mean_deg, 1.5);
+  EXPECT_DOUBLE_EQ(f.deg_max, 2.0);
+  EXPECT_DOUBLE_EQ(f.bandwidth, 2.0);
+  EXPECT_DOUBLE_EQ(f.ell_padding, 4.0 / 3.0);
+  const auto vec = f.as_vector();
+  const auto names = pe::kernels::FormatFeatures::names();
+  ASSERT_EQ(vec.size(), names.size());
+}
+
+TEST(FormatSelector, LearnsAPlantedFormatLandscape) {
+  // Synthetic corpus with a planted rule: tall matrices (rows > cols) are
+  // fastest in ELL, everything else in CSR. The trees must recover it.
+  std::vector<pe::kernels::FormatSample> samples;
+  for (int i = 0; i < 8; ++i) {
+    pe::kernels::FormatSample s;
+    const bool tall = i % 2 == 0;
+    s.features.rows = tall ? 4000.0 + i : 1000.0 + i;
+    s.features.cols = 1000.0;
+    s.features.nnz = 8000.0;
+    s.features.mean_deg = s.features.nnz / s.features.rows;
+    s.features.deg_cv = 0.1;
+    s.features.deg_max = 8.0;
+    s.features.bandwidth = 900.0;
+    s.features.ell_padding = 1.2;
+    // seconds indexed by kAllSpmvFormats order: csr, csc, coo, ell, sell.
+    s.seconds = tall ? std::array<double, 5>{4e-3, 6e-3, 7e-3, 1e-3, 2e-3}
+                     : std::array<double, 5>{1e-3, 3e-3, 4e-3, 5e-3, 2e-3};
+    samples.push_back(s);
+  }
+  const auto selector = pe::kernels::FormatSelector::train(samples);
+  EXPECT_TRUE(selector.trained());
+  EXPECT_EQ(selector.choose(samples[0].features),
+            pe::kernels::SpmvFormat::kEll);
+  EXPECT_EQ(selector.choose(samples[1].features),
+            pe::kernels::SpmvFormat::kCsr);
+  // Deterministic: retraining on the same corpus gives the same policy,
+  // and predictions are positive seconds for every format.
+  const auto again = pe::kernels::FormatSelector::train(samples);
+  for (const auto& s : samples) {
+    EXPECT_EQ(selector.choose(s.features), again.choose(s.features));
+    for (const auto f : pe::kernels::kAllSpmvFormats)
+      EXPECT_GT(selector.predict_seconds(s.features, f), 0.0);
+  }
+}
+
+TEST(FormatSelector, RejectsDegenerateTrainingSets) {
+  EXPECT_THROW((void)pe::kernels::FormatSelector::train({}), pe::Error);
+  pe::kernels::FormatSample bad;
+  bad.features.rows = 10.0;
+  bad.seconds = {1e-3, 1e-3, 0.0, 1e-3, 1e-3};  // non-positive runtime
+  EXPECT_THROW((void)pe::kernels::FormatSelector::train({bad}), pe::Error);
+}
+
+TEST(FormatSelector, FormatNamesAreStable) {
+  using pe::kernels::SpmvFormat;
+  EXPECT_EQ(pe::kernels::spmv_format_name(SpmvFormat::kCsr), "csr");
+  EXPECT_EQ(pe::kernels::spmv_format_name(SpmvFormat::kCsc), "csc");
+  EXPECT_EQ(pe::kernels::spmv_format_name(SpmvFormat::kCoo), "coo");
+  EXPECT_EQ(pe::kernels::spmv_format_name(SpmvFormat::kEll), "ell");
+  EXPECT_EQ(pe::kernels::spmv_format_name(SpmvFormat::kSell), "sell");
 }
 
 TEST(Features, PatternNames) {

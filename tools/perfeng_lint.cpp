@@ -27,6 +27,12 @@
 //                        on_event() call — the macros are what keep the
 //                        disabled path one guarded branch (the property
 //                        bench/scheduler_trace --check measures)
+//   simd-isolation       <immintrin.h>-family includes and raw _mm* /
+//                        __m256-style intrinsics live only in the
+//                        pe::simd backend headers (src/simd/include/
+//                        perfeng/simd/backend_*.hpp); kernels speak
+//                        Vec<T, N> so a new ISA is one new backend file,
+//                        not a tree-wide audit (docs/simd.md)
 //   model-from-machine   every public header under src/models exposes a
 //                        from_machine() factory — the calibration contract
 //                        that lets the composition layer treat any model
@@ -398,6 +404,51 @@ void check_trace_hook_guard(const SourceFile& f,
   }
 }
 
+void check_simd_isolation(const SourceFile& f, std::vector<Violation>& out) {
+  // The pe::simd backend headers are the one sanctioned home for raw
+  // intrinsics; everything else (kernels, benches, tests) speaks
+  // Vec<T, N> so exactness contracts stay auditable in one place.
+  if (f.rel.rfind("src/simd/include/perfeng/simd/backend_", 0) == 0) return;
+  if (file_allows(f, "simd-isolation")) return;
+  static const std::vector<std::string_view> kIntrinsicHeaders = {
+      "immintrin.h", "x86intrin.h", "xmmintrin.h", "emmintrin.h",
+      "smmintrin.h", "tmmintrin.h", "avxintrin.h", "arm_neon.h"};
+  static const std::vector<std::string_view> kIntrinsicPrefixes = {
+      "_mm", "__m128", "__m256", "__m512"};
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (line_allows(f, i, "simd-isolation")) continue;
+    const std::size_t inc = line.find("#include <");
+    if (inc != std::string::npos) {
+      for (std::string_view header : kIntrinsicHeaders) {
+        if (line.find(header, inc) != std::string::npos) {
+          out.push_back({f.rel, i + 1, "simd-isolation",
+                         "intrinsic header outside the pe::simd backend "
+                         "layer — include \"perfeng/simd/vec.hpp\" and use "
+                         "Vec<T, N>"});
+          break;
+        }
+      }
+      continue;
+    }
+    for (std::string_view prefix : kIntrinsicPrefixes) {
+      std::size_t pos = 0;
+      bool flagged = false;
+      while ((pos = line.find(prefix, pos)) != std::string::npos) {
+        if (pos == 0 || !is_identifier_char(line[pos - 1])) {
+          out.push_back({f.rel, i + 1, "simd-isolation",
+                         "raw SIMD intrinsic outside src/simd backend "
+                         "headers — extend Vec<T, N> instead"});
+          flagged = true;
+          break;
+        }
+        pos += prefix.size();
+      }
+      if (flagged) break;
+    }
+  }
+}
+
 void check_model_from_machine(const SourceFile& f,
                               std::vector<Violation>& out) {
   if (!f.is_public_header) return;
@@ -421,7 +472,7 @@ const std::vector<std::string_view>& check_names() {
       "pragma-once",       "include-style",      "namespace-pe",
       "no-using-namespace", "no-std-rand",       "no-raw-new-array",
       "no-volatile",       "test-determinism",   "self-contained-includes",
-      "trace-hook-guard",  "model-from-machine",
+      "trace-hook-guard",  "simd-isolation",     "model-from-machine",
   };
   return names;
 }
@@ -486,6 +537,7 @@ int main(int argc, char** argv) {
       check_test_determinism(f, violations);
       check_self_contained(f, violations);
       check_trace_hook_guard(f, violations);
+      check_simd_isolation(f, violations);
       check_model_from_machine(f, violations);
     }
   }
