@@ -18,13 +18,17 @@
 /// happened to execute on the same lane are still reported (flagged
 /// `same_lane`) — a dynamic scheduler could legally have raced them.
 ///
-/// Scope and limits: chunks are diffed within one loop at a time (loops
-/// are barrier-separated). Nested parallel loops are each checked
-/// internally, but two *inner* loops launched from concurrently-running
-/// outer chunks are not diffed against each other. Lane-indexed private
-/// scratch (e.g. the packed-matmul A panels) is intentionally outside the
-/// model — it is partitioned by lane, not by chunk — and should not be
-/// recorded. See docs/analysis.md.
+/// Scope and limits: each chunk carries its full loop-nesting path (the
+/// chain of enclosing loops and chunks down from the outermost loop), so
+/// two chunks are diffed exactly when their paths first diverge within
+/// one loop — which covers chunks of one flat loop *and* chunks of two
+/// inner loops launched from concurrently-running chunks of the same
+/// outer loop. Paths diverging across different loops are ordered by the
+/// earlier loop's completion barrier, and an enclosing chunk never races
+/// its own nested loop (it blocks until the inner loop drains).
+/// Lane-indexed private scratch (e.g. the packed-matmul A panels) is
+/// intentionally outside the model — it is partitioned by lane, not by
+/// chunk — and should not be recorded. See docs/analysis.md.
 
 #include <atomic>
 #include <cstddef>
@@ -45,9 +49,10 @@ class AccessChecker final : public AccessHook {
   AccessChecker() = default;
 
   // AccessHook interface (called by the runtime; not for direct use).
-  void begin_loop(std::size_t begin, std::size_t end) noexcept override;
-  void end_loop() noexcept override;
-  void begin_chunk(std::size_t lo, std::size_t hi,
+  std::size_t begin_loop(std::size_t begin,
+                         std::size_t end) noexcept override;
+  void end_loop(std::size_t loop_token) noexcept override;
+  void begin_chunk(std::size_t loop_token, std::size_t lo, std::size_t hi,
                    std::size_t lane) noexcept override;
   void end_chunk() noexcept override;
   void record(const void* base, std::size_t lo_byte, std::size_t hi_byte,
@@ -79,12 +84,19 @@ class AccessChecker final : public AccessHook {
     std::vector<Interval> intervals;
   };
 
-  mutable std::mutex mutex_;        // guards chunks_/counters below
+  /// Nesting prefix of one announced loop: the path of the chunk the
+  /// launching thread was executing when it called begin_loop (empty for
+  /// a top-level loop).
+  struct LoopInfo {
+    std::vector<ChunkStep> prefix;
+  };
+
+  mutable std::mutex mutex_;        // guards chunks_/loops_/counters below
   std::deque<ChunkLog> chunks_;     // deque: stable addresses for the
                                     // per-thread active-chunk stack
+  std::deque<LoopInfo> loop_infos_; // index = loop token - 1
   std::size_t next_chunk_ = 0;
   std::size_t loops_ = 0;
-  std::atomic<std::size_t> epoch_{0};  // bumped by begin_loop
   std::atomic<std::size_t> unscoped_records_{0};
 };
 

@@ -14,16 +14,34 @@
 
 namespace pe::analysis {
 
+/// One step of a chunk's loop-nesting path: which loop, and which chunk
+/// of that loop, the execution was inside at that nesting depth.
+struct ChunkStep {
+  std::size_t loop = 0;   ///< 1-based loop sequence number in this run
+  std::size_t chunk = 0;  ///< chunk sequence number within the run
+};
+
 /// Identity of one executed chunk: which loop it belonged to, its claimed
-/// iteration range, and the lane (worker index, or `pool.size()` for the
-/// submitting thread) that ran it.
+/// iteration range, the lane (worker index, or `pool.size()` for the
+/// submitting thread) that ran it, and the loop-nesting path from the
+/// outermost loop down to this chunk (`path.back()` is this chunk's own
+/// step). Two chunks may run concurrently exactly when their paths first
+/// diverge *within* one loop — same loop, different chunks — at some
+/// depth; diverging across loops means a completion barrier ordered them,
+/// and a path that is a prefix of the other is an enclosing chunk, which
+/// blocks until its inner loop completes.
 struct ChunkProvenance {
   std::size_t loop = 0;   ///< 1-based loop sequence number in this run
   std::size_t index = 0;  ///< chunk sequence number within the run
   std::size_t lo = 0;     ///< first claimed iteration
   std::size_t hi = 0;     ///< one past the last claimed iteration
   std::size_t lane = 0;   ///< executing lane
+  std::vector<ChunkStep> path;  ///< outermost-first; ends at this chunk
 };
+
+/// Concurrency eligibility from nesting paths (see ChunkProvenance).
+[[nodiscard]] bool chunks_may_race(const ChunkProvenance& a,
+                                   const ChunkProvenance& b) noexcept;
 
 /// One detected cross-chunk overlap. `first`/`second` are the offending
 /// chunk pair; `lo_byte`/`hi_byte` is the first overlapping byte range

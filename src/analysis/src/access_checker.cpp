@@ -26,24 +26,38 @@ std::string where_string(const char* file, unsigned line) {
 
 }  // namespace
 
-void AccessChecker::begin_loop(std::size_t /*begin*/,
-                               std::size_t /*end*/) noexcept {
+std::size_t AccessChecker::begin_loop(std::size_t /*begin*/,
+                                      std::size_t /*end*/) noexcept {
+  // begin_loop fires on the launching thread, so the innermost chunk on
+  // this thread's stack — if any — is the chunk the new loop is nested
+  // inside; its path becomes the new loop's prefix.
+  LoopInfo info;
+  if (!t_active_chunks.empty())
+    info.prefix =
+        static_cast<ChunkLog*>(t_active_chunks.back())->id.path;
   std::lock_guard lock(mutex_);
   ++loops_;
-  epoch_.fetch_add(1, std::memory_order_relaxed);
+  loop_infos_.push_back(std::move(info));
+  return loops_;  // 1-based token; 0 stays "no loop"
 }
 
-void AccessChecker::end_loop() noexcept {}
+void AccessChecker::end_loop(std::size_t /*loop_token*/) noexcept {}
 
-void AccessChecker::begin_chunk(std::size_t lo, std::size_t hi,
-                                std::size_t lane) noexcept {
+void AccessChecker::begin_chunk(std::size_t loop_token, std::size_t lo,
+                                std::size_t hi, std::size_t lane) noexcept {
   ChunkLog* log = nullptr;
   {
     std::lock_guard lock(mutex_);
     chunks_.emplace_back();
     log = &chunks_.back();
-    log->id = {epoch_.load(std::memory_order_relaxed), next_chunk_++, lo,
-               hi, lane};
+    log->id.loop = loop_token;
+    log->id.index = next_chunk_++;
+    log->id.lo = lo;
+    log->id.hi = hi;
+    log->id.lane = lane;
+    if (loop_token >= 1 && loop_token <= loop_infos_.size())
+      log->id.path = loop_infos_[loop_token - 1].prefix;
+    log->id.path.push_back({loop_token, log->id.index});
   }
   t_active_chunks.push_back(log);
 }
@@ -84,8 +98,10 @@ RaceReport AccessChecker::report() const {
   rep.chunks = chunks_.size();
   rep.unscoped_records = unscoped_records_.load(std::memory_order_relaxed);
 
-  // Group intervals by (loop, buffer): only same-loop, same-buffer
-  // intervals can conflict.
+  // Group intervals by (root loop, buffer): everything under one
+  // top-level loop shares a concurrency scope (nested loops included);
+  // different root loops are barrier-separated. Whether two chunks in a
+  // group can actually race is decided per pair from their nesting paths.
   struct Item {
     const Interval* iv;
     const ChunkLog* chunk;
@@ -93,8 +109,10 @@ RaceReport AccessChecker::report() const {
   std::map<std::pair<std::size_t, const void*>, std::vector<Item>> groups;
   for (const ChunkLog& chunk : chunks_) {
     rep.intervals += chunk.intervals.size();
+    const std::size_t root =
+        chunk.id.path.empty() ? chunk.id.loop : chunk.id.path.front().loop;
     for (const Interval& iv : chunk.intervals)
-      groups[{chunk.id.loop, iv.base}].push_back({&iv, &chunk});
+      groups[{root, iv.base}].push_back({&iv, &chunk});
   }
 
   for (auto& [key, items] : groups) {
@@ -111,6 +129,7 @@ RaceReport AccessChecker::report() const {
       for (const Item& other : active) {
         if (other.chunk == item.chunk) continue;
         if (!other.iv->write && !item.iv->write) continue;
+        if (!chunks_may_race(other.chunk->id, item.chunk->id)) continue;
         const auto pair = std::minmax(other.chunk->id.index,
                                       item.chunk->id.index);
         if (!reported.insert(pair).second) continue;
@@ -151,9 +170,9 @@ void AccessChecker::reset() {
   PE_REQUIRE(t_active_chunks.empty(),
              "reset while a chunk is active on this thread");
   chunks_.clear();
+  loop_infos_.clear();
   next_chunk_ = 0;
   loops_ = 0;
-  epoch_.store(0, std::memory_order_relaxed);
   unscoped_records_.store(0, std::memory_order_relaxed);
 }
 

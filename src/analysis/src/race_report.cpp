@@ -11,11 +11,34 @@ namespace {
 void append_chunk(std::ostream& os, const ChunkProvenance& c,
                   const std::string& where) {
   os << "chunk #" << c.index << " (loop " << c.loop << ", iters [" << c.lo
-     << ", " << c.hi << "), lane " << c.lane << ", recorded at " << where
-     << ")";
+     << ", " << c.hi << "), lane " << c.lane;
+  if (c.path.size() > 1) {
+    os << ", nested via";
+    for (std::size_t i = 0; i + 1 < c.path.size(); ++i)
+      os << " loop " << c.path[i].loop << "/chunk #" << c.path[i].chunk;
+  }
+  os << ", recorded at " << where << ")";
 }
 
 }  // namespace
+
+bool chunks_may_race(const ChunkProvenance& a,
+                     const ChunkProvenance& b) noexcept {
+  for (std::size_t i = 0; i < a.path.size() && i < b.path.size(); ++i) {
+    const ChunkStep& sa = a.path[i];
+    const ChunkStep& sb = b.path[i];
+    if (sa.loop == sb.loop && sa.chunk == sb.chunk) continue;  // descend
+    // First divergence. Same loop, different chunks: concurrent — the
+    // entire subtrees under them may overlap in time. Different loops
+    // launched from the same context: the earlier loop's completion
+    // barrier ordered them.
+    return sa.loop == sb.loop;
+  }
+  // One path is a prefix of the other (enclosing chunk vs. descendant:
+  // the enclosing chunk blocks in run_bulk until the inner loop drains),
+  // or the paths are identical (same chunk). Never concurrent.
+  return false;
+}
 
 std::string RaceReport::to_string() const {
   std::ostringstream os;

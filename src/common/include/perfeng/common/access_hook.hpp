@@ -28,16 +28,22 @@ class AccessHook {
   virtual ~AccessHook() = default;
 
   /// A new parallel loop over [begin, end) is starting on the calling
-  /// thread. Chunks of distinct loops are separated by the loop's
-  /// completion barrier and therefore never race with each other.
-  virtual void begin_loop(std::size_t begin, std::size_t end) noexcept = 0;
+  /// thread. Returns a loop token that the runtime hands back with every
+  /// chunk of this loop (and with `end_loop`), so the hook can tie chunks
+  /// to their launching context: when `begin_loop` fires from inside an
+  /// active chunk, the new loop is *nested* and its chunks may run
+  /// concurrently with chunks of sibling inner loops launched from other
+  /// chunks of the same outer loop. Zero is reserved for "no loop".
+  virtual std::size_t begin_loop(std::size_t begin,
+                                 std::size_t end) noexcept = 0;
 
   /// The loop announced by the matching `begin_loop` has quiesced.
-  virtual void end_loop() noexcept = 0;
+  virtual void end_loop(std::size_t loop_token) noexcept = 0;
 
-  /// The calling thread starts executing the chunk [lo, hi) on `lane`.
-  virtual void begin_chunk(std::size_t lo, std::size_t hi,
-                           std::size_t lane) noexcept = 0;
+  /// The calling thread starts executing the chunk [lo, hi) of the loop
+  /// identified by `loop_token` on `lane`.
+  virtual void begin_chunk(std::size_t loop_token, std::size_t lo,
+                           std::size_t hi, std::size_t lane) noexcept = 0;
 
   /// The calling thread finished its current chunk.
   virtual void end_chunk() noexcept = 0;
@@ -67,20 +73,25 @@ extern std::atomic<AccessHook*> g_access_hook;
 }  // namespace detail
 
 /// Announce a parallel loop over [begin, end); no-op unless hooked.
-inline void access_begin_loop(std::size_t begin, std::size_t end) noexcept {
+/// Returns the hook's loop token, or 0 when no hook is installed.
+[[nodiscard]] inline std::size_t access_begin_loop(std::size_t begin,
+                                                   std::size_t end) noexcept {
   if (AccessHook* hook = detail::access_hook_fast())
-    hook->begin_loop(begin, end);
+    return hook->begin_loop(begin, end);
+  return 0;
 }
 
-inline void access_end_loop() noexcept {
-  if (AccessHook* hook = detail::access_hook_fast()) hook->end_loop();
+inline void access_end_loop(std::size_t loop_token) noexcept {
+  if (AccessHook* hook = detail::access_hook_fast())
+    hook->end_loop(loop_token);
 }
 
-/// Announce that the calling thread starts chunk [lo, hi) on `lane`.
-inline void access_begin_chunk(std::size_t lo, std::size_t hi,
-                               std::size_t lane) noexcept {
+/// Announce that the calling thread starts chunk [lo, hi) of the loop
+/// identified by `loop_token` on `lane`.
+inline void access_begin_chunk(std::size_t loop_token, std::size_t lo,
+                               std::size_t hi, std::size_t lane) noexcept {
   if (AccessHook* hook = detail::access_hook_fast())
-    hook->begin_chunk(lo, hi, lane);
+    hook->begin_chunk(loop_token, lo, hi, lane);
 }
 
 inline void access_end_chunk() noexcept {
@@ -103,9 +114,10 @@ inline void access_record(
 /// when the chunk body throws.
 class AccessChunkScope {
  public:
-  AccessChunkScope(std::size_t lo, std::size_t hi, std::size_t lane) noexcept
+  AccessChunkScope(std::size_t loop_token, std::size_t lo, std::size_t hi,
+                   std::size_t lane) noexcept
       : hook_(detail::access_hook_fast()) {
-    if (hook_ != nullptr) hook_->begin_chunk(lo, hi, lane);
+    if (hook_ != nullptr) hook_->begin_chunk(loop_token, lo, hi, lane);
   }
   ~AccessChunkScope() {
     if (hook_ != nullptr) hook_->end_chunk();

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file baseline.hpp
+/// Checked-in finding baseline: CI gates on *new* findings only.
+///
+/// The baseline (tools/lint_baseline.json) maps a finding identity —
+/// rule + file + message, deliberately excluding the line number so
+/// unrelated edits don't churn it — to the number of such findings that
+/// are accepted debt. A lint run subtracts the baseline and fails only
+/// on the excess; burning debt down shrinks the file, never grows it
+/// silently (regenerate with `perfeng_lint <root> --write-baseline`).
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perfeng/lint/finding.hpp"
+
+namespace pe::lint {
+
+class Baseline {
+ public:
+  /// Load from disk. A missing file is an empty baseline (everything is
+  /// new); a malformed file throws pe::Error naming the line.
+  [[nodiscard]] static Baseline load(const std::filesystem::path& path);
+
+  /// Serialize the given findings as a baseline document (sorted,
+  /// one entry per line, counts aggregated).
+  [[nodiscard]] static std::string serialize(
+      const std::vector<Finding>& findings);
+
+  /// Findings not covered by the baseline: for each identity, the first
+  /// `count` occurrences are absorbed, the rest returned.
+  [[nodiscard]] std::vector<Finding> new_findings(
+      const std::vector<Finding>& findings) const;
+
+  [[nodiscard]] std::size_t total_entries() const noexcept;
+
+ private:
+  std::map<std::string, std::size_t> counts_;  // finding_key -> accepted
+};
+
+}  // namespace pe::lint

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file layering.hpp
+/// Whole-program include-layering pass.
+///
+/// Every `#include "perfeng/..."` edge inside `src/` must be *realizable
+/// in the declared DAG*: the including file's library must declare a
+/// dependency path (any number of hops, since every dependency here is
+/// PUBLIC) to the library that owns the included header. An edge that is
+/// not realizable is an architecture break even when it compiles through
+/// a stray include directory. The pass also reports cycles in the
+/// declared DAG itself and includes of headers no library owns.
+///
+/// Deliberate interface headers (e.g. a hook header meant to be included
+/// from everywhere) are allowlisted with
+/// `perfeng-lint: allow(include-layering)` on the include line, carrying
+/// a rationale.
+
+#include <vector>
+
+#include "perfeng/lint/pass.hpp"
+
+namespace pe::lint {
+
+class IncludeLayeringPass final : public Pass {
+ public:
+  [[nodiscard]] RuleInfo rule() const override;
+  void run(const PassContext& ctx, std::vector<Finding>& out) const override;
+};
+
+}  // namespace pe::lint

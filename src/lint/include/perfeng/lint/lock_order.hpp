@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file lock_order.hpp
+/// Whole-program lock-order (deadlock-potential) analysis.
+///
+/// The pass extracts, per function, the ordered sequence of mutex
+/// acquisitions — `std::scoped_lock`, `std::lock_guard`,
+/// `std::unique_lock`, and the pool's `lock_traced` wrapper — tracking
+/// guard scopes so it knows which locks are *held* when the next one is
+/// taken, and follows direct calls within the same translation unit so
+/// "holds A, calls g(), g takes B" contributes the same A→B edge as a
+/// syntactic nesting. Edges are folded into one global graph keyed by
+/// *mutex member identity* (`Class::member`, resolved through member
+/// declarations and lightweight local-variable type inference, so
+/// `mine.mu` and `w->deque.mu` are the same lock). A cycle in that graph
+/// is a potential deadlock; the finding carries the full witness path —
+/// every edge with the function and file:line that created it.
+///
+/// Deliberate non-edges: the mutexes of one multi-argument
+/// `std::scoped_lock(a, b)` are acquired atomically by a deadlock-free
+/// algorithm, so no order edge is added *between* them (edges from locks
+/// already held to each of them still are); `try_lock` without a
+/// follow-up blocking `lock()` cannot deadlock and is ignored; a function
+/// whose acquisition target is its own `std::mutex&` parameter is a lock
+/// wrapper — its identity is resolved at each call site instead.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perfeng/lint/pass.hpp"
+#include "perfeng/lint/source.hpp"
+
+namespace pe::lint {
+
+/// One ordered edge: `from` was held when `to` was acquired.
+struct LockEdge {
+  std::string from;     ///< mutex identity, e.g. "ThreadPool::mutex_"
+  std::string to;
+  std::string where;    ///< "file:line"
+  std::string function; ///< function whose body created the edge
+  std::string via;      ///< non-empty when the edge crossed a call
+};
+
+/// The folded global graph, exposed for tests and for the report.
+struct LockOrderGraph {
+  std::vector<LockEdge> edges;  ///< deduplicated on (from, to), first wins
+
+  /// Elementary cycles, each as the edge path around the cycle
+  /// (edges[i].to == edges[i+1].from, last wraps to first). Deterministic
+  /// order; each cycle reported once regardless of entry node.
+  [[nodiscard]] std::vector<std::vector<LockEdge>> cycles() const;
+};
+
+/// Build the global lock-order graph from the given sources (the pass
+/// runs it over `src/`; tests run it over fixtures).
+[[nodiscard]] LockOrderGraph build_lock_order_graph(
+    const std::vector<SourceFile>& files);
+
+class LockOrderPass final : public Pass {
+ public:
+  [[nodiscard]] RuleInfo rule() const override;
+  void run(const PassContext& ctx, std::vector<Finding>& out) const override;
+};
+
+}  // namespace pe::lint

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file repo_model.hpp
+/// The declared library DAG, parsed from the build system itself.
+///
+/// Each `src/<name>/CMakeLists.txt` declares one `perfeng_<...>` library
+/// and its `target_link_libraries` edges. That declaration *is* the
+/// architecture: an include edge that cannot be realized in this DAG is a
+/// layering break even if it happens to compile today through a
+/// transitive include directory. The model feeds the include-layering
+/// pass (perfeng/lint/layering.hpp) and is available to any future
+/// whole-program pass that needs to know which library a file belongs to.
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pe::lint {
+
+/// One declared library under src/.
+struct Library {
+  std::string name;       ///< src subdirectory, e.g. "parallel"
+  std::string target;     ///< CMake target, e.g. "perfeng_parallel"
+  std::string cmake_rel;  ///< "src/parallel/CMakeLists.txt"
+  std::vector<std::string> deps;  ///< declared direct deps (library names)
+};
+
+/// The parsed DAG plus lookup helpers.
+class RepoModel {
+ public:
+  [[nodiscard]] const std::vector<Library>& libraries() const noexcept {
+    return libraries_;
+  }
+
+  [[nodiscard]] const Library* by_name(std::string_view name) const noexcept;
+  [[nodiscard]] const Library* by_target(
+      std::string_view target) const noexcept;
+
+  /// Is `to` reachable from `from` over declared edges (any number of
+  /// hops)? A library trivially reaches itself.
+  [[nodiscard]] bool depends_on(std::string_view from,
+                                std::string_view to) const;
+
+  /// Which library owns the public header `include_path` (a
+  /// "perfeng/..." path)? Empty string when no library provides it.
+  [[nodiscard]] std::string owner_of_header(
+      const std::string& include_path) const;
+
+  /// Cycles in the declared DAG itself, each as the list of library names
+  /// around the cycle (first == last). Empty for a healthy tree.
+  [[nodiscard]] std::vector<std::vector<std::string>> declared_cycles()
+      const;
+
+  /// Parse every src/*/CMakeLists.txt under `root`. Never throws on
+  /// missing/odd files — an unparseable library simply has no declared
+  /// deps, and the layering pass will say so.
+  [[nodiscard]] static RepoModel build(const std::filesystem::path& root);
+
+ private:
+  std::vector<Library> libraries_;
+  std::filesystem::path root_;
+};
+
+}  // namespace pe::lint

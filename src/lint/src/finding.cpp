@@ -1,0 +1,41 @@
+#include "perfeng/lint/finding.hpp"
+
+#include <algorithm>
+
+namespace pe::lint {
+
+const char* severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "warning";
+}
+
+std::string finding_key(const Finding& f) {
+  // \x1f (unit separator) cannot appear in rule ids, paths, or messages.
+  std::string key;
+  key.reserve(f.rule.size() + f.file.size() + f.message.size() + 2);
+  key += f.rule;
+  key += '\x1f';
+  key += f.file;
+  key += '\x1f';
+  key += f.message;
+  return key;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+}
+
+}  // namespace pe::lint

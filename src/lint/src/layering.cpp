@@ -1,0 +1,72 @@
+#include "perfeng/lint/layering.hpp"
+
+#include <string>
+
+namespace pe::lint {
+
+RuleInfo IncludeLayeringPass::rule() const {
+  return {"include-layering",
+          "every perfeng include edge must be realizable in the declared "
+          "library DAG",
+          Severity::kError};
+}
+
+void IncludeLayeringPass::run(const PassContext& ctx,
+                              std::vector<Finding>& out) const {
+  const RepoModel& model = *ctx.model;
+  if (model.libraries().empty()) return;  // no CMake DAG to check against
+
+  // The declared DAG itself must be acyclic — a cycle makes "realizable"
+  // meaningless and the link order unsatisfiable.
+  for (const std::vector<std::string>& cycle : model.declared_cycles()) {
+    std::string path;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i > 0) path += " -> ";
+      path += cycle[i];
+    }
+    const Library* head = model.by_name(cycle.front());
+    Finding f;
+    f.file = head != nullptr ? head->cmake_rel : "src/CMakeLists.txt";
+    f.line = 0;
+    f.rule = rule().id;
+    f.severity = rule().severity;
+    f.message = "declared library dependency cycle: " + path;
+    f.fix_hint = "break the cycle by extracting the shared piece into a "
+                 "lower layer";
+    out.push_back(std::move(f));
+  }
+
+  for (const SourceFile& f : *ctx.files) {
+    if (!f.in_src || f.library.empty()) continue;
+    if (model.by_name(f.library) == nullptr)
+      continue;  // directory without a library target (nothing declared)
+    for (const IncludeDirective& inc : f.includes) {
+      if (inc.angled) continue;
+      if (inc.path.rfind("perfeng/", 0) != 0) continue;
+      if (line_allows(f, inc.line - 1, "include-layering")) continue;
+      const std::string owner = model.owner_of_header(inc.path);
+      if (owner.empty()) {
+        out.push_back({f.rel, inc.line, rule().id, rule().severity,
+                       "include \"" + inc.path +
+                           "\" is owned by no declared library",
+                       "move the header under some src/<lib>/include/ or "
+                       "fix the path"});
+        continue;
+      }
+      if (owner == f.library) continue;
+      if (model.depends_on(f.library, owner)) continue;
+      out.push_back(
+          {f.rel, inc.line, rule().id, rule().severity,
+           "library '" + f.library + "' includes \"" + inc.path +
+               "\" from library '" + owner +
+               "' but declares no dependency path to it",
+           "add " + (model.by_name(owner) != nullptr
+                         ? model.by_name(owner)->target
+                         : owner) +
+               " to target_link_libraries in " + f.library +
+               "/CMakeLists.txt, or break the layering violation"});
+    }
+  }
+}
+
+}  // namespace pe::lint

@@ -1,0 +1,216 @@
+#include "perfeng/lint/repo_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace pe::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Strip CMake comments and collapse the file into one token stream.
+std::vector<std::string> cmake_tokens(const fs::path& file) {
+  std::ifstream in(file);
+  std::vector<std::string> tokens;
+  if (!in) return tokens;
+  std::string all;
+  for (std::string line; std::getline(in, line);) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    all += line;
+    all += '\n';
+  }
+  std::string tok;
+  const auto flush = [&] {
+    if (!tok.empty()) {
+      tokens.push_back(tok);
+      tok.clear();
+    }
+  };
+  for (const char c : all) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      flush();
+    } else if (c == '(' || c == ')') {
+      flush();
+      tokens.emplace_back(1, c);
+    } else {
+      tok.push_back(c);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+bool is_cmake_keyword(const std::string& t) {
+  return t == "PUBLIC" || t == "PRIVATE" || t == "INTERFACE" ||
+         t == "STATIC" || t == "SHARED" || t == "OBJECT";
+}
+
+}  // namespace
+
+const Library* RepoModel::by_name(std::string_view name) const noexcept {
+  for (const Library& lib : libraries_)
+    if (lib.name == name) return &lib;
+  return nullptr;
+}
+
+const Library* RepoModel::by_target(
+    std::string_view target) const noexcept {
+  for (const Library& lib : libraries_)
+    if (lib.target == target) return &lib;
+  return nullptr;
+}
+
+bool RepoModel::depends_on(std::string_view from, std::string_view to) const {
+  if (from == to) return true;
+  const Library* start = by_name(from);
+  if (start == nullptr) return false;
+  std::set<std::string> seen;
+  std::vector<const Library*> work = {start};
+  while (!work.empty()) {
+    const Library* lib = work.back();
+    work.pop_back();
+    for (const std::string& dep : lib->deps) {
+      if (dep == to) return true;
+      if (!seen.insert(dep).second) continue;
+      if (const Library* next = by_name(dep)) work.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::string RepoModel::owner_of_header(
+    const std::string& include_path) const {
+  for (const Library& lib : libraries_) {
+    const fs::path candidate =
+        root_ / "src" / lib.name / "include" / include_path;
+    std::error_code ec;
+    if (fs::is_regular_file(candidate, ec)) return lib.name;
+  }
+  return {};
+}
+
+std::vector<std::vector<std::string>> RepoModel::declared_cycles() const {
+  // Iterative DFS with colors; every back edge closes one reported cycle.
+  std::vector<std::vector<std::string>> cycles;
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> path;
+  std::set<std::string> reported;  // canonical cycle keys
+
+  // Recursive lambda via explicit stack of (name, next_dep_index).
+  for (const Library& root_lib : libraries_) {
+    if (color[root_lib.name] != 0) continue;
+    std::vector<std::pair<std::string, std::size_t>> stack;
+    stack.emplace_back(root_lib.name, 0);
+    color[root_lib.name] = 1;
+    path.push_back(root_lib.name);
+    while (!stack.empty()) {
+      auto& [name, idx] = stack.back();
+      const Library* lib = by_name(name);
+      const std::vector<std::string> no_deps;
+      const std::vector<std::string>& deps =
+          lib != nullptr ? lib->deps : no_deps;
+      if (idx >= deps.size()) {
+        color[name] = 2;
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      const std::string dep = deps[idx++];
+      if (by_name(dep) == nullptr) continue;  // external; not in the DAG
+      if (color[dep] == 1) {
+        // Back edge: the cycle is the path suffix from dep.
+        const auto it = std::find(path.begin(), path.end(), dep);
+        std::vector<std::string> cycle(it, path.end());
+        cycle.push_back(dep);
+        // Canonical key: rotate so the smallest name leads.
+        std::vector<std::string> body(cycle.begin(), cycle.end() - 1);
+        const auto min_it = std::min_element(body.begin(), body.end());
+        std::rotate(body.begin(), min_it, body.end());
+        std::string key;
+        for (const std::string& n : body) key += n + ">";
+        if (reported.insert(key).second) cycles.push_back(std::move(cycle));
+        continue;
+      }
+      if (color[dep] == 0) {
+        color[dep] = 1;
+        path.push_back(dep);
+        stack.emplace_back(dep, 0);
+      }
+    }
+  }
+  return cycles;
+}
+
+RepoModel RepoModel::build(const fs::path& root) {
+  RepoModel model;
+  model.root_ = root;
+  const fs::path src = root / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) return model;
+
+  std::vector<fs::path> dirs;
+  for (const auto& entry : fs::directory_iterator(src)) {
+    if (entry.is_directory()) dirs.push_back(entry.path());
+  }
+  std::sort(dirs.begin(), dirs.end());
+
+  // First pass: find every declared target, so dep tokens can be mapped
+  // back to library names afterwards.
+  struct Parsed {
+    Library lib;
+    std::vector<std::string> dep_targets;
+  };
+  std::vector<Parsed> parsed;
+  for (const fs::path& dir : dirs) {
+    const fs::path cmake = dir / "CMakeLists.txt";
+    if (!fs::is_regular_file(cmake, ec)) continue;
+    const std::vector<std::string> tokens = cmake_tokens(cmake);
+    Parsed p;
+    p.lib.name = dir.filename().string();
+    p.lib.cmake_rel = "src/" + p.lib.name + "/CMakeLists.txt";
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (tokens[i] == "add_library" && tokens[i + 1] == "(") {
+        if (p.lib.target.empty()) p.lib.target = tokens[i + 2];
+      }
+      if (tokens[i] == "target_link_libraries" && tokens[i + 1] == "(") {
+        // Consume until the matching ')' (flat argument list).
+        std::size_t j = i + 2;
+        bool first = true;
+        while (j < tokens.size() && tokens[j] != ")") {
+          const std::string& t = tokens[j];
+          if (first) {
+            first = false;  // the target being linked
+          } else if (!is_cmake_keyword(t) && t != "(") {
+            p.dep_targets.push_back(t);
+          }
+          ++j;
+        }
+      }
+    }
+    if (!p.lib.target.empty()) parsed.push_back(std::move(p));
+  }
+
+  // Second pass: resolve dep targets to library names; drop externals
+  // (warnings interface, Threads::Threads, GTest, ...).
+  std::map<std::string, std::string> target_to_name;
+  for (const Parsed& p : parsed) target_to_name[p.lib.target] = p.lib.name;
+  for (Parsed& p : parsed) {
+    std::set<std::string> seen;
+    for (const std::string& t : p.dep_targets) {
+      const auto it = target_to_name.find(t);
+      if (it == target_to_name.end()) continue;
+      if (it->second == p.lib.name) continue;
+      if (seen.insert(it->second).second) p.lib.deps.push_back(it->second);
+    }
+    model.libraries_.push_back(std::move(p.lib));
+  }
+  return model;
+}
+
+}  // namespace pe::lint

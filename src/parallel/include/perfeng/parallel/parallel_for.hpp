@@ -76,6 +76,7 @@ struct BulkLoop {
   const std::size_t parts;  ///< static block count
   const std::size_t lanes;  ///< executors: workers + submitting thread
   const std::size_t limit;  ///< cursor bound (parts or n); cancel target
+  const std::size_t loop_token;  ///< race-checker loop identity (0 = none)
   const char* file;         ///< submitting call site, for trace provenance
   const std::uint32_t line;
 
@@ -86,8 +87,8 @@ struct BulkLoop {
   std::exception_ptr error;
 
   BulkLoop(std::size_t begin_, std::size_t n_, ChunkFn& fn, Schedule sched,
-           std::size_t grain_, std::size_t workers, const char* file_,
-           std::uint32_t line_)
+           std::size_t grain_, std::size_t workers, std::size_t loop_token_,
+           const char* file_, std::uint32_t line_)
       : begin(begin_),
         n(n_),
         chunk_fn(fn),
@@ -96,6 +97,7 @@ struct BulkLoop {
         parts(std::min(workers, n_)),
         lanes(workers + 1),
         limit(sched == Schedule::kStatic ? std::min(workers, n_) : n_),
+        loop_token(loop_token_),
         file(file_),
         line(line_) {}
 
@@ -154,7 +156,7 @@ struct BulkLoop {
       // The chunk scope tells an installed race checker (see
       // perfeng/analysis) which [lo, hi) this thread claims; a no-op
       // otherwise. RAII so the announcement closes even on a throw.
-      AccessChunkScope scope(lo, hi, lane);
+      AccessChunkScope scope(loop_token, lo, hi, lane);
       PE_TRACE_EMIT_CACHED(trace, TraceEventKind::kChunkStart, this, lo, hi,
                            lane, file, line);
       try {
@@ -177,16 +179,23 @@ struct BulkLoop {
   }
 };
 
-/// RAII loop announcement for an installed race checker: chunks of
-/// distinct loops are barrier-separated and must not be diffed against
-/// each other.
+/// RAII loop announcement for an installed race checker. The checker
+/// hands back a loop token tying every chunk to this loop; because
+/// `begin_loop` fires on the launching thread — inside the launching
+/// chunk, for a nested loop — the checker can reconstruct the full
+/// loop-nesting path and diff inner loops launched from concurrent outer
+/// chunks against each other (see docs/analysis.md).
 struct AccessLoopScope {
-  AccessLoopScope(std::size_t begin, std::size_t end) noexcept {
-    access_begin_loop(begin, end);
-  }
-  ~AccessLoopScope() { access_end_loop(); }
+  AccessLoopScope(std::size_t begin, std::size_t end) noexcept
+      : token_(access_begin_loop(begin, end)) {}
+  ~AccessLoopScope() { access_end_loop(token_); }
   AccessLoopScope(const AccessLoopScope&) = delete;
   AccessLoopScope& operator=(const AccessLoopScope&) = delete;
+
+  [[nodiscard]] std::size_t token() const noexcept { return token_; }
+
+ private:
+  std::size_t token_;
 };
 
 /// Drive one bulk loop to completion: broadcast, participate, reclaim
@@ -202,7 +211,7 @@ void run_bulk(ThreadPool& pool, std::size_t begin, std::size_t end,
     // Inline: a 1-worker pool (or a single chunk) gains nothing from
     // dispatch, and inline execution keeps iteration order sequential.
     const std::size_t lane = pool.this_lane();
-    AccessChunkScope scope(begin, end, lane);
+    AccessChunkScope scope(loop_scope.token(), begin, end, lane);
     PE_TRACE_EMIT_SITE(TraceEventKind::kLoopBegin, &chunk_fn, begin, end,
                        lane, loc.file_name(), loc.line());
     PE_TRACE_EMIT_SITE(TraceEventKind::kChunkStart, &chunk_fn, begin, end,
@@ -215,7 +224,7 @@ void run_bulk(ThreadPool& pool, std::size_t begin, std::size_t end,
     return;
   }
   BulkLoop<ChunkFn> loop(begin, n, chunk_fn, schedule, grain, workers,
-                         loc.file_name(), loc.line());
+                         loop_scope.token(), loc.file_name(), loc.line());
   PE_TRACE_EMIT_SITE(TraceEventKind::kLoopBegin, &loop, begin, end,
                      pool.this_lane(), loc.file_name(), loc.line());
   const std::size_t pushed =

@@ -1,0 +1,5 @@
+#pragma once
+#include "perfeng/beta/b.hpp"
+namespace pe {
+inline int a() { return b(); }
+}  // namespace pe

@@ -1,0 +1,24 @@
+// Fixture: classic AB/BA inversion on two mutex members — the lock-order
+// pass must report a cycle whose witness names both functions.
+#include <mutex>
+
+#include "perfeng/alpha/a.hpp"
+
+namespace pe {
+
+struct Pair {
+  std::mutex ma;
+  std::mutex mb;
+
+  void first() {
+    std::lock_guard<std::mutex> ga(ma);
+    std::lock_guard<std::mutex> gb(mb);
+  }
+
+  void second() {
+    std::lock_guard<std::mutex> gb(mb);
+    std::lock_guard<std::mutex> ga(ma);
+  }
+};
+
+}  // namespace pe

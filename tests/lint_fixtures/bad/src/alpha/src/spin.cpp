@@ -1,0 +1,20 @@
+// Fixture: backoff-free spin on an atomic — the wait-loop pass must flag
+// both the braced busy-wait and the empty-body variant.
+#include <atomic>
+
+namespace pe {
+
+std::atomic<bool> ready{false};
+std::atomic<int> turns{0};
+
+int spin_wait() {
+  while (!ready.load(std::memory_order_acquire)) {
+  }
+  return 1;
+}
+
+void spin_empty() {
+  while (turns.load(std::memory_order_relaxed) < 8);
+}
+
+}  // namespace pe

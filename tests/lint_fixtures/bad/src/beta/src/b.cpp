@@ -1,0 +1,1 @@
+#include "perfeng/beta/b.hpp"

@@ -1,0 +1,3 @@
+namespace pe {
+int d() { return 4; }
+}  // namespace pe

@@ -1,0 +1,3 @@
+namespace pe {
+int g() { return 3; }
+}  // namespace pe

@@ -1,0 +1,23 @@
+// Clean twin: both paths acquire ma before mb — a consistent global
+// order, no cycle.
+#include <mutex>
+
+#include "perfeng/alpha/a.hpp"
+
+namespace pe {
+
+struct Pair {
+  std::mutex ma;
+  std::mutex mb;
+
+  void first() {
+    std::lock_guard<std::mutex> ga(ma);
+    std::lock_guard<std::mutex> gb(mb);
+  }
+
+  void second() {
+    std::scoped_lock both(ma, mb);
+  }
+};
+
+}  // namespace pe

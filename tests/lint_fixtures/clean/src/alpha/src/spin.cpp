@@ -1,0 +1,16 @@
+// Clean twin: the wait loop yields each iteration — pacified.
+#include <atomic>
+#include <thread>
+
+namespace pe {
+
+std::atomic<bool> ready{false};
+
+int polite_wait() {
+  while (!ready.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  return 1;
+}
+
+}  // namespace pe

@@ -1,0 +1,4 @@
+#pragma once
+namespace pe {
+inline int b() { return 2; }
+}  // namespace pe

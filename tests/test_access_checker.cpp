@@ -173,6 +173,75 @@ TEST(AccessChecker, SequentialLoopsDoNotConflictWithEachOther) {
   EXPECT_EQ(report.loops, 2u);
 }
 
+// Regression: under the old flat-epoch model every nested loop opened its
+// own concurrency scope, so inner loops launched from *concurrently
+// running* chunks of one outer loop were never diffed against each other
+// — this exact overlap slipped through. The nesting-path model must flag
+// it: the two inner loops' paths first diverge at the outer loop, in
+// different outer chunks.
+TEST(AccessChecker, NestedLoopsFromConcurrentOuterChunksAreCrossDiffed) {
+  pe::ThreadPool pool(2);
+  std::vector<double> buf(64, 0.0);
+  AccessChecker checker;
+  {
+    ScopedAccessCheck guard(checker);
+    checked_span<double> span(buf.data(), buf.size(), "buf");
+    // Outer static loop over [0, 2) on a 2-worker pool: exactly two
+    // chunks, eligible to run concurrently. Each launches an inner loop
+    // whose chunks together claim the WHOLE buffer — so the two inner
+    // loops' partitions fully overlap across the outer-chunk boundary.
+    pe::parallel_for_chunks(
+        pool, 0, 2, [&](std::size_t, std::size_t, std::size_t) {
+          pe::parallel_for_chunks(
+              pool, 0, buf.size(),
+              [&](std::size_t lo, std::size_t hi, std::size_t) {
+                span.note(lo, hi, /*is_write=*/true);
+              });
+        });
+  }
+  const RaceReport report = checker.report();
+  ASSERT_FALSE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.loops, 3u);  // outer + two inner
+  // The offending pair sits in two *different* inner loops nested under
+  // different chunks of the shared outer loop.
+  const Conflict& c = report.conflicts.front();
+  EXPECT_NE(c.first.loop, c.second.loop);
+  ASSERT_EQ(c.first.path.size(), 2u);
+  ASSERT_EQ(c.second.path.size(), 2u);
+  EXPECT_EQ(c.first.path.front().loop, c.second.path.front().loop);
+  EXPECT_NE(c.first.path.front().chunk, c.second.path.front().chunk);
+  EXPECT_NE(report.to_string().find("nested via"), std::string::npos);
+}
+
+// Negative twin: the same doubly-overlapping inner loops are fine when
+// they are launched back-to-back from ONE outer chunk — the first inner
+// loop's completion barrier orders them. The enclosing chunk writing the
+// buffer itself is also fine: it blocks until its nested loops drain.
+TEST(AccessChecker, SequentialNestedLoopsFromOneChunkReportClean) {
+  pe::ThreadPool pool(2);
+  std::vector<double> buf(64, 0.0);
+  AccessChecker checker;
+  {
+    ScopedAccessCheck guard(checker);
+    checked_span<double> span(buf.data(), buf.size(), "buf");
+    // [0, 1): a single outer chunk, so the two inner loops inside it are
+    // barrier-separated, never concurrent.
+    pe::parallel_for_chunks(
+        pool, 0, 1, [&](std::size_t, std::size_t, std::size_t) {
+          span.note(0, span.size(), /*is_write=*/true);
+          for (int pass = 0; pass < 2; ++pass)
+            pe::parallel_for_chunks(
+                pool, 0, buf.size(),
+                [&](std::size_t lo, std::size_t hi, std::size_t) {
+                  span.note(lo, hi, /*is_write=*/true);
+                });
+        });
+  }
+  const RaceReport report = checker.report();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.loops, 3u);
+}
+
 TEST(AccessChecker, ReduceOrderedTreePatternReportsClean) {
   pe::ThreadPool pool(4);
   std::vector<double> data(5000);

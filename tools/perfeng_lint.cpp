@@ -1,558 +1,161 @@
-// perfeng-lint: the repo's own static contract checker.
+// perfeng-lint CLI: a thin shell over the pe::lint library (src/lint).
 //
-// Enforces the source-tree conventions that keep the toolbox teachable and
-// the measurements trustworthy — the checks CI runs over every PR (see
-// docs/analysis.md):
+// The rule catalog, lexer, repo model, pass framework, renderers, and
+// baseline logic all live in the library; this file only parses flags.
+// See docs/lint.md for the pass catalog, waiver grammar, and the
+// baseline workflow.
 //
-//   pragma-once          src headers start with #pragma once
-//   include-style        quoted includes name "perfeng/..." paths only
-//   namespace-pe         public headers declare everything inside pe::
-//   no-using-namespace   no `using namespace std`; none at all in headers
-//   no-std-rand          no std::rand/srand/random_device (use pe::Rng:
-//                        seeded, reproducible, the whole point of the
-//                        statistics layer)
-//   no-raw-new-array     no raw new[] in src/ (AlignedBuffer / vector own
-//                        memory; raw arrays leak on the exception paths
-//                        the resilience layer exercises)
-//   no-volatile          no volatile-as-synchronization in src/ (use
-//                        std::atomic; `asm volatile` barriers are exempt)
-//   test-determinism     tests never read wall-clock dates or OS entropy
-//                        (system_clock/random_device/srand) — a test that
-//                        depends on *when* it runs cannot gate a PR
-//   self-contained-includes
-//                        headers directly include what they use for a
-//                        curated std token set (transitive includes rot)
-//   trace-hook-guard     scheduler-trace emission in src/ goes through the
-//                        PE_TRACE_EMIT* guard macros, never a direct
-//                        on_event() call — the macros are what keep the
-//                        disabled path one guarded branch (the property
-//                        bench/scheduler_trace --check measures)
-//   simd-isolation       <immintrin.h>-family includes and raw _mm* /
-//                        __m256-style intrinsics live only in the
-//                        pe::simd backend headers (src/simd/include/
-//                        perfeng/simd/backend_*.hpp); kernels speak
-//                        Vec<T, N> so a new ISA is one new backend file,
-//                        not a tree-wide audit (docs/simd.md)
-//   model-from-machine   every public header under src/models exposes a
-//                        from_machine() factory — the calibration contract
-//                        that lets the composition layer treat any model
-//                        as a leaf (docs/models.md); deliberately machine-
-//                        independent headers carry an allow-file waiver
-//                        with a rationale
+// Usage:
+//   perfeng_lint <repo-root> [options]
+//   perfeng_lint --list-checks
 //
-// Suppressions: a line containing `perfeng-lint: allow(<check>)` in a
-// comment exempts that line; `perfeng-lint: allow-file(<check>)` anywhere
-// exempts the whole file. Every suppression should carry a rationale.
+// Options:
+//   --format text|jsonl|sarif   output format (default text)
+//   --sarif                     shorthand for --format sarif
+//   --out FILE                  write the report to FILE instead of stdout
+//   --baseline FILE             fail only on findings not in the baseline
+//   --write-baseline FILE       write current findings as the new baseline
+//   --rule NAME                 run only this rule (repeatable)
 //
-// Usage: perfeng_lint <repo-root> [--list-checks]
-// Exit code: 0 clean, 1 violations found, 2 usage/IO error.
+// Exit code: 0 clean (or all findings baselined), 1 new findings,
+// 2 usage/IO error.
 
-#include <algorithm>
-#include <cctype>
-#include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <string_view>
 #include <vector>
+
+#include "perfeng/common/error.hpp"
+#include "perfeng/lint/baseline.hpp"
+#include "perfeng/lint/driver.hpp"
+#include "perfeng/lint/render.hpp"
 
 namespace {
 
-namespace fs = std::filesystem;
-
-struct Violation {
-  std::string file;
-  std::size_t line;  // 1-based; 0 = whole file
-  std::string check;
-  std::string message;
-};
-
-struct SourceFile {
-  fs::path path;
-  std::string rel;                  // repo-relative, forward slashes
-  std::vector<std::string> raw;     // original lines
-  std::vector<std::string> code;    // comments + string literals blanked
-  bool is_header = false;
-  bool in_src = false;              // under src/
-  bool is_public_header = false;    // under src/*/include/
-  bool in_tests = false;
-};
-
-/// An `allow(<check>)` marker suppresses a finding on its own line or on
-/// the line directly below it (so the rationale can live in a comment
-/// above the flagged statement).
-bool line_allows(const SourceFile& f, std::size_t idx,
-                 std::string_view check) {
-  const std::string needle =
-      "perfeng-lint: allow(" + std::string(check) + ")";
-  if (f.raw[idx].find(needle) != std::string::npos) return true;
-  return idx > 0 && f.raw[idx - 1].find(needle) != std::string::npos;
-}
-
-bool file_allows(const SourceFile& f, std::string_view check) {
-  const std::string needle =
-      "perfeng-lint: allow-file(" + std::string(check) + ")";
-  return std::any_of(f.raw.begin(), f.raw.end(),
-                     [&](const std::string& line) {
-                       return line.find(needle) != std::string::npos;
-                     });
-}
-
-/// Blank out comments, string literals, and char literals, preserving
-/// line structure so reported line numbers match the original file.
-std::vector<std::string> strip_comments_and_strings(
-    const std::vector<std::string>& lines) {
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-  bool in_block_comment = false;
-  for (const std::string& line : lines) {
-    std::string cooked(line.size(), ' ');
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      if (in_block_comment) {
-        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-          in_block_comment = false;
-          ++i;
-        }
-        continue;
-      }
-      const char ch = line[i];
-      if (ch == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-      if (ch == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        in_block_comment = true;
-        ++i;
-        continue;
-      }
-      if (ch == '"' || ch == '\'') {
-        const char quote = ch;
-        cooked[i] = quote;  // keep the delimiter (include paths need it)
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            ++i;
-          } else if (line[i] == quote) {
-            cooked[i] = quote;
-            break;
-          }
-          ++i;
-        }
-        continue;
-      }
-      cooked[i] = ch;
-    }
-    out.push_back(std::move(cooked));
-  }
-  return out;
-}
-
-bool is_identifier_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Does `token` occur in `line` with a non-identifier character (or end
-/// of line) after it?
-bool contains_token(std::string_view line, std::string_view token) {
-  std::size_t pos = 0;
-  while ((pos = line.find(token, pos)) != std::string_view::npos) {
-    const std::size_t end = pos + token.size();
-    const bool boundary_before =
-        pos == 0 || !is_identifier_char(line[pos - 1]);
-    const bool boundary_after =
-        end >= line.size() || !is_identifier_char(line[end]);
-    if (boundary_before && boundary_after) return true;
-    pos = end;
-  }
-  return false;
-}
-
-// --- individual checks ------------------------------------------------------
-
-void check_pragma_once(const SourceFile& f, std::vector<Violation>& out) {
-  if (!f.is_header || !f.in_src) return;
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    std::string_view line(f.code[i]);
-    const std::size_t first = line.find_first_not_of(" \t");
-    if (first == std::string_view::npos) continue;  // blank/comment line
-    if (line.substr(first).rfind("#pragma once", 0) == 0) return;
-    out.push_back({f.rel, i + 1, "pragma-once",
-                   "header must start with #pragma once"});
-    return;
-  }
-  out.push_back(
-      {f.rel, 0, "pragma-once", "header must contain #pragma once"});
-}
-
-void check_include_style(const SourceFile& f, std::vector<Violation>& out) {
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    std::string_view line(f.code[i]);
-    const std::size_t hash = line.find_first_not_of(" \t");
-    if (hash == std::string_view::npos || line[hash] != '#') continue;
-    const std::size_t inc = line.find("include", hash);
-    if (inc == std::string_view::npos) continue;
-    const std::size_t quote = line.find('"', inc);
-    if (quote == std::string_view::npos) continue;
-    // The cooked line blanks string-literal contents; read the actual
-    // include path from the raw line.
-    std::string_view raw(f.raw[i]);
-    if (raw.compare(quote, 9, "\"perfeng/") != 0 &&
-        !line_allows(f, i, "include-style"))
-      out.push_back({f.rel, i + 1, "include-style",
-                     "quoted includes must name \"perfeng/...\" paths "
-                     "(angle brackets for system headers)"});
-  }
-}
-
-void check_namespace_pe(const SourceFile& f, std::vector<Violation>& out) {
-  if (!f.is_public_header) return;
-  if (file_allows(f, "namespace-pe")) return;
-  for (const std::string& line : f.code)
-    if (line.find("namespace pe") != std::string::npos) return;
-  out.push_back({f.rel, 0, "namespace-pe",
-                 "public header declares nothing in namespace pe"});
-}
-
-void check_using_namespace(const SourceFile& f,
-                           std::vector<Violation>& out) {
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    const std::size_t pos = line.find("using namespace");
-    if (pos == std::string::npos) continue;
-    if (line_allows(f, i, "no-using-namespace")) continue;
-    const bool is_std =
-        line.find("using namespace std", pos) != std::string::npos;
-    if (is_std)
-      out.push_back({f.rel, i + 1, "no-using-namespace",
-                     "`using namespace std` is banned"});
-    else if (f.is_header)
-      out.push_back({f.rel, i + 1, "no-using-namespace",
-                     "headers must not have using-namespace directives"});
-  }
-}
-
-void check_std_rand(const SourceFile& f, std::vector<Violation>& out) {
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    if (line_allows(f, i, "no-std-rand")) continue;
-    if (contains_token(line, "std::rand") || contains_token(line, "srand") ||
-        contains_token(line, "random_device"))
-      out.push_back({f.rel, i + 1, "no-std-rand",
-                     "use pe::Rng (seeded, reproducible) instead of C/OS "
-                     "randomness"});
-  }
-}
-
-void check_raw_new_array(const SourceFile& f, std::vector<Violation>& out) {
-  if (!f.in_src) return;
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    if (line_allows(f, i, "no-raw-new-array")) continue;
-    std::size_t pos = 0;
-    while ((pos = line.find("new ", pos)) != std::string::npos) {
-      if (pos > 0 && is_identifier_char(line[pos - 1])) {  // e.g. renew
-        pos += 4;
-        continue;
-      }
-      // Scan the type name after `new`; a '[' before anything else is an
-      // array allocation.
-      std::size_t j = pos + 4;
-      while (j < line.size() &&
-             (is_identifier_char(line[j]) || line[j] == ':' ||
-              line[j] == '<' || line[j] == '>' || line[j] == ' '))
-        ++j;
-      if (j < line.size() && line[j] == '[')
-        out.push_back({f.rel, i + 1, "no-raw-new-array",
-                       "raw new[] in src/ — use AlignedBuffer or "
-                       "std::vector"});
-      pos = j;
-    }
-  }
-}
-
-void check_volatile(const SourceFile& f, std::vector<Violation>& out) {
-  if (!f.in_src) return;
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    if (!contains_token(line, "volatile")) continue;
-    if (line.find("asm volatile") != std::string::npos) continue;
-    if (line_allows(f, i, "no-volatile")) continue;
-    out.push_back({f.rel, i + 1, "no-volatile",
-                   "volatile is not a synchronization primitive — use "
-                   "std::atomic (annotate compiler-barrier sinks with "
-                   "perfeng-lint: allow(no-volatile) + rationale)"});
-  }
-}
-
-void check_test_determinism(const SourceFile& f,
-                            std::vector<Violation>& out) {
-  if (!f.in_tests) return;
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    if (line_allows(f, i, "test-determinism")) continue;
-    if (contains_token(line, "system_clock"))
-      out.push_back({f.rel, i + 1, "test-determinism",
-                     "tests must not read the wall clock (use "
-                     "steady_clock for durations, fixed seeds for data)"});
-    if (line.find("time(nullptr)") != std::string::npos ||
-        line.find("time(NULL)") != std::string::npos)
-      out.push_back({f.rel, i + 1, "test-determinism",
-                     "seeding from time() makes the test a different test "
-                     "every run"});
-  }
-}
-
-struct StdTokenRule {
-  std::string_view token;
-  std::vector<std::string_view> providers;  // any one satisfies the rule
-};
-
-const std::vector<StdTokenRule>& std_token_rules() {
-  static const std::vector<StdTokenRule> rules = {
-      {"std::vector", {"vector"}},
-      {"std::string", {"string"}},
-      {"std::string_view", {"string_view"}},
-      {"std::size_t", {"cstddef", "cstdio", "cstdlib", "cstring"}},
-      {"std::ptrdiff_t", {"cstddef"}},
-      {"std::uint8_t", {"cstdint"}},
-      {"std::uint16_t", {"cstdint"}},
-      {"std::uint32_t", {"cstdint"}},
-      {"std::uint64_t", {"cstdint"}},
-      {"std::int32_t", {"cstdint"}},
-      {"std::int64_t", {"cstdint"}},
-      {"std::atomic", {"atomic"}},
-      {"std::mutex", {"mutex"}},
-      {"std::lock_guard", {"mutex"}},
-      {"std::unique_lock", {"mutex"}},
-      {"std::scoped_lock", {"mutex"}},
-      {"std::condition_variable", {"condition_variable"}},
-      {"std::thread", {"thread"}},
-      {"std::function", {"functional"}},
-      {"std::unique_ptr", {"memory"}},
-      {"std::shared_ptr", {"memory"}},
-      {"std::make_unique", {"memory"}},
-      {"std::make_shared", {"memory"}},
-      {"std::optional", {"optional"}},
-      {"std::variant", {"variant"}},
-      {"std::map", {"map"}},
-      {"std::unordered_map", {"unordered_map"}},
-      {"std::set", {"set"}},
-      {"std::deque", {"deque"}},
-      {"std::array", {"array"}},
-      {"std::pair", {"utility"}},
-      {"std::future", {"future"}},
-      {"std::promise", {"future"}},
-      {"std::packaged_task", {"future"}},
-      {"std::chrono", {"chrono"}},
-      {"std::numeric_limits", {"limits"}},
-      {"std::exception_ptr", {"exception"}},
-      {"std::current_exception", {"exception"}},
-      {"std::rethrow_exception", {"exception"}},
-      {"std::runtime_error", {"stdexcept"}},
-      {"std::source_location", {"source_location"}},
-      {"std::ostream", {"ostream", "iostream", "sstream", "iosfwd"}},
-      {"std::ostringstream", {"sstream"}},
-  };
-  return rules;
-}
-
-void check_self_contained(const SourceFile& f, std::vector<Violation>& out) {
-  if (!f.is_header || !f.in_src) return;
-  std::vector<std::string> included;
-  for (const std::string& line : f.code) {
-    const std::size_t pos = line.find("#include <");
-    if (pos == std::string::npos) continue;
-    const std::size_t start = pos + 10;
-    const std::size_t end = line.find('>', start);
-    if (end != std::string::npos)
-      included.push_back(line.substr(start, end - start));
-  }
-  for (const StdTokenRule& rule : std_token_rules()) {
-    bool satisfied = std::any_of(
-        rule.providers.begin(), rule.providers.end(),
-        [&](std::string_view p) {
-          return std::find(included.begin(), included.end(), p) !=
-                 included.end();
-        });
-    if (satisfied) continue;
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      if (!contains_token(f.code[i], rule.token)) continue;
-      if (line_allows(f, i, "self-contained-includes")) continue;
-      out.push_back(
-          {f.rel, i + 1, "self-contained-includes",
-           "uses " + std::string(rule.token) + " but does not include <" +
-               std::string(rule.providers.front()) + "> directly"});
-      break;  // one report per (file, token) is enough
-    }
-  }
-}
-
-void check_trace_hook_guard(const SourceFile& f,
-                            std::vector<Violation>& out) {
-  if (!f.in_src) return;
-  // The guard macros themselves are the one sanctioned spelling.
-  if (f.rel == "src/common/include/perfeng/common/trace_hook.hpp") return;
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    const std::size_t pos = line.find("on_event(");
-    if (pos == std::string::npos || pos == 0) continue;
-    const char before = line[pos - 1];
-    if (before != '.' && before != '>') continue;  // declarations are fine
-    if (line_allows(f, i, "trace-hook-guard")) continue;
-    out.push_back({f.rel, i + 1, "trace-hook-guard",
-                   "direct on_event() call — emit through PE_TRACE_EMIT / "
-                   "PE_TRACE_EMIT_SITE / PE_TRACE_EMIT_CACHED so the "
-                   "disabled-hook path stays one guarded branch"});
-  }
-}
-
-void check_simd_isolation(const SourceFile& f, std::vector<Violation>& out) {
-  // The pe::simd backend headers are the one sanctioned home for raw
-  // intrinsics; everything else (kernels, benches, tests) speaks
-  // Vec<T, N> so exactness contracts stay auditable in one place.
-  if (f.rel.rfind("src/simd/include/perfeng/simd/backend_", 0) == 0) return;
-  if (file_allows(f, "simd-isolation")) return;
-  static const std::vector<std::string_view> kIntrinsicHeaders = {
-      "immintrin.h", "x86intrin.h", "xmmintrin.h", "emmintrin.h",
-      "smmintrin.h", "tmmintrin.h", "avxintrin.h", "arm_neon.h"};
-  static const std::vector<std::string_view> kIntrinsicPrefixes = {
-      "_mm", "__m128", "__m256", "__m512"};
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    if (line_allows(f, i, "simd-isolation")) continue;
-    const std::size_t inc = line.find("#include <");
-    if (inc != std::string::npos) {
-      for (std::string_view header : kIntrinsicHeaders) {
-        if (line.find(header, inc) != std::string::npos) {
-          out.push_back({f.rel, i + 1, "simd-isolation",
-                         "intrinsic header outside the pe::simd backend "
-                         "layer — include \"perfeng/simd/vec.hpp\" and use "
-                         "Vec<T, N>"});
-          break;
-        }
-      }
-      continue;
-    }
-    for (std::string_view prefix : kIntrinsicPrefixes) {
-      std::size_t pos = 0;
-      bool flagged = false;
-      while ((pos = line.find(prefix, pos)) != std::string::npos) {
-        if (pos == 0 || !is_identifier_char(line[pos - 1])) {
-          out.push_back({f.rel, i + 1, "simd-isolation",
-                         "raw SIMD intrinsic outside src/simd backend "
-                         "headers — extend Vec<T, N> instead"});
-          flagged = true;
-          break;
-        }
-        pos += prefix.size();
-      }
-      if (flagged) break;
-    }
-  }
-}
-
-void check_model_from_machine(const SourceFile& f,
-                              std::vector<Violation>& out) {
-  if (!f.is_public_header) return;
-  if (f.rel.rfind("src/models/", 0) != 0) return;
-  if (file_allows(f, "model-from-machine")) return;
-  for (const std::string& line : f.code)
-    if (line.find("from_machine(") != std::string::npos) return;
-  out.push_back(
-      {f.rel, 0, "model-from-machine",
-       "public model header has no from_machine() factory — every model "
-       "must be constructible from a machine description so the "
-       "composition layer can use it as a leaf (docs/models.md); if the "
-       "model is deliberately machine-independent, add `perfeng-lint: "
-       "allow-file(model-from-machine)` with a rationale"});
-}
-
-// --- driver -----------------------------------------------------------------
-
-const std::vector<std::string_view>& check_names() {
-  static const std::vector<std::string_view> names = {
-      "pragma-once",       "include-style",      "namespace-pe",
-      "no-using-namespace", "no-std-rand",       "no-raw-new-array",
-      "no-volatile",       "test-determinism",   "self-contained-includes",
-      "trace-hook-guard",  "simd-isolation",     "model-from-machine",
-  };
-  return names;
-}
-
-bool wants(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+int usage() {
+  std::cerr
+      << "usage: perfeng_lint <repo-root> [--format text|jsonl|sarif] "
+         "[--sarif]\n"
+         "                    [--out FILE] [--baseline FILE]\n"
+         "                    [--write-baseline FILE] [--rule NAME]...\n"
+         "       perfeng_lint --list-checks\n";
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::vector<std::string> args(argv + 1, argv + argc);
   if (!args.empty() && args[0] == "--list-checks") {
-    for (std::string_view name : check_names())
-      std::cout << name << "\n";
+    for (const auto& pass : pe::lint::default_passes())
+      std::cout << pass->rule().id << "\n";
     return 0;
   }
-  if (args.size() != 1) {
-    std::cerr << "usage: perfeng_lint <repo-root> | --list-checks\n";
-    return 2;
+
+  std::string root;
+  std::string format = "text";
+  std::string out_file;
+  std::string baseline_file;
+  std::string write_baseline_file;
+  std::vector<std::string> only_rules;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string* {
+      return i + 1 < args.size() ? &args[++i] : nullptr;
+    };
+    if (a == "--sarif") {
+      format = "sarif";
+    } else if (a == "--format") {
+      const std::string* v = next();
+      if (v == nullptr) return usage();
+      format = *v;
+    } else if (a == "--out") {
+      const std::string* v = next();
+      if (v == nullptr) return usage();
+      out_file = *v;
+    } else if (a == "--baseline") {
+      const std::string* v = next();
+      if (v == nullptr) return usage();
+      baseline_file = *v;
+    } else if (a == "--write-baseline") {
+      const std::string* v = next();
+      if (v == nullptr) return usage();
+      write_baseline_file = *v;
+    } else if (a == "--rule") {
+      const std::string* v = next();
+      if (v == nullptr) return usage();
+      only_rules.push_back(*v);
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else if (root.empty()) {
+      root = a;
+    } else {
+      return usage();
+    }
   }
-  const fs::path root(args[0]);
-  if (!fs::is_directory(root)) {
+  if (root.empty()) return usage();
+  if (format != "text" && format != "jsonl" && format != "sarif")
+    return usage();
+  if (!std::filesystem::is_directory(root)) {
     std::cerr << "perfeng_lint: not a directory: " << root << "\n";
     return 2;
   }
 
-  std::vector<Violation> violations;
-  std::size_t files_scanned = 0;
-  for (const char* dir : {"src", "tests", "bench", "examples", "tools"}) {
-    const fs::path base = root / dir;
-    if (!fs::is_directory(base)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file() || !wants(entry.path())) continue;
-      SourceFile f;
-      f.path = entry.path();
-      f.rel = fs::relative(entry.path(), root).generic_string();
-      std::ifstream in(entry.path());
-      if (!in) {
-        std::cerr << "perfeng_lint: cannot read " << f.rel << "\n";
+  try {
+    pe::lint::ScanOptions opts;
+    opts.root = root;
+    const pe::lint::LintResult result = pe::lint::lint_repo(opts, only_rules);
+
+    if (!write_baseline_file.empty()) {
+      std::ofstream out(write_baseline_file);
+      if (!out) {
+        std::cerr << "perfeng_lint: cannot write " << write_baseline_file
+                  << "\n";
         return 2;
       }
-      for (std::string line; std::getline(in, line);)
-        f.raw.push_back(std::move(line));
-      f.code = strip_comments_and_strings(f.raw);
-      const std::string ext = entry.path().extension().string();
-      f.is_header = ext == ".hpp" || ext == ".h";
-      f.in_src = f.rel.rfind("src/", 0) == 0;
-      f.in_tests = f.rel.rfind("tests/", 0) == 0;
-      f.is_public_header =
-          f.is_header && f.rel.find("/include/perfeng/") != std::string::npos;
-      ++files_scanned;
-
-      check_pragma_once(f, violations);
-      check_include_style(f, violations);
-      check_namespace_pe(f, violations);
-      check_using_namespace(f, violations);
-      check_std_rand(f, violations);
-      check_raw_new_array(f, violations);
-      check_volatile(f, violations);
-      check_test_determinism(f, violations);
-      check_self_contained(f, violations);
-      check_trace_hook_guard(f, violations);
-      check_simd_isolation(f, violations);
-      check_model_from_machine(f, violations);
+      out << pe::lint::Baseline::serialize(result.findings);
+      std::cout << "perfeng-lint: wrote baseline (" << result.findings.size()
+                << " findings) to " << write_baseline_file << "\n";
+      return 0;
     }
-  }
 
-  std::sort(violations.begin(), violations.end(),
-            [](const Violation& a, const Violation& b) {
-              if (a.file != b.file) return a.file < b.file;
-              return a.line < b.line;
-            });
-  for (const Violation& v : violations) {
-    std::cout << v.file;
-    if (v.line > 0) std::cout << ":" << v.line;
-    std::cout << ": [" << v.check << "] " << v.message << "\n";
+    std::vector<pe::lint::Finding> gated = result.findings;
+    if (!baseline_file.empty()) {
+      const pe::lint::Baseline baseline =
+          pe::lint::Baseline::load(baseline_file);
+      gated = baseline.new_findings(result.findings);
+    }
+
+    std::string report;
+    if (format == "sarif") {
+      report = pe::lint::render_sarif(gated, result.rules);
+    } else if (format == "jsonl") {
+      report = pe::lint::render_jsonl(gated);
+    } else {
+      report = pe::lint::render_text(gated, result.files_scanned);
+      if (!baseline_file.empty() && gated.size() != result.findings.size())
+        report += "perfeng-lint: " +
+                  std::to_string(result.findings.size() - gated.size()) +
+                  " baselined finding(s) suppressed\n";
+    }
+
+    if (!out_file.empty()) {
+      std::ofstream out(out_file);
+      if (!out) {
+        std::cerr << "perfeng_lint: cannot write " << out_file << "\n";
+        return 2;
+      }
+      out << report;
+      std::cout << "perfeng-lint: " << gated.size()
+                << " gated finding(s); report written to " << out_file
+                << "\n";
+    } else {
+      std::cout << report;
+    }
+    return gated.empty() ? 0 : 1;
+  } catch (const pe::Error& e) {
+    std::cerr << "perfeng_lint: " << e.what() << "\n";
+    return 2;
   }
-  std::cout << "perfeng-lint: " << files_scanned << " files, "
-            << violations.size() << " violation(s)\n";
-  return violations.empty() ? 0 : 1;
 }
